@@ -1,0 +1,49 @@
+// Reproduces Figure 11: F1 versus the dimension of the learned user node
+// embeddings (8/16/32/64) for S2V+GBDT, DW+GBDT and DW+S2V+GBDT on
+// Dataset 1. The paper finds 32 best: too small underfits the topology,
+// too large overfits.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/experiment.h"
+
+namespace {
+using titant::core::FeatureSet;
+using titant::core::ModelKind;
+}  // namespace
+
+int main() {
+  auto setup = titant::benchutil::CheckOk(titant::benchutil::MakeWeek(1));
+
+  const int dims[] = {8, 16, 32, 64};
+  const FeatureSet sets[] = {FeatureSet::kBasicS2V, FeatureSet::kBasicDW,
+                             FeatureSet::kBasicDWS2V};
+
+  // f1[set][dim]; embeddings are shared across the three feature sets at
+  // each dimension (one WeekExperiment per dimension).
+  double f1[3][4] = {};
+  for (int di = 0; di < 4; ++di) {
+    titant::core::PipelineOptions options;
+    options.embedding_dim = dims[di];
+    titant::core::WeekExperiment experiment(setup.world.log, setup.windows, options);
+    for (int si = 0; si < 3; ++si) {
+      const auto result = titant::benchutil::CheckOk(
+          experiment.Run(0, {sets[si], ModelKind::kGbdt}));
+      f1[si][di] = result.f1;
+      std::fprintf(stderr, ".");
+    }
+  }
+  std::fprintf(stderr, "\n");
+
+  std::printf("Figure 11: F1 versus embedding dimension (Dataset 1)\n");
+  std::printf("%-28s", "Configuration");
+  for (int dim : dims) std::printf("   dim=%-4d", dim);
+  std::printf("\n");
+  for (int si = 0; si < 3; ++si) {
+    std::printf("%-23s+GBDT", titant::core::FeatureSetName(sets[si]));
+    for (int di = 0; di < 4; ++di) std::printf(" %9.2f%%", 100.0 * f1[si][di]);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces Figure 12: F1 versus the number of GBDT trees
+// (100/200/400/800) for the four feature sets on Dataset 1. The paper
+// finds 400 best: fewer trees underfit, more overfit.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/experiment.h"
+
+namespace {
+using titant::core::FeatureSet;
+using titant::core::ModelKind;
+}  // namespace
+
+int main() {
+  auto setup = titant::benchutil::CheckOk(titant::benchutil::MakeWeek(1));
+  titant::core::PipelineOptions options;
+  // One experiment: embeddings are built once per feature set and shared
+  // across the tree-count sweep.
+  titant::core::WeekExperiment experiment(setup.world.log, setup.windows, options);
+
+  const int tree_counts[] = {100, 200, 400, 800};
+  const FeatureSet sets[] = {FeatureSet::kBasic, FeatureSet::kBasicS2V, FeatureSet::kBasicDW,
+                             FeatureSet::kBasicDWS2V};
+
+  std::printf("Figure 12: F1 versus the number of GBDT trees (Dataset 1)\n");
+  std::printf("%-28s", "Configuration");
+  for (int trees : tree_counts) std::printf("  trees=%-4d", trees);
+  std::printf("\n");
+
+  for (FeatureSet set : sets) {
+    std::printf("%-23s+GBDT", titant::core::FeatureSetName(set));
+    std::fflush(stdout);
+    for (int trees : tree_counts) {
+      titant::core::RunConfig config{set, ModelKind::kGbdt};
+      config.gbdt_num_trees = trees;
+      const auto result = titant::benchutil::CheckOk(experiment.Run(0, config));
+      std::printf("  %8.2f%%", 100.0 * result.f1);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Reproduces Figure 9: recall among the top 1% most suspicious
+// transactions (rec@top 1%) for the five detection methods on the basic
+// features, averaged over the evaluation week.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "core/experiment.h"
+
+namespace {
+
+using titant::core::FeatureSet;
+using titant::core::ModelKind;
+
+std::string Bar(double value, double full_scale, int width) {
+  const int filled =
+      static_cast<int>(value / full_scale * width + 0.5);
+  std::string bar;
+  for (int i = 0; i < width; ++i) bar += i < filled ? '#' : '.';
+  return bar;
+}
+
+}  // namespace
+
+int main() {
+  const int days = titant::benchutil::EnvInt("TITANT_DAYS", 7);
+  auto setup = titant::benchutil::CheckOk(titant::benchutil::MakeWeek(days));
+  titant::core::PipelineOptions options;
+  titant::core::WeekExperiment experiment(setup.world.log, setup.windows, options);
+
+  const ModelKind kinds[] = {ModelKind::kIsolationForest, ModelKind::kId3, ModelKind::kC50,
+                             ModelKind::kLr, ModelKind::kGbdt};
+
+  std::printf("Figure 9: rec@top 1%% over detection methods (basic features, %d-day mean)\n",
+              days);
+  for (ModelKind kind : kinds) {
+    double total = 0.0;
+    for (int d = 0; d < days; ++d) {
+      const auto result = titant::benchutil::CheckOk(
+          experiment.Run(static_cast<std::size_t>(d), {FeatureSet::kBasic, kind}));
+      total += result.rec_at_top1;
+    }
+    const double mean = total / days;
+    std::printf("%-6s %5.1f%%  |%s|\n", titant::core::ModelKindName(kind), 100.0 * mean,
+                Bar(mean, 0.8, 40).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Future-work experiment (§4.5): "what about other aggregated information,
+// such as device and IP information? It is an interesting question to
+// construct a heterogeneous network."
+//
+// Compares DeepWalk embeddings learned over the homogeneous user-user
+// transaction network against embeddings learned over the heterogeneous
+// user+device network (graph::HeteroNetwork). Device-sharing links the
+// account operator's machines across fraud accounts, which the
+// heterogeneous walks can expose.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/experiment.h"
+
+int main() {
+  const int days = titant::benchutil::EnvInt("TITANT_DAYS", 3);
+  auto setup = titant::benchutil::CheckOk(titant::benchutil::MakeWeek(days));
+
+  std::printf("Heterogeneous-network extension (paper §4.5 future work)\n");
+  std::printf("%-34s", "Configuration");
+  for (int d = 0; d < days; ++d) {
+    std::printf(" %10s",
+                titant::txn::DayToDate(setup.windows[static_cast<std::size_t>(d)].spec.test_day)
+                    .substr(5)
+                    .c_str());
+  }
+  std::printf(" %10s\n", "mean");
+
+  struct Variant {
+    const char* name;
+    titant::core::FeatureSet set;
+    bool hetero;
+  };
+  const Variant variants[] = {
+      {"Basic Features+GBDT", titant::core::FeatureSet::kBasic, false},
+      {"Basic+DW(user graph)+GBDT", titant::core::FeatureSet::kBasicDW, false},
+      {"Basic+DW(user+device graph)+GBDT", titant::core::FeatureSet::kBasicDW, true},
+  };
+  for (const Variant& variant : variants) {
+    titant::core::PipelineOptions options;
+    options.hetero_dw = variant.hetero;
+    titant::core::WeekExperiment experiment(setup.world.log, setup.windows, options);
+    std::printf("%-34s", variant.name);
+    std::fflush(stdout);
+    double total = 0.0;
+    for (int d = 0; d < days; ++d) {
+      const auto result = titant::benchutil::CheckOk(
+          experiment.Run(static_cast<std::size_t>(d),
+                         {variant.set, titant::core::ModelKind::kGbdt}));
+      std::printf(" %9.2f%%", 100.0 * result.f1);
+      std::fflush(stdout);
+      total += result.f1;
+    }
+    std::printf(" %9.2f%%\n", 100.0 * total / days);
+  }
+  return 0;
+}

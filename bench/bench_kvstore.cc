@@ -1,0 +1,125 @@
+// Micro-benchmarks for the Ali-HBase substrate: point writes, hot/cold
+// point reads, versioned reads and short scans, in both in-memory and
+// durable (WAL + SSTable) configurations.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "kvstore/store.h"
+
+namespace {
+
+using titant::benchutil::CheckOk;
+using titant::kvstore::AliHBase;
+using titant::kvstore::StoreOptions;
+
+std::unique_ptr<AliHBase> MakeStore(bool durable, const char* tag) {
+  StoreOptions options;
+  options.column_families = {"bf", "emb"};
+  options.durable = durable;
+  if (durable) {
+    options.dir = std::string("/tmp/titant_bench_kv_") + tag;
+    std::filesystem::remove_all(options.dir);
+  }
+  return CheckOk(AliHBase::Open(std::move(options)));
+}
+
+std::string Row(uint32_t i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "u%08u", i);
+  return buf;
+}
+
+void FillStore(AliHBase* store, uint32_t rows) {
+  const std::string value(128, 'x');
+  for (uint32_t i = 0; i < rows; ++i) {
+    CheckOk(store->Put(Row(i), "bf", "snapshot", value, 1));
+  }
+}
+
+void BM_PutInMemory(benchmark::State& state) {
+  auto store = MakeStore(false, "putmem");
+  const std::string value(128, 'x');
+  uint32_t i = 0;
+  for (auto _ : state) {
+    CheckOk(store->Put(Row(i++), "bf", "snapshot", value, 1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PutInMemory)->Unit(benchmark::kMicrosecond);
+
+void BM_PutDurableWal(benchmark::State& state) {
+  auto store = MakeStore(true, "putwal");
+  const std::string value(128, 'x');
+  uint32_t i = 0;
+  for (auto _ : state) {
+    CheckOk(store->Put(Row(i++), "bf", "snapshot", value, 1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PutDurableWal)->Unit(benchmark::kMicrosecond);
+
+void BM_GetFromMemtable(benchmark::State& state) {
+  auto store = MakeStore(false, "getmem");
+  FillStore(store.get(), 50000);
+  titant::Rng rng(7);
+  for (auto _ : state) {
+    const auto v = store->Get(Row(static_cast<uint32_t>(rng.Uniform(50000))), "bf", "snapshot");
+    benchmark::DoNotOptimize(v.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GetFromMemtable)->Unit(benchmark::kMicrosecond);
+
+void BM_GetFromSSTable(benchmark::State& state) {
+  auto store = MakeStore(true, "getsst");
+  FillStore(store.get(), 50000);
+  CheckOk(store->Flush());
+  titant::Rng rng(7);
+  for (auto _ : state) {
+    const auto v = store->Get(Row(static_cast<uint32_t>(rng.Uniform(50000))), "bf", "snapshot");
+    benchmark::DoNotOptimize(v.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GetFromSSTable)->Unit(benchmark::kMicrosecond);
+
+void BM_VersionedGet(benchmark::State& state) {
+  auto store = MakeStore(false, "getver");
+  const std::string value(64, 'v');
+  for (uint32_t i = 0; i < 5000; ++i) {
+    for (uint64_t version = 1; version <= 8; ++version) {
+      CheckOk(store->Put(Row(i), "bf", "snapshot", value, version));
+    }
+  }
+  titant::Rng rng(7);
+  for (auto _ : state) {
+    const auto v = store->Get(Row(static_cast<uint32_t>(rng.Uniform(5000))), "bf", "snapshot",
+                              1 + rng.Uniform(8));
+    benchmark::DoNotOptimize(v.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VersionedGet)->Unit(benchmark::kMicrosecond);
+
+void BM_Scan100Rows(benchmark::State& state) {
+  auto store = MakeStore(false, "scan");
+  FillStore(store.get(), 20000);
+  titant::Rng rng(7);
+  for (auto _ : state) {
+    const auto start = static_cast<uint32_t>(rng.Uniform(19900));
+    const auto cells = store->Scan(Row(start), Row(start + 100));
+    benchmark::DoNotOptimize(cells.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_Scan100Rows)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// NRL method comparison (§3.2: "Based on the insights that no one NRL
+// method is the best in all cases, we select DeepWalk for its efficiency,
+// effectiveness and simplicity"). Evaluates Basic+X+GBDT on Dataset 1 for
+// X in {DeepWalk, node2vec-biased walks, LINE 1st order, LINE 2nd order,
+// Structure2Vec}, with the embedding wall time alongside.
+
+#include <cstdio>
+#include <functional>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "core/experiment.h"
+#include "ml/metrics.h"
+#include "nrl/deepwalk.h"
+#include "nrl/line.h"
+#include "nrl/struct2vec.h"
+
+namespace {
+
+using titant::benchutil::CheckOk;
+
+}  // namespace
+
+int main() {
+  auto setup = CheckOk(titant::benchutil::MakeWeek(1));
+  const auto& window = setup.windows[0];
+
+  titant::core::PipelineOptions options;
+  titant::core::OfflineTrainer trainer(setup.world.log, window, options);
+  CheckOk(trainer.Prepare(titant::core::FeatureSet::kBasic));
+  const auto basic_train =
+      CheckOk(trainer.BuildMatrix(window.train_records, titant::core::FeatureSet::kBasic));
+  const auto basic_test =
+      CheckOk(trainer.BuildMatrix(window.test_records, titant::core::FeatureSet::kBasic));
+  const auto& network = *trainer.network();
+
+  // Appends the transferee's embedding to a basic matrix.
+  auto with_embedding = [&](const titant::ml::DataMatrix& base,
+                            const std::vector<std::size_t>& records,
+                            const titant::nrl::EmbeddingMatrix& embeddings) {
+    titant::ml::DataMatrix out(base.num_rows(), base.num_cols() + embeddings.dim());
+    out.mutable_labels() = base.labels();
+    for (std::size_t r = 0; r < base.num_rows(); ++r) {
+      std::copy(base.Row(r), base.Row(r) + base.num_cols(), out.Row(r));
+      const auto& rec = setup.world.log.records[records[r]];
+      const float* emb = embeddings.Row(rec.to_user);
+      std::copy(emb, emb + embeddings.dim(), out.Row(r) + base.num_cols());
+    }
+    return out;
+  };
+
+  auto evaluate = [&](const char* name,
+                      const std::function<titant::StatusOr<titant::nrl::EmbeddingMatrix>()>&
+                          learn) {
+    titant::Stopwatch timer;
+    const auto embeddings = CheckOk(learn());
+    const double seconds = timer.ElapsedSeconds();
+    const auto train = with_embedding(basic_train, window.train_records, embeddings);
+    const auto test = with_embedding(basic_test, window.test_records, embeddings);
+    auto model = titant::core::MakeModel(titant::core::ModelKind::kGbdt, options);
+    CheckOk(model->Train(train));
+    const auto scores = CheckOk(model->ScoreAll(test));
+    const auto best = CheckOk(titant::ml::BestF1(scores, test.labels()));
+    std::printf("%-28s F1 = %6.2f%%   embedding time %6.1fs\n", name, 100.0 * best.f1,
+                seconds);
+  };
+
+  std::printf("NRL comparison, Basic+X+GBDT on Dataset 1 (paper §3.2)\n");
+  {
+    auto model = titant::core::MakeModel(titant::core::ModelKind::kGbdt, options);
+    CheckOk(model->Train(basic_train));
+    const auto scores = CheckOk(model->ScoreAll(basic_test));
+    const auto best = CheckOk(titant::ml::BestF1(scores, basic_test.labels()));
+    std::printf("%-28s F1 = %6.2f%%\n", "(no embedding)", 100.0 * best.f1);
+  }
+
+  evaluate("DeepWalk", [&] {
+    titant::nrl::DeepWalkOptions dw;
+    return titant::nrl::DeepWalk(network, dw);
+  });
+  evaluate("node2vec (p=0.25, q=0.5)", [&]() -> titant::StatusOr<titant::nrl::EmbeddingMatrix> {
+    titant::graph::RandomWalkOptions walk;
+    walk.walks_per_node = 20;  // Second-order walks cost more per step.
+    walk.return_p = 0.25;
+    walk.inout_q = 0.5;
+    TITANT_ASSIGN_OR_RETURN(auto corpus, titant::graph::GenerateWalks(network, walk));
+    titant::nrl::Word2VecOptions w2v;
+    return titant::nrl::TrainSkipGram(corpus, network.num_nodes(), w2v);
+  });
+  evaluate("LINE (1st order)", [&] {
+    titant::nrl::LineOptions line;
+    line.order = 1;
+    return titant::nrl::TrainLine(network, line);
+  });
+  evaluate("LINE (2nd order)", [&] {
+    titant::nrl::LineOptions line;
+    line.order = 2;
+    return titant::nrl::TrainLine(network, line);
+  });
+  evaluate("Structure2Vec (supervised)", [&] {
+    titant::nrl::NodeLabels labels;
+    labels.label.assign(setup.world.log.num_users(), 0);
+    labels.has_label.assign(setup.world.log.num_users(), 0);
+    for (titant::graph::NodeId v : network.active_nodes()) labels.has_label[v] = 1;
+    for (std::size_t idx : window.network_records) {
+      const auto& rec = setup.world.log.records[idx];
+      if (rec.is_fraud) labels.label[rec.to_user] = 1;
+    }
+    return titant::nrl::Struct2Vec(network, labels, titant::nrl::Struct2VecOptions());
+  });
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Micro-benchmarks for the online serving path (§1/§4.5: "predict online
+// real-time transaction fraud within only milliseconds"). Measures the
+// Model Server end to end — Ali-HBase feature fetch, request featurization
+// and GBDT scoring — plus its parts.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "core/experiment.h"
+#include "serving/feature_store.h"
+#include "serving/model_server.h"
+
+namespace {
+
+using titant::benchutil::CheckOk;
+
+struct ServingFixture {
+  titant::datagen::World world;
+  std::unique_ptr<titant::kvstore::AliHBase> store;
+  std::unique_ptr<titant::serving::ModelServer> server;
+  std::vector<titant::serving::TransferRequest> requests;
+  std::vector<float> sample_row;  // Pre-assembled feature row.
+  std::unique_ptr<titant::ml::Model> model;
+
+  static ServingFixture& Get() {
+    static ServingFixture* fixture = [] {
+      auto* f = new ServingFixture;
+      // A compact world keeps setup time sane; latency per request is
+      // scale-free (point lookups + fixed-size model).
+      titant::datagen::WorldOptions world_options;
+      world_options.num_users = 1500;
+      world_options.num_days = 112;
+      world_options.first_day = titant::benchutil::FirstTestDay() - 104;
+      f->world = CheckOk(titant::datagen::GenerateWorld(world_options));
+      auto windows = CheckOk(
+          titant::txn::SliceWeek(f->world.log, titant::benchutil::FirstTestDay(), 1));
+
+      titant::core::PipelineOptions pipeline;
+      titant::core::OfflineTrainer trainer(f->world.log, windows[0], pipeline);
+      CheckOk(trainer.Prepare(titant::core::FeatureSet::kBasicDW));
+      auto train = CheckOk(
+          trainer.BuildMatrix(windows[0].train_records, titant::core::FeatureSet::kBasicDW));
+      f->model = titant::core::MakeModel(titant::core::ModelKind::kGbdt, pipeline);
+      CheckOk(f->model->Train(train));
+      f->sample_row.assign(train.Row(0), train.Row(0) + train.num_cols());
+
+      // In-memory feature table isolates serving CPU cost from disk.
+      auto store_options = titant::serving::FeatureTableOptions();
+      store_options.durable = false;
+      f->store = CheckOk(titant::kvstore::AliHBase::Open(store_options));
+      CheckOk(titant::serving::UploadDailyArtifacts(
+          f->store.get(), f->world.log, trainer.extractor(), *trainer.dw_embeddings(),
+          windows[0].spec.test_day, 20170410, 50));
+
+      titant::serving::ModelServerOptions ms_options;
+      f->server = std::make_unique<titant::serving::ModelServer>(f->store.get(), ms_options);
+      CheckOk(f->server->LoadModel(titant::ml::SerializeModel(*f->model), 20170410));
+
+      for (std::size_t idx : windows[0].test_records) {
+        const auto& rec = f->world.log.records[idx];
+        titant::serving::TransferRequest req;
+        req.txn_id = rec.txn_id;
+        req.from_user = rec.from_user;
+        req.to_user = rec.to_user;
+        req.amount = rec.amount;
+        req.day = rec.day;
+        req.second_of_day = rec.second_of_day;
+        req.channel = rec.channel;
+        req.trans_city = rec.trans_city;
+        req.is_new_device = rec.is_new_device;
+        f->requests.push_back(req);
+      }
+      return f;
+    }();
+    return *fixture;
+  }
+};
+
+// End-to-end MS request: feature fetch + assembly + GBDT scoring.
+void BM_ModelServerScore(benchmark::State& state) {
+  auto& fixture = ServingFixture::Get();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto verdict =
+        CheckOk(fixture.server->Score(fixture.requests[i++ % fixture.requests.size()]));
+    benchmark::DoNotOptimize(verdict.fraud_probability);
+  }
+  const auto latency = fixture.server->LatencySnapshot();
+  state.counters["p99_us"] = latency.P99();
+  state.counters["p50_us"] = latency.P50();
+}
+BENCHMARK(BM_ModelServerScore)->Unit(benchmark::kMicrosecond);
+
+// The Ali-HBase point read alone.
+void BM_FeatureStoreGet(benchmark::State& state) {
+  auto& fixture = ServingFixture::Get();
+  uint32_t user = 0;
+  for (auto _ : state) {
+    const auto value = fixture.store->Get(titant::serving::UserRowKey(user++ % 1500),
+                                          titant::serving::kFamilyBasic,
+                                          titant::serving::kQualSnapshot);
+    benchmark::DoNotOptimize(value.ok());
+  }
+}
+BENCHMARK(BM_FeatureStoreGet)->Unit(benchmark::kMicrosecond);
+
+// The 400-tree GBDT evaluation alone.
+void BM_GbdtScoreOnly(benchmark::State& state) {
+  auto& fixture = ServingFixture::Get();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.model->Score(fixture.sample_row.data()));
+  }
+}
+BENCHMARK(BM_GbdtScoreOnly)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

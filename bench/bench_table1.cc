@@ -1,0 +1,76 @@
+// Reproduces Table 1: F1 of eleven (feature set, detector) configurations
+// over the seven consecutive test days April 10-16, 2017.
+//
+// Environment knobs: TITANT_DAYS (default 7), TITANT_SCALE (world size
+// multiplier), TITANT_SEED.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "core/experiment.h"
+#include "txn/types.h"
+
+namespace {
+
+using titant::benchutil::CheckOk;
+using titant::core::FeatureSet;
+using titant::core::ModelKind;
+using titant::core::RunConfig;
+
+struct ConfigRow {
+  const char* name;
+  RunConfig config;
+};
+
+const ConfigRow kRows[] = {
+    {"Basic Features/Attributes+IF", {FeatureSet::kBasic, ModelKind::kIsolationForest}},
+    {"Basic Features/Rules+ID3", {FeatureSet::kBasic, ModelKind::kId3}},
+    {"Basic Features/Rules+C5.0", {FeatureSet::kBasic, ModelKind::kC50}},
+    {"Basic Features+LR", {FeatureSet::kBasic, ModelKind::kLr}},
+    {"Basic Features+GBDT", {FeatureSet::kBasic, ModelKind::kGbdt}},
+    {"Basic Features+S2V+LR", {FeatureSet::kBasicS2V, ModelKind::kLr}},
+    {"Basic Features+S2V+GBDT", {FeatureSet::kBasicS2V, ModelKind::kGbdt}},
+    {"Basic Features+DW+LR", {FeatureSet::kBasicDW, ModelKind::kLr}},
+    {"Basic Features+DW+GBDT", {FeatureSet::kBasicDW, ModelKind::kGbdt}},
+    {"Basic Features+DW+S2V+LR", {FeatureSet::kBasicDWS2V, ModelKind::kLr}},
+    {"Basic Features+DW+S2V+GBDT", {FeatureSet::kBasicDWS2V, ModelKind::kGbdt}},
+};
+
+}  // namespace
+
+int main() {
+  const int days = titant::benchutil::EnvInt("TITANT_DAYS", 7);
+  const int seed = titant::benchutil::EnvInt("TITANT_SEED", 2019);
+
+  titant::Stopwatch total;
+  auto setup = CheckOk(titant::benchutil::MakeWeek(days, static_cast<uint64_t>(seed)));
+  titant::core::PipelineOptions options;
+  options.seed = static_cast<uint64_t>(seed);
+  titant::core::WeekExperiment experiment(setup.world.log, setup.windows, options);
+
+  std::printf("Table 1: F1 under eleven configurations (paper §5.2)\n");
+  std::printf("%-30s", "Configuration");
+  for (int d = 0; d < days; ++d) {
+    std::printf(" %10s",
+                titant::txn::DayToDate(setup.windows[static_cast<std::size_t>(d)].spec.test_day)
+                    .substr(5)
+                    .c_str());
+  }
+  std::printf("\n");
+
+  int row_number = 1;
+  for (const auto& row : kRows) {
+    std::printf("%2d %-27s", row_number++, row.name);
+    std::fflush(stdout);
+    for (int d = 0; d < days; ++d) {
+      const auto result = CheckOk(experiment.Run(static_cast<std::size_t>(d), row.config));
+      std::printf(" %9.2f%%", 100.0 * result.f1);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("total wall time: %.1fs\n", total.ElapsedSeconds());
+  return 0;
+}

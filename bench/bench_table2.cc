@@ -1,0 +1,41 @@
+// Reproduces Table 2: F1 versus the number of node samplings (walks per
+// node: 25/50/100/200) for Basic+DW+GBDT on Dataset 1, plus the embedding
+// cost — the paper notes performance stabilizes at 100 while 200 roughly
+// doubles the cost.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/experiment.h"
+
+int main() {
+  auto setup = titant::benchutil::CheckOk(titant::benchutil::MakeWeek(1));
+
+  const int samplings[] = {25, 50, 100, 200};
+
+  std::printf("Table 2: performance versus the number of node sampling (Dataset 1)\n");
+  std::printf("%-18s", "No. of Sampling");
+  for (int s : samplings) std::printf(" %9d", s);
+  std::printf("\n");
+
+  double f1[4] = {};
+  double dw_seconds[4] = {};
+  for (int i = 0; i < 4; ++i) {
+    titant::core::PipelineOptions options;
+    options.walks_per_node = samplings[i];
+    titant::core::WeekExperiment experiment(setup.world.log, setup.windows, options);
+    const auto result = titant::benchutil::CheckOk(experiment.Run(
+        0, {titant::core::FeatureSet::kBasicDW, titant::core::ModelKind::kGbdt}));
+    f1[i] = result.f1;
+    dw_seconds[i] = result.dw_train_seconds;
+    std::fprintf(stderr, ".");
+  }
+  std::fprintf(stderr, "\n");
+
+  std::printf("%-18s", "F1 Score");
+  for (double v : f1) std::printf(" %8.2f%%", 100.0 * v);
+  std::printf("\n%-18s", "DW time (s)");
+  for (double v : dw_seconds) std::printf(" %9.1f", v);
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+#ifndef TITANT_BENCH_BENCH_UTIL_H_
+#define TITANT_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "datagen/world.h"
+#include "txn/window.h"
+
+namespace titant::benchutil {
+
+/// First test day of the paper's evaluation week (April 10, 2017).
+inline txn::Day FirstTestDay() { return txn::DateToDay("2017-04-10"); }
+
+/// A generated world plus the T+1 windows for `days` consecutive test days
+/// starting April 10, 2017 — the layout of Fig. 8.
+struct WeekSetup {
+  datagen::World world;
+  std::vector<txn::DatasetWindow> windows;
+};
+
+/// Generates the synthetic world sized for the bench (honoring
+/// TITANT_SCALE) and slices the requested windows.
+inline StatusOr<WeekSetup> MakeWeek(int days = 7, uint64_t seed = 2019) {
+  datagen::WorldOptions options = datagen::ApplyEnvScale(datagen::WorldOptions{});
+  options.seed = seed;
+  const txn::Day first_test = FirstTestDay();
+  options.first_day = first_test - (90 + 14);
+  options.num_days = 90 + 14 + days;
+
+  WeekSetup setup;
+  TITANT_ASSIGN_OR_RETURN(setup.world, datagen::GenerateWorld(options));
+  TITANT_ASSIGN_OR_RETURN(setup.windows, txn::SliceWeek(setup.world.log, first_test, days));
+  return setup;
+}
+
+/// Aborts with a message if `status` is not OK (bench binaries have no
+/// recovery path).
+inline void CheckOk(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T CheckOk(StatusOr<T> value) {
+  CheckOk(value.status());
+  return std::move(value).value();
+}
+
+/// Integer env-var override (e.g. TITANT_DAYS=2 for a quick run).
+inline int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  const int parsed = std::atoi(v);
+  return parsed > 0 ? parsed : fallback;
+}
+
+}  // namespace titant::benchutil
+
+#endif  // TITANT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,137 @@
+// Fraud-ring analysis over the transaction network (the paper's Fig. 2):
+// victims of the same fraudster are 2-hop neighbors through the gathering
+// hub, and DeepWalk embeddings place the account-farm community — where
+// fraudsters buy their accounts — in its own region of the space.
+//
+// This example works purely from graph structure (no labels) and then
+// checks its findings against the generator's ground truth.
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "datagen/world.h"
+#include "graph/graph.h"
+#include "common/random.h"
+#include "nrl/deepwalk.h"
+#include "txn/window.h"
+
+namespace {
+
+template <typename T>
+T OrDie(titant::StatusOr<T> value) {
+  if (!value.ok()) {
+    std::fprintf(stderr, "error: %s\n", value.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(value).value();
+}
+
+}  // namespace
+
+int main() {
+  using namespace titant;
+
+  datagen::WorldOptions world_options;
+  world_options.num_users = 2000;
+  world_options.num_days = 90;
+  const datagen::World world = OrDie(datagen::GenerateWorld(world_options));
+
+  // Build the network from every record (a 90-day analysis window).
+  std::vector<std::size_t> all(world.log.records.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  const auto network =
+      OrDie(graph::TransactionNetwork::FromRecords(world.log, all, world.log.num_users()));
+  std::printf("transaction network: %zu nodes (%zu active), %zu edges\n",
+              network.num_nodes(), network.active_nodes().size(), network.num_edges());
+
+  // --- Part 1: the 2-hop gathering pattern ------------------------------
+  // Pick the fraudster account with the largest in-star and show that its
+  // victims all meet 2 hops apart through it.
+  txn::UserId hub = txn::kInvalidUser;
+  std::size_t best_in = 0;
+  std::set<txn::UserId> fraudsters(world.truth.fraudsters.begin(),
+                                   world.truth.fraudsters.end());
+  for (txn::UserId f : world.truth.fraudsters) {
+    if (network.InDegree(f) > best_in) {
+      best_in = network.InDegree(f);
+      hub = f;
+    }
+  }
+  if (hub == txn::kInvalidUser) {
+    std::fprintf(stderr, "no fraud activity in this world\n");
+    return 1;
+  }
+  auto [in_begin, in_end] = network.InNeighbors(hub);
+  std::printf("\nlargest gathering hub: account %u with %zu transferors\n", hub,
+              static_cast<std::size_t>(in_end - in_begin));
+  std::printf("  every pair of its victims is a 2-hop neighbor through it (Fig. 2)\n");
+
+  // --- Part 2: the account-market community via DeepWalk ----------------
+  // Fraudsters buy most of their accounts from a "farm" of semi-abandoned
+  // accounts kept warm by transfers among themselves. That keep-alive ring
+  // is a community in the transaction network, and DeepWalk embeds it into
+  // its own region — the generalizing risk signal the classifier uses.
+  nrl::DeepWalkOptions dw_options;
+  dw_options.walk.walks_per_node = 40;
+  const auto embeddings = OrDie(nrl::DeepWalk(network, dw_options));
+
+  const auto& farm = world.truth.farm_accounts;
+  std::set<txn::UserId> farm_set(farm.begin(), farm.end());
+
+  // Community coherence: intra-farm pairs vs random pairs.
+  Rng rng(17);
+  double intra = 0.0, random_pairs = 0.0;
+  const int samples = 2000;
+  for (int i = 0; i < samples; ++i) {
+    const txn::UserId a = farm[rng.Uniform(farm.size())];
+    const txn::UserId b = farm[rng.Uniform(farm.size())];
+    if (a != b) intra += embeddings.Cosine(a, b);
+    const auto c = network.active_nodes()[rng.Uniform(network.active_nodes().size())];
+    const auto d = network.active_nodes()[rng.Uniform(network.active_nodes().size())];
+    if (c != d) random_pairs += embeddings.Cosine(c, d);
+  }
+  std::printf("\naccount-farm community in embedding space:\n");
+  std::printf("  mean cosine: intra-farm %.3f vs random pair %.3f\n", intra / samples,
+              random_pairs / samples);
+
+  // Watchlist expansion: given half the farm (accounts already implicated
+  // in reports), rank every other account by embedding proximity and see
+  // how much of the rest of the market surfaces.
+  std::vector<txn::UserId> watchlist;
+  std::set<txn::UserId> undisclosed;
+  for (std::size_t i = 0; i < farm.size(); ++i) {
+    if (i % 2 == 0) {
+      watchlist.push_back(farm[i]);
+    } else {
+      undisclosed.insert(farm[i]);
+    }
+  }
+  struct Scored {
+    txn::UserId account;
+    float risk;
+  };
+  std::vector<Scored> ranking;
+  std::set<txn::UserId> watch_set(watchlist.begin(), watchlist.end());
+  for (txn::UserId v : network.active_nodes()) {
+    if (watch_set.count(v)) continue;
+    float total = 0.0f;
+    for (txn::UserId k : watchlist) total += embeddings.Cosine(v, k);
+    ranking.push_back({v, total / static_cast<float>(watchlist.size())});
+  }
+  std::sort(ranking.begin(), ranking.end(),
+            [](const Scored& a, const Scored& b) { return a.risk > b.risk; });
+
+  const std::size_t top = std::min<std::size_t>(undisclosed.size(), ranking.size());
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < top; ++i) hits += undisclosed.count(ranking[i].account);
+  const double base_rate =
+      static_cast<double>(undisclosed.size()) / ranking.size();
+  std::printf("  watchlist expansion: top-%zu by proximity recovers %zu/%zu hidden farm\n",
+              top, hits, undisclosed.size());
+  std::printf("  precision %.1f%% vs base rate %.1f%% (%.1fx lift)\n",
+              100.0 * hits / top, 100 * base_rate,
+              (static_cast<double>(hits) / top) / base_rate);
+
+  return 0;
+}

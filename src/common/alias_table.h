@@ -1,0 +1,38 @@
+#ifndef TITANT_COMMON_ALIAS_TABLE_H_
+#define TITANT_COMMON_ALIAS_TABLE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+
+namespace titant {
+
+/// Walker's alias method: O(n) build, O(1) weighted sampling. Used for
+/// random-walk neighbor choice and word2vec's unigram^0.75 negative table.
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Builds the table from non-negative `weights` (at least one must be
+  /// positive). Invalid input leaves the table empty.
+  explicit AliasTable(const std::vector<double>& weights) { Build(weights); }
+
+  /// (Re)builds from `weights`; returns false on invalid input.
+  bool Build(const std::vector<double>& weights);
+
+  /// Samples an index with probability proportional to its weight.
+  /// Requires a successfully built, non-empty table.
+  std::size_t Sample(Rng& rng) const;
+
+  bool empty() const { return prob_.empty(); }
+  std::size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace titant
+
+#endif  // TITANT_COMMON_ALIAS_TABLE_H_

@@ -1,0 +1,96 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace titant {
+
+namespace {
+// Buckets cover [0,1) then quarter-octave ranges [2^(k/4), 2^((k+1)/4)).
+// 131 quarter-octaves span up to 2^32.75, far beyond any latency we record.
+constexpr double kLog2Scale = 4.0;
+}  // namespace
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+std::size_t Histogram::BucketFor(double value) {
+  if (value < 1.0) return 0;
+  const double idx = std::floor(std::log2(value) * kLog2Scale) + 1.0;
+  return std::min<std::size_t>(static_cast<std::size_t>(idx), kNumBuckets - 1);
+}
+
+double Histogram::BucketLower(std::size_t bucket) {
+  if (bucket == 0) return 0.0;
+  return std::exp2(static_cast<double>(bucket - 1) / kLog2Scale);
+}
+
+double Histogram::BucketUpper(std::size_t bucket) {
+  return std::exp2(static_cast<double>(bucket) / kLog2Scale);
+}
+
+void Histogram::Add(double value) {
+  if (value < 0.0) value = 0.0;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[BucketFor(value)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::Clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+double Histogram::min() const { return count_ == 0 ? 0.0 : min_; }
+
+double Histogram::mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(count_);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    const double next = cumulative + static_cast<double>(buckets_[i]);
+    if (next >= target) {
+      const double frac =
+          buckets_[i] == 0 ? 0.0 : (target - cumulative) / static_cast<double>(buckets_[i]);
+      const double lo = std::max(BucketLower(i), min_);
+      const double hi = std::min(BucketUpper(i), max_);
+      return lo + frac * std::max(0.0, hi - lo);
+    }
+    cumulative = next;
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  std::ostringstream os;
+  os << "count=" << count_ << " mean=" << mean() << " p50=" << P50() << " p95=" << P95()
+     << " p99=" << P99() << " max=" << max();
+  return os.str();
+}
+
+}  // namespace titant

@@ -1,0 +1,62 @@
+#ifndef TITANT_COMMON_HISTOGRAM_H_
+#define TITANT_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace titant {
+
+/// Latency/size histogram with exponentially sized buckets, in the style of
+/// the RocksDB statistics histograms. Records non-negative values
+/// (conventionally microseconds) and reports count/mean/percentiles.
+///
+/// Not thread-safe; callers that share one instance must synchronize, or
+/// keep per-thread histograms and Merge() them.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one observation (values < 0 are clamped to 0).
+  void Add(double value);
+
+  /// Adds all observations from `other` into this histogram.
+  void Merge(const Histogram& other);
+
+  /// Removes all observations.
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  double min() const;
+  double max() const { return max_; }
+  double mean() const;
+
+  /// Approximate p-th percentile (p in [0, 100]), interpolated within the
+  /// containing bucket. Returns 0 for an empty histogram.
+  double Percentile(double p) const;
+
+  double P50() const { return Percentile(50.0); }
+  double P95() const { return Percentile(95.0); }
+  double P99() const { return Percentile(99.0); }
+  double P999() const { return Percentile(99.9); }
+
+  /// One-line summary: "count=.. mean=.. p50=.. p95=.. p99=.. max=..".
+  std::string Summary() const;
+
+ private:
+  static std::size_t BucketFor(double value);
+  static double BucketLower(std::size_t bucket);
+  static double BucketUpper(std::size_t bucket);
+
+  static constexpr std::size_t kNumBuckets = 132;
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace titant
+
+#endif  // TITANT_COMMON_HISTOGRAM_H_

@@ -1,0 +1,70 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace titant {
+
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_log_mutex;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+// Trims "src/" prefixed path down to the basename for compact log lines.
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_min_level.store(static_cast<int>(level)); }
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_min_level.load()); }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  using Clock = std::chrono::system_clock;
+  const auto now = Clock::now();
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(now.time_since_epoch()).count();
+  stream_ << "[" << LevelTag(level) << " " << us / 1000000 << "." << us % 1000000 << " "
+          << Basename(file) << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  const bool fatal = level_ == LogLevel::kFatal;
+  if (fatal || static_cast<int>(level_) >= static_cast<int>(GetLogLevel())) {
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    std::string line = stream_.str();
+    line.push_back('\n');
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
+  }
+  if (fatal) std::abort();
+}
+
+}  // namespace internal_logging
+
+}  // namespace titant

@@ -1,0 +1,84 @@
+#ifndef TITANT_COMMON_LOGGING_H_
+#define TITANT_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace titant {
+
+/// Severity levels for the process-wide logger.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kFatal = 4 };
+
+/// Sets the minimum severity that is emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+
+/// Current minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink. Flushes one line to stderr on destruction;
+/// aborts the process after flushing a kFatal message.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is below threshold.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+
+#define TITANT_LOG(level)                                             \
+  (static_cast<int>(::titant::LogLevel::k##level) <                   \
+   static_cast<int>(::titant::GetLogLevel()))                         \
+      ? (void)0                                                       \
+      : (void)(::titant::internal_logging::LogMessage(                \
+                   ::titant::LogLevel::k##level, __FILE__, __LINE__)  \
+                   .stream())
+
+// Convenience stream macros: TITANT_INFO << "x=" << x;
+#define TITANT_DEBUG                                                           \
+  ::titant::internal_logging::LogMessage(::titant::LogLevel::kDebug, __FILE__, \
+                                         __LINE__)                             \
+      .stream()
+#define TITANT_INFO                                                           \
+  ::titant::internal_logging::LogMessage(::titant::LogLevel::kInfo, __FILE__, \
+                                         __LINE__)                            \
+      .stream()
+#define TITANT_WARN                                                           \
+  ::titant::internal_logging::LogMessage(::titant::LogLevel::kWarn, __FILE__, \
+                                         __LINE__)                            \
+      .stream()
+#define TITANT_ERROR                                                           \
+  ::titant::internal_logging::LogMessage(::titant::LogLevel::kError, __FILE__, \
+                                         __LINE__)                             \
+      .stream()
+
+/// CHECK-style invariant assertion that is active in all build modes.
+#define TITANT_CHECK(cond)                                                     \
+  if (!(cond))                                                                 \
+  ::titant::internal_logging::LogMessage(::titant::LogLevel::kFatal, __FILE__, \
+                                         __LINE__)                             \
+          .stream()                                                            \
+      << "Check failed: " #cond " "
+
+}  // namespace titant
+
+#endif  // TITANT_COMMON_LOGGING_H_

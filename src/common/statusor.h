@@ -1,0 +1,72 @@
+#ifndef TITANT_COMMON_STATUSOR_H_
+#define TITANT_COMMON_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace titant {
+
+/// Holds either a value of type `T` or a non-OK `Status` explaining why the
+/// value is absent. Accessing the value of an errored `StatusOr` is a
+/// programming error (asserted in debug builds).
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. `status` must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "StatusOr constructed from OK status without a value");
+  }
+
+  /// Constructs from a value (implicit, mirroring absl::StatusOr).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+
+  /// The status; OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Value accessors; only valid when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK when value_ is engaged.
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a StatusOr expression); on error returns the status
+/// from the enclosing function, otherwise assigns the value to `lhs`.
+#define TITANT_ASSIGN_OR_RETURN(lhs, rexpr) \
+  TITANT_ASSIGN_OR_RETURN_IMPL_(TITANT_SOR_CONCAT_(_titant_sor_, __LINE__), lhs, rexpr)
+
+#define TITANT_SOR_CONCAT_INNER_(a, b) a##b
+#define TITANT_SOR_CONCAT_(a, b) TITANT_SOR_CONCAT_INNER_(a, b)
+#define TITANT_ASSIGN_OR_RETURN_IMPL_(var, lhs, rexpr) \
+  auto var = (rexpr);                                  \
+  if (!var.ok()) {                                     \
+    return var.status();                               \
+  }                                                    \
+  lhs = std::move(var).value();
+
+}  // namespace titant
+
+#endif  // TITANT_COMMON_STATUSOR_H_

@@ -1,0 +1,39 @@
+#ifndef TITANT_COMMON_STRING_UTIL_H_
+#define TITANT_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace titant {
+
+/// Splits `input` on `delim`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view input, char delim);
+
+/// Joins `parts` with `delim`.
+std::string Join(const std::vector<std::string>& parts, std::string_view delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Lower-cases ASCII letters.
+std::string ToLower(std::string_view s);
+
+/// Strict numeric parsers (whole string must parse).
+StatusOr<int64_t> ParseInt64(std::string_view s);
+StatusOr<double> ParseDouble(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Formats `v` with `digits` digits after the decimal point.
+std::string FormatDouble(double v, int digits);
+
+}  // namespace titant
+
+#endif  // TITANT_COMMON_STRING_UTIL_H_

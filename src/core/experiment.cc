@@ -1,0 +1,64 @@
+#include "core/experiment.h"
+
+#include "common/stopwatch.h"
+#include "ml/metrics.h"
+
+namespace titant::core {
+
+WeekExperiment::WeekExperiment(const txn::TransactionLog& log,
+                               std::vector<txn::DatasetWindow> windows, PipelineOptions options)
+    : log_(log), windows_(std::move(windows)), options_(options) {
+  trainers_.resize(windows_.size());
+}
+
+StatusOr<OfflineTrainer*> WeekExperiment::Trainer(std::size_t window_idx) {
+  if (window_idx >= windows_.size()) return Status::OutOfRange("window index out of range");
+  if (!trainers_[window_idx]) {
+    PipelineOptions opts = options_;
+    // Distinct seeds per window so daily retrains are independent draws.
+    opts.seed = options_.seed + 7919 * (window_idx + 1);
+    trainers_[window_idx] =
+        std::make_unique<OfflineTrainer>(log_, windows_[window_idx], opts);
+  }
+  return trainers_[window_idx].get();
+}
+
+StatusOr<RunResult> WeekExperiment::Run(std::size_t window_idx, const RunConfig& config) {
+  TITANT_ASSIGN_OR_RETURN(OfflineTrainer * trainer, Trainer(window_idx));
+  const double dw_before = trainer->dw_train_seconds();
+  TITANT_RETURN_IF_ERROR(trainer->Prepare(config.features));
+
+  const txn::DatasetWindow& window = windows_[window_idx];
+  TITANT_ASSIGN_OR_RETURN(ml::DataMatrix train,
+                          trainer->BuildMatrix(window.train_records, config.features));
+  TITANT_ASSIGN_OR_RETURN(ml::DataMatrix test,
+                          trainer->BuildMatrix(window.test_records, config.features));
+
+  PipelineOptions model_options = trainer->options();
+  if (config.gbdt_num_trees > 0) model_options.gbdt.num_trees = config.gbdt_num_trees;
+  std::unique_ptr<ml::Model> model = MakeModel(config.model, model_options);
+  if (model == nullptr) return Status::Internal("unknown model kind");
+
+  Stopwatch timer;
+  TITANT_RETURN_IF_ERROR(model->Train(train));
+  const double train_seconds = timer.ElapsedSeconds();
+
+  TITANT_ASSIGN_OR_RETURN(std::vector<double> scores, model->ScoreAll(test));
+  TITANT_ASSIGN_OR_RETURN(ml::BinaryMetrics best, ml::BestF1(scores, test.labels()));
+  TITANT_ASSIGN_OR_RETURN(double rec_top1, ml::RecallAtTopPercent(scores, test.labels(), 1.0));
+
+  RunResult result;
+  result.f1 = best.f1;
+  result.precision = best.precision;
+  result.recall = best.recall;
+  result.rec_at_top1 = rec_top1;
+  auto auc = ml::RocAuc(scores, test.labels());
+  result.auc = auc.ok() ? *auc : 0.0;
+  result.classifier_train_seconds = train_seconds;
+  result.dw_train_seconds = trainer->dw_train_seconds() - dw_before;
+  result.train_rows = train.num_rows();
+  result.test_rows = test.num_rows();
+  return result;
+}
+
+}  // namespace titant::core

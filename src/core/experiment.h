@@ -1,0 +1,65 @@
+#ifndef TITANT_CORE_EXPERIMENT_H_
+#define TITANT_CORE_EXPERIMENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/pipeline.h"
+#include "txn/window.h"
+
+namespace titant::core {
+
+/// One (feature set, detector) cell of the evaluation grid.
+struct RunConfig {
+  FeatureSet features = FeatureSet::kBasic;
+  ModelKind model = ModelKind::kGbdt;
+  /// Overrides PipelineOptions::gbdt.num_trees when > 0 (Fig. 12's sweep)
+  /// without invalidating the window's cached embeddings.
+  int gbdt_num_trees = 0;
+};
+
+/// Scores of one configuration on one test day.
+struct RunResult {
+  double f1 = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double rec_at_top1 = 0.0;  // Recall@top-1% (Fig. 9's metric).
+  double auc = 0.0;
+  double classifier_train_seconds = 0.0;
+  double dw_train_seconds = 0.0;  // Embedding cost charged to this window.
+  std::size_t train_rows = 0;
+  std::size_t test_rows = 0;
+};
+
+/// Runs the evaluation grid over a set of T+1 windows, caching the
+/// per-window offline artifacts (network, city stats, DW/S2V embeddings)
+/// so that the 11 configurations of Table 1 share one embedding run per
+/// day, exactly as the production system would.
+class WeekExperiment {
+ public:
+  /// `log` must outlive the experiment. `windows` typically comes from
+  /// txn::SliceWeek.
+  WeekExperiment(const txn::TransactionLog& log, std::vector<txn::DatasetWindow> windows,
+                 PipelineOptions options);
+
+  std::size_t num_windows() const { return windows_.size(); }
+  const txn::DatasetWindow& window(std::size_t i) const { return windows_[i]; }
+  const PipelineOptions& options() const { return options_; }
+
+  /// Trains and evaluates one configuration on window `i`.
+  StatusOr<RunResult> Run(std::size_t window_idx, const RunConfig& config);
+
+  /// Access to the cached per-window trainer (built lazily by Run).
+  StatusOr<OfflineTrainer*> Trainer(std::size_t window_idx);
+
+ private:
+  const txn::TransactionLog& log_;
+  std::vector<txn::DatasetWindow> windows_;
+  PipelineOptions options_;
+  std::vector<std::unique_ptr<OfflineTrainer>> trainers_;
+};
+
+}  // namespace titant::core
+
+#endif  // TITANT_CORE_EXPERIMENT_H_

@@ -1,0 +1,337 @@
+#include "core/feature_extractor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace titant::core {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586;
+}  // namespace
+
+FeatureExtractor::FeatureExtractor(const txn::TransactionLog& log) : log_(log) {
+  history_.resize(log.num_users());
+  for (std::size_t i = 0; i < log.records.size(); ++i) {
+    const auto& rec = log.records[i];
+    if (rec.from_user < history_.size()) {
+      history_[rec.from_user].outgoing.push_back(static_cast<uint32_t>(i));
+    }
+    if (rec.to_user < history_.size()) {
+      history_[rec.to_user].incoming.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  std::size_t num_cities = 1;
+  for (const auto& rec : log.records) {
+    num_cities = std::max<std::size_t>(num_cities, static_cast<std::size_t>(rec.trans_city) + 1);
+  }
+  city_fraud_rate_.assign(num_cities, 0.0f);
+  city_fraud_count_.assign(num_cities, 0.0f);
+  city_txn_count_.assign(num_cities, 0.0f);
+}
+
+void FeatureExtractor::FitCityStats(const std::vector<std::size_t>& record_indices) {
+  std::fill(city_fraud_rate_.begin(), city_fraud_rate_.end(), 0.0f);
+  std::fill(city_fraud_count_.begin(), city_fraud_count_.end(), 0.0f);
+  std::fill(city_txn_count_.begin(), city_txn_count_.end(), 0.0f);
+  for (std::size_t idx : record_indices) {
+    const auto& rec = log_.records[idx];
+    if (rec.trans_city >= city_txn_count_.size()) continue;
+    city_txn_count_[rec.trans_city] += 1.0f;
+    if (rec.is_fraud) city_fraud_count_[rec.trans_city] += 1.0f;
+  }
+  for (std::size_t c = 0; c < city_txn_count_.size(); ++c) {
+    // Laplace-smoothed historical fraud rate.
+    city_fraud_rate_[c] = (city_fraud_count_[c] + 0.5f) / (city_txn_count_[c] + 50.0f);
+  }
+}
+
+void FeatureExtractor::Extract(std::size_t record_idx, float* out) const {
+  const auto& rec = log_.records[record_idx];
+  const auto& profile = log_.profiles[rec.from_user];
+  const txn::Day day = rec.day;
+  const double hour = rec.second_of_day / 3600.0;
+
+  int k = 0;
+  // --- Transferor profile -------------------------------------------------
+  out[k++] = profile.age;
+  out[k++] = profile.gender == txn::Gender::kMale ? 1.0f : 0.0f;
+  out[k++] = profile.gender == txn::Gender::kFemale ? 1.0f : 0.0f;
+  out[k++] = profile.home_city;
+  out[k++] = profile.account_age_days;
+  out[k++] = std::log1p(static_cast<float>(profile.account_age_days));
+  out[k++] = profile.verification_level;
+  out[k++] = profile.is_merchant ? 1.0f : 0.0f;
+
+  // --- Transfer environment ------------------------------------------------
+  out[k++] = static_cast<float>(rec.amount);
+  out[k++] = std::log1p(static_cast<float>(rec.amount));
+  out[k++] = (rec.amount >= 100.0 && std::fmod(rec.amount, 100.0) == 0.0) ? 1.0f : 0.0f;
+  out[k++] = rec.amount >= 500.0 ? 1.0f : 0.0f;
+  out[k++] = rec.amount >= 2000.0 ? 1.0f : 0.0f;
+  out[k++] = static_cast<float>(hour);
+  out[k++] = static_cast<float>(std::sin(kTwoPi * hour / 24.0));
+  out[k++] = static_cast<float>(std::cos(kTwoPi * hour / 24.0));
+  out[k++] = hour < 6.0 ? 1.0f : 0.0f;
+  out[k++] = (hour >= 19.0 && hour < 23.0) ? 1.0f : 0.0f;
+  const int dow = ((day % 7) + 7) % 7;
+  out[k++] = static_cast<float>(dow);
+  out[k++] = dow >= 5 ? 1.0f : 0.0f;
+  out[k++] = rec.channel == txn::Channel::kApp ? 1.0f : 0.0f;
+  out[k++] = rec.channel == txn::Channel::kWeb ? 1.0f : 0.0f;
+  out[k++] = rec.channel == txn::Channel::kQrCode ? 1.0f : 0.0f;
+  out[k++] = rec.channel == txn::Channel::kApi ? 1.0f : 0.0f;
+  out[k++] = rec.trans_city;
+  out[k++] = rec.is_cross_city ? 1.0f : 0.0f;
+  out[k++] = rec.is_new_device ? 1.0f : 0.0f;
+
+  // --- Transferor behavioural history (strictly before this record) -------
+  const auto& hist = history_[rec.from_user];
+  const auto pos = std::lower_bound(hist.outgoing.begin(), hist.outgoing.end(),
+                                    static_cast<uint32_t>(record_idx));
+  double cnt7 = 0, cnt30 = 0, amt7 = 0, amt30 = 0, amt_max30 = 0;
+  double night30 = 0, cross30 = 0, newdev30 = 0, hour_sum = 0;
+  double cnt_today = 0, amt_today = 0;
+  double payee_cnt30 = 0;
+  double victim_hist = 0;
+  std::unordered_set<txn::UserId> payees;
+  std::unordered_set<uint32_t> devices;
+  txn::Day last_day = day - 10000;
+  uint32_t last_second = 0;
+  bool have_prev = false;
+  for (auto it = hist.outgoing.begin(); it != pos; ++it) {
+    const auto& h = log_.records[*it];
+    if (h.day < day - kHistoryDays) continue;
+    ++cnt30;
+    amt30 += h.amount;
+    amt_max30 = std::max(amt_max30, h.amount);
+    payees.insert(h.to_user);
+    devices.insert(h.device_id);
+    if (h.to_user == rec.to_user) ++payee_cnt30;
+    if (h.second_of_day < 6 * 3600) ++night30;
+    if (h.is_cross_city) ++cross30;
+    if (h.is_new_device) ++newdev30;
+    hour_sum += h.second_of_day / 3600.0;
+    if (h.day >= day - 7) {
+      ++cnt7;
+      amt7 += h.amount;
+    }
+    if (h.day == day) {
+      ++cnt_today;
+      amt_today += h.amount;
+    }
+    if (h.is_fraud && h.label_available_day <= day) ++victim_hist;
+    if (!have_prev || h.day > last_day || (h.day == last_day && h.second_of_day > last_second)) {
+      last_day = h.day;
+      last_second = h.second_of_day;
+      have_prev = true;
+    }
+  }
+  const double avg30 = cnt30 > 0 ? amt30 / cnt30 : 0.0;
+  out[k++] = static_cast<float>(cnt7);
+  out[k++] = static_cast<float>(cnt30);
+  out[k++] = std::log1p(static_cast<float>(amt7));
+  out[k++] = std::log1p(static_cast<float>(amt30));
+  out[k++] = std::log1p(static_cast<float>(amt_max30));
+  out[k++] = std::log1p(static_cast<float>(avg30));
+  out[k++] = static_cast<float>(payees.size());
+  out[k++] = static_cast<float>(payee_cnt30);
+  out[k++] = payee_cnt30 == 0 ? 1.0f : 0.0f;  // First transfer to this payee.
+
+  // Incoming (money received) aggregates.
+  double in_cnt30 = 0, in_amt30 = 0;
+  const auto& in_hist = history_[rec.from_user].incoming;
+  const auto in_pos =
+      std::lower_bound(in_hist.begin(), in_hist.end(), static_cast<uint32_t>(record_idx));
+  for (auto it = in_hist.begin(); it != in_pos; ++it) {
+    const auto& h = log_.records[*it];
+    if (h.day < day - kHistoryDays) continue;
+    ++in_cnt30;
+    in_amt30 += h.amount;
+  }
+  out[k++] = static_cast<float>(in_cnt30);
+  out[k++] = std::log1p(static_cast<float>(in_amt30));
+
+  out[k++] = static_cast<float>(devices.size());
+  out[k++] = static_cast<float>(cnt30 > 0 ? newdev30 / cnt30 : 0.0);
+  out[k++] = static_cast<float>(cnt30 > 0 ? night30 / cnt30 : 0.0);
+  out[k++] = static_cast<float>(cnt30 > 0 ? cross30 / cnt30 : 0.0);
+  out[k++] = have_prev ? static_cast<float>(day - last_day) : 60.0f;
+  out[k++] = static_cast<float>(cnt_today);
+  out[k++] = std::log1p(static_cast<float>(amt_today));
+  const double secs_since_prev =
+      have_prev ? (static_cast<double>(day - last_day) * 86400.0 + rec.second_of_day) -
+                      last_second
+                : 86400.0 * 60.0;
+  out[k++] = std::log1p(static_cast<float>(std::max(0.0, secs_since_prev)));
+  out[k++] = static_cast<float>(rec.amount / (1.0 + avg30));
+  const double mean_hour = cnt30 > 0 ? hour_sum / cnt30 : 14.0;
+  out[k++] = static_cast<float>(std::fabs(hour - mean_hour));
+
+  // --- Environment history (city fraud statistics) ------------------------
+  const std::size_t city =
+      std::min<std::size_t>(rec.trans_city, city_fraud_rate_.size() - 1);
+  out[k++] = city_fraud_rate_[city];
+  out[k++] = std::log1p(city_fraud_count_[city]);
+  out[k++] = std::log1p(city_txn_count_[city]);
+
+  // --- Past victimization of this transferor ------------------------------
+  out[k++] = static_cast<float>(victim_hist);
+
+  TITANT_CHECK(k == kNumBasicFeatures) << "feature count drifted: " << k;
+}
+
+const std::vector<int>& FeatureExtractor::ContextFeatureIndices() {
+  static const std::vector<int>* indices = [] {
+    auto* v = new std::vector<int>;
+    for (int i = 8; i <= 26; ++i) v->push_back(i);  // amount..is_new_device
+    v->push_back(34);                               // payee_txn_cnt_30d
+    v->push_back(35);                               // is_new_payee
+    for (int i = 43; i <= 50; ++i) v->push_back(i);  // today/velocity/city
+    return v;
+  }();
+  return *indices;
+}
+
+void FeatureExtractor::CityStats(uint16_t city, float out[3]) const {
+  const std::size_t c = std::min<std::size_t>(city, city_fraud_rate_.size() - 1);
+  out[0] = city_fraud_rate_[c];
+  out[1] = std::log1p(city_fraud_count_[c]);
+  out[2] = std::log1p(city_txn_count_[c]);
+}
+
+void FeatureExtractor::ExtractUserSnapshot(txn::UserId user, txn::Day as_of, float* out,
+                                           float aux[2]) const {
+  std::fill(out, out + kNumBasicFeatures, 0.0f);
+  const auto& profile = log_.profiles[user];
+
+  out[0] = profile.age;
+  out[1] = profile.gender == txn::Gender::kMale ? 1.0f : 0.0f;
+  out[2] = profile.gender == txn::Gender::kFemale ? 1.0f : 0.0f;
+  out[3] = profile.home_city;
+  out[4] = profile.account_age_days;
+  out[5] = std::log1p(static_cast<float>(profile.account_age_days));
+  out[6] = profile.verification_level;
+  out[7] = profile.is_merchant ? 1.0f : 0.0f;
+
+  // History block over [as_of - kHistoryDays, as_of).
+  double cnt7 = 0, cnt30 = 0, amt7 = 0, amt30 = 0, amt_max30 = 0;
+  double night30 = 0, cross30 = 0, newdev30 = 0, hour_sum = 0;
+  double victim_hist = 0;
+  std::unordered_set<txn::UserId> payees;
+  std::unordered_set<uint32_t> devices;
+  txn::Day last_day = as_of - 10000;
+  bool have_prev = false;
+  for (uint32_t idx : history_[user].outgoing) {
+    const auto& h = log_.records[idx];
+    if (h.day >= as_of) break;  // Lists are time-ordered.
+    if (h.day < as_of - kHistoryDays) continue;
+    ++cnt30;
+    amt30 += h.amount;
+    amt_max30 = std::max(amt_max30, h.amount);
+    payees.insert(h.to_user);
+    devices.insert(h.device_id);
+    if (h.second_of_day < 6 * 3600) ++night30;
+    if (h.is_cross_city) ++cross30;
+    if (h.is_new_device) ++newdev30;
+    hour_sum += h.second_of_day / 3600.0;
+    if (h.day >= as_of - 7) {
+      ++cnt7;
+      amt7 += h.amount;
+    }
+    if (h.is_fraud && h.label_available_day <= as_of) ++victim_hist;
+    if (!have_prev || h.day > last_day) {
+      last_day = h.day;
+      have_prev = true;
+    }
+  }
+  const double avg30 = cnt30 > 0 ? amt30 / cnt30 : 0.0;
+  out[27] = static_cast<float>(cnt7);
+  out[28] = static_cast<float>(cnt30);
+  out[29] = std::log1p(static_cast<float>(amt7));
+  out[30] = std::log1p(static_cast<float>(amt30));
+  out[31] = std::log1p(static_cast<float>(amt_max30));
+  out[32] = std::log1p(static_cast<float>(avg30));
+  out[33] = static_cast<float>(payees.size());
+  // 34/35 (payee relationship) are request-derived.
+  double in_cnt30 = 0, in_amt30 = 0;
+  for (uint32_t idx : history_[user].incoming) {
+    const auto& h = log_.records[idx];
+    if (h.day >= as_of) break;
+    if (h.day < as_of - kHistoryDays) continue;
+    ++in_cnt30;
+    in_amt30 += h.amount;
+  }
+  out[36] = static_cast<float>(in_cnt30);
+  out[37] = std::log1p(static_cast<float>(in_amt30));
+  out[38] = static_cast<float>(devices.size());
+  out[39] = static_cast<float>(cnt30 > 0 ? newdev30 / cnt30 : 0.0);
+  out[40] = static_cast<float>(cnt30 > 0 ? night30 / cnt30 : 0.0);
+  out[41] = static_cast<float>(cnt30 > 0 ? cross30 / cnt30 : 0.0);
+  out[42] = have_prev ? static_cast<float>(as_of - last_day) : 60.0f;
+  out[51] = static_cast<float>(victim_hist);
+
+  aux[0] = static_cast<float>(cnt30 > 0 ? hour_sum / cnt30 : 14.0);
+  aux[1] = static_cast<float>(avg30);
+}
+
+std::vector<std::string> FeatureExtractor::FeatureNames() {
+  return {
+      "age",
+      "is_male",
+      "is_female",
+      "home_city",
+      "account_age_days",
+      "log_account_age",
+      "verification_level",
+      "is_merchant",
+      "amount",
+      "log_amount",
+      "is_round_amount",
+      "amount_ge_500",
+      "amount_ge_2000",
+      "hour",
+      "hour_sin",
+      "hour_cos",
+      "is_night",
+      "is_evening",
+      "day_of_week",
+      "is_weekend",
+      "channel_app",
+      "channel_web",
+      "channel_qr",
+      "channel_api",
+      "trans_city",
+      "is_cross_city",
+      "is_new_device",
+      "out_cnt_7d",
+      "out_cnt_30d",
+      "log_out_amt_7d",
+      "log_out_amt_30d",
+      "log_out_amt_max_30d",
+      "log_out_amt_avg_30d",
+      "distinct_payees_30d",
+      "payee_txn_cnt_30d",
+      "is_new_payee",
+      "in_cnt_30d",
+      "log_in_amt_30d",
+      "device_cnt_30d",
+      "new_device_rate_30d",
+      "night_rate_30d",
+      "cross_city_rate_30d",
+      "days_since_last_out",
+      "cnt_today",
+      "log_amt_today",
+      "log_secs_since_prev",
+      "amount_over_avg",
+      "hour_deviation",
+      "city_fraud_rate_hist",
+      "log_city_fraud_cnt_hist",
+      "log_city_txn_cnt_hist",
+      "victim_reports_hist",
+  };
+}
+
+}  // namespace titant::core

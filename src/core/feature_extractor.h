@@ -1,0 +1,82 @@
+#ifndef TITANT_CORE_FEATURE_EXTRACTOR_H_
+#define TITANT_CORE_FEATURE_EXTRACTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "txn/types.h"
+
+namespace titant::core {
+
+/// Computes the paper's "basic features" (§3.3: "about fifty features are
+/// carefully engineered" — exactly 52 in §5.1) for a transaction record:
+/// transferor profile, transfer environment (amount/time/city/device/
+/// channel) and the transferor's recent behavioural aggregates.
+///
+/// Deliberately excluded: any aggregate of the *transferee's* history.
+/// That topological/aggregated information is what the user node
+/// embeddings contribute on top (§3.2), and keeping it out of the basic
+/// set preserves the paper's Table-1 structure where "+DW"/"+S2V" add
+/// signal beyond the basic features.
+///
+/// Usage: construct once per TransactionLog (builds a per-user history
+/// index), call FitCityStats with the window's *network-period* records
+/// (historical fraud rates per city — labels there are old enough to be
+/// known), then Extract per record.
+class FeatureExtractor {
+ public:
+  static constexpr int kNumBasicFeatures = 52;
+  static constexpr int kHistoryDays = 30;  // Lookback for aggregates.
+
+  explicit FeatureExtractor(const txn::TransactionLog& log);
+
+  /// Fits per-city historical fraud-rate statistics from the given record
+  /// indices (conventionally the 90-day network period, whose labels have
+  /// all arrived by training time).
+  void FitCityStats(const std::vector<std::size_t>& record_indices);
+
+  /// Writes kNumBasicFeatures values for `log.records[record_idx]`.
+  /// History aggregates only look at records strictly before the record's
+  /// own timestamp (no leakage from the future).
+  void Extract(std::size_t record_idx, float* out) const;
+
+  /// Column names, aligned with Extract's output order.
+  static std::vector<std::string> FeatureNames();
+
+  /// Per-user feature snapshot for the online feature store (§4.4): the
+  /// profile and behavioural-history features of `user` as of the end of
+  /// day `as_of - 1`, with the request-derived (context) slots zeroed.
+  /// The Model Server overwrites those slots from the live request.
+  /// `aux` receives side values needed for exact request-time
+  /// reconstruction: {mean_hour_30d, avg_amount_30d}.
+  void ExtractUserSnapshot(txn::UserId user, txn::Day as_of, float* out,
+                           float aux[2]) const;
+
+  /// Indices of the request-derived slots in the basic feature vector
+  /// (everything else comes from the T+1 snapshot).
+  static const std::vector<int>& ContextFeatureIndices();
+
+  /// Historical fraud statistics of a city: {fraud_rate, log1p(fraud_cnt),
+  /// log1p(txn_cnt)} — the "city" slots the Model Server fills from the
+  /// request's trans_city. Requires FitCityStats.
+  void CityStats(uint16_t city, float out[3]) const;
+
+ private:
+  struct UserHistoryRef {
+    // Indices into log_.records of this user's outgoing/incoming
+    // transfers, in log order (time-sorted).
+    std::vector<uint32_t> outgoing;
+    std::vector<uint32_t> incoming;
+  };
+
+  const txn::TransactionLog& log_;
+  std::vector<UserHistoryRef> history_;
+  std::vector<float> city_fraud_rate_;
+  std::vector<float> city_fraud_count_;
+  std::vector<float> city_txn_count_;
+};
+
+}  // namespace titant::core
+
+#endif  // TITANT_CORE_FEATURE_EXTRACTOR_H_

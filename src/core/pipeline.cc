@@ -1,0 +1,198 @@
+#include "core/pipeline.h"
+
+#include "common/stopwatch.h"
+#include "graph/hetero.h"
+#include "common/string_util.h"
+
+namespace titant::core {
+
+const char* FeatureSetName(FeatureSet set) {
+  switch (set) {
+    case FeatureSet::kBasic:
+      return "Basic Features";
+    case FeatureSet::kBasicS2V:
+      return "Basic Features+S2V";
+    case FeatureSet::kBasicDW:
+      return "Basic Features+DW";
+    case FeatureSet::kBasicDWS2V:
+      return "Basic Features+DW+S2V";
+  }
+  return "?";
+}
+
+const char* ModelKindName(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kIsolationForest:
+      return "IF";
+    case ModelKind::kId3:
+      return "ID3";
+    case ModelKind::kC50:
+      return "C5.0";
+    case ModelKind::kLr:
+      return "LR";
+    case ModelKind::kGbdt:
+      return "GBDT";
+  }
+  return "?";
+}
+
+bool FeatureSetUsesDw(FeatureSet set) {
+  return set == FeatureSet::kBasicDW || set == FeatureSet::kBasicDWS2V;
+}
+
+bool FeatureSetUsesS2v(FeatureSet set) {
+  return set == FeatureSet::kBasicS2V || set == FeatureSet::kBasicDWS2V;
+}
+
+std::unique_ptr<ml::Model> MakeModel(ModelKind kind, const PipelineOptions& options) {
+  switch (kind) {
+    case ModelKind::kIsolationForest: {
+      auto o = options.iforest;
+      o.seed = options.seed * 31 + 1;
+      return std::make_unique<ml::IsolationForestModel>(o);
+    }
+    case ModelKind::kId3:
+      return ml::MakeId3(options.tree_bins, options.seed * 31 + 2);
+    case ModelKind::kC50:
+      return ml::MakeC50(options.tree_bins, options.c50_boosting_trials,
+                         options.seed * 31 + 3);
+    case ModelKind::kLr: {
+      auto o = options.lr;
+      o.seed = options.seed * 31 + 4;
+      return std::make_unique<ml::LogisticRegressionModel>(o);
+    }
+    case ModelKind::kGbdt: {
+      auto o = options.gbdt;
+      o.seed = options.seed * 31 + 5;
+      return std::make_unique<ml::GbdtModel>(o);
+    }
+  }
+  return nullptr;
+}
+
+OfflineTrainer::OfflineTrainer(const txn::TransactionLog& log, const txn::DatasetWindow& window,
+                               PipelineOptions options)
+    : log_(log), window_(window), options_(options), extractor_(log) {}
+
+Status OfflineTrainer::BuildNetworkAndStats() {
+  if (network_) return Status::OK();
+  TITANT_ASSIGN_OR_RETURN(
+      auto net,
+      graph::TransactionNetwork::FromRecords(log_, window_.network_records, log_.num_users()));
+  network_.emplace(std::move(net));
+  extractor_.FitCityStats(window_.network_records);
+  city_stats_fit_ = true;
+  return Status::OK();
+}
+
+Status OfflineTrainer::BuildDw() {
+  if (dw_) return Status::OK();
+  TITANT_RETURN_IF_ERROR(BuildNetworkAndStats());
+  nrl::DeepWalkOptions dw_opts;
+  dw_opts.walk.walk_length = options_.walk_length;
+  dw_opts.walk.walks_per_node = options_.walks_per_node;
+  dw_opts.w2v.dim = options_.embedding_dim;
+  dw_opts.w2v.window = options_.w2v_window;
+  dw_opts.w2v.negatives = options_.w2v_negatives;
+  dw_opts.w2v.epochs = options_.w2v_epochs;
+  dw_opts.w2v.num_threads = options_.w2v_threads;
+  dw_opts.seed = options_.seed * 101 + 7;
+  Stopwatch timer;
+  if (options_.hetero_dw) {
+    // Future-work mode (§4.5): walk the user+device graph; keep only the
+    // user rows of the learned matrix (devices are auxiliary context).
+    TITANT_ASSIGN_OR_RETURN(
+        graph::HeteroNetwork hetero,
+        graph::HeteroNetwork::FromRecords(log_, window_.network_records, log_.num_users(),
+                                          options_.hetero_device_edge_weight));
+    TITANT_ASSIGN_OR_RETURN(auto emb, nrl::DeepWalk(hetero.combined(), dw_opts));
+    nrl::EmbeddingMatrix users(log_.num_users(), emb.dim());
+    for (std::size_t u = 0; u < log_.num_users(); ++u) {
+      std::copy(emb.Row(u), emb.Row(u) + emb.dim(), users.Row(u));
+    }
+    dw_train_seconds_ = timer.ElapsedSeconds();
+    dw_.emplace(std::move(users));
+    return Status::OK();
+  }
+  TITANT_ASSIGN_OR_RETURN(auto emb, nrl::DeepWalk(*network_, dw_opts));
+  dw_train_seconds_ = timer.ElapsedSeconds();
+  dw_.emplace(std::move(emb));
+  return Status::OK();
+}
+
+Status OfflineTrainer::BuildS2v() {
+  if (s2v_) return Status::OK();
+  TITANT_RETURN_IF_ERROR(BuildNetworkAndStats());
+  // Supervision: the fraud ground truth of the network period, aggregated
+  // to the receiving endpoint (those labels are months old, hence known).
+  nrl::NodeLabels labels;
+  labels.label.assign(log_.num_users(), 0);
+  labels.has_label.assign(log_.num_users(), 0);
+  for (graph::NodeId v : network_->active_nodes()) labels.has_label[v] = 1;
+  for (std::size_t idx : window_.network_records) {
+    const auto& rec = log_.records[idx];
+    if (rec.is_fraud) labels.label[rec.to_user] = 1;
+  }
+  nrl::Struct2VecOptions o = options_.s2v;
+  o.dim = options_.embedding_dim;
+  o.seed = options_.seed * 101 + 9;
+  TITANT_ASSIGN_OR_RETURN(auto emb, nrl::Struct2Vec(*network_, labels, o));
+  s2v_.emplace(std::move(emb));
+  return Status::OK();
+}
+
+Status OfflineTrainer::Prepare(FeatureSet set) {
+  TITANT_RETURN_IF_ERROR(BuildNetworkAndStats());
+  if (FeatureSetUsesDw(set)) TITANT_RETURN_IF_ERROR(BuildDw());
+  if (FeatureSetUsesS2v(set)) TITANT_RETURN_IF_ERROR(BuildS2v());
+  return Status::OK();
+}
+
+StatusOr<ml::DataMatrix> OfflineTrainer::BuildMatrix(
+    const std::vector<std::size_t>& record_indices, FeatureSet set) const {
+  if (!city_stats_fit_) return Status::FailedPrecondition("Prepare() has not run");
+  const bool use_dw = FeatureSetUsesDw(set);
+  const bool use_s2v = FeatureSetUsesS2v(set);
+  if (use_dw && !dw_) return Status::FailedPrecondition("DW embeddings not built");
+  if (use_s2v && !s2v_) return Status::FailedPrecondition("S2V embeddings not built");
+
+  const int dim = options_.embedding_dim;
+  const int width =
+      FeatureExtractor::kNumBasicFeatures + (use_dw ? dim : 0) + (use_s2v ? dim : 0);
+  ml::DataMatrix matrix(record_indices.size(), width);
+
+  auto& names = matrix.mutable_column_names();
+  names = FeatureExtractor::FeatureNames();
+  if (use_dw) {
+    for (int j = 0; j < dim; ++j) names.push_back(StrFormat("dw_%d", j));
+  }
+  if (use_s2v) {
+    for (int j = 0; j < dim; ++j) names.push_back(StrFormat("s2v_%d", j));
+  }
+
+  auto& labels = matrix.mutable_labels();
+  labels.resize(record_indices.size());
+  for (std::size_t i = 0; i < record_indices.size(); ++i) {
+    const std::size_t idx = record_indices[i];
+    if (idx >= log_.records.size()) return Status::OutOfRange("record index out of range");
+    const auto& rec = log_.records[idx];
+    float* row = matrix.Row(i);
+    extractor_.Extract(idx, row);
+    int offset = FeatureExtractor::kNumBasicFeatures;
+    // The embedding of the receiving account — the party whose gathering
+    // pattern the transaction network exposes (Fig. 2).
+    if (use_dw) {
+      const float* emb = dw_->Row(rec.to_user);
+      for (int j = 0; j < dim; ++j) row[offset + j] = emb[j];
+      offset += dim;
+    }
+    if (use_s2v) {
+      const float* emb = s2v_->Row(rec.to_user);
+      for (int j = 0; j < dim; ++j) row[offset + j] = emb[j];
+    }
+    labels[i] = rec.is_fraud ? 1 : 0;
+  }
+  return matrix;
+}
+
+}  // namespace titant::core

@@ -1,0 +1,121 @@
+#ifndef TITANT_CORE_PIPELINE_H_
+#define TITANT_CORE_PIPELINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/feature_extractor.h"
+#include "graph/graph.h"
+#include "ml/dataset.h"
+#include "ml/decision_tree.h"
+#include "ml/gbdt.h"
+#include "ml/isolation_forest.h"
+#include "ml/logistic_regression.h"
+#include "ml/model.h"
+#include "nrl/deepwalk.h"
+#include "nrl/struct2vec.h"
+#include "txn/window.h"
+
+namespace titant::core {
+
+/// The feature configurations evaluated in Table 1.
+enum class FeatureSet {
+  kBasic,        // 52 basic features.
+  kBasicS2V,     // + Structure2Vec embedding of the transferee.
+  kBasicDW,      // + DeepWalk embedding of the transferee.
+  kBasicDWS2V,   // + both embeddings.
+};
+
+/// The detection methods evaluated in §5.
+enum class ModelKind { kIsolationForest, kId3, kC50, kLr, kGbdt };
+
+const char* FeatureSetName(FeatureSet set);
+const char* ModelKindName(ModelKind kind);
+
+bool FeatureSetUsesDw(FeatureSet set);
+bool FeatureSetUsesS2v(FeatureSet set);
+
+/// All knobs of one offline training run. Defaults are the paper's §5.1
+/// settings.
+struct PipelineOptions {
+  int embedding_dim = 32;
+  int walk_length = 50;
+  int walks_per_node = 100;
+  int w2v_window = 5;
+  int w2v_negatives = 5;
+  int w2v_epochs = 1;
+  int w2v_threads = 1;
+  /// Learn the DW embeddings over the heterogeneous user+device network
+  /// (graph::HeteroNetwork) instead of the user-user transaction network —
+  /// the §4.5 future-work configuration exercised by bench_hetero.
+  bool hetero_dw = false;
+  /// Usage-edge weight relative to transfer edges in hetero mode.
+  double hetero_device_edge_weight = 0.5;
+
+  nrl::Struct2VecOptions s2v;
+
+  ml::GbdtOptions gbdt;                // 400 trees, depth 3, subsample 0.4.
+  ml::LogisticRegressionOptions lr;    // L1 0.1, 300 iters, 200 bins.
+  ml::IsolationForestOptions iforest;  // 100 trees.
+  int tree_bins = 16;                 // Rule granularity for ID3/C5.0.
+  int c50_boosting_trials = 16;
+
+  uint64_t seed = 2019;
+};
+
+/// Instantiates an untrained detector of the requested kind.
+std::unique_ptr<ml::Model> MakeModel(ModelKind kind, const PipelineOptions& options);
+
+/// Per-window offline computation: builds the transaction network from the
+/// 90-day slice, fits the historical city statistics, learns the requested
+/// embeddings, and assembles feature matrices (the offline half of Fig. 3).
+class OfflineTrainer {
+ public:
+  /// `log` and `window` must outlive the trainer.
+  OfflineTrainer(const txn::TransactionLog& log, const txn::DatasetWindow& window,
+                 PipelineOptions options);
+
+  /// Builds the network/city stats and the embeddings needed by `set`.
+  /// Safe to call repeatedly; already-built artifacts are reused.
+  Status Prepare(FeatureSet set);
+
+  /// Assembles the feature matrix for the given record indices under the
+  /// given feature set (labels are copied from the records). Prepare(set)
+  /// must have succeeded first.
+  StatusOr<ml::DataMatrix> BuildMatrix(const std::vector<std::size_t>& record_indices,
+                                       FeatureSet set) const;
+
+  const graph::TransactionNetwork* network() const {
+    return network_ ? &*network_ : nullptr;
+  }
+  const nrl::EmbeddingMatrix* dw_embeddings() const { return dw_ ? &*dw_ : nullptr; }
+  const nrl::EmbeddingMatrix* s2v_embeddings() const { return s2v_ ? &*s2v_ : nullptr; }
+  const FeatureExtractor& extractor() const { return extractor_; }
+  const txn::DatasetWindow& window() const { return window_; }
+  const PipelineOptions& options() const { return options_; }
+
+  /// Wall-clock seconds spent learning DeepWalk embeddings (0 until built).
+  double dw_train_seconds() const { return dw_train_seconds_; }
+
+ private:
+  Status BuildNetworkAndStats();
+  Status BuildDw();
+  Status BuildS2v();
+
+  const txn::TransactionLog& log_;
+  const txn::DatasetWindow& window_;
+  PipelineOptions options_;
+  FeatureExtractor extractor_;
+  std::optional<graph::TransactionNetwork> network_;
+  std::optional<nrl::EmbeddingMatrix> dw_;
+  std::optional<nrl::EmbeddingMatrix> s2v_;
+  bool city_stats_fit_ = false;
+  double dw_train_seconds_ = 0.0;
+};
+
+}  // namespace titant::core
+
+#endif  // TITANT_CORE_PIPELINE_H_

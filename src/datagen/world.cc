@@ -1,0 +1,532 @@
+#include "datagen/world.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <optional>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace titant::datagen {
+
+namespace {
+
+using txn::Channel;
+using txn::Day;
+using txn::Gender;
+using txn::TransactionRecord;
+using txn::UserId;
+using txn::UserProfile;
+
+constexpr Day kNever = 1 << 29;
+
+// Per-user dynamic state used during simulation (not part of the output).
+struct UserState {
+  std::vector<UserId> contacts;
+  std::vector<uint32_t> devices;
+  bool dormant = false;       // Account not opened yet (reserve pool).
+  bool is_fraudster = false;  // Currently operating a fraud account.
+  bool is_merchant = false;
+  bool is_farm = false;       // Semi-abandoned account-market account.
+  bool one_shot = false;
+  bool one_shot_done = false;
+  Day fraud_start = kNever;   // First possible campaign day.
+  Day ban_day = kNever;       // Account frozen from this day on.
+  std::size_t truth_index = 0;  // Into WorldTruth::fraudsters.
+};
+
+// Hour-of-day mixture: benign traffic peaks in daytime/evening, fraud is
+// drawn with extra night mass. Returns seconds since midnight.
+uint32_t DrawSecondOfDay(Rng& rng, bool night_biased) {
+  double hour;
+  if (night_biased && rng.Bernoulli(0.5)) {
+    hour = rng.UniformReal(0.0, 6.0);  // Small hours.
+  } else if (rng.Bernoulli(0.65)) {
+    hour = rng.Gaussian(14.0, 3.5);  // Daytime hump.
+  } else {
+    hour = rng.Gaussian(20.5, 1.8);  // Evening hump.
+  }
+  hour = std::clamp(hour, 0.0, 23.999);
+  const double sec = hour * 3600.0 + rng.UniformReal(0.0, 60.0) * 60.0;
+  return static_cast<uint32_t>(std::min(sec, 86399.0));
+}
+
+double DrawNormalAmount(Rng& rng) {
+  // Lognormal, median ~55 yuan, heavy right tail; a few percent are large
+  // planned transfers (rent, tuition, family support) that overlap the
+  // fraud amount range.
+  if (rng.Bernoulli(0.04)) {
+    double amount = std::exp(rng.Gaussian(7.2, 0.7));
+    if (rng.Bernoulli(0.6)) amount = std::round(amount / 100.0) * 100.0;
+    return amount;
+  }
+  return std::exp(rng.Gaussian(4.0, 1.1));
+}
+
+double DrawFraudAmount(Rng& rng, double signal) {
+  // Fraud transfers are larger and often round ("send me 2000 yuan").
+  double amount = std::exp(rng.Gaussian(4.0 + 1.6 * signal, 1.0));
+  if (rng.Bernoulli(0.5 * signal)) {
+    amount = std::round(amount / 100.0) * 100.0;
+    if (amount < 100.0) amount = 100.0;
+  }
+  return amount;
+}
+
+Channel DrawChannel(Rng& rng, bool fraud, double signal) {
+  const double r = rng.NextDouble();
+  if (fraud && rng.Bernoulli(0.4 * signal)) {
+    return r < 0.6 ? Channel::kQrCode : Channel::kWeb;
+  }
+  if (r < 0.75) return Channel::kApp;
+  if (r < 0.88) return Channel::kQrCode;
+  if (r < 0.97) return Channel::kWeb;
+  return Channel::kApi;
+}
+
+}  // namespace
+
+WorldOptions ApplyEnvScale(WorldOptions options) {
+  const char* env = std::getenv("TITANT_SCALE");
+  if (env == nullptr) return options;
+  char* end = nullptr;
+  const double scale = std::strtod(env, &end);
+  if (end == env || scale <= 0.0) {
+    TITANT_WARN << "ignoring invalid TITANT_SCALE='" << env << "'";
+    return options;
+  }
+  options.num_users = std::max(200, static_cast<int>(options.num_users * scale));
+  return options;
+}
+
+StatusOr<World> GenerateWorld(const WorldOptions& options) {
+  if (options.num_users < 10) return Status::InvalidArgument("num_users must be >= 10");
+  if (options.num_days <= 0) return Status::InvalidArgument("num_days must be positive");
+  if (options.num_cities <= 0 || options.num_risky_cities < 0 ||
+      options.num_risky_cities > options.num_cities) {
+    return Status::InvalidArgument("bad city configuration");
+  }
+  if (options.fraudster_fraction < 0.0 || options.fraudster_fraction > 0.5 ||
+      options.merchant_fraction < 0.0 || options.merchant_fraction > 0.5 ||
+      options.dormant_fraction < 0.0 || options.dormant_fraction > 0.8) {
+    return Status::InvalidArgument("population fractions out of range");
+  }
+  if (options.normal_txn_rate < 0.0 || options.victims_per_campaign < 0.0) {
+    return Status::InvalidArgument("rates must be non-negative");
+  }
+  if (options.ban_mean_delay_days < 1.0) {
+    return Status::InvalidArgument("ban_mean_delay_days must be >= 1");
+  }
+
+  Rng rng(options.seed);
+  const int n = options.num_users;
+  const double signal = options.feature_signal;
+
+  World world;
+  world.log.profiles.resize(static_cast<std::size_t>(n));
+  std::vector<UserState> state(static_cast<std::size_t>(n));
+
+  // ---- Population -------------------------------------------------------
+  // City popularity: Zipf-ish, so a few metros dominate.
+  std::vector<double> city_weight(static_cast<std::size_t>(options.num_cities));
+  for (int c = 0; c < options.num_cities; ++c) city_weight[c] = 1.0 / (1.0 + c);
+  // Risky cities are the last `num_risky_cities` ids (smaller towns).
+  const int first_risky_city = options.num_cities - options.num_risky_cities;
+
+  // The top `dormant_fraction` of ids is a pool of not-yet-opened accounts.
+  const int num_active = std::max(10, static_cast<int>(n * (1.0 - options.dormant_fraction)));
+  std::vector<UserId> dormant_pool;
+  for (int u = num_active; u < n; ++u) {
+    dormant_pool.push_back(static_cast<UserId>(u));
+  }
+  // Pop from the back; shuffle so reincarnation ids are not ordered.
+  rng.Shuffle(dormant_pool);
+
+  uint32_t next_device = 1;
+  for (int u = 0; u < n; ++u) {
+    UserProfile& p = world.log.profiles[static_cast<std::size_t>(u)];
+    p.user_id = static_cast<UserId>(u);
+    p.age = static_cast<uint8_t>(std::clamp<int>(
+        static_cast<int>(rng.Bernoulli(0.6) ? rng.Gaussian(30, 7) : rng.Gaussian(50, 10)), 18,
+        75));
+    p.gender = rng.Bernoulli(0.52) ? Gender::kMale : Gender::kFemale;
+    if (rng.Bernoulli(0.03)) p.gender = Gender::kUnknown;
+    p.home_city = static_cast<uint16_t>(rng.WeightedIndex(city_weight));
+    p.account_age_days =
+        static_cast<uint16_t>(std::min(3650.0, rng.Exponential(1.0 / 700.0)));
+    p.verification_level = static_cast<uint8_t>(rng.Uniform(4));
+
+    UserState& s = state[static_cast<std::size_t>(u)];
+    s.dormant = u >= num_active;
+    if (s.dormant) {
+      // Fresh accounts: young, lightly verified.
+      p.account_age_days = static_cast<uint16_t>(rng.Uniform(60));
+      p.verification_level = static_cast<uint8_t>(rng.Uniform(2));
+    }
+    const int devices = 1 + rng.Poisson(0.6);
+    for (int d = 0; d < devices; ++d) s.devices.push_back(next_device++);
+  }
+
+  // The farm operator's shared device pool (see WorldOptions).
+  std::vector<uint32_t> operator_devices;
+  for (int d = 0; d < options.farm_operator_devices; ++d) {
+    operator_devices.push_back(next_device++);
+  }
+
+  // Merchants: benign hubs receiving payments from strangers.
+  const int num_merchants =
+      std::max(1, static_cast<int>(num_active * options.merchant_fraction));
+  std::vector<double> merchant_weight;
+  {
+    std::unordered_set<UserId> picked;
+    while (static_cast<int>(picked.size()) < num_merchants) {
+      const auto u = static_cast<UserId>(rng.Uniform(static_cast<uint64_t>(num_active)));
+      if (picked.insert(u).second) {
+        world.log.profiles[u].is_merchant = true;
+        state[u].is_merchant = true;
+        world.truth.merchants.push_back(u);
+        merchant_weight.push_back(rng.Pareto(1.0, 1.2));  // Popularity skew.
+      }
+    }
+  }
+
+  // The account farm: semi-abandoned accounts the underground market keeps
+  // alive; the primary source of taken-over fraud accounts.
+  {
+    const int farm_size = static_cast<int>(num_active * options.farm_fraction);
+    std::unordered_set<UserId> picked;
+    while (static_cast<int>(picked.size()) < farm_size) {
+      const auto u = static_cast<UserId>(rng.Uniform(static_cast<uint64_t>(num_active)));
+      if (state[u].is_merchant || !picked.insert(u).second) continue;
+      state[u].is_farm = true;
+      world.truth.farm_accounts.push_back(u);
+    }
+  }
+
+  // Registers `u` as an operating fraudster account starting at `start`.
+  auto enroll_fraudster = [&](UserId u, Day start, bool one_shot) {
+    UserState& s = state[u];
+    s.is_fraudster = true;
+    s.dormant = false;
+    s.one_shot = one_shot;
+    s.one_shot_done = false;
+    s.fraud_start = start;
+    s.ban_day = kNever;
+    s.truth_index = world.truth.fraudsters.size();
+    world.truth.fraudsters.push_back(u);
+    world.truth.campaign_days.emplace_back();
+    // Give fresh accounts a thin contact list for camouflage traffic.
+    if (s.contacts.empty()) {
+      const int k = 2 + static_cast<int>(rng.Uniform(4));
+      for (int i = 0; i < k; ++i) {
+        const auto v = static_cast<UserId>(rng.Uniform(static_cast<uint64_t>(num_active)));
+        if (v != u) s.contacts.push_back(v);
+      }
+      std::sort(s.contacts.begin(), s.contacts.end());
+    }
+  };
+
+  // Takes an account from the dormant pool (or fails once exhausted).
+  auto open_fresh_account = [&]() -> std::optional<UserId> {
+    while (!dormant_pool.empty()) {
+      const UserId u = dormant_pool.back();
+      dormant_pool.pop_back();
+      if (!state[u].is_fraudster) return u;
+    }
+    return std::nullopt;
+  };
+
+  // A reincarnating lineage either buys/steals an aged account (takeover)
+  // or opens a fresh one.
+  auto acquire_fraud_account = [&]() -> std::optional<UserId> {
+    if (rng.Bernoulli(options.takeover_prob)) {
+      const bool from_farm = rng.Bernoulli(options.farm_takeover_share) &&
+                             !world.truth.farm_accounts.empty();
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const UserId u =
+            from_farm
+                ? world.truth.farm_accounts[rng.Uniform(world.truth.farm_accounts.size())]
+                : static_cast<UserId>(rng.Uniform(static_cast<uint64_t>(num_active)));
+        UserState& s = state[u];
+        if (!s.dormant && !s.is_fraudster && !s.is_merchant && s.ban_day == kNever) return u;
+      }
+    }
+    return open_fresh_account();
+  };
+
+  // Initial fraud lineages: repeat offenders whose first account opens in
+  // the first weeks, so the population is in steady state by the time the
+  // evaluation windows start.
+  const int num_lineages =
+      std::max(1, static_cast<int>(num_active * options.fraudster_fraction));
+  {
+    std::unordered_set<UserId> picked;
+    while (static_cast<int>(picked.size()) < num_lineages) {
+      const auto u = static_cast<UserId>(rng.Uniform(static_cast<uint64_t>(num_active)));
+      if (state[u].is_merchant || !picked.insert(u).second) continue;
+      const Day start = options.first_day + static_cast<Day>(rng.Uniform(30));
+      enroll_fraudster(u, start, /*one_shot=*/false);
+      UserProfile& p = world.log.profiles[u];
+      p.account_age_days = static_cast<uint16_t>(
+          std::min<double>(p.account_age_days, rng.Exponential(1.0 / 120.0)));
+      p.verification_level = static_cast<uint8_t>(rng.Uniform(2));
+    }
+  }
+
+  // Contact lists via preferential attachment (popularity = 1 + degree).
+  {
+    std::vector<double> popularity(static_cast<std::size_t>(num_active), 1.0);
+    for (int u = 0; u < num_active; ++u) {
+      const int k = 1 + rng.Poisson(options.mean_contacts - 1.0);
+      std::unordered_set<UserId> chosen;
+      for (int i = 0; i < k * 4 && static_cast<int>(chosen.size()) < k; ++i) {
+        UserId v;
+        if (rng.Bernoulli(0.7)) {
+          v = static_cast<UserId>(rng.WeightedIndex(popularity));
+        } else {
+          v = static_cast<UserId>(rng.Uniform(static_cast<uint64_t>(num_active)));
+        }
+        if (v == static_cast<UserId>(u)) continue;
+        chosen.insert(v);
+      }
+      auto& contacts = state[static_cast<std::size_t>(u)].contacts;
+      for (UserId v : chosen) contacts.push_back(v);
+      std::sort(contacts.begin(), contacts.end());
+      contacts.erase(std::unique(contacts.begin(), contacts.end()), contacts.end());
+      for (UserId v : contacts) popularity[v] += 1.0;
+    }
+  }
+
+  // ---- Daily simulation --------------------------------------------------
+  txn::TxnId next_txn = 1;
+  auto& records = world.log.records;
+  records.reserve(static_cast<std::size_t>(options.num_days) *
+                  static_cast<std::size_t>(n * options.normal_txn_rate + 16));
+
+  // Fraudster accounts currently operating or awaiting their start day.
+  std::vector<UserId> operating(world.truth.fraudsters);
+
+  for (int di = 0; di < options.num_days; ++di) {
+    const Day day = options.first_day + di;
+    const std::size_t day_begin = records.size();
+
+    // Enforcement: ban accounts whose reports have caught up with them,
+    // then reincarnate the lineage on a fresh account.
+    {
+      std::vector<UserId> still_operating;
+      still_operating.reserve(operating.size());
+      for (UserId f : operating) {
+        UserState& s = state[f];
+        if (day < s.ban_day) {
+          still_operating.push_back(f);
+          continue;
+        }
+        s.is_fraudster = false;  // Account frozen; lineage may continue.
+        // The account market replaces burned farm inventory with another
+        // semi-abandoned account, keeping the farm's size steady.
+        if (s.is_farm) {
+          for (int attempt = 0; attempt < 64; ++attempt) {
+            const auto r =
+                static_cast<UserId>(rng.Uniform(static_cast<uint64_t>(num_active)));
+            UserState& cand = state[r];
+            if (cand.dormant || cand.is_merchant || cand.is_farm || cand.is_fraudster ||
+                cand.ban_day != kNever) {
+              continue;
+            }
+            cand.is_farm = true;
+            world.truth.farm_accounts.push_back(r);
+            break;
+          }
+        }
+        if (!s.one_shot && rng.Bernoulli(options.reincarnate_prob)) {
+          if (auto next = acquire_fraud_account()) {
+            enroll_fraudster(*next, day + 1 + static_cast<Day>(rng.Uniform(3)),
+                             /*one_shot=*/false);
+            still_operating.push_back(*next);
+            // Keep the one-shot : repeat account ratio in balance.
+            if (rng.Bernoulli(options.one_shot_spawn_prob)) {
+              if (auto extra = acquire_fraud_account()) {
+                enroll_fraudster(*extra, day + 1 + static_cast<Day>(rng.Uniform(5)),
+                                 /*one_shot=*/true);
+                still_operating.push_back(*extra);
+              }
+            }
+          }
+        }
+      }
+      operating.swap(still_operating);
+    }
+
+    // Benign account churn: new users join, get known by a few existing
+    // users, and start transacting.
+    for (int opened = rng.Poisson(options.benign_open_frac * num_active); opened > 0;
+         --opened) {
+      const auto fresh = open_fresh_account();
+      if (!fresh) break;
+      UserState& s = state[*fresh];
+      s.dormant = false;
+      const int own = 3 + static_cast<int>(rng.Uniform(5));
+      for (int i = 0; i < own; ++i) {
+        const auto v = static_cast<UserId>(rng.Uniform(static_cast<uint64_t>(num_active)));
+        if (v != *fresh) s.contacts.push_back(v);
+      }
+      std::sort(s.contacts.begin(), s.contacts.end());
+      s.contacts.erase(std::unique(s.contacts.begin(), s.contacts.end()), s.contacts.end());
+      // Friends and family learn the new account and will send to it.
+      const int known_by = 3 + static_cast<int>(rng.Uniform(6));
+      for (int i = 0; i < known_by; ++i) {
+        const auto v = static_cast<UserId>(rng.Uniform(static_cast<uint64_t>(num_active)));
+        if (v != *fresh && !state[v].dormant) state[v].contacts.push_back(*fresh);
+      }
+    }
+
+    // Benign transfers (dormant and banned-fraud accounts stay silent;
+    // operating fraudsters do generate camouflage traffic).
+    for (int u = 0; u < n; ++u) {
+      UserState& s = state[static_cast<std::size_t>(u)];
+      if (s.dormant) continue;
+      if (s.ban_day <= day) continue;
+      const double rate = s.is_farm ? options.normal_txn_rate * options.farm_out_rate_scale
+                                    : options.normal_txn_rate;
+      int k = rng.Poisson(rate);
+      // Keep-alive ring: farm accounts occasionally pay each other so the
+      // accounts stay warm; these transfers knit the farm into one
+      // community in the transaction network.
+      int keepalive = 0;
+      if (s.is_farm && rng.Bernoulli(options.farm_keepalive_rate)) {
+        ++k;
+        keepalive = 1;
+      }
+      for (int t = 0; t < k; ++t) {
+        UserId to;
+        const double r = rng.NextDouble();
+        if (t < keepalive && world.truth.farm_accounts.size() > 1) {
+          do {
+            to = world.truth.farm_accounts[rng.Uniform(world.truth.farm_accounts.size())];
+          } while (to == static_cast<UserId>(u));
+        } else if (r < 0.12 && !merchant_weight.empty()) {
+          to = world.truth.merchants[rng.WeightedIndex(merchant_weight)];
+        } else if (r < 0.80 && !s.contacts.empty()) {
+          to = s.contacts[rng.Uniform(s.contacts.size())];
+        } else {
+          to = static_cast<UserId>(rng.Uniform(static_cast<uint64_t>(num_active)));
+        }
+        if (to == static_cast<UserId>(u)) continue;
+
+        TransactionRecord rec;
+        rec.txn_id = next_txn++;
+        rec.day = day;
+        rec.second_of_day = DrawSecondOfDay(rng, /*night_biased=*/false);
+        rec.from_user = static_cast<UserId>(u);
+        rec.to_user = to;
+        rec.amount = DrawNormalAmount(rng);
+        const UserProfile& p = world.log.profiles[static_cast<std::size_t>(u)];
+        rec.trans_city =
+            rng.Bernoulli(0.92)
+                ? p.home_city
+                : static_cast<uint16_t>(rng.Uniform(static_cast<uint64_t>(options.num_cities)));
+        rec.is_cross_city = rec.trans_city != p.home_city;
+        rec.is_new_device = rng.Bernoulli(0.02);
+        if ((t < keepalive || s.is_fraudster) && !operator_devices.empty()) {
+          // Farm keep-alive and fraud-account camouflage run on the
+          // operator's shared machines.
+          rec.is_new_device = false;
+          rec.device_id = operator_devices[rng.Uniform(operator_devices.size())];
+        } else {
+          rec.device_id =
+              rec.is_new_device ? next_device++ : s.devices[rng.Uniform(s.devices.size())];
+        }
+        rec.channel = DrawChannel(rng, /*fraud=*/false, signal);
+        rec.is_fraud = false;
+        rec.label_available_day = day + 2;  // Benign confirmation lag.
+        records.push_back(rec);
+      }
+    }
+
+    // Fraud campaigns.
+    for (UserId f : operating) {
+      UserState& s = state[f];
+      if (day < s.fraud_start || day >= s.ban_day) continue;
+      if (s.one_shot) {
+        if (s.one_shot_done) continue;
+      } else if (!rng.Bernoulli(options.fraudster_daily_activity)) {
+        continue;
+      }
+      const int victims = 1 + rng.Poisson(std::max(0.0, options.victims_per_campaign - 1.0));
+      int landed = 0;
+      Day earliest_report = kNever;
+      for (int v = 0; v < victims * 3 && landed < victims; ++v) {
+        const auto victim =
+            static_cast<UserId>(rng.Uniform(static_cast<uint64_t>(num_active)));
+        if (victim == f || state[victim].is_fraudster || state[victim].dormant ||
+            state[victim].ban_day <= day) {
+          continue;
+        }
+        const UserProfile& vp = world.log.profiles[victim];
+        // Less-verified and older users fall for scams more readily.
+        const double susceptibility =
+            0.45 + 0.15 * (3 - vp.verification_level) / 3.0 + (vp.age > 55 ? 0.15 : 0.0);
+        if (!rng.Bernoulli(susceptibility)) continue;
+        ++landed;
+
+        TransactionRecord rec;
+        rec.txn_id = next_txn++;
+        rec.day = day;
+        rec.second_of_day = DrawSecondOfDay(rng, rng.Bernoulli(0.6 * signal));
+        rec.from_user = victim;
+        rec.to_user = f;
+        rec.amount = DrawFraudAmount(rng, signal);
+        rec.trans_city =
+            rng.Bernoulli(0.40 * signal)
+                ? static_cast<uint16_t>(first_risky_city +
+                                        static_cast<int>(rng.Uniform(static_cast<uint64_t>(
+                                            std::max(1, options.num_risky_cities)))))
+                : vp.home_city;
+        rec.is_cross_city = rec.trans_city != vp.home_city;
+        rec.is_new_device = rng.Bernoulli(0.30 * signal + 0.02);
+        rec.device_id = rec.is_new_device
+                            ? next_device++
+                            : state[victim].devices[rng.Uniform(state[victim].devices.size())];
+        rec.channel = DrawChannel(rng, /*fraud=*/true, signal);
+        rec.is_fraud = true;
+        int delay = 1;
+        while (delay < options.max_report_delay_days && !rng.Bernoulli(options.report_delay_p)) {
+          ++delay;
+        }
+        rec.label_available_day = day + delay;
+        earliest_report = std::min(earliest_report, rec.label_available_day);
+        records.push_back(rec);
+      }
+      if (landed > 0) {
+        world.truth.campaign_days[s.truth_index].push_back(day);
+        if (s.one_shot) s.one_shot_done = true;
+        // Risk control reacts some time after reports start arriving.
+        const Day ban_candidate =
+            earliest_report +
+            1 + rng.Poisson(std::max(0.0, options.ban_mean_delay_days -
+                                              1.0 / options.report_delay_p - 1.0));
+        s.ban_day = std::min(s.ban_day, ban_candidate);
+      }
+    }
+
+    // Keep records sorted by (day, second_of_day): sort this day's slice.
+    std::sort(records.begin() + static_cast<std::ptrdiff_t>(day_begin), records.end(),
+              [](const TransactionRecord& a, const TransactionRecord& b) {
+                return a.second_of_day < b.second_of_day;
+              });
+  }
+
+  std::size_t fraud_count = 0;
+  for (const auto& r : records) fraud_count += r.is_fraud ? 1 : 0;
+  TITANT_DEBUG << "generated " << records.size() << " records, " << fraud_count << " fraud ("
+               << StrFormat("%.2f%%", 100.0 * static_cast<double>(fraud_count) /
+                                          static_cast<double>(std::max<std::size_t>(
+                                              1, records.size())))
+               << "), " << world.truth.fraudsters.size() << " fraudster accounts";
+  return world;
+}
+
+}  // namespace titant::datagen

@@ -1,0 +1,158 @@
+#ifndef TITANT_DATAGEN_WORLD_H_
+#define TITANT_DATAGEN_WORLD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statusor.h"
+#include "txn/types.h"
+
+namespace titant::datagen {
+
+/// Tunable parameters of the synthetic transaction world.
+///
+/// The defaults are sized so the full seven-window evaluation (Table 1)
+/// runs in minutes on one core while preserving the structural properties
+/// the paper's results rest on (see DESIGN.md §2). Scale `num_users` and
+/// the rates together for larger runs.
+struct WorldOptions {
+  /// Population size. Users are ids [0, num_users).
+  int num_users = 4400;
+
+  /// Number of days to simulate, starting at day `first_day`.
+  int num_days = 112;
+  txn::Day first_day = 0;
+
+  /// Cities and how many of them are "risky" (elevated fraud share).
+  int num_cities = 50;
+  int num_risky_cities = 8;
+
+  /// Fraction of users who are merchants (benign in-star hubs — they look
+  /// topologically similar to fraud hubs, so the classifier must combine
+  /// graph structure with profile/context features).
+  double merchant_fraction = 0.01;
+
+  /// Fraction of users who start a *fraud lineage* (a repeat offender who
+  /// keeps reincarnating on fresh accounts after bans).
+  double fraudster_fraction = 0.016;
+
+  /// Probability an active fraudster account runs a campaign on a given day.
+  double fraudster_daily_activity = 0.6;
+
+  /// Mean number of victims per fraud campaign day.
+  double victims_per_campaign = 4.0;
+
+  /// Enforcement: an account that ran a campaign is banned on average this
+  /// many days later (victim reports accumulate, risk control reacts).
+  /// This keeps fraud hubs short-lived — the paper notes punitive "action
+  /// restrictions or account lockout" (§3.1). Fast bans are what prevent
+  /// the classifier from simply memorizing fraudster identities through
+  /// their embeddings: an account labeled in the training window is
+  /// usually frozen before the test day.
+  double ban_mean_delay_days = 10.0;
+
+  /// After a ban, the fraudster reopens a fresh (previously dormant)
+  /// account with this probability and continues the lineage.
+  double reincarnate_prob = 1.0;
+
+  /// Each lineage start/reincarnation also spawns a one-shot fraudster
+  /// account with this probability; at 3/7 this yields the paper's
+  /// "~70% of fraudsters have fraudulent behaviors more than once".
+  double one_shot_spawn_prob = 0.43;
+
+  /// Fraction of user ids held back as dormant, not-yet-opened accounts
+  /// (the pool from which new accounts — benign or fraudulent — open).
+  double dormant_fraction = 0.45;
+
+  /// Ordinary (benign) account openings per day, as a fraction of the
+  /// population. Account churn is what keeps "embedding was not trained in
+  /// the network window" from being a fraud giveaway: plenty of legitimate
+  /// accounts are new. Sized so the dormant pool lasts the simulation.
+  double benign_open_frac = 0.0032;
+
+  /// When a lineage reincarnates, probability it *takes over* an existing
+  /// aged account (bought/stolen) instead of opening a fresh one.
+  double takeover_prob = 0.75;
+
+  /// The underground account market: a fraction of existing accounts are
+  /// semi-abandoned, kept barely alive by occasional transfers *among
+  /// themselves* (the "farm"). Takeovers are mostly bought here. The
+  /// keep-alive ring gives the farm a distinct community signature in the
+  /// transaction network — the *generalizing* topological signal DeepWalk
+  /// can exploit (region-level risk), as opposed to memorizing individual
+  /// fraudster accounts (which bans invalidate daily).
+  double farm_fraction = 0.12;
+  /// Out-transfer activity of farm accounts relative to normal users.
+  double farm_out_rate_scale = 0.18;
+  /// Daily probability a farm account sends a keep-alive transfer to
+  /// another farm account.
+  double farm_keepalive_rate = 0.40;
+  /// Share of takeovers sourced from the farm (the rest are random
+  /// compromised accounts).
+  double farm_takeover_share = 0.78;
+  /// Size of the farm operator's shared device pool. Farm keep-alive
+  /// traffic and fraud-account camouflage run on these few machines —
+  /// the device-sharing signal a heterogeneous (user+device) network
+  /// exposes (the paper's §4.5 future work).
+  int farm_operator_devices = 12;
+
+  /// Mean number of ordinary transfers initiated per user per day.
+  double normal_txn_rate = 0.8;
+
+  /// Mean contact-list size (the benign social graph).
+  double mean_contacts = 9.0;
+
+  /// Delay model for fraud reports: 1 + Geometric(report_delay_p) days.
+  double report_delay_p = 0.25;
+  int max_report_delay_days = 12;
+
+  /// How strongly fraud transfers deviate in their basic features
+  /// (amount, city, device, hour). 1.0 = default paper-shaped noise level;
+  /// lower values make basic features less informative.
+  double feature_signal = 0.55;
+
+  /// PRNG seed; everything derives deterministically from it.
+  uint64_t seed = 2019;
+};
+
+/// Ground truth about the generated world, for tests/examples (never fed
+/// to the detection pipeline).
+struct WorldTruth {
+  std::vector<txn::UserId> fraudsters;
+  std::vector<txn::UserId> merchants;
+  std::vector<txn::UserId> farm_accounts;
+  /// Days on which each fraudster (parallel to `fraudsters`) ran campaigns.
+  std::vector<std::vector<txn::Day>> campaign_days;
+};
+
+/// Result of a generation run.
+struct World {
+  txn::TransactionLog log;
+  WorldTruth truth;
+};
+
+/// Deterministically simulates `options.num_days` days of transfers.
+///
+/// Mechanics:
+///  - A benign social graph: per-user contact lists drawn with preferential
+///    attachment; merchants additionally receive payments from many users.
+///  - Fraudsters run campaigns on random days of an active window; each
+///    campaign coaxes several victims into transferring to the fraudster
+///    (the "gathering" pattern of Fig. 2). ~70% of fraudsters repeat.
+///  - Fraud transfers skew toward risky cities, new devices, night hours
+///    and round, larger amounts — but noisily, so basic features alone
+///    reach only mid-range F1 and network structure adds signal on top.
+///  - Labels: fraud reports arrive 1+Geom(p) days later; benign records
+///    are usable for training after a 2-day confirmation lag.
+///
+/// Returns InvalidArgument for non-positive sizes/rates.
+StatusOr<World> GenerateWorld(const WorldOptions& options);
+
+/// Reads the `TITANT_SCALE` environment variable (a positive float,
+/// default 1.0) and returns `options` with `num_users` scaled by it.
+/// Benches use this so the same binaries can run at laptop or server scale.
+WorldOptions ApplyEnvScale(WorldOptions options);
+
+}  // namespace titant::datagen
+
+#endif  // TITANT_DATAGEN_WORLD_H_

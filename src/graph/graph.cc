@@ -1,0 +1,97 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace titant::graph {
+
+StatusOr<TransactionNetwork> TransactionNetwork::FromRecords(
+    const txn::TransactionLog& log, const std::vector<std::size_t>& record_indices,
+    std::size_t num_nodes) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(record_indices.size());
+  for (std::size_t idx : record_indices) {
+    if (idx >= log.records.size()) {
+      return Status::OutOfRange(StrFormat("record index %zu out of range", idx));
+    }
+    const auto& rec = log.records[idx];
+    if (rec.from_user >= num_nodes || rec.to_user >= num_nodes) {
+      return Status::OutOfRange(
+          StrFormat("record %llu references user beyond num_nodes",
+                    static_cast<unsigned long long>(rec.txn_id)));
+    }
+    edges.emplace_back(rec.from_user, rec.to_user);
+  }
+  return Build(std::move(edges), num_nodes);
+}
+
+StatusOr<TransactionNetwork> TransactionNetwork::FromEdges(
+    const std::vector<std::pair<NodeId, NodeId>>& edges, std::size_t num_nodes) {
+  for (const auto& [from, to] : edges) {
+    if (from >= num_nodes || to >= num_nodes) {
+      return Status::OutOfRange("edge endpoint beyond num_nodes");
+    }
+  }
+  auto copy = edges;
+  return Build(std::move(copy), num_nodes);
+}
+
+TransactionNetwork TransactionNetwork::Build(std::vector<std::pair<NodeId, NodeId>>&& edges,
+                                             std::size_t num_nodes) {
+  TransactionNetwork g;
+  // Collapse parallel edges: sort then run-length encode.
+  std::sort(edges.begin(), edges.end());
+
+  g.out_offsets_.assign(num_nodes + 1, 0);
+  g.in_offsets_.assign(num_nodes + 1, 0);
+
+  // First pass: collapsed out-edges.
+  std::vector<std::pair<NodeId, NodeId>> collapsed;
+  std::vector<float> weights;
+  collapsed.reserve(edges.size());
+  weights.reserve(edges.size());
+  for (std::size_t i = 0; i < edges.size();) {
+    std::size_t j = i;
+    while (j < edges.size() && edges[j] == edges[i]) ++j;
+    collapsed.push_back(edges[i]);
+    weights.push_back(static_cast<float>(j - i));
+    i = j;
+  }
+
+  for (const auto& [from, to] : collapsed) {
+    ++g.out_offsets_[from + 1];
+    ++g.in_offsets_[to + 1];
+  }
+  for (std::size_t v = 0; v < num_nodes; ++v) {
+    g.out_offsets_[v + 1] += g.out_offsets_[v];
+    g.in_offsets_[v + 1] += g.in_offsets_[v];
+  }
+  g.out_edges_.resize(collapsed.size());
+  g.in_edges_.resize(collapsed.size());
+  {
+    std::vector<std::size_t> out_cursor(g.out_offsets_.begin(), g.out_offsets_.end() - 1);
+    std::vector<std::size_t> in_cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+    for (std::size_t e = 0; e < collapsed.size(); ++e) {
+      const auto [from, to] = collapsed[e];
+      g.out_edges_[out_cursor[from]++] = Edge{to, weights[e]};
+      g.in_edges_[in_cursor[to]++] = Edge{from, weights[e]};
+    }
+  }
+
+  for (std::size_t v = 0; v < num_nodes; ++v) {
+    if (g.OutDegree(static_cast<NodeId>(v)) + g.InDegree(static_cast<NodeId>(v)) > 0) {
+      g.active_nodes_.push_back(static_cast<NodeId>(v));
+    }
+  }
+  return g;
+}
+
+double TransactionNetwork::WeightedInDegree(NodeId v) const {
+  double sum = 0.0;
+  auto [begin, end] = InNeighbors(v);
+  for (const Edge* e = begin; e != end; ++e) sum += e->weight;
+  return sum;
+}
+
+}  // namespace titant::graph

@@ -1,0 +1,79 @@
+#ifndef TITANT_GRAPH_GRAPH_H_
+#define TITANT_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statusor.h"
+#include "txn/types.h"
+
+namespace titant::graph {
+
+/// Node id type — identical to the user id (Definition 2 in the paper:
+/// nodes are users, edges are transfer relationships).
+using NodeId = txn::UserId;
+
+/// The transaction network G = (V, E): a directed, weighted multigraph
+/// collapsed to simple weighted edges, stored in CSR form for both
+/// directions so walks and aggregations can traverse either way.
+///
+/// Immutable after construction; cheap to copy-construct views from.
+class TransactionNetwork {
+ public:
+  /// One weighted adjacency entry.
+  struct Edge {
+    NodeId neighbor;
+    float weight;  // Number of transfers (aggregated).
+  };
+
+  /// Builds the network from `log.records[idx]` for each idx in
+  /// `record_indices` (typically a DatasetWindow's network slice). Parallel
+  /// edges collapse with weight = transfer count. `num_nodes` fixes |V|
+  /// (all users, including isolated ones, so embeddings align by UserId).
+  static StatusOr<TransactionNetwork> FromRecords(
+      const txn::TransactionLog& log, const std::vector<std::size_t>& record_indices,
+      std::size_t num_nodes);
+
+  /// Builds directly from (from, to) pairs; used by tests.
+  static StatusOr<TransactionNetwork> FromEdges(
+      const std::vector<std::pair<NodeId, NodeId>>& edges, std::size_t num_nodes);
+
+  std::size_t num_nodes() const { return out_offsets_.size() - 1; }
+  std::size_t num_edges() const { return out_edges_.size(); }
+
+  /// Outgoing (transferor -> transferee) neighbors of `v`.
+  std::pair<const Edge*, const Edge*> OutNeighbors(NodeId v) const {
+    return {out_edges_.data() + out_offsets_[v], out_edges_.data() + out_offsets_[v + 1]};
+  }
+
+  /// Incoming neighbors of `v`.
+  std::pair<const Edge*, const Edge*> InNeighbors(NodeId v) const {
+    return {in_edges_.data() + in_offsets_[v], in_edges_.data() + in_offsets_[v + 1]};
+  }
+
+  std::size_t OutDegree(NodeId v) const { return out_offsets_[v + 1] - out_offsets_[v]; }
+  std::size_t InDegree(NodeId v) const { return in_offsets_[v + 1] - in_offsets_[v]; }
+  std::size_t Degree(NodeId v) const { return OutDegree(v) + InDegree(v); }
+
+  /// Total transfer count into `v` (sum of in-edge weights).
+  double WeightedInDegree(NodeId v) const;
+
+  /// Nodes with at least one incident edge, ascending.
+  const std::vector<NodeId>& active_nodes() const { return active_nodes_; }
+
+ private:
+  TransactionNetwork() = default;
+
+  static TransactionNetwork Build(std::vector<std::pair<NodeId, NodeId>>&& edges,
+                                  std::size_t num_nodes);
+
+  std::vector<std::size_t> out_offsets_;
+  std::vector<Edge> out_edges_;
+  std::vector<std::size_t> in_offsets_;
+  std::vector<Edge> in_edges_;
+  std::vector<NodeId> active_nodes_;
+};
+
+}  // namespace titant::graph
+
+#endif  // TITANT_GRAPH_GRAPH_H_

@@ -1,0 +1,66 @@
+#include "graph/hetero.h"
+
+#include <cmath>
+
+namespace titant::graph {
+
+StatusOr<HeteroNetwork> HeteroNetwork::FromRecords(
+    const txn::TransactionLog& log, const std::vector<std::size_t>& record_indices,
+    std::size_t num_users, double device_edge_weight) {
+  if (device_edge_weight < 0.0) {
+    return Status::InvalidArgument("device_edge_weight must be non-negative");
+  }
+  HeteroNetwork hetero;
+  hetero.num_users_ = num_users;
+
+  // First pass: intern device fingerprints into dense node ids.
+  for (std::size_t idx : record_indices) {
+    if (idx >= log.records.size()) return Status::OutOfRange("record index out of range");
+    const auto& rec = log.records[idx];
+    if (rec.from_user >= num_users || rec.to_user >= num_users) {
+      return Status::OutOfRange("record references user beyond num_users");
+    }
+    if (hetero.device_nodes_.emplace(rec.device_id,
+                                     static_cast<NodeId>(num_users +
+                                                         hetero.device_ids_.size()))
+            .second) {
+      hetero.device_ids_.push_back(rec.device_id);
+    }
+  }
+
+  // Second pass: transfer edges + usage edges. The relative usage weight
+  // is realized by integer replication (the underlying builder counts
+  // parallel edges): weights >= 1 replicate usage edges; weights < 1
+  // replicate transfer edges instead.
+  int usage_replicas = 1, transfer_replicas = 1;
+  if (device_edge_weight >= 1.0) {
+    usage_replicas = std::max(1, static_cast<int>(std::lround(device_edge_weight)));
+  } else if (device_edge_weight > 0.0) {
+    transfer_replicas = std::max(1, static_cast<int>(std::lround(1.0 / device_edge_weight)));
+  } else {
+    usage_replicas = 0;
+  }
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(record_indices.size() *
+                static_cast<std::size_t>(usage_replicas + transfer_replicas));
+  for (std::size_t idx : record_indices) {
+    const auto& rec = log.records[idx];
+    for (int r = 0; r < transfer_replicas; ++r) {
+      edges.emplace_back(rec.from_user, rec.to_user);
+    }
+    const NodeId device = hetero.device_nodes_.at(rec.device_id);
+    for (int r = 0; r < usage_replicas; ++r) edges.emplace_back(rec.from_user, device);
+  }
+
+  TITANT_ASSIGN_OR_RETURN(TransactionNetwork combined,
+                          TransactionNetwork::FromEdges(edges, hetero.num_nodes()));
+  hetero.combined_ = std::make_unique<TransactionNetwork>(std::move(combined));
+  return hetero;
+}
+
+NodeId HeteroNetwork::DeviceNode(uint32_t device_id) const {
+  auto it = device_nodes_.find(device_id);
+  return it == device_nodes_.end() ? txn::kInvalidUser : it->second;
+}
+
+}  // namespace titant::graph

@@ -1,0 +1,65 @@
+#ifndef TITANT_GRAPH_HETERO_H_
+#define TITANT_GRAPH_HETERO_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/statusor.h"
+#include <memory>
+
+#include "graph/graph.h"
+#include "txn/types.h"
+
+namespace titant::graph {
+
+/// The heterogeneous transaction network the paper names as future work
+/// (§4.5): user nodes plus device nodes. Transfer edges connect users;
+/// usage edges connect a transferor to the device fingerprint the transfer
+/// was made from. Random walks over the combined graph surface
+/// device-sharing structure (accounts operated from the same machines)
+/// that the homogeneous user-user network cannot represent.
+///
+/// Node id layout: users keep their ids in [0, num_users); devices are
+/// assigned dense ids in [num_users, num_users + num_devices).
+class HeteroNetwork {
+ public:
+  /// Builds from `log.records[idx]` for idx in `record_indices`.
+  /// User-user edges aggregate transfer multiplicity; user-device edges
+  /// aggregate usage counts. The usage-edge weight is scaled by
+  /// `device_edge_weight` relative to transfers (walks then balance the
+  /// two relation types).
+  static StatusOr<HeteroNetwork> FromRecords(const txn::TransactionLog& log,
+                                             const std::vector<std::size_t>& record_indices,
+                                             std::size_t num_users,
+                                             double device_edge_weight = 1.0);
+
+  /// The combined graph (walkable with graph::GenerateWalks; embeddings
+  /// trained over it index users by their original ids).
+  const TransactionNetwork& combined() const { return *combined_; }
+
+  std::size_t num_users() const { return num_users_; }
+  std::size_t num_devices() const { return device_ids_.size(); }
+  std::size_t num_nodes() const { return num_users_ + num_devices(); }
+
+  /// Node id of a raw device fingerprint; kInvalidUser if unseen.
+  NodeId DeviceNode(uint32_t device_id) const;
+
+  /// Raw device fingerprint of a device node (node must be a device node).
+  uint32_t DeviceOf(NodeId node) const {
+    return device_ids_[static_cast<std::size_t>(node - num_users_)];
+  }
+
+  bool IsDeviceNode(NodeId node) const { return node >= num_users_; }
+
+ private:
+  HeteroNetwork() = default;
+
+  std::size_t num_users_ = 0;
+  std::vector<uint32_t> device_ids_;  // Dense device node -> fingerprint.
+  std::unordered_map<uint32_t, NodeId> device_nodes_;
+  std::unique_ptr<TransactionNetwork> combined_;
+};
+
+}  // namespace titant::graph
+
+#endif  // TITANT_GRAPH_HETERO_H_

@@ -1,0 +1,121 @@
+#include "graph/random_walk.h"
+
+#include <algorithm>
+
+#include "common/alias_table.h"
+#include "common/random.h"
+
+namespace titant::graph {
+
+StatusOr<WalkCorpus> GenerateWalks(const TransactionNetwork& network,
+                                   const RandomWalkOptions& options) {
+  if (options.walk_length <= 0) return Status::InvalidArgument("walk_length must be positive");
+  if (options.walks_per_node <= 0) {
+    return Status::InvalidArgument("walks_per_node must be positive");
+  }
+  if (options.return_p <= 0.0 || options.inout_q <= 0.0) {
+    return Status::InvalidArgument("node2vec p/q must be positive");
+  }
+  const bool second_order = options.return_p != 1.0 || options.inout_q != 1.0;
+
+  const std::size_t n = network.num_nodes();
+
+  // Per-node transition tables over the traversable neighborhood.
+  std::vector<std::vector<NodeId>> neighbors(n);
+  std::vector<AliasTable> tables(n);
+  for (NodeId v : network.active_nodes()) {
+    std::vector<double> weights;
+    auto add = [&](const TransactionNetwork::Edge* begin, const TransactionNetwork::Edge* end) {
+      for (const auto* e = begin; e != end; ++e) {
+        neighbors[v].push_back(e->neighbor);
+        weights.push_back(e->weight);
+      }
+    };
+    auto [ob, oe] = network.OutNeighbors(v);
+    add(ob, oe);
+    if (options.undirected) {
+      auto [ib, ie] = network.InNeighbors(v);
+      add(ib, ie);
+    }
+    if (!weights.empty()) tables[v].Build(weights);
+  }
+  // Second-order walks need edge weights by candidate and membership
+  // tests against the previous node's neighbors: keep (neighbor, weight)
+  // pairs sorted by neighbor. The alias tables are not used past step 1
+  // in that mode.
+  std::vector<std::vector<std::pair<NodeId, float>>> sorted_adj;
+  if (second_order) {
+    sorted_adj.resize(n);
+    for (NodeId v : network.active_nodes()) {
+      auto& list = sorted_adj[v];
+      auto add_sorted = [&](const TransactionNetwork::Edge* b,
+                            const TransactionNetwork::Edge* e) {
+        for (const auto* it = b; it != e; ++it) list.emplace_back(it->neighbor, it->weight);
+      };
+      auto [ob, oe] = network.OutNeighbors(v);
+      add_sorted(ob, oe);
+      if (options.undirected) {
+        auto [ib, ie] = network.InNeighbors(v);
+        add_sorted(ib, ie);
+      }
+      std::sort(list.begin(), list.end());
+    }
+  }
+
+  Rng rng(options.seed);
+  WalkCorpus corpus;
+  corpus.walks.reserve(network.active_nodes().size() *
+                       static_cast<std::size_t>(options.walks_per_node));
+
+  // The outer loop is over repetitions so early walks cover every node
+  // once before repeating — matching the DeepWalk paper's pass structure.
+  for (int rep = 0; rep < options.walks_per_node; ++rep) {
+    for (NodeId start : network.active_nodes()) {
+      if (tables[start].empty()) continue;
+      std::vector<NodeId> walk;
+      walk.reserve(static_cast<std::size_t>(options.walk_length));
+      NodeId prev = start;
+      NodeId cur = start;
+      walk.push_back(cur);
+      for (int step = 1; step < options.walk_length; ++step) {
+        if (tables[cur].empty()) break;  // Sink (directed mode only).
+        NodeId next;
+        if (!second_order || step == 1) {
+          next = neighbors[cur][tables[cur].Sample(rng)];
+        } else {
+          // node2vec second-order transition: edge weight rescaled by
+          // 1/p (return), 1 (common neighbor of prev), or 1/q (outward).
+          const auto& cands = sorted_adj[cur];
+          const auto& prev_neighbors = sorted_adj[prev];
+          auto is_prev_neighbor = [&](NodeId x) {
+            auto it = std::lower_bound(
+                prev_neighbors.begin(), prev_neighbors.end(), x,
+                [](const std::pair<NodeId, float>& a, NodeId b) { return a.first < b; });
+            return it != prev_neighbors.end() && it->first == x;
+          };
+          std::vector<double> biased(cands.size());
+          for (std::size_t c = 0; c < cands.size(); ++c) {
+            const auto& [x, weight] = cands[c];
+            double bias;
+            if (x == prev) {
+              bias = 1.0 / options.return_p;
+            } else if (is_prev_neighbor(x)) {
+              bias = 1.0;
+            } else {
+              bias = 1.0 / options.inout_q;
+            }
+            biased[c] = bias * weight;
+          }
+          next = cands[rng.WeightedIndex(biased)].first;
+        }
+        prev = cur;
+        cur = next;
+        walk.push_back(cur);
+      }
+      corpus.walks.push_back(std::move(walk));
+    }
+  }
+  return corpus;
+}
+
+}  // namespace titant::graph

@@ -1,0 +1,49 @@
+#ifndef TITANT_GRAPH_RANDOM_WALK_H_
+#define TITANT_GRAPH_RANDOM_WALK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statusor.h"
+#include "graph/graph.h"
+
+namespace titant::graph {
+
+/// Parameters of DeepWalk's corpus generation (§3.2 / §5.1: walk length 50,
+/// 100 walks per start node).
+struct RandomWalkOptions {
+  int walk_length = 50;
+  int walks_per_node = 100;
+  /// Treat edges as undirected while walking (the gathering pattern is an
+  /// in-star; undirected walks let victim->fraudster->victim co-occurrence
+  /// appear in both orders).
+  bool undirected = true;
+  /// node2vec bias parameters (Grover & Leskovec): `p` penalizes returning
+  /// to the previous node, `q` trades off BFS-like (q > 1) vs DFS-like
+  /// (q < 1) exploration. p = q = 1 is exactly DeepWalk's first-order walk
+  /// (and uses the faster alias-table path).
+  double return_p = 1.0;
+  double inout_q = 1.0;
+  uint64_t seed = 1;
+};
+
+/// A corpus of node sequences: the "sentences" fed to word2vec.
+struct WalkCorpus {
+  std::vector<std::vector<NodeId>> walks;
+
+  std::size_t TotalTokens() const {
+    std::size_t n = 0;
+    for (const auto& w : walks) n += w.size();
+    return n;
+  }
+};
+
+/// Generates weighted random walks over `network` from every active node.
+/// Walks stop early at sinks (nodes with no usable neighbor). Deterministic
+/// given the seed. Returns InvalidArgument for non-positive lengths/counts.
+StatusOr<WalkCorpus> GenerateWalks(const TransactionNetwork& network,
+                                   const RandomWalkOptions& options);
+
+}  // namespace titant::graph
+
+#endif  // TITANT_GRAPH_RANDOM_WALK_H_

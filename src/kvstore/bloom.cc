@@ -1,0 +1,82 @@
+#include "kvstore/bloom.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace titant::kvstore {
+
+namespace {
+
+// 64-bit FNV-1a; the second probe hash is derived by rotation (double
+// hashing per Kirsch-Mitzenmacher).
+uint64_t Fnv1a(std::string_view key) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char c : key) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+BloomFilter::BloomFilter(std::size_t expected_keys, int bits_per_key) {
+  bits_per_key = std::max(1, bits_per_key);
+  std::size_t bits = std::max<std::size_t>(64, expected_keys * static_cast<std::size_t>(bits_per_key));
+  const std::size_t bytes = (bits + 7) / 8;
+  // k = ln(2) * bits_per_key, clamped to [1, 30].
+  const int k = std::clamp(static_cast<int>(bits_per_key * 0.69), 1, 30);
+  payload_.assign(bytes, '\0');
+  payload_.push_back(static_cast<char>(k));
+}
+
+BloomFilter BloomFilter::FromPayload(std::string payload) {
+  BloomFilter filter;
+  filter.payload_ = std::move(payload);
+  return filter;
+}
+
+std::size_t BloomFilter::num_bits() const {
+  return payload_.size() <= 1 ? 0 : (payload_.size() - 1) * 8;
+}
+
+void BloomFilter::Add(std::string_view key) {
+  const std::size_t bits = num_bits();
+  if (bits == 0) return;
+  const int k = static_cast<int>(static_cast<unsigned char>(payload_.back()));
+  uint64_t h = Fnv1a(key);
+  const uint64_t delta = (h >> 17) | (h << 47);
+  for (int i = 0; i < k; ++i) {
+    const std::size_t bit = static_cast<std::size_t>(h % bits);
+    payload_[bit / 8] = static_cast<char>(payload_[bit / 8] | (1 << (bit % 8)));
+    h += delta;
+  }
+}
+
+bool BloomFilter::MayContain(std::string_view key) const {
+  const std::size_t bits = num_bits();
+  if (bits == 0) return true;  // Filterless: always probe.
+  const int k = static_cast<int>(static_cast<unsigned char>(payload_.back()));
+  uint64_t h = Fnv1a(key);
+  const uint64_t delta = (h >> 17) | (h << 47);
+  for (int i = 0; i < k; ++i) {
+    const std::size_t bit = static_cast<std::size_t>(h % bits);
+    if ((payload_[bit / 8] & (1 << (bit % 8))) == 0) return false;
+    h += delta;
+  }
+  return true;
+}
+
+std::string BloomKeyOf(std::string_view row, std::string_view family,
+                       std::string_view qualifier) {
+  std::string key;
+  key.reserve(row.size() + family.size() + qualifier.size() + 2);
+  key.append(row);
+  key.push_back('\x1f');
+  key.append(family);
+  key.push_back('\x1f');
+  key.append(qualifier);
+  return key;
+}
+
+}  // namespace titant::kvstore

@@ -1,0 +1,47 @@
+#ifndef TITANT_KVSTORE_BLOOM_H_
+#define TITANT_KVSTORE_BLOOM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace titant::kvstore {
+
+/// A classic Bloom filter over string keys (double hashing, as in the
+/// LevelDB/RocksDB filter block). SSTables store one filter over their
+/// (row, family, qualifier) column coordinates so point reads can skip
+/// files that cannot contain the column.
+class BloomFilter {
+ public:
+  /// Builds a filter sized for `expected_keys` at ~bits_per_key.
+  explicit BloomFilter(std::size_t expected_keys, int bits_per_key = 10);
+
+  /// Reconstructs from a serialized payload (may represent any size).
+  static BloomFilter FromPayload(std::string payload);
+
+  void Add(std::string_view key);
+
+  /// False means definitely absent; true means possibly present.
+  bool MayContain(std::string_view key) const;
+
+  /// Serialized bit array plus hash count.
+  const std::string& payload() const { return payload_; }
+
+  std::size_t num_bits() const;
+
+ private:
+  BloomFilter() = default;
+
+  // payload_ layout: [bits ...][1 byte: k]. Empty payload = match-all
+  // (a filterless table degrades to always probing).
+  std::string payload_;
+};
+
+/// The column-coordinate key the store's filters are built over.
+std::string BloomKeyOf(std::string_view row, std::string_view family,
+                       std::string_view qualifier);
+
+}  // namespace titant::kvstore
+
+#endif  // TITANT_KVSTORE_BLOOM_H_

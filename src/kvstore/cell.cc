@@ -1,0 +1,70 @@
+#include "kvstore/cell.h"
+
+#include <cstring>
+
+namespace titant::kvstore {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool GetU32(const std::string& data, std::size_t* offset, uint32_t* v) {
+  if (*offset + sizeof(*v) > data.size()) return false;
+  std::memcpy(v, data.data() + *offset, sizeof(*v));
+  *offset += sizeof(*v);
+  return true;
+}
+
+bool GetU64(const std::string& data, std::size_t* offset, uint64_t* v) {
+  if (*offset + sizeof(*v) > data.size()) return false;
+  std::memcpy(v, data.data() + *offset, sizeof(*v));
+  *offset += sizeof(*v);
+  return true;
+}
+
+bool GetString(const std::string& data, std::size_t* offset, std::string* out) {
+  uint32_t len = 0;
+  if (!GetU32(data, offset, &len)) return false;
+  if (*offset + len > data.size()) return false;
+  out->assign(data, *offset, len);
+  *offset += len;
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeCell(const Cell& cell) {
+  std::string out;
+  out.reserve(32 + cell.key.row.size() + cell.key.family.size() + cell.key.qualifier.size() +
+              cell.value.size());
+  PutU32(&out, static_cast<uint32_t>(cell.key.row.size()));
+  out += cell.key.row;
+  PutU32(&out, static_cast<uint32_t>(cell.key.family.size()));
+  out += cell.key.family;
+  PutU32(&out, static_cast<uint32_t>(cell.key.qualifier.size()));
+  out += cell.key.qualifier;
+  PutU64(&out, cell.key.version);
+  out.push_back(cell.tombstone ? 1 : 0);
+  PutU32(&out, static_cast<uint32_t>(cell.value.size()));
+  out += cell.value;
+  return out;
+}
+
+bool DecodeCell(const std::string& data, std::size_t* offset, Cell* out) {
+  if (!GetString(data, offset, &out->key.row)) return false;
+  if (!GetString(data, offset, &out->key.family)) return false;
+  if (!GetString(data, offset, &out->key.qualifier)) return false;
+  if (!GetU64(data, offset, &out->key.version)) return false;
+  if (*offset >= data.size()) return false;
+  out->tombstone = data[(*offset)++] != 0;
+  if (!GetString(data, offset, &out->value)) return false;
+  return true;
+}
+
+}  // namespace titant::kvstore

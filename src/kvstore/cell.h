@@ -1,0 +1,50 @@
+#ifndef TITANT_KVSTORE_CELL_H_
+#define TITANT_KVSTORE_CELL_H_
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+
+namespace titant::kvstore {
+
+/// HBase-style cell coordinate: row key -> column family -> qualifier ->
+/// version (timestamp). Higher versions are newer; reads return the
+/// newest cell with version <= the requested snapshot version.
+struct CellKey {
+  std::string row;
+  std::string family;
+  std::string qualifier;
+  uint64_t version = 0;
+
+  /// Storage order: (row, family, qualifier) ascending, version DESCENDING
+  /// so the newest version of a column is encountered first in scans.
+  friend bool operator<(const CellKey& a, const CellKey& b) {
+    return std::tie(a.row, a.family, a.qualifier) < std::tie(b.row, b.family, b.qualifier) ||
+           (std::tie(a.row, a.family, a.qualifier) == std::tie(b.row, b.family, b.qualifier) &&
+            a.version > b.version);
+  }
+  friend bool operator==(const CellKey& a, const CellKey& b) {
+    return a.row == b.row && a.family == b.family && a.qualifier == b.qualifier &&
+           a.version == b.version;
+  }
+};
+
+/// A stored cell: coordinate plus value. `tombstone` marks a deletion
+/// (shadows older versions until compaction drops them).
+struct Cell {
+  CellKey key;
+  std::string value;
+  bool tombstone = false;
+};
+
+/// Serializes a cell to a length-prefixed binary record (used by both the
+/// WAL and the SSTable format).
+std::string EncodeCell(const Cell& cell);
+
+/// Parses a record produced by EncodeCell starting at `data[*offset]`;
+/// advances *offset. Returns false on truncation/corruption.
+bool DecodeCell(const std::string& data, std::size_t* offset, Cell* out);
+
+}  // namespace titant::kvstore
+
+#endif  // TITANT_KVSTORE_CELL_H_

@@ -1,0 +1,126 @@
+#ifndef TITANT_KVSTORE_SKIPLIST_H_
+#define TITANT_KVSTORE_SKIPLIST_H_
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+
+namespace titant::kvstore {
+
+/// A classic probabilistic skip list storing keys in sorted order.
+/// Duplicate keys are rejected by Insert. Not internally synchronized —
+/// the memtable serializes access under the store's mutex.
+///
+/// Comparator follows std::less semantics: cmp(a, b) is true iff a < b.
+template <typename Key, typename Comparator = std::less<Key>>
+class SkipList {
+ public:
+  explicit SkipList(Comparator cmp = Comparator(), uint64_t seed = 0x5EEDULL)
+      : cmp_(std::move(cmp)), rng_(seed), head_(new Node(Key(), kMaxLevel)) {}
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  ~SkipList() {
+    Node* node = head_;
+    while (node != nullptr) {
+      Node* next = node->next[0];
+      delete node;
+      node = next;
+    }
+  }
+
+  /// Inserts `key`; returns false if an equal key already exists.
+  bool Insert(const Key& key) {
+    Node* update[kMaxLevel];
+    Node* node = FindGreaterOrEqual(key, update);
+    if (node != nullptr && Equal(node->key, key)) return false;
+    const int level = RandomLevel();
+    Node* fresh = new Node(key, level);
+    for (int i = 0; i < level; ++i) {
+      fresh->next[i] = update[i]->next[i];
+      update[i]->next[i] = fresh;
+    }
+    if (level > height_) height_ = level;
+    ++size_;
+    return true;
+  }
+
+  /// True iff an equal key exists.
+  bool Contains(const Key& key) const {
+    const Node* node = FindGreaterOrEqual(key, nullptr);
+    return node != nullptr && Equal(node->key, key);
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Forward iterator over keys in sorted order, with seek support.
+  class Iterator {
+   public:
+    explicit Iterator(const SkipList* list) : list_(list), node_(nullptr) {}
+
+    bool Valid() const { return node_ != nullptr; }
+    const Key& key() const {
+      assert(Valid());
+      return node_->key;
+    }
+    void Next() {
+      assert(Valid());
+      node_ = node_->next[0];
+    }
+    void SeekToFirst() { node_ = list_->head_->next[0]; }
+    /// Positions at the first key >= target.
+    void Seek(const Key& target) { node_ = list_->FindGreaterOrEqual(target, nullptr); }
+
+   private:
+    const SkipList* list_;
+    const typename SkipList::Node* node_;
+  };
+
+ private:
+  friend class Iterator;
+  static constexpr int kMaxLevel = 16;
+
+  struct Node {
+    Node(Key k, int level) : key(std::move(k)), next(level, nullptr) {}
+    Key key;
+    std::vector<Node*> next;
+  };
+
+  bool Equal(const Key& a, const Key& b) const { return !cmp_(a, b) && !cmp_(b, a); }
+
+  int RandomLevel() {
+    int level = 1;
+    // P(level up) = 1/4, as in LevelDB.
+    while (level < kMaxLevel && (rng_.NextU64() & 3) == 0) ++level;
+    return level;
+  }
+
+  /// Returns the first node with key >= target (or nullptr). When `update`
+  /// is non-null it receives, per level, the last node before the target.
+  Node* FindGreaterOrEqual(const Key& target, Node** update) const {
+    Node* node = head_;
+    for (int level = kMaxLevel - 1; level >= 0; --level) {
+      while (node->next[level] != nullptr && cmp_(node->next[level]->key, target)) {
+        node = node->next[level];
+      }
+      if (update != nullptr) update[level] = node;
+    }
+    return node->next[0];
+  }
+
+  Comparator cmp_;
+  Rng rng_;
+  Node* head_;
+  int height_ = 1;
+  std::size_t size_ = 0;
+};
+
+}  // namespace titant::kvstore
+
+#endif  // TITANT_KVSTORE_SKIPLIST_H_

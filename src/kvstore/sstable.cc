@@ -1,0 +1,168 @@
+#include "kvstore/sstable.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "kvstore/wal.h"  // Crc32
+
+namespace titant::kvstore {
+
+namespace {
+
+std::string EncodeKey(const CellKey& key) {
+  Cell cell;
+  cell.key = key;
+  return EncodeCell(cell);  // Value empty; fine for index entries.
+}
+
+}  // namespace
+
+Status SSTable::Write(const std::string& path, const std::vector<Cell>& cells) {
+  for (std::size_t i = 1; i < cells.size(); ++i) {
+    if (!(cells[i - 1].key < cells[i].key)) {
+      return Status::InvalidArgument("SSTable cells must be strictly sorted");
+    }
+  }
+
+  std::string data;
+  std::string index;
+  std::vector<uint64_t> offsets;
+  BloomFilter bloom(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i % kIndexStride == 0) {
+      offsets.push_back(data.size());
+      index += EncodeKey(cells[i].key);
+    }
+    bloom.Add(BloomKeyOf(cells[i].key.row, cells[i].key.family, cells[i].key.qualifier));
+    data += EncodeCell(cells[i]);
+  }
+
+  std::string footer;
+  auto put_u64 = [&footer](uint64_t v) {
+    footer.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  // Index offsets follow the index-key blob.
+  std::string index_offsets;
+  for (uint64_t off : offsets) {
+    index_offsets.append(reinterpret_cast<const char*>(&off), sizeof(off));
+  }
+  put_u64(data.size());                      // Index blob offset.
+  put_u64(index.size());                     // Index blob size.
+  put_u64(offsets.size());                   // Number of index entries.
+  put_u64(cells.size());                     // Total cells.
+  put_u64(bloom.payload().size());           // Bloom filter size.
+  const uint32_t crc = Crc32(data);
+  footer.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  const uint32_t magic = kMagic;
+  footer.append(reinterpret_cast<const char*>(&magic), sizeof(magic));
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot create " + tmp);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    out.write(index.data(), static_cast<std::streamsize>(index.size()));
+    out.write(index_offsets.data(), static_cast<std::streamsize>(index_offsets.size()));
+    out.write(bloom.payload().data(),
+              static_cast<std::streamsize>(bloom.payload().size()));
+    out.write(footer.data(), static_cast<std::streamsize>(footer.size()));
+    if (!out) return Status::IOError("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError("cannot rename " + tmp + " -> " + path);
+  }
+  return Status::OK();
+}
+
+StatusOr<SSTable> SSTable::Open(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string file((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+
+  const std::size_t footer_size = 5 * sizeof(uint64_t) + 2 * sizeof(uint32_t);
+  if (file.size() < footer_size) return Status::Corruption("SSTable too small: " + path);
+  const char* footer = file.data() + file.size() - footer_size;
+  uint64_t index_offset = 0, index_size = 0, num_index = 0, num_cells = 0, bloom_size = 0;
+  uint32_t crc = 0, magic = 0;
+  std::memcpy(&index_offset, footer, 8);
+  std::memcpy(&index_size, footer + 8, 8);
+  std::memcpy(&num_index, footer + 16, 8);
+  std::memcpy(&num_cells, footer + 24, 8);
+  std::memcpy(&bloom_size, footer + 32, 8);
+  std::memcpy(&crc, footer + 40, 4);
+  std::memcpy(&magic, footer + 44, 4);
+  if (magic != kMagic) return Status::Corruption("bad SSTable magic: " + path);
+  const uint64_t offsets_size = num_index * sizeof(uint64_t);
+  if (index_offset + index_size + offsets_size + bloom_size + footer_size != file.size()) {
+    return Status::Corruption("bad SSTable geometry: " + path);
+  }
+
+  SSTable table;
+  table.path_ = path;
+  table.data_ = file.substr(0, index_offset);
+  if (Crc32(table.data_) != crc) return Status::Corruption("SSTable data CRC mismatch: " + path);
+  table.num_cells_ = static_cast<std::size_t>(num_cells);
+
+  // Parse the sparse index.
+  const std::string index_blob = file.substr(index_offset, index_size);
+  std::size_t pos = 0;
+  table.index_keys_.reserve(static_cast<std::size_t>(num_index));
+  for (uint64_t i = 0; i < num_index; ++i) {
+    Cell key_cell;
+    if (!DecodeCell(index_blob, &pos, &key_cell)) {
+      return Status::Corruption("bad SSTable index: " + path);
+    }
+    table.index_keys_.push_back(std::move(key_cell.key));
+  }
+  table.index_offsets_.resize(static_cast<std::size_t>(num_index));
+  std::memcpy(table.index_offsets_.data(), file.data() + index_offset + index_size,
+              offsets_size);
+  table.bloom_ = BloomFilter::FromPayload(
+      file.substr(static_cast<std::size_t>(index_offset + index_size + offsets_size),
+                  static_cast<std::size_t>(bloom_size)));
+  return table;
+}
+
+std::optional<Cell> SSTable::Get(const std::string& row, const std::string& family,
+                                 const std::string& qualifier, uint64_t snapshot) const {
+  if (!bloom_.MayContain(BloomKeyOf(row, family, qualifier))) return std::nullopt;
+  CellKey target{row, family, qualifier, snapshot};
+  Iterator it(this);
+  it.Seek(target);
+  if (!it.Valid()) return std::nullopt;
+  const Cell& cell = it.cell();
+  if (cell.key.row == row && cell.key.family == family && cell.key.qualifier == qualifier &&
+      cell.key.version <= snapshot) {
+    return cell;
+  }
+  return std::nullopt;
+}
+
+void SSTable::Iterator::LoadAt(std::size_t offset) {
+  offset_ = offset;
+  valid_ = offset_ < table_->data_.size() && DecodeCell(table_->data_, &offset_, &current_);
+}
+
+void SSTable::Iterator::SeekToFirst() { LoadAt(0); }
+
+void SSTable::Iterator::Seek(const CellKey& start) {
+  // Find the last sparse-index key <= start, then scan forward.
+  const auto& keys = table_->index_keys_;
+  if (keys.empty()) {
+    valid_ = false;
+    return;
+  }
+  auto it = std::upper_bound(keys.begin(), keys.end(), start);
+  std::size_t base = 0;
+  if (it != keys.begin()) {
+    base = static_cast<std::size_t>(
+        table_->index_offsets_[static_cast<std::size_t>(it - keys.begin()) - 1]);
+  }
+  LoadAt(base);
+  while (valid_ && current_.key < start) Next();
+}
+
+void SSTable::Iterator::Next() { LoadAt(offset_); }
+
+}  // namespace titant::kvstore

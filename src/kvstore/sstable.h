@@ -1,0 +1,72 @@
+#ifndef TITANT_KVSTORE_SSTABLE_H_
+#define TITANT_KVSTORE_SSTABLE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "kvstore/bloom.h"
+#include "kvstore/cell.h"
+
+namespace titant::kvstore {
+
+/// Immutable sorted run of cells on disk (the HFile analogue).
+/// Layout: cell records in CellKey order, a sparse index (every Nth key's
+/// file offset), and a footer. Readers keep the file contents plus the
+/// sparse index in memory — at feature-store scale this mirrors an
+/// OS-cached HFile.
+class SSTable {
+ public:
+  /// Writes `cells` (must already be sorted by CellKey and free of exact
+  /// duplicates) to `path`, replacing any existing file.
+  static Status Write(const std::string& path, const std::vector<Cell>& cells);
+
+  /// Opens and validates an SSTable file.
+  static StatusOr<SSTable> Open(const std::string& path);
+
+  /// Returns the newest cell of (row, family, qualifier) with
+  /// version <= snapshot, including tombstones (the store interprets
+  /// them); nullopt if the column has no visible cell here. A per-table
+  /// Bloom filter over column coordinates rejects most absent probes
+  /// without touching the data region.
+  std::optional<Cell> Get(const std::string& row, const std::string& family,
+                          const std::string& qualifier, uint64_t snapshot) const;
+
+  /// Iterates cells in key order starting at the first key >= start.
+  class Iterator {
+   public:
+    explicit Iterator(const SSTable* table) : table_(table) {}
+    void SeekToFirst();
+    void Seek(const CellKey& start);
+    bool Valid() const { return valid_; }
+    const Cell& cell() const { return current_; }
+    void Next();
+
+   private:
+    void LoadAt(std::size_t offset);
+
+    const SSTable* table_;
+    std::size_t offset_ = 0;       // Offset of the NEXT record.
+    Cell current_;
+    bool valid_ = false;
+  };
+
+  std::size_t num_cells() const { return num_cells_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  static constexpr uint32_t kMagic = 0x54535354;  // "TSST"
+  static constexpr std::size_t kIndexStride = 16;
+
+  std::string path_;
+  std::string data_;       // Cell records region only.
+  std::vector<CellKey> index_keys_;
+  std::vector<uint64_t> index_offsets_;
+  BloomFilter bloom_ = BloomFilter::FromPayload("");  // Match-all default.
+  std::size_t num_cells_ = 0;
+};
+
+}  // namespace titant::kvstore
+
+#endif  // TITANT_KVSTORE_SSTABLE_H_

@@ -1,0 +1,328 @@
+#include "kvstore/store.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/string_util.h"
+
+namespace titant::kvstore {
+
+namespace fs = std::filesystem;
+
+StatusOr<std::unique_ptr<AliHBase>> AliHBase::Open(StoreOptions options) {
+  if (options.column_families.empty()) {
+    return Status::InvalidArgument("at least one column family is required");
+  }
+  if (options.durable && options.dir.empty()) {
+    return Status::InvalidArgument("durable store requires a data directory");
+  }
+  auto store = std::unique_ptr<AliHBase>(new AliHBase(std::move(options)));
+  store->memtable_ = std::make_unique<SkipList<MemEntry>>();
+
+  if (store->options_.durable) {
+    std::error_code ec;
+    fs::create_directories(store->options_.dir, ec);
+    if (ec) return Status::IOError("cannot create " + store->options_.dir);
+
+    // Load SSTables in id order (oldest first).
+    std::vector<std::pair<uint64_t, std::string>> found;
+    for (const auto& entry : fs::directory_iterator(store->options_.dir)) {
+      const std::string name = entry.path().filename().string();
+      if (name.size() > 4 && name.substr(name.size() - 4) == ".sst") {
+        TITANT_ASSIGN_OR_RETURN(int64_t id, ParseInt64(name.substr(0, name.size() - 4)));
+        found.emplace_back(static_cast<uint64_t>(id), entry.path().string());
+      }
+    }
+    std::sort(found.begin(), found.end());
+    for (const auto& [id, path] : found) {
+      TITANT_ASSIGN_OR_RETURN(SSTable table, SSTable::Open(path));
+      store->sstables_.push_back(std::move(table));
+      store->next_sstable_id_ = std::max(store->next_sstable_id_, id + 1);
+    }
+
+    // Replay the WAL into the memtable.
+    const std::string wal_path = store->options_.dir + "/wal.log";
+    TITANT_ASSIGN_OR_RETURN(std::vector<std::string> records,
+                            WriteAheadLog::ReadAll(wal_path));
+    for (const std::string& record : records) {
+      std::size_t offset = 0;
+      while (offset < record.size()) {
+        Cell cell;
+        if (!DecodeCell(record, &offset, &cell)) {
+          return Status::Corruption("corrupt WAL record in " + wal_path);
+        }
+        store->memtable_->Insert(MemEntry{std::move(cell), store->next_seq_++});
+      }
+    }
+    TITANT_ASSIGN_OR_RETURN(WriteAheadLog wal, WriteAheadLog::Open(wal_path));
+    store->wal_.emplace(std::move(wal));
+  }
+  return store;
+}
+
+Status AliHBase::CheckFamily(const std::string& family) const {
+  for (const auto& cf : options_.column_families) {
+    if (cf == family) return Status::OK();
+  }
+  return Status::InvalidArgument("undeclared column family: " + family);
+}
+
+Status AliHBase::Put(const std::string& row, const std::string& family,
+                     const std::string& qualifier, const std::string& value,
+                     uint64_t version) {
+  Cell cell;
+  cell.key = CellKey{row, family, qualifier, version};
+  cell.value = value;
+  return WriteCells({std::move(cell)});
+}
+
+Status AliHBase::Delete(const std::string& row, const std::string& family,
+                        const std::string& qualifier, uint64_t version) {
+  Cell cell;
+  cell.key = CellKey{row, family, qualifier, version};
+  cell.tombstone = true;
+  return WriteCells({std::move(cell)});
+}
+
+Status AliHBase::PutBatch(const std::vector<Cell>& cells) { return WriteCells(cells); }
+
+Status AliHBase::WriteCells(const std::vector<Cell>& cells) {
+  if (cells.empty()) return Status::OK();
+  for (const Cell& cell : cells) {
+    TITANT_RETURN_IF_ERROR(CheckFamily(cell.key.family));
+    if (cell.key.row.empty()) return Status::InvalidArgument("empty row key");
+  }
+  std::unique_lock lock(mu_);
+  if (wal_) {
+    std::string record;
+    for (const Cell& cell : cells) record += EncodeCell(cell);
+    TITANT_RETURN_IF_ERROR(wal_->Append(record));
+  }
+  for (const Cell& cell : cells) memtable_->Insert(MemEntry{cell, next_seq_++});
+  if (memtable_->size() >= options_.memtable_flush_cells && options_.durable) {
+    return FlushLocked();
+  }
+  return Status::OK();
+}
+
+std::optional<Cell> AliHBase::LookupLocked(const std::string& row, const std::string& family,
+                                           const std::string& qualifier,
+                                           uint64_t snapshot) const {
+  std::optional<Cell> best;
+  // Memtable: entries for this column are ordered by version desc, then
+  // write order; the first entry at or below the snapshot wins there.
+  {
+    SkipList<MemEntry>::Iterator it(memtable_.get());
+    MemEntry target;
+    target.cell.key = CellKey{row, family, qualifier, snapshot};
+    target.seq = UINT64_MAX;  // Before any real entry of that exact key.
+    it.Seek(target);
+    if (it.Valid()) {
+      const Cell& cell = it.key().cell;
+      if (cell.key.row == row && cell.key.family == family &&
+          cell.key.qualifier == qualifier && cell.key.version <= snapshot) {
+        best = cell;
+      }
+    }
+  }
+  // SSTables: any of them may hold a newer version. Iterate newest file
+  // first and require a strictly greater version to override, so that
+  // same-version overwrites resolve to the memtable, then the newest file.
+  for (auto it = sstables_.rbegin(); it != sstables_.rend(); ++it) {
+    std::optional<Cell> cell = it->Get(row, family, qualifier, snapshot);
+    if (cell && (!best || cell->key.version > best->key.version)) {
+      best = std::move(cell);
+    }
+  }
+  return best;
+}
+
+StatusOr<std::string> AliHBase::Get(const std::string& row, const std::string& family,
+                                    const std::string& qualifier, uint64_t snapshot) const {
+  TITANT_RETURN_IF_ERROR(CheckFamily(family));
+  std::shared_lock lock(mu_);
+  std::optional<Cell> cell = LookupLocked(row, family, qualifier, snapshot);
+  if (!cell || cell->tombstone) {
+    return Status::NotFound(row + "/" + family + ":" + qualifier);
+  }
+  return cell->value;
+}
+
+StatusOr<std::map<std::string, std::string>> AliHBase::GetRow(const std::string& row,
+                                                              uint64_t snapshot) const {
+  TITANT_ASSIGN_OR_RETURN(
+      std::vector<Cell> cells,
+      Scan(row, row + std::string(1, '\0'), snapshot, SIZE_MAX));
+  std::map<std::string, std::string> out;
+  for (Cell& cell : cells) {
+    out[cell.key.family + ":" + cell.key.qualifier] = std::move(cell.value);
+  }
+  return out;
+}
+
+StatusOr<std::vector<Cell>> AliHBase::Scan(const std::string& start_row,
+                                           const std::string& end_row, uint64_t snapshot,
+                                           std::size_t limit) const {
+  std::shared_lock lock(mu_);
+
+  // Merge all sources into (key -> cell), keeping the winning version per
+  // column. Simplicity over peak throughput: scans here back bulk
+  // verification jobs, not the latency-critical point reads.
+  // Winner per column. Sources are visited in authority order within each
+  // equal version — memtable newest-seq first, then newest SSTable — so on
+  // ties the FIRST writer must win and later ones must not overwrite.
+  struct Winner {
+    Cell cell;
+    bool from_memtable;
+  };
+  std::map<std::tuple<std::string, std::string, std::string>, Winner> merged;
+  auto consider = [&](const Cell& cell, bool from_memtable) {
+    if (cell.key.version > snapshot) return;
+    if (!end_row.empty() && cell.key.row >= end_row) return;
+    if (cell.key.row < start_row) return;
+    auto column =
+        std::make_tuple(cell.key.row, cell.key.family, cell.key.qualifier);
+    auto it = merged.find(column);
+    if (it == merged.end()) {
+      merged.emplace(std::move(column), Winner{cell, from_memtable});
+      return;
+    }
+    const bool newer = cell.key.version > it->second.cell.key.version;
+    const bool tie_beats_sstable = cell.key.version == it->second.cell.key.version &&
+                                   from_memtable && !it->second.from_memtable;
+    if (newer || tie_beats_sstable) it->second = Winner{cell, from_memtable};
+  };
+
+  {
+    SkipList<MemEntry>::Iterator it(memtable_.get());
+    MemEntry target;
+    target.cell.key = CellKey{start_row, "", "", UINT64_MAX};
+    target.seq = UINT64_MAX;
+    it.Seek(target);
+    for (; it.Valid(); it.Next()) {
+      const Cell& cell = it.key().cell;
+      if (!end_row.empty() && cell.key.row >= end_row) break;
+      consider(cell, /*from_memtable=*/true);
+    }
+  }
+  // Newest file first: `consider` keeps the first writer on equal
+  // versions (after the memtable).
+  for (auto table = sstables_.rbegin(); table != sstables_.rend(); ++table) {
+    SSTable::Iterator it(&*table);
+    it.Seek(CellKey{start_row, "", "", UINT64_MAX});
+    for (; it.Valid(); it.Next()) {
+      if (!end_row.empty() && it.cell().key.row >= end_row) break;
+      consider(it.cell(), /*from_memtable=*/false);
+    }
+  }
+
+  std::vector<Cell> out;
+  for (auto& [column, winner] : merged) {
+    if (winner.cell.tombstone) continue;
+    out.push_back(std::move(winner.cell));
+    if (out.size() >= limit) break;
+  }
+  return out;
+}
+
+Status AliHBase::FlushLocked() {
+  if (memtable_->empty()) return Status::OK();
+  if (!options_.durable) return Status::OK();
+
+  std::vector<Cell> cells;
+  cells.reserve(memtable_->size());
+  SkipList<MemEntry>::Iterator it(memtable_.get());
+  for (it.SeekToFirst(); it.Valid(); it.Next()) {
+    const Cell& cell = it.key().cell;
+    // Entries with equal CellKey are ordered newest-seq first: keep the
+    // first (latest overwrite), drop the rest.
+    if (!cells.empty() && cells.back().key == cell.key) continue;
+    cells.push_back(cell);
+  }
+
+  const std::string path =
+      options_.dir + "/" + std::to_string(next_sstable_id_) + ".sst";
+  TITANT_RETURN_IF_ERROR(SSTable::Write(path, cells));
+  TITANT_ASSIGN_OR_RETURN(SSTable table, SSTable::Open(path));
+  sstables_.push_back(std::move(table));
+  ++next_sstable_id_;
+  memtable_ = std::make_unique<SkipList<MemEntry>>();
+  if (wal_) TITANT_RETURN_IF_ERROR(wal_->Reset());
+  return Status::OK();
+}
+
+Status AliHBase::Flush() {
+  std::unique_lock lock(mu_);
+  return FlushLocked();
+}
+
+Status AliHBase::Compact() {
+  std::unique_lock lock(mu_);
+  TITANT_RETURN_IF_ERROR(FlushLocked());
+  if (sstables_.size() <= 1 && options_.max_versions <= 0) return Status::OK();
+
+  // Gather every cell, newest file wins on exact-key collisions.
+  std::map<CellKey, Cell> all;
+  for (const SSTable& table : sstables_) {  // Oldest first: later overwrite.
+    SSTable::Iterator it(&table);
+    for (it.SeekToFirst(); it.Valid(); it.Next()) all[it.cell().key] = it.cell();
+  }
+
+  // Version GC: keep at most max_versions per column, drop data shadowed
+  // by a tombstone, drop the tombstones themselves.
+  std::vector<Cell> kept;
+  kept.reserve(all.size());
+  const std::string* cur_row = nullptr;
+  const std::string* cur_family = nullptr;
+  const std::string* cur_qualifier = nullptr;
+  int versions_kept = 0;
+  bool shadowed = false;
+  for (auto& [key, cell] : all) {  // Sorted: version desc within a column.
+    const bool new_column = cur_row == nullptr || *cur_row != key.row ||
+                            *cur_family != key.family || *cur_qualifier != key.qualifier;
+    if (new_column) {
+      cur_row = &key.row;
+      cur_family = &key.family;
+      cur_qualifier = &key.qualifier;
+      versions_kept = 0;
+      shadowed = false;
+    }
+    if (shadowed) continue;
+    if (cell.tombstone) {
+      shadowed = true;  // Everything older is deleted.
+      continue;
+    }
+    if (options_.max_versions > 0 && versions_kept >= options_.max_versions) continue;
+    kept.push_back(std::move(cell));
+    ++versions_kept;
+  }
+
+  const std::string path =
+      options_.dir + "/" + std::to_string(next_sstable_id_) + ".sst";
+  TITANT_RETURN_IF_ERROR(SSTable::Write(path, kept));
+  TITANT_ASSIGN_OR_RETURN(SSTable merged, SSTable::Open(path));
+
+  // Swap in the merged table and remove the old files.
+  std::vector<std::string> old_paths;
+  for (const SSTable& table : sstables_) old_paths.push_back(table.path());
+  sstables_.clear();
+  sstables_.push_back(std::move(merged));
+  ++next_sstable_id_;
+  for (const std::string& old : old_paths) {
+    std::error_code ec;
+    fs::remove(old, ec);  // Best effort; stale files are re-merged later.
+  }
+  return Status::OK();
+}
+
+std::size_t AliHBase::memtable_cells() const {
+  std::shared_lock lock(mu_);
+  return memtable_->size();
+}
+
+std::size_t AliHBase::num_sstables() const {
+  std::shared_lock lock(mu_);
+  return sstables_.size();
+}
+
+}  // namespace titant::kvstore

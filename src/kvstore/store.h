@@ -1,0 +1,122 @@
+#ifndef TITANT_KVSTORE_STORE_H_
+#define TITANT_KVSTORE_STORE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "kvstore/cell.h"
+#include "kvstore/skiplist.h"
+#include "kvstore/sstable.h"
+#include "kvstore/wal.h"
+
+namespace titant::kvstore {
+
+/// Configuration of one Ali-HBase-style table.
+struct StoreOptions {
+  /// Data directory (WAL + SSTables). Required when `durable`.
+  std::string dir;
+  /// Declared column families; Put/Get against undeclared families fail
+  /// (HBase semantics).
+  std::vector<std::string> column_families;
+  /// Memtable size (cell count) that triggers an automatic flush.
+  std::size_t memtable_flush_cells = 64 * 1024;
+  /// Number of versions per column retained by Compact().
+  int max_versions = 3;
+  /// When false the store is purely in-memory (no WAL, no SSTables);
+  /// useful for tests and latency benchmarks isolating CPU cost.
+  bool durable = true;
+};
+
+/// A single-table, column-family KV store with timestamp versions —
+/// the Ali-HBase stand-in serving the online feature fetches (§4.4,
+/// Fig. 7): row key = user, one family for basic features, one for the
+/// user node embeddings, versioned by upload date.
+///
+/// Write path: WAL append -> memtable (skiplist); memtable flushes to
+/// immutable SSTables. Read path: merge memtable + SSTables, newest
+/// version <= snapshot wins. Crash recovery replays the WAL.
+/// Thread-safe: reads share a lock, writes are exclusive.
+class AliHBase {
+ public:
+  /// Opens the table, replaying any WAL and loading existing SSTables.
+  static StatusOr<std::unique_ptr<AliHBase>> Open(StoreOptions options);
+
+  /// Writes one cell version.
+  Status Put(const std::string& row, const std::string& family, const std::string& qualifier,
+             const std::string& value, uint64_t version);
+
+  /// Atomically writes a batch (the daily bulk upload from offline
+  /// training writes one batch per user row).
+  Status PutBatch(const std::vector<Cell>& cells);
+
+  /// Deletes a column at `version` (tombstone shadows older versions).
+  Status Delete(const std::string& row, const std::string& family,
+                const std::string& qualifier, uint64_t version);
+
+  /// Returns the newest value with version <= snapshot. NotFound if the
+  /// column has no visible value.
+  StatusOr<std::string> Get(const std::string& row, const std::string& family,
+                            const std::string& qualifier,
+                            uint64_t snapshot = UINT64_MAX) const;
+
+  /// Returns all visible columns of a row as "family:qualifier" -> value.
+  StatusOr<std::map<std::string, std::string>> GetRow(const std::string& row,
+                                                      uint64_t snapshot = UINT64_MAX) const;
+
+  /// Scans visible cells with start_row <= row < end_row (end empty =
+  /// unbounded), at most `limit` cells. Returns the newest visible
+  /// version per column.
+  StatusOr<std::vector<Cell>> Scan(const std::string& start_row, const std::string& end_row,
+                                   uint64_t snapshot = UINT64_MAX,
+                                   std::size_t limit = SIZE_MAX) const;
+
+  /// Forces the memtable to an SSTable (no-op when empty).
+  Status Flush();
+
+  /// Merges all SSTables into one, dropping tombstoned data and versions
+  /// beyond max_versions.
+  Status Compact();
+
+  /// Diagnostics.
+  std::size_t memtable_cells() const;
+  std::size_t num_sstables() const;
+  const StoreOptions& options() const { return options_; }
+
+ private:
+  struct MemEntry {
+    Cell cell;
+    uint64_t seq = 0;  // Overwrite order within equal CellKeys.
+
+    friend bool operator<(const MemEntry& a, const MemEntry& b) {
+      if (a.cell.key < b.cell.key) return true;
+      if (b.cell.key < a.cell.key) return false;
+      return a.seq > b.seq;  // Newer writes first.
+    }
+  };
+
+  explicit AliHBase(StoreOptions options) : options_(std::move(options)) {}
+
+  Status CheckFamily(const std::string& family) const;
+  Status WriteCells(const std::vector<Cell>& cells);
+  Status FlushLocked();
+  std::optional<Cell> LookupLocked(const std::string& row, const std::string& family,
+                                   const std::string& qualifier, uint64_t snapshot) const;
+
+  StoreOptions options_;
+  mutable std::shared_mutex mu_;
+  std::unique_ptr<SkipList<MemEntry>> memtable_;
+  uint64_t next_seq_ = 1;
+  std::optional<WriteAheadLog> wal_;
+  std::vector<SSTable> sstables_;  // Oldest first.
+  uint64_t next_sstable_id_ = 1;
+};
+
+}  // namespace titant::kvstore
+
+#endif  // TITANT_KVSTORE_STORE_H_

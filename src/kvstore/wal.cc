@@ -1,0 +1,97 @@
+#include "kvstore/wal.h"
+
+#include <cstring>
+
+namespace titant::kvstore {
+
+namespace {
+
+// Standard IEEE CRC-32 table, generated at first use.
+const uint32_t* CrcTable() {
+  static uint32_t table[256];
+  static bool initialized = [] {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      table[i] = c;
+    }
+    return true;
+  }();
+  (void)initialized;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const std::string& data) {
+  const uint32_t* table = CrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (unsigned char ch : data) crc = table[(crc ^ ch) & 0xFF] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+StatusOr<WriteAheadLog> WriteAheadLog::Open(const std::string& path) {
+  WriteAheadLog wal(path);
+  wal.file_ = std::fopen(path.c_str(), "ab");
+  if (wal.file_ == nullptr) return Status::IOError("cannot open WAL: " + path);
+  return wal;
+}
+
+WriteAheadLog::WriteAheadLog(WriteAheadLog&& other) noexcept
+    : path_(std::move(other.path_)), file_(other.file_) {
+  other.file_ = nullptr;
+}
+
+WriteAheadLog& WriteAheadLog::operator=(WriteAheadLog&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    path_ = std::move(other.path_);
+    file_ = other.file_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status WriteAheadLog::Append(const std::string& payload) {
+  if (file_ == nullptr) return Status::FailedPrecondition("WAL is closed");
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  const uint32_t crc = Crc32(payload);
+  if (std::fwrite(&len, sizeof(len), 1, file_) != 1 ||
+      std::fwrite(&crc, sizeof(crc), 1, file_) != 1 ||
+      (len > 0 && std::fwrite(payload.data(), 1, len, file_) != len)) {
+    return Status::IOError("WAL append failed: " + path_);
+  }
+  if (std::fflush(file_) != 0) return Status::IOError("WAL flush failed: " + path_);
+  return Status::OK();
+}
+
+Status WriteAheadLog::Reset() {
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) return Status::IOError("cannot truncate WAL: " + path_);
+  return Status::OK();
+}
+
+StatusOr<std::vector<std::string>> WriteAheadLog::ReadAll(const std::string& path) {
+  std::vector<std::string> records;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return records;  // No log yet: nothing to replay.
+  for (;;) {
+    uint32_t len = 0, crc = 0;
+    if (std::fread(&len, sizeof(len), 1, f) != 1) break;
+    if (std::fread(&crc, sizeof(crc), 1, f) != 1) break;
+    if (len > (1u << 30)) break;  // Corrupt length.
+    std::string payload(len, '\0');
+    if (len > 0 && std::fread(payload.data(), 1, len, f) != len) break;
+    if (Crc32(payload) != crc) break;  // Torn/corrupt tail: stop replay.
+    records.push_back(std::move(payload));
+  }
+  std::fclose(f);
+  return records;
+}
+
+}  // namespace titant::kvstore

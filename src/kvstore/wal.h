@@ -1,0 +1,52 @@
+#ifndef TITANT_KVSTORE_WAL_H_
+#define TITANT_KVSTORE_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace titant::kvstore {
+
+/// CRC32 (IEEE, reflected) over `data`; used to detect torn/corrupt WAL
+/// records on recovery.
+uint32_t Crc32(const std::string& data);
+
+/// Append-only write-ahead log. Record framing: u32 length, u32 crc32,
+/// payload. Recovery stops cleanly at the first truncated or corrupt
+/// record (a crash mid-append loses only the tail).
+class WriteAheadLog {
+ public:
+  /// Opens (creating if needed) the log at `path` for appending.
+  static StatusOr<WriteAheadLog> Open(const std::string& path);
+
+  WriteAheadLog(WriteAheadLog&& other) noexcept;
+  WriteAheadLog& operator=(WriteAheadLog&& other) noexcept;
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+  ~WriteAheadLog();
+
+  /// Appends one record and flushes it to the OS.
+  Status Append(const std::string& payload);
+
+  /// Closes, deletes and reopens the log file empty (after a memtable
+  /// flush has made its contents durable elsewhere).
+  Status Reset();
+
+  /// Reads every intact record of the log at `path` (missing file -> empty).
+  static StatusOr<std::vector<std::string>> ReadAll(const std::string& path);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  explicit WriteAheadLog(std::string path) : path_(std::move(path)) {}
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace titant::kvstore
+
+#endif  // TITANT_KVSTORE_WAL_H_

@@ -1,0 +1,34 @@
+#include "maxcompute/client.h"
+
+namespace titant::maxcompute {
+
+void AccountRegistry::CreateAccount(const std::string& account,
+                                    const std::string& access_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  keys_[account] = access_key;
+}
+
+Status AccountRegistry::Verify(const std::string& account,
+                               const std::string& access_key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = keys_.find(account);
+  if (it == keys_.end() || it->second != access_key) {
+    return Status::FailedPrecondition("authentication failed");
+  }
+  return Status::OK();
+}
+
+StatusOr<Client> Client::Login(MaxCompute* mc, const AccountRegistry& registry,
+                               const std::string& account, const std::string& access_key) {
+  if (mc == nullptr) return Status::InvalidArgument("null MaxCompute instance");
+  TITANT_RETURN_IF_ERROR(registry.Verify(account, access_key));
+  return Client(mc, account);
+}
+
+StatusOr<std::string> Client::SubmitSql(const std::string& query,
+                                        const std::string& output_table) {
+  // The account tag rides along in the job description for OTS audit.
+  return mc_->SubmitSqlJob(query, output_table, account_);
+}
+
+}  // namespace titant::maxcompute

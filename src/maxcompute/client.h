@@ -1,0 +1,54 @@
+#ifndef TITANT_MAXCOMPUTE_CLIENT_H_
+#define TITANT_MAXCOMPUTE_CLIENT_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/statusor.h"
+#include "maxcompute/odps.h"
+
+namespace titant::maxcompute {
+
+/// The client layer of Fig. 4: developers authenticate with a cloud
+/// account; the HTTP-server stand-in verifies the credential before a job
+/// reaches the worker/scheduler. Job submissions through an authenticated
+/// session are attributed to the account in OTS.
+class AccountRegistry {
+ public:
+  /// Registers an account with its access key.
+  void CreateAccount(const std::string& account, const std::string& access_key);
+
+  /// Verifies a credential; Unavailable-free: wrong key and unknown
+  /// account are both kFailedPrecondition (no user enumeration).
+  Status Verify(const std::string& account, const std::string& access_key) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> keys_;
+};
+
+/// An authenticated session against an embedded MaxCompute instance.
+class Client {
+ public:
+  /// Authenticates; fails without creating a session if the credential is
+  /// rejected.
+  static StatusOr<Client> Login(MaxCompute* mc, const AccountRegistry& registry,
+                                const std::string& account, const std::string& access_key);
+
+  /// Submits a SQL job on behalf of the account (the job description in
+  /// OTS carries the account for audit).
+  StatusOr<std::string> SubmitSql(const std::string& query, const std::string& output_table);
+
+  const std::string& account() const { return account_; }
+
+ private:
+  Client(MaxCompute* mc, std::string account) : mc_(mc), account_(std::move(account)) {}
+
+  MaxCompute* mc_;
+  std::string account_;
+};
+
+}  // namespace titant::maxcompute
+
+#endif  // TITANT_MAXCOMPUTE_CLIENT_H_

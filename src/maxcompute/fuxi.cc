@@ -1,0 +1,63 @@
+#include "maxcompute/fuxi.h"
+
+#include "common/logging.h"
+
+namespace titant::maxcompute {
+
+FuxiScheduler::FuxiScheduler(int slots) {
+  TITANT_CHECK(slots > 0);
+  threads_.reserve(static_cast<std::size_t>(slots));
+  for (int i = 0; i < slots; ++i) threads_.emplace_back([this] { SlotLoop(); });
+}
+
+FuxiScheduler::~FuxiScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void FuxiScheduler::Submit(int priority, std::function<void()> subtask) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(Entry{priority, next_sequence_++, std::move(subtask)});
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void FuxiScheduler::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+uint64_t FuxiScheduler::completed_subtasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+void FuxiScheduler::SlotLoop() {
+  for (;;) {
+    std::function<void()> subtask;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      subtask = std::move(const_cast<Entry&>(queue_.top()).subtask);
+      queue_.pop();
+    }
+    subtask();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++completed_;
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace titant::maxcompute

@@ -1,0 +1,65 @@
+#ifndef TITANT_MAXCOMPUTE_FUXI_H_
+#define TITANT_MAXCOMPUTE_FUXI_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace titant::maxcompute {
+
+/// Fuxi, the resource scheduling module (§4.2): a fixed pool of compute
+/// slots executing subtasks in priority order ("subtasks are arranged into
+/// the task pool in priority order ... scheduler keeps waiting for the
+/// available resource").
+class FuxiScheduler {
+ public:
+  /// Starts `slots` slot threads.
+  explicit FuxiScheduler(int slots);
+  ~FuxiScheduler();
+
+  FuxiScheduler(const FuxiScheduler&) = delete;
+  FuxiScheduler& operator=(const FuxiScheduler&) = delete;
+
+  /// Queues `subtask` with `priority` (lower runs earlier; FIFO within a
+  /// priority level).
+  void Submit(int priority, std::function<void()> subtask);
+
+  /// Blocks until every queued subtask has completed.
+  void Wait();
+
+  int slots() const { return static_cast<int>(threads_.size()); }
+  uint64_t completed_subtasks() const;
+
+ private:
+  struct Entry {
+    int priority;
+    uint64_t sequence;  // FIFO tiebreaker.
+    std::function<void()> subtask;
+  };
+  struct EntryOrder {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  void SlotLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::priority_queue<Entry, std::vector<Entry>, EntryOrder> queue_;
+  std::size_t in_flight_ = 0;
+  uint64_t next_sequence_ = 0;
+  uint64_t completed_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace titant::maxcompute
+
+#endif  // TITANT_MAXCOMPUTE_FUXI_H_

@@ -1,0 +1,176 @@
+#include "maxcompute/odps.h"
+
+#include <atomic>
+
+#include "common/logging.h"
+
+namespace titant::maxcompute {
+
+StatusOr<std::unique_ptr<MaxCompute>> MaxCompute::Open(MaxComputeOptions options) {
+  if (options.fuxi_slots < 1) return Status::InvalidArgument("need at least one Fuxi slot");
+  if (options.rows_per_subtask == 0) {
+    return Status::InvalidArgument("rows_per_subtask must be positive");
+  }
+  auto mc = std::unique_ptr<MaxCompute>(new MaxCompute(options));
+  TITANT_ASSIGN_OR_RETURN(PanguStore pangu, PanguStore::Open(options.pangu_dir));
+  mc->pangu_ = std::make_unique<PanguStore>(std::move(pangu));
+  mc->fuxi_ = std::make_unique<FuxiScheduler>(options.fuxi_slots);
+  return mc;
+}
+
+Status MaxCompute::CreateTable(const std::string& name, Table table) {
+  if (name.empty()) return Status::InvalidArgument("empty table name");
+  TITANT_RETURN_IF_ERROR(pangu_->PutTable(TableBlobName(name), table));
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_[name] = std::make_unique<Table>(std::move(table));
+  return Status::OK();
+}
+
+StatusOr<const Table*> MaxCompute::GetTable(const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(name);
+    if (it != cache_.end()) return it->second.get();
+  }
+  TITANT_ASSIGN_OR_RETURN(Table table, pangu_->GetTable(TableBlobName(name)));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = cache_.emplace(name, std::make_unique<Table>(std::move(table)));
+  return it->second.get();
+}
+
+Status MaxCompute::DropTable(const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.erase(name);
+  }
+  return pangu_->DeleteBlob(TableBlobName(name));
+}
+
+std::vector<std::string> MaxCompute::ListTables() const {
+  std::vector<std::string> out;
+  for (const std::string& blob : pangu_->List()) {
+    if (blob.rfind("table/", 0) == 0) out.push_back(blob.substr(6));
+  }
+  return out;
+}
+
+StatusOr<std::string> MaxCompute::SubmitSqlJob(const std::string& query,
+                                               const std::string& output_table,
+                                               const std::string& submitter) {
+  const std::string instance_id = ots_.RegisterInstance(
+      (submitter.empty() ? std::string() : "[" + submitter + "] ") + "sql: " + query);
+  TITANT_RETURN_IF_ERROR(ots_.UpdateStatus(instance_id, InstanceStatus::kRunning));
+
+  // The embedded engine evaluates the whole query on one executor subtask
+  // (splitting a SQL plan across shards correctly requires a distributed
+  // planner; the scan-heavy work still runs on a Fuxi slot, and MapReduce
+  // jobs below do shard).
+  Status result = Status::OK();
+  Table output;
+  fuxi_->Submit(/*priority=*/1, [&] {
+    auto table = ExecuteSql(query, [this](const std::string& name) -> StatusOr<const Table*> {
+      // Resolver: case-insensitive lookup against stored tables.
+      for (const std::string& candidate : ListTables()) {
+        std::string upper = candidate;
+        for (char& c : upper) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+        if (upper == name) return GetTable(candidate);
+      }
+      return Status::NotFound("table " + name);
+    });
+    if (!table.ok()) {
+      result = table.status();
+    } else {
+      output = std::move(table).value();
+    }
+  });
+  fuxi_->Wait();
+
+  if (!result.ok()) {
+    (void)ots_.UpdateStatus(instance_id, InstanceStatus::kFailed, result.ToString());
+    return result;
+  }
+  TITANT_RETURN_IF_ERROR(CreateTable(output_table, std::move(output)));
+  TITANT_RETURN_IF_ERROR(ots_.UpdateStatus(instance_id, InstanceStatus::kTerminated));
+  return instance_id;
+}
+
+StatusOr<std::string> MaxCompute::SubmitMapReduceJob(const std::string& input_table,
+                                                     const Mapper& mapper,
+                                                     const Reducer& reducer,
+                                                     Schema output_schema,
+                                                     const std::string& output_table) {
+  const std::string instance_id = ots_.RegisterInstance("mapreduce over " + input_table);
+  TITANT_RETURN_IF_ERROR(ots_.UpdateStatus(instance_id, InstanceStatus::kRunning));
+
+  TITANT_ASSIGN_OR_RETURN(const Table* input, GetTable(input_table));
+  const std::size_t n = input->num_rows();
+  const std::size_t shard_rows = options_.rows_per_subtask;
+  const std::size_t num_shards = n == 0 ? 1 : (n + shard_rows - 1) / shard_rows;
+
+  // Map phase: one subtask per shard, each with its own emit buffer.
+  std::vector<std::map<std::string, std::vector<Row>>> shard_outputs(num_shards);
+  for (std::size_t shard = 0; shard < num_shards; ++shard) {
+    fuxi_->Submit(/*priority=*/1, [&, shard] {
+      const std::size_t begin = shard * shard_rows;
+      const std::size_t end = std::min(n, begin + shard_rows);
+      auto& local = shard_outputs[shard];
+      for (std::size_t r = begin; r < end; ++r) {
+        mapper(input->row(r), [&local](std::string key, Row value) {
+          local[std::move(key)].push_back(std::move(value));
+        });
+      }
+    });
+  }
+  fuxi_->Wait();
+
+  // Shuffle: merge shard outputs by key.
+  std::map<std::string, std::vector<Row>> merged;
+  for (auto& shard : shard_outputs) {
+    for (auto& [key, rows] : shard) {
+      auto& sink = merged[key];
+      for (auto& row : rows) sink.push_back(std::move(row));
+    }
+  }
+
+  // Reduce phase: partition keys across subtasks.
+  std::vector<const std::string*> keys;
+  keys.reserve(merged.size());
+  for (const auto& [key, rows] : merged) keys.push_back(&key);
+  const std::size_t reducers =
+      std::min<std::size_t>(static_cast<std::size_t>(options_.fuxi_slots),
+                            std::max<std::size_t>(1, keys.size()));
+  std::vector<std::vector<Row>> reduce_outputs(reducers);
+  std::atomic<bool> reduce_ok{true};
+  for (std::size_t p = 0; p < reducers; ++p) {
+    fuxi_->Submit(/*priority=*/2, [&, p] {
+      for (std::size_t i = p; i < keys.size(); i += reducers) {
+        std::vector<Row> rows = reducer(*keys[i], merged[*keys[i]]);
+        for (auto& row : rows) {
+          if (row.size() != output_schema.num_columns()) {
+            reduce_ok.store(false);
+            return;
+          }
+          reduce_outputs[p].push_back(std::move(row));
+        }
+      }
+    });
+  }
+  fuxi_->Wait();
+
+  if (!reduce_ok.load()) {
+    const Status failure =
+        Status::InvalidArgument("reducer emitted a row not matching the output schema");
+    (void)ots_.UpdateStatus(instance_id, InstanceStatus::kFailed, failure.ToString());
+    return failure;
+  }
+
+  Table output{std::move(output_schema)};
+  for (auto& part : reduce_outputs) {
+    TITANT_RETURN_IF_ERROR(output.AppendAll(std::move(part)));
+  }
+  TITANT_RETURN_IF_ERROR(CreateTable(output_table, std::move(output)));
+  TITANT_RETURN_IF_ERROR(ots_.UpdateStatus(instance_id, InstanceStatus::kTerminated));
+  return instance_id;
+}
+
+}  // namespace titant::maxcompute

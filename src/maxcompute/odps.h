@@ -1,0 +1,91 @@
+#ifndef TITANT_MAXCOMPUTE_ODPS_H_
+#define TITANT_MAXCOMPUTE_ODPS_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "maxcompute/fuxi.h"
+#include "maxcompute/ots.h"
+#include "maxcompute/pangu.h"
+#include "maxcompute/sql.h"
+#include "maxcompute/table.h"
+
+namespace titant::maxcompute {
+
+/// Map function: emits (key, row) pairs for one input row.
+using Mapper = std::function<void(
+    const Row& input, const std::function<void(std::string key, Row value)>& emit)>;
+
+/// Reduce function: folds all rows of one key into output rows.
+using Reducer = std::function<std::vector<Row>(const std::string& key,
+                                               const std::vector<Row>& values)>;
+
+/// Configuration of the embedded MaxCompute instance.
+struct MaxComputeOptions {
+  std::string pangu_dir;  // Storage root.
+  int fuxi_slots = 4;     // Compute slots.
+  std::size_t rows_per_subtask = 50'000;  // Shard granularity for jobs.
+};
+
+/// The embedded MaxCompute/ODPS platform (§4.2): tables persisted in
+/// Pangu, SQL and MapReduce jobs split into subtasks scheduled on Fuxi
+/// slots, with instance status tracked in OTS. Thread-safe for concurrent
+/// job submission.
+class MaxCompute {
+ public:
+  static StatusOr<std::unique_ptr<MaxCompute>> Open(MaxComputeOptions options);
+
+  /// Creates (or replaces) a table and persists it to Pangu.
+  Status CreateTable(const std::string& name, Table table);
+
+  /// Reads a table (from cache or Pangu). NotFound if absent.
+  StatusOr<const Table*> GetTable(const std::string& name);
+
+  Status DropTable(const std::string& name);
+  std::vector<std::string> ListTables() const;
+
+  /// Submits a SQL job. The scheduler splits the scan into subtasks over
+  /// Fuxi slots, materializes the result as `output_table`, and returns
+  /// the instance id (already terminated — submission is synchronous in
+  /// the embedded platform, the instance record reflects the lifecycle).
+  StatusOr<std::string> SubmitSqlJob(const std::string& query,
+                                     const std::string& output_table,
+                                     const std::string& submitter = "");
+
+  /// Submits a MapReduce job over `input_table`; reducers' output rows
+  /// must match `output_schema`.
+  StatusOr<std::string> SubmitMapReduceJob(const std::string& input_table,
+                                           const Mapper& mapper, const Reducer& reducer,
+                                           Schema output_schema,
+                                           const std::string& output_table);
+
+  /// Instance status lookup (OTS).
+  StatusOr<InstanceRecord> GetInstance(const std::string& instance_id) const {
+    return ots_.Get(instance_id);
+  }
+
+  OpenTableService& ots() { return ots_; }
+  PanguStore& pangu() { return *pangu_; }
+  FuxiScheduler& fuxi() { return *fuxi_; }
+
+ private:
+  explicit MaxCompute(MaxComputeOptions options) : options_(std::move(options)) {}
+
+  static std::string TableBlobName(const std::string& table) { return "table/" + table; }
+
+  MaxComputeOptions options_;
+  std::unique_ptr<PanguStore> pangu_;
+  std::unique_ptr<FuxiScheduler> fuxi_;
+  OpenTableService ots_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Table>> cache_;
+};
+
+}  // namespace titant::maxcompute
+
+#endif  // TITANT_MAXCOMPUTE_ODPS_H_

@@ -1,0 +1,70 @@
+#include "maxcompute/ots.h"
+
+#include <chrono>
+
+#include "common/string_util.h"
+
+namespace titant::maxcompute {
+
+namespace {
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+std::string_view InstanceStatusName(InstanceStatus status) {
+  switch (status) {
+    case InstanceStatus::kWaiting:
+      return "waiting";
+    case InstanceStatus::kRunning:
+      return "running";
+    case InstanceStatus::kTerminated:
+      return "terminated";
+    case InstanceStatus::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+std::string OpenTableService::RegisterInstance(const std::string& job_description) {
+  std::lock_guard<std::mutex> lock(mu_);
+  InstanceRecord record;
+  record.instance_id = StrFormat("inst_%08llu", static_cast<unsigned long long>(next_id_++));
+  record.job_description = job_description;
+  record.registered_at_us = NowMicros();
+  const std::string id = record.instance_id;
+  records_[id] = std::move(record);
+  return id;
+}
+
+Status OpenTableService::UpdateStatus(const std::string& instance_id, InstanceStatus status,
+                                      const std::string& error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = records_.find(instance_id);
+  if (it == records_.end()) return Status::NotFound("instance " + instance_id);
+  it->second.status = status;
+  it->second.error = error;
+  if (status == InstanceStatus::kTerminated || status == InstanceStatus::kFailed) {
+    it->second.finished_at_us = NowMicros();
+  }
+  return Status::OK();
+}
+
+StatusOr<InstanceRecord> OpenTableService::Get(const std::string& instance_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = records_.find(instance_id);
+  if (it == records_.end()) return Status::NotFound("instance " + instance_id);
+  return it->second;
+}
+
+std::vector<InstanceRecord> OpenTableService::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<InstanceRecord> out;
+  out.reserve(records_.size());
+  for (const auto& [id, record] : records_) out.push_back(record);
+  return out;
+}
+
+}  // namespace titant::maxcompute

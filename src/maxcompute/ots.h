@@ -1,0 +1,55 @@
+#ifndef TITANT_MAXCOMPUTE_OTS_H_
+#define TITANT_MAXCOMPUTE_OTS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace titant::maxcompute {
+
+/// Lifecycle of a job instance (§4.2: the scheduler registers instances in
+/// OTS as "running" and the executor marks them "terminated").
+enum class InstanceStatus : uint8_t { kWaiting = 0, kRunning = 1, kTerminated = 2, kFailed = 3 };
+
+std::string_view InstanceStatusName(InstanceStatus status);
+
+/// Record kept per instance.
+struct InstanceRecord {
+  std::string instance_id;
+  std::string job_description;
+  InstanceStatus status = InstanceStatus::kWaiting;
+  int64_t registered_at_us = 0;
+  int64_t finished_at_us = 0;
+  std::string error;  // Set when status == kFailed.
+};
+
+/// Open Table Service: the control-plane status table that tracks every
+/// instance in the system. Thread-safe.
+class OpenTableService {
+ public:
+  /// Registers a fresh instance (status kWaiting) and returns its id.
+  std::string RegisterInstance(const std::string& job_description);
+
+  /// Transitions an instance's status. Returns NotFound for unknown ids.
+  Status UpdateStatus(const std::string& instance_id, InstanceStatus status,
+                      const std::string& error = "");
+
+  /// Fetches an instance record.
+  StatusOr<InstanceRecord> Get(const std::string& instance_id) const;
+
+  /// All records, ordered by registration.
+  std::vector<InstanceRecord> List() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, InstanceRecord> records_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace titant::maxcompute
+
+#endif  // TITANT_MAXCOMPUTE_OTS_H_

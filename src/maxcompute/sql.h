@@ -1,0 +1,45 @@
+#ifndef TITANT_MAXCOMPUTE_SQL_H_
+#define TITANT_MAXCOMPUTE_SQL_H_
+
+#include <functional>
+#include <string>
+
+#include "common/statusor.h"
+#include "maxcompute/table.h"
+
+namespace titant::maxcompute {
+
+/// Resolves a table name to a table (borrowed pointer, valid for the
+/// duration of the query).
+using TableResolver = std::function<StatusOr<const Table*>(const std::string&)>;
+
+/// Executes one query of the supported SQL subset against the resolver's
+/// tables and returns the result table.
+///
+/// Grammar (case-insensitive keywords):
+///
+///   SELECT select_item ("," select_item)*
+///   FROM ident [JOIN ident ON expr "=" expr]
+///   [WHERE expr]
+///   [GROUP BY expr ("," expr)*]
+///   [ORDER BY expr [ASC|DESC] ("," ...)*]
+///   [LIMIT int]
+///
+///   select_item := "*" | expr ["AS" ident]
+///   expr        := disjunctions/conjunctions/NOT over comparisons
+///                  (= != <> < <= > >=) over +,-,*,/,% over unary minus,
+///                  literals (ints, doubles, 'strings', TRUE/FALSE/NULL),
+///                  column refs (optionally "table.column"),
+///                  scalar functions ABS, ROUND, FLOOR, LOG, LOG1P,
+///                  aggregates COUNT(*|expr), SUM, AVG, MIN, MAX
+///
+/// Aggregation: queries with GROUP BY or any aggregate in the select list
+/// aggregate; non-aggregate select items are then evaluated on the first
+/// row of each group (conventional loose semantics, as in Hive/ODPS SQL).
+///
+/// Returns InvalidArgument on parse/analysis errors.
+StatusOr<Table> ExecuteSql(const std::string& query, const TableResolver& resolver);
+
+}  // namespace titant::maxcompute
+
+#endif  // TITANT_MAXCOMPUTE_SQL_H_

@@ -1,0 +1,154 @@
+#include "maxcompute/table.h"
+
+#include <cstring>
+
+namespace titant::maxcompute {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool GetU32(const std::string& data, std::size_t* offset, uint32_t* v) {
+  if (*offset + sizeof(*v) > data.size()) return false;
+  std::memcpy(v, data.data() + *offset, sizeof(*v));
+  *offset += sizeof(*v);
+  return true;
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+bool GetString(const std::string& data, std::size_t* offset, std::string* out) {
+  uint32_t len = 0;
+  if (!GetU32(data, offset, &len) || *offset + len > data.size()) return false;
+  out->assign(data, *offset, len);
+  *offset += len;
+  return true;
+}
+
+void PutValue(std::string* out, const Value& v) {
+  out->push_back(static_cast<char>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt: {
+      const int64_t x = v.AsInt();
+      out->append(reinterpret_cast<const char*>(&x), sizeof(x));
+      break;
+    }
+    case ValueType::kDouble: {
+      const double x = v.AsDouble();
+      out->append(reinterpret_cast<const char*>(&x), sizeof(x));
+      break;
+    }
+    case ValueType::kBool:
+      out->push_back(v.AsBool() ? 1 : 0);
+      break;
+    case ValueType::kString:
+      PutString(out, v.AsString());
+      break;
+  }
+}
+
+bool GetValue(const std::string& data, std::size_t* offset, Value* out) {
+  if (*offset >= data.size()) return false;
+  const auto type = static_cast<ValueType>(data[(*offset)++]);
+  switch (type) {
+    case ValueType::kNull:
+      *out = Value::Null();
+      return true;
+    case ValueType::kInt: {
+      int64_t x = 0;
+      if (*offset + sizeof(x) > data.size()) return false;
+      std::memcpy(&x, data.data() + *offset, sizeof(x));
+      *offset += sizeof(x);
+      *out = Value(x);
+      return true;
+    }
+    case ValueType::kDouble: {
+      double x = 0.0;
+      if (*offset + sizeof(x) > data.size()) return false;
+      std::memcpy(&x, data.data() + *offset, sizeof(x));
+      *offset += sizeof(x);
+      *out = Value(x);
+      return true;
+    }
+    case ValueType::kBool: {
+      if (*offset >= data.size()) return false;
+      *out = Value(data[(*offset)++] != 0);
+      return true;
+    }
+    case ValueType::kString: {
+      std::string s;
+      if (!GetString(data, offset, &s)) return false;
+      *out = Value(std::move(s));
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Status Table::Append(Row row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument("row width does not match schema " + schema_.ToString());
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Status Table::AppendAll(std::vector<Row> rows) {
+  for (auto& row : rows) TITANT_RETURN_IF_ERROR(Append(std::move(row)));
+  return Status::OK();
+}
+
+std::string Table::Serialize() const {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(schema_.num_columns()));
+  for (const auto& col : schema_.columns()) {
+    PutString(&out, col.name);
+    out.push_back(static_cast<char>(col.type));
+  }
+  PutU32(&out, static_cast<uint32_t>(rows_.size()));
+  for (const auto& row : rows_) {
+    for (const auto& value : row) PutValue(&out, value);
+  }
+  return out;
+}
+
+StatusOr<Table> Table::Deserialize(const std::string& blob) {
+  std::size_t offset = 0;
+  uint32_t num_columns = 0;
+  if (!GetU32(blob, &offset, &num_columns) || num_columns > (1u << 16)) {
+    return Status::Corruption("table blob: bad column count");
+  }
+  std::vector<Column> columns(num_columns);
+  for (auto& col : columns) {
+    if (!GetString(blob, &offset, &col.name) || offset >= blob.size()) {
+      return Status::Corruption("table blob: truncated schema");
+    }
+    col.type = static_cast<ValueType>(blob[offset++]);
+  }
+  Table table{Schema(std::move(columns))};
+  uint32_t num_rows = 0;
+  if (!GetU32(blob, &offset, &num_rows)) return Status::Corruption("table blob: row count");
+  table.rows_.reserve(num_rows);
+  for (uint32_t r = 0; r < num_rows; ++r) {
+    Row row(table.schema_.num_columns());
+    for (auto& value : row) {
+      if (!GetValue(blob, &offset, &value)) {
+        return Status::Corruption("table blob: truncated row");
+      }
+    }
+    table.rows_.push_back(std::move(row));
+  }
+  if (offset != blob.size()) return Status::Corruption("table blob: trailing bytes");
+  return table;
+}
+
+}  // namespace titant::maxcompute

@@ -1,0 +1,43 @@
+#ifndef TITANT_MAXCOMPUTE_TABLE_H_
+#define TITANT_MAXCOMPUTE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "maxcompute/value.h"
+
+namespace titant::maxcompute {
+
+/// An in-memory batch table (materialized on Pangu when persisted).
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Appends a row; the width must match the schema (types are not
+  /// coerced — MaxCompute SQL is dynamically typed at evaluation).
+  Status Append(Row row);
+
+  /// Bulk append.
+  Status AppendAll(std::vector<Row> rows);
+
+  const Row& row(std::size_t i) const { return rows_[i]; }
+
+  /// Serializes schema + rows to a compact binary blob (Pangu format).
+  std::string Serialize() const;
+  static StatusOr<Table> Deserialize(const std::string& blob);
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace titant::maxcompute
+
+#endif  // TITANT_MAXCOMPUTE_TABLE_H_

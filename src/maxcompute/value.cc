@@ -1,0 +1,119 @@
+#include "maxcompute/value.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace titant::maxcompute {
+
+int64_t Value::AsInt() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return std::get<int64_t>(data_);
+    case ValueType::kDouble:
+      return static_cast<int64_t>(std::get<double>(data_));
+    case ValueType::kBool:
+      return std::get<bool>(data_) ? 1 : 0;
+    default:
+      return 0;
+  }
+}
+
+double Value::AsDouble() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return static_cast<double>(std::get<int64_t>(data_));
+    case ValueType::kDouble:
+      return std::get<double>(data_);
+    case ValueType::kBool:
+      return std::get<bool>(data_) ? 1.0 : 0.0;
+    default:
+      return 0.0;
+  }
+}
+
+bool Value::AsBool() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return std::get<int64_t>(data_) != 0;
+    case ValueType::kDouble:
+      return std::get<double>(data_) != 0.0;
+    case ValueType::kBool:
+      return std::get<bool>(data_);
+    case ValueType::kString:
+      return !std::get<std::string>(data_).empty();
+    default:
+      return false;
+  }
+}
+
+std::string Value::AsString() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return std::to_string(std::get<int64_t>(data_));
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.10g", std::get<double>(data_));
+      return buf;
+    }
+    case ValueType::kBool:
+      return std::get<bool>(data_) ? "true" : "false";
+    case ValueType::kString:
+      return std::get<std::string>(data_);
+    default:
+      return "NULL";
+  }
+}
+
+int Value::Compare(const Value& a, const Value& b) {
+  const bool a_null = a.is_null();
+  const bool b_null = b.is_null();
+  if (a_null || b_null) return static_cast<int>(b_null) - static_cast<int>(a_null);
+  if (a.is_numeric() && b.is_numeric()) {
+    const double x = a.AsDouble();
+    const double y = b.AsDouble();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  const std::string x = a.AsString();
+  const std::string y = b.AsString();
+  return x < y ? -1 : (x > y ? 1 : 0);
+}
+
+int Schema::IndexOf(const std::string& name) const {
+  const std::string lower = ToLower(name);
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (ToLower(columns_[i].name) == lower) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += ValueTypeName(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+std::string_view ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt:
+      return "bigint";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kBool:
+      return "boolean";
+  }
+  return "?";
+}
+
+}  // namespace titant::maxcompute

@@ -1,0 +1,99 @@
+#ifndef TITANT_MAXCOMPUTE_VALUE_H_
+#define TITANT_MAXCOMPUTE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace titant::maxcompute {
+
+/// Column types of the batch platform's tables.
+enum class ValueType : uint8_t { kNull = 0, kInt = 1, kDouble = 2, kString = 3, kBool = 4 };
+
+/// A single cell value. Monostate encodes SQL NULL.
+class Value {
+ public:
+  Value() = default;
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(bool v) : data_(v) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    switch (data_.index()) {
+      case 1:
+        return ValueType::kInt;
+      case 2:
+        return ValueType::kDouble;
+      case 3:
+        return ValueType::kString;
+      case 4:
+        return ValueType::kBool;
+      default:
+        return ValueType::kNull;
+    }
+  }
+
+  bool is_null() const { return data_.index() == 0; }
+  bool is_numeric() const {
+    return type() == ValueType::kInt || type() == ValueType::kDouble ||
+           type() == ValueType::kBool;
+  }
+
+  int64_t AsInt() const;        // Numeric/bool coerced; 0 for null/string.
+  double AsDouble() const;      // Numeric/bool coerced; 0.0 otherwise.
+  bool AsBool() const;          // Truthy: nonzero number, non-empty string.
+  std::string AsString() const; // Printable form.
+
+  const std::string* string_or_null() const { return std::get_if<std::string>(&data_); }
+
+  /// SQL-style comparison: numerics compare numerically (int/double mix
+  /// allowed), strings lexicographically. Nulls sort first. Returns
+  /// <0, 0, >0.
+  static int Compare(const Value& a, const Value& b);
+
+  friend bool operator==(const Value& a, const Value& b) { return Compare(a, b) == 0; }
+  friend bool operator<(const Value& a, const Value& b) { return Compare(a, b) < 0; }
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string, bool> data_;
+};
+
+/// One table row.
+using Row = std::vector<Value>;
+
+/// A named, typed column.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kNull;
+};
+
+/// Table schema: ordered columns with unique (case-insensitive) names.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  const std::vector<Column>& columns() const { return columns_; }
+  std::size_t num_columns() const { return columns_.size(); }
+
+  /// Index of column `name` (case-insensitive); -1 if absent.
+  int IndexOf(const std::string& name) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// Human-readable type name ("bigint", "double", "string", "boolean").
+std::string_view ValueTypeName(ValueType type);
+
+}  // namespace titant::maxcompute
+
+#endif  // TITANT_MAXCOMPUTE_VALUE_H_

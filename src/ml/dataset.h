@@ -1,0 +1,66 @@
+#ifndef TITANT_ML_DATASET_H_
+#define TITANT_ML_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace titant::ml {
+
+/// Row-major dense feature matrix with optional binary labels.
+/// This is the common currency between the feature pipeline (src/core) and
+/// every detection model.
+class DataMatrix {
+ public:
+  DataMatrix() = default;
+  DataMatrix(std::size_t num_rows, int num_cols)
+      : num_rows_(num_rows),
+        num_cols_(num_cols),
+        values_(num_rows * static_cast<std::size_t>(num_cols), 0.0f) {}
+
+  std::size_t num_rows() const { return num_rows_; }
+  int num_cols() const { return num_cols_; }
+
+  float* Row(std::size_t i) { return values_.data() + i * static_cast<std::size_t>(num_cols_); }
+  const float* Row(std::size_t i) const {
+    return values_.data() + i * static_cast<std::size_t>(num_cols_);
+  }
+
+  float At(std::size_t row, int col) const {
+    return values_[row * static_cast<std::size_t>(num_cols_) + static_cast<std::size_t>(col)];
+  }
+  void Set(std::size_t row, int col, float v) {
+    values_[row * static_cast<std::size_t>(num_cols_) + static_cast<std::size_t>(col)] = v;
+  }
+
+  /// Binary labels (0/1); empty for unlabeled data. When present the size
+  /// equals num_rows().
+  const std::vector<uint8_t>& labels() const { return labels_; }
+  std::vector<uint8_t>& mutable_labels() { return labels_; }
+  bool has_labels() const { return labels_.size() == num_rows_; }
+
+  /// Optional column names (diagnostics / model dumps).
+  const std::vector<std::string>& column_names() const { return column_names_; }
+  std::vector<std::string>& mutable_column_names() { return column_names_; }
+
+  /// Fraction of positive labels; 0 for unlabeled data.
+  double PositiveRate() const {
+    if (!has_labels() || num_rows_ == 0) return 0.0;
+    std::size_t pos = 0;
+    for (uint8_t y : labels_) pos += y;
+    return static_cast<double>(pos) / static_cast<double>(num_rows_);
+  }
+
+ private:
+  std::size_t num_rows_ = 0;
+  int num_cols_ = 0;
+  std::vector<float> values_;
+  std::vector<uint8_t> labels_;
+  std::vector<std::string> column_names_;
+};
+
+}  // namespace titant::ml
+
+#endif  // TITANT_ML_DATASET_H_

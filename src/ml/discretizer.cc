@@ -1,0 +1,116 @@
+#include "ml/discretizer.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace titant::ml {
+
+StatusOr<Discretizer> Discretizer::Fit(const DataMatrix& data, int max_bins) {
+  if (max_bins < 2) return Status::InvalidArgument("max_bins must be >= 2");
+  if (data.num_rows() == 0) return Status::InvalidArgument("cannot fit on empty data");
+
+  Discretizer disc;
+  disc.boundaries_.resize(static_cast<std::size_t>(data.num_cols()));
+
+  std::vector<float> column(data.num_rows());
+  for (int f = 0; f < data.num_cols(); ++f) {
+    for (std::size_t r = 0; r < data.num_rows(); ++r) column[r] = data.At(r, f);
+    std::sort(column.begin(), column.end());
+
+    auto& cuts = disc.boundaries_[static_cast<std::size_t>(f)];
+    const std::size_t n = column.size();
+    for (int b = 1; b < max_bins; ++b) {
+      const std::size_t idx = n * static_cast<std::size_t>(b) / static_cast<std::size_t>(max_bins);
+      const float cut = column[std::min(idx, n - 1)];
+      // Skip duplicate cut points (low-cardinality features shrink).
+      if (cuts.empty() || cut > cuts.back()) cuts.push_back(cut);
+    }
+    // A cut equal to the global minimum creates an empty first bin; drop it.
+    if (!cuts.empty() && cuts.front() <= column.front()) cuts.erase(cuts.begin());
+  }
+  disc.RebuildOffsets();
+  return disc;
+}
+
+int Discretizer::MaxBins() const {
+  int best = 1;
+  for (int f = 0; f < num_features(); ++f) best = std::max(best, NumBins(f));
+  return best;
+}
+
+int Discretizer::BinOf(int feature, float value) const {
+  const auto& cuts = boundaries_[static_cast<std::size_t>(feature)];
+  // Bin = count of cut points <= value (value < cuts[0] -> bin 0, etc).
+  return static_cast<int>(std::upper_bound(cuts.begin(), cuts.end(), value) - cuts.begin());
+}
+
+void Discretizer::TransformRow(const float* row, uint16_t* bins_out) const {
+  for (int f = 0; f < num_features(); ++f) {
+    bins_out[f] = static_cast<uint16_t>(BinOf(f, row[f]));
+  }
+}
+
+std::vector<uint16_t> Discretizer::Transform(const DataMatrix& data) const {
+  std::vector<uint16_t> out(data.num_rows() * static_cast<std::size_t>(num_features()));
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    TransformRow(data.Row(r), out.data() + r * static_cast<std::size_t>(num_features()));
+  }
+  return out;
+}
+
+std::size_t Discretizer::OneHotWidth() const {
+  return onehot_offsets_.empty()
+             ? 0
+             : onehot_offsets_.back() + static_cast<std::size_t>(NumBins(num_features() - 1));
+}
+
+void Discretizer::RebuildOffsets() {
+  onehot_offsets_.resize(boundaries_.size());
+  std::size_t offset = 0;
+  for (std::size_t f = 0; f < boundaries_.size(); ++f) {
+    onehot_offsets_[f] = offset;
+    offset += boundaries_[f].size() + 1;
+  }
+}
+
+std::string Discretizer::Serialize() const {
+  std::string blob;
+  const uint32_t num = static_cast<uint32_t>(boundaries_.size());
+  blob.append(reinterpret_cast<const char*>(&num), sizeof(num));
+  for (const auto& cuts : boundaries_) {
+    const uint32_t k = static_cast<uint32_t>(cuts.size());
+    blob.append(reinterpret_cast<const char*>(&k), sizeof(k));
+    blob.append(reinterpret_cast<const char*>(cuts.data()), cuts.size() * sizeof(float));
+  }
+  return blob;
+}
+
+StatusOr<Discretizer> Discretizer::Deserialize(const std::string& blob) {
+  const char* p = blob.data();
+  const char* end = blob.data() + blob.size();
+  auto read = [&](void* dst, std::size_t n) -> bool {
+    if (p + n > end) return false;
+    std::memcpy(dst, p, n);
+    p += n;
+    return true;
+  };
+  uint32_t num = 0;
+  if (!read(&num, sizeof(num))) return Status::Corruption("discretizer: truncated header");
+  if (num > (1u << 24)) return Status::Corruption("discretizer: implausible feature count");
+  Discretizer disc;
+  disc.boundaries_.resize(num);
+  for (uint32_t f = 0; f < num; ++f) {
+    uint32_t k = 0;
+    if (!read(&k, sizeof(k))) return Status::Corruption("discretizer: truncated bin count");
+    if (k > (1u << 20)) return Status::Corruption("discretizer: implausible bin count");
+    disc.boundaries_[f].resize(k);
+    if (!read(disc.boundaries_[f].data(), k * sizeof(float))) {
+      return Status::Corruption("discretizer: truncated boundaries");
+    }
+  }
+  if (p != end) return Status::Corruption("discretizer: trailing bytes");
+  disc.RebuildOffsets();
+  return disc;
+}
+
+}  // namespace titant::ml

@@ -1,0 +1,64 @@
+#ifndef TITANT_ML_DISCRETIZER_H_
+#define TITANT_ML_DISCRETIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "ml/dataset.h"
+
+namespace titant::ml {
+
+/// Equal-frequency (quantile) discretizer: fits per-feature bin boundaries
+/// on training data and maps raw values to bin indices. This is the
+/// preprocessing the paper applies before ID3/C5.0 and LR (§5.1: LR's best
+/// bin size is 200) and the pre-binning stage of the histogram GBDT.
+class Discretizer {
+ public:
+  /// Fits boundaries with up to `max_bins` bins per feature (>= 2).
+  /// Features with fewer distinct values get fewer bins.
+  static StatusOr<Discretizer> Fit(const DataMatrix& data, int max_bins);
+
+  /// Number of bins actually used for feature `f` (>= 1).
+  int NumBins(int feature) const {
+    return static_cast<int>(boundaries_[static_cast<std::size_t>(feature)].size()) + 1;
+  }
+
+  int num_features() const { return static_cast<int>(boundaries_.size()); }
+
+  /// Largest NumBins over all features.
+  int MaxBins() const;
+
+  /// Bin index of `value` for feature `f`: the number of boundaries <= value.
+  int BinOf(int feature, float value) const;
+
+  /// Transforms a raw row (num_features values) into bin indices.
+  void TransformRow(const float* row, uint16_t* bins_out) const;
+
+  /// Transforms a whole matrix into a row-major bin-index matrix.
+  std::vector<uint16_t> Transform(const DataMatrix& data) const;
+
+  /// Total one-hot width: sum over features of NumBins.
+  std::size_t OneHotWidth() const;
+
+  /// Offset of feature `f`'s first one-hot column.
+  std::size_t OneHotOffset(int feature) const {
+    return onehot_offsets_[static_cast<std::size_t>(feature)];
+  }
+
+  /// Serialization for model files.
+  std::string Serialize() const;
+  static StatusOr<Discretizer> Deserialize(const std::string& blob);
+
+ private:
+  // boundaries_[f] is a sorted list of right-exclusive cut points.
+  std::vector<std::vector<float>> boundaries_;
+  std::vector<std::size_t> onehot_offsets_;
+
+  void RebuildOffsets();
+};
+
+}  // namespace titant::ml
+
+#endif  // TITANT_ML_DISCRETIZER_H_

@@ -1,0 +1,86 @@
+#ifndef TITANT_ML_GBDT_H_
+#define TITANT_ML_GBDT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/statusor.h"
+#include "ml/discretizer.h"
+#include "ml/model.h"
+
+namespace titant::ps {
+class DistributedGbdtTrainer;  // KunPeng reimplementation (src/ps).
+}  // namespace titant::ps
+
+namespace titant::ml {
+
+/// GBDT hyperparameters. §5.1: 400 trees of depth 3, RMSE objective,
+/// row and feature subsampling rate 0.4.
+struct GbdtOptions {
+  int num_trees = 400;
+  int max_depth = 3;
+  double learning_rate = 0.1;   // Shrinkage applied to every leaf.
+  double row_subsample = 0.4;   // Per-tree sample-without-replacement rate.
+  double feature_subsample = 0.4;
+  int max_bins = 64;            // Histogram pre-binning resolution.
+  int min_child_samples = 8;
+  uint64_t seed = 31;
+};
+
+/// Histogram-based gradient-boosted regression trees on the 0/1 fraud
+/// label with a squared-error objective (gradient = residual), exactly the
+/// classical GBRT the paper describes. Scores are clamped to [0, 1].
+class GbdtModel : public Model {
+ public:
+  explicit GbdtModel(GbdtOptions options = {});
+
+  std::string_view type_name() const override { return "gbdt"; }
+  Status Train(const DataMatrix& train) override;
+  int num_features() const override { return num_features_; }
+  double Score(const float* row) const override;
+  std::string SerializePayload() const override;
+
+  static StatusOr<std::unique_ptr<GbdtModel>> FromPayload(const std::string& payload);
+
+  int num_trees() const { return static_cast<int>(trees_.size()); }
+  const GbdtOptions& options() const { return options_; }
+
+  /// Training RMSE after the final boosting round (convergence tests).
+  double final_train_rmse() const { return final_train_rmse_; }
+
+  /// Split-frequency feature importance: how often each feature is chosen
+  /// as a split across the ensemble, normalized to sum to 1. Computable on
+  /// deserialized models too (no training-time state needed). Returns
+  /// (feature index, share) pairs sorted descending.
+  std::vector<std::pair<int, double>> FeatureImportance() const;
+
+ private:
+  // The PS-based trainer builds the same tree representation remotely and
+  // assembles a servable GbdtModel from it.
+  friend class ::titant::ps::DistributedGbdtTrainer;
+
+  struct Node {
+    int32_t feature = -1;     // -1 = leaf.
+    int32_t bin_threshold = 0;  // Go left if bin <= threshold.
+    int32_t left = -1;
+    int32_t right = -1;
+    float value = 0.0f;       // Leaf contribution (already shrunk).
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+  };
+
+  double PredictTreeBinned(const Tree& tree, const uint16_t* bins) const;
+
+  GbdtOptions options_;
+  Discretizer discretizer_;
+  std::vector<Tree> trees_;
+  double base_score_ = 0.0;
+  double final_train_rmse_ = 0.0;
+  int num_features_ = -1;
+};
+
+}  // namespace titant::ml
+
+#endif  // TITANT_ML_GBDT_H_

@@ -1,0 +1,66 @@
+#ifndef TITANT_ML_LOGISTIC_REGRESSION_H_
+#define TITANT_ML_LOGISTIC_REGRESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/statusor.h"
+#include "ml/discretizer.h"
+#include "ml/model.h"
+
+namespace titant::ml {
+
+/// LR hyperparameters. §5.1: L1 weight 0.1, 300 iterations, and
+/// equal-frequency discretization with 200 bins (one-hot encoded), which
+/// "tremendously improves performance" over raw continuous features.
+struct LogisticRegressionOptions {
+  /// Discretize + one-hot (the paper's best configuration). When false the
+  /// model standardizes the raw features instead (kept for the ablation
+  /// bench reproducing the paper's remark).
+  bool discretize = true;
+  int bins = 200;
+  /// L1 regularization weight. Note on units: the paper's lambda = 0.1 is
+  /// under its framework's loss normalization; under ours (mean loss, per-
+  /// example proximal step lr*l1/n) the grid-searched equivalent is 1.0.
+  double l1 = 1.0;
+  int iterations = 300;   // SGD epochs.
+  double alpha = 0.1;     // Initial learning rate.
+  double decay = 0.05;    // Per-epoch learning-rate decay.
+  uint64_t seed = 29;
+};
+
+/// Binary logistic regression with L1 (cumulative-penalty proximal SGD,
+/// Tsuruoka et al. 2009 — exact lazy updates on sparse one-hot rows).
+class LogisticRegressionModel : public Model {
+ public:
+  explicit LogisticRegressionModel(LogisticRegressionOptions options = {});
+
+  std::string_view type_name() const override { return "lr"; }
+  Status Train(const DataMatrix& train) override;
+  int num_features() const override { return num_features_; }
+  double Score(const float* row) const override;
+  std::string SerializePayload() const override;
+
+  static StatusOr<std::unique_ptr<LogisticRegressionModel>> FromPayload(
+      const std::string& payload);
+
+  /// Number of exactly-zero weights (L1 sparsity diagnostic).
+  std::size_t ZeroWeights() const;
+
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  double Margin(const float* row) const;
+
+  LogisticRegressionOptions options_;
+  Discretizer discretizer_;        // Used when options_.discretize.
+  std::vector<double> mean_, inv_std_;  // Used otherwise.
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  int num_features_ = -1;
+};
+
+}  // namespace titant::ml
+
+#endif  // TITANT_ML_LOGISTIC_REGRESSION_H_

@@ -1,0 +1,171 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace titant::ml {
+
+namespace {
+
+Status ValidateInputs(const std::vector<double>& scores, const std::vector<uint8_t>& labels) {
+  if (scores.empty()) return Status::InvalidArgument("empty score vector");
+  if (scores.size() != labels.size()) {
+    return Status::InvalidArgument("scores and labels differ in length");
+  }
+  return Status::OK();
+}
+
+BinaryMetrics FromCounts(std::size_t tp, std::size_t fp, std::size_t fn, double threshold) {
+  BinaryMetrics m;
+  m.true_positives = tp;
+  m.false_positives = fp;
+  m.false_negatives = fn;
+  m.threshold = threshold;
+  m.precision = (tp + fp) == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(tp + fp);
+  m.recall = (tp + fn) == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(tp + fn);
+  m.f1 = (m.precision + m.recall) == 0.0
+             ? 0.0
+             : 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  return m;
+}
+
+}  // namespace
+
+StatusOr<BinaryMetrics> MetricsAtThreshold(const std::vector<double>& scores,
+                                           const std::vector<uint8_t>& labels,
+                                           double threshold) {
+  TITANT_RETURN_IF_ERROR(ValidateInputs(scores, labels));
+  std::size_t tp = 0, fp = 0, fn = 0;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    const bool predicted = scores[i] >= threshold;
+    if (predicted && labels[i]) {
+      ++tp;
+    } else if (predicted) {
+      ++fp;
+    } else if (labels[i]) {
+      ++fn;
+    }
+  }
+  return FromCounts(tp, fp, fn, threshold);
+}
+
+StatusOr<BinaryMetrics> BestF1(const std::vector<double>& scores,
+                               const std::vector<uint8_t>& labels) {
+  TITANT_RETURN_IF_ERROR(ValidateInputs(scores, labels));
+  const std::size_t n = scores.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
+
+  std::size_t total_pos = 0;
+  for (uint8_t y : labels) total_pos += y;
+
+  BinaryMetrics best;  // F1 = 0 default (predict nothing).
+  best.false_negatives = total_pos;
+  best.threshold = scores[order[0]] + 1.0;
+
+  std::size_t tp = 0;
+  std::size_t predicted = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    tp += labels[order[i]];
+    ++predicted;
+    // Only evaluate at distinct-score boundaries (threshold = this score).
+    if (i + 1 < n && scores[order[i + 1]] == scores[order[i]]) continue;
+    const BinaryMetrics m =
+        FromCounts(tp, predicted - tp, total_pos - tp, scores[order[i]]);
+    if (m.f1 > best.f1) best = m;
+  }
+  return best;
+}
+
+StatusOr<double> RecallAtTopPercent(const std::vector<double>& scores,
+                                    const std::vector<uint8_t>& labels, double percent) {
+  TITANT_RETURN_IF_ERROR(ValidateInputs(scores, labels));
+  if (percent <= 0.0 || percent > 100.0) {
+    return Status::InvalidArgument("percent must be in (0, 100]");
+  }
+  const std::size_t n = scores.size();
+  std::size_t k = static_cast<std::size_t>(std::ceil(static_cast<double>(n) * percent / 100.0));
+  k = std::min(std::max<std::size_t>(k, 1), n);
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k), order.end(),
+                    [&](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
+
+  std::size_t total_pos = 0;
+  for (uint8_t y : labels) total_pos += y;
+  if (total_pos == 0) return 0.0;
+
+  std::size_t hit = 0;
+  for (std::size_t i = 0; i < k; ++i) hit += labels[order[i]];
+  return static_cast<double>(hit) / static_cast<double>(total_pos);
+}
+
+StatusOr<double> ThresholdForPrecision(const std::vector<double>& scores,
+                                       const std::vector<uint8_t>& labels,
+                                       double target_precision) {
+  TITANT_RETURN_IF_ERROR(ValidateInputs(scores, labels));
+  if (target_precision <= 0.0 || target_precision > 1.0) {
+    return Status::InvalidArgument("target_precision must be in (0, 1]");
+  }
+  const std::size_t n = scores.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
+  std::size_t tp = 0, predicted = 0;
+  double best = 0.0;
+  bool found = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    tp += labels[order[i]];
+    ++predicted;
+    if (i + 1 < n && scores[order[i + 1]] == scores[order[i]]) continue;
+    const double precision = static_cast<double>(tp) / static_cast<double>(predicted);
+    if (precision >= target_precision) {
+      // The *lowest* qualifying threshold maximizes recall at the SLA.
+      best = scores[order[i]];
+      found = true;
+    }
+  }
+  if (!found) return Status::NotFound("no threshold reaches the precision target");
+  return best;
+}
+
+StatusOr<double> RocAuc(const std::vector<double>& scores, const std::vector<uint8_t>& labels) {
+  TITANT_RETURN_IF_ERROR(ValidateInputs(scores, labels));
+  const std::size_t n = scores.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+
+  // Rank-sum (Mann-Whitney) with tie-averaged ranks.
+  std::vector<double> rank(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t t = i; t <= j; ++t) rank[order[t]] = avg_rank;
+    i = j + 1;
+  }
+  double pos_rank_sum = 0.0;
+  std::size_t pos = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    if (labels[t]) {
+      pos_rank_sum += rank[t];
+      ++pos;
+    }
+  }
+  const std::size_t neg = n - pos;
+  if (pos == 0 || neg == 0) {
+    return Status::InvalidArgument("AUC undefined: labels are single-class");
+  }
+  const double u = pos_rank_sum - static_cast<double>(pos) * (pos + 1) / 2.0;
+  return u / (static_cast<double>(pos) * static_cast<double>(neg));
+}
+
+}  // namespace titant::ml

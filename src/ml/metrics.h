@@ -1,0 +1,54 @@
+#ifndef TITANT_ML_METRICS_H_
+#define TITANT_ML_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace titant::ml {
+
+/// Confusion-matrix-derived scores at one operating point.
+struct BinaryMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  double threshold = 0.0;
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+  std::size_t false_negatives = 0;
+};
+
+/// Metrics for predicting positive when score >= threshold.
+/// `scores` and `labels` must have equal, non-zero length.
+StatusOr<BinaryMetrics> MetricsAtThreshold(const std::vector<double>& scores,
+                                           const std::vector<uint8_t>& labels, double threshold);
+
+/// Sweeps all distinct score thresholds and returns the best-F1 operating
+/// point. This is the evaluation used for the paper's F1 tables: the model
+/// emits a fraud probability and the operating point is chosen on the
+/// score distribution (the paper does not pin a fixed threshold).
+StatusOr<BinaryMetrics> BestF1(const std::vector<double>& scores,
+                               const std::vector<uint8_t>& labels);
+
+/// Recall among the top `percent`% highest-scoring cases (Fig. 9's
+/// "rec@top 1%"): what fraction of all frauds lands in that bucket. Ties at
+/// the cut are broken by original order.
+StatusOr<double> RecallAtTopPercent(const std::vector<double>& scores,
+                                    const std::vector<uint8_t>& labels, double percent);
+
+/// Area under the ROC curve (rank-based, ties averaged).
+StatusOr<double> RocAuc(const std::vector<double>& scores, const std::vector<uint8_t>& labels);
+
+/// Picks the lowest score threshold whose precision on (scores, labels)
+/// is at least `target_precision` — how the deployment calibrates the
+/// Model Server's interrupt threshold on a validation day so that
+/// transaction interruptions stay above a precision SLA. Returns NotFound
+/// if no threshold reaches the target.
+StatusOr<double> ThresholdForPrecision(const std::vector<double>& scores,
+                                       const std::vector<uint8_t>& labels,
+                                       double target_precision);
+
+}  // namespace titant::ml
+
+#endif  // TITANT_ML_METRICS_H_

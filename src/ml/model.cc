@@ -1,0 +1,62 @@
+#include "ml/model.h"
+
+#include <cstring>
+
+#include "ml/decision_tree.h"
+#include "ml/gbdt.h"
+#include "ml/isolation_forest.h"
+#include "ml/logistic_regression.h"
+
+namespace titant::ml {
+
+StatusOr<std::vector<double>> Model::ScoreAll(const DataMatrix& data) const {
+  if (data.num_cols() != num_features()) {
+    return Status::InvalidArgument("feature width mismatch: model expects " +
+                                   std::to_string(num_features()) + ", data has " +
+                                   std::to_string(data.num_cols()));
+  }
+  std::vector<double> scores(data.num_rows());
+  for (std::size_t i = 0; i < data.num_rows(); ++i) scores[i] = Score(data.Row(i));
+  return scores;
+}
+
+std::string SerializeModel(const Model& model) {
+  const std::string_view tag = model.type_name();
+  std::string blob;
+  const uint32_t tag_len = static_cast<uint32_t>(tag.size());
+  blob.append(reinterpret_cast<const char*>(&tag_len), sizeof(tag_len));
+  blob.append(tag);
+  blob += model.SerializePayload();
+  return blob;
+}
+
+StatusOr<std::unique_ptr<Model>> DeserializeModel(const std::string& blob) {
+  if (blob.size() < sizeof(uint32_t)) return Status::Corruption("model blob too short");
+  uint32_t tag_len = 0;
+  std::memcpy(&tag_len, blob.data(), sizeof(tag_len));
+  if (tag_len > 64 || sizeof(uint32_t) + tag_len > blob.size()) {
+    return Status::Corruption("model blob: bad tag length");
+  }
+  const std::string tag = blob.substr(sizeof(uint32_t), tag_len);
+  const std::string payload = blob.substr(sizeof(uint32_t) + tag_len);
+
+  if (tag == "dtree") {
+    TITANT_ASSIGN_OR_RETURN(auto m, DecisionTreeModel::FromPayload(payload));
+    return std::unique_ptr<Model>(std::move(m));
+  }
+  if (tag == "iforest") {
+    TITANT_ASSIGN_OR_RETURN(auto m, IsolationForestModel::FromPayload(payload));
+    return std::unique_ptr<Model>(std::move(m));
+  }
+  if (tag == "lr") {
+    TITANT_ASSIGN_OR_RETURN(auto m, LogisticRegressionModel::FromPayload(payload));
+    return std::unique_ptr<Model>(std::move(m));
+  }
+  if (tag == "gbdt") {
+    TITANT_ASSIGN_OR_RETURN(auto m, GbdtModel::FromPayload(payload));
+    return std::unique_ptr<Model>(std::move(m));
+  }
+  return Status::Corruption("unknown model type tag: " + tag);
+}
+
+}  // namespace titant::ml

@@ -1,0 +1,16 @@
+#include "nrl/deepwalk.h"
+
+namespace titant::nrl {
+
+StatusOr<EmbeddingMatrix> DeepWalk(const graph::TransactionNetwork& network,
+                                   const DeepWalkOptions& options) {
+  graph::RandomWalkOptions walk_opts = options.walk;
+  walk_opts.seed = options.seed * 2 + 1;
+  TITANT_ASSIGN_OR_RETURN(graph::WalkCorpus corpus, graph::GenerateWalks(network, walk_opts));
+
+  Word2VecOptions w2v_opts = options.w2v;
+  w2v_opts.seed = options.seed * 2 + 2;
+  return TrainSkipGram(corpus, network.num_nodes(), w2v_opts);
+}
+
+}  // namespace titant::nrl

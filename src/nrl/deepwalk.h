@@ -1,0 +1,27 @@
+#ifndef TITANT_NRL_DEEPWALK_H_
+#define TITANT_NRL_DEEPWALK_H_
+
+#include "common/statusor.h"
+#include "graph/graph.h"
+#include "graph/random_walk.h"
+#include "nrl/embedding.h"
+#include "nrl/word2vec.h"
+
+namespace titant::nrl {
+
+/// End-to-end DeepWalk configuration. Defaults follow §5.1: walk length 50,
+/// 100 samplings per node, embedding dimension 32.
+struct DeepWalkOptions {
+  graph::RandomWalkOptions walk;
+  Word2VecOptions w2v;
+  uint64_t seed = 11;  // Overrides the sub-seeds for convenience.
+};
+
+/// Runs DeepWalk over `network`: random-walk corpus generation followed by
+/// skip-gram training. Returns the |V| x dim user node embedding matrix.
+StatusOr<EmbeddingMatrix> DeepWalk(const graph::TransactionNetwork& network,
+                                   const DeepWalkOptions& options);
+
+}  // namespace titant::nrl
+
+#endif  // TITANT_NRL_DEEPWALK_H_

@@ -1,0 +1,37 @@
+#ifndef TITANT_NRL_LINE_H_
+#define TITANT_NRL_LINE_H_
+
+#include <cstdint>
+
+#include "common/statusor.h"
+#include "graph/graph.h"
+#include "nrl/embedding.h"
+
+namespace titant::nrl {
+
+/// LINE hyperparameters (Tang et al. 2015 — one of the NRL alternatives
+/// the paper surveys in §2.4). Trains by edge sampling with negative
+/// sampling; no random-walk corpus is materialized.
+struct LineOptions {
+  int dim = 32;
+  /// 1 = first-order proximity (neighbors embed close); 2 = second-order
+  /// (nodes with similar neighborhoods embed close, via context vectors).
+  int order = 2;
+  /// Total edge samples, expressed as a multiple of |E|.
+  double samples_per_edge = 200.0;
+  int negatives = 5;
+  float alpha = 0.025f;
+  float min_alpha = 1e-4f;
+  double neg_power = 0.75;
+  uint64_t seed = 37;
+};
+
+/// Learns LINE embeddings over `network` (undirected interpretation:
+/// every stored edge is sampled in both directions). Returns the |V| x dim
+/// vertex matrix.
+StatusOr<EmbeddingMatrix> TrainLine(const graph::TransactionNetwork& network,
+                                    const LineOptions& options);
+
+}  // namespace titant::nrl
+
+#endif  // TITANT_NRL_LINE_H_

@@ -1,0 +1,197 @@
+#include "nrl/struct2vec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+
+namespace titant::nrl {
+
+namespace {
+
+constexpr int kRawDim = 6;  // degrees + weighted degrees + reciprocity + in/out balance
+
+float Sigmoid(float x) {
+  if (x > 30.0f) return 1.0f;
+  if (x < -30.0f) return 0.0f;
+  return 1.0f / (1.0f + std::exp(-x));
+}
+
+// Leaky rectifier: plain relu dies under heavy label imbalance (the
+// majority-class gradient pushes every unit's pre-activation negative and
+// the embedding collapses to exactly zero); the leak keeps the units alive
+// while preserving the nonlinearity.
+constexpr float kLeak = 0.2f;
+
+// Activations are clamped to a sane band: on adversarial graphs the
+// block-coordinate updates can otherwise blow the representation up.
+float LeakyRelu(float z) {
+  const float a = z > 0.0f ? z : kLeak * z;
+  return std::clamp(a, -50.0f, 50.0f);
+}
+float LeakyReluGrad(float z) { return z > 0.0f ? 1.0f : kLeak; }
+
+}  // namespace
+
+StatusOr<EmbeddingMatrix> Struct2Vec(const graph::TransactionNetwork& network,
+                                     const NodeLabels& labels,
+                                     const Struct2VecOptions& options) {
+  const std::size_t n = network.num_nodes();
+  if (options.dim <= 0) return Status::InvalidArgument("dim must be positive");
+  if (options.iterations <= 0) return Status::InvalidArgument("iterations must be positive");
+  if (options.epochs <= 0) return Status::InvalidArgument("epochs must be positive");
+  if (labels.label.size() != n || labels.has_label.size() != n) {
+    return Status::InvalidArgument("label vectors must have one entry per node");
+  }
+
+  const int d = options.dim;
+  Rng rng(options.seed);
+
+  // Raw structural features. Reciprocity (mutual-edge share) and in/out
+  // balance distinguish community-internal accounts from one-directional
+  // hubs — structure a degree count alone cannot express.
+  std::vector<float> raw(n * kRawDim);
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto node = static_cast<graph::NodeId>(v);
+    double w_out = 0.0;
+    std::size_t reciprocal = 0;
+    auto [ob, oe] = network.OutNeighbors(node);
+    auto [ib, ie] = network.InNeighbors(node);
+    for (const auto* e = ob; e != oe; ++e) {
+      w_out += e->weight;
+      for (const auto* in = ib; in != ie; ++in) {
+        if (in->neighbor == e->neighbor) {
+          ++reciprocal;
+          break;
+        }
+      }
+    }
+    const double out_deg = static_cast<double>(network.OutDegree(node));
+    const double in_deg = static_cast<double>(network.InDegree(node));
+    raw[v * kRawDim + 0] = std::log1p(static_cast<float>(out_deg));
+    raw[v * kRawDim + 1] = std::log1p(static_cast<float>(in_deg));
+    raw[v * kRawDim + 2] = std::log1p(static_cast<float>(w_out));
+    raw[v * kRawDim + 3] = std::log1p(static_cast<float>(network.WeightedInDegree(node)));
+    raw[v * kRawDim + 4] =
+        out_deg > 0 ? static_cast<float>(reciprocal / out_deg) : 0.0f;
+    raw[v * kRawDim + 5] =
+        static_cast<float>((in_deg - out_deg) / (1.0 + in_deg + out_deg));
+  }
+
+  // Parameters.
+  auto init = [&](std::size_t count, float scale) {
+    std::vector<float> w(count);
+    for (auto& x : w) x = static_cast<float>((rng.NextDouble() - 0.5) * 2.0 * scale);
+    return w;
+  };
+  std::vector<float> w1 = init(static_cast<std::size_t>(d) * kRawDim, 0.3f);
+  std::vector<float> w2 =
+      init(static_cast<std::size_t>(d) * static_cast<std::size_t>(d), 0.08f);
+  std::vector<float> w_out = init(static_cast<std::size_t>(d), 0.3f);
+  float bias = 0.0f;
+
+  EmbeddingMatrix mu(n, d);       // Current-round embeddings.
+  EmbeddingMatrix mu_prev(n, d);  // Previous round.
+  std::vector<float> agg(n * static_cast<std::size_t>(d));  // Mean neighbor message.
+
+  // Forward pass: fills `mu` (and `agg` with the messages of the final
+  // round, which the epoch's gradient step treats as constants).
+  auto forward = [&] {
+    // Round 0: mu = relu(W1 x).
+    for (std::size_t v = 0; v < n; ++v) {
+      float* out = mu.Row(v);
+      const float* x = &raw[v * kRawDim];
+      for (int i = 0; i < d; ++i) {
+        float z = 0.0f;
+        for (int j = 0; j < kRawDim; ++j) z += w1[static_cast<std::size_t>(i) * kRawDim + j] * x[j];
+        out[i] = LeakyRelu(z);
+      }
+    }
+    for (int t = 0; t < options.iterations; ++t) {
+      std::swap(mu, mu_prev);
+      // Mean message over undirected neighborhood.
+      std::fill(agg.begin(), agg.end(), 0.0f);
+      for (std::size_t v = 0; v < n; ++v) {
+        const auto node = static_cast<graph::NodeId>(v);
+        float* a = &agg[v * static_cast<std::size_t>(d)];
+        std::size_t cnt = 0;
+        auto accumulate = [&](const graph::TransactionNetwork::Edge* b,
+                              const graph::TransactionNetwork::Edge* e) {
+          for (const auto* it = b; it != e; ++it) {
+            const float* m = mu_prev.Row(it->neighbor);
+            for (int i = 0; i < d; ++i) a[i] += m[i];
+            ++cnt;
+          }
+        };
+        auto [ob, oe] = network.OutNeighbors(node);
+        accumulate(ob, oe);
+        auto [ib, ie] = network.InNeighbors(node);
+        accumulate(ib, ie);
+        if (cnt > 1) {
+          const float inv = 1.0f / static_cast<float>(cnt);
+          for (int i = 0; i < d; ++i) a[i] *= inv;
+        }
+      }
+      // mu = relu(W1 x + W2 agg).
+      for (std::size_t v = 0; v < n; ++v) {
+        float* out = mu.Row(v);
+        const float* x = &raw[v * kRawDim];
+        const float* a = &agg[v * static_cast<std::size_t>(d)];
+        for (int i = 0; i < d; ++i) {
+          float z = 0.0f;
+          for (int j = 0; j < kRawDim; ++j) {
+            z += w1[static_cast<std::size_t>(i) * kRawDim + j] * x[j];
+          }
+          const float* w2_row = &w2[static_cast<std::size_t>(i) * static_cast<std::size_t>(d)];
+          for (int j = 0; j < d; ++j) z += w2_row[j] * a[j];
+          out[i] = LeakyRelu(z);
+        }
+      }
+    }
+  };
+
+  std::vector<std::size_t> labeled;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (labels.has_label[v]) labeled.push_back(v);
+  }
+  if (labeled.empty()) return Status::InvalidArgument("no labeled nodes for Struct2Vec");
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    forward();
+    rng.Shuffle(labeled);
+    const float lr = options.lr / (1.0f + 0.1f * static_cast<float>(epoch));
+    for (std::size_t v : labeled) {
+      const float y = labels.label[v] ? 1.0f : 0.0f;
+      const float* x = &raw[v * kRawDim];
+      const float* a = &agg[v * static_cast<std::size_t>(d)];
+      const float* m = mu.Row(v);
+      float score = bias;
+      for (int i = 0; i < d; ++i) score += w_out[i] * m[i];
+      const float g = Sigmoid(score) - y;  // dLoss/dscore
+      // Output layer.
+      for (int i = 0; i < d; ++i) {
+        const float grad = g * m[i] + options.l2 * w_out[i];
+        w_out[i] -= lr * grad;
+      }
+      bias -= lr * g;
+      // Through the rectifier into W1/W2 (messages `a` held constant).
+      for (int i = 0; i < d; ++i) {
+        const float dz = g * w_out[i] * LeakyReluGrad(m[i]);
+        float* w1_row = &w1[static_cast<std::size_t>(i) * kRawDim];
+        for (int j = 0; j < kRawDim; ++j) {
+          w1_row[j] -= lr * (dz * x[j] + options.l2 * w1_row[j]);
+        }
+        float* w2_row = &w2[static_cast<std::size_t>(i) * static_cast<std::size_t>(d)];
+        for (int j = 0; j < d; ++j) {
+          w2_row[j] -= lr * (dz * a[j] + options.l2 * w2_row[j]);
+        }
+      }
+    }
+  }
+
+  forward();  // Final embeddings under the trained parameters.
+  return mu;
+}
+
+}  // namespace titant::nrl

@@ -1,0 +1,54 @@
+#ifndef TITANT_NRL_STRUCT2VEC_H_
+#define TITANT_NRL_STRUCT2VEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statusor.h"
+#include "graph/graph.h"
+#include "nrl/embedding.h"
+
+namespace titant::nrl {
+
+/// Structure2Vec hyperparameters (Dai et al. 2016, reimplemented per §3.2:
+/// a supervised embedding trained with the fraud ground truth as labels).
+struct Struct2VecOptions {
+  int dim = 32;
+  int iterations = 2;  // Rounds of neighbor aggregation (T).
+  int epochs = 30;     // SGD passes over the labeled nodes.
+  float lr = 0.05f;
+  float l2 = 1e-4f;
+  uint64_t seed = 13;
+};
+
+/// Per-node supervision for Struct2Vec. `label[v]` is meaningful only where
+/// `has_label[v]` is true; in the TitAnt pipeline a node is positive iff it
+/// received a reported-fraud transfer during the labeled training window
+/// ("the fraud ground truth as the edge labels", aggregated to endpoints).
+struct NodeLabels {
+  std::vector<uint8_t> label;
+  std::vector<uint8_t> has_label;
+};
+
+/// Learns supervised node embeddings by iterated neighbor aggregation:
+///
+///   mu_v^0 = relu(W1 x_v)
+///   mu_v^t = relu(W1 x_v + W2 * mean_{u in N(v)} mu_u^{t-1})
+///
+/// with x_v = [log1p(out_deg), log1p(in_deg), log1p(w_out), log1p(w_in)],
+/// trained so that sigmoid(w . mu_v^T + b) predicts the node label with
+/// plain (unweighted) logistic loss — deliberately so: the paper's point is
+/// that S2V inherits the label imbalance while DeepWalk does not.
+///
+/// Gradients use the standard industrial approximation of refreshing the
+/// aggregated messages once per epoch and treating them as constants within
+/// the epoch (block-coordinate training).
+///
+/// Returns the |V| x dim matrix of final-round embeddings.
+StatusOr<EmbeddingMatrix> Struct2Vec(const graph::TransactionNetwork& network,
+                                     const NodeLabels& labels,
+                                     const Struct2VecOptions& options);
+
+}  // namespace titant::nrl
+
+#endif  // TITANT_NRL_STRUCT2VEC_H_

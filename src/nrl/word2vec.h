@@ -1,0 +1,38 @@
+#ifndef TITANT_NRL_WORD2VEC_H_
+#define TITANT_NRL_WORD2VEC_H_
+
+#include <cstdint>
+
+#include "common/statusor.h"
+#include "graph/random_walk.h"
+#include "nrl/embedding.h"
+
+namespace titant::nrl {
+
+/// Skip-gram-with-negative-sampling hyperparameters (Mikolov et al.,
+/// as used by DeepWalk; §3.2/§4.3 of the paper).
+struct Word2VecOptions {
+  int dim = 32;
+  int window = 5;       // Max context offset; per-pair offset is sampled.
+  int negatives = 5;    // Negative samples per positive pair.
+  int epochs = 1;       // Passes over the walk corpus.
+  float alpha = 0.025f; // Initial learning rate, decayed linearly.
+  float min_alpha = 1e-4f;
+  double neg_power = 0.75;  // Unigram distribution exponent.
+  int num_threads = 1;      // >1 = lock-free Hogwild updates.
+  uint64_t seed = 7;
+};
+
+/// Trains node embeddings with SGNS over `corpus`. `num_nodes` fixes the
+/// vocabulary (row count); nodes absent from the corpus keep their random
+/// initialization near zero.
+///
+/// Returns the input ("syn0") embedding matrix. Deterministic for
+/// num_threads == 1; with more threads the result depends on benign update
+/// races (Hogwild), as in the reference implementation.
+StatusOr<EmbeddingMatrix> TrainSkipGram(const graph::WalkCorpus& corpus, std::size_t num_nodes,
+                                        const Word2VecOptions& options);
+
+}  // namespace titant::nrl
+
+#endif  // TITANT_NRL_WORD2VEC_H_

@@ -1,0 +1,36 @@
+#ifndef TITANT_PS_GBDT_TRAINER_H_
+#define TITANT_PS_GBDT_TRAINER_H_
+
+#include <memory>
+
+#include "common/statusor.h"
+#include "ml/dataset.h"
+#include "ml/gbdt.h"
+#include "ps/cluster.h"
+
+namespace titant::ps {
+
+/// Data-parallel GBDT on the KunPeng-style PS (§4.3): training rows are
+/// sharded across workers; per tree level every worker scans its shard,
+/// accumulates per-(node, feature) gradient histograms and pushes them to
+/// the servers (additive aggregation); the coordinator pulls the global
+/// histograms, picks the splits, and the workers re-partition their rows.
+///
+/// With row/feature subsampling disabled this produces the same trees as
+/// the single-machine ml::GbdtModel up to float summation order.
+class DistributedGbdtTrainer {
+ public:
+  DistributedGbdtTrainer(KunPengCluster& cluster, ml::GbdtOptions options)
+      : cluster_(cluster), options_(options) {}
+
+  /// Trains on `data` (labels required) and returns a servable model.
+  StatusOr<std::unique_ptr<ml::GbdtModel>> Train(const ml::DataMatrix& data);
+
+ private:
+  KunPengCluster& cluster_;
+  ml::GbdtOptions options_;
+};
+
+}  // namespace titant::ps
+
+#endif  // TITANT_PS_GBDT_TRAINER_H_

@@ -1,0 +1,134 @@
+#include "ps/server.h"
+
+#include "common/logging.h"
+
+namespace titant::ps {
+
+ServerNode::ServerNode(int id) : id_(id), thread_([this] { Loop(); }) {}
+
+ServerNode::~ServerNode() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void ServerNode::Push(std::vector<Key> keys, std::vector<float> values, int dim, PushOp op,
+                      std::function<void()> done) {
+  TITANT_CHECK(values.size() == keys.size() * static_cast<std::size_t>(dim));
+  Request req;
+  req.is_push = true;
+  req.keys = std::move(keys);
+  req.values = std::move(values);
+  req.dim = dim;
+  req.op = op;
+  req.push_done = std::move(done);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(req));
+  }
+  cv_.notify_one();
+}
+
+void ServerNode::Pull(std::vector<Key> keys, int dim,
+                      std::function<void(std::vector<float>)> done) {
+  Request req;
+  req.is_push = false;
+  req.keys = std::move(keys);
+  req.dim = dim;
+  req.pull_done = std::move(done);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(req));
+  }
+  cv_.notify_one();
+}
+
+void ServerNode::Loop() {
+  for (;;) {
+    Request req;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      req = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Apply(req);
+  }
+}
+
+void ServerNode::Apply(Request& req) {
+  const std::size_t dim = static_cast<std::size_t>(req.dim);
+  if (req.is_push) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (std::size_t i = 0; i < req.keys.size(); ++i) {
+        auto& param = params_[req.keys[i]];
+        if (param.size() != dim) param.assign(dim, 0.0f);
+        const float* src = req.values.data() + i * dim;
+        switch (req.op) {
+          case PushOp::kAdd:
+            for (std::size_t d = 0; d < dim; ++d) param[d] += src[d];
+            break;
+          case PushOp::kAssign:
+            for (std::size_t d = 0; d < dim; ++d) param[d] = src[d];
+            break;
+          case PushOp::kAverage: {
+            // Incremental running mean over pushes since the last reset.
+            uint32_t& count = average_counts_[req.keys[i]];
+            ++count;
+            const float inv = 1.0f / static_cast<float>(count);
+            for (std::size_t d = 0; d < dim; ++d) {
+              param[d] += (src[d] - param[d]) * inv;
+            }
+            break;
+          }
+        }
+      }
+      pushed_floats_ += req.values.size();
+    }
+    if (req.push_done) req.push_done();
+  } else {
+    std::vector<float> out(req.keys.size() * dim, 0.0f);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (std::size_t i = 0; i < req.keys.size(); ++i) {
+        auto it = params_.find(req.keys[i]);
+        if (it != params_.end() && it->second.size() == dim) {
+          std::copy(it->second.begin(), it->second.end(), out.begin() + i * dim);
+        }
+      }
+      pulled_floats_ += out.size();
+    }
+    if (req.pull_done) req.pull_done(std::move(out));
+  }
+}
+
+std::unordered_map<Key, std::vector<float>> ServerNode::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return params_;
+}
+
+void ServerNode::Restore(std::unordered_map<Key, std::vector<float>> state) {
+  std::lock_guard<std::mutex> lock(mu_);
+  params_ = std::move(state);
+  average_counts_.clear();
+}
+
+uint64_t ServerNode::pushed_floats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pushed_floats_;
+}
+
+uint64_t ServerNode::pulled_floats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pulled_floats_;
+}
+
+}  // namespace titant::ps

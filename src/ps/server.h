@@ -1,0 +1,93 @@
+#ifndef TITANT_PS_SERVER_H_
+#define TITANT_PS_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace titant::ps {
+
+/// Parameter key: identifies one dense vector (e.g. a node's embedding row
+/// or one feature's histogram buffer).
+using Key = uint64_t;
+
+/// How a Push combines incoming values with the stored parameter.
+enum class PushOp {
+  kAdd,     // parameter += value (gradient-style updates)
+  kAssign,  // parameter = value
+  kAverage, // parameter = running average over pushes since the last Pull
+            // (KunPeng's "model average" aggregation, §4.3)
+};
+
+/// One server node of the KunPeng-style PS (§4.3, Fig. 6): owns a shard of
+/// the model, runs its own thread, and serves Pull/Push requests from a
+/// mailbox. Values are fixed-width float vectors (width per key set on
+/// first write).
+class ServerNode {
+ public:
+  /// Starts the server thread. `id` is used in diagnostics only.
+  explicit ServerNode(int id);
+  ~ServerNode();
+
+  ServerNode(const ServerNode&) = delete;
+  ServerNode& operator=(const ServerNode&) = delete;
+
+  /// Asynchronously pushes `values[i]` (width `dim`) into `keys[i]`.
+  /// Completion is signaled through the returned future-like token.
+  void Push(std::vector<Key> keys, std::vector<float> values, int dim, PushOp op,
+            std::function<void()> done);
+
+  /// Asynchronously pulls `keys`; `done` receives a dense buffer of
+  /// keys.size()*dim floats (missing keys read as zero).
+  void Pull(std::vector<Key> keys, int dim,
+            std::function<void(std::vector<float>)> done);
+
+  /// Synchronously snapshots the full shard (checkpointing / final gather).
+  std::unordered_map<Key, std::vector<float>> Snapshot() const;
+
+  /// Restores the shard from a snapshot (failure recovery).
+  void Restore(std::unordered_map<Key, std::vector<float>> state);
+
+  /// Diagnostics: total floats received via Push / sent via Pull.
+  uint64_t pushed_floats() const;
+  uint64_t pulled_floats() const;
+
+  int id() const { return id_; }
+
+ private:
+  struct Request {
+    bool is_push = false;
+    std::vector<Key> keys;
+    std::vector<float> values;
+    int dim = 0;
+    PushOp op = PushOp::kAdd;
+    std::function<void()> push_done;
+    std::function<void(std::vector<float>)> pull_done;
+  };
+
+  void Loop();
+  void Apply(Request& req);
+
+  const int id_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool shutting_down_ = false;
+  std::unordered_map<Key, std::vector<float>> params_;
+  std::unordered_map<Key, uint32_t> average_counts_;
+  uint64_t pushed_floats_ = 0;
+  uint64_t pulled_floats_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace titant::ps
+
+#endif  // TITANT_PS_SERVER_H_

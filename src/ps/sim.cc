@@ -1,0 +1,142 @@
+#include "ps/sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include "common/random.h"
+
+namespace titant::ps {
+
+namespace {
+
+// Lognormal(0, sigma) speed multiplier >= 1 (a machine can only be slower
+// than nominal, never faster).
+double Jitter(Rng& rng, double sigma) {
+  return std::max(1.0, std::exp(rng.Gaussian(0.0, sigma)));
+}
+
+Status ValidateMachines(int machines) {
+  if (machines < 2) return Status::InvalidArgument("need at least 2 machines");
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<SimResult> SimulateDeepWalk(const DwWorkload& workload, int machines,
+                                     const MachineSpec& spec, uint64_t seed) {
+  TITANT_RETURN_IF_ERROR(ValidateMachines(machines));
+  const int workers = std::max(1, machines / 2);
+  const int servers = std::max(1, machines - workers);
+  Rng rng(seed ^ (static_cast<uint64_t>(machines) << 32));
+
+  // Workload volume.
+  const double tokens = static_cast<double>(workload.num_nodes) * workload.walks_per_node *
+                        workload.walk_length * workload.epochs;
+  const double pairs_per_token = workload.window;  // E[2 * reduced_window / 2].
+  const double total_pair_seconds =
+      tokens * pairs_per_token * workload.pair_cost_us * 1e-6;
+
+  // Communication: per batch, workers pull and push the batch vocabulary's
+  // syn0+syn1 rows. Unique nodes per batch saturate near the batch token
+  // count for long-tailed degree distributions; we charge 60% dedup.
+  const double batch_tokens =
+      static_cast<double>(workload.batch_walks) * workload.walk_length;
+  const double batch_vocab =
+      0.6 * batch_tokens * (1.0 + 0.3 * workload.negatives);  // syn0+syn1+negatives
+  const double batch_bytes = batch_vocab * workload.dim * sizeof(float) * 2.0;  // pull+push
+  const double total_batches = tokens / (batch_tokens * 1.0);
+
+  // Asynchronous steady state: each worker cycles pull -> train -> push
+  // independently. The per-batch period is bounded by local compute, the
+  // worker's own NIC, and its share of the server-side NIC capacity
+  // (workers and servers scale together, so the server bound tracks the
+  // worker-NIC bound). Makespan is the slowest machine's own timeline —
+  // no barriers, so stragglers do not stack.
+  const double batches_per_worker = total_batches / workers;
+  const double batch_thread_seconds = total_pair_seconds / total_batches;
+
+  const double worker_nic_seconds = batch_bytes / spec.nic_bytes_per_second;
+  const double server_share_seconds =
+      batch_bytes * workers / servers / spec.nic_bytes_per_second;
+  double worst_worker_time = 0.0;
+  double busy_compute = 0.0, busy_net = 0.0;
+  for (int w = 0; w < workers; ++w) {
+    const double machine_speed = Jitter(rng, spec.straggler_sigma * 0.5);
+    const double compute = batch_thread_seconds / spec.threads * machine_speed;
+    const double comm = std::max(worker_nic_seconds, server_share_seconds);
+    // Compute and communication overlap only partially (pull precedes the
+    // local updates); charge the larger plus 30% of the smaller.
+    const double period = std::max(compute, comm) + 0.3 * std::min(compute, comm) +
+                          2.0 * spec.rpc_latency_seconds;
+    busy_compute += compute * batches_per_worker;
+    busy_net += comm * batches_per_worker;
+    worst_worker_time = std::max(worst_worker_time, period * batches_per_worker);
+  }
+
+  SimResult result;
+  result.seconds = worst_worker_time;
+  result.compute_seconds = busy_compute / workers;
+  result.network_seconds = busy_net / workers;
+  result.bytes_moved = static_cast<uint64_t>(batch_bytes * total_batches);
+  return result;
+}
+
+StatusOr<SimResult> SimulateGbdt(const GbdtWorkload& workload, int machines,
+                                 const MachineSpec& spec, uint64_t seed) {
+  TITANT_RETURN_IF_ERROR(ValidateMachines(machines));
+  const int workers = std::max(1, machines / 2);
+  const int servers = std::max(1, machines - workers);
+  Rng rng(seed ^ (static_cast<uint64_t>(machines) << 32));
+
+  const double rows_in_tree =
+      static_cast<double>(workload.num_rows) * workload.row_subsample;
+  const double features_used = workload.num_features * workload.feature_subsample;
+
+  // Fixed per-machine jitter plus per-round noise.
+  std::vector<double> machine_speed(static_cast<std::size_t>(workers));
+  for (auto& s : machine_speed) s = Jitter(rng, spec.straggler_sigma * 0.4);
+
+  double total = 0.0;
+  double busy_compute = 0.0, busy_net = 0.0;
+  uint64_t bytes_moved = 0;
+
+  for (int tree = 0; tree < workload.num_trees; ++tree) {
+    int frontier = 1;
+    for (int depth = 0; depth < workload.max_depth; ++depth) {
+      // 1. Barrier round: every worker scans its shard once per level.
+      const double scan_flops_total = rows_in_tree * features_used * workload.scan_flops;
+      double slowest = 0.0;
+      for (int w = 0; w < workers; ++w) {
+        const double compute = scan_flops_total / workers /
+                               (spec.threads * spec.flops_per_thread) *
+                               machine_speed[static_cast<std::size_t>(w)] *
+                               Jitter(rng, spec.straggler_sigma);
+        busy_compute += compute;
+        slowest = std::max(slowest, compute);
+      }
+      // 2. Histogram push (all workers into the server shards) + split
+      //    broadcast back. Volume is small; latency and incast dominate.
+      const double hist_bytes_per_worker = static_cast<double>(frontier) * features_used *
+                                           workload.max_bins * 2.0 * sizeof(float);
+      const double incast = hist_bytes_per_worker * workers / servers /
+                            spec.nic_bytes_per_second;
+      const double comm = incast + 2.0 * spec.rpc_latency_seconds;
+      busy_net += comm;
+      bytes_moved += static_cast<uint64_t>(hist_bytes_per_worker * workers * 2.0);
+      // 3. Scheduler dispatch overhead for the synchronized round.
+      total += slowest + comm + spec.round_overhead_seconds;
+      frontier = std::min(frontier * 2, 1 << workload.max_depth);
+    }
+  }
+
+  SimResult result;
+  result.seconds = total;
+  result.compute_seconds = busy_compute / workers;
+  result.network_seconds = busy_net;
+  result.bytes_moved = bytes_moved;
+  return result;
+}
+
+}  // namespace titant::ps

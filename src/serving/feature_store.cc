@@ -1,0 +1,73 @@
+#include "serving/feature_store.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace titant::serving {
+
+kvstore::StoreOptions FeatureTableOptions() {
+  kvstore::StoreOptions options;
+  options.column_families = {kFamilyBasic, kFamilyEmbedding, kFamilyCity};
+  return options;
+}
+
+std::string UserRowKey(txn::UserId user) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "u%010u", user);
+  return buf;
+}
+
+std::string CityRowKey(uint16_t city) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "c%05u", city);
+  return buf;
+}
+
+std::string EncodeFloats(const float* values, std::size_t count) {
+  return std::string(reinterpret_cast<const char*>(values), count * sizeof(float));
+}
+
+Status DecodeFloats(const std::string& blob, std::size_t expected, float* out) {
+  if (blob.size() != expected * sizeof(float)) {
+    return Status::Corruption("float blob size mismatch");
+  }
+  std::memcpy(out, blob.data(), blob.size());
+  return Status::OK();
+}
+
+Status UploadDailyArtifacts(kvstore::AliHBase* store, const txn::TransactionLog& log,
+                            const core::FeatureExtractor& extractor,
+                            const nrl::EmbeddingMatrix& embeddings, txn::Day as_of,
+                            uint64_t version, uint16_t num_cities) {
+  if (embeddings.rows() < log.num_users()) {
+    return Status::InvalidArgument("embedding matrix smaller than the user population");
+  }
+  std::vector<kvstore::Cell> batch;
+  batch.reserve(3);
+  float snapshot[core::FeatureExtractor::kNumBasicFeatures];
+  float aux[2];
+  for (txn::UserId user = 0; user < log.num_users(); ++user) {
+    extractor.ExtractUserSnapshot(user, as_of, snapshot, aux);
+    const std::string row = UserRowKey(user);
+    batch.clear();
+    batch.push_back({kvstore::CellKey{row, kFamilyBasic, kQualSnapshot, version},
+                     EncodeFloats(snapshot, core::FeatureExtractor::kNumBasicFeatures),
+                     false});
+    batch.push_back(
+        {kvstore::CellKey{row, kFamilyBasic, kQualAux, version}, EncodeFloats(aux, 2), false});
+    batch.push_back(
+        {kvstore::CellKey{row, kFamilyEmbedding, kQualVector, version},
+         EncodeFloats(embeddings.Row(user), static_cast<std::size_t>(embeddings.dim())),
+         false});
+    TITANT_RETURN_IF_ERROR(store->PutBatch(batch));
+  }
+  for (uint16_t city = 0; city < num_cities; ++city) {
+    float stats[3];
+    extractor.CityStats(city, stats);
+    TITANT_RETURN_IF_ERROR(store->Put(CityRowKey(city), kFamilyCity, kQualStats,
+                                      EncodeFloats(stats, 3), version));
+  }
+  return Status::OK();
+}
+
+}  // namespace titant::serving

@@ -1,0 +1,53 @@
+#ifndef TITANT_SERVING_FEATURE_STORE_H_
+#define TITANT_SERVING_FEATURE_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/feature_extractor.h"
+#include "kvstore/store.h"
+#include "nrl/embedding.h"
+#include "txn/types.h"
+
+namespace titant::serving {
+
+/// Column families of the online feature table (Fig. 7).
+inline constexpr char kFamilyBasic[] = "bf";   // Per-user feature snapshot.
+inline constexpr char kFamilyEmbedding[] = "emb";  // User node embedding.
+inline constexpr char kFamilyCity[] = "city";  // Historical city statistics.
+
+/// Qualifiers within the families.
+inline constexpr char kQualSnapshot[] = "snapshot";  // float32[52] blob.
+inline constexpr char kQualAux[] = "aux";            // {mean_hour, avg_amt}.
+inline constexpr char kQualVector[] = "vec";         // float32[dim] blob.
+inline constexpr char kQualStats[] = "stats";        // {rate, log_cnt, log_txn}.
+
+/// Returns the canonical StoreOptions for the feature table (declares the
+/// three families above); callers fill in `dir`/`durable`.
+kvstore::StoreOptions FeatureTableOptions();
+
+/// Row key of a user (zero-padded so lexicographic order == numeric order,
+/// the HBase convention for integer row keys).
+std::string UserRowKey(txn::UserId user);
+
+/// Row key of a city in the "city" statistics rows.
+std::string CityRowKey(uint16_t city);
+
+/// Encodes/decodes a float vector as a binary cell value.
+std::string EncodeFloats(const float* values, std::size_t count);
+Status DecodeFloats(const std::string& blob, std::size_t expected, float* out);
+
+/// The daily upload (offline -> online hand-off, Fig. 3): writes every
+/// user's feature snapshot, node embedding, and the city statistics to
+/// `store`, versioned by `version` (conventionally the training day).
+/// `extractor` must already have city stats fitted.
+Status UploadDailyArtifacts(kvstore::AliHBase* store, const txn::TransactionLog& log,
+                            const core::FeatureExtractor& extractor,
+                            const nrl::EmbeddingMatrix& embeddings, txn::Day as_of,
+                            uint64_t version, uint16_t num_cities);
+
+}  // namespace titant::serving
+
+#endif  // TITANT_SERVING_FEATURE_STORE_H_

@@ -1,0 +1,128 @@
+#include "serving/model_server.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace titant::serving {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586;
+}  // namespace
+
+ModelServer::ModelServer(kvstore::AliHBase* store, ModelServerOptions options)
+    : store_(store), options_(options) {}
+
+Status ModelServer::LoadModel(const std::string& blob, uint64_t version) {
+  TITANT_ASSIGN_OR_RETURN(std::unique_ptr<ml::Model> model, ml::DeserializeModel(blob));
+  const int expected = core::FeatureExtractor::kNumBasicFeatures +
+                       (options_.use_embeddings ? options_.embedding_dim : 0);
+  if (model->num_features() != expected) {
+    return Status::InvalidArgument(
+        "model width " + std::to_string(model->num_features()) + " does not match serving layout " +
+        std::to_string(expected));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  model_ = std::move(model);
+  model_version_ = version;
+  return Status::OK();
+}
+
+StatusOr<Verdict> ModelServer::Score(const TransferRequest& request) {
+  Stopwatch timer;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (model_ == nullptr) return Status::FailedPrecondition("no model loaded");
+  }
+
+  constexpr int kBasic = core::FeatureExtractor::kNumBasicFeatures;
+  std::vector<float> features(
+      static_cast<std::size_t>(kBasic +
+                               (options_.use_embeddings ? options_.embedding_dim : 0)));
+
+  // 1. Transferor snapshot + aux from the feature store.
+  const std::string row = UserRowKey(request.from_user);
+  TITANT_ASSIGN_OR_RETURN(std::string snapshot_blob,
+                          store_->Get(row, kFamilyBasic, kQualSnapshot));
+  TITANT_RETURN_IF_ERROR(
+      DecodeFloats(snapshot_blob, static_cast<std::size_t>(kBasic), features.data()));
+  float aux[2] = {14.0f, 0.0f};
+  if (auto aux_blob = store_->Get(row, kFamilyBasic, kQualAux); aux_blob.ok()) {
+    TITANT_RETURN_IF_ERROR(DecodeFloats(*aux_blob, 2, aux));
+  }
+
+  // 2. Request-derived (context) slots — same layout as offline Extract.
+  float* f = features.data();
+  const double hour = request.second_of_day / 3600.0;
+  f[8] = static_cast<float>(request.amount);
+  f[9] = std::log1p(static_cast<float>(request.amount));
+  f[10] = (request.amount >= 100.0 && std::fmod(request.amount, 100.0) == 0.0) ? 1.0f : 0.0f;
+  f[11] = request.amount >= 500.0 ? 1.0f : 0.0f;
+  f[12] = request.amount >= 2000.0 ? 1.0f : 0.0f;
+  f[13] = static_cast<float>(hour);
+  f[14] = static_cast<float>(std::sin(kTwoPi * hour / 24.0));
+  f[15] = static_cast<float>(std::cos(kTwoPi * hour / 24.0));
+  f[16] = hour < 6.0 ? 1.0f : 0.0f;
+  f[17] = (hour >= 19.0 && hour < 23.0) ? 1.0f : 0.0f;
+  const int dow = ((request.day % 7) + 7) % 7;
+  f[18] = static_cast<float>(dow);
+  f[19] = dow >= 5 ? 1.0f : 0.0f;
+  f[20] = request.channel == txn::Channel::kApp ? 1.0f : 0.0f;
+  f[21] = request.channel == txn::Channel::kWeb ? 1.0f : 0.0f;
+  f[22] = request.channel == txn::Channel::kQrCode ? 1.0f : 0.0f;
+  f[23] = request.channel == txn::Channel::kApi ? 1.0f : 0.0f;
+  f[24] = request.trans_city;
+  f[25] = request.trans_city != static_cast<uint16_t>(f[3]) ? 1.0f : 0.0f;
+  f[26] = request.is_new_device ? 1.0f : 0.0f;
+  // Payee-relationship and same-day aggregates are not materialized in the
+  // T+1 store; the MS uses the conservative cold defaults (documented in
+  // DESIGN.md — production TitAnt reads them from streaming counters).
+  f[34] = 0.0f;
+  f[35] = 1.0f;
+  f[43] = 0.0f;
+  f[44] = 0.0f;
+  f[45] = std::log1p(f[42] * 86400.0f + static_cast<float>(request.second_of_day));
+  f[46] = static_cast<float>(request.amount / (1.0 + aux[1]));
+  f[47] = static_cast<float>(std::fabs(hour - aux[0]));
+  // City statistics from the store.
+  if (auto city_blob =
+          store_->Get(CityRowKey(request.trans_city), kFamilyCity, kQualStats);
+      city_blob.ok()) {
+    TITANT_RETURN_IF_ERROR(DecodeFloats(*city_blob, 3, &f[48]));
+  }
+
+  // 3. Transferee's user node embedding.
+  if (options_.use_embeddings) {
+    TITANT_ASSIGN_OR_RETURN(
+        std::string emb_blob,
+        store_->Get(UserRowKey(request.to_user), kFamilyEmbedding, kQualVector));
+    TITANT_RETURN_IF_ERROR(DecodeFloats(emb_blob,
+                                        static_cast<std::size_t>(options_.embedding_dim),
+                                        features.data() + kBasic));
+  }
+
+  // 4. Score and decide.
+  Verdict verdict;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    verdict.fraud_probability = model_->Score(features.data());
+    verdict.model_version = model_version_;
+    verdict.interrupt = verdict.fraud_probability >= options_.interrupt_threshold;
+    verdict.latency_us = timer.ElapsedMicros();
+    latency_us_.Add(static_cast<double>(verdict.latency_us));
+  }
+  return verdict;
+}
+
+Histogram ModelServer::LatencySnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return latency_us_;
+}
+
+uint64_t ModelServer::model_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return model_version_;
+}
+
+}  // namespace titant::serving

@@ -1,0 +1,87 @@
+#ifndef TITANT_SERVING_MODEL_SERVER_H_
+#define TITANT_SERVING_MODEL_SERVER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/histogram.h"
+#include "common/statusor.h"
+#include "kvstore/store.h"
+#include "ml/model.h"
+#include "serving/feature_store.h"
+#include "txn/types.h"
+
+namespace titant::serving {
+
+/// The live transfer request the Alipay server forwards to the MS (Fig. 5).
+struct TransferRequest {
+  txn::TxnId txn_id = 0;
+  txn::UserId from_user = txn::kInvalidUser;
+  txn::UserId to_user = txn::kInvalidUser;
+  double amount = 0.0;
+  txn::Day day = 0;
+  uint32_t second_of_day = 0;
+  txn::Channel channel = txn::Channel::kApp;
+  uint16_t trans_city = 0;
+  bool is_new_device = false;
+};
+
+/// The MS verdict returned to the Alipay server.
+struct Verdict {
+  double fraud_probability = 0.0;
+  bool interrupt = false;   // True -> the on-going transaction is stopped.
+  int64_t latency_us = 0;   // End-to-end MS latency (fetch + featurize + score).
+  uint64_t model_version = 0;
+};
+
+/// Model Server configuration.
+struct ModelServerOptions {
+  /// Transactions scoring at or above this probability are interrupted
+  /// and the transferor is notified.
+  double interrupt_threshold = 0.9;
+  /// Embedding width expected in the feature store.
+  int embedding_dim = 32;
+  /// Whether the loaded model consumes the embedding columns
+  /// (Basic+DW-style model) or only the 52 basic features.
+  bool use_embeddings = true;
+};
+
+/// Online real-time predictor (§4.4). Loads versioned model files produced
+/// by offline training, fetches the caller's feature snapshot and the
+/// transferee's embedding from Ali-HBase, assembles the same feature
+/// layout the model was trained on, and scores in microseconds.
+///
+/// Thread-safe: concurrent Score calls share the store's read path; model
+/// swaps (LoadModel) are exclusive.
+class ModelServer {
+ public:
+  /// `store` must outlive the server.
+  ModelServer(kvstore::AliHBase* store, ModelServerOptions options);
+
+  /// Installs a model from a serialized blob (the "model file" uploaded by
+  /// offline training), tagged with its version (training day).
+  Status LoadModel(const std::string& blob, uint64_t version);
+
+  /// Scores one transfer request. Returns FailedPrecondition before the
+  /// first LoadModel, NotFound when the store has no snapshot for the
+  /// transferor.
+  StatusOr<Verdict> Score(const TransferRequest& request);
+
+  /// End-to-end latency distribution (microseconds) across Score calls.
+  Histogram LatencySnapshot() const;
+
+  uint64_t model_version() const;
+
+ private:
+  kvstore::AliHBase* store_;
+  ModelServerOptions options_;
+  mutable std::mutex mu_;
+  std::unique_ptr<ml::Model> model_;
+  uint64_t model_version_ = 0;
+  Histogram latency_us_;
+};
+
+}  // namespace titant::serving
+
+#endif  // TITANT_SERVING_MODEL_SERVER_H_

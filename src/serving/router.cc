@@ -1,0 +1,69 @@
+#include "serving/router.h"
+
+#include "common/logging.h"
+
+namespace titant::serving {
+
+ModelServerRouter::ModelServerRouter(kvstore::AliHBase* store, ModelServerOptions options,
+                                     int num_instances)
+    : healthy_(static_cast<std::size_t>(std::max(1, num_instances))),
+      served_(static_cast<std::size_t>(std::max(1, num_instances))) {
+  TITANT_CHECK(num_instances > 0);
+  instances_.reserve(static_cast<std::size_t>(num_instances));
+  for (int i = 0; i < num_instances; ++i) {
+    instances_.push_back(std::make_unique<ModelServer>(store, options));
+    healthy_[static_cast<std::size_t>(i)].store(true);
+    served_[static_cast<std::size_t>(i)].store(0);
+  }
+}
+
+Status ModelServerRouter::LoadModel(const std::string& blob, uint64_t version) {
+  Status first_error = Status::OK();
+  for (auto& instance : instances_) {
+    const Status status = instance->LoadModel(blob, version);
+    if (!status.ok() && first_error.ok()) first_error = status;
+  }
+  return first_error;
+}
+
+StatusOr<Verdict> ModelServerRouter::Score(const TransferRequest& request) {
+  const std::size_t n = instances_.size();
+  const uint64_t start = cursor_.fetch_add(1);
+  Status last_unavailable = Status::Unavailable("no healthy Model Server instance");
+  for (std::size_t attempt = 0; attempt < n; ++attempt) {
+    const std::size_t i = static_cast<std::size_t>((start + attempt) % n);
+    if (!healthy_[i].load()) continue;
+    auto verdict = instances_[i]->Score(request);
+    if (verdict.ok()) {
+      served_[i].fetch_add(1);
+      return verdict;
+    }
+    // Instance-level outages fail over; request-level errors (bad user,
+    // no model loaded, malformed data) are returned to the caller.
+    if (verdict.status().code() == StatusCode::kUnavailable ||
+        verdict.status().code() == StatusCode::kInternal) {
+      last_unavailable = verdict.status();
+      continue;
+    }
+    return verdict.status();
+  }
+  return last_unavailable;
+}
+
+Status ModelServerRouter::SetInstanceHealthy(int instance, bool healthy) {
+  if (instance < 0 || instance >= num_instances()) {
+    return Status::OutOfRange("no such instance");
+  }
+  healthy_[static_cast<std::size_t>(instance)].store(healthy);
+  return Status::OK();
+}
+
+Histogram ModelServerRouter::AggregateLatency() const {
+  Histogram merged;
+  for (const auto& instance : instances_) {
+    merged.Merge(instance->LatencySnapshot());
+  }
+  return merged;
+}
+
+}  // namespace titant::serving

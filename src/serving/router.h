@@ -1,0 +1,59 @@
+#ifndef TITANT_SERVING_ROUTER_H_
+#define TITANT_SERVING_ROUTER_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "serving/model_server.h"
+
+namespace titant::serving {
+
+/// Fronts a fleet of Model Server instances (§4.4: "MS are distributed to
+/// satisfy low latency and high service load"): round-robin dispatch,
+/// health-based failover, broadcast model rollouts, aggregated latency.
+///
+/// Thread-safe: Score may be called concurrently; health toggles and model
+/// rollouts serialize against each other but not against reads (instances
+/// handle their own synchronization).
+class ModelServerRouter {
+ public:
+  /// Spins up `num_instances` servers sharing `store` (which must outlive
+  /// the router).
+  ModelServerRouter(kvstore::AliHBase* store, ModelServerOptions options, int num_instances);
+
+  int num_instances() const { return static_cast<int>(instances_.size()); }
+
+  /// Rolls the model out to every instance (all-or-nothing per instance;
+  /// returns the first error but keeps rolling the rest).
+  Status LoadModel(const std::string& blob, uint64_t version);
+
+  /// Dispatches to the next healthy instance (round robin). Instance-level
+  /// unavailability fails over to the next one; returns Unavailable when
+  /// no instance is healthy.
+  StatusOr<Verdict> Score(const TransferRequest& request);
+
+  /// Marks an instance up/down (ops control; also used by failure tests).
+  Status SetInstanceHealthy(int instance, bool healthy);
+  bool instance_healthy(int instance) const {
+    return healthy_[static_cast<std::size_t>(instance)].load();
+  }
+
+  /// Requests served per instance (load-balance diagnostics).
+  uint64_t requests_served(int instance) const {
+    return served_[static_cast<std::size_t>(instance)].load();
+  }
+
+  /// Latency distribution merged across instances.
+  Histogram AggregateLatency() const;
+
+ private:
+  std::vector<std::unique_ptr<ModelServer>> instances_;
+  std::vector<std::atomic<bool>> healthy_;
+  std::vector<std::atomic<uint64_t>> served_;
+  std::atomic<uint64_t> cursor_{0};
+};
+
+}  // namespace titant::serving
+
+#endif  // TITANT_SERVING_ROUTER_H_

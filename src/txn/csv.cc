@@ -1,0 +1,229 @@
+#include "txn/csv.h"
+
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace titant::txn {
+
+namespace {
+
+const char kProfilesHeader[] =
+    "user_id,age,gender,home_city,account_age_days,verification_level,is_merchant";
+const char kRecordsHeader[] =
+    "txn_id,date,second_of_day,from_user,to_user,amount,trans_city,device_id,channel,"
+    "is_new_device,is_cross_city,is_fraud,label_available_date";
+
+std::string_view GenderName(Gender gender) {
+  switch (gender) {
+    case Gender::kFemale:
+      return "female";
+    case Gender::kMale:
+      return "male";
+    case Gender::kUnknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+StatusOr<Gender> ParseGender(const std::string& text) {
+  if (text == "female") return Gender::kFemale;
+  if (text == "male") return Gender::kMale;
+  if (text == "unknown") return Gender::kUnknown;
+  return Status::InvalidArgument("bad gender: " + text);
+}
+
+std::string_view ChannelName(Channel channel) {
+  switch (channel) {
+    case Channel::kApp:
+      return "app";
+    case Channel::kWeb:
+      return "web";
+    case Channel::kQrCode:
+      return "qr";
+    case Channel::kApi:
+      return "api";
+  }
+  return "app";
+}
+
+StatusOr<Channel> ParseChannel(const std::string& text) {
+  if (text == "app") return Channel::kApp;
+  if (text == "web") return Channel::kWeb;
+  if (text == "qr") return Channel::kQrCode;
+  if (text == "api") return Channel::kApi;
+  return Status::InvalidArgument("bad channel: " + text);
+}
+
+StatusOr<bool> ParseBool(const std::string& text) {
+  if (text == "0") return false;
+  if (text == "1") return true;
+  return Status::InvalidArgument("bad boolean: " + text);
+}
+
+Status LineError(const std::string& file, std::size_t line, const Status& inner) {
+  return Status(inner.code(),
+                StrFormat("%s line %zu: %s", file.c_str(), line, inner.message().c_str()));
+}
+
+}  // namespace
+
+Status ExportLogCsv(const TransactionLog& log, const std::string& profiles_path,
+                    const std::string& records_path) {
+  {
+    std::ofstream out(profiles_path, std::ios::trunc);
+    if (!out) return Status::IOError("cannot open " + profiles_path);
+    out << kProfilesHeader << "\n";
+    for (const UserProfile& p : log.profiles) {
+      out << p.user_id << ',' << static_cast<int>(p.age) << ',' << GenderName(p.gender) << ','
+          << p.home_city << ',' << p.account_age_days << ','
+          << static_cast<int>(p.verification_level) << ',' << (p.is_merchant ? 1 : 0) << "\n";
+    }
+    if (!out) return Status::IOError("short write to " + profiles_path);
+  }
+  {
+    std::ofstream out(records_path, std::ios::trunc);
+    if (!out) return Status::IOError("cannot open " + records_path);
+    out << kRecordsHeader << "\n";
+    for (const TransactionRecord& r : log.records) {
+      out << r.txn_id << ',' << DayToDate(r.day) << ',' << r.second_of_day << ','
+          << r.from_user << ',' << r.to_user << ',' << FormatDouble(r.amount, 2) << ','
+          << r.trans_city << ',' << r.device_id << ',' << ChannelName(r.channel) << ','
+          << (r.is_new_device ? 1 : 0) << ',' << (r.is_cross_city ? 1 : 0) << ','
+          << (r.is_fraud ? 1 : 0) << ',' << DayToDate(r.label_available_day) << "\n";
+    }
+    if (!out) return Status::IOError("short write to " + records_path);
+  }
+  return Status::OK();
+}
+
+StatusOr<TransactionLog> ImportLogCsv(const std::string& profiles_path,
+                                      const std::string& records_path) {
+  TransactionLog log;
+
+  // ---- Profiles ----------------------------------------------------------
+  {
+    std::ifstream in(profiles_path);
+    if (!in) return Status::IOError("cannot open " + profiles_path);
+    std::string line;
+    if (!std::getline(in, line) || Trim(line) != kProfilesHeader) {
+      return Status::InvalidArgument(profiles_path + ": bad or missing header");
+    }
+    std::size_t line_no = 1;
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (Trim(line).empty()) continue;
+      const auto fields = Split(Trim(line), ',');
+      if (fields.size() != 7) {
+        return LineError(profiles_path, line_no,
+                         Status::InvalidArgument("expected 7 fields"));
+      }
+      UserProfile p;
+      TITANT_ASSIGN_OR_RETURN(int64_t user_id, ParseInt64(fields[0]));
+      TITANT_ASSIGN_OR_RETURN(int64_t age, ParseInt64(fields[1]));
+      auto gender = ParseGender(fields[2]);
+      if (!gender.ok()) return LineError(profiles_path, line_no, gender.status());
+      TITANT_ASSIGN_OR_RETURN(int64_t home_city, ParseInt64(fields[3]));
+      TITANT_ASSIGN_OR_RETURN(int64_t account_age, ParseInt64(fields[4]));
+      TITANT_ASSIGN_OR_RETURN(int64_t verification, ParseInt64(fields[5]));
+      auto merchant = ParseBool(fields[6]);
+      if (!merchant.ok()) return LineError(profiles_path, line_no, merchant.status());
+      if (user_id != static_cast<int64_t>(log.profiles.size())) {
+        return LineError(profiles_path, line_no,
+                         Status::InvalidArgument("user ids must be dense and ordered"));
+      }
+      p.user_id = static_cast<UserId>(user_id);
+      p.age = static_cast<uint8_t>(age);
+      p.gender = *gender;
+      p.home_city = static_cast<uint16_t>(home_city);
+      p.account_age_days = static_cast<uint16_t>(account_age);
+      p.verification_level = static_cast<uint8_t>(verification);
+      p.is_merchant = *merchant;
+      log.profiles.push_back(p);
+    }
+  }
+
+  // ---- Records -----------------------------------------------------------
+  {
+    std::ifstream in(records_path);
+    if (!in) return Status::IOError("cannot open " + records_path);
+    std::string line;
+    if (!std::getline(in, line) || Trim(line) != kRecordsHeader) {
+      return Status::InvalidArgument(records_path + ": bad or missing header");
+    }
+    std::size_t line_no = 1;
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (Trim(line).empty()) continue;
+      const auto fields = Split(Trim(line), ',');
+      if (fields.size() != 13) {
+        return LineError(records_path, line_no,
+                         Status::InvalidArgument("expected 13 fields"));
+      }
+      TransactionRecord r;
+      TITANT_ASSIGN_OR_RETURN(int64_t txn_id, ParseInt64(fields[0]));
+      const Day day = DateToDay(fields[1]);
+      if (day < -100000) {
+        return LineError(records_path, line_no,
+                         Status::InvalidArgument("bad date: " + fields[1]));
+      }
+      TITANT_ASSIGN_OR_RETURN(int64_t second, ParseInt64(fields[2]));
+      TITANT_ASSIGN_OR_RETURN(int64_t from_user, ParseInt64(fields[3]));
+      TITANT_ASSIGN_OR_RETURN(int64_t to_user, ParseInt64(fields[4]));
+      TITANT_ASSIGN_OR_RETURN(double amount, ParseDouble(fields[5]));
+      TITANT_ASSIGN_OR_RETURN(int64_t trans_city, ParseInt64(fields[6]));
+      TITANT_ASSIGN_OR_RETURN(int64_t device_id, ParseInt64(fields[7]));
+      auto channel = ParseChannel(fields[8]);
+      if (!channel.ok()) return LineError(records_path, line_no, channel.status());
+      auto new_device = ParseBool(fields[9]);
+      if (!new_device.ok()) return LineError(records_path, line_no, new_device.status());
+      auto cross_city = ParseBool(fields[10]);
+      if (!cross_city.ok()) return LineError(records_path, line_no, cross_city.status());
+      auto is_fraud = ParseBool(fields[11]);
+      if (!is_fraud.ok()) return LineError(records_path, line_no, is_fraud.status());
+      const Day label_day = DateToDay(fields[12]);
+      if (label_day < -100000) {
+        return LineError(records_path, line_no,
+                         Status::InvalidArgument("bad label date: " + fields[12]));
+      }
+
+      if (second < 0 || second >= 86400) {
+        return LineError(records_path, line_no,
+                         Status::OutOfRange("second_of_day out of range"));
+      }
+      if (from_user < 0 || to_user < 0 ||
+          from_user >= static_cast<int64_t>(log.profiles.size()) ||
+          to_user >= static_cast<int64_t>(log.profiles.size())) {
+        return LineError(records_path, line_no,
+                         Status::OutOfRange("user id beyond the profile table"));
+      }
+      if (!log.records.empty()) {
+        const TransactionRecord& prev = log.records.back();
+        if (day < prev.day ||
+            (day == prev.day && static_cast<uint32_t>(second) < prev.second_of_day)) {
+          return LineError(
+              records_path, line_no,
+              Status::InvalidArgument("records must be sorted by (date, second_of_day)"));
+        }
+      }
+
+      r.txn_id = static_cast<TxnId>(txn_id);
+      r.day = day;
+      r.second_of_day = static_cast<uint32_t>(second);
+      r.from_user = static_cast<UserId>(from_user);
+      r.to_user = static_cast<UserId>(to_user);
+      r.amount = amount;
+      r.trans_city = static_cast<uint16_t>(trans_city);
+      r.device_id = static_cast<uint32_t>(device_id);
+      r.channel = *channel;
+      r.is_new_device = *new_device;
+      r.is_cross_city = *cross_city;
+      r.is_fraud = *is_fraud;
+      r.label_available_day = label_day;
+      log.records.push_back(r);
+    }
+  }
+  return log;
+}
+
+}  // namespace titant::txn

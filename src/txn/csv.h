@@ -1,0 +1,36 @@
+#ifndef TITANT_TXN_CSV_H_
+#define TITANT_TXN_CSV_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "txn/types.h"
+
+namespace titant::txn {
+
+/// CSV interchange for transaction logs, so the pipeline can run on real
+/// data instead of the synthetic world.
+///
+/// Profiles file header:
+///   user_id,age,gender,home_city,account_age_days,verification_level,is_merchant
+/// Records file header:
+///   txn_id,date,second_of_day,from_user,to_user,amount,trans_city,device_id,
+///   channel,is_new_device,is_cross_city,is_fraud,label_available_date
+///
+/// `date`/`label_available_date` are "YYYY-MM-DD"; `gender` is one of
+/// unknown/female/male; `channel` is one of app/web/qr/api; booleans are
+/// 0/1. Records must be sorted by (date, second_of_day); import validates
+/// ordering and id ranges.
+
+/// Writes both files (overwriting).
+Status ExportLogCsv(const TransactionLog& log, const std::string& profiles_path,
+                    const std::string& records_path);
+
+/// Reads both files into a TransactionLog. Returns InvalidArgument with a
+/// line number on malformed input.
+StatusOr<TransactionLog> ImportLogCsv(const std::string& profiles_path,
+                                      const std::string& records_path);
+
+}  // namespace titant::txn
+
+#endif  // TITANT_TXN_CSV_H_

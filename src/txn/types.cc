@@ -1,0 +1,53 @@
+#include "txn/types.h"
+
+#include <cstdio>
+
+namespace titant::txn {
+
+namespace {
+
+// Howard Hinnant's civil-date algorithms (public domain).
+int64_t DaysFromCivil(int y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);             // [0, 399]
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;    // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;             // [0, 146096]
+  return era * 146097LL + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* y, unsigned* m, unsigned* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);           // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;  // [0, 399]
+  const int64_t yy = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);           // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                                // [0, 11]
+  *d = doy - (153 * mp + 2) / 5 + 1;                                      // [1, 31]
+  *m = mp + (mp < 10 ? 3 : -9);                                           // [1, 12]
+  *y = static_cast<int>(yy + (*m <= 2));
+}
+
+const int64_t kEpochDays = DaysFromCivil(2017, 1, 1);
+
+}  // namespace
+
+std::string DayToDate(Day day) {
+  int y = 0;
+  unsigned m = 0, d = 0;
+  CivilFromDays(kEpochDays + day, &y, &m, &d);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02u-%02u", y, m, d);
+  return buf;
+}
+
+Day DateToDay(const std::string& date) {
+  int y = 0, m = 0, d = 0;
+  if (std::sscanf(date.c_str(), "%d-%d-%d", &y, &m, &d) != 3) return -1000000;
+  if (m < 1 || m > 12 || d < 1 || d > 31) return -1000000;
+  return static_cast<Day>(DaysFromCivil(y, static_cast<unsigned>(m), static_cast<unsigned>(d)) -
+                          kEpochDays);
+}
+
+}  // namespace titant::txn

@@ -1,0 +1,80 @@
+#ifndef TITANT_TXN_TYPES_H_
+#define TITANT_TXN_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace titant::txn {
+
+/// Dense user identifier. Users are numbered [0, num_users).
+using UserId = uint32_t;
+
+/// Globally unique transaction identifier.
+using TxnId = uint64_t;
+
+/// Sentinel for "no user".
+inline constexpr UserId kInvalidUser = static_cast<UserId>(-1);
+
+/// Day index: days since 2017-01-01 (the simulated epoch). The paper's
+/// evaluation week of April 10-16, 2017 corresponds to days 99-105.
+using Day = int32_t;
+
+/// Gender attribute of a user profile.
+enum class Gender : uint8_t { kUnknown = 0, kFemale = 1, kMale = 2 };
+
+/// Channel through which a transfer was initiated.
+enum class Channel : uint8_t { kApp = 0, kWeb = 1, kQrCode = 2, kApi = 3 };
+
+/// Static per-user attributes ("user profile" in Fig. 1a).
+struct UserProfile {
+  UserId user_id = kInvalidUser;
+  uint8_t age = 0;                  // Years; generator draws 18..75.
+  Gender gender = Gender::kUnknown;
+  uint16_t home_city = 0;           // City id in [0, num_cities).
+  uint16_t account_age_days = 0;    // Days since registration at epoch.
+  uint8_t verification_level = 0;   // 0=none .. 3=fully verified.
+  bool is_merchant = false;
+};
+
+/// One money transfer ("transaction record"). Fields mirror the basic
+/// feature sources the paper names: user profile, transfer environment
+/// (city/IP-derived), device, amount, time.
+struct TransactionRecord {
+  TxnId txn_id = 0;
+  Day day = 0;                   // Day index of the transfer.
+  uint32_t second_of_day = 0;    // Time within the day, [0, 86400).
+  UserId from_user = kInvalidUser;
+  UserId to_user = kInvalidUser;
+  double amount = 0.0;           // Transfer amount in yuan.
+  uint16_t trans_city = 0;       // City inferred from transfer IP.
+  uint32_t device_id = 0;        // Opaque device fingerprint.
+  Channel channel = Channel::kApp;
+  bool is_new_device = false;    // First time this user uses this device.
+  bool is_cross_city = false;    // trans_city != transferor home city.
+
+  // Ground truth. `is_fraud` is the oracle label; `label_available_day` is
+  // the day the victim's report arrives (labels are delayed, so a record is
+  // usable for training on day D only if label_available_day <= D).
+  bool is_fraud = false;
+  Day label_available_day = 0;
+};
+
+/// A batch of transaction records plus the profile table they refer to.
+struct TransactionLog {
+  std::vector<UserProfile> profiles;      // Indexed by UserId.
+  std::vector<TransactionRecord> records; // Sorted by (day, second_of_day).
+
+  std::size_t num_users() const { return profiles.size(); }
+};
+
+/// Converts a day index (days since 2017-01-01) to "YYYY-MM-DD".
+std::string DayToDate(Day day);
+
+/// Parses "YYYY-MM-DD" into a day index. Returns a negative value on a
+/// malformed date (dates before the 2017-01-01 epoch are not used here).
+Day DateToDay(const std::string& date);
+
+}  // namespace titant::txn
+
+#endif  // TITANT_TXN_TYPES_H_

@@ -1,0 +1,63 @@
+#include "txn/window.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace titant::txn {
+
+StatusOr<DatasetWindow> SliceWindow(const TransactionLog& log, const WindowSpec& spec) {
+  if (spec.network_days <= 0 || spec.train_days <= 0) {
+    return Status::InvalidArgument("window must have positive network/train spans");
+  }
+  if (log.records.empty()) return Status::InvalidArgument("empty transaction log");
+
+  const Day first = log.records.front().day;
+  const Day last = log.records.back().day;
+  if (spec.network_begin() < first || spec.test_day > last) {
+    return Status::InvalidArgument(StrFormat(
+        "log covers days [%d, %d] but window needs [%d, %d]", first, last,
+        spec.network_begin(), spec.test_day));
+  }
+
+  DatasetWindow window;
+  window.spec = spec;
+  for (std::size_t i = 0; i < log.records.size(); ++i) {
+    const TransactionRecord& rec = log.records[i];
+    if (rec.day >= spec.network_begin() && rec.day < spec.network_end()) {
+      window.network_records.push_back(i);
+    } else if (rec.day >= spec.train_begin() && rec.day < spec.train_end()) {
+      // Delayed labels: a record participates in training only once its
+      // fraud report (or the implicit "no report" timeout) has arrived.
+      if (rec.label_available_day <= spec.test_day) window.train_records.push_back(i);
+    } else if (rec.day == spec.test_day) {
+      window.test_records.push_back(i);
+    }
+  }
+  if (window.test_records.empty()) {
+    return Status::InvalidArgument("no records on test day " + DayToDate(spec.test_day));
+  }
+  if (window.train_records.empty()) {
+    return Status::InvalidArgument("no labeled training records before " +
+                                   DayToDate(spec.test_day));
+  }
+  return window;
+}
+
+StatusOr<std::vector<DatasetWindow>> SliceWeek(const TransactionLog& log, Day first_test_day,
+                                               int count, int network_days, int train_days) {
+  if (count <= 0) return Status::InvalidArgument("count must be positive");
+  std::vector<DatasetWindow> windows;
+  windows.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    WindowSpec spec;
+    spec.network_days = network_days;
+    spec.train_days = train_days;
+    spec.test_day = first_test_day + i;
+    TITANT_ASSIGN_OR_RETURN(DatasetWindow w, SliceWindow(log, spec));
+    windows.push_back(std::move(w));
+  }
+  return windows;
+}
+
+}  // namespace titant::txn

@@ -1,0 +1,52 @@
+#ifndef TITANT_TXN_WINDOW_H_
+#define TITANT_TXN_WINDOW_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "txn/types.h"
+
+namespace titant::txn {
+
+/// The paper's "T+1" data layout (§5.1, Fig. 8): for a test day D, the 14
+/// days before D are the (label-filtered) training set and the 90 days
+/// before those build the transaction network.
+struct WindowSpec {
+  int network_days = 90;
+  int train_days = 14;
+  Day test_day = 0;
+
+  Day network_begin() const { return test_day - train_days - network_days; }
+  Day network_end() const { return test_day - train_days; }  // exclusive
+  Day train_begin() const { return test_day - train_days; }
+  Day train_end() const { return test_day; }  // exclusive
+};
+
+/// Views into a TransactionLog for one T+1 window. Indices refer to
+/// `log.records`.
+struct DatasetWindow {
+  WindowSpec spec;
+  std::vector<std::size_t> network_records;  // Build the transaction network.
+  std::vector<std::size_t> train_records;    // Labeled training examples.
+  std::vector<std::size_t> test_records;     // The test day's examples.
+};
+
+/// Slices `log` according to `spec`.
+///
+/// Training records are restricted to those whose fraud label has arrived by
+/// the evaluation day (`label_available_day <= spec.test_day`), mirroring
+/// the delayed-label constraint the paper discusses in §4.5. Test records
+/// keep their oracle labels (they are only used to score predictions).
+///
+/// Returns InvalidArgument if the log does not cover the requested window.
+StatusOr<DatasetWindow> SliceWindow(const TransactionLog& log, const WindowSpec& spec);
+
+/// Builds the paper's seven consecutive windows: test days `first_test_day`
+/// .. `first_test_day + count - 1`.
+StatusOr<std::vector<DatasetWindow>> SliceWeek(const TransactionLog& log, Day first_test_day,
+                                               int count, int network_days = 90,
+                                               int train_days = 14);
+
+}  // namespace titant::txn
+
+#endif  // TITANT_TXN_WINDOW_H_

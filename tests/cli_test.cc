@@ -1,0 +1,97 @@
+// End-to-end test of the titant_cli tool: generate -> rules -> train ->
+// evaluate over the CSV interchange, exercising the adoption path a
+// downstream user would take. The binary path is injected by CMake.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#ifndef TITANT_CLI_PATH
+#error "TITANT_CLI_PATH must be defined by the build"
+#endif
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// Runs a command, returning (exit code, combined stdout+stderr).
+std::pair<int, std::string> RunCommand(const std::string& command) {
+  std::array<char, 512> buffer;
+  std::string output;
+  std::FILE* pipe = popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return {-1, ""};
+  while (std::fgets(buffer.data(), static_cast<int>(buffer.size()), pipe) != nullptr) {
+    output += buffer.data();
+  }
+  const int status = pclose(pipe);
+  return {WEXITSTATUS(status), output};
+}
+
+const char kCli[] = TITANT_CLI_PATH;
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = "/tmp/titant_cli_test";
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  std::string Path(const char* name) const { return dir_ + "/" + name; }
+  std::string dir_;
+};
+
+TEST_F(CliTest, FullWorkflow) {
+  // 1. generate
+  auto [gen_code, gen_out] = RunCommand(std::string(kCli) + " generate " + Path("p.csv") + " " +
+                                 Path("r.csv") + " 700 45 3");
+  ASSERT_EQ(gen_code, 0) << gen_out;
+  EXPECT_NE(gen_out.find("wrote 700 profiles"), std::string::npos) << gen_out;
+  ASSERT_TRUE(fs::exists(Path("p.csv")));
+  ASSERT_TRUE(fs::exists(Path("r.csv")));
+
+  // 2. rules on a compact window
+  auto [rules_code, rules_out] = RunCommand(std::string(kCli) + " rules " + Path("p.csv") + " " +
+                                     Path("r.csv") + " 2017-02-10 28 10");
+  ASSERT_EQ(rules_code, 0) << rules_out;
+  EXPECT_NE(rules_out.find("C5.0"), std::string::npos) << rules_out;
+
+  // 3. train -> model file + embeddings
+  auto [train_code, train_out] =
+      RunCommand(std::string(kCli) + " train " + Path("p.csv") + " " + Path("r.csv") +
+          " 2017-02-10 " + Path("model.bin") + " 28 10");
+  ASSERT_EQ(train_code, 0) << train_out;
+  EXPECT_NE(train_out.find("F1"), std::string::npos) << train_out;
+  ASSERT_TRUE(fs::exists(Path("model.bin")));
+  ASSERT_TRUE(fs::exists(Path("model.bin.emb")));
+
+  // 4. evaluate the saved model on the next day (T+1 in action).
+  auto [eval_code, eval_out] =
+      RunCommand(std::string(kCli) + " evaluate " + Path("p.csv") + " " + Path("r.csv") +
+          " 2017-02-11 " + Path("model.bin") + " 28 10");
+  ASSERT_EQ(eval_code, 0) << eval_out;
+  EXPECT_NE(eval_out.find("gbdt"), std::string::npos) << eval_out;
+  EXPECT_NE(eval_out.find("AUC"), std::string::npos) << eval_out;
+}
+
+TEST_F(CliTest, UsageAndErrors) {
+  EXPECT_NE(RunCommand(kCli).first, 0);
+  EXPECT_NE(RunCommand(std::string(kCli) + " bogus-subcommand").first, 0);
+  // Train against missing files fails cleanly.
+  EXPECT_NE(RunCommand(std::string(kCli) + " train /nope/a.csv /nope/b.csv 2017-01-01 " +
+                Path("m.bin"))
+                .first,
+            0);
+  // Bad date is rejected.
+  auto [gen_code, gen_out] =
+      RunCommand(std::string(kCli) + " generate " + Path("p.csv") + " " + Path("r.csv") + " 300 30");
+  ASSERT_EQ(gen_code, 0) << gen_out;
+  EXPECT_NE(
+      RunCommand(std::string(kCli) + " rules " + Path("p.csv") + " " + Path("r.csv") + " not-a-date")
+          .first,
+      0);
+}
+
+}  // namespace

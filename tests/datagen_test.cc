@@ -1,0 +1,208 @@
+// Invariant tests for the synthetic world generator — these check exactly
+// the structural properties the reproduction relies on (DESIGN.md §2).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "datagen/world.h"
+
+namespace titant::datagen {
+namespace {
+
+WorldOptions SmallWorld(uint64_t seed) {
+  WorldOptions options;
+  options.num_users = 800;
+  options.num_days = 60;
+  options.seed = seed;
+  return options;
+}
+
+TEST(WorldTest, DeterministicForSeed) {
+  const auto a = GenerateWorld(SmallWorld(1));
+  const auto b = GenerateWorld(SmallWorld(1));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->log.records.size(), b->log.records.size());
+  for (std::size_t i = 0; i < a->log.records.size(); ++i) {
+    EXPECT_EQ(a->log.records[i].txn_id, b->log.records[i].txn_id);
+    EXPECT_EQ(a->log.records[i].from_user, b->log.records[i].from_user);
+    EXPECT_DOUBLE_EQ(a->log.records[i].amount, b->log.records[i].amount);
+  }
+  EXPECT_EQ(a->truth.fraudsters, b->truth.fraudsters);
+}
+
+TEST(WorldTest, DifferentSeedsDiffer) {
+  const auto a = GenerateWorld(SmallWorld(1));
+  const auto b = GenerateWorld(SmallWorld(2));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->log.records.size(), b->log.records.size());
+}
+
+TEST(WorldTest, RejectsBadOptions) {
+  WorldOptions options = SmallWorld(1);
+  options.num_users = 5;
+  EXPECT_FALSE(GenerateWorld(options).ok());
+  options = SmallWorld(1);
+  options.num_days = 0;
+  EXPECT_FALSE(GenerateWorld(options).ok());
+  options = SmallWorld(1);
+  options.fraudster_fraction = 0.9;
+  EXPECT_FALSE(GenerateWorld(options).ok());
+  options = SmallWorld(1);
+  options.num_risky_cities = options.num_cities + 1;
+  EXPECT_FALSE(GenerateWorld(options).ok());
+  options = SmallWorld(1);
+  options.ban_mean_delay_days = 0.0;
+  EXPECT_FALSE(GenerateWorld(options).ok());
+}
+
+class WorldInvariantTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    auto result = GenerateWorld(SmallWorld(GetParam()));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    world_ = std::move(result).value();
+  }
+  World world_;
+};
+
+TEST_P(WorldInvariantTest, RecordsSortedByTime) {
+  const auto& records = world_.log.records;
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    const bool ordered =
+        records[i - 1].day < records[i].day ||
+        (records[i - 1].day == records[i].day &&
+         records[i - 1].second_of_day <= records[i].second_of_day);
+    ASSERT_TRUE(ordered) << "at index " << i;
+  }
+}
+
+TEST_P(WorldInvariantTest, RecordsReferenceValidUsers) {
+  for (const auto& rec : world_.log.records) {
+    ASSERT_LT(rec.from_user, world_.log.num_users());
+    ASSERT_LT(rec.to_user, world_.log.num_users());
+    ASSERT_NE(rec.from_user, rec.to_user);
+    ASSERT_GT(rec.amount, 0.0);
+    ASSERT_LT(rec.second_of_day, 86400u);
+    ASSERT_GT(rec.label_available_day, rec.day);
+  }
+}
+
+TEST_P(WorldInvariantTest, FraudTargetsAreRegisteredFraudsters) {
+  std::set<txn::UserId> fraudsters(world_.truth.fraudsters.begin(),
+                                   world_.truth.fraudsters.end());
+  for (const auto& rec : world_.log.records) {
+    if (rec.is_fraud) {
+      ASSERT_TRUE(fraudsters.count(rec.to_user))
+          << "fraud to unregistered account " << rec.to_user;
+    }
+  }
+}
+
+TEST_P(WorldInvariantTest, MostFraudstersRepeat) {
+  int repeat = 0, active = 0;
+  for (const auto& days : world_.truth.campaign_days) {
+    if (days.empty()) continue;
+    ++active;
+    if (days.size() > 1) ++repeat;
+  }
+  ASSERT_GT(active, 10);
+  const double share = static_cast<double>(repeat) / active;
+  // The paper: ~70% of fraudsters defraud more than once.
+  EXPECT_GT(share, 0.5);
+  EXPECT_LT(share, 0.92);
+}
+
+TEST_P(WorldInvariantTest, FraudRateInBand) {
+  std::size_t fraud = 0;
+  for (const auto& rec : world_.log.records) fraud += rec.is_fraud;
+  const double rate = static_cast<double>(fraud) / world_.log.records.size();
+  EXPECT_GT(rate, 0.005);
+  EXPECT_LT(rate, 0.12);
+}
+
+TEST_P(WorldInvariantTest, CampaignDaysMatchRecords) {
+  std::map<txn::UserId, std::set<txn::Day>> from_truth;
+  for (std::size_t i = 0; i < world_.truth.fraudsters.size(); ++i) {
+    for (txn::Day d : world_.truth.campaign_days[i]) {
+      from_truth[world_.truth.fraudsters[i]].insert(d);
+    }
+  }
+  std::map<txn::UserId, std::set<txn::Day>> from_records;
+  for (const auto& rec : world_.log.records) {
+    if (rec.is_fraud) from_records[rec.to_user].insert(rec.day);
+  }
+  EXPECT_EQ(from_truth, from_records);
+}
+
+TEST_P(WorldInvariantTest, BannedAccountsStopDefrauding) {
+  // After an account's last campaign, there is a bounded tail: no account
+  // should have campaigns spanning more than ~60 days (bans interrupt).
+  for (const auto& days : world_.truth.campaign_days) {
+    if (days.size() < 2) continue;
+    EXPECT_LT(days.back() - days.front(), 60) << "account campaigned too long";
+  }
+}
+
+
+TEST_P(WorldInvariantTest, OperatorDevicesLinkFraudAccounts) {
+  // The farm operator's shared device pool links distinct fraud accounts:
+  // devices used by 3+ different fraudster transferors must all belong to
+  // the small pool (personal devices are never shared that widely), and
+  // such shared devices must exist — the §4.5 heterogeneous-network signal.
+  std::set<txn::UserId> fraudsters(world_.truth.fraudsters.begin(),
+                                   world_.truth.fraudsters.end());
+  std::map<uint32_t, std::set<txn::UserId>> device_users;
+  for (const auto& rec : world_.log.records) {
+    if (!rec.is_fraud && fraudsters.count(rec.from_user)) {
+      device_users[rec.device_id].insert(rec.from_user);
+    }
+  }
+  std::size_t widely_shared = 0;
+  for (const auto& [device, users] : device_users) {
+    if (users.size() >= 3) ++widely_shared;
+  }
+  WorldOptions options;
+  EXPECT_GT(widely_shared, 0u) << "no operator device sharing observed";
+  EXPECT_LE(widely_shared, static_cast<std::size_t>(options.farm_operator_devices));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorldInvariantTest, ::testing::Values(1, 7, 42, 2019));
+
+TEST(WorldTest, FeatureSignalShiftsFraudAmounts) {
+  WorldOptions weak = SmallWorld(3);
+  weak.feature_signal = 0.1;
+  WorldOptions strong = SmallWorld(3);
+  strong.feature_signal = 1.0;
+  const auto weak_world = GenerateWorld(weak);
+  const auto strong_world = GenerateWorld(strong);
+  ASSERT_TRUE(weak_world.ok() && strong_world.ok());
+  auto mean_fraud_amount = [](const World& world) {
+    double total = 0.0;
+    std::size_t count = 0;
+    for (const auto& rec : world.log.records) {
+      if (rec.is_fraud) {
+        total += rec.amount;
+        ++count;
+      }
+    }
+    return count == 0 ? 0.0 : total / static_cast<double>(count);
+  };
+  EXPECT_GT(mean_fraud_amount(*strong_world), 1.5 * mean_fraud_amount(*weak_world));
+}
+
+TEST(WorldTest, ApplyEnvScaleParsesEnvironment) {
+  WorldOptions base;
+  const int original = base.num_users;
+  setenv("TITANT_SCALE", "2.0", 1);
+  EXPECT_EQ(ApplyEnvScale(base).num_users, original * 2);
+  setenv("TITANT_SCALE", "bogus", 1);
+  EXPECT_EQ(ApplyEnvScale(base).num_users, original);
+  unsetenv("TITANT_SCALE");
+  EXPECT_EQ(ApplyEnvScale(base).num_users, original);
+}
+
+}  // namespace
+}  // namespace titant::datagen

@@ -1,0 +1,319 @@
+// Tests for the transaction network (CSR construction) and the random-walk
+// corpus generator.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "graph/graph.h"
+#include "graph/hetero.h"
+#include "graph/random_walk.h"
+
+namespace titant::graph {
+namespace {
+
+TEST(GraphTest, CollapsesParallelEdgesIntoWeights) {
+  const std::vector<std::pair<NodeId, NodeId>> edges = {{0, 1}, {0, 1}, {0, 1}, {1, 2}};
+  const auto g = TransactionNetwork::FromEdges(edges, 4);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2u);  // Two distinct pairs.
+  auto [begin, end] = g->OutNeighbors(0);
+  ASSERT_EQ(end - begin, 1);
+  EXPECT_EQ(begin->neighbor, 1u);
+  EXPECT_FLOAT_EQ(begin->weight, 3.0f);
+  EXPECT_EQ(g->OutDegree(1), 1u);
+  EXPECT_EQ(g->InDegree(1), 1u);
+  EXPECT_DOUBLE_EQ(g->WeightedInDegree(1), 3.0);
+  EXPECT_EQ(g->active_nodes(), (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(GraphTest, RejectsOutOfRangeEndpoints) {
+  EXPECT_FALSE(TransactionNetwork::FromEdges({{0, 9}}, 4).ok());
+}
+
+TEST(GraphTest, EmptyGraphHasNoActiveNodes) {
+  const auto g = TransactionNetwork::FromEdges({}, 5);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 0u);
+  EXPECT_TRUE(g->active_nodes().empty());
+}
+
+class RandomGraphTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(RandomGraphTest, MatchesNaiveAdjacency) {
+  const auto [num_nodes, num_edges] = GetParam();
+  Rng rng(static_cast<uint64_t>(num_nodes * 131 + num_edges));
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::map<std::pair<NodeId, NodeId>, int> expected;
+  for (int i = 0; i < num_edges; ++i) {
+    const auto from = static_cast<NodeId>(rng.Uniform(static_cast<uint64_t>(num_nodes)));
+    const auto to = static_cast<NodeId>(rng.Uniform(static_cast<uint64_t>(num_nodes)));
+    edges.emplace_back(from, to);
+    ++expected[{from, to}];
+  }
+  const auto g = TransactionNetwork::FromEdges(edges, static_cast<std::size_t>(num_nodes));
+  ASSERT_TRUE(g.ok());
+
+  // Out-adjacency must match multiset exactly.
+  std::map<std::pair<NodeId, NodeId>, int> actual;
+  std::size_t total_in_degree = 0;
+  for (NodeId v = 0; v < static_cast<NodeId>(num_nodes); ++v) {
+    auto [begin, end] = g->OutNeighbors(v);
+    for (const auto* e = begin; e != end; ++e) {
+      actual[std::make_pair(v, e->neighbor)] = static_cast<int>(e->weight);
+    }
+    total_in_degree += g->InDegree(v);
+  }
+  EXPECT_EQ(actual, expected);
+  EXPECT_EQ(total_in_degree, g->num_edges());
+
+  // In-adjacency mirrors out-adjacency.
+  for (NodeId v = 0; v < static_cast<NodeId>(num_nodes); ++v) {
+    auto [begin, end] = g->InNeighbors(v);
+    for (const auto* e = begin; e != end; ++e) {
+      const auto key = std::make_pair(e->neighbor, v);
+      EXPECT_EQ(actual[key], static_cast<int>(e->weight));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RandomGraphTest,
+                         ::testing::Values(std::make_pair(5, 10), std::make_pair(50, 400),
+                                           std::make_pair(200, 50),
+                                           std::make_pair(128, 2000)));
+
+TransactionNetwork Ring(int n) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (int i = 0; i < n; ++i) {
+    edges.emplace_back(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n));
+  }
+  auto g = TransactionNetwork::FromEdges(edges, static_cast<std::size_t>(n));
+  return std::move(g).value();
+}
+
+TEST(RandomWalkTest, WalksHaveRequestedShape) {
+  const auto g = Ring(10);
+  RandomWalkOptions options;
+  options.walk_length = 8;
+  options.walks_per_node = 3;
+  const auto corpus = GenerateWalks(g, options);
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus->walks.size(), 30u);
+  for (const auto& walk : corpus->walks) EXPECT_EQ(walk.size(), 8u);
+  EXPECT_EQ(corpus->TotalTokens(), 240u);
+}
+
+TEST(RandomWalkTest, StepsFollowEdges) {
+  const auto g = Ring(12);
+  RandomWalkOptions options;
+  options.walk_length = 20;
+  options.walks_per_node = 2;
+  options.undirected = true;
+  const auto corpus = GenerateWalks(g, options);
+  ASSERT_TRUE(corpus.ok());
+  for (const auto& walk : corpus->walks) {
+    for (std::size_t i = 1; i < walk.size(); ++i) {
+      const int diff = std::abs(static_cast<int>(walk[i]) - static_cast<int>(walk[i - 1]));
+      EXPECT_TRUE(diff == 1 || diff == 11) << "non-edge step " << walk[i - 1] << "->" << walk[i];
+    }
+  }
+}
+
+TEST(RandomWalkTest, DirectedWalksStopAtSinks) {
+  // 0 -> 1 -> 2, node 2 is a sink in directed mode.
+  const auto g = TransactionNetwork::FromEdges({{0, 1}, {1, 2}}, 3);
+  ASSERT_TRUE(g.ok());
+  RandomWalkOptions options;
+  options.walk_length = 10;
+  options.walks_per_node = 1;
+  options.undirected = false;
+  const auto corpus = GenerateWalks(*g, options);
+  ASSERT_TRUE(corpus.ok());
+  for (const auto& walk : corpus->walks) {
+    EXPECT_LE(walk.size(), 3u);
+    EXPECT_GE(walk.size(), 1u);
+  }
+}
+
+TEST(RandomWalkTest, DeterministicForSeed) {
+  const auto g = Ring(20);
+  RandomWalkOptions options;
+  options.seed = 99;
+  const auto a = GenerateWalks(g, options);
+  const auto b = GenerateWalks(g, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->walks, b->walks);
+  options.seed = 100;
+  const auto c = GenerateWalks(g, options);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->walks, c->walks);
+}
+
+TEST(RandomWalkTest, WeightsBiasTransitions) {
+  // Node 0 has a weight-9 edge to 1 and weight-1 edge to 2.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (int i = 0; i < 9; ++i) edges.emplace_back(0, 1);
+  edges.emplace_back(0, 2);
+  const auto g = TransactionNetwork::FromEdges(edges, 3);
+  ASSERT_TRUE(g.ok());
+  RandomWalkOptions options;
+  options.walk_length = 2;
+  options.walks_per_node = 4000;
+  options.undirected = false;
+  const auto corpus = GenerateWalks(*g, options);
+  ASSERT_TRUE(corpus.ok());
+  int to_one = 0, total = 0;
+  for (const auto& walk : corpus->walks) {
+    if (walk[0] != 0 || walk.size() < 2) continue;
+    ++total;
+    to_one += walk[1] == 1;
+  }
+  ASSERT_GT(total, 1000);
+  EXPECT_NEAR(static_cast<double>(to_one) / total, 0.9, 0.03);
+}
+
+TEST(RandomWalkTest, RejectsBadOptions) {
+  const auto g = Ring(5);
+  RandomWalkOptions options;
+  options.walk_length = 0;
+  EXPECT_FALSE(GenerateWalks(g, options).ok());
+  options.walk_length = 5;
+  options.walks_per_node = 0;
+  EXPECT_FALSE(GenerateWalks(g, options).ok());
+}
+
+
+
+TEST(Node2VecTest, DefaultParametersMatchFirstOrderWalks) {
+  const auto g = Ring(15);
+  RandomWalkOptions first;
+  first.seed = 5;
+  RandomWalkOptions second = first;
+  second.return_p = 1.0;
+  second.inout_q = 1.0;
+  const auto a = GenerateWalks(g, first);
+  const auto b = GenerateWalks(g, second);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->walks, b->walks);  // p=q=1 takes the identical fast path.
+}
+
+TEST(Node2VecTest, HighReturnPenaltyReducesBacktracking) {
+  const auto g = Ring(30);
+  RandomWalkOptions options;
+  options.walk_length = 30;
+  options.walks_per_node = 20;
+  auto backtrack_rate = [&](double p) {
+    options.return_p = p;
+    options.seed = 9;
+    const auto corpus = GenerateWalks(g, options);
+    EXPECT_TRUE(corpus.ok());
+    std::size_t backtracks = 0, steps = 0;
+    for (const auto& walk : corpus->walks) {
+      for (std::size_t i = 2; i < walk.size(); ++i) {
+        ++steps;
+        backtracks += walk[i] == walk[i - 2];
+      }
+    }
+    return static_cast<double>(backtracks) / static_cast<double>(steps);
+  };
+  const double neutral = backtrack_rate(1.0);
+  const double penalized = backtrack_rate(10.0);
+  EXPECT_GT(neutral, penalized + 0.15);
+}
+
+TEST(Node2VecTest, WalksStayOnEdges) {
+  const auto g = Ring(12);
+  RandomWalkOptions options;
+  options.walk_length = 15;
+  options.walks_per_node = 3;
+  options.return_p = 0.5;
+  options.inout_q = 2.0;
+  const auto corpus = GenerateWalks(g, options);
+  ASSERT_TRUE(corpus.ok());
+  for (const auto& walk : corpus->walks) {
+    for (std::size_t i = 1; i < walk.size(); ++i) {
+      const int diff = std::abs(static_cast<int>(walk[i]) - static_cast<int>(walk[i - 1]));
+      EXPECT_TRUE(diff == 1 || diff == 11);
+    }
+  }
+  options.return_p = 0.0;
+  EXPECT_FALSE(GenerateWalks(g, options).ok());
+}
+
+TEST(HeteroNetworkTest, BuildsUserAndDeviceNodes) {
+  txn::TransactionLog log;
+  log.profiles.resize(3);
+  auto add = [&](txn::UserId from, txn::UserId to, uint32_t device) {
+    txn::TransactionRecord rec;
+    rec.from_user = from;
+    rec.to_user = to;
+    rec.device_id = device;
+    log.records.push_back(rec);
+  };
+  add(0, 1, 100);
+  add(0, 2, 100);  // Same device reused.
+  add(1, 2, 200);
+  std::vector<std::size_t> all = {0, 1, 2};
+  const auto hetero = HeteroNetwork::FromRecords(log, all, 3);
+  ASSERT_TRUE(hetero.ok());
+  EXPECT_EQ(hetero->num_users(), 3u);
+  EXPECT_EQ(hetero->num_devices(), 2u);
+  EXPECT_EQ(hetero->num_nodes(), 5u);
+  const NodeId d100 = hetero->DeviceNode(100);
+  ASSERT_NE(d100, txn::kInvalidUser);
+  EXPECT_TRUE(hetero->IsDeviceNode(d100));
+  EXPECT_EQ(hetero->DeviceOf(d100), 100u);
+  EXPECT_EQ(hetero->DeviceNode(999), txn::kInvalidUser);
+  // User 0 used device 100 twice: the usage edge has weight 2.
+  const auto& g = hetero->combined();
+  auto [begin, end] = g.OutNeighbors(0);
+  float usage_weight = 0.0f;
+  for (const auto* e = begin; e != end; ++e) {
+    if (e->neighbor == d100) usage_weight = e->weight;
+  }
+  EXPECT_FLOAT_EQ(usage_weight, 2.0f);
+  // Transfer edges are present too.
+  EXPECT_EQ(g.OutDegree(0), 3u);  // -> 1, -> 2, -> d100.
+}
+
+TEST(HeteroNetworkTest, DeviceSharingConnectsAccounts) {
+  // Two users who never transact with each other but share a device are
+  // 2-hop neighbors through the device node.
+  txn::TransactionLog log;
+  log.profiles.resize(4);
+  auto add = [&](txn::UserId from, txn::UserId to, uint32_t device) {
+    txn::TransactionRecord rec;
+    rec.from_user = from;
+    rec.to_user = to;
+    rec.device_id = device;
+    log.records.push_back(rec);
+  };
+  add(0, 2, 500);
+  add(1, 3, 500);  // User 1 shares user 0's device.
+  std::vector<std::size_t> all = {0, 1};
+  const auto hetero = HeteroNetwork::FromRecords(log, all, 4);
+  ASSERT_TRUE(hetero.ok());
+  const NodeId device = hetero->DeviceNode(500);
+  const auto& g = hetero->combined();
+  // device's in-neighbors are exactly users 0 and 1.
+  auto [begin, end] = g.InNeighbors(device);
+  std::set<NodeId> sharers;
+  for (const auto* e = begin; e != end; ++e) sharers.insert(e->neighbor);
+  EXPECT_EQ(sharers, (std::set<NodeId>{0, 1}));
+}
+
+TEST(HeteroNetworkTest, ValidatesInput) {
+  txn::TransactionLog log;
+  log.profiles.resize(2);
+  txn::TransactionRecord rec;
+  rec.from_user = 0;
+  rec.to_user = 5;  // Out of range for num_users=2.
+  log.records.push_back(rec);
+  EXPECT_FALSE(HeteroNetwork::FromRecords(log, {0}, 2).ok());
+  EXPECT_FALSE(HeteroNetwork::FromRecords(log, {9}, 10).ok());
+}
+
+}  // namespace
+}  // namespace titant::graph

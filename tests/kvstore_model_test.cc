@@ -1,0 +1,155 @@
+// Model-based randomized testing of the Ali-HBase store: a long random
+// sequence of puts/deletes/gets/scans with interleaved flushes,
+// compactions and crash-reopens is checked operation-by-operation against
+// a trivial in-memory reference model.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <optional>
+
+#include "common/random.h"
+#include "kvstore/store.h"
+
+namespace titant::kvstore {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Reference model: column coordinate -> version -> (value, tombstone).
+class ReferenceStore {
+ public:
+  void Put(const std::string& row, const std::string& family, const std::string& qualifier,
+           const std::string& value, uint64_t version) {
+    cells_[{row, family, qualifier}][version] = {value, false};
+  }
+
+  void Delete(const std::string& row, const std::string& family,
+              const std::string& qualifier, uint64_t version) {
+    cells_[{row, family, qualifier}][version] = {"", true};
+  }
+
+  std::optional<std::string> Get(const std::string& row, const std::string& family,
+                                 const std::string& qualifier, uint64_t snapshot) const {
+    auto it = cells_.find({row, family, qualifier});
+    if (it == cells_.end()) return std::nullopt;
+    // Newest version <= snapshot.
+    auto v = it->second.upper_bound(snapshot);
+    if (v == it->second.begin()) return std::nullopt;
+    --v;
+    if (v->second.second) return std::nullopt;  // Tombstone.
+    return v->second.first;
+  }
+
+  std::size_t CountVisible(uint64_t snapshot) const {
+    std::size_t count = 0;
+    for (const auto& [coord, versions] : cells_) {
+      auto v = versions.upper_bound(snapshot);
+      if (v == versions.begin()) continue;
+      --v;
+      if (!v->second.second) ++count;
+    }
+    return count;
+  }
+
+  /// Drops versions beyond `max_versions` per column (compaction model).
+  void CompactTo(int max_versions) {
+    for (auto& [coord, versions] : cells_) {
+      std::map<uint64_t, std::pair<std::string, bool>> kept;
+      int taken = 0;
+      bool shadowed = false;
+      for (auto it = versions.rbegin(); it != versions.rend(); ++it) {
+        if (shadowed) break;
+        if (it->second.second) {
+          shadowed = true;  // Tombstone erases itself and everything older.
+          continue;
+        }
+        if (taken >= max_versions) continue;
+        kept.emplace(it->first, it->second);
+        ++taken;
+      }
+      versions = std::move(kept);
+    }
+  }
+
+ private:
+  std::map<std::tuple<std::string, std::string, std::string>,
+           std::map<uint64_t, std::pair<std::string, bool>>>
+      cells_;
+};
+
+class StoreModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StoreModelTest, RandomOpsMatchReference) {
+  const std::string dir = "/tmp/titant_kvmodel_" + std::to_string(GetParam());
+  fs::remove_all(dir);
+  StoreOptions options;
+  options.column_families = {"bf", "emb"};
+  options.durable = true;
+  options.dir = dir;
+  options.memtable_flush_cells = 97;  // Odd threshold: frequent flushes.
+  options.max_versions = 2;
+
+  auto store = AliHBase::Open(options);
+  ASSERT_TRUE(store.ok());
+  ReferenceStore reference;
+  Rng rng(GetParam());
+
+  auto row_of = [](uint64_t i) { return "row" + std::to_string(i); };
+  const char* families[] = {"bf", "emb"};
+  auto qual_of = [](uint64_t i) { return "q" + std::to_string(i); };
+
+  for (int step = 0; step < 3000; ++step) {
+    const std::string row = row_of(rng.Uniform(40));
+    const std::string family = families[rng.Uniform(2)];
+    const std::string qualifier = qual_of(rng.Uniform(4));
+    const uint64_t version = 1 + rng.Uniform(6);
+    const int op = static_cast<int>(rng.Uniform(100));
+
+    if (op < 55) {  // Put
+      const std::string value = "v" + std::to_string(step);
+      ASSERT_TRUE((*store)->Put(row, family, qualifier, value, version).ok());
+      reference.Put(row, family, qualifier, value, version);
+    } else if (op < 65) {  // Delete
+      ASSERT_TRUE((*store)->Delete(row, family, qualifier, version).ok());
+      reference.Delete(row, family, qualifier, version);
+    } else if (op < 90) {  // Get at random snapshot
+      const uint64_t snapshot = rng.Bernoulli(0.5) ? UINT64_MAX : 1 + rng.Uniform(6);
+      const auto expected = reference.Get(row, family, qualifier, snapshot);
+      const auto actual = (*store)->Get(row, family, qualifier, snapshot);
+      if (expected.has_value()) {
+        ASSERT_TRUE(actual.ok()) << "step " << step << ": expected " << *expected;
+        ASSERT_EQ(*actual, *expected) << "step " << step;
+      } else {
+        ASSERT_TRUE(actual.status().IsNotFound()) << "step " << step;
+      }
+    } else if (op < 94) {  // Flush
+      ASSERT_TRUE((*store)->Flush().ok());
+    } else if (op < 97) {  // Crash + reopen (unflushed data replays from WAL)
+      store->reset();
+      store = AliHBase::Open(options);
+      ASSERT_TRUE(store.ok()) << "reopen at step " << step;
+    } else {  // Compact (GC old versions in both store and model)
+      ASSERT_TRUE((*store)->Compact().ok());
+      reference.CompactTo(options.max_versions);
+    }
+  }
+
+  // Final full sweep at the unbounded snapshot via Scan.
+  const auto cells = (*store)->Scan("", "");
+  ASSERT_TRUE(cells.ok());
+  EXPECT_EQ(cells->size(), reference.CountVisible(UINT64_MAX));
+  for (const auto& cell : *cells) {
+    const auto expected =
+        reference.Get(cell.key.row, cell.key.family, cell.key.qualifier, UINT64_MAX);
+    ASSERT_TRUE(expected.has_value()) << cell.key.row;
+    EXPECT_EQ(cell.value, *expected);
+  }
+  fs::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreModelTest, ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace titant::kvstore

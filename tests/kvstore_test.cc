@@ -1,0 +1,507 @@
+// Tests for the Ali-HBase substrate: skiplist, cell codec, WAL, SSTable
+// and the column-family store (versioning, tombstones, recovery,
+// compaction, concurrency).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <thread>
+
+#include "common/random.h"
+#include "kvstore/bloom.h"
+#include "kvstore/cell.h"
+#include "kvstore/skiplist.h"
+#include "kvstore/sstable.h"
+#include "kvstore/store.h"
+#include "kvstore/wal.h"
+
+namespace titant::kvstore {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const std::string& tag) {
+  const std::string dir = "/tmp/titant_kvtest_" + tag;
+  fs::remove_all(dir);
+  return dir;
+}
+
+// ---------------------------------------------------------------------------
+// SkipList
+// ---------------------------------------------------------------------------
+
+class SkipListParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SkipListParamTest, BehavesLikeOrderedSet) {
+  const int n = GetParam();
+  SkipList<int> list;
+  std::set<int> reference;
+  Rng rng(static_cast<uint64_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int key = static_cast<int>(rng.Uniform(static_cast<uint64_t>(n)));
+    EXPECT_EQ(list.Insert(key), reference.insert(key).second);
+  }
+  EXPECT_EQ(list.size(), reference.size());
+
+  // Iteration order matches the set.
+  SkipList<int>::Iterator it(&list);
+  it.SeekToFirst();
+  for (int expected : reference) {
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.key(), expected);
+    it.Next();
+  }
+  EXPECT_FALSE(it.Valid());
+
+  // Contains and Seek agree with the set.
+  for (int probe = -5; probe < n + 5; ++probe) {
+    EXPECT_EQ(list.Contains(probe), reference.count(probe) > 0);
+    it.Seek(probe);
+    auto lower = reference.lower_bound(probe);
+    if (lower == reference.end()) {
+      EXPECT_FALSE(it.Valid());
+    } else {
+      ASSERT_TRUE(it.Valid());
+      EXPECT_EQ(it.key(), *lower);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SkipListParamTest, ::testing::Values(1, 10, 200, 3000));
+
+// ---------------------------------------------------------------------------
+// Cell codec
+// ---------------------------------------------------------------------------
+
+TEST(CellTest, EncodeDecodeRoundTrip) {
+  Cell cell;
+  cell.key = CellKey{"rowkey", "bf", "snapshot", 20170410};
+  cell.value = std::string("binary\0data", 11);
+  cell.tombstone = true;
+  const std::string blob = EncodeCell(cell);
+  Cell parsed;
+  std::size_t offset = 0;
+  ASSERT_TRUE(DecodeCell(blob, &offset, &parsed));
+  EXPECT_EQ(offset, blob.size());
+  EXPECT_EQ(parsed.key, cell.key);
+  EXPECT_EQ(parsed.value, cell.value);
+  EXPECT_TRUE(parsed.tombstone);
+}
+
+TEST(CellTest, DecodeRejectsTruncation) {
+  Cell cell;
+  cell.key = CellKey{"r", "f", "q", 1};
+  cell.value = "v";
+  const std::string blob = EncodeCell(cell);
+  for (std::size_t cut = 0; cut < blob.size(); ++cut) {
+    Cell out;
+    std::size_t offset = 0;
+    EXPECT_FALSE(DecodeCell(blob.substr(0, cut), &offset, &out)) << "cut=" << cut;
+  }
+}
+
+TEST(CellTest, KeyOrderingNewestVersionFirst) {
+  const CellKey a{"r", "f", "q", 5};
+  const CellKey b{"r", "f", "q", 3};
+  EXPECT_LT(a, b);  // Higher version sorts first within a column.
+  const CellKey c{"r", "f", "r", 9};
+  EXPECT_LT(b, c);  // Qualifier order dominates version.
+}
+
+// ---------------------------------------------------------------------------
+// WAL
+// ---------------------------------------------------------------------------
+
+TEST(WalTest, AppendAndReadAll) {
+  const std::string dir = TempDir("wal");
+  fs::create_directories(dir);
+  const std::string path = dir + "/wal.log";
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append("first").ok());
+    ASSERT_TRUE(wal->Append("").ok());
+    ASSERT_TRUE(wal->Append("third record").ok());
+  }
+  const auto records = WriteAheadLog::ReadAll(path);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(*records, (std::vector<std::string>{"first", "", "third record"}));
+}
+
+TEST(WalTest, TornTailIsDropped) {
+  const std::string dir = TempDir("waltear");
+  fs::create_directories(dir);
+  const std::string path = dir + "/wal.log";
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append("intact").ok());
+    ASSERT_TRUE(wal->Append("to be torn").ok());
+  }
+  // Truncate mid-record.
+  const auto size = fs::file_size(path);
+  fs::resize_file(path, size - 4);
+  const auto records = WriteAheadLog::ReadAll(path);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(*records, std::vector<std::string>{"intact"});
+}
+
+TEST(WalTest, CorruptCrcStopsReplay) {
+  const std::string dir = TempDir("walcrc");
+  fs::create_directories(dir);
+  const std::string path = dir + "/wal.log";
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append("good").ok());
+    ASSERT_TRUE(wal->Append("bad!").ok());
+  }
+  // Flip a payload byte of the second record.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  std::fseek(f, -1, SEEK_END);
+  std::fputc('X', f);
+  std::fclose(f);
+  const auto records = WriteAheadLog::ReadAll(path);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(*records, std::vector<std::string>{"good"});
+}
+
+TEST(WalTest, MissingFileIsEmpty) {
+  const auto records = WriteAheadLog::ReadAll("/tmp/titant_no_such_wal.log");
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+}
+
+
+// ---------------------------------------------------------------------------
+// Bloom filter
+// ---------------------------------------------------------------------------
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter filter(1000);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 1000; ++i) keys.push_back("key_" + std::to_string(i));
+  for (const auto& key : keys) filter.Add(key);
+  for (const auto& key : keys) EXPECT_TRUE(filter.MayContain(key)) << key;
+}
+
+TEST(BloomFilterTest, LowFalsePositiveRate) {
+  BloomFilter filter(2000, 10);
+  for (int i = 0; i < 2000; ++i) filter.Add("present_" + std::to_string(i));
+  int false_positives = 0;
+  const int probes = 10000;
+  for (int i = 0; i < probes; ++i) {
+    false_positives += filter.MayContain("absent_" + std::to_string(i));
+  }
+  // 10 bits/key targets ~1%; allow generous slack.
+  EXPECT_LT(false_positives, probes / 20);
+}
+
+TEST(BloomFilterTest, PayloadRoundTripAndMatchAll) {
+  BloomFilter filter(100);
+  filter.Add("x");
+  const BloomFilter restored = BloomFilter::FromPayload(filter.payload());
+  EXPECT_TRUE(restored.MayContain("x"));
+  const BloomFilter match_all = BloomFilter::FromPayload("");
+  EXPECT_TRUE(match_all.MayContain("anything"));
+}
+
+// ---------------------------------------------------------------------------
+// SSTable
+// ---------------------------------------------------------------------------
+
+// Zero-padded row helper (keeps lexicographic == numeric order).
+std::string StrCatRow(int r) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "row%06d", r);
+  return buf;
+}
+
+std::vector<Cell> MakeSortedCells(int rows, int versions) {
+  std::vector<Cell> cells;
+  for (int r = 0; r < rows; ++r) {
+    for (int v = versions; v >= 1; --v) {  // Version descending within key.
+      Cell cell;
+      cell.key = CellKey{StrCatRow(r), "bf", "q", static_cast<uint64_t>(v)};
+      cell.value = "val_" + std::to_string(r) + "_" + std::to_string(v);
+      cells.push_back(std::move(cell));
+    }
+  }
+  return cells;
+}
+
+TEST(SSTableTest, WriteOpenGet) {
+  const std::string dir = TempDir("sst");
+  fs::create_directories(dir);
+  const std::string path = dir + "/1.sst";
+  const auto cells = MakeSortedCells(100, 3);
+  ASSERT_TRUE(SSTable::Write(path, cells).ok());
+  const auto table = SSTable::Open(path);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_cells(), 300u);
+
+  // Latest version at unbounded snapshot.
+  auto cell = table->Get(StrCatRow(42), "bf", "q", UINT64_MAX);
+  ASSERT_TRUE(cell.has_value());
+  EXPECT_EQ(cell->value, "val_42_3");
+  // Snapshot pinned to version 2.
+  cell = table->Get(StrCatRow(42), "bf", "q", 2);
+  ASSERT_TRUE(cell.has_value());
+  EXPECT_EQ(cell->value, "val_42_2");
+  // Missing row.
+  EXPECT_FALSE(table->Get("rowZZZ", "bf", "q", UINT64_MAX).has_value());
+  // Missing qualifier.
+  EXPECT_FALSE(table->Get(StrCatRow(42), "bf", "nope", UINT64_MAX).has_value());
+}
+
+TEST(SSTableTest, IteratorCoversAllCellsInOrder) {
+  const std::string dir = TempDir("sstiter");
+  fs::create_directories(dir);
+  const std::string path = dir + "/1.sst";
+  const auto cells = MakeSortedCells(50, 2);
+  ASSERT_TRUE(SSTable::Write(path, cells).ok());
+  const auto table = SSTable::Open(path);
+  ASSERT_TRUE(table.ok());
+  SSTable::Iterator it(&*table);
+  std::size_t count = 0;
+  for (it.SeekToFirst(); it.Valid(); it.Next()) {
+    ASSERT_LT(count, cells.size());
+    EXPECT_EQ(it.cell().key, cells[count].key);
+    EXPECT_EQ(it.cell().value, cells[count].value);
+    ++count;
+  }
+  EXPECT_EQ(count, cells.size());
+}
+
+TEST(SSTableTest, RejectsUnsortedInput) {
+  auto cells = MakeSortedCells(5, 1);
+  std::swap(cells[0], cells[1]);
+  EXPECT_FALSE(SSTable::Write("/tmp/titant_bad.sst", cells).ok());
+}
+
+TEST(SSTableTest, DetectsCorruption) {
+  const std::string dir = TempDir("sstcorrupt");
+  fs::create_directories(dir);
+  const std::string path = dir + "/1.sst";
+  ASSERT_TRUE(SSTable::Write(path, MakeSortedCells(20, 1)).ok());
+  // Flip a data byte.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  std::fseek(f, 10, SEEK_SET);
+  std::fputc('X', f);
+  std::fclose(f);
+  EXPECT_FALSE(SSTable::Open(path).ok());
+}
+
+// ---------------------------------------------------------------------------
+// AliHBase store
+// ---------------------------------------------------------------------------
+
+StoreOptions MemOptions() {
+  StoreOptions options;
+  options.column_families = {"bf", "emb"};
+  options.durable = false;
+  return options;
+}
+
+TEST(StoreTest, PutGetLatestAndVersioned) {
+  auto store = AliHBase::Open(MemOptions());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("alice", "bf", "age", "30", 100).ok());
+  ASSERT_TRUE((*store)->Put("alice", "bf", "age", "31", 200).ok());
+
+  EXPECT_EQ(*(*store)->Get("alice", "bf", "age"), "31");
+  EXPECT_EQ(*(*store)->Get("alice", "bf", "age", 150), "30");
+  EXPECT_FALSE((*store)->Get("alice", "bf", "age", 50).ok());
+  EXPECT_TRUE((*store)->Get("bob", "bf", "age").status().IsNotFound());
+}
+
+TEST(StoreTest, RejectsUndeclaredFamily) {
+  auto store = AliHBase::Open(MemOptions());
+  ASSERT_TRUE(store.ok());
+  EXPECT_TRUE((*store)->Put("r", "nope", "q", "v", 1).IsInvalidArgument());
+  EXPECT_TRUE((*store)->Get("r", "nope", "q").status().IsInvalidArgument());
+  EXPECT_FALSE((*store)->Put("", "bf", "q", "v", 1).ok());
+}
+
+TEST(StoreTest, DeleteShadowsOlderVersions) {
+  auto store = AliHBase::Open(MemOptions());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("u", "bf", "x", "old", 10).ok());
+  ASSERT_TRUE((*store)->Delete("u", "bf", "x", 20).ok());
+  EXPECT_TRUE((*store)->Get("u", "bf", "x").status().IsNotFound());
+  // Reading below the tombstone still sees the old value.
+  EXPECT_EQ(*(*store)->Get("u", "bf", "x", 15), "old");
+  // A later write over the tombstone is visible.
+  ASSERT_TRUE((*store)->Put("u", "bf", "x", "new", 30).ok());
+  EXPECT_EQ(*(*store)->Get("u", "bf", "x"), "new");
+}
+
+TEST(StoreTest, OverwriteSameVersionTakesLatestWrite) {
+  auto store = AliHBase::Open(MemOptions());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("u", "bf", "x", "first", 7).ok());
+  ASSERT_TRUE((*store)->Put("u", "bf", "x", "second", 7).ok());
+  EXPECT_EQ(*(*store)->Get("u", "bf", "x"), "second");
+}
+
+TEST(StoreTest, GetRowAndScan) {
+  auto store = AliHBase::Open(MemOptions());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("u1", "bf", "age", "30", 1).ok());
+  ASSERT_TRUE((*store)->Put("u1", "emb", "vec", "E1", 1).ok());
+  ASSERT_TRUE((*store)->Put("u2", "bf", "age", "40", 1).ok());
+  ASSERT_TRUE((*store)->Put("u3", "bf", "age", "50", 1).ok());
+
+  const auto row = (*store)->GetRow("u1");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->size(), 2u);
+  EXPECT_EQ(row->at("bf:age"), "30");
+  EXPECT_EQ(row->at("emb:vec"), "E1");
+
+  const auto scan = (*store)->Scan("u1", "u3");
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->size(), 3u);  // u1 x2 + u2 x1; u3 excluded.
+  const auto limited = (*store)->Scan("u1", "", UINT64_MAX, 2);
+  ASSERT_TRUE(limited.ok());
+  EXPECT_EQ(limited->size(), 2u);
+}
+
+TEST(StoreTest, FlushMovesDataToSSTable) {
+  const std::string dir = TempDir("flush");
+  StoreOptions options = MemOptions();
+  options.durable = true;
+  options.dir = dir;
+  auto store = AliHBase::Open(options);
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        (*store)->Put("row" + std::to_string(i), "bf", "q", std::to_string(i), 1).ok());
+  }
+  ASSERT_TRUE((*store)->Flush().ok());
+  EXPECT_EQ((*store)->memtable_cells(), 0u);
+  EXPECT_EQ((*store)->num_sstables(), 1u);
+  EXPECT_EQ(*(*store)->Get("row42", "bf", "q"), "42");
+  // Memtable value written after the flush wins over the SSTable.
+  ASSERT_TRUE((*store)->Put("row42", "bf", "q", "updated", 2).ok());
+  EXPECT_EQ(*(*store)->Get("row42", "bf", "q"), "updated");
+}
+
+TEST(StoreTest, RecoversFromWalAfterCrash) {
+  const std::string dir = TempDir("recover");
+  StoreOptions options = MemOptions();
+  options.durable = true;
+  options.dir = dir;
+  {
+    auto store = AliHBase::Open(options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("alice", "bf", "age", "30", 1).ok());
+    ASSERT_TRUE((*store)->Put("bob", "emb", "vec", "E", 1).ok());
+    // "Crash": no flush, store dropped.
+  }
+  auto reopened = AliHBase::Open(options);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(*(*reopened)->Get("alice", "bf", "age"), "30");
+  EXPECT_EQ(*(*reopened)->Get("bob", "emb", "vec"), "E");
+  EXPECT_EQ((*reopened)->memtable_cells(), 2u);  // Replayed into memtable.
+}
+
+TEST(StoreTest, RecoversFlushedAndUnflushedData) {
+  const std::string dir = TempDir("recover2");
+  StoreOptions options = MemOptions();
+  options.durable = true;
+  options.dir = dir;
+  {
+    auto store = AliHBase::Open(options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("a", "bf", "q", "flushed", 1).ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+    ASSERT_TRUE((*store)->Put("b", "bf", "q", "in_wal", 1).ok());
+  }
+  auto reopened = AliHBase::Open(options);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(*(*reopened)->Get("a", "bf", "q"), "flushed");
+  EXPECT_EQ(*(*reopened)->Get("b", "bf", "q"), "in_wal");
+}
+
+TEST(StoreTest, CompactionDropsOldVersionsAndTombstones) {
+  const std::string dir = TempDir("compact");
+  StoreOptions options = MemOptions();
+  options.durable = true;
+  options.dir = dir;
+  options.max_versions = 2;
+  auto store = AliHBase::Open(options);
+  ASSERT_TRUE(store.ok());
+  for (uint64_t v = 1; v <= 5; ++v) {
+    ASSERT_TRUE((*store)->Put("u", "bf", "x", "v" + std::to_string(v), v).ok());
+  }
+  ASSERT_TRUE((*store)->Put("dead", "bf", "x", "gone", 1).ok());
+  ASSERT_TRUE((*store)->Delete("dead", "bf", "x", 2).ok());
+  ASSERT_TRUE((*store)->Compact().ok());
+  EXPECT_EQ((*store)->num_sstables(), 1u);
+  // Latest two versions kept.
+  EXPECT_EQ(*(*store)->Get("u", "bf", "x"), "v5");
+  EXPECT_EQ(*(*store)->Get("u", "bf", "x", 4), "v4");
+  EXPECT_FALSE((*store)->Get("u", "bf", "x", 3).ok());  // GC'd.
+  // Tombstoned column fully gone.
+  EXPECT_TRUE((*store)->Get("dead", "bf", "x").status().IsNotFound());
+  EXPECT_TRUE((*store)->Get("dead", "bf", "x", 1).status().IsNotFound());
+}
+
+TEST(StoreTest, AutomaticFlushOnThreshold) {
+  const std::string dir = TempDir("autoflush");
+  StoreOptions options = MemOptions();
+  options.durable = true;
+  options.dir = dir;
+  options.memtable_flush_cells = 64;
+  auto store = AliHBase::Open(options);
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE((*store)->Put("r" + std::to_string(i), "bf", "q", "v", 1).ok());
+  }
+  EXPECT_GE((*store)->num_sstables(), 2u);
+  EXPECT_LT((*store)->memtable_cells(), 64u);
+  EXPECT_EQ(*(*store)->Get("r0", "bf", "q"), "v");
+  EXPECT_EQ(*(*store)->Get("r199", "bf", "q"), "v");
+}
+
+TEST(StoreTest, ConcurrentReadersAndWriter) {
+  auto store_or = AliHBase::Open(MemOptions());
+  ASSERT_TRUE(store_or.ok());
+  AliHBase* store = store_or->get();
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(store->Put("u" + std::to_string(i), "bf", "q", std::to_string(i), 1).ok());
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> read_errors{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(t));
+      while (!stop.load()) {
+        const int i = static_cast<int>(rng.Uniform(500));
+        auto v = store->Get("u" + std::to_string(i), "bf", "q");
+        if (!v.ok() || *v != std::to_string(i)) read_errors.fetch_add(1);
+      }
+    });
+  }
+  for (int i = 500; i < 1000; ++i) {
+    ASSERT_TRUE(store->Put("u" + std::to_string(i), "bf", "q", std::to_string(i), 1).ok());
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(read_errors.load(), 0);
+}
+
+TEST(StoreTest, OpenValidatesOptions) {
+  StoreOptions options;
+  EXPECT_FALSE(AliHBase::Open(options).ok());  // No families.
+  options.column_families = {"bf"};
+  options.durable = true;  // No dir.
+  EXPECT_FALSE(AliHBase::Open(options).ok());
+}
+
+}  // namespace
+}  // namespace titant::kvstore

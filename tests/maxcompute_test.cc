@@ -1,0 +1,438 @@
+// Tests for the embedded MaxCompute platform: values, tables, Pangu, OTS,
+// Fuxi, the SQL subset, and MapReduce jobs.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+
+#include "maxcompute/client.h"
+#include "maxcompute/fuxi.h"
+#include "maxcompute/odps.h"
+#include "maxcompute/ots.h"
+#include "maxcompute/pangu.h"
+#include "maxcompute/sql.h"
+#include "maxcompute/table.h"
+#include "maxcompute/value.h"
+
+namespace titant::maxcompute {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const std::string& tag) {
+  const std::string dir = "/tmp/titant_mctest_" + tag;
+  fs::remove_all(dir);
+  return dir;
+}
+
+// ---------------------------------------------------------------------------
+// Values and tables
+// ---------------------------------------------------------------------------
+
+TEST(ValueTest, TypesAndCoercion) {
+  EXPECT_EQ(Value(static_cast<int64_t>(7)).type(), ValueType::kInt);
+  EXPECT_EQ(Value(1.5).AsInt(), 1);
+  EXPECT_DOUBLE_EQ(Value(static_cast<int64_t>(3)).AsDouble(), 3.0);
+  EXPECT_TRUE(Value(std::string("x")).AsBool());
+  EXPECT_FALSE(Value(std::string("")).AsBool());
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Null().AsString(), "NULL");
+  EXPECT_EQ(Value(true).AsInt(), 1);
+}
+
+TEST(ValueTest, ComparisonSemantics) {
+  EXPECT_EQ(Value::Compare(Value(static_cast<int64_t>(2)), Value(2.0)), 0);
+  EXPECT_LT(Value::Compare(Value(1.0), Value(static_cast<int64_t>(2))), 0);
+  EXPECT_LT(Value::Compare(Value(std::string("a")), Value(std::string("b"))), 0);
+  EXPECT_LT(Value::Compare(Value::Null(), Value(0.0)), 0);  // Nulls first.
+  EXPECT_EQ(Value::Compare(Value::Null(), Value::Null()), 0);
+}
+
+Table PeopleTable() {
+  Table table{Schema({{"name", ValueType::kString},
+                      {"age", ValueType::kInt},
+                      {"city", ValueType::kString},
+                      {"amount", ValueType::kDouble}})};
+  auto add = [&](const char* name, int64_t age, const char* city, double amount) {
+    EXPECT_TRUE(
+        table
+            .Append({Value(std::string(name)), Value(age), Value(std::string(city)),
+                     Value(amount)})
+            .ok());
+  };
+  add("zoe", 30, "hz", 120.0);
+  add("sam", 45, "bj", 80.0);
+  add("liam", 30, "hz", 40.0);
+  add("ana", 62, "sh", 900.0);
+  add("bob", 45, "bj", 10.0);
+  return table;
+}
+
+TEST(TableTest, SchemaEnforcedOnAppend) {
+  Table table{Schema({{"a", ValueType::kInt}})};
+  EXPECT_TRUE(table.Append({Value(static_cast<int64_t>(1))}).ok());
+  EXPECT_FALSE(table.Append({Value(static_cast<int64_t>(1)), Value(2.0)}).ok());
+}
+
+TEST(TableTest, SerializeRoundTrip) {
+  const Table table = PeopleTable();
+  const auto parsed = Table::Deserialize(table.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_rows(), table.num_rows());
+  EXPECT_EQ(parsed->schema().num_columns(), 4u);
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(Value::Compare(parsed->row(r)[c], table.row(r)[c]), 0);
+    }
+  }
+  EXPECT_FALSE(Table::Deserialize("nonsense").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Pangu / OTS / Fuxi
+// ---------------------------------------------------------------------------
+
+TEST(PanguTest, BlobAndTableRoundTrip) {
+  auto pangu = PanguStore::Open(TempDir("pangu"));
+  ASSERT_TRUE(pangu.ok());
+  ASSERT_TRUE(pangu->PutBlob("a/b c", "payload").ok());
+  EXPECT_EQ(*pangu->GetBlob("a/b c"), "payload");
+  EXPECT_TRUE(pangu->GetBlob("missing").status().IsNotFound());
+  ASSERT_TRUE(pangu->PutTable("table/people", PeopleTable()).ok());
+  const auto table = pangu->GetTable("table/people");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 5u);
+  const auto names = pangu->List();
+  EXPECT_EQ(names.size(), 2u);
+  ASSERT_TRUE(pangu->DeleteBlob("a/b c").ok());
+  EXPECT_EQ(pangu->List().size(), 1u);
+}
+
+TEST(OtsTest, InstanceLifecycle) {
+  OpenTableService ots;
+  const std::string id = ots.RegisterInstance("test job");
+  const auto record = ots.Get(id);
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record->status, InstanceStatus::kWaiting);
+  ASSERT_TRUE(ots.UpdateStatus(id, InstanceStatus::kRunning).ok());
+  ASSERT_TRUE(ots.UpdateStatus(id, InstanceStatus::kTerminated).ok());
+  EXPECT_EQ(ots.Get(id)->status, InstanceStatus::kTerminated);
+  EXPECT_GT(ots.Get(id)->finished_at_us, 0);
+  EXPECT_TRUE(ots.UpdateStatus("bogus", InstanceStatus::kRunning).IsNotFound());
+  EXPECT_EQ(ots.List().size(), 1u);
+}
+
+TEST(FuxiTest, RunsAllSubtasks) {
+  FuxiScheduler fuxi(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 64; ++i) fuxi.Submit(1, [&done] { done.fetch_add(1); });
+  fuxi.Wait();
+  EXPECT_EQ(done.load(), 64);
+  EXPECT_EQ(fuxi.completed_subtasks(), 64u);
+}
+
+TEST(FuxiTest, PriorityOrderWithSingleSlot) {
+  FuxiScheduler fuxi(1);
+  std::vector<int> order;
+  std::mutex mu;
+  // Block the slot so the queue builds up, then observe drain order.
+  std::atomic<bool> release{false};
+  fuxi.Submit(0, [&release] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  for (int priority : {5, 1, 3, 1, 5}) {
+    fuxi.Submit(priority, [priority, &order, &mu] {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(priority);
+    });
+  }
+  release.store(true);
+  fuxi.Wait();
+  EXPECT_EQ(order, (std::vector<int>{1, 1, 3, 5, 5}));
+}
+
+// ---------------------------------------------------------------------------
+// SQL engine
+// ---------------------------------------------------------------------------
+
+class SqlTest : public ::testing::Test {
+ protected:
+  SqlTest() : people_(PeopleTable()) {}
+
+  StatusOr<Table> Run(const std::string& query) {
+    return ExecuteSql(query, [this](const std::string& name) -> StatusOr<const Table*> {
+      if (name == "PEOPLE") return &people_;
+      if (name == "CITIES") {
+        if (!cities_) {
+          cities_ = std::make_unique<Table>(
+              Schema({{"code", ValueType::kString}, {"label", ValueType::kString}}));
+          (void)cities_->Append({Value(std::string("hz")), Value(std::string("Hangzhou"))});
+          (void)cities_->Append({Value(std::string("bj")), Value(std::string("Beijing"))});
+        }
+        return cities_.get();
+      }
+      return Status::NotFound(name);
+    });
+  }
+
+  Table people_;
+  std::unique_ptr<Table> cities_;
+};
+
+TEST_F(SqlTest, SelectStar) {
+  const auto result = Run("SELECT * FROM people");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->num_rows(), 5u);
+  EXPECT_EQ(result->schema().num_columns(), 4u);
+}
+
+TEST_F(SqlTest, ProjectionAndArithmetic) {
+  const auto result = Run("SELECT name, amount * 2 + 1 AS doubled FROM people LIMIT 2");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_rows(), 2u);
+  EXPECT_EQ(result->schema().columns()[1].name, "doubled");
+  EXPECT_DOUBLE_EQ(result->row(0)[1].AsDouble(), 241.0);
+}
+
+TEST_F(SqlTest, WhereFilters) {
+  const auto result = Run("SELECT name FROM people WHERE city = 'hz' AND age <= 30");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_rows(), 2u);
+  EXPECT_EQ(result->row(0)[0].AsString(), "zoe");
+  EXPECT_EQ(result->row(1)[0].AsString(), "liam");
+}
+
+TEST_F(SqlTest, WhereWithOrNotAndComparisons) {
+  const auto result =
+      Run("SELECT name FROM people WHERE NOT (city = 'hz') AND (age > 60 OR amount < 50)");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_rows(), 2u);  // ana (62) and bob (10.0).
+}
+
+TEST_F(SqlTest, GroupByWithAggregates) {
+  const auto result = Run(
+      "SELECT city, COUNT(*) AS n, SUM(amount) AS total, AVG(age) AS mean_age "
+      "FROM people GROUP BY city ORDER BY city");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 3u);
+  // bj: sam+bob.
+  EXPECT_EQ(result->row(0)[0].AsString(), "bj");
+  EXPECT_EQ(result->row(0)[1].AsInt(), 2);
+  EXPECT_DOUBLE_EQ(result->row(0)[2].AsDouble(), 90.0);
+  EXPECT_DOUBLE_EQ(result->row(0)[3].AsDouble(), 45.0);
+  // hz: zoe+liam.
+  EXPECT_EQ(result->row(1)[0].AsString(), "hz");
+  EXPECT_DOUBLE_EQ(result->row(1)[2].AsDouble(), 160.0);
+}
+
+TEST_F(SqlTest, GlobalAggregatesOverEmptyFilter) {
+  const auto result = Run("SELECT COUNT(*) AS n, MAX(amount) AS m FROM people WHERE age > 99");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_rows(), 1u);
+  EXPECT_EQ(result->row(0)[0].AsInt(), 0);
+  EXPECT_TRUE(result->row(0)[1].is_null());
+}
+
+TEST_F(SqlTest, MinMaxAndScalarFunctions) {
+  const auto result =
+      Run("SELECT MIN(age) AS lo, MAX(age) AS hi, ROUND(AVG(amount)) AS avg_amt FROM people");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->row(0)[0].AsInt(), 30);
+  EXPECT_EQ(result->row(0)[1].AsInt(), 62);
+  EXPECT_DOUBLE_EQ(result->row(0)[2].AsDouble(), 230.0);
+}
+
+TEST_F(SqlTest, OrderByMultipleKeysAndDirections) {
+  const auto result = Run("SELECT name, age FROM people ORDER BY age DESC, name ASC");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_rows(), 5u);
+  EXPECT_EQ(result->row(0)[0].AsString(), "ana");
+  EXPECT_EQ(result->row(1)[0].AsString(), "bob");  // 45, before sam.
+  EXPECT_EQ(result->row(2)[0].AsString(), "sam");
+}
+
+TEST_F(SqlTest, OrderByAggregate) {
+  const auto result =
+      Run("SELECT city, SUM(amount) AS total FROM people GROUP BY city ORDER BY total DESC");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->row(0)[0].AsString(), "sh");
+  EXPECT_EQ(result->row(2)[0].AsString(), "bj");
+}
+
+TEST_F(SqlTest, JoinOnEquality) {
+  const auto result = Run(
+      "SELECT people.name, cities.label FROM people JOIN cities ON city = code "
+      "ORDER BY people.name");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 4u);  // ana (sh) has no city row.
+  EXPECT_EQ(result->row(0)[0].AsString(), "bob");
+  EXPECT_EQ(result->row(0)[1].AsString(), "Beijing");
+}
+
+TEST_F(SqlTest, StringEscapesAndModulo) {
+  const auto result = Run("SELECT name FROM people WHERE name != 'o''brien' AND age % 2 = 0");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 3u);  // ages 30, 30, 62.
+}
+
+TEST_F(SqlTest, DivisionByZeroIsNull) {
+  const auto result = Run("SELECT amount / 0 AS d FROM people LIMIT 1");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->row(0)[0].is_null());
+}
+
+TEST_F(SqlTest, ParseErrors) {
+  EXPECT_FALSE(Run("SELEC name FROM people").ok());
+  EXPECT_FALSE(Run("SELECT FROM people").ok());
+  EXPECT_FALSE(Run("SELECT name people").ok());
+  EXPECT_FALSE(Run("SELECT name FROM people WHERE").ok());
+  EXPECT_FALSE(Run("SELECT name FROM people LIMIT x").ok());
+  EXPECT_FALSE(Run("SELECT name FROM people extra").ok());
+  EXPECT_FALSE(Run("SELECT nosuch FROM people").ok());
+  EXPECT_FALSE(Run("SELECT name FROM missing_table").ok());
+  EXPECT_FALSE(Run("SELECT UNKNOWNFN(age) FROM people").ok());
+  EXPECT_FALSE(Run("SELECT name FROM people WHERE name = 'unterminated").ok());
+}
+
+// ---------------------------------------------------------------------------
+// MaxCompute facade
+// ---------------------------------------------------------------------------
+
+TEST(MaxComputeTest, SqlJobEndToEnd) {
+  MaxComputeOptions options;
+  options.pangu_dir = TempDir("odps_sql");
+  options.fuxi_slots = 2;
+  auto mc = MaxCompute::Open(options);
+  ASSERT_TRUE(mc.ok());
+  ASSERT_TRUE((*mc)->CreateTable("people", PeopleTable()).ok());
+
+  const auto instance =
+      (*mc)->SubmitSqlJob("SELECT city, COUNT(*) AS n FROM people GROUP BY city", "by_city");
+  ASSERT_TRUE(instance.ok()) << instance.status().ToString();
+  const auto record = (*mc)->GetInstance(*instance);
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record->status, InstanceStatus::kTerminated);
+
+  const auto result = (*mc)->GetTable("by_city");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->num_rows(), 3u);
+}
+
+TEST(MaxComputeTest, FailedSqlJobIsRecordedInOts) {
+  MaxComputeOptions options;
+  options.pangu_dir = TempDir("odps_fail");
+  auto mc = MaxCompute::Open(options);
+  ASSERT_TRUE(mc.ok());
+  const auto instance = (*mc)->SubmitSqlJob("SELECT * FROM missing", "out");
+  EXPECT_FALSE(instance.ok());
+  // The OTS must show one failed instance.
+  const auto instances = (*mc)->ots().List();
+  ASSERT_EQ(instances.size(), 1u);
+  EXPECT_EQ(instances[0].status, InstanceStatus::kFailed);
+}
+
+TEST(MaxComputeTest, TablesPersistAcrossReopen) {
+  MaxComputeOptions options;
+  options.pangu_dir = TempDir("odps_persist");
+  {
+    auto mc = MaxCompute::Open(options);
+    ASSERT_TRUE(mc.ok());
+    ASSERT_TRUE((*mc)->CreateTable("people", PeopleTable()).ok());
+  }
+  auto reopened = MaxCompute::Open(options);
+  ASSERT_TRUE(reopened.ok());
+  const auto table = (*reopened)->GetTable("people");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_rows(), 5u);
+  EXPECT_EQ((*reopened)->ListTables(), std::vector<std::string>{"people"});
+}
+
+TEST(MaxComputeTest, MapReduceWordCountStyle) {
+  MaxComputeOptions options;
+  options.pangu_dir = TempDir("odps_mr");
+  options.fuxi_slots = 3;
+  options.rows_per_subtask = 2;  // Force several map shards.
+  auto mc = MaxCompute::Open(options);
+  ASSERT_TRUE(mc.ok());
+  ASSERT_TRUE((*mc)->CreateTable("people", PeopleTable()).ok());
+
+  // Count people and sum amounts per city via MR.
+  const auto instance = (*mc)->SubmitMapReduceJob(
+      "people",
+      [](const Row& row, const std::function<void(std::string, Row)>& emit) {
+        emit(row[2].AsString(), {row[3]});
+      },
+      [](const std::string& key, const std::vector<Row>& values) -> std::vector<Row> {
+        double total = 0.0;
+        for (const Row& v : values) total += v[0].AsDouble();
+        return {{Value(key), Value(static_cast<int64_t>(values.size())), Value(total)}};
+      },
+      Schema({{"city", ValueType::kString},
+              {"n", ValueType::kInt},
+              {"total", ValueType::kDouble}}),
+      "mr_by_city");
+  ASSERT_TRUE(instance.ok()) << instance.status().ToString();
+
+  const auto result = (*mc)->GetTable("mr_by_city");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->num_rows(), 3u);
+  double hz_total = 0.0;
+  for (const Row& row : (*result)->rows()) {
+    if (row[0].AsString() == "hz") hz_total = row[2].AsDouble();
+  }
+  EXPECT_DOUBLE_EQ(hz_total, 160.0);
+
+  // The MR result must agree with the SQL engine.
+  ASSERT_TRUE((*mc)
+                  ->SubmitSqlJob(
+                      "SELECT city, COUNT(*) AS n, SUM(amount) AS total FROM people "
+                      "GROUP BY city",
+                      "sql_by_city")
+                  .ok());
+  const auto sql_result = (*mc)->GetTable("sql_by_city");
+  ASSERT_TRUE(sql_result.ok());
+  EXPECT_EQ((*sql_result)->num_rows(), (*result)->num_rows());
+}
+
+
+TEST(ClientTest, AuthenticationGatesJobSubmission) {
+  MaxComputeOptions options;
+  options.pangu_dir = TempDir("odps_auth");
+  auto mc = MaxCompute::Open(options);
+  ASSERT_TRUE(mc.ok());
+  ASSERT_TRUE((*mc)->CreateTable("people", PeopleTable()).ok());
+
+  AccountRegistry registry;
+  registry.CreateAccount("risk_team", "s3cret");
+
+  EXPECT_FALSE(Client::Login(mc->get(), registry, "risk_team", "wrong").ok());
+  EXPECT_FALSE(Client::Login(mc->get(), registry, "nobody", "s3cret").ok());
+  EXPECT_FALSE(Client::Login(nullptr, registry, "risk_team", "s3cret").ok());
+
+  auto client = Client::Login(mc->get(), registry, "risk_team", "s3cret");
+  ASSERT_TRUE(client.ok());
+  const auto instance =
+      client->SubmitSql("SELECT COUNT(*) AS n FROM people", "people_count");
+  ASSERT_TRUE(instance.ok()) << instance.status().ToString();
+  // OTS audit trail carries the account.
+  const auto record = (*mc)->GetInstance(*instance);
+  ASSERT_TRUE(record.ok());
+  EXPECT_NE(record->job_description.find("[risk_team]"), std::string::npos);
+  const auto table = (*mc)->GetTable("people_count");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->row(0)[0].AsInt(), 5);
+}
+
+TEST(MaxComputeTest, DropTable) {
+  MaxComputeOptions options;
+  options.pangu_dir = TempDir("odps_drop");
+  auto mc = MaxCompute::Open(options);
+  ASSERT_TRUE(mc.ok());
+  ASSERT_TRUE((*mc)->CreateTable("t", PeopleTable()).ok());
+  ASSERT_TRUE((*mc)->DropTable("t").ok());
+  EXPECT_TRUE((*mc)->GetTable("t").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace titant::maxcompute

@@ -1,0 +1,193 @@
+// Exactness and property tests for the evaluation metrics (F1, best-F1
+// sweep, recall@top-k%, ROC AUC) against brute-force references.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "ml/metrics.h"
+
+namespace titant::ml {
+namespace {
+
+TEST(MetricsTest, HandComputedConfusion) {
+  const std::vector<double> scores = {0.9, 0.8, 0.3, 0.2};
+  const std::vector<uint8_t> labels = {1, 0, 1, 0};
+  const auto m = MetricsAtThreshold(scores, labels, 0.5);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->true_positives, 1u);
+  EXPECT_EQ(m->false_positives, 1u);
+  EXPECT_EQ(m->false_negatives, 1u);
+  EXPECT_DOUBLE_EQ(m->precision, 0.5);
+  EXPECT_DOUBLE_EQ(m->recall, 0.5);
+  EXPECT_DOUBLE_EQ(m->f1, 0.5);
+}
+
+TEST(MetricsTest, ValidatesInput) {
+  EXPECT_FALSE(MetricsAtThreshold({}, {}, 0.5).ok());
+  EXPECT_FALSE(MetricsAtThreshold({0.5}, {1, 0}, 0.5).ok());
+  EXPECT_FALSE(BestF1({}, {}).ok());
+  EXPECT_FALSE(RecallAtTopPercent({0.5}, {1}, 0.0).ok());
+  EXPECT_FALSE(RecallAtTopPercent({0.5}, {1}, 101.0).ok());
+}
+
+TEST(BestF1Test, PerfectSeparation) {
+  const std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  const std::vector<uint8_t> labels = {1, 1, 0, 0};
+  const auto best = BestF1(scores, labels);
+  ASSERT_TRUE(best.ok());
+  EXPECT_DOUBLE_EQ(best->f1, 1.0);
+  EXPECT_DOUBLE_EQ(best->threshold, 0.8);
+}
+
+TEST(BestF1Test, AllNegativeLabels) {
+  const auto best = BestF1({0.3, 0.9}, {0, 0});
+  ASSERT_TRUE(best.ok());
+  EXPECT_DOUBLE_EQ(best->f1, 0.0);
+}
+
+TEST(BestF1Test, TiedScoresEvaluatedAsOneBlock) {
+  // Three ties at 0.5: threshold 0.5 predicts all three.
+  const std::vector<double> scores = {0.5, 0.5, 0.5, 0.1};
+  const std::vector<uint8_t> labels = {1, 0, 0, 1};
+  const auto best = BestF1(scores, labels);
+  ASSERT_TRUE(best.ok());
+  // Options: predict {first three} -> P=1/3, R=1/2, F1=0.4;
+  //          predict all -> P=2/4, R=1, F1=2/3. Best is all.
+  EXPECT_NEAR(best->f1, 2.0 / 3.0, 1e-12);
+}
+
+class MetricsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricsPropertyTest, BestF1MatchesBruteForce) {
+  Rng rng(GetParam());
+  const std::size_t n = 200;
+  std::vector<double> scores(n);
+  std::vector<uint8_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scores[i] = std::round(rng.NextDouble() * 20.0) / 20.0;  // Force ties.
+    labels[i] = rng.Bernoulli(0.25) ? 1 : 0;
+  }
+  if (std::count(labels.begin(), labels.end(), 1) == 0) labels[0] = 1;
+
+  double brute_best = 0.0;
+  for (double threshold : scores) {
+    const auto m = MetricsAtThreshold(scores, labels, threshold);
+    ASSERT_TRUE(m.ok());
+    brute_best = std::max(brute_best, m->f1);
+  }
+  const auto best = BestF1(scores, labels);
+  ASSERT_TRUE(best.ok());
+  EXPECT_NEAR(best->f1, brute_best, 1e-12);
+  // The reported operating point is self-consistent.
+  const auto at = MetricsAtThreshold(scores, labels, best->threshold);
+  ASSERT_TRUE(at.ok());
+  EXPECT_NEAR(at->f1, best->f1, 1e-12);
+}
+
+TEST_P(MetricsPropertyTest, AucMatchesPairCounting) {
+  Rng rng(GetParam() + 1000);
+  const std::size_t n = 150;
+  std::vector<double> scores(n);
+  std::vector<uint8_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scores[i] = std::round(rng.NextDouble() * 10.0) / 10.0;
+    labels[i] = rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  labels[0] = 1;
+  labels[1] = 0;
+
+  double wins = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!labels[i]) continue;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (labels[j]) continue;
+      ++pairs;
+      if (scores[i] > scores[j]) {
+        wins += 1.0;
+      } else if (scores[i] == scores[j]) {
+        wins += 0.5;
+      }
+    }
+  }
+  const auto auc = RocAuc(scores, labels);
+  ASSERT_TRUE(auc.ok());
+  EXPECT_NEAR(*auc, wins / static_cast<double>(pairs), 1e-9);
+}
+
+TEST_P(MetricsPropertyTest, RecallAtTopMatchesBruteForce) {
+  Rng rng(GetParam() + 2000);
+  const std::size_t n = 300;
+  std::vector<double> scores(n);
+  std::vector<uint8_t> labels(n);
+  std::size_t positives = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    scores[i] = rng.NextDouble();
+    labels[i] = rng.Bernoulli(0.1) ? 1 : 0;
+    positives += labels[i];
+  }
+  if (positives == 0) {
+    labels[0] = 1;
+    positives = 1;
+  }
+  const double pct = 5.0;
+  const std::size_t k = static_cast<std::size_t>(std::ceil(n * pct / 100.0));
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < k; ++i) hits += labels[order[i]];
+  const auto recall = RecallAtTopPercent(scores, labels, pct);
+  ASSERT_TRUE(recall.ok());
+  EXPECT_NEAR(*recall, static_cast<double>(hits) / positives, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsPropertyTest, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+
+TEST(ThresholdCalibrationTest, MeetsPrecisionTarget) {
+  // Scores: descending separability with some noise.
+  const std::vector<double> scores = {0.95, 0.9, 0.85, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2};
+  const std::vector<uint8_t> labels = {1, 1, 0, 1, 1, 0, 0, 1, 0, 0};
+  const auto threshold = ThresholdForPrecision(scores, labels, 0.75);
+  ASSERT_TRUE(threshold.ok());
+  const auto m = MetricsAtThreshold(scores, labels, *threshold);
+  ASSERT_TRUE(m.ok());
+  EXPECT_GE(m->precision, 0.75);
+  // It is the lowest qualifying threshold: the next distinct score below
+  // it must violate the target.
+  double next_below = -1.0;
+  for (double s : scores) {
+    if (s < *threshold) next_below = std::max(next_below, s);
+  }
+  ASSERT_GE(next_below, 0.0);
+  const auto looser = MetricsAtThreshold(scores, labels, next_below);
+  ASSERT_TRUE(looser.ok());
+  EXPECT_LT(looser->precision, 0.75);
+}
+
+TEST(ThresholdCalibrationTest, UnreachableTargetIsNotFound) {
+  const std::vector<double> scores = {0.9, 0.8};
+  const std::vector<uint8_t> labels = {0, 0};
+  EXPECT_TRUE(ThresholdForPrecision(scores, labels, 0.5).status().IsNotFound());
+  EXPECT_FALSE(ThresholdForPrecision(scores, labels, 0.0).ok());
+  EXPECT_FALSE(ThresholdForPrecision(scores, labels, 1.5).ok());
+}
+
+TEST(AucTest, RequiresBothClasses) {
+  EXPECT_FALSE(RocAuc({0.1, 0.2}, {1, 1}).ok());
+  EXPECT_FALSE(RocAuc({0.1, 0.2}, {0, 0}).ok());
+}
+
+TEST(AucTest, PerfectAndInverted) {
+  const std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  EXPECT_DOUBLE_EQ(*RocAuc(scores, {1, 1, 0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(*RocAuc(scores, {0, 0, 1, 1}), 0.0);
+}
+
+}  // namespace
+}  // namespace titant::ml

@@ -1,0 +1,446 @@
+// Tests for the detection models: discretizer, trees (ID3/C5.0), isolation
+// forest, logistic regression, GBDT, and the model-file registry.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "ml/decision_tree.h"
+#include "ml/discretizer.h"
+#include "ml/gbdt.h"
+#include "ml/isolation_forest.h"
+#include "ml/logistic_regression.h"
+#include "ml/metrics.h"
+#include "ml/model.h"
+
+namespace titant::ml {
+namespace {
+
+// A learnable binary task: y = 1 iff (x0 > 0.6 and x2 < 0.3) or x4 > 0.9,
+// with noise features x1/x3 and 10% label noise.
+DataMatrix MakeTask(std::size_t rows, uint64_t seed, double label_noise = 0.1) {
+  Rng rng(seed);
+  DataMatrix data(rows, 5);
+  auto& labels = data.mutable_labels();
+  labels.resize(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (int c = 0; c < 5; ++c) data.Set(r, c, static_cast<float>(rng.NextDouble()));
+    bool y = (data.At(r, 0) > 0.6f && data.At(r, 2) < 0.3f) || data.At(r, 4) > 0.9f;
+    if (rng.Bernoulli(label_noise)) y = !y;
+    labels[r] = y ? 1 : 0;
+  }
+  return data;
+}
+
+double TestAuc(const Model& model, const DataMatrix& test) {
+  auto scores = model.ScoreAll(test);
+  EXPECT_TRUE(scores.ok());
+  auto auc = RocAuc(*scores, test.labels());
+  EXPECT_TRUE(auc.ok());
+  return auc.ok() ? *auc : 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// Discretizer
+// ---------------------------------------------------------------------------
+
+TEST(DiscretizerTest, EqualFrequencyBins) {
+  DataMatrix data(1000, 1);
+  Rng rng(1);
+  for (std::size_t r = 0; r < 1000; ++r) data.Set(r, 0, static_cast<float>(rng.NextDouble()));
+  const auto disc = Discretizer::Fit(data, 10);
+  ASSERT_TRUE(disc.ok());
+  EXPECT_EQ(disc->NumBins(0), 10);
+  // Each bin holds roughly 10% of the data.
+  std::vector<int> counts(10, 0);
+  for (std::size_t r = 0; r < 1000; ++r) ++counts[static_cast<std::size_t>(disc->BinOf(0, data.At(r, 0)))];
+  for (int c : counts) EXPECT_NEAR(c, 100, 35);
+}
+
+TEST(DiscretizerTest, BinsAreMonotone) {
+  DataMatrix data(500, 1);
+  Rng rng(2);
+  for (std::size_t r = 0; r < 500; ++r) {
+    data.Set(r, 0, static_cast<float>(rng.Gaussian(0, 10)));
+  }
+  const auto disc = Discretizer::Fit(data, 16);
+  ASSERT_TRUE(disc.ok());
+  int prev = -1;
+  for (float x = -40.0f; x <= 40.0f; x += 0.5f) {
+    const int bin = disc->BinOf(0, x);
+    EXPECT_GE(bin, prev);
+    EXPECT_LT(bin, disc->NumBins(0));
+    prev = bin;
+  }
+}
+
+TEST(DiscretizerTest, LowCardinalityShrinks) {
+  DataMatrix data(100, 2);
+  for (std::size_t r = 0; r < 100; ++r) {
+    data.Set(r, 0, r % 2 == 0 ? 0.0f : 1.0f);  // Binary feature.
+    data.Set(r, 1, 5.0f);                      // Constant feature.
+  }
+  const auto disc = Discretizer::Fit(data, 50);
+  ASSERT_TRUE(disc.ok());
+  EXPECT_EQ(disc->NumBins(0), 2);
+  EXPECT_EQ(disc->NumBins(1), 1);
+  EXPECT_EQ(disc->BinOf(0, 0.0f), 0);
+  EXPECT_EQ(disc->BinOf(0, 1.0f), 1);
+}
+
+TEST(DiscretizerTest, SerializeRoundTrip) {
+  const DataMatrix data = MakeTask(300, 3);
+  const auto disc = Discretizer::Fit(data, 20);
+  ASSERT_TRUE(disc.ok());
+  const auto parsed = Discretizer::Deserialize(disc->Serialize());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->num_features(), disc->num_features());
+  for (int f = 0; f < disc->num_features(); ++f) {
+    EXPECT_EQ(parsed->NumBins(f), disc->NumBins(f));
+    for (float x = -0.2f; x < 1.2f; x += 0.05f) {
+      EXPECT_EQ(parsed->BinOf(f, x), disc->BinOf(f, x));
+    }
+  }
+  EXPECT_EQ(parsed->OneHotWidth(), disc->OneHotWidth());
+  EXPECT_FALSE(Discretizer::Deserialize("garbage").ok());
+}
+
+TEST(DiscretizerTest, OneHotOffsetsPartitionWidth) {
+  const DataMatrix data = MakeTask(300, 4);
+  const auto disc = Discretizer::Fit(data, 8);
+  ASSERT_TRUE(disc.ok());
+  std::size_t expect = 0;
+  for (int f = 0; f < disc->num_features(); ++f) {
+    EXPECT_EQ(disc->OneHotOffset(f), expect);
+    expect += static_cast<std::size_t>(disc->NumBins(f));
+  }
+  EXPECT_EQ(disc->OneHotWidth(), expect);
+}
+
+// ---------------------------------------------------------------------------
+// Model quality (parameterized over every supervised detector)
+// ---------------------------------------------------------------------------
+
+enum class Kind { kId3, kC50, kLr, kGbdt };
+
+std::unique_ptr<Model> Make(Kind kind) {
+  switch (kind) {
+    case Kind::kId3:
+      return MakeId3();
+    case Kind::kC50:
+      return MakeC50();
+    case Kind::kLr:
+      return std::make_unique<LogisticRegressionModel>();
+    case Kind::kGbdt: {
+      GbdtOptions o;
+      o.num_trees = 120;
+      return std::make_unique<GbdtModel>(o);
+    }
+  }
+  return nullptr;
+}
+
+class SupervisedModelTest : public ::testing::TestWithParam<Kind> {};
+
+TEST_P(SupervisedModelTest, LearnsTheTask) {
+  const DataMatrix train = MakeTask(3000, 11);
+  const DataMatrix test = MakeTask(1200, 12);
+  auto model = Make(GetParam());
+  ASSERT_TRUE(model->Train(train).ok());
+  EXPECT_EQ(model->num_features(), 5);
+  // LR sees the conjunction only through binned marginals; trees/GBDT
+  // capture it directly and clear a higher bar.
+  EXPECT_GT(TestAuc(*model, test), GetParam() == Kind::kLr ? 0.72 : 0.80);
+}
+
+TEST_P(SupervisedModelTest, ScoresAreProbabilities) {
+  const DataMatrix train = MakeTask(800, 13);
+  auto model = Make(GetParam());
+  ASSERT_TRUE(model->Train(train).ok());
+  for (std::size_t r = 0; r < 100; ++r) {
+    const double s = model->Score(train.Row(r));
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST_P(SupervisedModelTest, RequiresLabels) {
+  DataMatrix unlabeled(50, 5);
+  auto model = Make(GetParam());
+  EXPECT_FALSE(model->Train(unlabeled).ok());
+}
+
+TEST_P(SupervisedModelTest, SerializationPreservesScores) {
+  const DataMatrix train = MakeTask(1000, 14);
+  const DataMatrix test = MakeTask(200, 15);
+  auto model = Make(GetParam());
+  ASSERT_TRUE(model->Train(train).ok());
+  const std::string blob = SerializeModel(*model);
+  const auto restored = DeserializeModel(blob);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ((*restored)->type_name(), model->type_name());
+  for (std::size_t r = 0; r < test.num_rows(); ++r) {
+    EXPECT_NEAR((*restored)->Score(test.Row(r)), model->Score(test.Row(r)), 1e-9);
+  }
+}
+
+TEST_P(SupervisedModelTest, ScoreAllValidatesWidth) {
+  const DataMatrix train = MakeTask(500, 16);
+  auto model = Make(GetParam());
+  ASSERT_TRUE(model->Train(train).ok());
+  DataMatrix wrong(10, 3);
+  EXPECT_FALSE(model->ScoreAll(wrong).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, SupervisedModelTest,
+                         ::testing::Values(Kind::kId3, Kind::kC50, Kind::kLr, Kind::kGbdt));
+
+// ---------------------------------------------------------------------------
+// Model-specific behaviour
+// ---------------------------------------------------------------------------
+
+TEST(DecisionTreeTest, C50PruningShrinksTheTree) {
+  const DataMatrix train = MakeTask(2000, 21, /*label_noise=*/0.25);
+  DecisionTreeOptions unpruned;
+  unpruned.criterion = DecisionTreeOptions::Criterion::kGainRatio;
+  unpruned.prune = false;
+  DecisionTreeModel big(unpruned);
+  ASSERT_TRUE(big.Train(train).ok());
+
+  DecisionTreeOptions pruned = unpruned;
+  pruned.prune = true;
+  DecisionTreeModel small(pruned);
+  ASSERT_TRUE(small.Train(train).ok());
+  // Pruning must not leave more effective structure than the unpruned run.
+  EXPECT_LE(small.TotalNodes(), big.TotalNodes());
+}
+
+TEST(DecisionTreeTest, BoostingAddsTrees) {
+  const DataMatrix train = MakeTask(1500, 22);
+  auto boosted = MakeC50(/*max_bins=*/12, /*boosting_trials=*/6);
+  ASSERT_TRUE(boosted->Train(train).ok());
+  EXPECT_GT(boosted->num_trees(), 1);
+  auto single = MakeId3();
+  ASSERT_TRUE(single->Train(train).ok());
+  EXPECT_EQ(single->num_trees(), 1);
+}
+
+TEST(DecisionTreeTest, RejectsBadOptions) {
+  DecisionTreeOptions o;
+  o.max_bins = 1;
+  DecisionTreeModel m(o);
+  EXPECT_FALSE(m.Train(MakeTask(100, 23)).ok());
+  o = DecisionTreeOptions();
+  o.boosting_trials = 0;
+  DecisionTreeModel m2(o);
+  EXPECT_FALSE(m2.Train(MakeTask(100, 23)).ok());
+}
+
+TEST(IsolationForestTest, OutliersScoreHigher) {
+  Rng rng(31);
+  DataMatrix data(1024, 2);
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    data.Set(r, 0, static_cast<float>(rng.Gaussian(0.0, 1.0)));
+    data.Set(r, 1, static_cast<float>(rng.Gaussian(0.0, 1.0)));
+  }
+  IsolationForestModel model;
+  ASSERT_TRUE(model.Train(data).ok());
+  EXPECT_EQ(model.num_trees(), 100);
+
+  const float inlier[2] = {0.0f, 0.1f};
+  const float outlier[2] = {9.0f, -8.0f};
+  EXPECT_GT(model.Score(outlier), model.Score(inlier) + 0.1);
+  EXPECT_GT(model.Score(outlier), 0.55);
+}
+
+TEST(IsolationForestTest, IgnoresLabels) {
+  DataMatrix data = MakeTask(600, 32);
+  IsolationForestModel model;
+  EXPECT_TRUE(model.Train(data).ok());  // Labels present but unused.
+  DataMatrix unlabeled(600, 5);
+  for (std::size_t r = 0; r < 600; ++r) {
+    for (int c = 0; c < 5; ++c) unlabeled.Set(r, c, data.At(r, c));
+  }
+  IsolationForestModel model2;
+  EXPECT_TRUE(model2.Train(unlabeled).ok());
+}
+
+TEST(IsolationForestTest, SerializationRoundTrip) {
+  DataMatrix data = MakeTask(512, 33);
+  IsolationForestModel model;
+  ASSERT_TRUE(model.Train(data).ok());
+  const auto restored = DeserializeModel(SerializeModel(model));
+  ASSERT_TRUE(restored.ok());
+  for (std::size_t r = 0; r < 50; ++r) {
+    EXPECT_NEAR((*restored)->Score(data.Row(r)), model.Score(data.Row(r)), 1e-12);
+  }
+}
+
+TEST(LogisticRegressionTest, L1ZeroesNoiseWeights) {
+  LogisticRegressionOptions options;
+  options.iterations = 60;
+  LogisticRegressionModel model(options);
+  ASSERT_TRUE(model.Train(MakeTask(3000, 41)).ok());
+  // With one-hot width in the hundreds and strong L1, a healthy share of
+  // weights must be exactly zero.
+  EXPECT_GT(model.ZeroWeights(), model.weights().size() / 10);
+}
+
+TEST(LogisticRegressionTest, RawModeAlsoLearns) {
+  LogisticRegressionOptions options;
+  options.discretize = false;
+  options.iterations = 80;
+  LogisticRegressionModel model(options);
+  const DataMatrix train = MakeTask(2500, 42);
+  const DataMatrix test = MakeTask(800, 43);
+  ASSERT_TRUE(model.Train(train).ok());
+  EXPECT_GT(TestAuc(model, test), 0.6);
+}
+
+TEST(LogisticRegressionTest, DiscretizationBeatsRawOnNonlinearTask) {
+  // y depends on |x| — linear in x is useless, binned x is perfect.
+  Rng rng(44);
+  auto make = [&](std::size_t n) {
+    DataMatrix d(n, 1);
+    d.mutable_labels().resize(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      const double x = rng.Gaussian(0, 1);
+      d.Set(r, 0, static_cast<float>(x));
+      d.mutable_labels()[r] = std::fabs(x) > 1.0 ? 1 : 0;
+    }
+    return d;
+  };
+  const DataMatrix train = make(4000);
+  const DataMatrix test = make(1000);
+  LogisticRegressionOptions disc;
+  disc.iterations = 60;
+  LogisticRegressionModel with_bins(disc);
+  ASSERT_TRUE(with_bins.Train(train).ok());
+  LogisticRegressionOptions raw = disc;
+  raw.discretize = false;
+  LogisticRegressionModel without(raw);
+  ASSERT_TRUE(without.Train(train).ok());
+  EXPECT_GT(TestAuc(with_bins, test), TestAuc(without, test) + 0.2);
+}
+
+TEST(GbdtTest, MoreTreesFitTrainBetter) {
+  const DataMatrix train = MakeTask(2000, 51);
+  GbdtOptions small;
+  small.num_trees = 20;
+  GbdtModel a(small);
+  ASSERT_TRUE(a.Train(train).ok());
+  GbdtOptions big;
+  big.num_trees = 200;
+  GbdtModel b(big);
+  ASSERT_TRUE(b.Train(train).ok());
+  EXPECT_LT(b.final_train_rmse(), a.final_train_rmse());
+}
+
+TEST(GbdtTest, RejectsBadOptions) {
+  GbdtOptions o;
+  o.row_subsample = 0.0;
+  GbdtModel m(o);
+  EXPECT_FALSE(m.Train(MakeTask(100, 52)).ok());
+  o = GbdtOptions();
+  o.num_trees = 0;
+  GbdtModel m2(o);
+  EXPECT_FALSE(m2.Train(MakeTask(100, 52)).ok());
+}
+
+TEST(GbdtTest, DeterministicForSeed) {
+  const DataMatrix train = MakeTask(1000, 53);
+  GbdtOptions o;
+  o.num_trees = 50;
+  GbdtModel a(o), b(o);
+  ASSERT_TRUE(a.Train(train).ok());
+  ASSERT_TRUE(b.Train(train).ok());
+  for (std::size_t r = 0; r < 100; ++r) {
+    EXPECT_EQ(a.Score(train.Row(r)), b.Score(train.Row(r)));
+  }
+}
+
+
+TEST(GbdtTest, FeatureImportanceFindsTheSignal) {
+  // Task depends on x0, x2, x4 only; x1 and x3 are noise.
+  const DataMatrix train = MakeTask(4000, 71, /*label_noise=*/0.0);
+  GbdtOptions o;
+  o.num_trees = 100;
+  // Without feature subsampling every tree can pick the signal features,
+  // so noise splits stay rare.
+  o.feature_subsample = 1.0;
+  o.row_subsample = 1.0;
+  GbdtModel model(o);
+  ASSERT_TRUE(model.Train(train).ok());
+  const auto importance = model.FeatureImportance();
+  ASSERT_GE(importance.size(), 3u);
+  double shares[5] = {};
+  double total = 0.0;
+  for (const auto& [f, share] : importance) {
+    shares[f] = share;
+    total += share;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // The three signal features together dominate the two noise features
+  // (later boosting rounds fit residual noise, so the margin is moderate).
+  EXPECT_GT(shares[0] + shares[2] + shares[4], shares[1] + shares[3]);
+  EXPECT_GT(shares[0] + shares[2] + shares[4], 0.6);
+  // Importance survives serialization.
+  const auto restored = DeserializeModel(SerializeModel(model));
+  ASSERT_TRUE(restored.ok());
+  auto* gbdt = dynamic_cast<GbdtModel*>(restored->get());
+  ASSERT_NE(gbdt, nullptr);
+  EXPECT_EQ(gbdt->FeatureImportance(), importance);
+}
+
+TEST(DecisionTreeTest, DumpRulesDescribesHighRiskLeaves) {
+  const DataMatrix train = MakeTask(3000, 72, /*label_noise=*/0.0);
+  auto model = MakeId3(16);
+  ASSERT_TRUE(model->Train(train).ok());
+  const std::vector<std::string> names = {"x0", "x1", "x2", "x3", "x4"};
+  const auto rules = model->DumpRules(names, 0.6);
+  ASSERT_FALSE(rules.empty());
+  // Rules are IF/THEN, reference real feature names, sorted by confidence.
+  for (const auto& rule : rules) {
+    EXPECT_EQ(rule.rfind("IF ", 0), 0u) << rule;
+    EXPECT_NE(rule.find("THEN fraud"), std::string::npos) << rule;
+  }
+  bool mentions_signal = false;
+  for (const auto& rule : rules) {
+    if (rule.find("x0") != std::string::npos || rule.find("x4") != std::string::npos) {
+      mentions_signal = true;
+    }
+  }
+  EXPECT_TRUE(mentions_signal);
+  // Mismatched name table -> empty, not UB.
+  EXPECT_TRUE(model->DumpRules({"only_one"}).empty());
+}
+
+
+TEST(DataMatrixTest, BasicAccessorsAndPositiveRate) {
+  DataMatrix m(4, 2);
+  m.Set(1, 0, 3.5f);
+  m.Set(3, 1, -2.0f);
+  EXPECT_EQ(m.At(1, 0), 3.5f);
+  EXPECT_EQ(m.Row(3)[1], -2.0f);
+  EXPECT_FALSE(m.has_labels());
+  EXPECT_EQ(m.PositiveRate(), 0.0);
+  m.mutable_labels() = {1, 0, 0, 1};
+  EXPECT_TRUE(m.has_labels());
+  EXPECT_DOUBLE_EQ(m.PositiveRate(), 0.5);
+  m.mutable_column_names() = {"a", "b"};
+  EXPECT_EQ(m.column_names()[1], "b");
+}
+
+TEST(RegistryTest, RejectsCorruptBlobs) {
+  EXPECT_FALSE(DeserializeModel("").ok());
+  EXPECT_FALSE(DeserializeModel("junk").ok());
+  auto model = MakeId3();
+  ASSERT_TRUE(model->Train(MakeTask(200, 61)).ok());
+  std::string blob = SerializeModel(*model);
+  blob.resize(blob.size() / 2);
+  EXPECT_FALSE(DeserializeModel(blob).ok());
+}
+
+}  // namespace
+}  // namespace titant::ml

@@ -1,0 +1,303 @@
+// Tests for the online serving path: feature-store codec/upload and the
+// Model Server request flow.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "core/experiment.h"
+#include "datagen/world.h"
+#include "ml/metrics.h"
+#include "serving/feature_store.h"
+#include "serving/model_server.h"
+#include "serving/router.h"
+#include "txn/window.h"
+
+namespace titant::serving {
+namespace {
+
+TEST(FeatureStoreTest, RowKeysPreserveNumericOrder) {
+  EXPECT_LT(UserRowKey(5), UserRowKey(40));
+  EXPECT_LT(UserRowKey(999), UserRowKey(1000));
+  EXPECT_LT(CityRowKey(9), CityRowKey(10));
+}
+
+TEST(FeatureStoreTest, FloatCodecRoundTrip) {
+  const float values[4] = {1.5f, -2.25f, 0.0f, 1e9f};
+  const std::string blob = EncodeFloats(values, 4);
+  float out[4] = {};
+  ASSERT_TRUE(DecodeFloats(blob, 4, out).ok());
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(out[i], values[i]);
+  EXPECT_FALSE(DecodeFloats(blob, 3, out).ok());
+  EXPECT_FALSE(DecodeFloats("xy", 4, out).ok());
+}
+
+// Shared end-to-end fixture: a tiny world, a trained Basic+DW GBDT, a
+// populated feature store, and a Model Server.
+class ModelServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::WorldOptions world_options;
+    world_options.num_users = 1600;
+    world_options.num_days = 126;
+    world_options.first_day = -104;
+    world_options.seed = 99;
+    world_ = new datagen::World(std::move(datagen::GenerateWorld(world_options)).value());
+    // Pick a test day that actually carries fraud (tiny worlds have quiet
+    // days); the log covers days [-104, 21].
+    txn::DatasetWindow chosen;
+    bool found = false;
+    for (txn::Day candidate = 0; candidate <= 21 && !found; ++candidate) {
+      auto windows = txn::SliceWeek(world_->log, candidate, 1);
+      if (!windows.ok()) continue;
+      int fraud = 0;
+      for (std::size_t idx : (*windows)[0].test_records) {
+        fraud += world_->log.records[idx].is_fraud;
+      }
+      if (fraud >= 5) {
+        chosen = (*windows)[0];
+        found = true;
+      }
+    }
+    ASSERT_TRUE(found) << "no test day with enough fraud in the fixture world";
+    window_ = new txn::DatasetWindow(chosen);
+
+    core::PipelineOptions pipeline;
+    pipeline.walks_per_node = 20;  // Keep the fixture fast.
+    trainer_ = new core::OfflineTrainer(world_->log, *window_, pipeline);
+    ASSERT_TRUE(trainer_->Prepare(core::FeatureSet::kBasicDW).ok());
+    auto train = trainer_->BuildMatrix(window_->train_records, core::FeatureSet::kBasicDW);
+    ASSERT_TRUE(train.ok());
+    model_ = core::MakeModel(core::ModelKind::kGbdt, pipeline).release();
+    ASSERT_TRUE(model_->Train(*train).ok());
+
+    auto options = FeatureTableOptions();
+    options.durable = false;
+    store_ = AliHBaseOrDie(std::move(options));
+    ASSERT_TRUE(UploadDailyArtifacts(store_, world_->log, trainer_->extractor(),
+                                     *trainer_->dw_embeddings(), window_->spec.test_day,
+                                     20170410, 50)
+                    .ok());
+    server_ = new ModelServer(store_, ModelServerOptions());
+    ASSERT_TRUE(server_->LoadModel(ml::SerializeModel(*model_), 20170410).ok());
+  }
+
+  static kvstore::AliHBase* AliHBaseOrDie(kvstore::StoreOptions options) {
+    auto store = kvstore::AliHBase::Open(std::move(options));
+    EXPECT_TRUE(store.ok());
+    return store->release();
+  }
+
+  static TransferRequest RequestFor(const txn::TransactionRecord& rec) {
+    TransferRequest req;
+    req.txn_id = rec.txn_id;
+    req.from_user = rec.from_user;
+    req.to_user = rec.to_user;
+    req.amount = rec.amount;
+    req.day = rec.day;
+    req.second_of_day = rec.second_of_day;
+    req.channel = rec.channel;
+    req.trans_city = rec.trans_city;
+    req.is_new_device = rec.is_new_device;
+    return req;
+  }
+
+  static datagen::World* world_;
+  static txn::DatasetWindow* window_;
+  static core::OfflineTrainer* trainer_;
+  static ml::Model* model_;
+  static kvstore::AliHBase* store_;
+  static ModelServer* server_;
+};
+
+datagen::World* ModelServerTest::world_ = nullptr;
+txn::DatasetWindow* ModelServerTest::window_ = nullptr;
+core::OfflineTrainer* ModelServerTest::trainer_ = nullptr;
+ml::Model* ModelServerTest::model_ = nullptr;
+kvstore::AliHBase* ModelServerTest::store_ = nullptr;
+ModelServer* ModelServerTest::server_ = nullptr;
+
+TEST_F(ModelServerTest, ScoresEveryTestTransaction) {
+  for (std::size_t idx : window_->test_records) {
+    const auto verdict = server_->Score(RequestFor(world_->log.records[idx]));
+    ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+    EXPECT_GE(verdict->fraud_probability, 0.0);
+    EXPECT_LE(verdict->fraud_probability, 1.0);
+    EXPECT_EQ(verdict->model_version, 20170410u);
+    EXPECT_GE(verdict->latency_us, 0);
+  }
+  const auto latency = server_->LatencySnapshot();
+  EXPECT_EQ(latency.count(), window_->test_records.size());
+  // "Within milliseconds": generous bound of 50ms even for debug builds.
+  EXPECT_LT(latency.P99(), 50'000.0);
+}
+
+TEST_F(ModelServerTest, ServedScoresDiscriminate) {
+  // The serving path uses T+1 snapshots with cold payee defaults, so its
+  // scores differ from offline evaluation — but must still rank fraud
+  // meaningfully above benign traffic.
+  std::vector<double> scores;
+  std::vector<uint8_t> labels;
+  for (std::size_t idx : window_->test_records) {
+    const auto& rec = world_->log.records[idx];
+    const auto verdict = server_->Score(RequestFor(rec));
+    ASSERT_TRUE(verdict.ok());
+    scores.push_back(verdict->fraud_probability);
+    labels.push_back(rec.is_fraud ? 1 : 0);
+  }
+  const auto auc = ml::RocAuc(scores, labels);
+  ASSERT_TRUE(auc.ok());
+  EXPECT_GT(*auc, 0.70) << "served AUC collapsed";
+}
+
+TEST_F(ModelServerTest, HighScoresInterruptTheTransaction) {
+  // Craft a request that mimics a fraud pattern toward a known fraudster.
+  txn::UserId fraudster = world_->truth.fraudsters.front();
+  TransferRequest req;
+  req.from_user = 1;
+  req.to_user = fraudster;
+  req.amount = 2000.0;
+  req.day = window_->spec.test_day;
+  req.second_of_day = 3 * 3600;
+  req.channel = txn::Channel::kQrCode;
+  req.trans_city = 49;
+  req.is_new_device = true;
+  const auto verdict = server_->Score(req);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_EQ(verdict->interrupt, verdict->fraud_probability >= 0.9);
+}
+
+TEST_F(ModelServerTest, UnknownUserIsNotFound) {
+  TransferRequest req;
+  req.from_user = 5'000'000;  // Not uploaded.
+  req.to_user = 1;
+  req.day = window_->spec.test_day;
+  EXPECT_TRUE(server_->Score(req).status().IsNotFound());
+}
+
+
+
+TEST_F(ModelServerTest, DailyUploadsAreVersionedInTheStore) {
+  // A second daily upload under a newer version must not disturb reads
+  // pinned to the older version (HBase version semantics, Fig. 7).
+  const uint64_t old_version = 20170410;
+  const uint64_t new_version = 20170411;
+  ASSERT_TRUE(UploadDailyArtifacts(store_, world_->log, trainer_->extractor(),
+                                   *trainer_->dw_embeddings(),
+                                   window_->spec.test_day + 1, new_version, 50)
+                  .ok());
+  const std::string row = UserRowKey(1);
+  const auto pinned = store_->Get(row, kFamilyBasic, kQualSnapshot, old_version);
+  const auto latest = store_->Get(row, kFamilyBasic, kQualSnapshot);
+  ASSERT_TRUE(pinned.ok());
+  ASSERT_TRUE(latest.ok());
+  // Snapshots differ because the as-of day moved (history advanced).
+  EXPECT_EQ(pinned->size(), latest->size());
+}
+
+TEST_F(ModelServerTest, RouterBalancesAndFailsOver) {
+  ModelServerRouter router(store_, ModelServerOptions(), 3);
+  ASSERT_TRUE(router.LoadModel(ml::SerializeModel(*model_), 20170411).ok());
+
+  // Round-robin spreads load evenly.
+  const auto& sample = world_->log.records[window_->test_records.front()];
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(router.Score(RequestFor(sample)).ok());
+  }
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(router.requests_served(i), 10u);
+
+  // Take an instance down: traffic reroutes, nothing fails.
+  ASSERT_TRUE(router.SetInstanceHealthy(1, false).ok());
+  EXPECT_FALSE(router.instance_healthy(1));
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(router.Score(RequestFor(sample)).ok());
+  }
+  EXPECT_EQ(router.requests_served(1), 10u);  // Unchanged while down.
+
+  // All down -> Unavailable.
+  ASSERT_TRUE(router.SetInstanceHealthy(0, false).ok());
+  ASSERT_TRUE(router.SetInstanceHealthy(2, false).ok());
+  EXPECT_EQ(router.Score(RequestFor(sample)).status().code(), StatusCode::kUnavailable);
+  ASSERT_TRUE(router.SetInstanceHealthy(0, true).ok());
+  ASSERT_TRUE(router.Score(RequestFor(sample)).ok());
+
+  // Aggregated latency counts every served request.
+  EXPECT_EQ(router.AggregateLatency().count(), 51u);
+  EXPECT_EQ(router.SetInstanceHealthy(9, true).code(), StatusCode::kOutOfRange);
+}
+
+
+TEST_F(ModelServerTest, RouterSurvivesConcurrentTrafficAndHealthFlaps) {
+  ModelServerRouter router(store_, ModelServerOptions(), 4);
+  ASSERT_TRUE(router.LoadModel(ml::SerializeModel(*model_), 42).ok());
+  const auto& sample = world_->log.records[window_->test_records.front()];
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> errors{0};
+  std::atomic<int> served{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 3; ++t) {
+    clients.emplace_back([&] {
+      while (!stop.load()) {
+        const auto verdict = router.Score(RequestFor(sample));
+        if (verdict.ok()) {
+          served.fetch_add(1);
+        } else if (verdict.status().code() != StatusCode::kUnavailable) {
+          errors.fetch_add(1);  // Only all-down may fail, and only as Unavailable.
+        }
+      }
+    });
+  }
+  // Flap instance health while traffic flows (never all down).
+  for (int round = 0; round < 50; ++round) {
+    ASSERT_TRUE(router.SetInstanceHealthy(round % 4, false).ok());
+    std::this_thread::yield();
+    ASSERT_TRUE(router.SetInstanceHealthy(round % 4, true).ok());
+  }
+  stop.store(true);
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_GT(served.load(), 100);
+  EXPECT_EQ(router.AggregateLatency().count(), static_cast<uint64_t>(served.load()));
+}
+
+TEST_F(ModelServerTest, RouterPropagatesRequestLevelErrors) {
+  ModelServerRouter router(store_, ModelServerOptions(), 2);
+  ASSERT_TRUE(router.LoadModel(ml::SerializeModel(*model_), 1).ok());
+  TransferRequest req;
+  req.from_user = 5'000'000;  // Unknown user: NOT a failover case.
+  req.to_user = 1;
+  EXPECT_TRUE(router.Score(req).status().IsNotFound());
+}
+
+TEST(ModelServerLifecycleTest, RequiresModelBeforeScoring) {
+  auto options = FeatureTableOptions();
+  options.durable = false;
+  auto store = kvstore::AliHBase::Open(std::move(options));
+  ASSERT_TRUE(store.ok());
+  ModelServer server(store->get(), ModelServerOptions());
+  TransferRequest req;
+  EXPECT_EQ(server.Score(req).status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(server.LoadModel("corrupt-blob", 1).ok());
+}
+
+TEST(ModelServerLifecycleTest, RejectsModelWithWrongWidth) {
+  auto options = FeatureTableOptions();
+  options.durable = false;
+  auto store = kvstore::AliHBase::Open(std::move(options));
+  ASSERT_TRUE(store.ok());
+  ModelServer server(store->get(), ModelServerOptions());  // Expects 52+32.
+
+  // Train a 5-feature model: width mismatch must be rejected at load time.
+  ml::DataMatrix tiny(10, 5);
+  tiny.mutable_labels().assign(10, 0);
+  tiny.mutable_labels()[0] = 1;
+  auto model = ml::MakeId3();
+  ASSERT_TRUE(model->Train(tiny).ok());
+  EXPECT_TRUE(server.LoadModel(ml::SerializeModel(*model), 1).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace titant::serving

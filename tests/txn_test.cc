@@ -1,0 +1,227 @@
+// Tests for the transaction data model: date arithmetic and T+1 windowing
+// with delayed labels.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "datagen/world.h"
+#include "txn/csv.h"
+#include "txn/types.h"
+#include "txn/window.h"
+
+namespace titant::txn {
+namespace {
+
+TEST(DateTest, KnownAnchors) {
+  EXPECT_EQ(DayToDate(0), "2017-01-01");
+  EXPECT_EQ(DateToDay("2017-01-01"), 0);
+  // The paper's evaluation week.
+  EXPECT_EQ(DayToDate(DateToDay("2017-04-10")), "2017-04-10");
+  EXPECT_EQ(DateToDay("2017-04-16") - DateToDay("2017-04-10"), 6);
+  // Leap handling: 2020-02-29 exists.
+  EXPECT_EQ(DayToDate(DateToDay("2020-02-29")), "2020-02-29");
+}
+
+TEST(DateTest, NegativeDaysBeforeEpoch) {
+  EXPECT_EQ(DayToDate(-1), "2016-12-31");
+  EXPECT_EQ(DateToDay("2016-12-31"), -1);
+}
+
+TEST(DateTest, RejectsMalformed) {
+  EXPECT_LT(DateToDay("hello"), -100000);
+  EXPECT_LT(DateToDay("2017-13-01"), -100000);
+  EXPECT_LT(DateToDay("2017-00-10"), -100000);
+}
+
+class DateRoundTripTest : public ::testing::TestWithParam<Day> {};
+
+TEST_P(DateRoundTripTest, RoundTrips) {
+  const Day day = GetParam();
+  EXPECT_EQ(DateToDay(DayToDate(day)), day);
+}
+
+INSTANTIATE_TEST_SUITE_P(Range, DateRoundTripTest,
+                         ::testing::Values(-400, -1, 0, 1, 58, 59, 99, 365, 366, 730, 10000));
+
+TransactionLog MakeLog() {
+  TransactionLog log;
+  log.profiles.resize(4);
+  for (UserId u = 0; u < 4; ++u) log.profiles[u].user_id = u;
+  TxnId id = 1;
+  // Days 0..119, one benign record per day plus a fraud record on even
+  // days with a 3-day report delay.
+  for (Day day = 0; day < 120; ++day) {
+    TransactionRecord benign;
+    benign.txn_id = id++;
+    benign.day = day;
+    benign.from_user = 0;
+    benign.to_user = 1;
+    benign.label_available_day = day + 2;
+    log.records.push_back(benign);
+    if (day % 2 == 0) {
+      TransactionRecord fraud;
+      fraud.txn_id = id++;
+      fraud.day = day;
+      fraud.from_user = 2;
+      fraud.to_user = 3;
+      fraud.is_fraud = true;
+      fraud.label_available_day = day + 3;
+      log.records.push_back(fraud);
+    }
+  }
+  return log;
+}
+
+TEST(WindowTest, SlicesThePaperLayout) {
+  const TransactionLog log = MakeLog();
+  WindowSpec spec;
+  spec.test_day = 110;
+  const auto window = SliceWindow(log, spec);
+  ASSERT_TRUE(window.ok());
+  // Network: days 6..95 inclusive (90 days).
+  for (std::size_t idx : window->network_records) {
+    EXPECT_GE(log.records[idx].day, 6);
+    EXPECT_LT(log.records[idx].day, 96);
+  }
+  // Train: days 96..109.
+  for (std::size_t idx : window->train_records) {
+    EXPECT_GE(log.records[idx].day, 96);
+    EXPECT_LT(log.records[idx].day, 110);
+  }
+  for (std::size_t idx : window->test_records) EXPECT_EQ(log.records[idx].day, 110);
+}
+
+TEST(WindowTest, DelayedLabelsAreExcludedFromTraining) {
+  const TransactionLog log = MakeLog();
+  WindowSpec spec;
+  spec.test_day = 110;
+  const auto window = SliceWindow(log, spec);
+  ASSERT_TRUE(window.ok());
+  // The fraud on day 108 reports on day 111 > test day -> excluded; the
+  // fraud on day 106 reports on 109 -> included.
+  bool saw_106 = false;
+  for (std::size_t idx : window->train_records) {
+    const auto& rec = log.records[idx];
+    EXPECT_LE(rec.label_available_day, 110) << "day " << rec.day;
+    if (rec.day == 106 && rec.is_fraud) saw_106 = true;
+    EXPECT_FALSE(rec.day == 108 && rec.is_fraud);
+  }
+  EXPECT_TRUE(saw_106);
+}
+
+TEST(WindowTest, RejectsUncoveredWindows) {
+  const TransactionLog log = MakeLog();
+  WindowSpec early;
+  early.test_day = 50;  // Needs day -54.
+  EXPECT_FALSE(SliceWindow(log, early).ok());
+  WindowSpec late;
+  late.test_day = 500;
+  EXPECT_FALSE(SliceWindow(log, late).ok());
+}
+
+TEST(WindowTest, RejectsDegenerateSpecs) {
+  const TransactionLog log = MakeLog();
+  WindowSpec spec;
+  spec.test_day = 110;
+  spec.network_days = 0;
+  EXPECT_FALSE(SliceWindow(log, spec).ok());
+  EXPECT_FALSE(SliceWindow(TransactionLog{}, WindowSpec{}).ok());
+}
+
+TEST(WindowTest, SliceWeekProducesConsecutiveDays) {
+  const TransactionLog log = MakeLog();
+  const auto windows = SliceWeek(log, 110, 5);
+  ASSERT_TRUE(windows.ok());
+  ASSERT_EQ(windows->size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ((*windows)[static_cast<std::size_t>(i)].spec.test_day, 110 + i);
+  }
+  EXPECT_FALSE(SliceWeek(log, 110, 0).ok());
+}
+
+
+TEST(CsvTest, RoundTripsAGeneratedWorld) {
+  datagen::WorldOptions options;
+  options.num_users = 300;
+  options.num_days = 20;
+  auto world = datagen::GenerateWorld(options);
+  ASSERT_TRUE(world.ok());
+
+  const std::string profiles = "/tmp/titant_csv_profiles.csv";
+  const std::string records = "/tmp/titant_csv_records.csv";
+  ASSERT_TRUE(ExportLogCsv(world->log, profiles, records).ok());
+  const auto imported = ImportLogCsv(profiles, records);
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+
+  ASSERT_EQ(imported->profiles.size(), world->log.profiles.size());
+  ASSERT_EQ(imported->records.size(), world->log.records.size());
+  for (std::size_t i = 0; i < world->log.profiles.size(); ++i) {
+    EXPECT_EQ(imported->profiles[i].age, world->log.profiles[i].age);
+    EXPECT_EQ(imported->profiles[i].gender, world->log.profiles[i].gender);
+    EXPECT_EQ(imported->profiles[i].home_city, world->log.profiles[i].home_city);
+  }
+  for (std::size_t i = 0; i < world->log.records.size(); ++i) {
+    const auto& a = imported->records[i];
+    const auto& b = world->log.records[i];
+    EXPECT_EQ(a.txn_id, b.txn_id);
+    EXPECT_EQ(a.day, b.day);
+    EXPECT_EQ(a.second_of_day, b.second_of_day);
+    EXPECT_EQ(a.from_user, b.from_user);
+    EXPECT_EQ(a.to_user, b.to_user);
+    EXPECT_NEAR(a.amount, b.amount, 0.01);  // 2-decimal CSV.
+    EXPECT_EQ(a.channel, b.channel);
+    EXPECT_EQ(a.is_fraud, b.is_fraud);
+    EXPECT_EQ(a.label_available_day, b.label_available_day);
+  }
+  std::filesystem::remove(profiles);
+  std::filesystem::remove(records);
+}
+
+TEST(CsvTest, RejectsMalformedInput) {
+  const std::string profiles = "/tmp/titant_csv_badp.csv";
+  const std::string records = "/tmp/titant_csv_badr.csv";
+  auto write = [](const std::string& path, const std::string& content) {
+    std::ofstream out(path, std::ios::trunc);
+    out << content;
+  };
+  // Bad header.
+  write(profiles, "nope\n");
+  EXPECT_FALSE(ImportLogCsv(profiles, records).ok());
+  // Good header, non-dense ids.
+  write(profiles,
+        "user_id,age,gender,home_city,account_age_days,verification_level,is_merchant\n"
+        "5,30,male,1,10,2,0\n");
+  EXPECT_FALSE(ImportLogCsv(profiles, records).ok());
+  // Valid profiles, record referencing unknown user.
+  write(profiles,
+        "user_id,age,gender,home_city,account_age_days,verification_level,is_merchant\n"
+        "0,30,male,1,10,2,0\n1,40,female,2,20,1,0\n");
+  write(records,
+        "txn_id,date,second_of_day,from_user,to_user,amount,trans_city,device_id,channel,"
+        "is_new_device,is_cross_city,is_fraud,label_available_date\n"
+        "1,2017-04-10,100,0,9,50.00,1,7,app,0,0,0,2017-04-12\n");
+  EXPECT_FALSE(ImportLogCsv(profiles, records).ok());
+  // Out-of-order records.
+  write(records,
+        "txn_id,date,second_of_day,from_user,to_user,amount,trans_city,device_id,channel,"
+        "is_new_device,is_cross_city,is_fraud,label_available_date\n"
+        "1,2017-04-10,100,0,1,50.00,1,7,app,0,0,0,2017-04-12\n"
+        "2,2017-04-09,100,1,0,60.00,1,7,web,0,0,1,2017-04-13\n");
+  EXPECT_FALSE(ImportLogCsv(profiles, records).ok());
+  // Valid minimal input parses.
+  write(records,
+        "txn_id,date,second_of_day,from_user,to_user,amount,trans_city,device_id,channel,"
+        "is_new_device,is_cross_city,is_fraud,label_available_date\n"
+        "1,2017-04-10,100,0,1,50.00,1,7,qr,1,0,1,2017-04-12\n");
+  const auto ok = ImportLogCsv(profiles, records);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->records.size(), 1u);
+  EXPECT_EQ(ok->records[0].channel, Channel::kQrCode);
+  std::filesystem::remove(profiles);
+  std::filesystem::remove(records);
+}
+
+}  // namespace
+}  // namespace titant::txn

@@ -1,0 +1,221 @@
+// titant_cli — command-line front end for the library, working on the CSV
+// interchange format (txn/csv.h) so the pipeline can run on real data.
+//
+//   titant_cli generate <profiles.csv> <records.csv> [users] [days] [seed]
+//       Simulates a world and writes it as CSV.
+//
+//   titant_cli train <profiles.csv> <records.csv> <test-date> <model.bin>
+//       Builds the T+1 window ending at <test-date> (YYYY-MM-DD), learns
+//       DeepWalk embeddings + GBDT, reports test-day metrics, and writes
+//       the model file. Also writes <model.bin>.emb with the embeddings.
+//
+//   titant_cli evaluate <profiles.csv> <records.csv> <test-date> <model.bin>
+//       Scores the test day with an existing model (+ .emb) and reports
+//       F1 / AUC / rec@top-1%.
+//
+//   titant_cli rules <profiles.csv> <records.csv> <test-date>
+//       Trains the C5.0 rule learner on the window and prints its
+//       high-confidence IF/THEN fraud rules.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/experiment.h"
+#include "datagen/world.h"
+#include "ml/decision_tree.h"
+#include "ml/metrics.h"
+#include "nrl/embedding.h"
+#include "txn/csv.h"
+#include "txn/window.h"
+
+namespace {
+
+using titant::Status;
+using titant::StatusOr;
+
+template <typename T>
+T OrDie(StatusOr<T> value) {
+  if (!value.ok()) {
+    std::fprintf(stderr, "error: %s\n", value.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(value).value();
+}
+
+void OrDie(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  titant_cli generate <profiles.csv> <records.csv> [users] [days] [seed]\n"
+               "  titant_cli train <profiles.csv> <records.csv> <test-date> <model.bin> [net-days] [train-days]\n"
+               "  titant_cli evaluate <profiles.csv> <records.csv> <test-date> <model.bin>\n"
+               "  titant_cli rules <profiles.csv> <records.csv> <test-date> [net-days] [train-days]\n");
+  return 2;
+}
+
+titant::txn::DatasetWindow WindowFor(const titant::txn::TransactionLog& log,
+                                     const std::string& date, int network_days,
+                                     int train_days) {
+  const titant::txn::Day day = titant::txn::DateToDay(date);
+  if (day < -100000) {
+    std::fprintf(stderr, "error: bad date '%s' (want YYYY-MM-DD)\n", date.c_str());
+    std::exit(1);
+  }
+  titant::txn::WindowSpec spec;
+  spec.test_day = day;
+  if (network_days > 0) spec.network_days = network_days;
+  if (train_days > 0) spec.train_days = train_days;
+  return OrDie(titant::txn::SliceWindow(log, spec));
+}
+
+// Optional trailing [network_days] [train_days] after position `from`.
+std::pair<int, int> SpanArgs(int argc, char** argv, int from) {
+  int network_days = 0, train_days = 0;
+  if (argc > from) network_days = std::atoi(argv[from]);
+  if (argc > from + 1) train_days = std::atoi(argv[from + 1]);
+  return {network_days, train_days};
+}
+
+void ReportMetrics(const std::vector<double>& scores, const std::vector<uint8_t>& labels) {
+  const auto best = OrDie(titant::ml::BestF1(scores, labels));
+  std::printf("  F1        %.2f%%  (precision %.2f%%, recall %.2f%%, threshold %.3f)\n",
+              100 * best.f1, 100 * best.precision, 100 * best.recall, best.threshold);
+  const auto auc = titant::ml::RocAuc(scores, labels);
+  if (auc.ok()) std::printf("  AUC       %.4f\n", *auc);
+  const auto rec1 = titant::ml::RecallAtTopPercent(scores, labels, 1.0);
+  if (rec1.ok()) std::printf("  rec@top1%% %.2f%%\n", 100 * *rec1);
+}
+
+int CmdGenerate(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  titant::datagen::WorldOptions options;
+  if (argc > 4) options.num_users = std::atoi(argv[4]);
+  if (argc > 5) options.num_days = std::atoi(argv[5]);
+  if (argc > 6) options.seed = static_cast<uint64_t>(std::atoll(argv[6]));
+  const auto world = OrDie(titant::datagen::GenerateWorld(options));
+  OrDie(titant::txn::ExportLogCsv(world.log, argv[2], argv[3]));
+  std::printf("wrote %zu profiles -> %s\n", world.log.profiles.size(), argv[2]);
+  std::printf("wrote %zu records  -> %s (days %s..%s)\n", world.log.records.size(), argv[3],
+              titant::txn::DayToDate(world.log.records.front().day).c_str(),
+              titant::txn::DayToDate(world.log.records.back().day).c_str());
+  return 0;
+}
+
+int CmdTrain(int argc, char** argv) {
+  if (argc < 6) return Usage();
+  const auto log = OrDie(titant::txn::ImportLogCsv(argv[2], argv[3]));
+  const auto [net_days, tr_days] = SpanArgs(argc, argv, 6);
+  const auto window = WindowFor(log, argv[4], net_days, tr_days);
+  std::printf("window: %zu network / %zu train / %zu test records\n",
+              window.network_records.size(), window.train_records.size(),
+              window.test_records.size());
+
+  titant::core::PipelineOptions options;
+  titant::core::OfflineTrainer trainer(log, window, options);
+  OrDie(trainer.Prepare(titant::core::FeatureSet::kBasicDW));
+  const auto train =
+      OrDie(trainer.BuildMatrix(window.train_records, titant::core::FeatureSet::kBasicDW));
+  auto model = titant::core::MakeModel(titant::core::ModelKind::kGbdt, options);
+  OrDie(model->Train(train));
+
+  const auto test =
+      OrDie(trainer.BuildMatrix(window.test_records, titant::core::FeatureSet::kBasicDW));
+  const auto scores = OrDie(model->ScoreAll(test));
+  std::printf("test-day (%s) metrics:\n", argv[4]);
+  ReportMetrics(scores, test.labels());
+
+  // Model file + the embeddings the serving tier needs alongside it.
+  const std::string blob = titant::ml::SerializeModel(*model);
+  std::FILE* out = std::fopen(argv[5], "wb");
+  if (out == nullptr || std::fwrite(blob.data(), 1, blob.size(), out) != blob.size()) {
+    std::fprintf(stderr, "error: cannot write %s\n", argv[5]);
+    return 1;
+  }
+  std::fclose(out);
+  OrDie(trainer.dw_embeddings()->SaveTo(std::string(argv[5]) + ".emb"));
+  std::printf("wrote model (%zu bytes) -> %s (+.emb)\n", blob.size(), argv[5]);
+  return 0;
+}
+
+int CmdEvaluate(int argc, char** argv) {
+  if (argc < 6) return Usage();
+  const auto log = OrDie(titant::txn::ImportLogCsv(argv[2], argv[3]));
+  const auto [net_days, tr_days] = SpanArgs(argc, argv, 6);
+  const auto window = WindowFor(log, argv[4], net_days, tr_days);
+
+  std::FILE* in = std::fopen(argv[5], "rb");
+  if (in == nullptr) {
+    std::fprintf(stderr, "error: cannot read %s\n", argv[5]);
+    return 1;
+  }
+  std::string blob;
+  char buffer[4096];
+  std::size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), in)) > 0) blob.append(buffer, got);
+  std::fclose(in);
+  const auto model = OrDie(titant::ml::DeserializeModel(blob));
+  const auto embeddings =
+      OrDie(titant::nrl::EmbeddingMatrix::LoadFrom(std::string(argv[5]) + ".emb"));
+
+  // Assemble basic + stored-embedding features for the test day.
+  titant::core::PipelineOptions options;
+  options.embedding_dim = embeddings.dim();
+  titant::core::OfflineTrainer trainer(log, window, options);
+  OrDie(trainer.Prepare(titant::core::FeatureSet::kBasic));
+  const auto basic =
+      OrDie(trainer.BuildMatrix(window.test_records, titant::core::FeatureSet::kBasic));
+  titant::ml::DataMatrix test(basic.num_rows(), basic.num_cols() + embeddings.dim());
+  test.mutable_labels() = basic.labels();
+  for (std::size_t r = 0; r < basic.num_rows(); ++r) {
+    std::copy(basic.Row(r), basic.Row(r) + basic.num_cols(), test.Row(r));
+    const auto& rec = log.records[window.test_records[r]];
+    if (rec.to_user < embeddings.rows()) {
+      const float* emb = embeddings.Row(rec.to_user);
+      std::copy(emb, emb + embeddings.dim(), test.Row(r) + basic.num_cols());
+    }
+  }
+  const auto scores = OrDie(model->ScoreAll(test));
+  std::printf("test-day (%s) metrics with %s:\n", argv[4],
+              std::string(model->type_name()).c_str());
+  ReportMetrics(scores, test.labels());
+  return 0;
+}
+
+int CmdRules(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  const auto log = OrDie(titant::txn::ImportLogCsv(argv[2], argv[3]));
+  const auto [net_days, tr_days] = SpanArgs(argc, argv, 5);
+  const auto window = WindowFor(log, argv[4], net_days, tr_days);
+
+  titant::core::PipelineOptions options;
+  titant::core::OfflineTrainer trainer(log, window, options);
+  OrDie(trainer.Prepare(titant::core::FeatureSet::kBasic));
+  const auto train =
+      OrDie(trainer.BuildMatrix(window.train_records, titant::core::FeatureSet::kBasic));
+  auto model = titant::ml::MakeC50(options.tree_bins, /*boosting_trials=*/1);
+  OrDie(model->Train(train));
+  const auto rules = model->DumpRules(train.column_names(), 0.5);
+  std::printf("high-confidence fraud rules from the C5.0 learner (%zu):\n", rules.size());
+  for (const auto& rule : rules) std::printf("  %s\n", rule.c_str());
+  if (rules.empty()) std::printf("  (no leaf reaches p >= 0.5 on this window)\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  if (std::strcmp(argv[1], "generate") == 0) return CmdGenerate(argc, argv);
+  if (std::strcmp(argv[1], "train") == 0) return CmdTrain(argc, argv);
+  if (std::strcmp(argv[1], "evaluate") == 0) return CmdEvaluate(argc, argv);
+  if (std::strcmp(argv[1], "rules") == 0) return CmdRules(argc, argv);
+  return Usage();
+}
