@@ -1,0 +1,159 @@
+// Closed-loop load generator for the TCP serving gateway: the repo's
+// end-to-end "network milliseconds" number (§1/§4.4 — the Alipay server
+// reaches the MS fleet over the wire, not via a function call).
+//
+//   bench_gateway [client_threads] [seconds] [instances]
+//
+// Starts a Gateway over loopback in-process, drives it from N closed-loop
+// client threads (one connection each, next request issued as soon as the
+// previous reply lands), and prints sustained qps plus client-observed
+// p50/p95/p99/p99.9 round-trip latency, next to the router's in-process
+// scoring histogram so the socket tax is visible.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/histogram.h"
+#include "common/stopwatch.h"
+#include "core/experiment.h"
+#include "serving/feature_store.h"
+#include "serving/gateway.h"
+#include "serving/router.h"
+
+namespace {
+
+using titant::benchutil::CheckOk;
+
+struct Fixture {
+  titant::datagen::World world;
+  std::unique_ptr<titant::kvstore::AliHBase> store;
+  std::unique_ptr<titant::serving::ModelServerRouter> router;
+  std::vector<titant::serving::TransferRequest> requests;
+};
+
+Fixture BuildFixture(int instances) {
+  Fixture f;
+  titant::datagen::WorldOptions world_options;
+  world_options.num_users = 1200;
+  world_options.num_days = 112;
+  world_options.first_day = titant::benchutil::FirstTestDay() - 104;
+  f.world = CheckOk(titant::datagen::GenerateWorld(world_options));
+  auto windows =
+      CheckOk(titant::txn::SliceWeek(f.world.log, titant::benchutil::FirstTestDay(), 1));
+
+  titant::core::PipelineOptions pipeline;
+  pipeline.walks_per_node = 20;  // Keep fixture setup fast; scoring is model-size-bound.
+  titant::core::OfflineTrainer trainer(f.world.log, windows[0], pipeline);
+  CheckOk(trainer.Prepare(titant::core::FeatureSet::kBasicDW));
+  auto train = CheckOk(
+      trainer.BuildMatrix(windows[0].train_records, titant::core::FeatureSet::kBasicDW));
+  auto model = titant::core::MakeModel(titant::core::ModelKind::kGbdt, pipeline);
+  CheckOk(model->Train(train));
+
+  auto store_options = titant::serving::FeatureTableOptions();
+  store_options.durable = false;
+  f.store = CheckOk(titant::kvstore::AliHBase::Open(store_options));
+  CheckOk(titant::serving::UploadDailyArtifacts(f.store.get(), f.world.log,
+                                                trainer.extractor(), *trainer.dw_embeddings(),
+                                                windows[0].spec.test_day, 20170410, 50));
+
+  f.router = std::make_unique<titant::serving::ModelServerRouter>(
+      f.store.get(), titant::serving::ModelServerOptions(), instances);
+  CheckOk(f.router->LoadModel(titant::ml::SerializeModel(*model), 20170410));
+
+  for (std::size_t idx : windows[0].test_records) {
+    const auto& rec = f.world.log.records[idx];
+    titant::serving::TransferRequest req;
+    req.txn_id = rec.txn_id;
+    req.from_user = rec.from_user;
+    req.to_user = rec.to_user;
+    req.amount = rec.amount;
+    req.day = rec.day;
+    req.second_of_day = rec.second_of_day;
+    req.channel = rec.channel;
+    req.trans_city = rec.trans_city;
+    req.is_new_device = rec.is_new_device;
+    f.requests.push_back(req);
+  }
+  return f;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int threads = argc > 1 ? std::atoi(argv[1]) : 4;
+  const double seconds = argc > 2 ? std::atof(argv[2]) : 3.0;
+  const int instances = argc > 3 ? std::atoi(argv[3]) : 2;
+
+  std::printf("bench_gateway: %d closed-loop client threads, %.1fs, %d MS instances\n",
+              threads, seconds, instances);
+  std::printf("setting up world + model + feature store...\n");
+  Fixture fixture = BuildFixture(instances);
+
+  titant::serving::Gateway gateway(fixture.router.get());
+  CheckOk(gateway.Start());
+  std::printf("gateway listening on 127.0.0.1:%u\n\n", gateway.port());
+
+  std::vector<titant::Histogram> rtt_us(static_cast<std::size_t>(threads));
+  std::vector<uint64_t> errors(static_cast<std::size_t>(threads), 0);
+  std::vector<std::thread> clients;
+  titant::Stopwatch wall;
+  for (int t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      titant::serving::GatewayClient client("127.0.0.1", gateway.port());
+      std::size_t i = static_cast<std::size_t>(t);  // Stagger request streams.
+      titant::Stopwatch elapsed;
+      while (elapsed.ElapsedSeconds() < seconds) {
+        titant::Stopwatch rtt;
+        const auto verdict =
+            client.Score(fixture.requests[i % fixture.requests.size()], /*timeout_ms=*/5000);
+        if (verdict.ok()) {
+          rtt_us[static_cast<std::size_t>(t)].Add(static_cast<double>(rtt.ElapsedMicros()));
+        } else {
+          ++errors[static_cast<std::size_t>(t)];
+        }
+        ++i;
+      }
+    });
+  }
+  for (auto& thread : clients) thread.join();
+  const double elapsed_s = wall.ElapsedSeconds();
+
+  titant::Histogram merged;
+  uint64_t total_errors = 0;
+  for (int t = 0; t < threads; ++t) {
+    merged.Merge(rtt_us[static_cast<std::size_t>(t)]);
+    total_errors += errors[static_cast<std::size_t>(t)];
+  }
+  const double qps = static_cast<double>(merged.count()) / elapsed_s;
+
+  std::printf("end-to-end over loopback (client-observed RTT):\n");
+  std::printf("  requests  %llu  (errors %llu)\n",
+              static_cast<unsigned long long>(merged.count()),
+              static_cast<unsigned long long>(total_errors));
+  std::printf("  qps       %.0f\n", qps);
+  std::printf("  p50       %.0f us\n", merged.P50());
+  std::printf("  p95       %.0f us\n", merged.P95());
+  std::printf("  p99       %.0f us\n", merged.P99());
+  std::printf("  p99.9     %.0f us\n", merged.P999());
+  std::printf("  max       %.0f us\n", merged.max());
+
+  const auto wire = gateway.WireLatencySnapshot();
+  const auto inproc = fixture.router->AggregateLatency();
+  std::printf("\nserver-side breakdown (microseconds):\n");
+  std::printf("  %-28s p50 %7.0f   p99 %7.0f\n", "router Score (in-process)", inproc.P50(),
+              inproc.P99());
+  std::printf("  %-28s p50 %7.0f   p99 %7.0f\n", "gateway handle (wire side)", wire.P50(),
+              wire.P99());
+
+  CheckOk(gateway.Shutdown());
+
+  const bool pass = qps >= 5000.0 && merged.P99() < 5000.0;
+  std::printf("\n%s: %.0f qps, p99 %.0f us (target: >= 5000 qps, p99 < 5000 us)\n",
+              pass ? "PASS" : "MISS", qps, merged.P99());
+  return total_errors == 0 ? 0 : 1;
+}

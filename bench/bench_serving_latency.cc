@@ -1,7 +1,8 @@
 // Micro-benchmarks for the online serving path (§1/§4.5: "predict online
 // real-time transaction fraud within only milliseconds"). Measures the
 // Model Server end to end — Ali-HBase feature fetch, request featurization
-// and GBDT scoring — plus its parts.
+// and GBDT scoring — plus its parts, and the same request over the TCP
+// gateway so the socket overhead is measured, not guessed.
 
 #include <benchmark/benchmark.h>
 
@@ -10,7 +11,9 @@
 #include "bench/bench_util.h"
 #include "core/experiment.h"
 #include "serving/feature_store.h"
+#include "serving/gateway.h"
 #include "serving/model_server.h"
+#include "serving/router.h"
 
 namespace {
 
@@ -114,6 +117,35 @@ void BM_GbdtScoreOnly(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GbdtScoreOnly)->Unit(benchmark::kMicrosecond);
+
+// The same end-to-end request over the TCP gateway on loopback: what
+// BM_ModelServerScore costs once a real socket, framing, epoll dispatch,
+// and the handler thread pool sit between caller and model.
+void BM_GatewayScoreOverLoopback(benchmark::State& state) {
+  auto& fixture = ServingFixture::Get();
+  static auto* router = [] {
+    auto* r = new titant::serving::ModelServerRouter(
+        ServingFixture::Get().store.get(), titant::serving::ModelServerOptions(), 1);
+    CheckOk(r->LoadModel(titant::ml::SerializeModel(*ServingFixture::Get().model), 20170410));
+    return r;
+  }();
+  static auto* gateway = [] {
+    auto* g = new titant::serving::Gateway(router);
+    CheckOk(g->Start());
+    return g;
+  }();
+  titant::serving::GatewayClient client("127.0.0.1", gateway->port());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto verdict =
+        CheckOk(client.Score(fixture.requests[i++ % fixture.requests.size()]));
+    benchmark::DoNotOptimize(verdict.fraud_probability);
+  }
+  const auto wire = gateway->WireLatencySnapshot();
+  state.counters["srv_p50_us"] = wire.P50();
+  state.counters["srv_p99_us"] = wire.P99();
+}
+BENCHMARK(BM_GatewayScoreOverLoopback)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

@@ -1,0 +1,187 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace titant::net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+int64_t DeadlineFrom(int timeout_ms) {
+  return MonotonicMicros() + static_cast<int64_t>(timeout_ms) * 1000;
+}
+
+/// Remaining whole milliseconds until `deadline_us` (>= 0), or -1 when the
+/// deadline already passed.
+int RemainingMs(int64_t deadline_us) {
+  const int64_t left_us = deadline_us - MonotonicMicros();
+  if (left_us <= 0) return -1;
+  return static_cast<int>((left_us + 999) / 1000);
+}
+
+}  // namespace
+
+Client::Client(std::string host, uint16_t port, ClientOptions options)
+    : host_(std::move(host)),
+      port_(port),
+      options_(options),
+      decoder_(options.max_payload_bytes) {}
+
+Client::~Client() { Close(); }
+
+Status Client::Connect() {
+  if (fd_ >= 0) return Status::OK();
+  decoder_.Reset();
+  inbox_.clear();
+
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return Errno("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad host address '" + host_ + "'");
+  }
+  const std::string endpoint = host_ + ":" + std::to_string(port_);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      const Status status =
+          Status::Unavailable("connect " + endpoint + ": " + std::strerror(errno));
+      Close();
+      return status;
+    }
+    const Status ready =
+        PollFd(POLLOUT, DeadlineFrom(options_.connect_timeout_ms), "connect");
+    if (!ready.ok()) {
+      Close();
+      return ready.code() == StatusCode::kTimeout
+                 ? Status::Timeout("connect " + endpoint + " timed out")
+                 : ready;
+    }
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0 || soerr != 0) {
+      Close();
+      return Status::Unavailable("connect " + endpoint + ": " +
+                                 std::strerror(soerr != 0 ? soerr : errno));
+    }
+  }
+  const int enable = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  return Status::OK();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  decoder_.Reset();
+  inbox_.clear();
+}
+
+StatusOr<std::string> Client::Call(uint16_t method, std::string_view payload, int timeout_ms) {
+  TITANT_ASSIGN_OR_RETURN(Frame frame, CallFrame(method, payload, timeout_ms));
+  std::string body;
+  TITANT_RETURN_IF_ERROR(DecodeResponsePayload(frame, &body));
+  return body;
+}
+
+StatusOr<Frame> Client::CallFrame(uint16_t method, std::string_view payload, int timeout_ms) {
+  TITANT_RETURN_IF_ERROR(Connect());
+  const int64_t deadline_us =
+      DeadlineFrom(timeout_ms > 0 ? timeout_ms : options_.call_timeout_ms);
+  const uint64_t request_id = next_request_id_++;
+  const std::string frame_bytes = EncodeRequestFrame(method, request_id, payload);
+
+  Status written = WriteAll(frame_bytes, deadline_us);
+  if (!written.ok()) {
+    Close();
+    return written;
+  }
+  StatusOr<Frame> response = ReadResponse(request_id, deadline_us);
+  if (!response.ok()) Close();  // Stream state is unknown; start fresh.
+  return response;
+}
+
+Status Client::WriteAll(std::string_view data, int64_t deadline_us) {
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not SIGPIPE.
+    const ssize_t n = ::send(fd_, data.data() + offset, data.size() - offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      offset += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EPIPE || errno == ECONNRESET) {
+      return Status::Unavailable("connection closed by server");
+    }
+    if (errno == EINTR) continue;
+    if (errno != EAGAIN && errno != EWOULDBLOCK) return Errno("write");
+    TITANT_RETURN_IF_ERROR(PollFd(POLLOUT, deadline_us, "write"));
+  }
+  return Status::OK();
+}
+
+StatusOr<Frame> Client::ReadResponse(uint64_t request_id, int64_t deadline_us) {
+  char buffer[64 * 1024];
+  while (true) {
+    // A matching frame may already be buffered from a previous read.
+    while (!inbox_.empty()) {
+      Frame frame = std::move(inbox_.front());
+      inbox_.pop_front();
+      if (frame.type == FrameType::kResponse && frame.request_id == request_id) {
+        return frame;
+      }
+      // Stale reply (e.g. server answered after we abandoned the id): skip.
+    }
+    const ssize_t n = ::read(fd_, buffer, sizeof(buffer));
+    if (n > 0) {
+      std::vector<Frame> frames;
+      TITANT_RETURN_IF_ERROR(
+          decoder_.Feed(buffer, static_cast<std::size_t>(n), &frames));
+      for (auto& frame : frames) inbox_.push_back(std::move(frame));
+      continue;
+    }
+    if (n == 0) return Status::Unavailable("connection closed by server");
+    if (errno == EINTR) continue;
+    if (errno != EAGAIN && errno != EWOULDBLOCK) return Errno("read");
+    TITANT_RETURN_IF_ERROR(PollFd(POLLIN, deadline_us, "read"));
+  }
+}
+
+Status Client::PollFd(short events, int64_t deadline_us, const char* what) {
+  while (true) {
+    const int remaining_ms = RemainingMs(deadline_us);
+    if (remaining_ms < 0) {
+      return Status::Timeout(std::string(what) + " deadline exceeded");
+    }
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = events;
+    const int n = ::poll(&pfd, 1, remaining_ms);
+    if (n > 0) {
+      if (pfd.revents & (POLLERR | POLLNVAL)) {
+        return Status::Unavailable(std::string(what) + ": socket error");
+      }
+      return Status::OK();  // Ready (POLLHUP still lets read() observe EOF).
+    }
+    if (n == 0) return Status::Timeout(std::string(what) + " deadline exceeded");
+    if (errno != EINTR) return Errno("poll");
+  }
+}
+
+}  // namespace titant::net

@@ -1,0 +1,78 @@
+#ifndef TITANT_NET_CLIENT_H_
+#define TITANT_NET_CLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+
+#include "common/statusor.h"
+#include "net/wire.h"
+
+namespace titant::net {
+
+/// Client configuration.
+struct ClientOptions {
+  /// Connection-establishment deadline.
+  int connect_timeout_ms = 2000;
+  /// Default per-call deadline (override per Call).
+  int call_timeout_ms = 2000;
+  /// Per-frame payload cap enforced on responses.
+  std::size_t max_payload_bytes = kMaxPayloadBytes;
+};
+
+/// Blocking request/response client for the gateway wire protocol.
+///
+/// One TCP connection, reused across calls; Call() reconnects lazily after
+/// a failure. Deadlines are enforced with poll(2) on both the write and
+/// read side; an expired deadline closes the connection (a late reply
+/// would desynchronize the stream) and surfaces as Status::Timeout.
+/// Transport failures surface as Unavailable (connect/EOF), IOError
+/// (syscall), Timeout (deadline), or InvalidArgument (protocol) — no
+/// exceptions cross this API.
+///
+/// Not thread-safe: use one Client per thread (they are cheap).
+class Client {
+ public:
+  Client(std::string host, uint16_t port, ClientOptions options = ClientOptions());
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Establishes the connection eagerly. Idempotent; Call() connects
+  /// lazily, so this is only needed to front-load the handshake.
+  Status Connect();
+
+  /// Closes the connection (next Call reconnects).
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one request and blocks for its response frame, returning the
+  /// response body after unwrapping the handler's transported Status.
+  /// `timeout_ms` <= 0 uses options.call_timeout_ms.
+  StatusOr<std::string> Call(uint16_t method, std::string_view payload, int timeout_ms = 0);
+
+  /// Like Call but returns the raw response frame without unwrapping the
+  /// in-band status (wire-level tooling and tests).
+  StatusOr<Frame> CallFrame(uint16_t method, std::string_view payload, int timeout_ms = 0);
+
+ private:
+  Status WriteAll(std::string_view data, int64_t deadline_us);
+  StatusOr<Frame> ReadResponse(uint64_t request_id, int64_t deadline_us);
+  /// Blocks until `events` is ready or the deadline passes.
+  Status PollFd(short events, int64_t deadline_us, const char* what);
+
+  std::string host_;
+  uint16_t port_;
+  ClientOptions options_;
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  FrameDecoder decoder_;
+  std::deque<Frame> inbox_;  // Decoded frames not yet claimed by a call.
+};
+
+}  // namespace titant::net
+
+#endif  // TITANT_NET_CLIENT_H_

@@ -1,0 +1,75 @@
+#ifndef TITANT_NET_EVENT_LOOP_H_
+#define TITANT_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace titant::net {
+
+/// Single-threaded epoll readiness loop: the serving gateway's I/O core.
+///
+/// One thread calls Run(); it dispatches fd readiness to registered
+/// callbacks and executes closures posted from other threads (Post wakes
+/// the loop through an eventfd). Add/Modify/Remove must be called from the
+/// loop thread once Run() has started — cross-thread mutation goes through
+/// Post. Callbacks may remove their own fd (the loop tolerates
+/// registrations disappearing mid-dispatch).
+class EventLoop {
+ public:
+  using FdCallback = std::function<void(uint32_t epoll_events)>;
+
+  EventLoop() = default;
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Creates the epoll and wakeup fds. Must be called (once) before Run.
+  Status Init();
+
+  /// Registers `fd` for `events` (EPOLLIN/EPOLLOUT/...); `callback` runs on
+  /// the loop thread with the ready event mask.
+  Status Add(int fd, uint32_t events, FdCallback callback);
+
+  /// Changes the interest mask of a registered fd.
+  Status Modify(int fd, uint32_t events);
+
+  /// Deregisters `fd` (the caller still owns and closes it).
+  Status Remove(int fd);
+
+  /// Runs until Stop(). Blocks the calling thread, which becomes the loop
+  /// thread.
+  void Run();
+
+  /// Asks Run() to return after the current iteration. Thread-safe.
+  void Stop();
+
+  /// Queues `task` for execution on the loop thread. Thread-safe; may be
+  /// called before Run. Tasks posted after Run() has returned never
+  /// execute (Run drains the queue once on its way out).
+  void Post(std::function<void()> task);
+
+  bool running() const { return running_.load(); }
+
+ private:
+  void Wake();
+  void RunPending();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::unordered_map<int, FdCallback> callbacks_;  // Loop thread only.
+  std::mutex pending_mu_;
+  std::vector<std::function<void()>> pending_;
+};
+
+}  // namespace titant::net
+
+#endif  // TITANT_NET_EVENT_LOOP_H_

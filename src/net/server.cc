@@ -1,0 +1,285 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace titant::net {
+
+namespace {
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+}  // namespace
+
+/// Per-connection state. Mutated only on the loop thread; worker threads
+/// reach it exclusively through EventLoop::Post.
+struct Server::Connection {
+  explicit Connection(int fd_in, std::size_t max_payload)
+      : fd(fd_in), decoder(max_payload) {}
+
+  int fd;
+  FrameDecoder decoder;
+  std::string outbox;            // Encoded responses awaiting write.
+  std::size_t outbox_offset = 0; // Prefix of outbox already written.
+  std::size_t in_flight = 0;     // Dispatched, not yet completed.
+  bool reading = true;           // EPOLLIN subscribed.
+  bool want_write = false;       // EPOLLOUT subscribed.
+  bool peer_closed = false;      // Read side saw EOF.
+  bool closed = false;           // fd closed and deregistered.
+};
+
+Server::Server(ServerOptions options, Handler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {}
+
+Server::~Server() {
+  const Status status = Shutdown();
+  if (!status.ok()) TITANT_WARN << "server shutdown: " << status.ToString();
+}
+
+Status Server::Start() {
+  if (started_) return Status::FailedPrecondition("server already started");
+  TITANT_RETURN_IF_ERROR(loop_.Init());
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address '" + options_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status = Errno("bind " + options_.host + ":" + std::to_string(options_.port));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    const Status status = Errno("listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    const Status status = Errno("getsockname");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  port_ = ntohs(bound.sin_port);
+
+  TITANT_RETURN_IF_ERROR(loop_.Add(listen_fd_, EPOLLIN, [this](uint32_t) { AcceptReady(); }));
+  pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
+  loop_thread_ = std::thread([this] { loop_.Run(); });
+  started_ = true;
+  return Status::OK();
+}
+
+Status Server::Shutdown() {
+  if (!started_) return Status::OK();
+  loop_.Post([this] { BeginDrain(); });
+  loop_thread_.join();
+  pool_.reset();  // Destructor drains any still-queued handler work.
+  started_ = false;
+  return Status::OK();
+}
+
+void Server::AcceptReady() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      TITANT_WARN << "accept: " << std::strerror(errno);
+      return;
+    }
+    const int enable = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+    auto conn = std::make_shared<Connection>(fd, options_.max_payload_bytes);
+    const Status added =
+        loop_.Add(fd, EPOLLIN, [this, conn](uint32_t events) { ConnectionReady(conn, events); });
+    if (!added.ok()) {
+      TITANT_WARN << "register connection: " << added.ToString();
+      ::close(fd);
+      continue;
+    }
+    connections_[fd] = conn;
+  }
+}
+
+void Server::ConnectionReady(const std::shared_ptr<Connection>& conn, uint32_t events) {
+  if (conn->closed) return;
+  if (events & (EPOLLERR | EPOLLHUP)) {
+    CloseConnection(conn);
+    MaybeFinishDrain();
+    return;
+  }
+  if (events & EPOLLIN) ReadReady(conn);
+  if (!conn->closed && (events & EPOLLOUT)) WriteReady(conn);
+}
+
+void Server::ReadReady(const std::shared_ptr<Connection>& conn) {
+  char buffer[64 * 1024];
+  while (!conn->closed) {
+    const ssize_t n = ::read(conn->fd, buffer, sizeof(buffer));
+    if (n > 0) {
+      std::vector<Frame> frames;
+      const Status decoded = conn->decoder.Feed(buffer, static_cast<std::size_t>(n), &frames);
+      if (!decoded.ok()) {
+        protocol_errors_.fetch_add(1);
+        TITANT_WARN << "closing connection on protocol error: " << decoded.ToString();
+        CloseConnection(conn);
+        break;
+      }
+      for (auto& frame : frames) Dispatch(conn, std::move(frame));
+      continue;
+    }
+    if (n == 0) {  // Peer EOF: finish what was dispatched, then close.
+      conn->peer_closed = true;
+      if (conn->in_flight == 0 && conn->outbox_offset == conn->outbox.size()) {
+        CloseConnection(conn);
+      } else {
+        UpdateInterest(conn);
+      }
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConnection(conn);
+    break;
+  }
+  MaybeFinishDrain();
+}
+
+void Server::Dispatch(const std::shared_ptr<Connection>& conn, Frame frame) {
+  if (frame.type != FrameType::kRequest) {
+    protocol_errors_.fetch_add(1);
+    CloseConnection(conn);
+    return;
+  }
+  ++conn->in_flight;
+  ++in_flight_total_;
+  frames_dispatched_.fetch_add(1);
+  pool_->Submit([this, conn, frame = std::move(frame)] {
+    StatusOr<std::string> body = handler_(frame);
+    std::string response =
+        EncodeResponseFrame(frame.method, frame.request_id, body.status(),
+                            body.ok() ? std::string_view(*body) : std::string_view());
+    loop_.Post(
+        [this, conn, response = std::move(response)]() mutable { Complete(conn, std::move(response)); });
+  });
+}
+
+void Server::Complete(const std::shared_ptr<Connection>& conn, std::string response_bytes) {
+  --conn->in_flight;
+  --in_flight_total_;
+  if (!conn->closed) {
+    conn->outbox.append(response_bytes);
+    WriteReady(conn);  // Flush opportunistically; registers EPOLLOUT if short.
+  }
+  MaybeFinishDrain();
+}
+
+void Server::WriteReady(const std::shared_ptr<Connection>& conn) {
+  while (conn->outbox_offset < conn->outbox.size()) {
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not SIGPIPE.
+    const ssize_t n = ::send(conn->fd, conn->outbox.data() + conn->outbox_offset,
+                             conn->outbox.size() - conn->outbox_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->outbox_offset += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConnection(conn);  // EPIPE/ECONNRESET: peer is gone.
+    return;
+  }
+  if (conn->outbox_offset == conn->outbox.size()) {
+    conn->outbox.clear();
+    conn->outbox_offset = 0;
+    if ((conn->peer_closed || draining_) && conn->in_flight == 0) {
+      CloseConnection(conn);
+      return;
+    }
+  }
+  UpdateInterest(conn);
+}
+
+void Server::UpdateInterest(const std::shared_ptr<Connection>& conn) {
+  if (conn->closed) return;
+  const bool want_write = conn->outbox_offset < conn->outbox.size();
+  const bool want_read = !conn->peer_closed && !draining_;
+  if (want_write == conn->want_write && want_read == conn->reading) return;
+  uint32_t events = 0;
+  if (want_read) events |= EPOLLIN;
+  if (want_write) events |= EPOLLOUT;
+  conn->want_write = want_write;
+  conn->reading = want_read;
+  const Status status = loop_.Modify(conn->fd, events);
+  if (!status.ok()) {
+    TITANT_WARN << "epoll interest update failed: " << status.ToString();
+    CloseConnection(conn);
+  }
+}
+
+void Server::CloseConnection(const std::shared_ptr<Connection>& conn) {
+  if (conn->closed) return;
+  conn->closed = true;
+  const Status removed = loop_.Remove(conn->fd);
+  if (!removed.ok()) TITANT_WARN << "deregister connection: " << removed.ToString();
+  ::close(conn->fd);
+  connections_.erase(conn->fd);
+  conn->fd = -1;
+}
+
+void Server::BeginDrain() {
+  if (draining_) return;
+  draining_ = true;
+  if (listen_fd_ >= 0) {  // Stop accepting first.
+    const Status removed = loop_.Remove(listen_fd_);
+    if (!removed.ok()) TITANT_WARN << "deregister listener: " << removed.ToString();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Pull everything already queued in the kernel for each connection so
+  // requests sent before shutdown still get answers, then stop reading.
+  std::vector<std::shared_ptr<Connection>> conns;
+  conns.reserve(connections_.size());
+  for (auto& [fd, conn] : connections_) conns.push_back(conn);
+  for (auto& conn : conns) {
+    if (conn->closed) continue;
+    ReadReady(conn);
+    if (conn->closed) continue;
+    UpdateInterest(conn);  // draining_ drops EPOLLIN interest.
+  }
+  MaybeFinishDrain();
+}
+
+void Server::MaybeFinishDrain() {
+  if (!draining_ || in_flight_total_ > 0) return;
+  for (auto& [fd, conn] : connections_) {
+    if (conn->outbox_offset < conn->outbox.size()) return;  // Reply still flushing.
+  }
+  std::vector<std::shared_ptr<Connection>> conns;
+  conns.reserve(connections_.size());
+  for (auto& [fd, conn] : connections_) conns.push_back(conn);
+  for (auto& conn : conns) CloseConnection(conn);
+  loop_.Stop();
+}
+
+}  // namespace titant::net

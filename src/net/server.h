@@ -1,0 +1,110 @@
+#ifndef TITANT_NET_SERVER_H_
+#define TITANT_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "common/statusor.h"
+#include "common/thread_pool.h"
+#include "net/event_loop.h"
+#include "net/wire.h"
+
+namespace titant::net {
+
+/// TCP server configuration.
+struct ServerOptions {
+  /// Interface to bind (dotted quad; "0.0.0.0" for all).
+  std::string host = "127.0.0.1";
+  /// Port to bind; 0 picks an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// listen(2) backlog.
+  int backlog = 128;
+  /// Handler threads (the common::ThreadPool the loop dispatches to).
+  std::size_t worker_threads = 4;
+  /// Per-frame payload cap enforced by the decoder.
+  std::size_t max_payload_bytes = kMaxPayloadBytes;
+};
+
+/// Single-threaded epoll accept/read/write loop with per-connection
+/// buffers, dispatching each decoded request frame to a handler on a
+/// common::ThreadPool (§4.4: the MS must absorb heavy concurrent traffic
+/// without the I/O thread blocking on model work).
+///
+/// The handler returns the response *body*; the server wraps it — or the
+/// error status — into a response frame for the originating connection.
+/// Responses may complete out of order across connections; within one
+/// connection frames are answered in decoded order because completions are
+/// serialized back through the loop thread.
+///
+/// Shutdown() is graceful: stop accepting, pull already-received bytes
+/// from every connection, finish every dispatched request, flush the
+/// replies, then close. No exception crosses this API; all failures are
+/// titant::Status.
+class Server {
+ public:
+  using Handler = std::function<StatusOr<std::string>(const Frame& request)>;
+
+  Server(ServerOptions options, Handler handler);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the loop thread. InvalidArgument for a bad
+  /// host, IOError for socket failures.
+  Status Start();
+
+  /// Graceful shutdown: stops accepting, drains in-flight requests, writes
+  /// out their replies, closes every connection, joins the loop thread.
+  /// Idempotent; OK when the server was never started.
+  Status Shutdown();
+
+  /// The bound port (useful with options.port == 0).
+  uint16_t port() const { return port_; }
+
+  /// Request frames dispatched to the handler since Start().
+  uint64_t frames_dispatched() const { return frames_dispatched_.load(); }
+
+  /// Connections torn down for malformed framing (bad magic/version/cap).
+  uint64_t protocol_errors() const { return protocol_errors_.load(); }
+
+ private:
+  struct Connection;
+
+  void AcceptReady();
+  void ConnectionReady(const std::shared_ptr<Connection>& conn, uint32_t events);
+  void ReadReady(const std::shared_ptr<Connection>& conn);
+  void WriteReady(const std::shared_ptr<Connection>& conn);
+  void Dispatch(const std::shared_ptr<Connection>& conn, Frame frame);
+  void Complete(const std::shared_ptr<Connection>& conn, std::string response_bytes);
+  void UpdateInterest(const std::shared_ptr<Connection>& conn);
+  void CloseConnection(const std::shared_ptr<Connection>& conn);
+  void BeginDrain();
+  void MaybeFinishDrain();
+
+  ServerOptions options_;
+  Handler handler_;
+  EventLoop loop_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread loop_thread_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  bool started_ = false;
+
+  // Loop-thread-only state.
+  std::unordered_map<int, std::shared_ptr<Connection>> connections_;
+  std::size_t in_flight_total_ = 0;
+  bool draining_ = false;
+
+  std::atomic<uint64_t> frames_dispatched_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+};
+
+}  // namespace titant::net
+
+#endif  // TITANT_NET_SERVER_H_

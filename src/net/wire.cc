@@ -1,0 +1,328 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace titant::net {
+
+namespace {
+
+/// Reads a little-endian unsigned integer of `bytes` width at `p`.
+uint64_t LoadLe(const char* p, int bytes) {
+  uint64_t v = 0;
+  for (int i = 0; i < bytes; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WireWriter.
+
+void WireWriter::U16(uint16_t v) {
+  U8(static_cast<uint8_t>(v));
+  U8(static_cast<uint8_t>(v >> 8));
+}
+
+void WireWriter::U32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) U8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void WireWriter::U64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) U8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void WireWriter::F64(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void WireWriter::Str(std::string_view s) {
+  U32(static_cast<uint32_t>(s.size()));
+  out_.append(s);
+}
+
+// ---------------------------------------------------------------------------
+// WireReader.
+
+namespace {
+Status Truncated() { return Status::InvalidArgument("truncated wire payload"); }
+}  // namespace
+
+Status WireReader::U8(uint8_t* v) {
+  if (remaining() < 1) return Truncated();
+  *v = static_cast<uint8_t>(data_[pos_++]);
+  return Status::OK();
+}
+
+Status WireReader::U16(uint16_t* v) {
+  if (remaining() < 2) return Truncated();
+  *v = static_cast<uint16_t>(LoadLe(data_.data() + pos_, 2));
+  pos_ += 2;
+  return Status::OK();
+}
+
+Status WireReader::U32(uint32_t* v) {
+  if (remaining() < 4) return Truncated();
+  *v = static_cast<uint32_t>(LoadLe(data_.data() + pos_, 4));
+  pos_ += 4;
+  return Status::OK();
+}
+
+Status WireReader::U64(uint64_t* v) {
+  if (remaining() < 8) return Truncated();
+  *v = LoadLe(data_.data() + pos_, 8);
+  pos_ += 8;
+  return Status::OK();
+}
+
+Status WireReader::I32(int32_t* v) {
+  uint32_t raw = 0;
+  TITANT_RETURN_IF_ERROR(U32(&raw));
+  *v = static_cast<int32_t>(raw);
+  return Status::OK();
+}
+
+Status WireReader::I64(int64_t* v) {
+  uint64_t raw = 0;
+  TITANT_RETURN_IF_ERROR(U64(&raw));
+  *v = static_cast<int64_t>(raw);
+  return Status::OK();
+}
+
+Status WireReader::F64(double* v) {
+  uint64_t bits = 0;
+  TITANT_RETURN_IF_ERROR(U64(&bits));
+  std::memcpy(v, &bits, sizeof(bits));
+  return Status::OK();
+}
+
+Status WireReader::Str(std::string* v) {
+  uint32_t size = 0;
+  TITANT_RETURN_IF_ERROR(U32(&size));
+  if (remaining() < size) return Truncated();
+  v->assign(data_.data() + pos_, size);
+  pos_ += size;
+  return Status::OK();
+}
+
+std::string_view WireReader::Rest() {
+  std::string_view rest = data_.substr(pos_);
+  pos_ = data_.size();
+  return rest;
+}
+
+Status WireReader::ExpectDone() const {
+  if (pos_ != data_.size()) {
+    return Status::InvalidArgument("trailing bytes after wire payload");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Framing.
+
+namespace {
+
+std::string EncodeFrame(FrameType type, uint16_t method, uint64_t request_id,
+                        std::string_view payload) {
+  WireWriter w;
+  w.U32(kWireMagic);
+  w.U8(kWireVersion);
+  w.U8(static_cast<uint8_t>(type));
+  w.U16(method);
+  w.U64(request_id);
+  w.U32(static_cast<uint32_t>(payload.size()));
+  w.Bytes(payload);
+  return w.Take();
+}
+
+}  // namespace
+
+std::string EncodeRequestFrame(uint16_t method, uint64_t request_id, std::string_view payload) {
+  return EncodeFrame(FrameType::kRequest, method, request_id, payload);
+}
+
+std::string EncodeResponseFrame(uint16_t method, uint64_t request_id, const Status& status,
+                                std::string_view body) {
+  WireWriter w;
+  w.I32(static_cast<int32_t>(status.code()));
+  w.Str(status.message());
+  w.Bytes(status.ok() ? body : std::string_view());
+  return EncodeFrame(FrameType::kResponse, method, request_id, w.Take());
+}
+
+Status DecodeResponsePayload(const Frame& frame, std::string* body) {
+  if (frame.type != FrameType::kResponse) {
+    return Status::InvalidArgument("frame is not a response");
+  }
+  WireReader r(frame.payload);
+  int32_t code = 0;
+  std::string message;
+  TITANT_RETURN_IF_ERROR(r.I32(&code));
+  TITANT_RETURN_IF_ERROR(r.Str(&message));
+  if (code < static_cast<int32_t>(StatusCode::kOk) ||
+      code > static_cast<int32_t>(StatusCode::kUnimplemented)) {
+    return Status::InvalidArgument("response carries unknown status code " + std::to_string(code));
+  }
+  const Status transported(static_cast<StatusCode>(code), std::move(message));
+  if (!transported.ok()) return transported;
+  body->assign(r.Rest());
+  return Status::OK();
+}
+
+Status FrameDecoder::Feed(const char* data, std::size_t size, std::vector<Frame>* out) {
+  buffer_.append(data, size);
+  std::size_t consumed = 0;
+  while (buffer_.size() - consumed >= kHeaderBytes) {
+    const char* header = buffer_.data() + consumed;
+    const uint32_t magic = static_cast<uint32_t>(LoadLe(header, 4));
+    if (magic != kWireMagic) {
+      return Status::InvalidArgument("bad frame magic");
+    }
+    const uint8_t version = static_cast<uint8_t>(header[4]);
+    if (version != kWireVersion) {
+      return Status::InvalidArgument("unsupported wire version " + std::to_string(version));
+    }
+    const uint8_t type = static_cast<uint8_t>(header[5]);
+    if (type > static_cast<uint8_t>(FrameType::kResponse)) {
+      return Status::InvalidArgument("unknown frame type " + std::to_string(type));
+    }
+    const std::size_t payload_size = static_cast<std::size_t>(LoadLe(header + 16, 4));
+    if (payload_size > max_payload_bytes_) {
+      return Status::InvalidArgument("frame payload of " + std::to_string(payload_size) +
+                                     " bytes exceeds the " +
+                                     std::to_string(max_payload_bytes_) + "-byte cap");
+    }
+    if (buffer_.size() - consumed < kHeaderBytes + payload_size) break;  // Torn: wait.
+
+    Frame frame;
+    frame.type = static_cast<FrameType>(type);
+    frame.method = static_cast<uint16_t>(LoadLe(header + 6, 2));
+    frame.request_id = LoadLe(header + 8, 8);
+    frame.payload.assign(header + kHeaderBytes, payload_size);
+    frame.received_at_us = MonotonicMicros();
+    out->push_back(std::move(frame));
+    consumed += kHeaderBytes + payload_size;
+  }
+  buffer_.erase(0, consumed);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Method payloads.
+
+std::string EncodeTransferRequest(const serving::TransferRequest& request) {
+  WireWriter w;
+  w.U64(request.txn_id);
+  w.U32(request.from_user);
+  w.U32(request.to_user);
+  w.F64(request.amount);
+  w.I32(request.day);
+  w.U32(request.second_of_day);
+  w.U8(static_cast<uint8_t>(request.channel));
+  w.U16(request.trans_city);
+  w.U8(request.is_new_device ? 1 : 0);
+  return w.Take();
+}
+
+Status DecodeTransferRequest(std::string_view payload, serving::TransferRequest* request) {
+  WireReader r(payload);
+  uint8_t channel = 0, new_device = 0;
+  TITANT_RETURN_IF_ERROR(r.U64(&request->txn_id));
+  TITANT_RETURN_IF_ERROR(r.U32(&request->from_user));
+  TITANT_RETURN_IF_ERROR(r.U32(&request->to_user));
+  TITANT_RETURN_IF_ERROR(r.F64(&request->amount));
+  TITANT_RETURN_IF_ERROR(r.I32(&request->day));
+  TITANT_RETURN_IF_ERROR(r.U32(&request->second_of_day));
+  TITANT_RETURN_IF_ERROR(r.U8(&channel));
+  TITANT_RETURN_IF_ERROR(r.U16(&request->trans_city));
+  TITANT_RETURN_IF_ERROR(r.U8(&new_device));
+  if (channel > static_cast<uint8_t>(txn::Channel::kApi)) {
+    return Status::InvalidArgument("unknown channel " + std::to_string(channel));
+  }
+  request->channel = static_cast<txn::Channel>(channel);
+  request->is_new_device = new_device != 0;
+  return r.ExpectDone();
+}
+
+std::string EncodeVerdict(const serving::Verdict& verdict) {
+  WireWriter w;
+  w.F64(verdict.fraud_probability);
+  w.U8(verdict.interrupt ? 1 : 0);
+  w.I64(verdict.latency_us);
+  w.U64(verdict.model_version);
+  return w.Take();
+}
+
+Status DecodeVerdict(std::string_view payload, serving::Verdict* verdict) {
+  WireReader r(payload);
+  uint8_t interrupt = 0;
+  TITANT_RETURN_IF_ERROR(r.F64(&verdict->fraud_probability));
+  TITANT_RETURN_IF_ERROR(r.U8(&interrupt));
+  TITANT_RETURN_IF_ERROR(r.I64(&verdict->latency_us));
+  TITANT_RETURN_IF_ERROR(r.U64(&verdict->model_version));
+  verdict->interrupt = interrupt != 0;
+  return r.ExpectDone();
+}
+
+std::string EncodeLoadModel(uint64_t version, std::string_view blob) {
+  WireWriter w;
+  w.U64(version);
+  w.Bytes(blob);
+  return w.Take();
+}
+
+Status DecodeLoadModel(std::string_view payload, uint64_t* version, std::string* blob) {
+  WireReader r(payload);
+  TITANT_RETURN_IF_ERROR(r.U64(version));
+  blob->assign(r.Rest());
+  return Status::OK();
+}
+
+std::string EncodeHealthInfo(const HealthInfo& info) {
+  WireWriter w;
+  w.U32(info.num_instances);
+  w.U32(info.healthy_instances);
+  w.U64(info.model_version);
+  return w.Take();
+}
+
+Status DecodeHealthInfo(std::string_view payload, HealthInfo* info) {
+  WireReader r(payload);
+  TITANT_RETURN_IF_ERROR(r.U32(&info->num_instances));
+  TITANT_RETURN_IF_ERROR(r.U32(&info->healthy_instances));
+  TITANT_RETURN_IF_ERROR(r.U64(&info->model_version));
+  return r.ExpectDone();
+}
+
+std::string EncodeGatewayStats(const GatewayStats& stats) {
+  WireWriter w;
+  w.U64(stats.requests_served);
+  w.F64(stats.wire_p50_us);
+  w.F64(stats.wire_p95_us);
+  w.F64(stats.wire_p99_us);
+  w.F64(stats.wire_p999_us);
+  w.F64(stats.wire_max_us);
+  w.F64(stats.inproc_p50_us);
+  w.F64(stats.inproc_p99_us);
+  return w.Take();
+}
+
+Status DecodeGatewayStats(std::string_view payload, GatewayStats* stats) {
+  WireReader r(payload);
+  TITANT_RETURN_IF_ERROR(r.U64(&stats->requests_served));
+  TITANT_RETURN_IF_ERROR(r.F64(&stats->wire_p50_us));
+  TITANT_RETURN_IF_ERROR(r.F64(&stats->wire_p95_us));
+  TITANT_RETURN_IF_ERROR(r.F64(&stats->wire_p99_us));
+  TITANT_RETURN_IF_ERROR(r.F64(&stats->wire_p999_us));
+  TITANT_RETURN_IF_ERROR(r.F64(&stats->wire_max_us));
+  TITANT_RETURN_IF_ERROR(r.F64(&stats->inproc_p50_us));
+  TITANT_RETURN_IF_ERROR(r.F64(&stats->inproc_p99_us));
+  return r.ExpectDone();
+}
+
+}  // namespace titant::net

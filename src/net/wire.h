@@ -1,0 +1,200 @@
+#ifndef TITANT_NET_WIRE_H_
+#define TITANT_NET_WIRE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/statusor.h"
+#include "serving/request.h"
+
+namespace titant::net {
+
+/// The Model-Server wire protocol (§4.4: the Alipay server talks to the MS
+/// fleet over the network). Frames are length-prefixed binary with a fixed
+/// little-endian header:
+///
+///   offset 0   uint32  magic          (kWireMagic, 'TiT1')
+///   offset 4   uint8   version        (kWireVersion)
+///   offset 5   uint8   type           (FrameType)
+///   offset 6   uint16  method         (Method)
+///   offset 8   uint64  request_id     (echoed verbatim in the response)
+///   offset 16  uint32  payload_size   (bytes following the header)
+///
+/// Response payloads additionally carry the handler's Status ahead of the
+/// body: int32 code, uint32 message length, message bytes, body bytes.
+/// Oversized or malformed frames decode to InvalidArgument; torn frames
+/// (header or payload split across reads) simply wait for more bytes.
+
+inline constexpr uint32_t kWireMagic = 0x54695431;  // "TiT1"
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 20;
+
+/// Hard cap on a single frame's payload. Covers model blobs (a few MB)
+/// with room to spare; anything larger is a protocol error, not traffic.
+inline constexpr std::size_t kMaxPayloadBytes = 64u << 20;
+
+/// Direction of a frame.
+enum class FrameType : uint8_t { kRequest = 0, kResponse = 1 };
+
+/// RPC methods the gateway serves.
+enum Method : uint16_t {
+  kScore = 1,      // TransferRequest -> Verdict.
+  kLoadModel = 2,  // (version, model blob) -> empty.
+  kHealth = 3,     // empty -> HealthInfo.
+  kStats = 4,      // empty -> GatewayStats.
+};
+
+/// A decoded frame (header fields + owned payload bytes).
+struct Frame {
+  FrameType type = FrameType::kRequest;
+  uint16_t method = 0;
+  uint64_t request_id = 0;
+  std::string payload;
+  /// Monotonic receive stamp (MonotonicMicros), set by the transport when
+  /// the frame is decoded; used for on-the-wire latency accounting.
+  int64_t received_at_us = 0;
+};
+
+/// Steady-clock timestamp in microseconds (for wire-latency stamps).
+inline int64_t MonotonicMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// ---------------------------------------------------------------------------
+// Field codec: explicit little-endian writes/reads, independent of host
+// byte order.
+
+/// Appends little-endian primitive fields to a byte string.
+class WireWriter {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U16(uint16_t v);
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v);
+  /// uint32 length prefix + raw bytes.
+  void Str(std::string_view s);
+  /// Raw bytes, no length prefix (trailing blob).
+  void Bytes(std::string_view s) { out_.append(s); }
+
+  std::string Take() { return std::move(out_); }
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked little-endian reads over a payload view. Every read
+/// returns InvalidArgument on underflow (a truncated payload).
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  Status U8(uint8_t* v);
+  Status U16(uint16_t* v);
+  Status U32(uint32_t* v);
+  Status U64(uint64_t* v);
+  Status I32(int32_t* v);
+  Status I64(int64_t* v);
+  Status F64(double* v);
+  /// Reads a uint32-length-prefixed string.
+  Status Str(std::string* v);
+  /// Consumes and returns all remaining bytes.
+  std::string_view Rest();
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  /// InvalidArgument unless every byte was consumed (catches trailing junk).
+  Status ExpectDone() const;
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Framing.
+
+/// Encodes a request frame carrying `payload`.
+std::string EncodeRequestFrame(uint16_t method, uint64_t request_id, std::string_view payload);
+
+/// Encodes a response frame: `status` travels in-band ahead of `body`
+/// (which is empty for error responses).
+std::string EncodeResponseFrame(uint16_t method, uint64_t request_id, const Status& status,
+                                std::string_view body);
+
+/// Splits a response frame's payload back into the handler Status and the
+/// body. Returns the transported status; `*body` is filled only when it
+/// is OK. Malformed payloads return InvalidArgument.
+Status DecodeResponsePayload(const Frame& frame, std::string* body);
+
+/// Incremental frame decoder: feed raw socket bytes in any fragmentation,
+/// complete frames are appended to `out`. A non-OK return (bad magic,
+/// unsupported version, payload over the cap) is unrecoverable — the
+/// connection must be closed.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_payload_bytes = kMaxPayloadBytes)
+      : max_payload_bytes_(max_payload_bytes) {}
+
+  Status Feed(const char* data, std::size_t size, std::vector<Frame>* out);
+
+  /// Bytes buffered but not yet forming a complete frame.
+  std::size_t pending_bytes() const { return buffer_.size(); }
+
+  /// Drops any partially buffered frame (connection reset).
+  void Reset() { buffer_.clear(); }
+
+ private:
+  std::size_t max_payload_bytes_;
+  std::string buffer_;
+};
+
+// ---------------------------------------------------------------------------
+// Method payload serializers.
+
+/// kScore request payload.
+std::string EncodeTransferRequest(const serving::TransferRequest& request);
+Status DecodeTransferRequest(std::string_view payload, serving::TransferRequest* request);
+
+/// kScore response body.
+std::string EncodeVerdict(const serving::Verdict& verdict);
+Status DecodeVerdict(std::string_view payload, serving::Verdict* verdict);
+
+/// kLoadModel request payload: version + the serialized model blob.
+std::string EncodeLoadModel(uint64_t version, std::string_view blob);
+Status DecodeLoadModel(std::string_view payload, uint64_t* version, std::string* blob);
+
+/// kHealth response body.
+struct HealthInfo {
+  uint32_t num_instances = 0;
+  uint32_t healthy_instances = 0;
+  uint64_t model_version = 0;
+};
+std::string EncodeHealthInfo(const HealthInfo& info);
+Status DecodeHealthInfo(std::string_view payload, HealthInfo* info);
+
+/// kStats response body: the gateway's wire-latency histogram next to the
+/// router's in-process one (both microseconds).
+struct GatewayStats {
+  uint64_t requests_served = 0;
+  double wire_p50_us = 0.0;
+  double wire_p95_us = 0.0;
+  double wire_p99_us = 0.0;
+  double wire_p999_us = 0.0;
+  double wire_max_us = 0.0;
+  double inproc_p50_us = 0.0;
+  double inproc_p99_us = 0.0;
+};
+std::string EncodeGatewayStats(const GatewayStats& stats);
+Status DecodeGatewayStats(std::string_view payload, GatewayStats* stats);
+
+}  // namespace titant::net
+
+#endif  // TITANT_NET_WIRE_H_

@@ -1,0 +1,146 @@
+#include "serving/gateway.h"
+
+namespace titant::serving {
+
+Gateway::Gateway(ModelServerRouter* router, GatewayOptions options)
+    : router_(router), options_(std::move(options)) {}
+
+Gateway::~Gateway() {
+  const Status status = Shutdown();
+  (void)status;  // Destructor shutdown is best-effort; Shutdown() logs.
+}
+
+Status Gateway::Start() {
+  if (server_ != nullptr) return Status::FailedPrecondition("gateway already started");
+  net::ServerOptions server_options;
+  server_options.host = options_.host;
+  server_options.port = options_.port;
+  server_options.worker_threads = options_.worker_threads;
+  auto server = std::make_unique<net::Server>(
+      std::move(server_options), [this](const net::Frame& frame) { return Handle(frame); });
+  TITANT_RETURN_IF_ERROR(server->Start());
+  server_ = std::move(server);
+  return Status::OK();
+}
+
+Status Gateway::Shutdown() {
+  if (server_ == nullptr) return Status::OK();
+  const Status status = server_->Shutdown();
+  served_before_shutdown_ = server_->frames_dispatched();
+  server_.reset();
+  return status;
+}
+
+uint16_t Gateway::port() const { return server_ == nullptr ? 0 : server_->port(); }
+
+uint64_t Gateway::requests_served() const {
+  return server_ == nullptr ? served_before_shutdown_ : server_->frames_dispatched();
+}
+
+Histogram Gateway::WireLatencySnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wire_latency_us_;
+}
+
+net::GatewayStats Gateway::StatsSnapshot() const {
+  net::GatewayStats stats;
+  stats.requests_served = requests_served();
+  const Histogram wire = WireLatencySnapshot();
+  stats.wire_p50_us = wire.P50();
+  stats.wire_p95_us = wire.P95();
+  stats.wire_p99_us = wire.P99();
+  stats.wire_p999_us = wire.P999();
+  stats.wire_max_us = wire.max();
+  const Histogram inproc = router_->AggregateLatency();
+  stats.inproc_p50_us = inproc.P50();
+  stats.inproc_p99_us = inproc.P99();
+  return stats;
+}
+
+StatusOr<std::string> Gateway::Handle(const net::Frame& frame) {
+  StatusOr<std::string> body = Status::Unimplemented("unknown method");
+  switch (frame.method) {
+    case net::kScore: {
+      TransferRequest request;
+      const Status decoded = net::DecodeTransferRequest(frame.payload, &request);
+      if (!decoded.ok()) {
+        body = decoded;
+        break;
+      }
+      StatusOr<Verdict> verdict = router_->Score(request);
+      body = verdict.ok() ? StatusOr<std::string>(net::EncodeVerdict(*verdict))
+                          : StatusOr<std::string>(verdict.status());
+      break;
+    }
+    case net::kLoadModel: {
+      uint64_t version = 0;
+      std::string blob;
+      const Status decoded = net::DecodeLoadModel(frame.payload, &version, &blob);
+      if (!decoded.ok()) {
+        body = decoded;
+        break;
+      }
+      const Status loaded = router_->LoadModel(blob, version);
+      body = loaded.ok() ? StatusOr<std::string>(std::string()) : StatusOr<std::string>(loaded);
+      break;
+    }
+    case net::kHealth: {
+      net::HealthInfo info;
+      info.num_instances = static_cast<uint32_t>(router_->num_instances());
+      for (int i = 0; i < router_->num_instances(); ++i) {
+        info.healthy_instances += router_->instance_healthy(i) ? 1 : 0;
+      }
+      info.model_version = router_->model_version();
+      body = net::EncodeHealthInfo(info);
+      break;
+    }
+    case net::kStats: {
+      body = net::EncodeGatewayStats(StatsSnapshot());
+      break;
+    }
+    default:
+      body = Status::Unimplemented("unknown wire method " + std::to_string(frame.method));
+      break;
+  }
+  const double wire_us = static_cast<double>(net::MonotonicMicros() - frame.received_at_us);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    wire_latency_us_.Add(wire_us);
+  }
+  return body;
+}
+
+// ---------------------------------------------------------------------------
+// GatewayClient.
+
+GatewayClient::GatewayClient(std::string host, uint16_t port, net::ClientOptions options)
+    : client_(std::move(host), port, options) {}
+
+StatusOr<Verdict> GatewayClient::Score(const TransferRequest& request, int timeout_ms) {
+  TITANT_ASSIGN_OR_RETURN(
+      std::string body,
+      client_.Call(net::kScore, net::EncodeTransferRequest(request), timeout_ms));
+  Verdict verdict;
+  TITANT_RETURN_IF_ERROR(net::DecodeVerdict(body, &verdict));
+  return verdict;
+}
+
+Status GatewayClient::LoadModel(const std::string& blob, uint64_t version, int timeout_ms) {
+  return client_.Call(net::kLoadModel, net::EncodeLoadModel(version, blob), timeout_ms).status();
+}
+
+StatusOr<net::HealthInfo> GatewayClient::Health(int timeout_ms) {
+  TITANT_ASSIGN_OR_RETURN(std::string body, client_.Call(net::kHealth, "", timeout_ms));
+  net::HealthInfo info;
+  TITANT_RETURN_IF_ERROR(net::DecodeHealthInfo(body, &info));
+  return info;
+}
+
+StatusOr<net::GatewayStats> GatewayClient::Stats(int timeout_ms) {
+  TITANT_ASSIGN_OR_RETURN(std::string body, client_.Call(net::kStats, "", timeout_ms));
+  net::GatewayStats stats;
+  TITANT_RETURN_IF_ERROR(net::DecodeGatewayStats(body, &stats));
+  return stats;
+}
+
+}  // namespace titant::serving

@@ -1,0 +1,104 @@
+#ifndef TITANT_SERVING_GATEWAY_H_
+#define TITANT_SERVING_GATEWAY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/histogram.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "serving/router.h"
+
+namespace titant::serving {
+
+/// Gateway configuration.
+struct GatewayOptions {
+  /// Bind address for the TCP listener.
+  std::string host = "127.0.0.1";
+  /// Port; 0 picks an ephemeral port (read back via port()).
+  uint16_t port = 0;
+  /// Handler threads scoring requests off the I/O loop.
+  std::size_t worker_threads = 4;
+};
+
+/// The TCP front door of the Model Server fleet (§4.4, Fig. 5: the Alipay
+/// server reaches the distributed MS over the network). Maps wire methods
+/// onto a ModelServerRouter — kScore -> Score, kLoadModel -> broadcast
+/// rollout, kHealth/kStats -> fleet introspection — and tracks a gateway
+/// histogram of on-the-wire latency (frame decoded -> response encoded,
+/// including handler-queue wait) alongside the router's in-process one, so
+/// the network tax is measured, not guessed.
+class Gateway {
+ public:
+  /// `router` must outlive the gateway.
+  Gateway(ModelServerRouter* router, GatewayOptions options = GatewayOptions());
+  ~Gateway();
+
+  Gateway(const Gateway&) = delete;
+  Gateway& operator=(const Gateway&) = delete;
+
+  /// Binds and starts serving. FailedPrecondition when already started.
+  Status Start();
+
+  /// Graceful shutdown: stop accepting, drain in-flight requests, flush
+  /// replies, close. Idempotent.
+  Status Shutdown();
+
+  /// The bound port.
+  uint16_t port() const;
+
+  /// Requests dispatched to a handler since Start().
+  uint64_t requests_served() const;
+
+  /// On-the-wire latency distribution (microseconds): frame decode to
+  /// response encode, including thread-pool queueing.
+  Histogram WireLatencySnapshot() const;
+
+  /// The current stats payload (same data kStats serves remotely).
+  net::GatewayStats StatsSnapshot() const;
+
+ private:
+  StatusOr<std::string> Handle(const net::Frame& frame);
+
+  ModelServerRouter* router_;
+  GatewayOptions options_;
+  std::unique_ptr<net::Server> server_;
+  uint64_t served_before_shutdown_ = 0;  // Final tally once server_ is gone.
+  mutable std::mutex mu_;
+  Histogram wire_latency_us_;
+};
+
+/// Typed client for the gateway protocol: the piece the Alipay server (or
+/// titant_cli) links to score transfers remotely. Thin wrapper over
+/// net::Client, so it inherits connection reuse, per-call deadlines, and
+/// Status-typed transport errors. Not thread-safe; one per thread.
+class GatewayClient {
+ public:
+  GatewayClient(std::string host, uint16_t port, net::ClientOptions options = net::ClientOptions());
+
+  /// Scores one transfer remotely.
+  StatusOr<Verdict> Score(const TransferRequest& request, int timeout_ms = 0);
+
+  /// Rolls a serialized model out to every instance behind the gateway.
+  Status LoadModel(const std::string& blob, uint64_t version, int timeout_ms = 0);
+
+  /// Fleet health: instance counts and the installed model version.
+  StatusOr<net::HealthInfo> Health(int timeout_ms = 0);
+
+  /// Gateway latency statistics (wire vs in-process).
+  StatusOr<net::GatewayStats> Stats(int timeout_ms = 0);
+
+  /// The underlying transport (deadline knobs, explicit Connect/Close).
+  net::Client& transport() { return client_; }
+
+ private:
+  net::Client client_;
+};
+
+}  // namespace titant::serving
+
+#endif  // TITANT_SERVING_GATEWAY_H_

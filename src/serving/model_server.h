@@ -10,30 +10,10 @@
 #include "kvstore/store.h"
 #include "ml/model.h"
 #include "serving/feature_store.h"
+#include "serving/request.h"
 #include "txn/types.h"
 
 namespace titant::serving {
-
-/// The live transfer request the Alipay server forwards to the MS (Fig. 5).
-struct TransferRequest {
-  txn::TxnId txn_id = 0;
-  txn::UserId from_user = txn::kInvalidUser;
-  txn::UserId to_user = txn::kInvalidUser;
-  double amount = 0.0;
-  txn::Day day = 0;
-  uint32_t second_of_day = 0;
-  txn::Channel channel = txn::Channel::kApp;
-  uint16_t trans_city = 0;
-  bool is_new_device = false;
-};
-
-/// The MS verdict returned to the Alipay server.
-struct Verdict {
-  double fraud_probability = 0.0;
-  bool interrupt = false;   // True -> the on-going transaction is stopped.
-  int64_t latency_us = 0;   // End-to-end MS latency (fetch + featurize + score).
-  uint64_t model_version = 0;
-};
 
 /// Model Server configuration.
 struct ModelServerOptions {

@@ -58,6 +58,14 @@ Status ModelServerRouter::SetInstanceHealthy(int instance, bool healthy) {
   return Status::OK();
 }
 
+uint64_t ModelServerRouter::model_version() const {
+  uint64_t version = 0;
+  for (const auto& instance : instances_) {
+    version = std::max(version, instance->model_version());
+  }
+  return version;
+}
+
 Histogram ModelServerRouter::AggregateLatency() const {
   Histogram merged;
   for (const auto& instance : instances_) {

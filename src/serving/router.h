@@ -47,6 +47,10 @@ class ModelServerRouter {
   /// Latency distribution merged across instances.
   Histogram AggregateLatency() const;
 
+  /// Highest model version installed on any instance (rollouts are
+  /// broadcast, so instances normally agree; 0 before the first load).
+  uint64_t model_version() const;
+
  private:
   std::vector<std::unique_ptr<ModelServer>> instances_;
   std::vector<std::atomic<bool>> healthy_;

@@ -1,0 +1,542 @@
+// Tests for the src/net serving transport: wire framing (round trips, torn
+// and oversized frames), the epoll event loop, server/client request flow
+// (echo, status transport, deadlines, graceful-shutdown drain), and a live
+// serving::Gateway under concurrent clients.
+
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "ml/decision_tree.h"
+#include "ml/model.h"
+#include "net/client.h"
+#include "net/event_loop.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "serving/feature_store.h"
+#include "serving/gateway.h"
+
+namespace titant::net {
+namespace {
+
+serving::TransferRequest SampleRequest() {
+  serving::TransferRequest request;
+  request.txn_id = 0x1122334455667788ull;
+  request.from_user = 7;
+  request.to_user = 4'000'000'000u;
+  request.amount = 1234.56;
+  request.day = -3;
+  request.second_of_day = 86399;
+  request.channel = txn::Channel::kQrCode;
+  request.trans_city = 513;
+  request.is_new_device = true;
+  return request;
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec.
+
+TEST(WireTest, TransferRequestRoundTrip) {
+  const serving::TransferRequest request = SampleRequest();
+  serving::TransferRequest decoded;
+  ASSERT_TRUE(DecodeTransferRequest(EncodeTransferRequest(request), &decoded).ok());
+  EXPECT_EQ(decoded.txn_id, request.txn_id);
+  EXPECT_EQ(decoded.from_user, request.from_user);
+  EXPECT_EQ(decoded.to_user, request.to_user);
+  EXPECT_EQ(decoded.amount, request.amount);
+  EXPECT_EQ(decoded.day, request.day);
+  EXPECT_EQ(decoded.second_of_day, request.second_of_day);
+  EXPECT_EQ(decoded.channel, request.channel);
+  EXPECT_EQ(decoded.trans_city, request.trans_city);
+  EXPECT_EQ(decoded.is_new_device, request.is_new_device);
+}
+
+TEST(WireTest, VerdictRoundTrip) {
+  serving::Verdict verdict;
+  verdict.fraud_probability = 0.93;
+  verdict.interrupt = true;
+  verdict.latency_us = -1;  // Sign survives.
+  verdict.model_version = 20170410;
+  serving::Verdict decoded;
+  ASSERT_TRUE(DecodeVerdict(EncodeVerdict(verdict), &decoded).ok());
+  EXPECT_EQ(decoded.fraud_probability, verdict.fraud_probability);
+  EXPECT_EQ(decoded.interrupt, verdict.interrupt);
+  EXPECT_EQ(decoded.latency_us, verdict.latency_us);
+  EXPECT_EQ(decoded.model_version, verdict.model_version);
+}
+
+TEST(WireTest, LoadModelRoundTrip) {
+  const std::string blob(10000, '\x7f');
+  uint64_t version = 0;
+  std::string decoded_blob;
+  ASSERT_TRUE(DecodeLoadModel(EncodeLoadModel(42, blob), &version, &decoded_blob).ok());
+  EXPECT_EQ(version, 42u);
+  EXPECT_EQ(decoded_blob, blob);
+}
+
+TEST(WireTest, HealthAndStatsRoundTrip) {
+  HealthInfo info;
+  info.num_instances = 4;
+  info.healthy_instances = 3;
+  info.model_version = 99;
+  HealthInfo decoded_info;
+  ASSERT_TRUE(DecodeHealthInfo(EncodeHealthInfo(info), &decoded_info).ok());
+  EXPECT_EQ(decoded_info.num_instances, 4u);
+  EXPECT_EQ(decoded_info.healthy_instances, 3u);
+  EXPECT_EQ(decoded_info.model_version, 99u);
+
+  GatewayStats stats;
+  stats.requests_served = 1000;
+  stats.wire_p50_us = 120.5;
+  stats.wire_p999_us = 4800.0;
+  stats.inproc_p99_us = 90.0;
+  GatewayStats decoded_stats;
+  ASSERT_TRUE(DecodeGatewayStats(EncodeGatewayStats(stats), &decoded_stats).ok());
+  EXPECT_EQ(decoded_stats.requests_served, 1000u);
+  EXPECT_EQ(decoded_stats.wire_p50_us, 120.5);
+  EXPECT_EQ(decoded_stats.wire_p999_us, 4800.0);
+  EXPECT_EQ(decoded_stats.inproc_p99_us, 90.0);
+}
+
+TEST(WireTest, EveryMethodPayloadRejectsTruncation) {
+  serving::TransferRequest request;
+  serving::Verdict verdict;
+  HealthInfo info;
+  GatewayStats stats;
+  const std::string score = EncodeTransferRequest(SampleRequest());
+  EXPECT_TRUE(DecodeTransferRequest(score.substr(0, score.size() - 1), &request)
+                  .IsInvalidArgument());
+  const std::string v = EncodeVerdict(verdict);
+  EXPECT_TRUE(DecodeVerdict(v.substr(0, v.size() - 1), &verdict).IsInvalidArgument());
+  EXPECT_TRUE(DecodeHealthInfo("xy", &info).IsInvalidArgument());
+  EXPECT_TRUE(DecodeGatewayStats("xy", &stats).IsInvalidArgument());
+  // Trailing junk is rejected too (a frame must be exactly one message).
+  EXPECT_TRUE(DecodeVerdict(v + "junk", &verdict).IsInvalidArgument());
+}
+
+TEST(WireTest, RequestFrameRoundTrip) {
+  const std::string bytes = EncodeRequestFrame(kScore, 77, "payload-bytes");
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  ASSERT_TRUE(decoder.Feed(bytes.data(), bytes.size(), &frames).ok());
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].type, FrameType::kRequest);
+  EXPECT_EQ(frames[0].method, kScore);
+  EXPECT_EQ(frames[0].request_id, 77u);
+  EXPECT_EQ(frames[0].payload, "payload-bytes");
+  EXPECT_GT(frames[0].received_at_us, 0);
+  EXPECT_EQ(decoder.pending_bytes(), 0u);
+}
+
+TEST(WireTest, ResponseFrameCarriesStatus) {
+  const std::string ok_bytes = EncodeResponseFrame(kScore, 5, Status::OK(), "verdict");
+  const std::string err_bytes =
+      EncodeResponseFrame(kScore, 6, Status::NotFound("no snapshot"), "ignored");
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  ASSERT_TRUE(decoder.Feed(ok_bytes.data(), ok_bytes.size(), &frames).ok());
+  ASSERT_TRUE(decoder.Feed(err_bytes.data(), err_bytes.size(), &frames).ok());
+  ASSERT_EQ(frames.size(), 2u);
+
+  std::string body;
+  ASSERT_TRUE(DecodeResponsePayload(frames[0], &body).ok());
+  EXPECT_EQ(body, "verdict");
+
+  const Status transported = DecodeResponsePayload(frames[1], &body);
+  EXPECT_TRUE(transported.IsNotFound());
+  EXPECT_EQ(transported.message(), "no snapshot");
+}
+
+TEST(WireTest, TornFramesDeliveredByteAtATime) {
+  // Two frames, delivered one byte at a time: nothing surfaces until each
+  // final byte, then the frames come out intact and in order.
+  const std::string bytes = EncodeRequestFrame(kScore, 1, "first-payload") +
+                            EncodeRequestFrame(kHealth, 2, "");
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    ASSERT_TRUE(decoder.Feed(bytes.data() + i, 1, &frames).ok());
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].request_id, 1u);
+  EXPECT_EQ(frames[0].payload, "first-payload");
+  EXPECT_EQ(frames[1].method, kHealth);
+  EXPECT_EQ(frames[1].payload, "");
+  EXPECT_EQ(decoder.pending_bytes(), 0u);
+}
+
+TEST(WireTest, ManyFramesInOneFeed) {
+  std::string bytes;
+  for (uint64_t id = 0; id < 50; ++id) {
+    bytes += EncodeRequestFrame(kScore, id, std::string(id, 'x'));
+  }
+  bytes += EncodeRequestFrame(kScore, 999, "tail");
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  // Feed all but the last byte, then the final byte.
+  ASSERT_TRUE(decoder.Feed(bytes.data(), bytes.size() - 1, &frames).ok());
+  EXPECT_EQ(frames.size(), 50u);
+  ASSERT_TRUE(decoder.Feed(bytes.data() + bytes.size() - 1, 1, &frames).ok());
+  ASSERT_EQ(frames.size(), 51u);
+  EXPECT_EQ(frames[50].payload, "tail");
+}
+
+TEST(WireTest, OversizedFrameIsInvalidArgument) {
+  FrameDecoder decoder(/*max_payload_bytes=*/100);
+  const std::string bytes = EncodeRequestFrame(kScore, 1, std::string(101, 'x'));
+  std::vector<Frame> frames;
+  const Status status = decoder.Feed(bytes.data(), bytes.size(), &frames);
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+  EXPECT_TRUE(frames.empty());
+}
+
+TEST(WireTest, BadMagicAndVersionAreInvalidArgument) {
+  std::vector<Frame> frames;
+  {
+    FrameDecoder decoder;
+    const std::string garbage(kHeaderBytes, 'Z');
+    EXPECT_TRUE(decoder.Feed(garbage.data(), garbage.size(), &frames).IsInvalidArgument());
+  }
+  {
+    FrameDecoder decoder;
+    std::string bytes = EncodeRequestFrame(kScore, 1, "x");
+    bytes[4] = 9;  // Unsupported version.
+    EXPECT_TRUE(decoder.Feed(bytes.data(), bytes.size(), &frames).IsInvalidArgument());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Event loop.
+
+TEST(EventLoopTest, PostedTasksRunOnTheLoopThread) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.Init().ok());
+  std::thread runner([&loop] { loop.Run(); });
+  while (!loop.running()) std::this_thread::yield();
+
+  std::atomic<int> ran{0};
+  std::thread::id task_thread;
+  loop.Post([&] {
+    task_thread = std::this_thread::get_id();
+    ran.fetch_add(1);
+  });
+  for (int i = 0; i < 1000 && ran.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_EQ(task_thread, runner.get_id());
+
+  loop.Stop();
+  runner.join();
+}
+
+// ---------------------------------------------------------------------------
+// Server + client.
+
+// Methods understood by the echo test server.
+constexpr uint16_t kEcho = 10;
+constexpr uint16_t kFail = 11;
+constexpr uint16_t kSlow = 12;
+
+struct EchoServer {
+  explicit EchoServer(std::atomic<int>* slow_started = nullptr) {
+    ServerOptions options;
+    options.worker_threads = 4;
+    server = std::make_unique<Server>(options, [slow_started](const Frame& frame)
+                                                   -> StatusOr<std::string> {
+      switch (frame.method) {
+        case kEcho:
+          return std::string(frame.payload);
+        case kFail:
+          return Status::NotFound("nothing here");
+        case kSlow:
+          if (slow_started != nullptr) slow_started->fetch_add(1);
+          std::this_thread::sleep_for(std::chrono::milliseconds(200));
+          return std::string(frame.payload);
+        default:
+          return Status::Unimplemented("unknown method");
+      }
+    });
+  }
+  std::unique_ptr<Server> server;
+};
+
+TEST(ServerTest, EchoWithConnectionReuseAndLargePayloads) {
+  EchoServer fixture;
+  ASSERT_TRUE(fixture.server->Start().ok());
+  Client client("127.0.0.1", fixture.server->port());
+
+  for (int i = 0; i < 100; ++i) {
+    const std::string payload(static_cast<std::size_t>(i) * 1000, static_cast<char>('a' + i % 26));
+    const auto body = client.Call(kEcho, payload);
+    ASSERT_TRUE(body.ok()) << body.status().ToString();
+    EXPECT_EQ(*body, payload);
+  }
+  EXPECT_EQ(fixture.server->frames_dispatched(), 100u);
+  EXPECT_TRUE(client.connected());  // One connection served all 100 calls.
+  ASSERT_TRUE(fixture.server->Shutdown().ok());
+}
+
+TEST(ServerTest, HandlerErrorsTravelAsStatusNotExceptions) {
+  EchoServer fixture;
+  ASSERT_TRUE(fixture.server->Start().ok());
+  Client client("127.0.0.1", fixture.server->port());
+
+  const auto body = client.Call(kFail, "");
+  EXPECT_TRUE(body.status().IsNotFound());
+  EXPECT_EQ(body.status().message(), "nothing here");
+  // The connection survives an application-level error.
+  EXPECT_TRUE(client.Call(kEcho, "still-alive").ok());
+  const auto unknown = client.Call(77, "");
+  EXPECT_EQ(unknown.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(ServerTest, ClientDeadlineExpiryIsTimeoutAndRecoverable) {
+  EchoServer fixture;
+  ASSERT_TRUE(fixture.server->Start().ok());
+  Client client("127.0.0.1", fixture.server->port());
+
+  const auto slow = client.Call(kSlow, "late", /*timeout_ms=*/50);
+  EXPECT_EQ(slow.status().code(), StatusCode::kTimeout) << slow.status().ToString();
+  EXPECT_FALSE(client.connected());  // Timed-out stream is abandoned.
+
+  // The next call reconnects and succeeds.
+  const auto ok = client.Call(kEcho, "hello-again");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(*ok, "hello-again");
+}
+
+TEST(ServerTest, ConnectToClosedPortIsUnavailable) {
+  uint16_t dead_port = 0;
+  {
+    EchoServer fixture;
+    ASSERT_TRUE(fixture.server->Start().ok());
+    dead_port = fixture.server->port();
+    ASSERT_TRUE(fixture.server->Shutdown().ok());
+  }
+  Client client("127.0.0.1", dead_port);
+  const Status status = client.Connect();
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable) << status.ToString();
+}
+
+TEST(ServerTest, ProtocolGarbageClosesTheConnection) {
+  EchoServer fixture;
+  ASSERT_TRUE(fixture.server->Start().ok());
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(fixture.server->port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string garbage(64, 'Z');
+  ASSERT_EQ(::send(fd, garbage.data(), garbage.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(garbage.size()));
+  char buffer[16];
+  EXPECT_EQ(::read(fd, buffer, sizeof(buffer)), 0);  // Server closed on us.
+  ::close(fd);
+  EXPECT_EQ(fixture.server->protocol_errors(), 1u);
+}
+
+TEST(ServerTest, GracefulShutdownDrainsInFlightRequests) {
+  std::atomic<int> slow_started{0};
+  EchoServer fixture(&slow_started);
+  ASSERT_TRUE(fixture.server->Start().ok());
+  const uint16_t port = fixture.server->port();
+
+  // Four clients park a slow request each, so shutdown arrives with four
+  // requests genuinely in flight.
+  constexpr int kClients = 4;
+  std::atomic<int> replies_ok{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      Client client("127.0.0.1", port);
+      const auto body =
+          client.Call(kSlow, "drain-" + std::to_string(t), /*timeout_ms=*/5000);
+      if (body.ok() && *body == "drain-" + std::to_string(t)) replies_ok.fetch_add(1);
+    });
+  }
+  while (slow_started.load() < kClients) std::this_thread::yield();
+
+  // Shutdown must block until every dispatched request got its reply.
+  ASSERT_TRUE(fixture.server->Shutdown().ok());
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(replies_ok.load(), kClients) << "graceful shutdown lost in-flight replies";
+
+  // After drain the port no longer accepts.
+  Client late("127.0.0.1", port);
+  EXPECT_EQ(late.Connect().code(), StatusCode::kUnavailable);
+}
+
+// ---------------------------------------------------------------------------
+// Gateway end to end.
+
+// A live gateway over a 2-instance router: empty in-memory feature store
+// populated with one scorable user pair, a width-84 tree model loaded over
+// the wire.
+class GatewayTest : public ::testing::Test {
+ protected:
+  static constexpr int kWidth = 84;  // 52 basic + 32 embedding.
+
+  void SetUp() override {
+    auto store_options = serving::FeatureTableOptions();
+    store_options.durable = false;
+    auto store = kvstore::AliHBase::Open(std::move(store_options));
+    ASSERT_TRUE(store.ok());
+    store_ = std::move(*store);
+
+    // One scorable (from=1, to=2) pair: snapshot + aux for the transferor,
+    // an embedding for the transferee.
+    std::vector<float> snapshot(52, 0.5f);
+    std::vector<float> aux = {14.0f, 80.0f};
+    std::vector<float> embedding(32, 0.25f);
+    ASSERT_TRUE(store_->Put(serving::UserRowKey(1), serving::kFamilyBasic,
+                            serving::kQualSnapshot,
+                            serving::EncodeFloats(snapshot.data(), snapshot.size()), 1)
+                    .ok());
+    ASSERT_TRUE(store_->Put(serving::UserRowKey(1), serving::kFamilyBasic, serving::kQualAux,
+                            serving::EncodeFloats(aux.data(), aux.size()), 1)
+                    .ok());
+    ASSERT_TRUE(store_->Put(serving::UserRowKey(2), serving::kFamilyEmbedding,
+                            serving::kQualVector,
+                            serving::EncodeFloats(embedding.data(), embedding.size()), 1)
+                    .ok());
+
+    router_ = std::make_unique<serving::ModelServerRouter>(
+        store_.get(), serving::ModelServerOptions(), /*num_instances=*/2);
+    gateway_ = std::make_unique<serving::Gateway>(router_.get());
+    ASSERT_TRUE(gateway_->Start().ok());
+  }
+
+  void TearDown() override { EXPECT_TRUE(gateway_->Shutdown().ok()); }
+
+  static std::string TinyModelBlob() {
+    ml::DataMatrix train(20, kWidth);
+    train.mutable_labels().assign(20, 0);
+    for (std::size_t row = 0; row < 10; ++row) {
+      train.mutable_labels()[row] = 1;
+      train.Set(row, 8, 1000.0f);  // Give the tree a split to find.
+    }
+    auto model = ml::MakeId3();
+    EXPECT_TRUE(model->Train(train).ok());
+    return ml::SerializeModel(*model);
+  }
+
+  static serving::TransferRequest ScorableRequest() {
+    serving::TransferRequest request;
+    request.from_user = 1;
+    request.to_user = 2;
+    request.amount = 250.0;
+    request.day = 100;
+    request.second_of_day = 43'200;
+    return request;
+  }
+
+  std::unique_ptr<kvstore::AliHBase> store_;
+  std::unique_ptr<serving::ModelServerRouter> router_;
+  std::unique_ptr<serving::Gateway> gateway_;
+};
+
+TEST_F(GatewayTest, RemoteLoadModelHealthScoreAndStats) {
+  serving::GatewayClient client("127.0.0.1", gateway_->port());
+
+  // Health before any model: both instances up, version 0.
+  auto health = client.Health();
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(health->num_instances, 2u);
+  EXPECT_EQ(health->healthy_instances, 2u);
+  EXPECT_EQ(health->model_version, 0u);
+
+  // Scoring without a model is FailedPrecondition — transported verbatim.
+  EXPECT_EQ(client.Score(ScorableRequest()).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // Remote rollout, then score.
+  ASSERT_TRUE(client.LoadModel(TinyModelBlob(), 20170410).ok());
+  EXPECT_EQ(client.Health()->model_version, 20170410u);
+
+  auto verdict = client.Score(ScorableRequest());
+  ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+  EXPECT_GE(verdict->fraud_probability, 0.0);
+  EXPECT_LE(verdict->fraud_probability, 1.0);
+  EXPECT_EQ(verdict->model_version, 20170410u);
+
+  // Request-level errors keep their code across the wire.
+  serving::TransferRequest unknown = ScorableRequest();
+  unknown.from_user = 777;
+  EXPECT_TRUE(client.Score(unknown).status().IsNotFound());
+
+  // A corrupt model blob is rejected remotely without killing the gateway.
+  EXPECT_FALSE(client.LoadModel("corrupt-model-bytes", 3).ok());
+  EXPECT_TRUE(client.Score(ScorableRequest()).ok());
+
+  // Stats reflect traffic and carry both latency series.
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GE(stats->requests_served, 7u);
+  EXPECT_GT(stats->wire_p50_us, 0.0);
+  EXPECT_GE(stats->wire_p99_us, stats->wire_p50_us);
+  EXPECT_GT(stats->inproc_p50_us, 0.0);
+  // No ordering assertion between the two series: the wire histogram spans
+  // every method (cheap Health/Stats frames included) while the in-process
+  // one records successful Scores only, so their medians aren't comparable.
+}
+
+TEST_F(GatewayTest, ConcurrentClientsAgainstALiveGateway) {
+  {
+    serving::GatewayClient admin("127.0.0.1", gateway_->port());
+    ASSERT_TRUE(admin.LoadModel(TinyModelBlob(), 7).ok());
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kCallsPerThread = 50;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      serving::GatewayClient client("127.0.0.1", gateway_->port());
+      for (int i = 0; i < kCallsPerThread; ++i) {
+        if (i % 10 == 9) {
+          if (!client.Health().ok()) failures.fetch_add(1);
+          continue;
+        }
+        serving::TransferRequest request = ScorableRequest();
+        request.txn_id = static_cast<uint64_t>(t) * 1000 + static_cast<uint64_t>(i);
+        const auto verdict = client.Score(request);
+        if (!verdict.ok() || verdict->model_version != 7) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  // +1 for the admin LoadModel call.
+  EXPECT_EQ(gateway_->requests_served(),
+            static_cast<uint64_t>(kThreads) * kCallsPerThread + 1);
+  EXPECT_EQ(gateway_->WireLatencySnapshot().count(),
+            static_cast<uint64_t>(kThreads) * kCallsPerThread + 1);
+  // Both router instances shared the scoring load.
+  EXPECT_GT(router_->requests_served(0), 0u);
+  EXPECT_GT(router_->requests_served(1), 0u);
+}
+
+TEST_F(GatewayTest, ShutdownIsIdempotentAndStopsServing) {
+  const uint16_t port = gateway_->port();
+  ASSERT_TRUE(gateway_->Shutdown().ok());
+  ASSERT_TRUE(gateway_->Shutdown().ok());  // Idempotent.
+  Client client("127.0.0.1", port);
+  EXPECT_EQ(client.Connect().code(), StatusCode::kUnavailable);
+  // TearDown's Shutdown is a third no-op call.
+}
+
+}  // namespace
+}  // namespace titant::net

@@ -16,17 +16,33 @@
 //   titant_cli rules <profiles.csv> <records.csv> <test-date>
 //       Trains the C5.0 rule learner on the window and prints its
 //       high-confidence IF/THEN fraud rules.
+//
+//   titant_cli serve <profiles.csv> <records.csv> <test-date> <model.bin>
+//              [port] [instances] [net-days] [train-days]
+//       Uploads the test-day feature snapshots to an in-memory Ali-HBase,
+//       stands up a Model Server fleet behind the TCP gateway, and serves
+//       until SIGINT/SIGTERM (graceful drain).
+//
+//   titant_cli score <host> <port> <from-user> <to-user> <amount> <date> [channel]
+//       Scores one transfer against a running gateway and prints the
+//       verdict.
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "core/experiment.h"
 #include "datagen/world.h"
 #include "ml/decision_tree.h"
 #include "ml/metrics.h"
 #include "nrl/embedding.h"
+#include "serving/feature_store.h"
+#include "serving/gateway.h"
+#include "serving/router.h"
 #include "txn/csv.h"
 #include "txn/window.h"
 
@@ -57,7 +73,9 @@ int Usage() {
                "  titant_cli generate <profiles.csv> <records.csv> [users] [days] [seed]\n"
                "  titant_cli train <profiles.csv> <records.csv> <test-date> <model.bin> [net-days] [train-days]\n"
                "  titant_cli evaluate <profiles.csv> <records.csv> <test-date> <model.bin>\n"
-               "  titant_cli rules <profiles.csv> <records.csv> <test-date> [net-days] [train-days]\n");
+               "  titant_cli rules <profiles.csv> <records.csv> <test-date> [net-days] [train-days]\n"
+               "  titant_cli serve <profiles.csv> <records.csv> <test-date> <model.bin> [port] [instances] [net-days] [train-days]\n"
+               "  titant_cli score <host> <port> <from-user> <to-user> <amount> <date> [channel]\n");
   return 2;
 }
 
@@ -92,6 +110,20 @@ void ReportMetrics(const std::vector<double>& scores, const std::vector<uint8_t>
   if (auc.ok()) std::printf("  AUC       %.4f\n", *auc);
   const auto rec1 = titant::ml::RecallAtTopPercent(scores, labels, 1.0);
   if (rec1.ok()) std::printf("  rec@top1%% %.2f%%\n", 100 * *rec1);
+}
+
+std::string ReadFileOrDie(const char* path) {
+  std::FILE* in = std::fopen(path, "rb");
+  if (in == nullptr) {
+    std::fprintf(stderr, "error: cannot read %s\n", path);
+    std::exit(1);
+  }
+  std::string blob;
+  char buffer[4096];
+  std::size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), in)) > 0) blob.append(buffer, got);
+  std::fclose(in);
+  return blob;
 }
 
 int CmdGenerate(int argc, char** argv) {
@@ -151,16 +183,7 @@ int CmdEvaluate(int argc, char** argv) {
   const auto [net_days, tr_days] = SpanArgs(argc, argv, 6);
   const auto window = WindowFor(log, argv[4], net_days, tr_days);
 
-  std::FILE* in = std::fopen(argv[5], "rb");
-  if (in == nullptr) {
-    std::fprintf(stderr, "error: cannot read %s\n", argv[5]);
-    return 1;
-  }
-  std::string blob;
-  char buffer[4096];
-  std::size_t got;
-  while ((got = std::fread(buffer, 1, sizeof(buffer), in)) > 0) blob.append(buffer, got);
-  std::fclose(in);
+  const std::string blob = ReadFileOrDie(argv[5]);
   const auto model = OrDie(titant::ml::DeserializeModel(blob));
   const auto embeddings =
       OrDie(titant::nrl::EmbeddingMatrix::LoadFrom(std::string(argv[5]) + ".emb"));
@@ -209,6 +232,104 @@ int CmdRules(int argc, char** argv) {
   return 0;
 }
 
+volatile std::sig_atomic_t g_stop_serving = 0;
+
+void HandleStopSignal(int /*signum*/) { g_stop_serving = 1; }
+
+int CmdServe(int argc, char** argv) {
+  if (argc < 6) return Usage();
+  const uint16_t port = argc > 6 ? static_cast<uint16_t>(std::atoi(argv[6])) : 7431;
+  const int instances = argc > 7 ? std::atoi(argv[7]) : 2;
+
+  // Validate the model artifacts before the (slower) CSV import.
+  const std::string blob = ReadFileOrDie(argv[5]);
+  OrDie(titant::ml::DeserializeModel(blob).status());
+  const auto embeddings =
+      OrDie(titant::nrl::EmbeddingMatrix::LoadFrom(std::string(argv[5]) + ".emb"));
+  const auto log = OrDie(titant::txn::ImportLogCsv(argv[2], argv[3]));
+  const auto [net_days, tr_days] = SpanArgs(argc, argv, 8);
+  const auto window = WindowFor(log, argv[4], net_days, tr_days);
+
+  // The model version is the serving date (YYYYMMDD), the paper's daily
+  // rollout convention.
+  std::string digits;
+  for (const char* c = argv[4]; *c != '\0'; ++c) {
+    if (*c != '-') digits.push_back(*c);
+  }
+  const uint64_t version = static_cast<uint64_t>(std::atoll(digits.c_str()));
+
+  // Build the extractor over the window and publish the as-of-test-day
+  // per-user snapshots into an in-memory Ali-HBase feature table.
+  titant::core::PipelineOptions pipeline;
+  pipeline.embedding_dim = embeddings.dim();
+  titant::core::OfflineTrainer trainer(log, window, pipeline);
+  OrDie(trainer.Prepare(titant::core::FeatureSet::kBasic));
+  auto store_options = titant::serving::FeatureTableOptions();
+  store_options.durable = false;
+  auto store = OrDie(titant::kvstore::AliHBase::Open(store_options));
+  OrDie(titant::serving::UploadDailyArtifacts(store.get(), log, trainer.extractor(),
+                                              embeddings, window.spec.test_day, version, 50));
+
+  titant::serving::ModelServerOptions ms_options;
+  ms_options.embedding_dim = embeddings.dim();
+  titant::serving::ModelServerRouter router(store.get(), ms_options, instances);
+  OrDie(router.LoadModel(blob, version));
+
+  titant::serving::GatewayOptions gw_options;
+  gw_options.port = port;
+  titant::serving::Gateway gateway(&router, gw_options);
+  OrDie(gateway.Start());
+  std::printf("gateway serving on 127.0.0.1:%u  (%d MS instances, model v%llu)\n",
+              gateway.port(), instances, static_cast<unsigned long long>(version));
+  std::printf("press Ctrl-C to drain and stop\n");
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (g_stop_serving == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::printf("\ndraining in-flight requests...\n");
+  OrDie(gateway.Shutdown());
+  const auto wire = gateway.WireLatencySnapshot();
+  std::printf("served %llu requests (wire p50 %.0f us, p99 %.0f us)\n",
+              static_cast<unsigned long long>(gateway.requests_served()), wire.P50(),
+              wire.P99());
+  return 0;
+}
+
+int CmdScore(int argc, char** argv) {
+  if (argc < 8) return Usage();
+  const char* host = argv[2];
+  const uint16_t port = static_cast<uint16_t>(std::atoi(argv[3]));
+
+  titant::serving::TransferRequest request;
+  request.txn_id = 1;
+  request.from_user = static_cast<titant::txn::UserId>(std::atoll(argv[4]));
+  request.to_user = static_cast<titant::txn::UserId>(std::atoll(argv[5]));
+  request.amount = std::atof(argv[6]);
+  const titant::txn::Day day = titant::txn::DateToDay(argv[7]);
+  if (day < -100000) {
+    std::fprintf(stderr, "error: bad date '%s' (want YYYY-MM-DD)\n", argv[7]);
+    return 1;
+  }
+  request.day = day;
+  request.second_of_day = 12 * 3600;
+  if (argc > 8) request.channel = static_cast<titant::txn::Channel>(std::atoi(argv[8]));
+
+  titant::serving::GatewayClient client(host, port);
+  const auto health = OrDie(client.Health(/*timeout_ms=*/2000));
+  std::printf("fleet: %u/%u instances healthy, model v%llu\n", health.healthy_instances,
+              health.num_instances, static_cast<unsigned long long>(health.model_version));
+  const auto verdict = OrDie(client.Score(request, /*timeout_ms=*/2000));
+  std::printf("fraud probability  %.4f\n", verdict.fraud_probability);
+  std::printf("verdict            %s\n", verdict.interrupt ? "INTERRUPT" : "pass");
+  std::printf("server latency     %lld us (model v%llu)\n",
+              static_cast<long long>(verdict.latency_us),
+              static_cast<unsigned long long>(verdict.model_version));
+  return verdict.interrupt ? 3 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -217,5 +338,7 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "train") == 0) return CmdTrain(argc, argv);
   if (std::strcmp(argv[1], "evaluate") == 0) return CmdEvaluate(argc, argv);
   if (std::strcmp(argv[1], "rules") == 0) return CmdRules(argc, argv);
+  if (std::strcmp(argv[1], "serve") == 0) return CmdServe(argc, argv);
+  if (std::strcmp(argv[1], "score") == 0) return CmdScore(argc, argv);
   return Usage();
 }
