@@ -2,19 +2,29 @@
 // end-to-end "network milliseconds" number (§1/§4.4 — the Alipay server
 // reaches the MS fleet over the wire, not via a function call).
 //
-//   bench_gateway [client_threads] [seconds] [instances]
+//   bench_gateway [client_threads] [seconds] [instances] [--faults]
 //
 // Starts a Gateway over loopback in-process, drives it from N closed-loop
 // client threads (one connection each, next request issued as soon as the
 // previous reply lands), and prints sustained qps plus client-observed
 // p50/p95/p99/p99.9 round-trip latency, next to the router's in-process
 // scoring histogram so the socket tax is visible.
+//
+// --faults arms a chaos schedule (TITANT_FAILPOINTS if set, else a stock
+// mix of KV outages, client write tears, and scoring latency) and reports
+// the resilience counters — shed / expired / degraded / breaker trips /
+// client retries — with the pass bar switched from zero-errors to
+// >= 99.9% availability.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "common/failpoint.h"
 
 #include "bench/bench_util.h"
 #include "common/histogram.h"
@@ -85,12 +95,21 @@ Fixture BuildFixture(int instances) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int threads = argc > 1 ? std::atoi(argv[1]) : 4;
-  const double seconds = argc > 2 ? std::atof(argv[2]) : 3.0;
-  const int instances = argc > 3 ? std::atoi(argv[3]) : 2;
+  bool faults = false;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--faults") == 0) {
+      faults = true;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const int threads = positional.size() > 0 ? std::atoi(positional[0]) : 4;
+  const double seconds = positional.size() > 1 ? std::atof(positional[1]) : 3.0;
+  const int instances = positional.size() > 2 ? std::atoi(positional[2]) : 2;
 
-  std::printf("bench_gateway: %d closed-loop client threads, %.1fs, %d MS instances\n",
-              threads, seconds, instances);
+  std::printf("bench_gateway: %d closed-loop client threads, %.1fs, %d MS instances%s\n",
+              threads, seconds, instances, faults ? ", fault injection ON" : "");
   std::printf("setting up world + model + feature store...\n");
   Fixture fixture = BuildFixture(instances);
 
@@ -98,8 +117,26 @@ int main(int argc, char** argv) {
   CheckOk(gateway.Start());
   std::printf("gateway listening on 127.0.0.1:%u\n\n", gateway.port());
 
+  if (faults) {
+    // Honor an operator schedule from the environment; otherwise arm a
+    // stock deterministic mix the serving path is expected to ride out.
+    CheckOk(titant::Failpoints::ArmFromEnv());
+    if (titant::Failpoints::ArmedNames().empty()) {
+      CheckOk(titant::Failpoints::ArmFromSpec(
+          "kvstore.get,error:Unavailable,p:0.02,seed:11;"
+          "net.client.write,error:Unavailable,p:0.01,seed:12;"
+          "serving.score,delay:2,p:0.01,seed:13"));
+    }
+    for (const auto& name : titant::Failpoints::ArmedNames()) {
+      std::printf("failpoint armed: %s\n", name.c_str());
+    }
+    std::printf("\n");
+  }
+
   std::vector<titant::Histogram> rtt_us(static_cast<std::size_t>(threads));
   std::vector<uint64_t> errors(static_cast<std::size_t>(threads), 0);
+  std::vector<uint64_t> degraded(static_cast<std::size_t>(threads), 0);
+  std::vector<uint64_t> retries(static_cast<std::size_t>(threads), 0);
   std::vector<std::thread> clients;
   titant::Stopwatch wall;
   for (int t = 0; t < threads; ++t) {
@@ -113,21 +150,28 @@ int main(int argc, char** argv) {
             client.Score(fixture.requests[i % fixture.requests.size()], /*timeout_ms=*/5000);
         if (verdict.ok()) {
           rtt_us[static_cast<std::size_t>(t)].Add(static_cast<double>(rtt.ElapsedMicros()));
+          if (verdict->degraded) ++degraded[static_cast<std::size_t>(t)];
         } else {
           ++errors[static_cast<std::size_t>(t)];
         }
         ++i;
       }
+      retries[static_cast<std::size_t>(t)] = client.transport().retries();
     });
   }
   for (auto& thread : clients) thread.join();
   const double elapsed_s = wall.ElapsedSeconds();
+  titant::Failpoints::DisarmAll();
 
   titant::Histogram merged;
   uint64_t total_errors = 0;
+  uint64_t total_degraded = 0;
+  uint64_t total_retries = 0;
   for (int t = 0; t < threads; ++t) {
     merged.Merge(rtt_us[static_cast<std::size_t>(t)]);
     total_errors += errors[static_cast<std::size_t>(t)];
+    total_degraded += degraded[static_cast<std::size_t>(t)];
+    total_retries += retries[static_cast<std::size_t>(t)];
   }
   const double qps = static_cast<double>(merged.count()) / elapsed_s;
 
@@ -150,7 +194,36 @@ int main(int argc, char** argv) {
   std::printf("  %-28s p50 %7.0f   p99 %7.0f\n", "gateway handle (wire side)", wire.P50(),
               wire.P99());
 
+  if (faults) {
+    const auto stats = gateway.StatsSnapshot();
+    std::printf("\nresilience counters (fault mode):\n");
+    std::printf("  shed (admission)   %llu\n",
+                static_cast<unsigned long long>(stats.requests_shed));
+    std::printf("  expired (deadline) %llu\n",
+                static_cast<unsigned long long>(stats.requests_expired));
+    std::printf("  degraded verdicts  %llu (client-observed %llu)\n",
+                static_cast<unsigned long long>(stats.degraded_verdicts),
+                static_cast<unsigned long long>(total_degraded));
+    std::printf("  breaker trips      %llu (open at end %llu)\n",
+                static_cast<unsigned long long>(stats.breaker_trips),
+                static_cast<unsigned long long>(stats.open_instances));
+    std::printf("  client retries     %llu\n",
+                static_cast<unsigned long long>(total_retries));
+  }
+
   CheckOk(gateway.Shutdown());
+
+  if (faults) {
+    // Under injection the bar is availability, not a spotless error count.
+    const uint64_t attempts = merged.count() + total_errors;
+    const double availability =
+        attempts == 0 ? 0.0
+                      : static_cast<double>(merged.count()) / static_cast<double>(attempts);
+    const bool pass = availability >= 0.999;
+    std::printf("\n%s: %.4f%% availability under faults (target: >= 99.9%%)\n",
+                pass ? "PASS" : "MISS", availability * 100.0);
+    return pass ? 0 : 1;
+  }
 
   const bool pass = qps >= 5000.0 && merged.P99() < 5000.0;
   std::printf("\n%s: %.0f qps, p99 %.0f us (target: >= 5000 qps, p99 < 5000 us)\n",

@@ -1,0 +1,186 @@
+#include "common/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace titant {
+
+namespace failpoint_internal {
+std::atomic<int> g_armed_count{0};
+}  // namespace failpoint_internal
+
+namespace {
+
+/// One armed point. Guarded by the registry mutex (failpoints are armed
+/// only under test/chaos load, where a single lock is not the
+/// bottleneck; unarmed binaries never reach the registry at all).
+struct Point {
+  FailpointSpec spec;
+  Rng rng{0};
+  uint64_t evaluations = 0;
+  uint64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, std::unique_ptr<Point>> points;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // Leaked: outlives static dtors.
+  return *r;
+}
+
+}  // namespace
+
+void Failpoints::Arm(const std::string& name, FailpointSpec spec) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto point = std::make_unique<Point>();
+  point->rng = Rng(spec.seed);
+  point->spec = std::move(spec);
+  const bool existed = r.points.find(name) != r.points.end();
+  r.points[name] = std::move(point);
+  if (!existed) failpoint_internal::g_armed_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool Failpoints::Disarm(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (r.points.erase(name) == 0) return false;
+  failpoint_internal::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+void Failpoints::DisarmAll() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  failpoint_internal::g_armed_count.fetch_sub(static_cast<int>(r.points.size()),
+                                              std::memory_order_relaxed);
+  r.points.clear();
+}
+
+bool Failpoints::armed(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.points.find(name) != r.points.end();
+}
+
+uint64_t Failpoints::hits(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(name);
+  return it == r.points.end() ? 0 : it->second->hits;
+}
+
+uint64_t Failpoints::evaluations(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(name);
+  return it == r.points.end() ? 0 : it->second->evaluations;
+}
+
+std::vector<std::string> Failpoints::ArmedNames() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::string> names;
+  names.reserve(r.points.size());
+  for (const auto& [name, point] : r.points) names.push_back(name);
+  return names;
+}
+
+Status Failpoints::Eval(const std::string& name) {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  int delay_ms = 0;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.points.find(name);
+    if (it == r.points.end()) return Status::OK();
+    Point& point = *it->second;
+    const uint64_t ordinal = point.evaluations++;
+    if (ordinal < point.spec.skip) return Status::OK();
+    if (point.spec.max_hits >= 0 &&
+        point.hits >= static_cast<uint64_t>(point.spec.max_hits)) {
+      return Status::OK();
+    }
+    if (point.spec.probability < 1.0 && !point.rng.Bernoulli(point.spec.probability)) {
+      return Status::OK();
+    }
+    ++point.hits;
+    code = point.spec.code;
+    delay_ms = point.spec.delay_ms;
+    message = point.spec.message.empty() ? "failpoint '" + name + "' injected"
+                                         : point.spec.message;
+  }
+  // Sleep outside the registry lock so a latency point stalls only its
+  // own call path, not every other armed point.
+  if (delay_ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  if (code == StatusCode::kOk) return Status::OK();
+  return Status(code, std::move(message));
+}
+
+Status Failpoints::ArmFromSpec(const std::string& spec_string) {
+  for (const std::string& clause : Split(spec_string, ';')) {
+    const std::string trimmed(Trim(clause));
+    if (trimmed.empty()) continue;
+    const std::vector<std::string> fields = Split(trimmed, ',');
+    const std::string name(Trim(fields[0]));
+    if (name.empty()) return Status::InvalidArgument("failpoint clause without a name");
+    FailpointSpec spec;
+    for (std::size_t i = 1; i < fields.size(); ++i) {
+      const std::string field(Trim(fields[i]));
+      const std::size_t colon = field.find(':');
+      if (colon == std::string::npos) {
+        return Status::InvalidArgument("failpoint field '" + field + "' is not key:value");
+      }
+      const std::string key = field.substr(0, colon);
+      const std::string value = field.substr(colon + 1);
+      if (key == "error") {
+        if (!StatusCodeFromName(value, &spec.code) || spec.code == StatusCode::kOk) {
+          return Status::InvalidArgument("unknown failpoint error code '" + value + "'");
+        }
+      } else if (key == "delay") {
+        TITANT_ASSIGN_OR_RETURN(int64_t ms, ParseInt64(value));
+        if (ms < 0) return Status::InvalidArgument("negative failpoint delay");
+        spec.delay_ms = static_cast<int>(ms);
+      } else if (key == "p") {
+        TITANT_ASSIGN_OR_RETURN(double p, ParseDouble(value));
+        if (p < 0.0 || p > 1.0) {
+          return Status::InvalidArgument("failpoint probability must be in [0,1]");
+        }
+        spec.probability = p;
+      } else if (key == "hits") {
+        TITANT_ASSIGN_OR_RETURN(int64_t hits, ParseInt64(value));
+        spec.max_hits = hits;
+      } else if (key == "skip") {
+        TITANT_ASSIGN_OR_RETURN(int64_t skip, ParseInt64(value));
+        if (skip < 0) return Status::InvalidArgument("negative failpoint skip");
+        spec.skip = static_cast<uint64_t>(skip);
+      } else if (key == "seed") {
+        TITANT_ASSIGN_OR_RETURN(int64_t seed, ParseInt64(value));
+        spec.seed = static_cast<uint64_t>(seed);
+      } else {
+        return Status::InvalidArgument("unknown failpoint field '" + key + "'");
+      }
+    }
+    Arm(name, std::move(spec));
+  }
+  return Status::OK();
+}
+
+Status Failpoints::ArmFromEnv() {
+  const char* env = std::getenv("TITANT_FAILPOINTS");
+  if (env == nullptr || env[0] == '\0') return Status::OK();
+  return ArmFromSpec(env);
+}
+
+}  // namespace titant

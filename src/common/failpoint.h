@@ -1,0 +1,114 @@
+#ifndef TITANT_COMMON_FAILPOINT_H_
+#define TITANT_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace titant {
+
+/// Deterministic fault injection for the serving path.
+///
+/// A *failpoint* is a named hook compiled into production code paths
+/// (KV reads, Score, socket read/write/accept). Unarmed — the normal
+/// state — a failpoint costs one relaxed atomic load. Tests, the chaos
+/// harness, and `bench_gateway --faults` arm points by name with a
+/// FailpointSpec describing what to inject (an error status, added
+/// latency, or both) and when to trigger (every evaluation, the first N,
+/// after a warm-up, or with probability p drawn from the library's
+/// seeded PRNG — never from global entropy, so every run replays).
+///
+/// Call sites use the macro form:
+///
+///   TITANT_FAILPOINT("kvstore.get");            // returns the injected
+///                                               // Status on trigger
+///
+/// or evaluate explicitly when the failure must be handled locally
+/// instead of returned (e.g. tearing down a connection):
+///
+///   if (!Failpoints::Eval("net.server.read").ok()) { ...close... }
+///
+/// Specs can also come from the TITANT_FAILPOINTS environment variable
+/// (see ArmFromEnv) so any binary — titant_cli serve, bench_gateway —
+/// can run chaos schedules without code changes.
+struct FailpointSpec {
+  /// Status injected on trigger; kOk makes a latency-only point.
+  StatusCode code = StatusCode::kOk;
+  /// Message carried by the injected status (a default is derived from
+  /// the point name when empty).
+  std::string message;
+  /// Milliseconds slept before returning on trigger (latency spike).
+  int delay_ms = 0;
+  /// Probability that an eligible evaluation triggers, decided by a
+  /// per-point PRNG seeded with `seed`.
+  double probability = 1.0;
+  uint64_t seed = 0x7a17'a07f'0000'0001ULL;
+  /// Evaluations that pass through untouched before the point is live.
+  uint64_t skip = 0;
+  /// Cap on triggered evaluations; -1 = unlimited.
+  int64_t max_hits = -1;
+};
+
+namespace failpoint_internal {
+/// Number of currently armed points; the macro's fast-path guard.
+extern std::atomic<int> g_armed_count;
+inline bool AnyArmed() { return g_armed_count.load(std::memory_order_relaxed) > 0; }
+}  // namespace failpoint_internal
+
+class Failpoints {
+ public:
+  /// Arms (or re-arms, resetting counters) the named point.
+  static void Arm(const std::string& name, FailpointSpec spec);
+
+  /// Disarms one point; false if it was not armed.
+  static bool Disarm(const std::string& name);
+
+  /// Disarms everything (test teardown).
+  static void DisarmAll();
+
+  static bool armed(const std::string& name);
+
+  /// Triggered evaluations of the named point so far.
+  static uint64_t hits(const std::string& name);
+
+  /// Total evaluations (triggered or not) of the named point.
+  static uint64_t evaluations(const std::string& name);
+
+  static std::vector<std::string> ArmedNames();
+
+  /// Arms points from a spec string:
+  ///
+  ///   point[,field:value...][;point...]
+  ///
+  /// fields: error:<StatusCodeName>  delay:<ms>  p:<probability>
+  ///         hits:<max>  skip:<n>  seed:<u64>
+  ///
+  /// e.g. "kvstore.get,delay:30,p:0.01;net.server.read,error:Unavailable,hits:5"
+  static Status ArmFromSpec(const std::string& spec_string);
+
+  /// Arms from the TITANT_FAILPOINTS environment variable (no-op when
+  /// unset). Returns the parse error, if any.
+  static Status ArmFromEnv();
+
+  /// Evaluates the named point: OK unless it is armed and triggers, in
+  /// which case the configured delay is injected and the configured
+  /// status returned. Thread-safe.
+  static Status Eval(const std::string& name);
+};
+
+/// Returns the injected status from the enclosing function on trigger.
+/// Works in functions returning Status or StatusOr<T>.
+#define TITANT_FAILPOINT(name)                                           \
+  do {                                                                   \
+    if (::titant::failpoint_internal::AnyArmed()) {                      \
+      ::titant::Status _titant_fp = ::titant::Failpoints::Eval(name);    \
+      if (!_titant_fp.ok()) return _titant_fp;                           \
+    }                                                                    \
+  } while (0)
+
+}  // namespace titant
+
+#endif  // TITANT_COMMON_FAILPOINT_H_

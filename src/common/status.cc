@@ -30,8 +30,35 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Aborted";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
+}
+
+bool StatusCodeFromName(std::string_view name, StatusCode* code) {
+  for (int raw = static_cast<int>(StatusCode::kOk);
+       raw <= static_cast<int>(StatusCode::kResourceExhausted); ++raw) {
+    if (StatusCodeName(static_cast<StatusCode>(raw)) == name) {
+      *code = static_cast<StatusCode>(raw);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool StatusCodeIsValid(int raw) {
+  return raw >= static_cast<int>(StatusCode::kOk) &&
+         raw <= static_cast<int>(StatusCode::kResourceExhausted);
+}
+
+bool StatusCodeIsRetryable(StatusCode code) {
+  return code == StatusCode::kUnavailable || code == StatusCode::kTimeout ||
+         code == StatusCode::kResourceExhausted;
+}
+
+bool StatusCodeIsInstanceFailure(StatusCode code) {
+  return StatusCodeIsRetryable(code) || code == StatusCode::kInternal;
 }
 
 std::string Status::ToString() const {

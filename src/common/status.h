@@ -24,10 +24,30 @@ enum class StatusCode : int {
   kTimeout = 10,
   kAborted = 11,
   kUnimplemented = 12,
+  kResourceExhausted = 13,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "NotFound").
 std::string_view StatusCodeName(StatusCode code);
+
+/// Parses the name produced by StatusCodeName back into a code ("NotFound"
+/// -> kNotFound). Used by the failpoint spec parser and wire tooling.
+bool StatusCodeFromName(std::string_view name, StatusCode* code);
+
+/// True iff `raw` is a valid StatusCode value (wire decoding guard).
+bool StatusCodeIsValid(int raw);
+
+/// Single source of truth for the transient-failure code list: a call that
+/// failed with one of these may succeed if simply retried against the same
+/// or another backend (the peer was unreachable, overloaded, or slow — the
+/// request itself was fine). Drives client-side retry of idempotent calls.
+bool StatusCodeIsRetryable(StatusCode code);
+
+/// Single source of truth for the instance-failure code list used by
+/// router failover and circuit breaking: every retryable code plus
+/// kInternal (an instance wedged badly enough to answer Internal is taken
+/// out of rotation, but a client should not blindly re-send on it).
+bool StatusCodeIsInstanceFailure(StatusCode code);
 
 /// A lightweight success-or-error value. Cheap to copy in the OK case
 /// (no allocation); error statuses carry a message.
@@ -69,6 +89,9 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   /// True iff this status represents success.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -81,6 +104,14 @@ class Status {
   bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  bool IsResourceExhausted() const { return code_ == StatusCode::kResourceExhausted; }
+
+  /// See StatusCodeIsRetryable.
+  bool IsRetryable() const { return StatusCodeIsRetryable(code_); }
+  /// See StatusCodeIsInstanceFailure.
+  bool IsInstanceFailure() const { return StatusCodeIsInstanceFailure(code_); }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

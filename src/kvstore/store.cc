@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <filesystem>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 
 namespace titant::kvstore {
@@ -139,6 +140,10 @@ std::optional<Cell> AliHBase::LookupLocked(const std::string& row, const std::st
 
 StatusOr<std::string> AliHBase::Get(const std::string& row, const std::string& family,
                                     const std::string& qualifier, uint64_t snapshot) const {
+  // Chaos hook for the online feature fetch: injected latency models an
+  // HBase region-server hiccup, injected errors a lost region. Evaluated
+  // before the shared lock so a latency spike never blocks writers.
+  TITANT_FAILPOINT("kvstore.get");
   TITANT_RETURN_IF_ERROR(CheckFamily(family));
   std::shared_lock lock(mu_);
   std::optional<Cell> cell = LookupLocked(row, family, qualifier, snapshot);

@@ -7,14 +7,25 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
+
+#include "common/failpoint.h"
 
 namespace titant::net {
 
 namespace {
 
 Status Errno(const std::string& what) {
+  // Peer-reset errnos are transport failures, not local I/O faults: map
+  // them to Unavailable so CallRetrying reconnects and retries.
+  if (errno == ECONNRESET || errno == EPIPE || errno == ECONNABORTED ||
+      errno == ENETRESET) {
+    return Status::Unavailable(what + ": " + std::strerror(errno));
+  }
   return Status::IOError(what + ": " + std::strerror(errno));
 }
 
@@ -36,12 +47,14 @@ Client::Client(std::string host, uint16_t port, ClientOptions options)
     : host_(std::move(host)),
       port_(port),
       options_(options),
+      jitter_rng_(options.retry.jitter_seed),
       decoder_(options.max_payload_bytes) {}
 
 Client::~Client() { Close(); }
 
 Status Client::Connect() {
   if (fd_ >= 0) return Status::OK();
+  TITANT_FAILPOINT("net.client.connect");
   decoder_.Reset();
   inbox_.clear();
 
@@ -100,12 +113,41 @@ StatusOr<std::string> Client::Call(uint16_t method, std::string_view payload, in
   return body;
 }
 
+StatusOr<std::string> Client::CallRetrying(uint16_t method, std::string_view payload,
+                                           int timeout_ms) {
+  const RetryPolicy& policy = options_.retry;
+  const int budget_ms = timeout_ms > 0 ? timeout_ms : options_.call_timeout_ms;
+  const int64_t deadline_us = DeadlineFrom(budget_ms);
+  int backoff_ms = std::max(1, policy.initial_backoff_ms);
+  StatusOr<std::string> result = Status::Timeout("retry budget exhausted before first attempt");
+  for (int attempt = 0; attempt < std::max(1, policy.max_attempts); ++attempt) {
+    const int remaining_ms = RemainingMs(deadline_us);
+    if (remaining_ms < 0) break;  // Budget gone: surface the last failure.
+    if (attempt > 0) ++retries_;
+    result = Call(method, payload, std::max(1, remaining_ms));
+    if (result.ok() || !result.status().IsRetryable()) return result;
+    // Backoff with jitter in [backoff/2, backoff], clamped to the budget.
+    const int pause_ms = std::min(
+        backoff_ms / 2 + static_cast<int>(jitter_rng_.Uniform(
+                             static_cast<uint64_t>(backoff_ms / 2 + 1))),
+        RemainingMs(deadline_us));
+    if (pause_ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(pause_ms));
+    backoff_ms = std::min(static_cast<int>(backoff_ms * policy.multiplier),
+                          std::max(1, policy.max_backoff_ms));
+  }
+  return result;
+}
+
 StatusOr<Frame> Client::CallFrame(uint16_t method, std::string_view payload, int timeout_ms) {
   TITANT_RETURN_IF_ERROR(Connect());
-  const int64_t deadline_us =
-      DeadlineFrom(timeout_ms > 0 ? timeout_ms : options_.call_timeout_ms);
+  const int budget_ms = timeout_ms > 0 ? timeout_ms : options_.call_timeout_ms;
+  const int64_t deadline_us = DeadlineFrom(budget_ms);
   const uint64_t request_id = next_request_id_++;
-  const std::string frame_bytes = EncodeRequestFrame(method, request_id, payload);
+  // The remaining budget rides in the header so the server can refuse
+  // work whose caller will have given up by the time it would run.
+  const std::string frame_bytes =
+      EncodeRequestFrame(method, request_id, payload,
+                         budget_ms > 0 ? static_cast<uint32_t>(budget_ms) : 0);
 
   Status written = WriteAll(frame_bytes, deadline_us);
   if (!written.ok()) {
@@ -118,6 +160,9 @@ StatusOr<Frame> Client::CallFrame(uint16_t method, std::string_view payload, int
 }
 
 Status Client::WriteAll(std::string_view data, int64_t deadline_us) {
+  // Chaos hook: a torn outbound link. CallFrame closes the connection on
+  // the injected failure, exactly as it would on a real EPIPE.
+  TITANT_FAILPOINT("net.client.write");
   std::size_t offset = 0;
   while (offset < data.size()) {
     // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not SIGPIPE.
@@ -137,6 +182,8 @@ Status Client::WriteAll(std::string_view data, int64_t deadline_us) {
 }
 
 StatusOr<Frame> Client::ReadResponse(uint64_t request_id, int64_t deadline_us) {
+  // Chaos hook: the reply never arrives / the link drops mid-read.
+  TITANT_FAILPOINT("net.client.read");
   char buffer[64 * 1024];
   while (true) {
     // A matching frame may already be buffered from a previous read.

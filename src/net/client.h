@@ -6,10 +6,27 @@
 #include <string>
 #include <string_view>
 
+#include "common/random.h"
 #include "common/statusor.h"
 #include "net/wire.h"
 
 namespace titant::net {
+
+/// Retry schedule for CallRetrying: exponential backoff with
+/// deterministic jitter, all attempts sharing one overall deadline
+/// budget. Only statuses in the Status::IsRetryable() list are retried,
+/// and only for calls the caller knows to be idempotent.
+struct RetryPolicy {
+  /// Total attempts (1 = no retry).
+  int max_attempts = 3;
+  /// First backoff pause; doubled (times `multiplier`) per attempt.
+  int initial_backoff_ms = 2;
+  /// Backoff cap.
+  int max_backoff_ms = 64;
+  double multiplier = 2.0;
+  /// Seed for the jitter PRNG (deterministic, like every RNG here).
+  uint64_t jitter_seed = 0x6a17'7e85'eed0'0001ULL;
+};
 
 /// Client configuration.
 struct ClientOptions {
@@ -19,6 +36,8 @@ struct ClientOptions {
   int call_timeout_ms = 2000;
   /// Per-frame payload cap enforced on responses.
   std::size_t max_payload_bytes = kMaxPayloadBytes;
+  /// Retry schedule used by CallRetrying (Call stays single-attempt).
+  RetryPolicy retry;
 };
 
 /// Blocking request/response client for the gateway wire protocol.
@@ -51,12 +70,26 @@ class Client {
 
   /// Sends one request and blocks for its response frame, returning the
   /// response body after unwrapping the handler's transported Status.
-  /// `timeout_ms` <= 0 uses options.call_timeout_ms.
+  /// `timeout_ms` <= 0 uses options.call_timeout_ms. The remaining budget
+  /// travels in the frame header so the server can refuse expired work.
   StatusOr<std::string> Call(uint16_t method, std::string_view payload, int timeout_ms = 0);
+
+  /// Call with bounded retries under ONE overall deadline budget:
+  /// retryable failures (Unavailable/Timeout/ResourceExhausted) are
+  /// re-sent after an exponential-backoff pause with deterministic
+  /// jitter, reconnecting as needed; everything else returns
+  /// immediately. Only use for idempotent methods — a retried Score or
+  /// Health re-executes server-side.
+  StatusOr<std::string> CallRetrying(uint16_t method, std::string_view payload,
+                                     int timeout_ms = 0);
 
   /// Like Call but returns the raw response frame without unwrapping the
   /// in-band status (wire-level tooling and tests).
   StatusOr<Frame> CallFrame(uint16_t method, std::string_view payload, int timeout_ms = 0);
+
+  /// Re-sent attempts across all CallRetrying calls (first attempts not
+  /// counted).
+  uint64_t retries() const { return retries_; }
 
  private:
   Status WriteAll(std::string_view data, int64_t deadline_us);
@@ -69,6 +102,8 @@ class Client {
   ClientOptions options_;
   int fd_ = -1;
   uint64_t next_request_id_ = 1;
+  uint64_t retries_ = 0;
+  Rng jitter_rng_;
   FrameDecoder decoder_;
   std::deque<Frame> inbox_;  // Decoded frames not yet claimed by a call.
 };

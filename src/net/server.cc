@@ -10,6 +10,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 
 namespace titant::net {
@@ -108,6 +109,12 @@ void Server::AcceptReady() {
       TITANT_WARN << "accept: " << std::strerror(errno);
       return;
     }
+    // Chaos hook: the accept path drops the connection on the floor (the
+    // client sees an immediate close and reconnects on retry).
+    if (!Failpoints::Eval("net.server.accept").ok()) {
+      ::close(fd);
+      continue;
+    }
     const int enable = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
     auto conn = std::make_shared<Connection>(fd, options_.max_payload_bytes);
@@ -134,6 +141,13 @@ void Server::ConnectionReady(const std::shared_ptr<Connection>& conn, uint32_t e
 }
 
 void Server::ReadReady(const std::shared_ptr<Connection>& conn) {
+  // Chaos hook: a torn inbound link mid-stream — the connection dies the
+  // same way it would on a reset, and the client retries elsewhere.
+  if (failpoint_internal::AnyArmed() && !Failpoints::Eval("net.server.read").ok()) {
+    CloseConnection(conn);
+    MaybeFinishDrain();
+    return;
+  }
   char buffer[64 * 1024];
   while (!conn->closed) {
     const ssize_t n = ::read(conn->fd, buffer, sizeof(buffer));
@@ -172,17 +186,52 @@ void Server::Dispatch(const std::shared_ptr<Connection>& conn, Frame frame) {
     CloseConnection(conn);
     return;
   }
+  // Admission control: beyond max_in_flight the pool queue only adds
+  // latency, so shed from the loop thread with a fast ResourceExhausted
+  // the client can retry against a less-loaded instance.
+  if (options_.max_in_flight > 0 && in_flight_total_ >= options_.max_in_flight) {
+    requests_shed_.fetch_add(1);
+    RespondDirect(conn, frame,
+                  Status::ResourceExhausted("server overloaded: " +
+                                            std::to_string(in_flight_total_) +
+                                            " requests in flight"));
+    return;
+  }
+  // The caller has already given up on an expired deadline; running the
+  // handler would be pure wasted work.
+  if (frame.has_deadline() && MonotonicMicros() > frame.deadline_us()) {
+    requests_expired_.fetch_add(1);
+    RespondDirect(conn, frame, Status::Timeout("deadline expired before dispatch"));
+    return;
+  }
   ++conn->in_flight;
   ++in_flight_total_;
   frames_dispatched_.fetch_add(1);
   pool_->Submit([this, conn, frame = std::move(frame)] {
-    StatusOr<std::string> body = handler_(frame);
+    Status status = Status::OK();
+    std::string body_bytes;
+    // Re-check after the queue wait: the deadline may have expired while
+    // the frame sat behind slower work.
+    if (frame.has_deadline() && MonotonicMicros() > frame.deadline_us()) {
+      requests_expired_.fetch_add(1);
+      status = Status::Timeout("deadline expired in queue");
+    } else {
+      StatusOr<std::string> body = handler_(frame);
+      status = body.status();
+      if (body.ok()) body_bytes = std::move(*body);
+    }
     std::string response =
-        EncodeResponseFrame(frame.method, frame.request_id, body.status(),
-                            body.ok() ? std::string_view(*body) : std::string_view());
+        EncodeResponseFrame(frame.method, frame.request_id, status, body_bytes);
     loop_.Post(
         [this, conn, response = std::move(response)]() mutable { Complete(conn, std::move(response)); });
   });
+}
+
+void Server::RespondDirect(const std::shared_ptr<Connection>& conn, const Frame& frame,
+                           const Status& status) {
+  if (conn->closed) return;
+  conn->outbox.append(EncodeResponseFrame(frame.method, frame.request_id, status, {}));
+  WriteReady(conn);
 }
 
 void Server::Complete(const std::shared_ptr<Connection>& conn, std::string response_bytes) {
@@ -196,6 +245,12 @@ void Server::Complete(const std::shared_ptr<Connection>& conn, std::string respo
 }
 
 void Server::WriteReady(const std::shared_ptr<Connection>& conn) {
+  // Chaos hook: the reply path tears before the bytes make it out.
+  if (failpoint_internal::AnyArmed() && conn->outbox_offset < conn->outbox.size() &&
+      !Failpoints::Eval("net.server.write").ok()) {
+    CloseConnection(conn);
+    return;
+  }
   while (conn->outbox_offset < conn->outbox.size()) {
     // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not SIGPIPE.
     const ssize_t n = ::send(conn->fd, conn->outbox.data() + conn->outbox_offset,

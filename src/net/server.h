@@ -28,6 +28,10 @@ struct ServerOptions {
   std::size_t worker_threads = 4;
   /// Per-frame payload cap enforced by the decoder.
   std::size_t max_payload_bytes = kMaxPayloadBytes;
+  /// Admission control: requests dispatched-but-not-completed (running or
+  /// queued for the pool) beyond this are refused immediately with a
+  /// ResourceExhausted reply instead of queueing unboundedly. 0 disables.
+  std::size_t max_in_flight = 0;
 };
 
 /// Single-threaded epoll accept/read/write loop with per-connection
@@ -73,6 +77,13 @@ class Server {
   /// Connections torn down for malformed framing (bad magic/version/cap).
   uint64_t protocol_errors() const { return protocol_errors_.load(); }
 
+  /// Requests refused with ResourceExhausted by admission control.
+  uint64_t requests_shed() const { return requests_shed_.load(); }
+
+  /// Requests refused with Timeout because their propagated deadline had
+  /// already expired (at dispatch or after waiting in the pool queue).
+  uint64_t requests_expired() const { return requests_expired_.load(); }
+
  private:
   struct Connection;
 
@@ -81,6 +92,9 @@ class Server {
   void ReadReady(const std::shared_ptr<Connection>& conn);
   void WriteReady(const std::shared_ptr<Connection>& conn);
   void Dispatch(const std::shared_ptr<Connection>& conn, Frame frame);
+  /// Fast reply from the loop thread (shed / expired), bypassing the pool.
+  void RespondDirect(const std::shared_ptr<Connection>& conn, const Frame& frame,
+                     const Status& status);
   void Complete(const std::shared_ptr<Connection>& conn, std::string response_bytes);
   void UpdateInterest(const std::shared_ptr<Connection>& conn);
   void CloseConnection(const std::shared_ptr<Connection>& conn);
@@ -103,6 +117,8 @@ class Server {
 
   std::atomic<uint64_t> frames_dispatched_{0};
   std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> requests_shed_{0};
+  std::atomic<uint64_t> requests_expired_{0};
 };
 
 }  // namespace titant::net

@@ -128,13 +128,14 @@ Status WireReader::ExpectDone() const {
 namespace {
 
 std::string EncodeFrame(FrameType type, uint16_t method, uint64_t request_id,
-                        std::string_view payload) {
+                        std::string_view payload, uint32_t deadline_ms) {
   WireWriter w;
   w.U32(kWireMagic);
   w.U8(kWireVersion);
   w.U8(static_cast<uint8_t>(type));
   w.U16(method);
   w.U64(request_id);
+  w.U32(deadline_ms);
   w.U32(static_cast<uint32_t>(payload.size()));
   w.Bytes(payload);
   return w.Take();
@@ -142,8 +143,9 @@ std::string EncodeFrame(FrameType type, uint16_t method, uint64_t request_id,
 
 }  // namespace
 
-std::string EncodeRequestFrame(uint16_t method, uint64_t request_id, std::string_view payload) {
-  return EncodeFrame(FrameType::kRequest, method, request_id, payload);
+std::string EncodeRequestFrame(uint16_t method, uint64_t request_id, std::string_view payload,
+                               uint32_t deadline_ms) {
+  return EncodeFrame(FrameType::kRequest, method, request_id, payload, deadline_ms);
 }
 
 std::string EncodeResponseFrame(uint16_t method, uint64_t request_id, const Status& status,
@@ -152,7 +154,7 @@ std::string EncodeResponseFrame(uint16_t method, uint64_t request_id, const Stat
   w.I32(static_cast<int32_t>(status.code()));
   w.Str(status.message());
   w.Bytes(status.ok() ? body : std::string_view());
-  return EncodeFrame(FrameType::kResponse, method, request_id, w.Take());
+  return EncodeFrame(FrameType::kResponse, method, request_id, w.Take(), /*deadline_ms=*/0);
 }
 
 Status DecodeResponsePayload(const Frame& frame, std::string* body) {
@@ -164,8 +166,7 @@ Status DecodeResponsePayload(const Frame& frame, std::string* body) {
   std::string message;
   TITANT_RETURN_IF_ERROR(r.I32(&code));
   TITANT_RETURN_IF_ERROR(r.Str(&message));
-  if (code < static_cast<int32_t>(StatusCode::kOk) ||
-      code > static_cast<int32_t>(StatusCode::kUnimplemented)) {
+  if (!StatusCodeIsValid(code)) {
     return Status::InvalidArgument("response carries unknown status code " + std::to_string(code));
   }
   const Status transported(static_cast<StatusCode>(code), std::move(message));
@@ -191,7 +192,7 @@ Status FrameDecoder::Feed(const char* data, std::size_t size, std::vector<Frame>
     if (type > static_cast<uint8_t>(FrameType::kResponse)) {
       return Status::InvalidArgument("unknown frame type " + std::to_string(type));
     }
-    const std::size_t payload_size = static_cast<std::size_t>(LoadLe(header + 16, 4));
+    const std::size_t payload_size = static_cast<std::size_t>(LoadLe(header + 20, 4));
     if (payload_size > max_payload_bytes_) {
       return Status::InvalidArgument("frame payload of " + std::to_string(payload_size) +
                                      " bytes exceeds the " +
@@ -203,6 +204,7 @@ Status FrameDecoder::Feed(const char* data, std::size_t size, std::vector<Frame>
     frame.type = static_cast<FrameType>(type);
     frame.method = static_cast<uint16_t>(LoadLe(header + 6, 2));
     frame.request_id = LoadLe(header + 8, 8);
+    frame.deadline_ms = static_cast<uint32_t>(LoadLe(header + 16, 4));
     frame.payload.assign(header + kHeaderBytes, payload_size);
     frame.received_at_us = MonotonicMicros();
     out->push_back(std::move(frame));
@@ -253,6 +255,7 @@ std::string EncodeVerdict(const serving::Verdict& verdict) {
   WireWriter w;
   w.F64(verdict.fraud_probability);
   w.U8(verdict.interrupt ? 1 : 0);
+  w.U8(verdict.degraded ? 1 : 0);
   w.I64(verdict.latency_us);
   w.U64(verdict.model_version);
   return w.Take();
@@ -260,12 +263,14 @@ std::string EncodeVerdict(const serving::Verdict& verdict) {
 
 Status DecodeVerdict(std::string_view payload, serving::Verdict* verdict) {
   WireReader r(payload);
-  uint8_t interrupt = 0;
+  uint8_t interrupt = 0, degraded = 0;
   TITANT_RETURN_IF_ERROR(r.F64(&verdict->fraud_probability));
   TITANT_RETURN_IF_ERROR(r.U8(&interrupt));
+  TITANT_RETURN_IF_ERROR(r.U8(&degraded));
   TITANT_RETURN_IF_ERROR(r.I64(&verdict->latency_us));
   TITANT_RETURN_IF_ERROR(r.U64(&verdict->model_version));
   verdict->interrupt = interrupt != 0;
+  verdict->degraded = degraded != 0;
   return r.ExpectDone();
 }
 
@@ -309,6 +314,11 @@ std::string EncodeGatewayStats(const GatewayStats& stats) {
   w.F64(stats.wire_max_us);
   w.F64(stats.inproc_p50_us);
   w.F64(stats.inproc_p99_us);
+  w.U64(stats.requests_shed);
+  w.U64(stats.requests_expired);
+  w.U64(stats.degraded_verdicts);
+  w.U64(stats.breaker_trips);
+  w.U64(stats.open_instances);
   return w.Take();
 }
 
@@ -322,6 +332,11 @@ Status DecodeGatewayStats(std::string_view payload, GatewayStats* stats) {
   TITANT_RETURN_IF_ERROR(r.F64(&stats->wire_max_us));
   TITANT_RETURN_IF_ERROR(r.F64(&stats->inproc_p50_us));
   TITANT_RETURN_IF_ERROR(r.F64(&stats->inproc_p99_us));
+  TITANT_RETURN_IF_ERROR(r.U64(&stats->requests_shed));
+  TITANT_RETURN_IF_ERROR(r.U64(&stats->requests_expired));
+  TITANT_RETURN_IF_ERROR(r.U64(&stats->degraded_verdicts));
+  TITANT_RETURN_IF_ERROR(r.U64(&stats->breaker_trips));
+  TITANT_RETURN_IF_ERROR(r.U64(&stats->open_instances));
   return r.ExpectDone();
 }
 

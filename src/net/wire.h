@@ -21,7 +21,15 @@ namespace titant::net {
 ///   offset 5   uint8   type           (FrameType)
 ///   offset 6   uint16  method         (Method)
 ///   offset 8   uint64  request_id     (echoed verbatim in the response)
-///   offset 16  uint32  payload_size   (bytes following the header)
+///   offset 16  uint32  deadline_ms    (remaining client budget; 0 = none)
+///   offset 20  uint32  payload_size   (bytes following the header)
+///
+/// `deadline_ms` is the caller's remaining per-request budget at the
+/// moment the frame was encoded (version 2). The server anchors it to the
+/// frame's local receive stamp and refuses to start work on an
+/// already-expired request — scoring a transfer whose caller has given up
+/// wastes the fleet's capacity exactly when it is scarcest. Responses
+/// carry 0.
 ///
 /// Response payloads additionally carry the handler's Status ahead of the
 /// body: int32 code, uint32 message length, message bytes, body bytes.
@@ -29,8 +37,8 @@ namespace titant::net {
 /// (header or payload split across reads) simply wait for more bytes.
 
 inline constexpr uint32_t kWireMagic = 0x54695431;  // "TiT1"
-inline constexpr uint8_t kWireVersion = 1;
-inline constexpr std::size_t kHeaderBytes = 20;
+inline constexpr uint8_t kWireVersion = 2;
+inline constexpr std::size_t kHeaderBytes = 24;
 
 /// Hard cap on a single frame's payload. Covers model blobs (a few MB)
 /// with room to spare; anything larger is a protocol error, not traffic.
@@ -52,10 +60,20 @@ struct Frame {
   FrameType type = FrameType::kRequest;
   uint16_t method = 0;
   uint64_t request_id = 0;
+  /// Remaining caller budget when the frame was encoded (0 = none).
+  uint32_t deadline_ms = 0;
   std::string payload;
   /// Monotonic receive stamp (MonotonicMicros), set by the transport when
   /// the frame is decoded; used for on-the-wire latency accounting.
   int64_t received_at_us = 0;
+
+  bool has_deadline() const { return deadline_ms != 0; }
+  /// Absolute local-monotonic deadline, anchored at the receive stamp
+  /// (INT64_MAX when the request carries no budget).
+  int64_t deadline_us() const {
+    return has_deadline() ? received_at_us + static_cast<int64_t>(deadline_ms) * 1000
+                          : INT64_MAX;
+  }
 };
 
 /// Steady-clock timestamp in microseconds (for wire-latency stamps).
@@ -121,8 +139,10 @@ class WireReader {
 // ---------------------------------------------------------------------------
 // Framing.
 
-/// Encodes a request frame carrying `payload`.
-std::string EncodeRequestFrame(uint16_t method, uint64_t request_id, std::string_view payload);
+/// Encodes a request frame carrying `payload`. `deadline_ms` is the
+/// caller's remaining budget (0 = no deadline propagated).
+std::string EncodeRequestFrame(uint16_t method, uint64_t request_id, std::string_view payload,
+                               uint32_t deadline_ms = 0);
 
 /// Encodes a response frame: `status` travels in-band ahead of `body`
 /// (which is empty for error responses).
@@ -181,7 +201,9 @@ std::string EncodeHealthInfo(const HealthInfo& info);
 Status DecodeHealthInfo(std::string_view payload, HealthInfo* info);
 
 /// kStats response body: the gateway's wire-latency histogram next to the
-/// router's in-process one (both microseconds).
+/// router's in-process one (both microseconds), plus the fault-tolerance
+/// counters (admission control, deadline enforcement, degraded scoring,
+/// circuit breaking).
 struct GatewayStats {
   uint64_t requests_served = 0;
   double wire_p50_us = 0.0;
@@ -191,6 +213,17 @@ struct GatewayStats {
   double wire_max_us = 0.0;
   double inproc_p50_us = 0.0;
   double inproc_p99_us = 0.0;
+  /// Requests refused with ResourceExhausted by admission control.
+  uint64_t requests_shed = 0;
+  /// Requests refused with Timeout because their budget expired before
+  /// the handler ran.
+  uint64_t requests_expired = 0;
+  /// Verdicts served from default features (degraded=true).
+  uint64_t degraded_verdicts = 0;
+  /// Circuit-breaker trips across the fleet since start.
+  uint64_t breaker_trips = 0;
+  /// Instances currently held out of rotation by an open breaker.
+  uint64_t open_instances = 0;
 };
 std::string EncodeGatewayStats(const GatewayStats& stats);
 Status DecodeGatewayStats(std::string_view payload, GatewayStats* stats);

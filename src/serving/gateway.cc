@@ -16,6 +16,7 @@ Status Gateway::Start() {
   server_options.host = options_.host;
   server_options.port = options_.port;
   server_options.worker_threads = options_.worker_threads;
+  server_options.max_in_flight = options_.max_in_flight;
   auto server = std::make_unique<net::Server>(
       std::move(server_options), [this](const net::Frame& frame) { return Handle(frame); });
   TITANT_RETURN_IF_ERROR(server->Start());
@@ -27,6 +28,8 @@ Status Gateway::Shutdown() {
   if (server_ == nullptr) return Status::OK();
   const Status status = server_->Shutdown();
   served_before_shutdown_ = server_->frames_dispatched();
+  shed_before_shutdown_ = server_->requests_shed();
+  expired_before_shutdown_ = server_->requests_expired();
   server_.reset();
   return status;
 }
@@ -54,6 +57,12 @@ net::GatewayStats Gateway::StatsSnapshot() const {
   const Histogram inproc = router_->AggregateLatency();
   stats.inproc_p50_us = inproc.P50();
   stats.inproc_p99_us = inproc.P99();
+  stats.requests_shed = server_ == nullptr ? shed_before_shutdown_ : server_->requests_shed();
+  stats.requests_expired =
+      server_ == nullptr ? expired_before_shutdown_ : server_->requests_expired();
+  stats.degraded_verdicts = router_->degraded_total();
+  stats.breaker_trips = router_->breaker_trips();
+  stats.open_instances = static_cast<uint64_t>(router_->open_instances());
   return stats;
 }
 
@@ -67,7 +76,10 @@ StatusOr<std::string> Gateway::Handle(const net::Frame& frame) {
         body = decoded;
         break;
       }
-      StatusOr<Verdict> verdict = router_->Score(request);
+      // Propagate the caller's remaining budget so the instance can shed
+      // fetch work (degraded mode) instead of blowing the deadline.
+      StatusOr<Verdict> verdict = router_->Score(
+          request, frame.has_deadline() ? frame.deadline_us() : 0);
       body = verdict.ok() ? StatusOr<std::string>(net::EncodeVerdict(*verdict))
                           : StatusOr<std::string>(verdict.status());
       break;
@@ -119,7 +131,7 @@ GatewayClient::GatewayClient(std::string host, uint16_t port, net::ClientOptions
 StatusOr<Verdict> GatewayClient::Score(const TransferRequest& request, int timeout_ms) {
   TITANT_ASSIGN_OR_RETURN(
       std::string body,
-      client_.Call(net::kScore, net::EncodeTransferRequest(request), timeout_ms));
+      client_.CallRetrying(net::kScore, net::EncodeTransferRequest(request), timeout_ms));
   Verdict verdict;
   TITANT_RETURN_IF_ERROR(net::DecodeVerdict(body, &verdict));
   return verdict;
@@ -130,7 +142,7 @@ Status GatewayClient::LoadModel(const std::string& blob, uint64_t version, int t
 }
 
 StatusOr<net::HealthInfo> GatewayClient::Health(int timeout_ms) {
-  TITANT_ASSIGN_OR_RETURN(std::string body, client_.Call(net::kHealth, "", timeout_ms));
+  TITANT_ASSIGN_OR_RETURN(std::string body, client_.CallRetrying(net::kHealth, "", timeout_ms));
   net::HealthInfo info;
   TITANT_RETURN_IF_ERROR(net::DecodeHealthInfo(body, &info));
   return info;

@@ -23,6 +23,10 @@ struct GatewayOptions {
   uint16_t port = 0;
   /// Handler threads scoring requests off the I/O loop.
   std::size_t worker_threads = 4;
+  /// Admission control (net::ServerOptions::max_in_flight): requests
+  /// beyond this many in flight are shed with ResourceExhausted instead
+  /// of queueing unboundedly. 0 disables.
+  std::size_t max_in_flight = 0;
 };
 
 /// The TCP front door of the Model Server fleet (§4.4, Fig. 5: the Alipay
@@ -67,7 +71,10 @@ class Gateway {
   ModelServerRouter* router_;
   GatewayOptions options_;
   std::unique_ptr<net::Server> server_;
-  uint64_t served_before_shutdown_ = 0;  // Final tally once server_ is gone.
+  // Final tallies once server_ is gone.
+  uint64_t served_before_shutdown_ = 0;
+  uint64_t shed_before_shutdown_ = 0;
+  uint64_t expired_before_shutdown_ = 0;
   mutable std::mutex mu_;
   Histogram wire_latency_us_;
 };
@@ -80,7 +87,10 @@ class GatewayClient {
  public:
   GatewayClient(std::string host, uint16_t port, net::ClientOptions options = net::ClientOptions());
 
-  /// Scores one transfer remotely.
+  /// Scores one transfer remotely. Retryable transport failures
+  /// (Unavailable/Timeout/ResourceExhausted) are retried under the call's
+  /// overall deadline budget per options.retry — Score is idempotent
+  /// server-side, so re-sending is safe.
   StatusOr<Verdict> Score(const TransferRequest& request, int timeout_ms = 0);
 
   /// Rolls a serialized model out to every instance behind the gateway.

@@ -1,20 +1,41 @@
 #include "serving/model_server.h"
 
+#include <chrono>
 #include <cmath>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/stopwatch.h"
 
 namespace titant::serving {
 
 namespace {
+
 constexpr double kTwoPi = 6.283185307179586;
+
+/// Same steady-clock domain as net::MonotonicMicros (serving must not
+/// depend on src/net, so the two-liner is duplicated rather than linked).
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Infrastructure-class failure: the store could not answer, as opposed to
+/// answering "no such row". Only these degrade; data errors propagate.
+bool InfraFailure(const Status& status) {
+  return status.IsRetryable() || status.code() == StatusCode::kIOError;
+}
+
 }  // namespace
 
 ModelServer::ModelServer(kvstore::AliHBase* store, ModelServerOptions options)
     : store_(store), options_(options) {}
 
 Status ModelServer::LoadModel(const std::string& blob, uint64_t version) {
+  // Chaos hook: one instance of a fleet rollout fails (disk full, torn
+  // upload) — the router must hold the stale instance out of rotation.
+  TITANT_FAILPOINT("serving.load_model");
   TITANT_ASSIGN_OR_RETURN(std::unique_ptr<ml::Model> model, ml::DeserializeModel(blob));
   const int expected = core::FeatureExtractor::kNumBasicFeatures +
                        (options_.use_embeddings ? options_.embedding_dim : 0);
@@ -29,8 +50,9 @@ Status ModelServer::LoadModel(const std::string& blob, uint64_t version) {
   return Status::OK();
 }
 
-StatusOr<Verdict> ModelServer::Score(const TransferRequest& request) {
+StatusOr<Verdict> ModelServer::Score(const TransferRequest& request, int64_t deadline_us) {
   Stopwatch timer;
+  TITANT_FAILPOINT("serving.score");
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (model_ == nullptr) return Status::FailedPrecondition("no model loaded");
@@ -41,15 +63,35 @@ StatusOr<Verdict> ModelServer::Score(const TransferRequest& request) {
       static_cast<std::size_t>(kBasic +
                                (options_.use_embeddings ? options_.embedding_dim : 0)));
 
+  // Set when a store fetch is skipped or replaced by cold defaults; checked
+  // before every fetch so an overrun stops store traffic immediately.
+  bool degraded = false;
+  const auto out_of_budget = [&degraded, deadline_us] {
+    if (deadline_us > 0 && NowMicros() > deadline_us) {
+      degraded = true;
+      return true;
+    }
+    return false;
+  };
+
   // 1. Transferor snapshot + aux from the feature store.
   const std::string row = UserRowKey(request.from_user);
-  TITANT_ASSIGN_OR_RETURN(std::string snapshot_blob,
-                          store_->Get(row, kFamilyBasic, kQualSnapshot));
-  TITANT_RETURN_IF_ERROR(
-      DecodeFloats(snapshot_blob, static_cast<std::size_t>(kBasic), features.data()));
+  if (!out_of_budget()) {
+    StatusOr<std::string> snapshot_blob = store_->Get(row, kFamilyBasic, kQualSnapshot);
+    if (snapshot_blob.ok()) {
+      TITANT_RETURN_IF_ERROR(
+          DecodeFloats(*snapshot_blob, static_cast<std::size_t>(kBasic), features.data()));
+    } else if (InfraFailure(snapshot_blob.status())) {
+      degraded = true;  // History slots stay at cold zero defaults.
+    } else {
+      return snapshot_blob.status();
+    }
+  }
   float aux[2] = {14.0f, 0.0f};
-  if (auto aux_blob = store_->Get(row, kFamilyBasic, kQualAux); aux_blob.ok()) {
-    TITANT_RETURN_IF_ERROR(DecodeFloats(*aux_blob, 2, aux));
+  if (!degraded && !out_of_budget()) {
+    if (auto aux_blob = store_->Get(row, kFamilyBasic, kQualAux); aux_blob.ok()) {
+      TITANT_RETURN_IF_ERROR(DecodeFloats(*aux_blob, 2, aux));
+    }
   }
 
   // 2. Request-derived (context) slots — same layout as offline Extract.
@@ -86,24 +128,33 @@ StatusOr<Verdict> ModelServer::Score(const TransferRequest& request) {
   f[46] = static_cast<float>(request.amount / (1.0 + aux[1]));
   f[47] = static_cast<float>(std::fabs(hour - aux[0]));
   // City statistics from the store.
-  if (auto city_blob =
-          store_->Get(CityRowKey(request.trans_city), kFamilyCity, kQualStats);
-      city_blob.ok()) {
-    TITANT_RETURN_IF_ERROR(DecodeFloats(*city_blob, 3, &f[48]));
+  if (!degraded && !out_of_budget()) {
+    if (auto city_blob =
+            store_->Get(CityRowKey(request.trans_city), kFamilyCity, kQualStats);
+        city_blob.ok()) {
+      TITANT_RETURN_IF_ERROR(DecodeFloats(*city_blob, 3, &f[48]));
+    }
   }
 
-  // 3. Transferee's user node embedding.
-  if (options_.use_embeddings) {
-    TITANT_ASSIGN_OR_RETURN(
-        std::string emb_blob,
-        store_->Get(UserRowKey(request.to_user), kFamilyEmbedding, kQualVector));
-    TITANT_RETURN_IF_ERROR(DecodeFloats(emb_blob,
-                                        static_cast<std::size_t>(options_.embedding_dim),
-                                        features.data() + kBasic));
+  // 3. Transferee's user node embedding (zero vector when degraded).
+  if (options_.use_embeddings && !degraded && !out_of_budget()) {
+    StatusOr<std::string> emb_blob =
+        store_->Get(UserRowKey(request.to_user), kFamilyEmbedding, kQualVector);
+    if (emb_blob.ok()) {
+      TITANT_RETURN_IF_ERROR(DecodeFloats(*emb_blob,
+                                          static_cast<std::size_t>(options_.embedding_dim),
+                                          features.data() + kBasic));
+    } else if (InfraFailure(emb_blob.status())) {
+      degraded = true;
+    } else {
+      return emb_blob.status();
+    }
   }
 
   // 4. Score and decide.
   Verdict verdict;
+  verdict.degraded = degraded;
+  if (degraded) degraded_scores_.fetch_add(1);
   {
     std::lock_guard<std::mutex> lock(mu_);
     verdict.fraud_probability = model_->Score(features.data());

@@ -1,6 +1,8 @@
 #ifndef TITANT_SERVING_MODEL_SERVER_H_
 #define TITANT_SERVING_MODEL_SERVER_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -46,12 +48,25 @@ class ModelServer {
   /// Scores one transfer request. Returns FailedPrecondition before the
   /// first LoadModel, NotFound when the store has no snapshot for the
   /// transferor.
-  StatusOr<Verdict> Score(const TransferRequest& request);
+  ///
+  /// `deadline_us` is an absolute steady-clock stamp (net::MonotonicMicros
+  /// domain); <= 0 means no deadline. Infrastructure-class store failures
+  /// (Unavailable/Timeout/IOError/ResourceExhausted) and deadline overruns
+  /// do NOT fail the call: the server falls back to cold-default features
+  /// for whatever it could not fetch and returns a verdict flagged
+  /// `degraded` (§4.4: an answer inside the latency budget beats a failed
+  /// transaction). Data-level errors (NotFound, corrupt blobs) still fail —
+  /// they are authoritative answers, not outages.
+  StatusOr<Verdict> Score(const TransferRequest& request, int64_t deadline_us = 0);
 
   /// End-to-end latency distribution (microseconds) across Score calls.
   Histogram LatencySnapshot() const;
 
   uint64_t model_version() const;
+
+  /// Verdicts produced from cold-default features (store outage or
+  /// deadline overrun mid-fetch).
+  uint64_t degraded_scores() const { return degraded_scores_.load(); }
 
  private:
   kvstore::AliHBase* store_;
@@ -60,6 +75,7 @@ class ModelServer {
   std::unique_ptr<ml::Model> model_;
   uint64_t model_version_ = 0;
   Histogram latency_us_;
+  std::atomic<uint64_t> degraded_scores_{0};
 };
 
 }  // namespace titant::serving

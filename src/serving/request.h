@@ -27,6 +27,11 @@ struct TransferRequest {
 struct Verdict {
   double fraud_probability = 0.0;
   bool interrupt = false;   // True -> the on-going transaction is stopped.
+  /// True when the score was computed from default features because the
+  /// feature fetch failed or ran out of deadline budget (§4.4 resilience:
+  /// a degraded answer inside the latency budget beats a failed
+  /// transaction). Callers may treat degraded verdicts more cautiously.
+  bool degraded = false;
   int64_t latency_us = 0;   // End-to-end MS latency (fetch + featurize + score).
   uint64_t model_version = 0;
 };

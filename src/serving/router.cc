@@ -5,47 +5,98 @@
 namespace titant::serving {
 
 ModelServerRouter::ModelServerRouter(kvstore::AliHBase* store, ModelServerOptions options,
-                                     int num_instances)
-    : healthy_(static_cast<std::size_t>(std::max(1, num_instances))),
+                                     int num_instances, RouterOptions router_options)
+    : router_options_(router_options),
+      healthy_(static_cast<std::size_t>(std::max(1, num_instances))),
+      rollout_held_(static_cast<std::size_t>(std::max(1, num_instances))),
+      breaker_open_(static_cast<std::size_t>(std::max(1, num_instances))),
+      consecutive_failures_(static_cast<std::size_t>(std::max(1, num_instances))),
+      breaker_skipped_(static_cast<std::size_t>(std::max(1, num_instances))),
       served_(static_cast<std::size_t>(std::max(1, num_instances))) {
   TITANT_CHECK(num_instances > 0);
+  TITANT_CHECK(router_options_.breaker_failure_threshold > 0);
+  TITANT_CHECK(router_options_.breaker_probe_interval > 0);
   instances_.reserve(static_cast<std::size_t>(num_instances));
   for (int i = 0; i < num_instances; ++i) {
     instances_.push_back(std::make_unique<ModelServer>(store, options));
-    healthy_[static_cast<std::size_t>(i)].store(true);
-    served_[static_cast<std::size_t>(i)].store(0);
+    const std::size_t s = static_cast<std::size_t>(i);
+    healthy_[s].store(true);
+    rollout_held_[s].store(false);
+    breaker_open_[s].store(false);
+    consecutive_failures_[s].store(0);
+    breaker_skipped_[s].store(0);
+    served_[s].store(0);
   }
 }
 
 Status ModelServerRouter::LoadModel(const std::string& blob, uint64_t version) {
   Status first_error = Status::OK();
-  for (auto& instance : instances_) {
-    const Status status = instance->LoadModel(blob, version);
-    if (!status.ok() && first_error.ok()) first_error = status;
+  std::vector<bool> loaded(instances_.size(), false);
+  std::size_t successes = 0;
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    const Status status = instances_[i]->LoadModel(blob, version);
+    loaded[i] = status.ok();
+    if (status.ok()) {
+      ++successes;
+    } else if (first_error.ok()) {
+      first_error = status;
+    }
+  }
+  if (successes == 0) return first_error;  // Fleet stays uniform on the old version.
+  // Partial failure would leave a mixed-version fleet: instances still on
+  // the stale model are held out of rotation until a later rollout
+  // succeeds on them (or ops revives them via SetInstanceHealthy).
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    if (loaded[i]) {
+      rollout_held_[i].store(false);  // Re-validated: on the fleet version.
+    } else if (!rollout_held_[i].exchange(true)) {
+      TITANT_WARN << "rollout of model v" << version << " failed on instance " << i
+                  << "; holding the stale instance out of rotation";
+    }
   }
   return first_error;
 }
 
-StatusOr<Verdict> ModelServerRouter::Score(const TransferRequest& request) {
+StatusOr<Verdict> ModelServerRouter::Score(const TransferRequest& request, int64_t deadline_us) {
   const std::size_t n = instances_.size();
   const uint64_t start = cursor_.fetch_add(1);
   Status last_unavailable = Status::Unavailable("no healthy Model Server instance");
   for (std::size_t attempt = 0; attempt < n; ++attempt) {
     const std::size_t i = static_cast<std::size_t>((start + attempt) % n);
-    if (!healthy_[i].load()) continue;
-    auto verdict = instances_[i]->Score(request);
-    if (verdict.ok()) {
+    if (!healthy_[i].load() || rollout_held_[i].load()) continue;
+    if (breaker_open_[i].load()) {
+      // Half-open probing: most traffic keeps failing over, but every Nth
+      // request that lands here goes through to test recovery.
+      const uint64_t skipped = breaker_skipped_[i].fetch_add(1) + 1;
+      if (skipped % static_cast<uint64_t>(router_options_.breaker_probe_interval) != 0) {
+        continue;
+      }
+    }
+    auto verdict = instances_[i]->Score(request, deadline_us);
+    const bool instance_failure =
+        !verdict.ok() && StatusCodeIsInstanceFailure(verdict.status().code());
+    if (!instance_failure) {
+      // The instance answered authoritatively (including request-level
+      // errors like an unknown user): it is alive, so close the breaker.
+      consecutive_failures_[i].store(0);
+      if (breaker_open_[i].exchange(false)) {
+        TITANT_INFO << "instance " << i << " breaker closed after successful probe";
+      }
+      if (!verdict.ok()) return verdict.status();
       served_[i].fetch_add(1);
       return verdict;
     }
-    // Instance-level outages fail over; request-level errors (bad user,
-    // no model loaded, malformed data) are returned to the caller.
-    if (verdict.status().code() == StatusCode::kUnavailable ||
-        verdict.status().code() == StatusCode::kInternal) {
-      last_unavailable = verdict.status();
-      continue;
+    // Instance-level outage: fail over, and trip the breaker once the
+    // failure streak crosses the threshold.
+    last_unavailable = verdict.status();
+    const uint32_t streak = consecutive_failures_[i].fetch_add(1) + 1;
+    if (streak >= static_cast<uint32_t>(router_options_.breaker_failure_threshold) &&
+        !breaker_open_[i].exchange(true)) {
+      breaker_skipped_[i].store(0);
+      breaker_trips_.fetch_add(1);
+      TITANT_WARN << "instance " << i << " breaker opened after " << streak
+                  << " consecutive failures: " << verdict.status().ToString();
     }
-    return verdict.status();
   }
   return last_unavailable;
 }
@@ -54,8 +105,29 @@ Status ModelServerRouter::SetInstanceHealthy(int instance, bool healthy) {
   if (instance < 0 || instance >= num_instances()) {
     return Status::OutOfRange("no such instance");
   }
-  healthy_[static_cast<std::size_t>(instance)].store(healthy);
+  const std::size_t i = static_cast<std::size_t>(instance);
+  healthy_[i].store(healthy);
+  if (healthy) {  // Ops revival wipes automatic state: fresh start.
+    rollout_held_[i].store(false);
+    breaker_open_[i].store(false);
+    consecutive_failures_[i].store(0);
+    breaker_skipped_[i].store(0);
+  }
   return Status::OK();
+}
+
+int ModelServerRouter::open_instances() const {
+  int open = 0;
+  for (int i = 0; i < num_instances(); ++i) {
+    if (!instance_healthy(i)) ++open;
+  }
+  return open;
+}
+
+uint64_t ModelServerRouter::degraded_total() const {
+  uint64_t total = 0;
+  for (const auto& instance : instances_) total += instance->degraded_scores();
+  return total;
 }
 
 uint64_t ModelServerRouter::model_version() const {

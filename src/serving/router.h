@@ -9,9 +9,23 @@
 
 namespace titant::serving {
 
+/// Fleet-level resilience knobs for ModelServerRouter.
+struct RouterOptions {
+  /// Consecutive instance-level failures (Unavailable / Timeout /
+  /// ResourceExhausted / Internal) that trip that instance's circuit
+  /// breaker open.
+  int breaker_failure_threshold = 5;
+  /// While a breaker is open, every Nth request that would have been
+  /// routed to the instance is let through as a half-open probe; a
+  /// successful probe closes the breaker. Count-based rather than
+  /// wall-clock so failure tests are deterministic.
+  int breaker_probe_interval = 16;
+};
+
 /// Fronts a fleet of Model Server instances (§4.4: "MS are distributed to
 /// satisfy low latency and high service load"): round-robin dispatch,
-/// health-based failover, broadcast model rollouts, aggregated latency.
+/// health-based failover, per-instance circuit breakers, broadcast model
+/// rollouts with stale-instance hold-down, aggregated latency.
 ///
 /// Thread-safe: Score may be called concurrently; health toggles and model
 /// rollouts serialize against each other but not against reads (instances
@@ -20,29 +34,56 @@ class ModelServerRouter {
  public:
   /// Spins up `num_instances` servers sharing `store` (which must outlive
   /// the router).
-  ModelServerRouter(kvstore::AliHBase* store, ModelServerOptions options, int num_instances);
+  ModelServerRouter(kvstore::AliHBase* store, ModelServerOptions options, int num_instances,
+                    RouterOptions router_options = RouterOptions());
 
   int num_instances() const { return static_cast<int>(instances_.size()); }
 
   /// Rolls the model out to every instance (all-or-nothing per instance;
-  /// returns the first error but keeps rolling the rest).
+  /// returns the first error but keeps rolling the rest). An instance
+  /// whose load fails is held out of rotation — serving a stale model
+  /// version from inside a "rolled out" fleet is worse than losing the
+  /// capacity — until a later rollout succeeds on it or ops revives it
+  /// via SetInstanceHealthy(i, true).
   Status LoadModel(const std::string& blob, uint64_t version);
 
-  /// Dispatches to the next healthy instance (round robin). Instance-level
-  /// unavailability fails over to the next one; returns Unavailable when
-  /// no instance is healthy.
-  StatusOr<Verdict> Score(const TransferRequest& request);
+  /// Dispatches to the next in-rotation instance (round robin).
+  /// Instance-level failures fail over to the next one and feed that
+  /// instance's breaker; returns Unavailable when no instance is usable.
+  /// `deadline_us` (absolute monotonic micros, <= 0 = none) is forwarded
+  /// to the instance for degraded-mode budget checks.
+  StatusOr<Verdict> Score(const TransferRequest& request, int64_t deadline_us = 0);
 
   /// Marks an instance up/down (ops control; also used by failure tests).
+  /// Reviving an instance clears its breaker and any rollout hold-down.
   Status SetInstanceHealthy(int instance, bool healthy);
+
+  /// True when the instance is in rotation: marked up by ops AND not held
+  /// down by a failed rollout AND its circuit breaker is not open.
   bool instance_healthy(int instance) const {
-    return healthy_[static_cast<std::size_t>(instance)].load();
+    const std::size_t i = static_cast<std::size_t>(instance);
+    return healthy_[i].load() && !rollout_held_[i].load() && !breaker_open_[i].load();
   }
+
+  /// Breaker / rollout introspection (ops + tests).
+  bool breaker_open(int instance) const {
+    return breaker_open_[static_cast<std::size_t>(instance)].load();
+  }
+  bool rollout_held(int instance) const {
+    return rollout_held_[static_cast<std::size_t>(instance)].load();
+  }
+  /// Times any breaker transitioned closed -> open since construction.
+  uint64_t breaker_trips() const { return breaker_trips_.load(); }
+  /// Instances currently out of rotation (ops down, held, or open).
+  int open_instances() const;
 
   /// Requests served per instance (load-balance diagnostics).
   uint64_t requests_served(int instance) const {
     return served_[static_cast<std::size_t>(instance)].load();
   }
+
+  /// Degraded verdicts across the fleet (see ModelServer::degraded_scores).
+  uint64_t degraded_total() const;
 
   /// Latency distribution merged across instances.
   Histogram AggregateLatency() const;
@@ -53,8 +94,14 @@ class ModelServerRouter {
 
  private:
   std::vector<std::unique_ptr<ModelServer>> instances_;
-  std::vector<std::atomic<bool>> healthy_;
+  RouterOptions router_options_;
+  std::vector<std::atomic<bool>> healthy_;        // Ops-controlled up/down.
+  std::vector<std::atomic<bool>> rollout_held_;   // Stale model: failed rollout.
+  std::vector<std::atomic<bool>> breaker_open_;   // Circuit breaker state.
+  std::vector<std::atomic<uint32_t>> consecutive_failures_;
+  std::vector<std::atomic<uint64_t>> breaker_skipped_;  // Probe cadence counter.
   std::vector<std::atomic<uint64_t>> served_;
+  std::atomic<uint64_t> breaker_trips_{0};
   std::atomic<uint64_t> cursor_{0};
 };
 

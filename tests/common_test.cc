@@ -1,13 +1,16 @@
 // Unit and property tests for src/common: Status/StatusOr, strings, RNG,
-// alias sampling, histogram and thread pool.
+// alias sampling, histogram, thread pool and failpoints.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <set>
 
 #include "common/alias_table.h"
+#include "common/failpoint.h"
 #include "common/histogram.h"
 #include "common/random.h"
 #include "common/status.h"
@@ -41,9 +44,154 @@ TEST(StatusTest, OkDropsMessage) {
 }
 
 TEST(StatusTest, EveryCodeHasAName) {
-  for (int code = 0; code <= 12; ++code) {
+  for (int code = 0; code <= 13; ++code) {
     EXPECT_NE(StatusCodeName(static_cast<StatusCode>(code)), "Unknown");
   }
+}
+
+TEST(StatusTest, CodeNamesRoundTripThroughFromName) {
+  for (int code = 0; code <= 13; ++code) {
+    ASSERT_TRUE(StatusCodeIsValid(code));
+    StatusCode parsed = StatusCode::kOk;
+    ASSERT_TRUE(StatusCodeFromName(StatusCodeName(static_cast<StatusCode>(code)), &parsed));
+    EXPECT_EQ(parsed, static_cast<StatusCode>(code));
+  }
+  StatusCode parsed = StatusCode::kOk;
+  EXPECT_FALSE(StatusCodeFromName("NoSuchCode", &parsed));
+  EXPECT_FALSE(StatusCodeIsValid(-1));
+  EXPECT_FALSE(StatusCodeIsValid(14));
+}
+
+TEST(StatusTest, RetryableCodesAreTransportFailures) {
+  EXPECT_TRUE(Status::Unavailable("x").IsRetryable());
+  EXPECT_TRUE(Status::Timeout("x").IsTimeout());
+  EXPECT_TRUE(Status::Timeout("x").IsRetryable());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsRetryable());
+  // Answers, not outages: retrying would re-fetch the same result.
+  EXPECT_FALSE(Status::NotFound("x").IsRetryable());
+  EXPECT_FALSE(Status::InvalidArgument("x").IsRetryable());
+  EXPECT_FALSE(Status::Internal("x").IsRetryable());
+  EXPECT_FALSE(Status::OK().IsRetryable());
+  // Instance-failure classification adds Internal (failover, not retry).
+  EXPECT_TRUE(Status::Internal("x").IsInstanceFailure());
+  EXPECT_TRUE(Status::Unavailable("x").IsInstanceFailure());
+  EXPECT_FALSE(Status::NotFound("x").IsInstanceFailure());
+}
+
+// ---------------------------------------------------------------------------
+// Failpoints.
+
+// Every test disarms on entry and exit so suites can run in any order.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Failpoints::DisarmAll(); }
+  void TearDown() override { Failpoints::DisarmAll(); }
+};
+
+Status GuardedOperation() {
+  TITANT_FAILPOINT("test.op");
+  return Status::OK();
+}
+
+StatusOr<int> GuardedValue() {
+  TITANT_FAILPOINT("test.op");
+  return 42;
+}
+
+TEST_F(FailpointTest, UnarmedPointsAreInvisible) {
+  EXPECT_FALSE(failpoint_internal::AnyArmed());
+  EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_EQ(*GuardedValue(), 42);
+  EXPECT_FALSE(Failpoints::armed("test.op"));
+  EXPECT_EQ(Failpoints::hits("test.op"), 0u);
+  // Unarmed evaluations are not even counted: the macro's fast path
+  // never reaches the registry.
+  EXPECT_EQ(Failpoints::evaluations("test.op"), 0u);
+}
+
+TEST_F(FailpointTest, ArmedErrorInjectsIntoStatusAndStatusOr) {
+  FailpointSpec spec;
+  spec.code = StatusCode::kUnavailable;
+  spec.message = "injected outage";
+  Failpoints::Arm("test.op", spec);
+  EXPECT_TRUE(failpoint_internal::AnyArmed());
+
+  const Status status = GuardedOperation();
+  EXPECT_TRUE(status.IsUnavailable());
+  EXPECT_EQ(status.message(), "injected outage");
+  EXPECT_TRUE(GuardedValue().status().IsUnavailable());
+  EXPECT_EQ(Failpoints::hits("test.op"), 2u);
+
+  EXPECT_TRUE(Failpoints::Disarm("test.op"));
+  EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_FALSE(Failpoints::Disarm("test.op"));  // Already gone.
+}
+
+TEST_F(FailpointTest, SkipAndMaxHitsBoundTheFailureWindow) {
+  FailpointSpec spec;
+  spec.code = StatusCode::kTimeout;
+  spec.skip = 2;      // First two evaluations pass.
+  spec.max_hits = 3;  // Then exactly three failures.
+  Failpoints::Arm("test.op", spec);
+  int failures = 0;
+  for (int i = 0; i < 10; ++i) failures += GuardedOperation().ok() ? 0 : 1;
+  EXPECT_EQ(failures, 3);
+  EXPECT_EQ(Failpoints::hits("test.op"), 3u);
+  EXPECT_EQ(Failpoints::evaluations("test.op"), 10u);
+}
+
+TEST_F(FailpointTest, ProbabilityIsSeededAndDeterministic) {
+  FailpointSpec spec;
+  spec.code = StatusCode::kUnavailable;
+  spec.probability = 0.3;
+  spec.seed = 1234;
+  Failpoints::Arm("test.op", spec);
+  std::vector<bool> first_run;
+  for (int i = 0; i < 200; ++i) first_run.push_back(!GuardedOperation().ok());
+
+  Failpoints::Arm("test.op", spec);  // Re-arm resets the PRNG stream.
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(!GuardedOperation().ok(), first_run[static_cast<std::size_t>(i)]) << i;
+  }
+  const auto hit_count =
+      static_cast<int>(std::count(first_run.begin(), first_run.end(), true));
+  EXPECT_GT(hit_count, 20);   // ~60 expected at p=0.3.
+  EXPECT_LT(hit_count, 120);
+}
+
+TEST_F(FailpointTest, SpecStringArmsMultiplePoints) {
+  ASSERT_TRUE(Failpoints::ArmFromSpec(
+                  "test.op,error:Unavailable,hits:1;test.other,delay:0,p:1.0,skip:5")
+                  .ok());
+  EXPECT_TRUE(Failpoints::armed("test.op"));
+  EXPECT_TRUE(Failpoints::armed("test.other"));
+  EXPECT_FALSE(GuardedOperation().ok());
+  EXPECT_TRUE(GuardedOperation().ok());  // hits:1 exhausted.
+
+  // Latency-only point: triggers but injects no error.
+  for (int i = 0; i < 7; ++i) EXPECT_TRUE(Failpoints::Eval("test.other").ok());
+  EXPECT_EQ(Failpoints::hits("test.other"), 2u);  // skip:5, then 2 of 7.
+
+  EXPECT_FALSE(Failpoints::ArmFromSpec("p.x,error:Bogus").ok());
+  EXPECT_FALSE(Failpoints::ArmFromSpec("p.x,p:1.5").ok());
+  EXPECT_FALSE(Failpoints::armed("p.x"));
+  EXPECT_TRUE(Failpoints::ArmFromSpec("").ok());  // Empty spec: no-op.
+}
+
+TEST_F(FailpointTest, ArmFromEnvReadsTheSpecVariable) {
+  ASSERT_EQ(::setenv("TITANT_FAILPOINTS", "test.env,error:IOError", 1), 0);
+  ASSERT_TRUE(Failpoints::ArmFromEnv().ok());
+  ::unsetenv("TITANT_FAILPOINTS");
+  EXPECT_TRUE(Failpoints::armed("test.env"));
+  EXPECT_TRUE(Failpoints::Eval("test.env").IsIOError());
+  const auto names = Failpoints::ArmedNames();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "test.env");
+  // Unset variable: no-op, nothing armed.
+  Failpoints::DisarmAll();
+  EXPECT_TRUE(Failpoints::ArmFromEnv().ok());
+  EXPECT_TRUE(Failpoints::ArmedNames().empty());
 }
 
 StatusOr<int> ParsePositive(int x) {

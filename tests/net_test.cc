@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "ml/decision_tree.h"
 #include "ml/model.h"
 #include "net/client.h"
@@ -63,12 +64,14 @@ TEST(WireTest, VerdictRoundTrip) {
   serving::Verdict verdict;
   verdict.fraud_probability = 0.93;
   verdict.interrupt = true;
+  verdict.degraded = true;
   verdict.latency_us = -1;  // Sign survives.
   verdict.model_version = 20170410;
   serving::Verdict decoded;
   ASSERT_TRUE(DecodeVerdict(EncodeVerdict(verdict), &decoded).ok());
   EXPECT_EQ(decoded.fraud_probability, verdict.fraud_probability);
   EXPECT_EQ(decoded.interrupt, verdict.interrupt);
+  EXPECT_EQ(decoded.degraded, verdict.degraded);
   EXPECT_EQ(decoded.latency_us, verdict.latency_us);
   EXPECT_EQ(decoded.model_version, verdict.model_version);
 }
@@ -98,12 +101,22 @@ TEST(WireTest, HealthAndStatsRoundTrip) {
   stats.wire_p50_us = 120.5;
   stats.wire_p999_us = 4800.0;
   stats.inproc_p99_us = 90.0;
+  stats.requests_shed = 17;
+  stats.requests_expired = 3;
+  stats.degraded_verdicts = 5;
+  stats.breaker_trips = 2;
+  stats.open_instances = 1;
   GatewayStats decoded_stats;
   ASSERT_TRUE(DecodeGatewayStats(EncodeGatewayStats(stats), &decoded_stats).ok());
   EXPECT_EQ(decoded_stats.requests_served, 1000u);
   EXPECT_EQ(decoded_stats.wire_p50_us, 120.5);
   EXPECT_EQ(decoded_stats.wire_p999_us, 4800.0);
   EXPECT_EQ(decoded_stats.inproc_p99_us, 90.0);
+  EXPECT_EQ(decoded_stats.requests_shed, 17u);
+  EXPECT_EQ(decoded_stats.requests_expired, 3u);
+  EXPECT_EQ(decoded_stats.degraded_verdicts, 5u);
+  EXPECT_EQ(decoded_stats.breaker_trips, 2u);
+  EXPECT_EQ(decoded_stats.open_instances, 1u);
 }
 
 TEST(WireTest, EveryMethodPayloadRejectsTruncation) {
@@ -134,6 +147,22 @@ TEST(WireTest, RequestFrameRoundTrip) {
   EXPECT_EQ(frames[0].payload, "payload-bytes");
   EXPECT_GT(frames[0].received_at_us, 0);
   EXPECT_EQ(decoder.pending_bytes(), 0u);
+  // No budget in the header: no deadline.
+  EXPECT_FALSE(frames[0].has_deadline());
+  EXPECT_EQ(frames[0].deadline_us(), INT64_MAX);
+}
+
+TEST(WireTest, RequestDeadlineRidesTheHeader) {
+  const std::string bytes = EncodeRequestFrame(kScore, 5, "x", /*deadline_ms=*/250);
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  ASSERT_TRUE(decoder.Feed(bytes.data(), bytes.size(), &frames).ok());
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].deadline_ms, 250u);
+  ASSERT_TRUE(frames[0].has_deadline());
+  // The absolute deadline is anchored at the local receive stamp, so a
+  // clock skew between peers cannot shift it.
+  EXPECT_EQ(frames[0].deadline_us(), frames[0].received_at_us + 250 * 1000);
 }
 
 TEST(WireTest, ResponseFrameCarriesStatus) {
@@ -247,9 +276,8 @@ constexpr uint16_t kFail = 11;
 constexpr uint16_t kSlow = 12;
 
 struct EchoServer {
-  explicit EchoServer(std::atomic<int>* slow_started = nullptr) {
-    ServerOptions options;
-    options.worker_threads = 4;
+  explicit EchoServer(std::atomic<int>* slow_started = nullptr,
+                      ServerOptions options = DefaultOptions()) {
     server = std::make_unique<Server>(options, [slow_started](const Frame& frame)
                                                    -> StatusOr<std::string> {
       switch (frame.method) {
@@ -265,6 +293,11 @@ struct EchoServer {
           return Status::Unimplemented("unknown method");
       }
     });
+  }
+  static ServerOptions DefaultOptions() {
+    ServerOptions options;
+    options.worker_threads = 4;
+    return options;
   }
   std::unique_ptr<Server> server;
 };
@@ -376,6 +409,155 @@ TEST(ServerTest, GracefulShutdownDrainsInFlightRequests) {
   // After drain the port no longer accepts.
   Client late("127.0.0.1", port);
   EXPECT_EQ(late.Connect().code(), StatusCode::kUnavailable);
+}
+
+TEST(ServerTest, SurvivesPeerThatDiesBeforeReadingTheReply) {
+  // Regression: replying to a dead peer must surface as EPIPE/ECONNRESET on
+  // the send (MSG_NOSIGNAL), never as a process-killing SIGPIPE.
+  std::atomic<int> slow_started{0};
+  EchoServer fixture(&slow_started);
+  ASSERT_TRUE(fixture.server->Start().ok());
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(fixture.server->port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  // Pipeline three slow requests, then die with an RST (SO_LINGER 0) so the
+  // server's replies hit a hard-closed socket.
+  std::string bytes;
+  for (uint64_t id = 1; id <= 3; ++id) bytes += EncodeRequestFrame(kSlow, id, "doomed");
+  ASSERT_EQ(::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(bytes.size()));
+  while (slow_started.load() < 3) std::this_thread::yield();
+  linger hard_close{1, 0};
+  ASSERT_EQ(::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard_close, sizeof(hard_close)), 0);
+  ::close(fd);
+
+  // The server must absorb the failed replies and keep serving others.
+  Client client("127.0.0.1", fixture.server->port());
+  for (int i = 0; i < 5; ++i) {
+    const auto body = client.Call(kEcho, "alive", /*timeout_ms=*/2000);
+    ASSERT_TRUE(body.ok()) << body.status().ToString();
+  }
+  ASSERT_TRUE(fixture.server->Shutdown().ok());
+}
+
+TEST(ServerTest, AdmissionControlShedsBeyondMaxInFlight) {
+  std::atomic<int> slow_started{0};
+  ServerOptions options = EchoServer::DefaultOptions();
+  options.max_in_flight = 1;
+  EchoServer fixture(&slow_started, options);
+  ASSERT_TRUE(fixture.server->Start().ok());
+  const uint16_t port = fixture.server->port();
+
+  // One slow request occupies the only admission slot...
+  std::thread holder([port] {
+    Client client("127.0.0.1", port);
+    const auto body = client.Call(kSlow, "slot-holder", /*timeout_ms=*/5000);
+    EXPECT_TRUE(body.ok()) << body.status().ToString();
+  });
+  while (slow_started.load() < 1) std::this_thread::yield();
+
+  // ...so the next request is shed immediately with ResourceExhausted (the
+  // reply comes from the loop thread, well before the slow handler ends).
+  Client client("127.0.0.1", port);
+  const auto shed = client.Call(kEcho, "overload", /*timeout_ms=*/2000);
+  EXPECT_TRUE(shed.status().IsResourceExhausted()) << shed.status().ToString();
+  EXPECT_EQ(fixture.server->requests_shed(), 1u);
+  // The connection survives shedding: once capacity frees, it serves.
+  holder.join();
+  const auto after = client.Call(kEcho, "after", /*timeout_ms=*/2000);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  ASSERT_TRUE(fixture.server->Shutdown().ok());
+}
+
+TEST(ServerTest, CallRetryingRidesOutInjectedTransportFaults) {
+  Failpoints::DisarmAll();
+  EchoServer fixture;
+  ASSERT_TRUE(fixture.server->Start().ok());
+  Client client("127.0.0.1", fixture.server->port());
+
+  // First attempt dies on an injected torn write; the retry reconnects.
+  FailpointSpec spec;
+  spec.code = StatusCode::kUnavailable;
+  spec.max_hits = 1;
+  Failpoints::Arm("net.client.write", spec);
+  const auto body = client.CallRetrying(kEcho, "eventually");
+  ASSERT_TRUE(body.ok()) << body.status().ToString();
+  EXPECT_EQ(*body, "eventually");
+  EXPECT_EQ(client.retries(), 1u);
+
+  // Non-retryable application errors return without another attempt.
+  const auto not_found = client.CallRetrying(kFail, "");
+  EXPECT_TRUE(not_found.status().IsNotFound());
+  EXPECT_EQ(client.retries(), 1u);
+  Failpoints::DisarmAll();
+  ASSERT_TRUE(fixture.server->Shutdown().ok());
+}
+
+TEST(ServerTest, CallRetryingWaitsOutAnOverloadedServer) {
+  std::atomic<int> slow_started{0};
+  ServerOptions options = EchoServer::DefaultOptions();
+  options.max_in_flight = 1;
+  EchoServer fixture(&slow_started, options);
+  ASSERT_TRUE(fixture.server->Start().ok());
+  const uint16_t port = fixture.server->port();
+
+  std::thread holder([port] {
+    Client client("127.0.0.1", port);
+    EXPECT_TRUE(client.Call(kSlow, "hold", /*timeout_ms=*/5000).ok());
+  });
+  while (slow_started.load() < 1) std::this_thread::yield();
+
+  // Shed replies are retryable: backoff outlasts the 200ms slow request.
+  ClientOptions client_options;
+  client_options.retry.max_attempts = 100;
+  client_options.retry.initial_backoff_ms = 8;
+  client_options.retry.max_backoff_ms = 32;
+  Client client("127.0.0.1", port, client_options);
+  const auto body = client.CallRetrying(kEcho, "patient", /*timeout_ms=*/5000);
+  ASSERT_TRUE(body.ok()) << body.status().ToString();
+  EXPECT_GE(client.retries(), 1u);
+  EXPECT_GE(fixture.server->requests_shed(), 1u);
+  holder.join();
+  ASSERT_TRUE(fixture.server->Shutdown().ok());
+}
+
+TEST(ServerTest, DeadlineExpiredInQueueIsRejectedWithoutRunning) {
+  std::atomic<int> slow_started{0};
+  ServerOptions options = EchoServer::DefaultOptions();
+  options.worker_threads = 1;  // One lane: the echo queues behind the slow call.
+  EchoServer fixture(&slow_started, options);
+  ASSERT_TRUE(fixture.server->Start().ok());
+  const uint16_t port = fixture.server->port();
+
+  std::thread holder([port] {
+    Client client("127.0.0.1", port);
+    EXPECT_TRUE(client.Call(kSlow, "head-of-line", /*timeout_ms=*/5000).ok());
+  });
+  while (slow_started.load() < 1) std::this_thread::yield();
+
+  // 50ms budget, ~200ms queue wait: by pickup the deadline is gone, so the
+  // server answers Timeout without invoking the handler.
+  Client client("127.0.0.1", port);
+  const auto body = client.Call(kEcho, "expired", /*timeout_ms=*/50);
+  EXPECT_TRUE(body.status().IsTimeout()) << body.status().ToString();
+  holder.join();
+  // The worker counts the expiry when it picks the queued echo up, which
+  // can trail the slow call's reply by a beat: wait for it.
+  const auto wait_deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (fixture.server->requests_expired() == 0 &&
+         std::chrono::steady_clock::now() < wait_deadline) {
+    std::this_thread::yield();
+  }
+  // 2 dispatched (slow + echo), but only the slow one reached the handler.
+  EXPECT_EQ(fixture.server->requests_expired(), 1u);
+  EXPECT_EQ(fixture.server->frames_dispatched(), 2u);
+  ASSERT_TRUE(fixture.server->Shutdown().ok());
 }
 
 // ---------------------------------------------------------------------------

@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <thread>
 
+#include "common/failpoint.h"
 #include "core/experiment.h"
 #include "datagen/world.h"
 #include "ml/metrics.h"
@@ -261,6 +263,221 @@ TEST_F(ModelServerTest, RouterSurvivesConcurrentTrafficAndHealthFlaps) {
   EXPECT_EQ(errors.load(), 0);
   EXPECT_GT(served.load(), 100);
   EXPECT_EQ(router.AggregateLatency().count(), static_cast<uint64_t>(served.load()));
+}
+
+// Satellite of the flap test above, aimed at the breaker's atomics: N
+// threads hammer Score while injected instance failures trip and
+// (via probes) re-close breakers, and ops concurrently flips health.
+// TSan (the build-tsan lane) checks the interleavings; the assertions
+// check the serving invariants hold through them.
+TEST_F(ModelServerTest, ConcurrentTrafficSurvivesBreakerTripsAndRecoveries) {
+  RouterOptions router_options;
+  router_options.breaker_failure_threshold = 2;
+  router_options.breaker_probe_interval = 4;
+  ModelServerRouter router(store_, ModelServerOptions(), 3, router_options);
+  ASSERT_TRUE(router.LoadModel(ml::SerializeModel(*model_), 42).ok());
+  const auto& sample = world_->log.records[window_->test_records.front()];
+
+  // One in five scores fails as an instance-level outage: streaks form,
+  // breakers trip, probes recover them — all under concurrent load.
+  Failpoints::ArmFromSpec("serving.score,error:Unavailable,p:0.2,seed:7");
+
+  std::atomic<int> hard_errors{0};
+  std::atomic<int> served{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < 400; ++i) {
+        const auto verdict = router.Score(RequestFor(sample));
+        if (verdict.ok()) {
+          served.fetch_add(1);
+        } else if (verdict.status().code() != StatusCode::kUnavailable) {
+          hard_errors.fetch_add(1);  // Injection may surface only as Unavailable.
+        }
+      }
+    });
+  }
+  // Ops flips health under the same load the breaker is reacting to.
+  for (int round = 0; round < 60; ++round) {
+    ASSERT_TRUE(router.SetInstanceHealthy(round % 3, false).ok());
+    std::this_thread::yield();
+    ASSERT_TRUE(router.SetInstanceHealthy(round % 3, true).ok());
+  }
+  for (auto& t : clients) t.join();
+  Failpoints::DisarmAll();
+
+  EXPECT_EQ(hard_errors.load(), 0);
+  EXPECT_GT(served.load(), 400);
+
+  // With injections off, probes re-close any breaker left open.
+  for (int i = 0; i < 500 && router.open_instances() > 0; ++i) {
+    (void)router.Score(RequestFor(sample));
+  }
+  EXPECT_EQ(router.open_instances(), 0);
+  EXPECT_TRUE(router.Score(RequestFor(sample)).ok());
+}
+
+TEST_F(ModelServerTest, BreakerTripsOnFailureStreakAndRecoversViaProbes) {
+  Failpoints::DisarmAll();
+  RouterOptions router_options;
+  router_options.breaker_failure_threshold = 2;
+  router_options.breaker_probe_interval = 3;
+  ModelServerRouter router(store_, ModelServerOptions(), 2, router_options);
+  ASSERT_TRUE(router.LoadModel(ml::SerializeModel(*model_), 1).ok());
+  const auto& sample = world_->log.records[window_->test_records.front()];
+
+  // Inject a bounded outage: the first 8 instance-level Scores fail.
+  FailpointSpec spec;
+  spec.code = StatusCode::kUnavailable;
+  spec.max_hits = 8;
+  Failpoints::Arm("serving.score", spec);
+
+  // Each router call burns through both instances; after the streak hits
+  // the threshold both breakers are open and calls fail fast (no probes
+  // consumed yet, so no further failpoint hits are needed to stay open).
+  int failures = 0;
+  for (int i = 0; i < 4 && Failpoints::hits("serving.score") < 4; ++i) {
+    failures += router.Score(RequestFor(sample)).ok() ? 0 : 1;
+  }
+  EXPECT_EQ(failures, 2);
+  EXPECT_TRUE(router.breaker_open(0));
+  EXPECT_TRUE(router.breaker_open(1));
+  EXPECT_FALSE(router.instance_healthy(0));
+  EXPECT_EQ(router.breaker_trips(), 2u);
+  EXPECT_EQ(router.open_instances(), 2);
+
+  // Keep calling: skipped requests fail fast until probe slots come up;
+  // probes burn the remaining injected failures, and once the outage
+  // schedule is exhausted a probe succeeds and closes each breaker.
+  int recovered_at = -1;
+  for (int i = 0; i < 100; ++i) {
+    const auto verdict = router.Score(RequestFor(sample));
+    if (verdict.ok() && !router.breaker_open(0) && !router.breaker_open(1)) {
+      recovered_at = i;
+      break;
+    }
+  }
+  ASSERT_GE(recovered_at, 0) << "breakers never closed after the outage ended";
+  EXPECT_EQ(router.open_instances(), 0);
+  // Closed breakers serve normally again.
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(router.Score(RequestFor(sample)).ok());
+  Failpoints::DisarmAll();
+}
+
+TEST_F(ModelServerTest, PartialRolloutHoldsStaleInstanceOutOfRotation) {
+  Failpoints::DisarmAll();
+  ModelServerRouter router(store_, ModelServerOptions(), 3);
+  ASSERT_TRUE(router.LoadModel(ml::SerializeModel(*model_), 100).ok());
+  const auto& sample = world_->log.records[window_->test_records.front()];
+
+  // v200 rollout fails on exactly the first instance (fleet order is
+  // deterministic), leaving it on v100 while the fleet moves to v200.
+  FailpointSpec spec;
+  spec.code = StatusCode::kInternal;
+  spec.message = "disk full during model install";
+  spec.max_hits = 1;
+  Failpoints::Arm("serving.load_model", spec);
+  const Status rollout = router.LoadModel(ml::SerializeModel(*model_), 200);
+  EXPECT_EQ(rollout.code(), StatusCode::kInternal);  // Surfaced to the operator.
+  EXPECT_EQ(router.model_version(), 200u);
+
+  // The stale instance is held down: no mixed-version verdicts.
+  EXPECT_TRUE(router.rollout_held(0));
+  EXPECT_FALSE(router.instance_healthy(0));
+  EXPECT_EQ(router.open_instances(), 1);
+  for (int i = 0; i < 20; ++i) {
+    const auto verdict = router.Score(RequestFor(sample));
+    ASSERT_TRUE(verdict.ok());
+    EXPECT_EQ(verdict->model_version, 200u) << "stale instance served a request";
+  }
+  EXPECT_EQ(router.requests_served(0), 0u);
+
+  // Retrying the rollout (outage over) re-validates the held instance.
+  ASSERT_TRUE(router.LoadModel(ml::SerializeModel(*model_), 200).ok());
+  EXPECT_FALSE(router.rollout_held(0));
+  EXPECT_TRUE(router.instance_healthy(0));
+  for (int i = 0; i < 9; ++i) ASSERT_TRUE(router.Score(RequestFor(sample)).ok());
+  EXPECT_GT(router.requests_served(0), 0u);
+  Failpoints::DisarmAll();
+}
+
+TEST_F(ModelServerTest, AllInstanceRolloutFailureKeepsFleetOnOldVersion) {
+  ModelServerRouter router(store_, ModelServerOptions(), 2);
+  ASSERT_TRUE(router.LoadModel(ml::SerializeModel(*model_), 7).ok());
+  const auto& sample = world_->log.records[window_->test_records.front()];
+
+  // A bad blob fails everywhere: the fleet stays uniform on v7 and keeps
+  // serving — holding every instance down would turn a bad upload into a
+  // total outage.
+  EXPECT_FALSE(router.LoadModel("corrupt-model-blob", 8).ok());
+  EXPECT_EQ(router.model_version(), 7u);
+  EXPECT_EQ(router.open_instances(), 0);
+  const auto verdict = router.Score(RequestFor(sample));
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_EQ(verdict->model_version, 7u);
+}
+
+TEST_F(ModelServerTest, DegradedScoringSurvivesStoreOutage) {
+  Failpoints::DisarmAll();
+  ModelServer server(store_, ModelServerOptions());
+  ASSERT_TRUE(server.LoadModel(ml::SerializeModel(*model_), 5).ok());
+  const auto& sample = world_->log.records[window_->test_records.front()];
+
+  // Baseline: a healthy store yields a full-quality verdict.
+  const auto healthy = server.Score(RequestFor(sample));
+  ASSERT_TRUE(healthy.ok());
+  EXPECT_FALSE(healthy->degraded);
+
+  // Store outage: every Get fails Unavailable. The server still answers,
+  // flagged degraded, from request-context features alone.
+  FailpointSpec spec;
+  spec.code = StatusCode::kUnavailable;
+  Failpoints::Arm("kvstore.get", spec);
+  const auto degraded = server.Score(RequestFor(sample));
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_TRUE(degraded->degraded);
+  EXPECT_GE(degraded->fraud_probability, 0.0);
+  EXPECT_LE(degraded->fraud_probability, 1.0);
+  EXPECT_EQ(server.degraded_scores(), 1u);
+  Failpoints::DisarmAll();
+
+  // Outage over: verdicts go back to full quality.
+  const auto recovered = server.Score(RequestFor(sample));
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_FALSE(recovered->degraded);
+  EXPECT_EQ(server.degraded_scores(), 1u);
+
+  // NotFound is NOT an outage: unknown users still fail loudly.
+  TransferRequest unknown;
+  unknown.from_user = 5'000'001;
+  unknown.to_user = 1;
+  unknown.day = window_->spec.test_day;
+  EXPECT_TRUE(server.Score(unknown).status().IsNotFound());
+}
+
+TEST_F(ModelServerTest, ExpiredDeadlineSkipsFetchesAndDegrades) {
+  ModelServer server(store_, ModelServerOptions());
+  ASSERT_TRUE(server.LoadModel(ml::SerializeModel(*model_), 5).ok());
+  const auto& sample = world_->log.records[window_->test_records.front()];
+
+  // A deadline 1h in the past: no time for any fetch, but the caller
+  // still gets a (degraded) verdict instead of a timeout.
+  const int64_t past = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now().time_since_epoch())
+                           .count() -
+                       3'600'000'000LL;
+  const auto verdict = server.Score(RequestFor(sample), past);
+  ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+  EXPECT_TRUE(verdict->degraded);
+
+  // A generous deadline changes nothing about the happy path.
+  const auto fresh = server.Score(RequestFor(sample),
+                                  std::chrono::duration_cast<std::chrono::microseconds>(
+                                      std::chrono::steady_clock::now().time_since_epoch())
+                                          .count() +
+                                      10'000'000LL);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(fresh->degraded);
 }
 
 TEST_F(ModelServerTest, RouterPropagatesRequestLevelErrors) {

@@ -35,6 +35,7 @@
 #include <string>
 #include <thread>
 
+#include "common/failpoint.h"
 #include "core/experiment.h"
 #include "datagen/world.h"
 #include "ml/decision_tree.h"
@@ -275,6 +276,13 @@ int CmdServe(int argc, char** argv) {
   titant::serving::ModelServerRouter router(store.get(), ms_options, instances);
   OrDie(router.LoadModel(blob, version));
 
+  // Chaos schedules ride in via TITANT_FAILPOINTS (see README) so a live
+  // fleet can be fault-tested without a rebuild.
+  OrDie(titant::Failpoints::ArmFromEnv());
+  for (const auto& name : titant::Failpoints::ArmedNames()) {
+    std::printf("failpoint armed: %s\n", name.c_str());
+  }
+
   titant::serving::GatewayOptions gw_options;
   gw_options.port = port;
   titant::serving::Gateway gateway(&router, gw_options);
@@ -323,7 +331,8 @@ int CmdScore(int argc, char** argv) {
               health.num_instances, static_cast<unsigned long long>(health.model_version));
   const auto verdict = OrDie(client.Score(request, /*timeout_ms=*/2000));
   std::printf("fraud probability  %.4f\n", verdict.fraud_probability);
-  std::printf("verdict            %s\n", verdict.interrupt ? "INTERRUPT" : "pass");
+  std::printf("verdict            %s%s\n", verdict.interrupt ? "INTERRUPT" : "pass",
+              verdict.degraded ? "  (DEGRADED: scored without live features)" : "");
   std::printf("server latency     %lld us (model v%llu)\n",
               static_cast<long long>(verdict.latency_us),
               static_cast<unsigned long long>(verdict.model_version));
