@@ -3,12 +3,18 @@
 // reaches the MS fleet over the wire, not via a function call).
 //
 //   bench_gateway [client_threads] [seconds] [instances] [--faults]
+//                 [--batch N] [--no-coalesce]
 //
 // Starts a Gateway over loopback in-process, drives it from N closed-loop
 // client threads (one connection each, next request issued as soon as the
 // previous reply lands), and prints sustained qps plus client-observed
 // p50/p95/p99/p99.9 round-trip latency, next to the router's in-process
 // scoring histogram so the socket tax is visible.
+//
+// --batch N sends explicit kScoreBatch frames of N rows per round trip
+// (qps is reported in rows/s; the latency histogram is per round trip).
+// --no-coalesce disables the gateway's server-side micro-batcher, so a
+// batch-1 run isolates what coalescing itself costs or saves.
 //
 // --faults arms a chaos schedule (TITANT_FAILPOINTS if set, else a stock
 // mix of KV outages, client write tears, and scoring latency) and reports
@@ -96,10 +102,17 @@ Fixture BuildFixture(int instances) {
 
 int main(int argc, char** argv) {
   bool faults = false;
+  bool coalesce = true;
+  int batch = 1;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--faults") == 0) {
       faults = true;
+    } else if (std::strcmp(argv[i], "--no-coalesce") == 0) {
+      coalesce = false;
+    } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+      batch = std::atoi(argv[++i]);
+      if (batch < 1) batch = 1;
     } else {
       positional.push_back(argv[i]);
     }
@@ -108,12 +121,17 @@ int main(int argc, char** argv) {
   const double seconds = positional.size() > 1 ? std::atof(positional[1]) : 3.0;
   const int instances = positional.size() > 2 ? std::atoi(positional[2]) : 2;
 
-  std::printf("bench_gateway: %d closed-loop client threads, %.1fs, %d MS instances%s\n",
-              threads, seconds, instances, faults ? ", fault injection ON" : "");
+  std::printf(
+      "bench_gateway: %d closed-loop client threads, %.1fs, %d MS instances, "
+      "batch %d, coalescing %s%s\n",
+      threads, seconds, instances, batch, coalesce ? "on" : "off",
+      faults ? ", fault injection ON" : "");
   std::printf("setting up world + model + feature store...\n");
   Fixture fixture = BuildFixture(instances);
 
-  titant::serving::Gateway gateway(fixture.router.get());
+  titant::serving::GatewayOptions gateway_options;
+  if (!coalesce) gateway_options.coalesce_max_batch = 1;
+  titant::serving::Gateway gateway(fixture.router.get(), gateway_options);
   CheckOk(gateway.Start());
   std::printf("gateway listening on 127.0.0.1:%u\n\n", gateway.port());
 
@@ -134,6 +152,7 @@ int main(int argc, char** argv) {
   }
 
   std::vector<titant::Histogram> rtt_us(static_cast<std::size_t>(threads));
+  std::vector<uint64_t> scored(static_cast<std::size_t>(threads), 0);
   std::vector<uint64_t> errors(static_cast<std::size_t>(threads), 0);
   std::vector<uint64_t> degraded(static_cast<std::size_t>(threads), 0);
   std::vector<uint64_t> retries(static_cast<std::size_t>(threads), 0);
@@ -141,22 +160,46 @@ int main(int argc, char** argv) {
   titant::Stopwatch wall;
   for (int t = 0; t < threads; ++t) {
     clients.emplace_back([&, t] {
+      const std::size_t slot = static_cast<std::size_t>(t);
       titant::serving::GatewayClient client("127.0.0.1", gateway.port());
-      std::size_t i = static_cast<std::size_t>(t);  // Stagger request streams.
+      std::size_t i = slot;  // Stagger request streams.
       titant::Stopwatch elapsed;
       while (elapsed.ElapsedSeconds() < seconds) {
         titant::Stopwatch rtt;
-        const auto verdict =
-            client.Score(fixture.requests[i % fixture.requests.size()], /*timeout_ms=*/5000);
-        if (verdict.ok()) {
-          rtt_us[static_cast<std::size_t>(t)].Add(static_cast<double>(rtt.ElapsedMicros()));
-          if (verdict->degraded) ++degraded[static_cast<std::size_t>(t)];
+        if (batch <= 1) {
+          const auto verdict =
+              client.Score(fixture.requests[i % fixture.requests.size()], /*timeout_ms=*/5000);
+          if (verdict.ok()) {
+            rtt_us[slot].Add(static_cast<double>(rtt.ElapsedMicros()));
+            ++scored[slot];
+            if (verdict->degraded) ++degraded[slot];
+          } else {
+            ++errors[slot];
+          }
+          ++i;
         } else {
-          ++errors[static_cast<std::size_t>(t)];
+          std::vector<titant::serving::TransferRequest> rows;
+          rows.reserve(static_cast<std::size_t>(batch));
+          for (int b = 0; b < batch; ++b) {
+            rows.push_back(fixture.requests[i++ % fixture.requests.size()]);
+          }
+          const auto items = client.ScoreBatch(rows, /*timeout_ms=*/5000);
+          if (items.ok()) {
+            rtt_us[slot].Add(static_cast<double>(rtt.ElapsedMicros()));
+            for (const auto& item : *items) {
+              if (item.ok()) {
+                ++scored[slot];
+                if (item->degraded) ++degraded[slot];
+              } else {
+                ++errors[slot];
+              }
+            }
+          } else {
+            errors[slot] += static_cast<uint64_t>(batch);
+          }
         }
-        ++i;
       }
-      retries[static_cast<std::size_t>(t)] = client.transport().retries();
+      retries[slot] = client.transport().retries();
     });
   }
   for (auto& thread : clients) thread.join();
@@ -164,22 +207,26 @@ int main(int argc, char** argv) {
   titant::Failpoints::DisarmAll();
 
   titant::Histogram merged;
+  uint64_t total_scored = 0;
   uint64_t total_errors = 0;
   uint64_t total_degraded = 0;
   uint64_t total_retries = 0;
   for (int t = 0; t < threads; ++t) {
     merged.Merge(rtt_us[static_cast<std::size_t>(t)]);
+    total_scored += scored[static_cast<std::size_t>(t)];
     total_errors += errors[static_cast<std::size_t>(t)];
     total_degraded += degraded[static_cast<std::size_t>(t)];
     total_retries += retries[static_cast<std::size_t>(t)];
   }
-  const double qps = static_cast<double>(merged.count()) / elapsed_s;
+  const double qps = static_cast<double>(total_scored) / elapsed_s;
 
-  std::printf("end-to-end over loopback (client-observed RTT):\n");
-  std::printf("  requests  %llu  (errors %llu)\n",
+  std::printf("end-to-end over loopback (client-observed RTT, %d row%s per round trip):\n",
+              batch, batch == 1 ? "" : "s");
+  std::printf("  scored    %llu rows in %llu round trips  (errors %llu)\n",
+              static_cast<unsigned long long>(total_scored),
               static_cast<unsigned long long>(merged.count()),
               static_cast<unsigned long long>(total_errors));
-  std::printf("  qps       %.0f\n", qps);
+  std::printf("  qps       %.0f rows/s\n", qps);
   std::printf("  p50       %.0f us\n", merged.P50());
   std::printf("  p95       %.0f us\n", merged.P95());
   std::printf("  p99       %.0f us\n", merged.P99());
@@ -193,6 +240,15 @@ int main(int argc, char** argv) {
               inproc.P99());
   std::printf("  %-28s p50 %7.0f   p99 %7.0f\n", "gateway handle (wire side)", wire.P50(),
               wire.P99());
+
+  const auto snapshot = gateway.StatsSnapshot();
+  if (snapshot.coalesced_batches > 0) {
+    std::printf("  coalescer: %llu rows over %llu dispatches (avg batch %.2f)\n",
+                static_cast<unsigned long long>(snapshot.coalesced_rows),
+                static_cast<unsigned long long>(snapshot.coalesced_batches),
+                static_cast<double>(snapshot.coalesced_rows) /
+                    static_cast<double>(snapshot.coalesced_batches));
+  }
 
   if (faults) {
     const auto stats = gateway.StatsSnapshot();
@@ -215,10 +271,10 @@ int main(int argc, char** argv) {
 
   if (faults) {
     // Under injection the bar is availability, not a spotless error count.
-    const uint64_t attempts = merged.count() + total_errors;
+    const uint64_t attempts = total_scored + total_errors;
     const double availability =
         attempts == 0 ? 0.0
-                      : static_cast<double>(merged.count()) / static_cast<double>(attempts);
+                      : static_cast<double>(total_scored) / static_cast<double>(attempts);
     const bool pass = availability >= 0.999;
     std::printf("\n%s: %.4f%% availability under faults (target: >= 99.9%%)\n",
                 pass ? "PASS" : "MISS", availability * 100.0);

@@ -147,6 +147,112 @@ void BM_GatewayScoreOverLoopback(benchmark::State& state) {
 }
 BENCHMARK(BM_GatewayScoreOverLoopback)->Unit(benchmark::kMicrosecond);
 
+// The batched MS path at various batch sizes: per-ROW time, so the curve
+// shows how much of the single-request cost the batch amortizes (one
+// MultiGet round trip + one vectorized model call).
+void BM_ModelServerScoreBatch(benchmark::State& state) {
+  auto& fixture = ServingFixture::Get();
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    std::vector<titant::serving::TransferRequest> rows;
+    rows.reserve(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+      rows.push_back(fixture.requests[i++ % fixture.requests.size()]);
+    }
+    const auto items = CheckOk(fixture.server->ScoreBatch(rows));
+    benchmark::DoNotOptimize(items.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_ModelServerScoreBatch)->Arg(1)->Arg(8)->Arg(32)->Unit(benchmark::kMicrosecond);
+
+// Same batch with an already-expired deadline: the fetch + decode stage is
+// skipped (every row degrades), leaving assembly + model + bookkeeping.
+// The delta against BM_ModelServerScoreBatch is the store-side cost.
+void BM_ModelServerScoreBatchDegraded(benchmark::State& state) {
+  auto& fixture = ServingFixture::Get();
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    std::vector<titant::serving::TransferRequest> rows;
+    rows.reserve(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+      rows.push_back(fixture.requests[i++ % fixture.requests.size()]);
+    }
+    const auto items = CheckOk(fixture.server->ScoreBatch(rows, /*deadline_us=*/1));
+    benchmark::DoNotOptimize(items.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_ModelServerScoreBatchDegraded)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+// The vectorized model invocation alone (contiguous rows, no store).
+void BM_GbdtScoreBatchOnly(benchmark::State& state) {
+  auto& fixture = ServingFixture::Get();
+  const int batch = static_cast<int>(state.range(0));
+  std::vector<float> rows;
+  for (int b = 0; b < batch; ++b) {
+    rows.insert(rows.end(), fixture.sample_row.begin(), fixture.sample_row.end());
+  }
+  std::vector<double> out(static_cast<std::size_t>(batch));
+  for (auto _ : state) {
+    fixture.model->ScoreBatch(rows.data(), batch, out.data());
+    benchmark::DoNotOptimize(out[0]);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_GbdtScoreBatchOnly)->Arg(1)->Arg(8)->Arg(32)->Unit(benchmark::kMicrosecond);
+
+// Sorted multi-probe KV read: per-probe cost against the point-Get bar.
+void BM_FeatureStoreMultiGet(benchmark::State& state) {
+  auto& fixture = ServingFixture::Get();
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  uint32_t user = 0;
+  for (auto _ : state) {
+    std::vector<titant::kvstore::ColumnProbe> probes;
+    probes.reserve(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+      probes.push_back({titant::serving::UserRowKey(user++ % 1500),
+                        titant::serving::kFamilyBasic, titant::serving::kQualSnapshot});
+    }
+    const auto values = fixture.store->MultiGet(probes);
+    benchmark::DoNotOptimize(values.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_FeatureStoreMultiGet)->Arg(4)->Arg(32)->Unit(benchmark::kMicrosecond);
+
+// The exact probe mix ScoreSpan issues for a batch of 8: snapshot + aux +
+// city stats + transferee embedding per row.
+void BM_FeatureStoreMultiGetServingMix(benchmark::State& state) {
+  auto& fixture = ServingFixture::Get();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    std::vector<titant::kvstore::ColumnProbe> probes;
+    probes.reserve(32);
+    for (std::size_t b = 0; b < 8; ++b) {
+      const auto& req = fixture.requests[i++ % fixture.requests.size()];
+      std::string row = titant::serving::UserRowKey(req.from_user);
+      probes.push_back({row, titant::serving::kFamilyBasic, titant::serving::kQualSnapshot});
+      probes.push_back({std::move(row), titant::serving::kFamilyBasic,
+                        titant::serving::kQualAux});
+      probes.push_back({titant::serving::CityRowKey(req.trans_city),
+                        titant::serving::kFamilyCity, titant::serving::kQualStats});
+      probes.push_back({titant::serving::UserRowKey(req.to_user),
+                        titant::serving::kFamilyEmbedding, titant::serving::kQualVector});
+    }
+    const auto values = fixture.store->MultiGet(probes);
+    benchmark::DoNotOptimize(values.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_FeatureStoreMultiGetServingMix)->Unit(benchmark::kMicrosecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

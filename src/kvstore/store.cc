@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <tuple>
 
 #include "common/failpoint.h"
 #include "common/string_util.h"
@@ -106,10 +107,10 @@ Status AliHBase::WriteCells(const std::vector<Cell>& cells) {
   return Status::OK();
 }
 
-std::optional<Cell> AliHBase::LookupLocked(const std::string& row, const std::string& family,
-                                           const std::string& qualifier,
-                                           uint64_t snapshot) const {
-  std::optional<Cell> best;
+const Cell* AliHBase::FindLocked(const std::string& row, const std::string& family,
+                                 const std::string& qualifier, uint64_t snapshot,
+                                 std::optional<Cell>* sstable_scratch) const {
+  const Cell* best = nullptr;
   // Memtable: entries for this column are ordered by version desc, then
   // write order; the first entry at or below the snapshot wins there.
   {
@@ -122,7 +123,7 @@ std::optional<Cell> AliHBase::LookupLocked(const std::string& row, const std::st
       const Cell& cell = it.key().cell;
       if (cell.key.row == row && cell.key.family == family &&
           cell.key.qualifier == qualifier && cell.key.version <= snapshot) {
-        best = cell;
+        best = &cell;
       }
     }
   }
@@ -131,8 +132,9 @@ std::optional<Cell> AliHBase::LookupLocked(const std::string& row, const std::st
   // same-version overwrites resolve to the memtable, then the newest file.
   for (auto it = sstables_.rbegin(); it != sstables_.rend(); ++it) {
     std::optional<Cell> cell = it->Get(row, family, qualifier, snapshot);
-    if (cell && (!best || cell->key.version > best->key.version)) {
-      best = std::move(cell);
+    if (cell && (best == nullptr || cell->key.version > best->key.version)) {
+      *sstable_scratch = std::move(cell);
+      best = &**sstable_scratch;
     }
   }
   return best;
@@ -146,11 +148,66 @@ StatusOr<std::string> AliHBase::Get(const std::string& row, const std::string& f
   TITANT_FAILPOINT("kvstore.get");
   TITANT_RETURN_IF_ERROR(CheckFamily(family));
   std::shared_lock lock(mu_);
-  std::optional<Cell> cell = LookupLocked(row, family, qualifier, snapshot);
-  if (!cell || cell->tombstone) {
+  std::optional<Cell> scratch;
+  const Cell* cell = FindLocked(row, family, qualifier, snapshot, &scratch);
+  if (cell == nullptr || cell->tombstone) {
     return Status::NotFound(row + "/" + family + ":" + qualifier);
   }
   return cell->value;
+}
+
+std::vector<StatusOr<std::string>> AliHBase::MultiGet(const std::vector<ColumnProbe>& probes,
+                                                      uint64_t snapshot) const {
+  // Per-probe admission mirrors Get: the chaos hook and the family check
+  // run key by key (and before the shared lock), so one injected fault or
+  // one bad family fails one probe, never its batch siblings.
+  std::vector<StatusOr<std::string>> results;
+  results.reserve(probes.size());
+  std::vector<std::size_t> live;
+  live.reserve(probes.size());
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    Status admitted = failpoint_internal::AnyArmed() ? Failpoints::Eval("kvstore.get")
+                                                     : Status::OK();
+    if (admitted.ok()) admitted = CheckFamily(probes[i].family);
+    if (admitted.ok()) {
+      live.push_back(i);
+      results.emplace_back(std::string());  // Placeholder, overwritten below.
+    } else {
+      results.emplace_back(std::move(admitted));
+    }
+  }
+
+  // Visit the surviving probes in key order: lookups sweep the memtable
+  // and the SSTable sparse indexes forward instead of seeking randomly,
+  // and duplicate coordinates collapse into one lookup (the bloom-filter
+  // and index probes are paid once per distinct column, not per request).
+  auto key_of = [&probes](std::size_t i) {
+    const ColumnProbe& p = probes[i];
+    return std::tie(p.row, p.family, p.qualifier);
+  };
+  std::sort(live.begin(), live.end(),
+            [&](std::size_t a, std::size_t b) { return key_of(a) < key_of(b); });
+
+  std::shared_lock lock(mu_);  // One lock acquisition for the whole batch.
+  std::optional<Cell> scratch;
+  const Cell* cell = nullptr;
+  bool have_prev = false;
+  std::size_t prev = 0;
+  for (std::size_t idx : live) {
+    const ColumnProbe& probe = probes[idx];
+    if (!have_prev || key_of(prev) != key_of(idx)) {
+      scratch.reset();
+      cell = FindLocked(probe.row, probe.family, probe.qualifier, snapshot, &scratch);
+      prev = idx;
+      have_prev = true;
+    }
+    if (cell == nullptr || cell->tombstone) {
+      results[idx] = Status::NotFound(probe.row + "/" + probe.family + ":" + probe.qualifier);
+    } else {
+      results[idx] = cell->value;
+    }
+  }
+  return results;
 }
 
 StatusOr<std::map<std::string, std::string>> AliHBase::GetRow(const std::string& row,
@@ -169,7 +226,12 @@ StatusOr<std::vector<Cell>> AliHBase::Scan(const std::string& start_row,
                                            const std::string& end_row, uint64_t snapshot,
                                            std::size_t limit) const {
   std::shared_lock lock(mu_);
+  return ScanLocked(start_row, end_row, snapshot, limit);
+}
 
+std::vector<Cell> AliHBase::ScanLocked(const std::string& start_row,
+                                       const std::string& end_row, uint64_t snapshot,
+                                       std::size_t limit) const {
   // Merge all sources into (key -> cell), keeping the winning version per
   // column. Simplicity over peak throughput: scans here back bulk
   // verification jobs, not the latency-critical point reads.
@@ -228,6 +290,28 @@ StatusOr<std::vector<Cell>> AliHBase::Scan(const std::string& start_row,
     if (out.size() >= limit) break;
   }
   return out;
+}
+
+std::vector<StatusOr<std::map<std::string, std::string>>> AliHBase::MultiGetRow(
+    const std::vector<std::string>& rows, uint64_t snapshot) const {
+  std::vector<std::size_t> order(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&rows](std::size_t a, std::size_t b) { return rows[a] < rows[b]; });
+
+  std::vector<StatusOr<std::map<std::string, std::string>>> results(
+      rows.size(), StatusOr<std::map<std::string, std::string>>(std::map<std::string, std::string>()));
+  std::shared_lock lock(mu_);  // One lock acquisition for the whole batch.
+  for (std::size_t idx : order) {
+    const std::string& row = rows[idx];
+    std::map<std::string, std::string> columns;
+    for (Cell& cell :
+         ScanLocked(row, row + std::string(1, '\0'), snapshot, SIZE_MAX)) {
+      columns[cell.key.family + ":" + cell.key.qualifier] = std::move(cell.value);
+    }
+    results[idx] = std::move(columns);
+  }
+  return results;
 }
 
 Status AliHBase::FlushLocked() {

@@ -33,6 +33,14 @@ struct StoreOptions {
   bool durable = true;
 };
 
+/// One column coordinate of a MultiGet batch (a CellKey without the
+/// version — the snapshot applies to the whole batch).
+struct ColumnProbe {
+  std::string row;
+  std::string family;
+  std::string qualifier;
+};
+
 /// A single-table, column-family KV store with timestamp versions —
 /// the Ali-HBase stand-in serving the online feature fetches (§4.4,
 /// Fig. 7): row key = user, one family for basic features, one for the
@@ -65,9 +73,23 @@ class AliHBase {
                             const std::string& qualifier,
                             uint64_t snapshot = UINT64_MAX) const;
 
+  /// Batched Get: one result per probe, in probe order. The read-path lock
+  /// is taken once for the whole batch and the probes are visited in sorted
+  /// key order (seek locality in the memtable and SSTable indexes;
+  /// duplicate coordinates collapse to one lookup). Per-probe semantics
+  /// match Get exactly — a probe that fails (undeclared family, injected
+  /// fault, no visible value) fails alone, never its batch siblings.
+  std::vector<StatusOr<std::string>> MultiGet(const std::vector<ColumnProbe>& probes,
+                                              uint64_t snapshot = UINT64_MAX) const;
+
   /// Returns all visible columns of a row as "family:qualifier" -> value.
   StatusOr<std::map<std::string, std::string>> GetRow(const std::string& row,
                                                       uint64_t snapshot = UINT64_MAX) const;
+
+  /// Batched GetRow: one row map per requested row, in request order,
+  /// under a single read-lock acquisition (rows visited in sorted order).
+  std::vector<StatusOr<std::map<std::string, std::string>>> MultiGetRow(
+      const std::vector<std::string>& rows, uint64_t snapshot = UINT64_MAX) const;
 
   /// Scans visible cells with start_row <= row < end_row (end empty =
   /// unbounded), at most `limit` cells. Returns the newest visible
@@ -105,8 +127,16 @@ class AliHBase {
   Status CheckFamily(const std::string& family) const;
   Status WriteCells(const std::vector<Cell>& cells);
   Status FlushLocked();
-  std::optional<Cell> LookupLocked(const std::string& row, const std::string& family,
-                                   const std::string& qualifier, uint64_t snapshot) const;
+  /// Point lookup under mu_. Returns a pointer into the memtable (valid
+  /// while the lock is held) or into *sstable_scratch when an SSTable
+  /// holds the winning version; nullptr when the column is absent. The
+  /// pointer form spares the read path a full Cell copy per probe — the
+  /// caller copies just the value, and only for hits it keeps.
+  const Cell* FindLocked(const std::string& row, const std::string& family,
+                         const std::string& qualifier, uint64_t snapshot,
+                         std::optional<Cell>* sstable_scratch) const;
+  std::vector<Cell> ScanLocked(const std::string& start_row, const std::string& end_row,
+                               uint64_t snapshot, std::size_t limit) const;
 
   StoreOptions options_;
   mutable std::shared_mutex mu_;

@@ -180,12 +180,51 @@ double GbdtModel::PredictTreeBinned(const Tree& tree, const uint16_t* bins) cons
   return node->value;
 }
 
+namespace {
+/// Bin-block entries that stay on the stack in Score/ScoreBatch (8 KiB).
+/// Scoring runs per transaction on the serving hot path, where a heap
+/// round trip per call is measurable; larger blocks spill to the heap.
+constexpr std::size_t kStackBinEntries = 4096;
+}  // namespace
+
 double GbdtModel::Score(const float* row) const {
-  std::vector<uint16_t> bins(static_cast<std::size_t>(num_features_));
-  discretizer_.TransformRow(row, bins.data());
+  uint16_t stack_bins[kStackBinEntries];
+  std::vector<uint16_t> heap_bins;
+  uint16_t* bins = stack_bins;
+  if (static_cast<std::size_t>(num_features_) > kStackBinEntries) {
+    heap_bins.resize(static_cast<std::size_t>(num_features_));
+    bins = heap_bins.data();
+  }
+  discretizer_.TransformRow(row, bins);
   double score = base_score_;
-  for (const auto& tree : trees_) score += PredictTreeBinned(tree, bins.data());
+  for (const auto& tree : trees_) score += PredictTreeBinned(tree, bins);
   return std::clamp(score, 0.0, 1.0);
+}
+
+void GbdtModel::ScoreBatch(const float* rows, int n, double* out) const {
+  if (n <= 0) return;
+  const std::size_t width = static_cast<std::size_t>(num_features_);
+  const std::size_t total = static_cast<std::size_t>(n) * width;
+  uint16_t stack_bins[kStackBinEntries];
+  std::vector<uint16_t> heap_bins;
+  uint16_t* bins = stack_bins;
+  if (total > kStackBinEntries) {
+    heap_bins.resize(total);
+    bins = heap_bins.data();
+  }
+  for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) {
+    discretizer_.TransformRow(rows + i * width, bins + i * width);
+  }
+  // Tree-major: one tree's (small) node array stays hot while every row
+  // walks it, and the whole bin block is revisited per tree.
+  for (int i = 0; i < n; ++i) out[i] = base_score_;
+  for (const auto& tree : trees_) {
+    const uint16_t* row_bins = bins;
+    for (int i = 0; i < n; ++i, row_bins += width) {
+      out[i] += PredictTreeBinned(tree, row_bins);
+    }
+  }
+  for (int i = 0; i < n; ++i) out[i] = std::clamp(out[i], 0.0, 1.0);
 }
 
 std::vector<std::pair<int, double>> GbdtModel::FeatureImportance() const {

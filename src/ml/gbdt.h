@@ -39,6 +39,11 @@ class GbdtModel : public Model {
   Status Train(const DataMatrix& train) override;
   int num_features() const override { return num_features_; }
   double Score(const float* row) const override;
+  /// Tree-major batch scoring: the whole batch is discretized into one
+  /// contiguous bin block once, then each tree walks every row before the
+  /// next tree is touched — the tree's nodes stay hot in cache across the
+  /// batch instead of the batch's rows evicting them per transaction.
+  void ScoreBatch(const float* rows, int n, double* out) const override;
   std::string SerializePayload() const override;
 
   static StatusOr<std::unique_ptr<GbdtModel>> FromPayload(const std::string& payload);

@@ -154,6 +154,33 @@ double LogisticRegressionModel::Margin(const float* row) const {
 
 double LogisticRegressionModel::Score(const float* row) const { return Sigmoid(Margin(row)); }
 
+void LogisticRegressionModel::ScoreBatch(const float* rows, int n, double* out) const {
+  if (n <= 0) return;
+  const std::size_t width = static_cast<std::size_t>(num_features_);
+  std::vector<double> margin(static_cast<std::size_t>(n), bias_);
+  if (options_.discretize) {
+    for (int f = 0; f < num_features_; ++f) {
+      const std::size_t base = discretizer_.OneHotOffset(f);
+      const float* value = rows + static_cast<std::size_t>(f);
+      for (int i = 0; i < n; ++i, value += width) {
+        margin[static_cast<std::size_t>(i)] +=
+            weights_[base + static_cast<std::size_t>(discretizer_.BinOf(f, *value))];
+      }
+    }
+  } else {
+    for (int f = 0; f < num_features_; ++f) {
+      const double scaled_weight = weights_[static_cast<std::size_t>(f)] *
+                                   inv_std_[static_cast<std::size_t>(f)];
+      const double mean = mean_[static_cast<std::size_t>(f)];
+      const float* value = rows + static_cast<std::size_t>(f);
+      for (int i = 0; i < n; ++i, value += width) {
+        margin[static_cast<std::size_t>(i)] += scaled_weight * (*value - mean);
+      }
+    }
+  }
+  for (int i = 0; i < n; ++i) out[i] = Sigmoid(margin[static_cast<std::size_t>(i)]);
+}
+
 std::size_t LogisticRegressionModel::ZeroWeights() const {
   std::size_t zeros = 0;
   for (double w : weights_) zeros += w == 0.0 ? 1 : 0;

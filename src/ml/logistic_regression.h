@@ -40,6 +40,11 @@ class LogisticRegressionModel : public Model {
   Status Train(const DataMatrix& train) override;
   int num_features() const override { return num_features_; }
   double Score(const float* row) const override;
+  /// Feature-major batch scoring over contiguous rows: one feature's bin
+  /// boundaries (or mean/std) are walked across the whole batch before
+  /// moving to the next feature, keeping the per-feature lookup tables in
+  /// cache instead of re-fetching them per transaction.
+  void ScoreBatch(const float* rows, int n, double* out) const override;
   std::string SerializePayload() const override;
 
   static StatusOr<std::unique_ptr<LogisticRegressionModel>> FromPayload(

@@ -9,6 +9,11 @@
 
 namespace titant::ml {
 
+void Model::ScoreBatch(const float* rows, int n, double* out) const {
+  const std::size_t width = static_cast<std::size_t>(num_features());
+  for (int i = 0; i < n; ++i) out[i] = Score(rows + static_cast<std::size_t>(i) * width);
+}
+
 StatusOr<std::vector<double>> Model::ScoreAll(const DataMatrix& data) const {
   if (data.num_cols() != num_features()) {
     return Status::InvalidArgument("feature width mismatch: model expects " +
@@ -16,7 +21,11 @@ StatusOr<std::vector<double>> Model::ScoreAll(const DataMatrix& data) const {
                                    std::to_string(data.num_cols()));
   }
   std::vector<double> scores(data.num_rows());
-  for (std::size_t i = 0; i < data.num_rows(); ++i) scores[i] = Score(data.Row(i));
+  // DataMatrix rows are contiguous row-major storage, exactly the batch
+  // layout ScoreBatch wants.
+  if (!scores.empty()) {
+    ScoreBatch(data.Row(0), static_cast<int>(data.num_rows()), scores.data());
+  }
   return scores;
 }
 

@@ -33,10 +33,17 @@ class Model {
   /// Scores one feature row (must have num_features() values).
   virtual double Score(const float* row) const = 0;
 
+  /// Scores `n` contiguous row-major feature rows (num_features() floats
+  /// each) into `out`. The serving batch path lands here; models with a
+  /// vectorizable form (GBDT tree-major traversal, LR feature-major
+  /// accumulation) override it, everything else gets the per-row loop.
+  /// Must be equivalent to calling Score on each row.
+  virtual void ScoreBatch(const float* rows, int n, double* out) const;
+
   /// Serializes the fitted model payload (excluding the type tag).
   virtual std::string SerializePayload() const = 0;
 
-  /// Scores every row of `data`; validates the width.
+  /// Scores every row of `data` via ScoreBatch; validates the width.
   StatusOr<std::vector<double>> ScoreAll(const DataMatrix& data) const;
 };
 

@@ -217,8 +217,13 @@ Status FrameDecoder::Feed(const char* data, std::size_t size, std::vector<Frame>
 // ---------------------------------------------------------------------------
 // Method payloads.
 
-std::string EncodeTransferRequest(const serving::TransferRequest& request) {
-  WireWriter w;
+namespace {
+
+/// Size of one TransferRequest record on the wire — fixed so a kScoreBatch
+/// decoder can cross-check the declared item count against the payload.
+constexpr std::size_t kTransferRequestBytes = 36;
+
+void WriteTransferRequestFields(WireWriter& w, const serving::TransferRequest& request) {
   w.U64(request.txn_id);
   w.U32(request.from_user);
   w.U32(request.to_user);
@@ -228,11 +233,9 @@ std::string EncodeTransferRequest(const serving::TransferRequest& request) {
   w.U8(static_cast<uint8_t>(request.channel));
   w.U16(request.trans_city);
   w.U8(request.is_new_device ? 1 : 0);
-  return w.Take();
 }
 
-Status DecodeTransferRequest(std::string_view payload, serving::TransferRequest* request) {
-  WireReader r(payload);
+Status ReadTransferRequestFields(WireReader& r, serving::TransferRequest* request) {
   uint8_t channel = 0, new_device = 0;
   TITANT_RETURN_IF_ERROR(r.U64(&request->txn_id));
   TITANT_RETURN_IF_ERROR(r.U32(&request->from_user));
@@ -248,21 +251,18 @@ Status DecodeTransferRequest(std::string_view payload, serving::TransferRequest*
   }
   request->channel = static_cast<txn::Channel>(channel);
   request->is_new_device = new_device != 0;
-  return r.ExpectDone();
+  return Status::OK();
 }
 
-std::string EncodeVerdict(const serving::Verdict& verdict) {
-  WireWriter w;
+void WriteVerdictFields(WireWriter& w, const serving::Verdict& verdict) {
   w.F64(verdict.fraud_probability);
   w.U8(verdict.interrupt ? 1 : 0);
   w.U8(verdict.degraded ? 1 : 0);
   w.I64(verdict.latency_us);
   w.U64(verdict.model_version);
-  return w.Take();
 }
 
-Status DecodeVerdict(std::string_view payload, serving::Verdict* verdict) {
-  WireReader r(payload);
+Status ReadVerdictFields(WireReader& r, serving::Verdict* verdict) {
   uint8_t interrupt = 0, degraded = 0;
   TITANT_RETURN_IF_ERROR(r.F64(&verdict->fraud_probability));
   TITANT_RETURN_IF_ERROR(r.U8(&interrupt));
@@ -271,6 +271,114 @@ Status DecodeVerdict(std::string_view payload, serving::Verdict* verdict) {
   TITANT_RETURN_IF_ERROR(r.U64(&verdict->model_version));
   verdict->interrupt = interrupt != 0;
   verdict->degraded = degraded != 0;
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeTransferRequest(const serving::TransferRequest& request) {
+  WireWriter w;
+  WriteTransferRequestFields(w, request);
+  return w.Take();
+}
+
+Status DecodeTransferRequest(std::string_view payload, serving::TransferRequest* request) {
+  WireReader r(payload);
+  TITANT_RETURN_IF_ERROR(ReadTransferRequestFields(r, request));
+  return r.ExpectDone();
+}
+
+std::string EncodeVerdict(const serving::Verdict& verdict) {
+  WireWriter w;
+  WriteVerdictFields(w, verdict);
+  return w.Take();
+}
+
+Status DecodeVerdict(std::string_view payload, serving::Verdict* verdict) {
+  WireReader r(payload);
+  TITANT_RETURN_IF_ERROR(ReadVerdictFields(r, verdict));
+  return r.ExpectDone();
+}
+
+std::string EncodeScoreBatchRequest(const std::vector<serving::TransferRequest>& requests) {
+  WireWriter w;
+  w.U32(static_cast<uint32_t>(requests.size()));
+  for (const serving::TransferRequest& request : requests) {
+    WriteTransferRequestFields(w, request);
+  }
+  return w.Take();
+}
+
+Status DecodeScoreBatchRequest(std::string_view payload,
+                               std::vector<serving::TransferRequest>* requests) {
+  WireReader r(payload);
+  uint32_t count = 0;
+  TITANT_RETURN_IF_ERROR(r.U32(&count));
+  if (count == 0) return Status::InvalidArgument("empty score batch");
+  if (count > kMaxBatchItems) {
+    return Status::InvalidArgument("score batch of " + std::to_string(count) +
+                                   " items exceeds the " + std::to_string(kMaxBatchItems) +
+                                   "-item cap");
+  }
+  // Items are fixed-width: a declared count that disagrees with the bytes
+  // actually present is a protocol error, caught before any item decodes.
+  if (r.remaining() != static_cast<std::size_t>(count) * kTransferRequestBytes) {
+    return Status::InvalidArgument(
+        "score batch declares " + std::to_string(count) + " items (" +
+        std::to_string(static_cast<std::size_t>(count) * kTransferRequestBytes) +
+        " bytes) but carries " + std::to_string(r.remaining()) + " payload bytes");
+  }
+  requests->clear();
+  requests->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    serving::TransferRequest request;
+    TITANT_RETURN_IF_ERROR(ReadTransferRequestFields(r, &request));
+    requests->push_back(request);
+  }
+  return r.ExpectDone();
+}
+
+std::string EncodeScoreBatchResponse(const std::vector<StatusOr<serving::Verdict>>& items) {
+  WireWriter w;
+  w.U32(static_cast<uint32_t>(items.size()));
+  for (const StatusOr<serving::Verdict>& item : items) {
+    w.I32(static_cast<int32_t>(item.status().code()));
+    w.Str(item.status().message());
+    if (item.ok()) WriteVerdictFields(w, *item);
+  }
+  return w.Take();
+}
+
+Status DecodeScoreBatchResponse(std::string_view payload,
+                                std::vector<StatusOr<serving::Verdict>>* items) {
+  WireReader r(payload);
+  uint32_t count = 0;
+  TITANT_RETURN_IF_ERROR(r.U32(&count));
+  if (count > kMaxBatchItems) {
+    return Status::InvalidArgument("score batch response of " + std::to_string(count) +
+                                   " items exceeds the " + std::to_string(kMaxBatchItems) +
+                                   "-item cap");
+  }
+  items->clear();
+  items->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    int32_t code = 0;
+    std::string message;
+    TITANT_RETURN_IF_ERROR(r.I32(&code));
+    TITANT_RETURN_IF_ERROR(r.Str(&message));
+    if (!StatusCodeIsValid(code)) {
+      return Status::InvalidArgument("batch item carries unknown status code " +
+                                     std::to_string(code));
+    }
+    const Status transported(static_cast<StatusCode>(code), std::move(message));
+    if (transported.ok()) {
+      serving::Verdict verdict;
+      TITANT_RETURN_IF_ERROR(ReadVerdictFields(r, &verdict));
+      items->emplace_back(verdict);
+    } else {
+      items->emplace_back(transported);
+    }
+  }
   return r.ExpectDone();
 }
 
@@ -319,6 +427,8 @@ std::string EncodeGatewayStats(const GatewayStats& stats) {
   w.U64(stats.degraded_verdicts);
   w.U64(stats.breaker_trips);
   w.U64(stats.open_instances);
+  w.U64(stats.coalesced_batches);
+  w.U64(stats.coalesced_rows);
   return w.Take();
 }
 
@@ -337,6 +447,8 @@ Status DecodeGatewayStats(std::string_view payload, GatewayStats* stats) {
   TITANT_RETURN_IF_ERROR(r.U64(&stats->degraded_verdicts));
   TITANT_RETURN_IF_ERROR(r.U64(&stats->breaker_trips));
   TITANT_RETURN_IF_ERROR(r.U64(&stats->open_instances));
+  TITANT_RETURN_IF_ERROR(r.U64(&stats->coalesced_batches));
+  TITANT_RETURN_IF_ERROR(r.U64(&stats->coalesced_rows));
   return r.ExpectDone();
 }
 

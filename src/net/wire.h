@@ -25,11 +25,16 @@ namespace titant::net {
 ///   offset 20  uint32  payload_size   (bytes following the header)
 ///
 /// `deadline_ms` is the caller's remaining per-request budget at the
-/// moment the frame was encoded (version 2). The server anchors it to the
-/// frame's local receive stamp and refuses to start work on an
+/// moment the frame was encoded (since version 2). The server anchors it
+/// to the frame's local receive stamp and refuses to start work on an
 /// already-expired request — scoring a transfer whose caller has given up
 /// wastes the fleet's capacity exactly when it is scarcest. Responses
 /// carry 0.
+///
+/// Version 3 adds the kScoreBatch method: the request payload carries a
+/// vector of TransferRequests, the response a vector of per-item
+/// (status, Verdict) pairs, all under the same single deadline header —
+/// one budget for the batch, one degraded/failed outcome per item.
 ///
 /// Response payloads additionally carry the handler's Status ahead of the
 /// body: int32 code, uint32 message length, message bytes, body bytes.
@@ -37,7 +42,7 @@ namespace titant::net {
 /// (header or payload split across reads) simply wait for more bytes.
 
 inline constexpr uint32_t kWireMagic = 0x54695431;  // "TiT1"
-inline constexpr uint8_t kWireVersion = 2;
+inline constexpr uint8_t kWireVersion = 3;
 inline constexpr std::size_t kHeaderBytes = 24;
 
 /// Hard cap on a single frame's payload. Covers model blobs (a few MB)
@@ -49,11 +54,16 @@ enum class FrameType : uint8_t { kRequest = 0, kResponse = 1 };
 
 /// RPC methods the gateway serves.
 enum Method : uint16_t {
-  kScore = 1,      // TransferRequest -> Verdict.
-  kLoadModel = 2,  // (version, model blob) -> empty.
-  kHealth = 3,     // empty -> HealthInfo.
-  kStats = 4,      // empty -> GatewayStats.
+  kScore = 1,       // TransferRequest -> Verdict.
+  kLoadModel = 2,   // (version, model blob) -> empty.
+  kHealth = 3,      // empty -> HealthInfo.
+  kStats = 4,       // empty -> GatewayStats.
+  kScoreBatch = 5,  // vector<TransferRequest> -> vector<(Status, Verdict)>.
 };
+
+/// Hard cap on items in one kScoreBatch frame: far above any sane
+/// micro-batch, low enough that a hostile count can't drive allocation.
+inline constexpr uint32_t kMaxBatchItems = 4096;
 
 /// A decoded frame (header fields + owned payload bytes).
 struct Frame {
@@ -187,6 +197,21 @@ Status DecodeTransferRequest(std::string_view payload, serving::TransferRequest*
 std::string EncodeVerdict(const serving::Verdict& verdict);
 Status DecodeVerdict(std::string_view payload, serving::Verdict* verdict);
 
+/// kScoreBatch request payload: uint32 item count + that many fixed-width
+/// TransferRequest records. Decode validates the declared count against
+/// the actual payload size (and the kMaxBatchItems cap) before touching
+/// any item.
+std::string EncodeScoreBatchRequest(const std::vector<serving::TransferRequest>& requests);
+Status DecodeScoreBatchRequest(std::string_view payload,
+                               std::vector<serving::TransferRequest>* requests);
+
+/// kScoreBatch response body: uint32 item count, then per item the
+/// transported Status (int32 code + length-prefixed message) followed by
+/// the Verdict fields when — and only when — the status is OK.
+std::string EncodeScoreBatchResponse(const std::vector<StatusOr<serving::Verdict>>& items);
+Status DecodeScoreBatchResponse(std::string_view payload,
+                                std::vector<StatusOr<serving::Verdict>>* items);
+
 /// kLoadModel request payload: version + the serialized model blob.
 std::string EncodeLoadModel(uint64_t version, std::string_view blob);
 Status DecodeLoadModel(std::string_view payload, uint64_t* version, std::string* blob);
@@ -224,6 +249,11 @@ struct GatewayStats {
   uint64_t breaker_trips = 0;
   /// Instances currently held out of rotation by an open breaker.
   uint64_t open_instances = 0;
+  /// Micro-batching: dispatches issued by the gateway's coalescer and the
+  /// rows they carried. rows/batches is the achieved coalescing factor;
+  /// both 0 when coalescing is disabled.
+  uint64_t coalesced_batches = 0;
+  uint64_t coalesced_rows = 0;
 };
 std::string EncodeGatewayStats(const GatewayStats& stats);
 Status DecodeGatewayStats(std::string_view payload, GatewayStats* stats);

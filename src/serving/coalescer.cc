@@ -1,0 +1,65 @@
+#include "serving/coalescer.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace titant::serving {
+
+ScoreCoalescer::ScoreCoalescer(ModelServerRouter* router, int max_batch)
+    : router_(router), max_batch_(std::max(1, max_batch)) {}
+
+StatusOr<Verdict> ScoreCoalescer::Score(const TransferRequest& request, int64_t deadline_us) {
+  Pending self(request, deadline_us);
+  std::unique_lock<std::mutex> lock(mu_);
+  queue_.push_back(&self);
+  while (!self.done) {
+    if (!leader_active_) {
+      // Become the leader: score queued batches until our own request is
+      // answered, then retire. Any rows still queued (they arrived during
+      // our last dispatch) are picked up by the follower the notify wakes.
+      leader_active_ = true;
+      while (!self.done) DrainBatchLocked(lock);
+      leader_active_ = false;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return self.done || !leader_active_; });
+    }
+  }
+  return std::move(self.result);
+}
+
+void ScoreCoalescer::DrainBatchLocked(std::unique_lock<std::mutex>& lock) {
+  const std::size_t take = std::min(queue_.size(), static_cast<std::size_t>(max_batch_));
+  std::vector<Pending*> batch(queue_.begin(), queue_.begin() + static_cast<std::ptrdiff_t>(take));
+  queue_.erase(queue_.begin(), queue_.begin() + static_cast<std::ptrdiff_t>(take));
+
+  std::vector<TransferRequest> requests;
+  requests.reserve(take);
+  int64_t batch_deadline_us = 0;
+  for (const Pending* p : batch) {
+    requests.push_back(*p->request);
+    if (p->deadline_us > 0 &&
+        (batch_deadline_us == 0 || p->deadline_us < batch_deadline_us)) {
+      batch_deadline_us = p->deadline_us;
+    }
+  }
+
+  // The dispatch itself runs unlocked so arrivals can queue behind it —
+  // that queue depth is exactly what the next batch coalesces.
+  lock.unlock();
+  auto items = router_->ScoreBatch(requests, batch_deadline_us);
+  batches_.fetch_add(1);
+  rows_.fetch_add(take);
+  lock.lock();
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    // An instance-level failure (no healthy instance, exhausted failover)
+    // fails every member of the dispatch — same as it would have failed a
+    // lone request.
+    batch[i]->result = items.ok() ? std::move((*items)[i]) : StatusOr<Verdict>(items.status());
+    batch[i]->done = true;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace titant::serving

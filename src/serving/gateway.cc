@@ -12,6 +12,9 @@ Gateway::~Gateway() {
 
 Status Gateway::Start() {
   if (server_ != nullptr) return Status::FailedPrecondition("gateway already started");
+  if (options_.coalesce_max_batch > 1) {
+    coalescer_ = std::make_unique<ScoreCoalescer>(router_, options_.coalesce_max_batch);
+  }
   net::ServerOptions server_options;
   server_options.host = options_.host;
   server_options.port = options_.port;
@@ -63,6 +66,10 @@ net::GatewayStats Gateway::StatsSnapshot() const {
   stats.degraded_verdicts = router_->degraded_total();
   stats.breaker_trips = router_->breaker_trips();
   stats.open_instances = static_cast<uint64_t>(router_->open_instances());
+  if (coalescer_ != nullptr) {
+    stats.coalesced_batches = coalescer_->batches();
+    stats.coalesced_rows = coalescer_->rows();
+  }
   return stats;
 }
 
@@ -77,11 +84,29 @@ StatusOr<std::string> Gateway::Handle(const net::Frame& frame) {
         break;
       }
       // Propagate the caller's remaining budget so the instance can shed
-      // fetch work (degraded mode) instead of blowing the deadline.
-      StatusOr<Verdict> verdict = router_->Score(
-          request, frame.has_deadline() ? frame.deadline_us() : 0);
+      // fetch work (degraded mode) instead of blowing the deadline. With
+      // coalescing on, concurrent singles share one batched dispatch.
+      const int64_t deadline_us = frame.has_deadline() ? frame.deadline_us() : 0;
+      StatusOr<Verdict> verdict = coalescer_ != nullptr
+                                      ? coalescer_->Score(request, deadline_us)
+                                      : router_->Score(request, deadline_us);
       body = verdict.ok() ? StatusOr<std::string>(net::EncodeVerdict(*verdict))
                           : StatusOr<std::string>(verdict.status());
+      break;
+    }
+    case net::kScoreBatch: {
+      std::vector<TransferRequest> requests;
+      const Status decoded = net::DecodeScoreBatchRequest(frame.payload, &requests);
+      if (!decoded.ok()) {
+        body = decoded;
+        break;
+      }
+      // An explicit batch is already coalesced — it goes straight to the
+      // router as one dispatch under the frame's single deadline.
+      auto items = router_->ScoreBatch(requests,
+                                       frame.has_deadline() ? frame.deadline_us() : 0);
+      body = items.ok() ? StatusOr<std::string>(net::EncodeScoreBatchResponse(*items))
+                        : StatusOr<std::string>(items.status());
       break;
     }
     case net::kLoadModel: {
@@ -135,6 +160,20 @@ StatusOr<Verdict> GatewayClient::Score(const TransferRequest& request, int timeo
   Verdict verdict;
   TITANT_RETURN_IF_ERROR(net::DecodeVerdict(body, &verdict));
   return verdict;
+}
+
+StatusOr<std::vector<StatusOr<Verdict>>> GatewayClient::ScoreBatch(
+    const std::vector<TransferRequest>& requests, int timeout_ms) {
+  TITANT_ASSIGN_OR_RETURN(
+      std::string body,
+      client_.CallRetrying(net::kScoreBatch, net::EncodeScoreBatchRequest(requests), timeout_ms));
+  std::vector<StatusOr<Verdict>> items;
+  TITANT_RETURN_IF_ERROR(net::DecodeScoreBatchResponse(body, &items));
+  if (items.size() != requests.size()) {
+    return Status::Internal("score batch response carries " + std::to_string(items.size()) +
+                            " items for " + std::to_string(requests.size()) + " requests");
+  }
+  return items;
 }
 
 Status GatewayClient::LoadModel(const std::string& blob, uint64_t version, int timeout_ms) {

@@ -11,6 +11,7 @@
 #include "net/client.h"
 #include "net/server.h"
 #include "net/wire.h"
+#include "serving/coalescer.h"
 #include "serving/router.h"
 
 namespace titant::serving {
@@ -27,6 +28,12 @@ struct GatewayOptions {
   /// beyond this many in flight are shed with ResourceExhausted instead
   /// of queueing unboundedly. 0 disables.
   std::size_t max_in_flight = 0;
+  /// Server-side micro-batching: concurrent kScore requests are coalesced
+  /// (group-commit, no timer) into one batched dispatch of at most this
+  /// many rows. <= 1 disables coalescing and dispatches singles directly.
+  /// Explicit kScoreBatch frames always bypass the coalescer — they are
+  /// already batches.
+  int coalesce_max_batch = 16;
 };
 
 /// The TCP front door of the Model Server fleet (§4.4, Fig. 5: the Alipay
@@ -71,6 +78,8 @@ class Gateway {
   ModelServerRouter* router_;
   GatewayOptions options_;
   std::unique_ptr<net::Server> server_;
+  /// Micro-batcher behind kScore (null when coalesce_max_batch <= 1).
+  std::unique_ptr<ScoreCoalescer> coalescer_;
   // Final tallies once server_ is gone.
   uint64_t served_before_shutdown_ = 0;
   uint64_t shed_before_shutdown_ = 0;
@@ -92,6 +101,14 @@ class GatewayClient {
   /// overall deadline budget per options.retry — Score is idempotent
   /// server-side, so re-sending is safe.
   StatusOr<Verdict> Score(const TransferRequest& request, int timeout_ms = 0);
+
+  /// Scores a batch of transfers in one wire round trip (kScoreBatch).
+  /// The outer StatusOr covers the transport and the gateway handler;
+  /// per-item outcomes — a degraded verdict, an unknown user — ride
+  /// inside the vector, which matches `requests` element for element.
+  /// Retried like Score (idempotent server-side).
+  StatusOr<std::vector<StatusOr<Verdict>>> ScoreBatch(
+      const std::vector<TransferRequest>& requests, int timeout_ms = 0);
 
   /// Rolls a serialized model out to every instance behind the gateway.
   Status LoadModel(const std::string& blob, uint64_t version, int timeout_ms = 0);

@@ -51,119 +51,185 @@ Status ModelServer::LoadModel(const std::string& blob, uint64_t version) {
 }
 
 StatusOr<Verdict> ModelServer::Score(const TransferRequest& request, int64_t deadline_us) {
+  // The single-request path is the batch-of-1 special case of ScoreSpan.
+  StatusOr<Verdict> verdict = Status::Internal("unscored");
+  TITANT_RETURN_IF_ERROR(ScoreSpan(&request, 1, deadline_us, &verdict));
+  return verdict;
+}
+
+StatusOr<std::vector<StatusOr<Verdict>>> ModelServer::ScoreBatch(
+    const std::vector<TransferRequest>& requests, int64_t deadline_us) {
+  std::vector<StatusOr<Verdict>> out(requests.size(),
+                                     StatusOr<Verdict>(Status::Internal("unscored")));
+  TITANT_RETURN_IF_ERROR(ScoreSpan(requests.data(), requests.size(), deadline_us, out.data()));
+  return out;
+}
+
+Status ModelServer::ScoreSpan(const TransferRequest* requests, std::size_t n,
+                              int64_t deadline_us, StatusOr<Verdict>* out) {
   Stopwatch timer;
   TITANT_FAILPOINT("serving.score");
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (model_ == nullptr) return Status::FailedPrecondition("no model loaded");
   }
+  if (n == 0) return Status::OK();
 
   constexpr int kBasic = core::FeatureExtractor::kNumBasicFeatures;
-  std::vector<float> features(
-      static_cast<std::size_t>(kBasic +
-                               (options_.use_embeddings ? options_.embedding_dim : 0)));
+  const std::size_t width = static_cast<std::size_t>(
+      kBasic + (options_.use_embeddings ? options_.embedding_dim : 0));
+  // One contiguous row-major block: zero-filled so degraded rows fall back
+  // to the cold defaults, and laid out exactly as ml::Model::ScoreBatch
+  // consumes it.
+  std::vector<float> features(n * width, 0.0f);
 
-  // Set when a store fetch is skipped or replaced by cold defaults; checked
-  // before every fetch so an overrun stops store traffic immediately.
-  bool degraded = false;
-  const auto out_of_budget = [&degraded, deadline_us] {
-    if (deadline_us > 0 && NowMicros() > deadline_us) {
-      degraded = true;
-      return true;
-    }
-    return false;
-  };
+  // The whole batch shares one fetch round trip, so the budget is checked
+  // once up front: an already-overrun batch skips the store entirely and
+  // every row degrades (an answer inside the latency budget beats a failed
+  // transaction — same rule as the single path, amortized).
+  const bool out_of_budget = deadline_us > 0 && NowMicros() > deadline_us;
 
-  // 1. Transferor snapshot + aux from the feature store.
-  const std::string row = UserRowKey(request.from_user);
-  if (!out_of_budget()) {
-    StatusOr<std::string> snapshot_blob = store_->Get(row, kFamilyBasic, kQualSnapshot);
-    if (snapshot_blob.ok()) {
-      TITANT_RETURN_IF_ERROR(
-          DecodeFloats(*snapshot_blob, static_cast<std::size_t>(kBasic), features.data()));
-    } else if (InfraFailure(snapshot_blob.status())) {
-      degraded = true;  // History slots stay at cold zero defaults.
-    } else {
-      return snapshot_blob.status();
+  // One MultiGet round trip for every row's probes: transferor snapshot,
+  // transferor aux, city stats, and (optionally) transferee embedding.
+  const std::size_t per_row = options_.use_embeddings ? 4 : 3;
+  std::vector<StatusOr<std::string>> fetched;
+  if (!out_of_budget) {
+    std::vector<kvstore::ColumnProbe> probes;
+    probes.reserve(n * per_row);
+    for (std::size_t i = 0; i < n; ++i) {
+      const TransferRequest& request = requests[i];
+      std::string row = UserRowKey(request.from_user);
+      probes.push_back({row, kFamilyBasic, kQualSnapshot});
+      probes.push_back({std::move(row), kFamilyBasic, kQualAux});
+      probes.push_back({CityRowKey(request.trans_city), kFamilyCity, kQualStats});
+      if (options_.use_embeddings) {
+        probes.push_back({UserRowKey(request.to_user), kFamilyEmbedding, kQualVector});
+      }
     }
-  }
-  float aux[2] = {14.0f, 0.0f};
-  if (!degraded && !out_of_budget()) {
-    if (auto aux_blob = store_->Get(row, kFamilyBasic, kQualAux); aux_blob.ok()) {
-      TITANT_RETURN_IF_ERROR(DecodeFloats(*aux_blob, 2, aux));
-    }
+    fetched = store_->MultiGet(probes);
   }
 
-  // 2. Request-derived (context) slots — same layout as offline Extract.
-  float* f = features.data();
-  const double hour = request.second_of_day / 3600.0;
-  f[8] = static_cast<float>(request.amount);
-  f[9] = std::log1p(static_cast<float>(request.amount));
-  f[10] = (request.amount >= 100.0 && std::fmod(request.amount, 100.0) == 0.0) ? 1.0f : 0.0f;
-  f[11] = request.amount >= 500.0 ? 1.0f : 0.0f;
-  f[12] = request.amount >= 2000.0 ? 1.0f : 0.0f;
-  f[13] = static_cast<float>(hour);
-  f[14] = static_cast<float>(std::sin(kTwoPi * hour / 24.0));
-  f[15] = static_cast<float>(std::cos(kTwoPi * hour / 24.0));
-  f[16] = hour < 6.0 ? 1.0f : 0.0f;
-  f[17] = (hour >= 19.0 && hour < 23.0) ? 1.0f : 0.0f;
-  const int dow = ((request.day % 7) + 7) % 7;
-  f[18] = static_cast<float>(dow);
-  f[19] = dow >= 5 ? 1.0f : 0.0f;
-  f[20] = request.channel == txn::Channel::kApp ? 1.0f : 0.0f;
-  f[21] = request.channel == txn::Channel::kWeb ? 1.0f : 0.0f;
-  f[22] = request.channel == txn::Channel::kQrCode ? 1.0f : 0.0f;
-  f[23] = request.channel == txn::Channel::kApi ? 1.0f : 0.0f;
-  f[24] = request.trans_city;
-  f[25] = request.trans_city != static_cast<uint16_t>(f[3]) ? 1.0f : 0.0f;
-  f[26] = request.is_new_device ? 1.0f : 0.0f;
-  // Payee-relationship and same-day aggregates are not materialized in the
-  // T+1 store; the MS uses the conservative cold defaults (documented in
-  // DESIGN.md — production TitAnt reads them from streaming counters).
-  f[34] = 0.0f;
-  f[35] = 1.0f;
-  f[43] = 0.0f;
-  f[44] = 0.0f;
-  f[45] = std::log1p(f[42] * 86400.0f + static_cast<float>(request.second_of_day));
-  f[46] = static_cast<float>(request.amount / (1.0 + aux[1]));
-  f[47] = static_cast<float>(std::fabs(hour - aux[0]));
-  // City statistics from the store.
-  if (!degraded && !out_of_budget()) {
-    if (auto city_blob =
-            store_->Get(CityRowKey(request.trans_city), kFamilyCity, kQualStats);
-        city_blob.ok()) {
-      TITANT_RETURN_IF_ERROR(DecodeFloats(*city_blob, 3, &f[48]));
+  // Per-row feature assembly; failures stay per row.
+  std::vector<uint8_t> degraded(n, out_of_budget ? 1 : 0);
+  std::vector<Status> item_error(n, Status::OK());
+  for (std::size_t i = 0; i < n; ++i) {
+    const TransferRequest& request = requests[i];
+    float* f = features.data() + i * width;
+    float aux[2] = {14.0f, 0.0f};
+
+    // 1. Transferor snapshot + aux from the feature store.
+    if (!out_of_budget) {
+      const StatusOr<std::string>& snapshot_blob = fetched[i * per_row];
+      if (snapshot_blob.ok()) {
+        const Status decoded =
+            DecodeFloats(*snapshot_blob, static_cast<std::size_t>(kBasic), f);
+        if (!decoded.ok()) {
+          item_error[i] = decoded;
+          continue;
+        }
+      } else if (InfraFailure(snapshot_blob.status())) {
+        degraded[i] = 1;  // History slots stay at cold zero defaults.
+      } else {
+        item_error[i] = snapshot_blob.status();
+        continue;
+      }
+      if (!degraded[i]) {
+        if (const StatusOr<std::string>& aux_blob = fetched[i * per_row + 1]; aux_blob.ok()) {
+          const Status decoded = DecodeFloats(*aux_blob, 2, aux);
+          if (!decoded.ok()) {
+            item_error[i] = decoded;
+            continue;
+          }
+        }
+      }
+    }
+
+    // 2. Request-derived (context) slots — same layout as offline Extract.
+    const double hour = request.second_of_day / 3600.0;
+    f[8] = static_cast<float>(request.amount);
+    f[9] = std::log1p(static_cast<float>(request.amount));
+    f[10] = (request.amount >= 100.0 && std::fmod(request.amount, 100.0) == 0.0) ? 1.0f : 0.0f;
+    f[11] = request.amount >= 500.0 ? 1.0f : 0.0f;
+    f[12] = request.amount >= 2000.0 ? 1.0f : 0.0f;
+    f[13] = static_cast<float>(hour);
+    f[14] = static_cast<float>(std::sin(kTwoPi * hour / 24.0));
+    f[15] = static_cast<float>(std::cos(kTwoPi * hour / 24.0));
+    f[16] = hour < 6.0 ? 1.0f : 0.0f;
+    f[17] = (hour >= 19.0 && hour < 23.0) ? 1.0f : 0.0f;
+    const int dow = ((request.day % 7) + 7) % 7;
+    f[18] = static_cast<float>(dow);
+    f[19] = dow >= 5 ? 1.0f : 0.0f;
+    f[20] = request.channel == txn::Channel::kApp ? 1.0f : 0.0f;
+    f[21] = request.channel == txn::Channel::kWeb ? 1.0f : 0.0f;
+    f[22] = request.channel == txn::Channel::kQrCode ? 1.0f : 0.0f;
+    f[23] = request.channel == txn::Channel::kApi ? 1.0f : 0.0f;
+    f[24] = request.trans_city;
+    f[25] = request.trans_city != static_cast<uint16_t>(f[3]) ? 1.0f : 0.0f;
+    f[26] = request.is_new_device ? 1.0f : 0.0f;
+    // Payee-relationship and same-day aggregates are not materialized in the
+    // T+1 store; the MS uses the conservative cold defaults (documented in
+    // DESIGN.md — production TitAnt reads them from streaming counters).
+    f[34] = 0.0f;
+    f[35] = 1.0f;
+    f[43] = 0.0f;
+    f[44] = 0.0f;
+    f[45] = std::log1p(f[42] * 86400.0f + static_cast<float>(request.second_of_day));
+    f[46] = static_cast<float>(request.amount / (1.0 + aux[1]));
+    f[47] = static_cast<float>(std::fabs(hour - aux[0]));
+    // City statistics from the store.
+    if (!out_of_budget && !degraded[i]) {
+      if (const StatusOr<std::string>& city_blob = fetched[i * per_row + 2]; city_blob.ok()) {
+        const Status decoded = DecodeFloats(*city_blob, 3, &f[48]);
+        if (!decoded.ok()) {
+          item_error[i] = decoded;
+          continue;
+        }
+      }
+    }
+
+    // 3. Transferee's user node embedding (zero vector when degraded).
+    if (options_.use_embeddings && !out_of_budget && !degraded[i]) {
+      const StatusOr<std::string>& emb_blob = fetched[i * per_row + 3];
+      if (emb_blob.ok()) {
+        const Status decoded = DecodeFloats(
+            *emb_blob, static_cast<std::size_t>(options_.embedding_dim), f + kBasic);
+        if (!decoded.ok()) {
+          item_error[i] = decoded;
+          continue;
+        }
+      } else if (InfraFailure(emb_blob.status())) {
+        degraded[i] = 1;
+      } else {
+        item_error[i] = emb_blob.status();
+      }
     }
   }
 
-  // 3. Transferee's user node embedding (zero vector when degraded).
-  if (options_.use_embeddings && !degraded && !out_of_budget()) {
-    StatusOr<std::string> emb_blob =
-        store_->Get(UserRowKey(request.to_user), kFamilyEmbedding, kQualVector);
-    if (emb_blob.ok()) {
-      TITANT_RETURN_IF_ERROR(DecodeFloats(*emb_blob,
-                                          static_cast<std::size_t>(options_.embedding_dim),
-                                          features.data() + kBasic));
-    } else if (InfraFailure(emb_blob.status())) {
-      degraded = true;
-    } else {
-      return emb_blob.status();
-    }
-  }
-
-  // 4. Score and decide.
-  Verdict verdict;
-  verdict.degraded = degraded;
-  if (degraded) degraded_scores_.fetch_add(1);
+  // 4. Score the whole block in one model invocation and decide per row.
+  // Rows that already failed with a data error still occupy their (zeroed)
+  // slot — scoring them is harmless and cheaper than compacting the block.
+  std::vector<double> scores(n, 0.0);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    verdict.fraud_probability = model_->Score(features.data());
-    verdict.model_version = model_version_;
-    verdict.interrupt = verdict.fraud_probability >= options_.interrupt_threshold;
-    verdict.latency_us = timer.ElapsedMicros();
-    latency_us_.Add(static_cast<double>(verdict.latency_us));
+    model_->ScoreBatch(features.data(), static_cast<int>(n), scores.data());
+    const int64_t elapsed = timer.ElapsedMicros();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!item_error[i].ok()) {
+        out[i] = item_error[i];
+        continue;
+      }
+      Verdict verdict;
+      verdict.degraded = degraded[i] != 0;
+      verdict.fraud_probability = scores[i];
+      verdict.model_version = model_version_;
+      verdict.interrupt = verdict.fraud_probability >= options_.interrupt_threshold;
+      verdict.latency_us = elapsed;
+      latency_us_.Add(static_cast<double>(verdict.latency_us));
+      out[i] = verdict;
+      if (degraded[i]) degraded_scores_.fetch_add(1);
+    }
   }
-  return verdict;
+  return Status::OK();
 }
 
 Histogram ModelServer::LatencySnapshot() const {

@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/histogram.h"
 #include "common/statusor.h"
@@ -59,6 +60,20 @@ class ModelServer {
   /// they are authoritative answers, not outages.
   StatusOr<Verdict> Score(const TransferRequest& request, int64_t deadline_us = 0);
 
+  /// Scores a batch of requests with ONE feature-store round trip
+  /// (AliHBase::MultiGet over every row's probes) and ONE vectorized model
+  /// invocation (ml::Model::ScoreBatch). Score is the batch-of-1 special
+  /// case of this path.
+  ///
+  /// The outer Status covers instance-level failures only (no model
+  /// loaded, injected serving.score faults) — the router keys failover
+  /// and circuit breaking off it. Everything request-scoped is per item:
+  /// an infra-failed or budget-starved fetch degrades *that* row (cold
+  /// defaults + degraded flag), a data error (unknown user, corrupt blob)
+  /// fails *that* row, and the siblings score clean either way.
+  StatusOr<std::vector<StatusOr<Verdict>>> ScoreBatch(
+      const std::vector<TransferRequest>& requests, int64_t deadline_us = 0);
+
   /// End-to-end latency distribution (microseconds) across Score calls.
   Histogram LatencySnapshot() const;
 
@@ -69,6 +84,11 @@ class ModelServer {
   uint64_t degraded_scores() const { return degraded_scores_.load(); }
 
  private:
+  /// Shared batch engine behind Score and ScoreBatch: fills `out[0..n)`
+  /// with per-item results unless the whole call fails at instance level.
+  Status ScoreSpan(const TransferRequest* requests, std::size_t n, int64_t deadline_us,
+                   StatusOr<Verdict>* out);
+
   kvstore::AliHBase* store_;
   ModelServerOptions options_;
   mutable std::mutex mu_;

@@ -58,6 +58,14 @@ Status ModelServerRouter::LoadModel(const std::string& blob, uint64_t version) {
 }
 
 StatusOr<Verdict> ModelServerRouter::Score(const TransferRequest& request, int64_t deadline_us) {
+  // The single-request path is the batch-of-1 special case of ScoreBatch.
+  auto batch = ScoreBatch({request}, deadline_us);
+  if (!batch.ok()) return batch.status();
+  return std::move((*batch)[0]);
+}
+
+StatusOr<std::vector<StatusOr<Verdict>>> ModelServerRouter::ScoreBatch(
+    const std::vector<TransferRequest>& requests, int64_t deadline_us) {
   const std::size_t n = instances_.size();
   const uint64_t start = cursor_.fetch_add(1);
   Status last_unavailable = Status::Unavailable("no healthy Model Server instance");
@@ -72,30 +80,35 @@ StatusOr<Verdict> ModelServerRouter::Score(const TransferRequest& request, int64
         continue;
       }
     }
-    auto verdict = instances_[i]->Score(request, deadline_us);
+    auto items = instances_[i]->ScoreBatch(requests, deadline_us);
     const bool instance_failure =
-        !verdict.ok() && StatusCodeIsInstanceFailure(verdict.status().code());
+        !items.ok() && StatusCodeIsInstanceFailure(items.status().code());
     if (!instance_failure) {
       // The instance answered authoritatively (including request-level
-      // errors like an unknown user): it is alive, so close the breaker.
+      // errors like an unknown user, which travel per item): it is alive,
+      // so close the breaker.
       consecutive_failures_[i].store(0);
       if (breaker_open_[i].exchange(false)) {
         TITANT_INFO << "instance " << i << " breaker closed after successful probe";
       }
-      if (!verdict.ok()) return verdict.status();
-      served_[i].fetch_add(1);
-      return verdict;
+      if (!items.ok()) return items.status();
+      std::size_t scored = 0;
+      for (const auto& item : *items) {
+        if (item.ok()) ++scored;
+      }
+      served_[i].fetch_add(scored);
+      return items;
     }
-    // Instance-level outage: fail over, and trip the breaker once the
-    // failure streak crosses the threshold.
-    last_unavailable = verdict.status();
+    // Instance-level outage: fail over the whole batch, and trip the
+    // breaker once the failure streak crosses the threshold.
+    last_unavailable = items.status();
     const uint32_t streak = consecutive_failures_[i].fetch_add(1) + 1;
     if (streak >= static_cast<uint32_t>(router_options_.breaker_failure_threshold) &&
         !breaker_open_[i].exchange(true)) {
       breaker_skipped_[i].store(0);
       breaker_trips_.fetch_add(1);
       TITANT_WARN << "instance " << i << " breaker opened after " << streak
-                  << " consecutive failures: " << verdict.status().ToString();
+                  << " consecutive failures: " << items.status().ToString();
     }
   }
   return last_unavailable;

@@ -54,6 +54,14 @@ class ModelServerRouter {
   /// to the instance for degraded-mode budget checks.
   StatusOr<Verdict> Score(const TransferRequest& request, int64_t deadline_us = 0);
 
+  /// Batch counterpart of Score (and the engine behind it: Score is the
+  /// batch-of-1 special case). One dispatch decision picks one instance to
+  /// score the whole batch; instance-level failures fail over the batch as
+  /// a unit and feed that instance's breaker, while per-item outcomes
+  /// (degraded rows, unknown users) ride inside the returned vector.
+  StatusOr<std::vector<StatusOr<Verdict>>> ScoreBatch(
+      const std::vector<TransferRequest>& requests, int64_t deadline_us = 0);
+
   /// Marks an instance up/down (ops control; also used by failure tests).
   /// Reviving an instance clears its breaker and any rollout hold-down.
   Status SetInstanceHealthy(int instance, bool healthy);

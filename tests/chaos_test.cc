@@ -304,5 +304,42 @@ TEST_F(ChaosTest, BreakerRoutesAroundABlackholedInstance) {
   EXPECT_TRUE(router_->instance_healthy(1));
 }
 
+// Blast-radius invariant for the batched path: a KV fault that hits
+// exactly one row of a wire batch degrades that row alone — its batch
+// siblings come back at full quality, and the batch itself succeeds.
+TEST_F(ChaosTest, BatchFaultDegradesOnlyTheRowItHit) {
+  StartGateway();
+  GatewayClient client("127.0.0.1", gateway_->port());
+
+  std::vector<TransferRequest> batch(4, ScorableRequest());
+  for (std::size_t i = 0; i < batch.size(); ++i) batch[i].txn_id = i + 1;
+
+  // The Model Server issues four probes per row (snapshot, aux, city,
+  // embedding) in request order, and MultiGet evaluates the kvstore.get
+  // failpoint per probe in that same order — so "skip:8,hits:1" lands the
+  // injected outage on exactly row 2's snapshot fetch, deterministically.
+  ASSERT_TRUE(
+      Failpoints::ArmFromSpec("kvstore.get,error:Unavailable,skip:8,hits:1").ok());
+  const auto items = client.ScoreBatch(batch);
+  EXPECT_EQ(Failpoints::hits("kvstore.get"), 1u);
+  Failpoints::DisarmAll();
+
+  ASSERT_TRUE(items.ok()) << items.status().ToString();
+  ASSERT_EQ(items->size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_TRUE((*items)[i].ok()) << "row " << i << ": " << (*items)[i].status().ToString();
+    EXPECT_EQ((*items)[i]->degraded, i == 2) << "row " << i;
+  }
+  EXPECT_EQ(gateway_->StatsSnapshot().degraded_verdicts, 1u);
+
+  // The fault burned out: the same batch now scores clean end to end.
+  const auto clean = client.ScoreBatch(batch);
+  ASSERT_TRUE(clean.ok());
+  for (const auto& item : *clean) {
+    ASSERT_TRUE(item.ok());
+    EXPECT_FALSE(item->degraded);
+  }
+}
+
 }  // namespace
 }  // namespace titant::serving

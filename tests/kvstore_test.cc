@@ -369,6 +369,103 @@ TEST(StoreTest, GetRowAndScan) {
   EXPECT_EQ(limited->size(), 2u);
 }
 
+TEST(StoreTest, MultiGetPreservesProbeOrderAndPerProbeErrors) {
+  auto store = AliHBase::Open(MemOptions());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("u1", "bf", "age", "30", 1).ok());
+  ASSERT_TRUE((*store)->Put("u2", "bf", "age", "40", 1).ok());
+  ASSERT_TRUE((*store)->Put("u1", "emb", "vec", "E1", 1).ok());
+
+  // Deliberately unsorted probe order, with failures interleaved: results
+  // must come back in probe order, and a failing probe must not poison
+  // its batch siblings.
+  const std::vector<ColumnProbe> probes = {
+      {"u2", "bf", "age"},       // hit
+      {"u9", "bf", "age"},       // NotFound: absent row
+      {"u1", "emb", "vec"},      // hit
+      {"u1", "nope", "q"},       // InvalidArgument: undeclared family
+      {"u1", "bf", "age"},       // hit
+  };
+  const auto results = (*store)->MultiGet(probes);
+  ASSERT_EQ(results.size(), probes.size());
+  EXPECT_EQ(*results[0], "40");
+  EXPECT_TRUE(results[1].status().IsNotFound());
+  EXPECT_EQ(*results[2], "E1");
+  EXPECT_TRUE(results[3].status().IsInvalidArgument());
+  EXPECT_EQ(*results[4], "30");
+}
+
+TEST(StoreTest, MultiGetDuplicateProbesAndSnapshot) {
+  auto store = AliHBase::Open(MemOptions());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("u", "bf", "x", "old", 10).ok());
+  ASSERT_TRUE((*store)->Put("u", "bf", "x", "new", 20).ok());
+
+  // Duplicate coordinates collapse to one lookup internally but still get
+  // one result slot each.
+  const std::vector<ColumnProbe> probes = {
+      {"u", "bf", "x"}, {"u", "bf", "x"}, {"u", "bf", "x"}};
+  const auto latest = (*store)->MultiGet(probes);
+  ASSERT_EQ(latest.size(), 3u);
+  for (const auto& value : latest) EXPECT_EQ(*value, "new");
+
+  // The snapshot applies to every probe of the batch.
+  const auto pinned = (*store)->MultiGet(probes, 15);
+  ASSERT_EQ(pinned.size(), 3u);
+  for (const auto& value : pinned) EXPECT_EQ(*value, "old");
+
+  const auto before = (*store)->MultiGet(probes, 5);
+  for (const auto& value : before) EXPECT_TRUE(value.status().IsNotFound());
+
+  EXPECT_TRUE((*store)->MultiGet({}).empty());
+}
+
+TEST(StoreTest, MultiGetMatchesGetAcrossMemtableAndSSTables) {
+  const std::string dir = TempDir("multiget");
+  StoreOptions options = MemOptions();
+  options.durable = true;
+  options.dir = dir;
+  auto store = AliHBase::Open(options);
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(
+        (*store)->Put("row" + std::to_string(i), "bf", "q", std::to_string(i), 1).ok());
+  }
+  ASSERT_TRUE((*store)->Flush().ok());
+  // Overwrite a few rows so the memtable shadows the SSTable for them.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        (*store)->Put("row" + std::to_string(i), "bf", "q", "mem" + std::to_string(i), 2).ok());
+  }
+  std::vector<ColumnProbe> probes;
+  for (int i = 39; i >= 0; --i) probes.push_back({"row" + std::to_string(i), "bf", "q"});
+  const auto results = (*store)->MultiGet(probes);
+  ASSERT_EQ(results.size(), probes.size());
+  for (std::size_t p = 0; p < probes.size(); ++p) {
+    const auto single = (*store)->Get(probes[p].row, probes[p].family, probes[p].qualifier);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ(*results[p], *single) << probes[p].row;
+  }
+}
+
+TEST(StoreTest, MultiGetRowPreservesRequestOrder) {
+  auto store = AliHBase::Open(MemOptions());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("u1", "bf", "age", "30", 1).ok());
+  ASSERT_TRUE((*store)->Put("u1", "emb", "vec", "E1", 1).ok());
+  ASSERT_TRUE((*store)->Put("u2", "bf", "age", "40", 1).ok());
+
+  const auto rows = (*store)->MultiGetRow({"u2", "missing", "u1"});
+  ASSERT_EQ(rows.size(), 3u);
+  ASSERT_TRUE(rows[0].ok());
+  EXPECT_EQ(rows[0]->at("bf:age"), "40");
+  ASSERT_TRUE(rows[1].ok());
+  EXPECT_TRUE(rows[1]->empty());  // GetRow semantics: absent row = empty map.
+  ASSERT_TRUE(rows[2].ok());
+  EXPECT_EQ(rows[2]->size(), 2u);
+  EXPECT_EQ(rows[2]->at("emb:vec"), "E1");
+}
+
 TEST(StoreTest, FlushMovesDataToSSTable) {
   const std::string dir = TempDir("flush");
   StoreOptions options = MemOptions();

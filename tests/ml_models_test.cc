@@ -189,8 +189,29 @@ TEST_P(SupervisedModelTest, ScoreAllValidatesWidth) {
   const DataMatrix train = MakeTask(500, 16);
   auto model = Make(GetParam());
   ASSERT_TRUE(model->Train(train).ok());
-  DataMatrix wrong(10, 3);
-  EXPECT_FALSE(model->ScoreAll(wrong).ok());
+  DataMatrix narrow(10, 3);
+  EXPECT_TRUE(model->ScoreAll(narrow).status().IsInvalidArgument());
+  DataMatrix wide(10, 9);
+  EXPECT_TRUE(model->ScoreAll(wide).status().IsInvalidArgument());
+}
+
+TEST_P(SupervisedModelTest, ScoreBatchMatchesPerRowScore) {
+  // The vectorized entry point must be bit-identical to the scalar one —
+  // GBDT and LR override it with reordered loops, the rest inherit the
+  // default row loop.
+  const DataMatrix train = MakeTask(1200, 17);
+  const DataMatrix test = MakeTask(300, 18);
+  auto model = Make(GetParam());
+  ASSERT_TRUE(model->Train(train).ok());
+  std::vector<double> batch(test.num_rows());
+  model->ScoreBatch(test.Row(0), static_cast<int>(test.num_rows()), batch.data());
+  for (std::size_t r = 0; r < test.num_rows(); ++r) {
+    EXPECT_EQ(batch[r], model->Score(test.Row(r))) << "row " << r;
+  }
+  // ScoreAll is ScoreBatch over the matrix.
+  const auto all = model->ScoreAll(test);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, batch);
 }
 
 INSTANTIATE_TEST_SUITE_P(Kinds, SupervisedModelTest,
@@ -264,6 +285,21 @@ TEST(IsolationForestTest, IgnoresLabels) {
   }
   IsolationForestModel model2;
   EXPECT_TRUE(model2.Train(unlabeled).ok());
+}
+
+TEST(IsolationForestTest, ScoreAllValidatesWidthAndMatchesBatch) {
+  // The unsupervised detector is not in the supervised param suite; cover
+  // the same ScoreAll/ScoreBatch contract for its registry tag too.
+  DataMatrix data = MakeTask(512, 34);
+  IsolationForestModel model;
+  ASSERT_TRUE(model.Train(data).ok());
+  DataMatrix wrong(10, 2);
+  EXPECT_TRUE(model.ScoreAll(wrong).status().IsInvalidArgument());
+  std::vector<double> batch(data.num_rows());
+  model.ScoreBatch(data.Row(0), static_cast<int>(data.num_rows()), batch.data());
+  for (std::size_t r = 0; r < 50; ++r) {
+    EXPECT_EQ(batch[r], model.Score(data.Row(r)));
+  }
 }
 
 TEST(IsolationForestTest, SerializationRoundTrip) {

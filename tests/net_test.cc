@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -225,6 +226,116 @@ TEST(WireTest, OversizedFrameIsInvalidArgument) {
   const Status status = decoder.Feed(bytes.data(), bytes.size(), &frames);
   EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
   EXPECT_TRUE(frames.empty());
+}
+
+TEST(WireTest, ScoreBatchRequestRoundTrip) {
+  std::vector<serving::TransferRequest> batch;
+  for (int i = 0; i < 5; ++i) {
+    serving::TransferRequest request = SampleRequest();
+    request.txn_id = static_cast<uint64_t>(i);
+    request.from_user = static_cast<uint32_t>(100 + i);
+    batch.push_back(request);
+  }
+  std::vector<serving::TransferRequest> decoded;
+  ASSERT_TRUE(DecodeScoreBatchRequest(EncodeScoreBatchRequest(batch), &decoded).ok());
+  ASSERT_EQ(decoded.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(decoded[i].txn_id, batch[i].txn_id);
+    EXPECT_EQ(decoded[i].from_user, batch[i].from_user);
+    EXPECT_EQ(decoded[i].amount, batch[i].amount);
+  }
+  // An empty batch is a protocol misuse, rejected at decode.
+  EXPECT_TRUE(
+      DecodeScoreBatchRequest(EncodeScoreBatchRequest({}), &decoded).IsInvalidArgument());
+}
+
+TEST(WireTest, ScoreBatchResponseCarriesPerItemStatus) {
+  std::vector<StatusOr<serving::Verdict>> items;
+  serving::Verdict ok_verdict;
+  ok_verdict.fraud_probability = 0.25;
+  ok_verdict.degraded = true;
+  ok_verdict.model_version = 7;
+  items.emplace_back(ok_verdict);
+  items.emplace_back(Status::NotFound("no snapshot for user"));
+  ok_verdict.interrupt = true;
+  items.emplace_back(ok_verdict);
+
+  std::vector<StatusOr<serving::Verdict>> decoded;
+  ASSERT_TRUE(DecodeScoreBatchResponse(EncodeScoreBatchResponse(items), &decoded).ok());
+  ASSERT_EQ(decoded.size(), 3u);
+  ASSERT_TRUE(decoded[0].ok());
+  EXPECT_EQ(decoded[0]->fraud_probability, 0.25);
+  EXPECT_TRUE(decoded[0]->degraded);
+  EXPECT_EQ(decoded[0]->model_version, 7u);
+  EXPECT_TRUE(decoded[1].status().IsNotFound());
+  EXPECT_EQ(decoded[1].status().message(), "no snapshot for user");
+  ASSERT_TRUE(decoded[2].ok());
+  EXPECT_TRUE(decoded[2]->interrupt);
+}
+
+TEST(WireTest, ScoreBatchDecodeRejectsCountPayloadDisagreement) {
+  std::vector<serving::TransferRequest> two = {SampleRequest(), SampleRequest()};
+  std::string payload = EncodeScoreBatchRequest(two);
+  std::vector<serving::TransferRequest> decoded;
+
+  // Declared count raised to 3 while the payload still holds 2 records.
+  std::string overcounted = payload;
+  overcounted[0] = 3;  // Little-endian uint32 count lives in the first bytes.
+  EXPECT_TRUE(DecodeScoreBatchRequest(overcounted, &decoded).IsInvalidArgument());
+
+  // Declared count lowered to 1: trailing record bytes must be rejected,
+  // not silently ignored.
+  std::string undercounted = payload;
+  undercounted[0] = 1;
+  EXPECT_TRUE(DecodeScoreBatchRequest(undercounted, &decoded).IsInvalidArgument());
+
+  // Truncation anywhere in the payload fails closed.
+  for (const std::size_t cut : {payload.size() - 1, payload.size() - 17, std::size_t{3}}) {
+    EXPECT_TRUE(
+        DecodeScoreBatchRequest(std::string_view(payload).substr(0, cut), &decoded)
+            .IsInvalidArgument())
+        << "cut=" << cut;
+  }
+
+  // A hostile count far beyond the cap is rejected before any allocation.
+  std::string hostile(sizeof(uint32_t), '\0');
+  const uint32_t huge = kMaxBatchItems + 1;
+  std::memcpy(hostile.data(), &huge, sizeof(huge));
+  EXPECT_TRUE(DecodeScoreBatchRequest(hostile, &decoded).IsInvalidArgument());
+
+  // The response decoder applies the same count discipline.
+  std::vector<StatusOr<serving::Verdict>> verdicts;
+  const std::string response = EncodeScoreBatchResponse({serving::Verdict{}});
+  EXPECT_TRUE(DecodeScoreBatchResponse(std::string_view(response).substr(0, response.size() - 2),
+                                       &verdicts)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(DecodeScoreBatchResponse(response + "x", &verdicts).IsInvalidArgument());
+}
+
+TEST(WireTest, TornAndOversizedBatchFrames) {
+  // A v3 batch frame split at every byte boundary reassembles intact.
+  std::vector<serving::TransferRequest> batch(3, SampleRequest());
+  const std::string bytes = EncodeRequestFrame(kScoreBatch, 42, EncodeScoreBatchRequest(batch));
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    ASSERT_TRUE(decoder.Feed(bytes.data() + i, 1, &frames).ok());
+    if (i + 1 < bytes.size()) {
+      ASSERT_TRUE(frames.empty()) << "frame surfaced early at " << i;
+    }
+  }
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].method, kScoreBatch);
+  std::vector<serving::TransferRequest> decoded;
+  ASSERT_TRUE(DecodeScoreBatchRequest(frames[0].payload, &decoded).ok());
+  EXPECT_EQ(decoded.size(), 3u);
+
+  // A batch frame over the decoder's payload budget is rejected at the
+  // header, before the payload is buffered.
+  FrameDecoder small(/*max_payload_bytes=*/64);
+  std::vector<Frame> none;
+  EXPECT_TRUE(small.Feed(bytes.data(), bytes.size(), &none).IsInvalidArgument());
+  EXPECT_TRUE(none.empty());
 }
 
 TEST(WireTest, BadMagicAndVersionAreInvalidArgument) {
@@ -709,6 +820,35 @@ TEST_F(GatewayTest, ConcurrentClientsAgainstALiveGateway) {
   // Both router instances shared the scoring load.
   EXPECT_GT(router_->requests_served(0), 0u);
   EXPECT_GT(router_->requests_served(1), 0u);
+}
+
+TEST_F(GatewayTest, ScoreBatchOverTheWireKeepsPerItemOutcomes) {
+  serving::GatewayClient client("127.0.0.1", gateway_->port());
+  ASSERT_TRUE(client.LoadModel(TinyModelBlob(), 20170410).ok());
+
+  // A mixed batch: two scorable rows bracketing one with no KV snapshot.
+  std::vector<serving::TransferRequest> batch(3, ScorableRequest());
+  batch[0].txn_id = 1;
+  batch[1].txn_id = 2;
+  batch[1].from_user = 777;  // Unknown transferor.
+  batch[2].txn_id = 3;
+
+  const auto items = client.ScoreBatch(batch);
+  ASSERT_TRUE(items.ok()) << items.status().ToString();
+  ASSERT_EQ(items->size(), batch.size());
+  ASSERT_TRUE((*items)[0].ok()) << (*items)[0].status().ToString();
+  EXPECT_EQ((*items)[0]->model_version, 20170410u);
+  EXPECT_TRUE((*items)[1].status().IsNotFound());
+  ASSERT_TRUE((*items)[2].ok());
+  EXPECT_EQ((*items)[2]->fraud_probability, (*items)[0]->fraud_probability);
+
+  // A batch-of-0 is refused at the server's decode; a batch-of-1 is a
+  // legal frame, not a special case.
+  EXPECT_TRUE(client.ScoreBatch({}).status().IsInvalidArgument());
+  const auto single = client.ScoreBatch({ScorableRequest()});
+  ASSERT_TRUE(single.ok()) << single.status().ToString();
+  ASSERT_EQ(single->size(), 1u);
+  EXPECT_EQ((*single)[0]->fraud_probability, (*items)[0]->fraud_probability);
 }
 
 TEST_F(GatewayTest, ShutdownIsIdempotentAndStopsServing) {

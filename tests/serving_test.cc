@@ -12,6 +12,7 @@
 #include "core/experiment.h"
 #include "datagen/world.h"
 #include "ml/metrics.h"
+#include "serving/coalescer.h"
 #include "serving/feature_store.h"
 #include "serving/model_server.h"
 #include "serving/router.h"
@@ -487,6 +488,135 @@ TEST_F(ModelServerTest, RouterPropagatesRequestLevelErrors) {
   req.from_user = 5'000'000;  // Unknown user: NOT a failover case.
   req.to_user = 1;
   EXPECT_TRUE(router.Score(req).status().IsNotFound());
+}
+
+TEST_F(ModelServerTest, ScoreBatchMatchesSingleRequestScores) {
+  // The batch path (one MultiGet + one vectorized model call) must produce
+  // the same verdicts, in request order, as N single Scores.
+  std::vector<TransferRequest> batch;
+  for (std::size_t i = 0; i < 16 && i < window_->test_records.size(); ++i) {
+    batch.push_back(RequestFor(world_->log.records[window_->test_records[i]]));
+  }
+  const auto items = server_->ScoreBatch(batch);
+  ASSERT_TRUE(items.ok()) << items.status().ToString();
+  ASSERT_EQ(items->size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto single = server_->Score(batch[i]);
+    ASSERT_TRUE(single.ok());
+    ASSERT_TRUE((*items)[i].ok()) << (*items)[i].status().ToString();
+    EXPECT_EQ((*items)[i]->fraud_probability, single->fraud_probability) << "row " << i;
+    EXPECT_EQ((*items)[i]->interrupt, single->interrupt);
+    EXPECT_EQ((*items)[i]->model_version, single->model_version);
+    EXPECT_FALSE((*items)[i]->degraded);
+  }
+  EXPECT_TRUE(server_->ScoreBatch({})->empty());
+}
+
+TEST_F(ModelServerTest, ScoreBatchIsolatesPerRowOutcomes) {
+  Failpoints::DisarmAll();
+  ModelServer server(store_, ModelServerOptions());
+  ASSERT_TRUE(server.LoadModel(ml::SerializeModel(*model_), 5).ok());
+
+  std::vector<TransferRequest> batch;
+  for (std::size_t i = 0; i < 4; ++i) {
+    batch.push_back(RequestFor(world_->log.records[window_->test_records[i]]));
+  }
+
+  // A data error in one row (unknown transferor) fails that item alone.
+  std::vector<TransferRequest> mixed = batch;
+  mixed[1].from_user = 5'000'000;
+  auto items = server.ScoreBatch(mixed);
+  ASSERT_TRUE(items.ok()) << items.status().ToString();
+  EXPECT_TRUE((*items)[0].ok());
+  EXPECT_TRUE((*items)[1].status().IsNotFound());
+  EXPECT_TRUE((*items)[2].ok());
+  EXPECT_TRUE((*items)[3].ok());
+  EXPECT_FALSE((*items)[0]->degraded);
+
+  // An infra failure on exactly one row's snapshot fetch degrades that row
+  // and leaves its batch siblings at full quality. ScoreSpan issues four
+  // probes per row in request order, so row 2's snapshot probe is
+  // evaluation 8 of the batch's kvstore.get failpoint.
+  FailpointSpec spec;
+  spec.code = StatusCode::kUnavailable;
+  spec.skip = 8;
+  spec.max_hits = 1;
+  Failpoints::Arm("kvstore.get", spec);
+  items = server.ScoreBatch(batch);
+  Failpoints::DisarmAll();
+  ASSERT_TRUE(items.ok()) << items.status().ToString();
+  ASSERT_EQ(items->size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE((*items)[i].ok()) << "row " << i << ": " << (*items)[i].status().ToString();
+    EXPECT_EQ((*items)[i]->degraded, i == 2) << "row " << i;
+  }
+  EXPECT_EQ(server.degraded_scores(), 1u);
+}
+
+TEST_F(ModelServerTest, RouterScoreBatchFailsOverAsAUnit) {
+  Failpoints::DisarmAll();
+  ModelServerRouter router(store_, ModelServerOptions(), 2);
+  ASSERT_TRUE(router.LoadModel(ml::SerializeModel(*model_), 1).ok());
+
+  std::vector<TransferRequest> batch;
+  for (std::size_t i = 0; i < 3; ++i) {
+    batch.push_back(RequestFor(world_->log.records[window_->test_records[i]]));
+  }
+
+  // First dispatch hits an instance-level outage: the whole batch fails
+  // over to the second instance and every item still succeeds.
+  FailpointSpec spec;
+  spec.code = StatusCode::kUnavailable;
+  spec.max_hits = 1;
+  Failpoints::Arm("serving.score", spec);
+  const auto items = router.ScoreBatch(batch);
+  Failpoints::DisarmAll();
+  ASSERT_TRUE(items.ok()) << items.status().ToString();
+  ASSERT_EQ(items->size(), 3u);
+  for (const auto& item : *items) ASSERT_TRUE(item.ok());
+  // One instance served all three rows; the failed dispatch served none.
+  EXPECT_EQ(router.requests_served(0) + router.requests_served(1), 3u);
+}
+
+TEST_F(ModelServerTest, CoalescerGroupsConcurrentCallersWithoutChangingResults) {
+  ModelServerRouter router(store_, ModelServerOptions(), 2);
+  ASSERT_TRUE(router.LoadModel(ml::SerializeModel(*model_), 9).ok());
+  ScoreCoalescer coalescer(&router, /*max_batch=*/8);
+
+  // Single-caller traffic degenerates to batches of one.
+  const auto& sample = world_->log.records[window_->test_records.front()];
+  const auto alone = coalescer.Score(RequestFor(sample));
+  ASSERT_TRUE(alone.ok()) << alone.status().ToString();
+  EXPECT_EQ(coalescer.batches(), 1u);
+  EXPECT_EQ(coalescer.rows(), 1u);
+
+  // Concurrent callers ride shared dispatches; every caller still gets
+  // its own request's verdict (checked against the direct path).
+  constexpr int kThreads = 8;
+  constexpr int kCallsPerThread = 40;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kCallsPerThread; ++i) {
+        const auto& rec = world_->log.records
+                              [window_->test_records[(static_cast<std::size_t>(t) * kCallsPerThread +
+                                                      static_cast<std::size_t>(i)) %
+                                                     window_->test_records.size()]];
+        const auto via_coalescer = coalescer.Score(RequestFor(rec));
+        const auto direct = router.Score(RequestFor(rec));
+        if (!via_coalescer.ok() || !direct.ok() ||
+            via_coalescer->fraud_probability != direct->fraud_probability) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  // Every row was dispatched exactly once, in at most rows() batches.
+  EXPECT_EQ(coalescer.rows(), 1u + kThreads * kCallsPerThread);
+  EXPECT_LE(coalescer.batches(), coalescer.rows());
 }
 
 TEST(ModelServerLifecycleTest, RequiresModelBeforeScoring) {

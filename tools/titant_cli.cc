@@ -24,8 +24,11 @@
 //       until SIGINT/SIGTERM (graceful drain).
 //
 //   titant_cli score <host> <port> <from-user> <to-user> <amount> <date> [channel]
+//              [--batch N]
 //       Scores one transfer against a running gateway and prints the
-//       verdict.
+//       verdict. --batch N sends N staggered copies in a single
+//       kScoreBatch frame (one wire round trip) and prints each item's
+//       verdict or error.
 
 #include <chrono>
 #include <csignal>
@@ -34,6 +37,7 @@
 #include <cstring>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/failpoint.h"
 #include "core/experiment.h"
@@ -76,7 +80,7 @@ int Usage() {
                "  titant_cli evaluate <profiles.csv> <records.csv> <test-date> <model.bin>\n"
                "  titant_cli rules <profiles.csv> <records.csv> <test-date> [net-days] [train-days]\n"
                "  titant_cli serve <profiles.csv> <records.csv> <test-date> <model.bin> [port] [instances] [net-days] [train-days]\n"
-               "  titant_cli score <host> <port> <from-user> <to-user> <amount> <date> [channel]\n");
+               "  titant_cli score <host> <port> <from-user> <to-user> <amount> <date> [channel] [--batch N]\n");
   return 2;
 }
 
@@ -307,6 +311,18 @@ int CmdServe(int argc, char** argv) {
 }
 
 int CmdScore(int argc, char** argv) {
+  int batch = 1;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+      batch = std::atoi(argv[++i]);
+      if (batch < 1) batch = 1;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
   if (argc < 8) return Usage();
   const char* host = argv[2];
   const uint16_t port = static_cast<uint16_t>(std::atoi(argv[3]));
@@ -329,6 +345,35 @@ int CmdScore(int argc, char** argv) {
   const auto health = OrDie(client.Health(/*timeout_ms=*/2000));
   std::printf("fleet: %u/%u instances healthy, model v%llu\n", health.healthy_instances,
               health.num_instances, static_cast<unsigned long long>(health.model_version));
+
+  if (batch > 1) {
+    // N staggered copies of the transfer in one kScoreBatch round trip;
+    // per-item outcomes print independently (a degraded or failed row
+    // does not mask its siblings).
+    std::vector<titant::serving::TransferRequest> rows(static_cast<std::size_t>(batch), request);
+    for (int i = 0; i < batch; ++i) {
+      rows[static_cast<std::size_t>(i)].txn_id = static_cast<uint64_t>(i + 1);
+      rows[static_cast<std::size_t>(i)].second_of_day =
+          request.second_of_day + static_cast<uint32_t>(i);
+    }
+    const auto items = OrDie(client.ScoreBatch(rows, /*timeout_ms=*/2000));
+    int interrupts = 0;
+    for (int i = 0; i < batch; ++i) {
+      const auto& item = items[static_cast<std::size_t>(i)];
+      if (!item.ok()) {
+        std::printf("  [%2d] error: %s\n", i, item.status().ToString().c_str());
+        continue;
+      }
+      if (item->interrupt) ++interrupts;
+      std::printf("  [%2d] fraud probability %.4f  %s%s\n", i, item->fraud_probability,
+                  item->interrupt ? "INTERRUPT" : "pass",
+                  item->degraded ? "  (DEGRADED)" : "");
+    }
+    std::printf("%d rows in one round trip (model v%llu)\n", batch,
+                static_cast<unsigned long long>(health.model_version));
+    return interrupts > 0 ? 3 : 0;
+  }
+
   const auto verdict = OrDie(client.Score(request, /*timeout_ms=*/2000));
   std::printf("fraud probability  %.4f\n", verdict.fraud_probability);
   std::printf("verdict            %s%s\n", verdict.interrupt ? "INTERRUPT" : "pass",
