@@ -3,7 +3,8 @@
 // reaches the MS fleet over the wire, not via a function call).
 //
 //   bench_gateway [client_threads] [seconds] [instances] [--faults]
-//                 [--batch N] [--no-coalesce]
+//                 [--batch N] [--no-coalesce] [--alloc-budget N]
+//                 [--workers N]
 //
 // Starts a Gateway over loopback in-process, drives it from N closed-loop
 // client threads (one connection each, next request issued as soon as the
@@ -21,6 +22,18 @@
 // the resilience counters — shed / expired / degraded / breaker trips /
 // client retries — with the pass bar switched from zero-errors to
 // >= 99.9% availability.
+//
+// The binary links titant_alloc_hook (counting operator new replacement),
+// so it also reports heap allocations per round trip across the whole
+// process — server and clients — during the timed window. The scoring hot
+// path itself is allocation-free (tests/zeroalloc_test.cc); what remains
+// is client-side response handling and transient frame payloads.
+// --alloc-budget N turns the report into a pass bar: the run fails when
+// allocs/request exceeds N (the CI bench-smoke lane pins the checked-in
+// budget so allocation regressions fail the build).
+//
+// --workers N overrides the gateway's handler thread count (default:
+// hardware_concurrency), useful for studying scheduling on small hosts.
 
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +43,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/alloc_hook.h"
 #include "common/failpoint.h"
 
 #include "bench/bench_util.h"
@@ -104,6 +118,8 @@ int main(int argc, char** argv) {
   bool faults = false;
   bool coalesce = true;
   int batch = 1;
+  int workers = 0;  // 0 = GatewayOptions default (hardware_concurrency).
+  double alloc_budget = 0.0;  // 0 = report only, no pass bar.
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--faults") == 0) {
@@ -113,6 +129,10 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
       batch = std::atoi(argv[++i]);
       if (batch < 1) batch = 1;
+    } else if (std::strcmp(argv[i], "--alloc-budget") == 0 && i + 1 < argc) {
+      alloc_budget = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers = std::atoi(argv[++i]);
     } else {
       positional.push_back(argv[i]);
     }
@@ -130,6 +150,7 @@ int main(int argc, char** argv) {
   Fixture fixture = BuildFixture(instances);
 
   titant::serving::GatewayOptions gateway_options;
+  if (workers > 0) gateway_options.worker_threads = static_cast<std::size_t>(workers);
   if (!coalesce) gateway_options.coalesce_max_batch = 1;
   titant::serving::Gateway gateway(fixture.router.get(), gateway_options);
   CheckOk(gateway.Start());
@@ -157,6 +178,7 @@ int main(int argc, char** argv) {
   std::vector<uint64_t> degraded(static_cast<std::size_t>(threads), 0);
   std::vector<uint64_t> retries(static_cast<std::size_t>(threads), 0);
   std::vector<std::thread> clients;
+  const uint64_t allocs_before = titant::allochook::TotalAllocs();
   titant::Stopwatch wall;
   for (int t = 0; t < threads; ++t) {
     clients.emplace_back([&, t] {
@@ -204,6 +226,7 @@ int main(int argc, char** argv) {
   }
   for (auto& thread : clients) thread.join();
   const double elapsed_s = wall.ElapsedSeconds();
+  const uint64_t allocs_during = titant::allochook::TotalAllocs() - allocs_before;
   titant::Failpoints::DisarmAll();
 
   titant::Histogram merged;
@@ -232,6 +255,13 @@ int main(int argc, char** argv) {
   std::printf("  p99       %.0f us\n", merged.P99());
   std::printf("  p99.9     %.0f us\n", merged.P999());
   std::printf("  max       %.0f us\n", merged.max());
+  const double allocs_per_request =
+      merged.count() == 0 ? 0.0
+                          : static_cast<double>(allocs_during) / static_cast<double>(merged.count());
+  if (titant::allochook::Active()) {
+    std::printf("  allocs    %.1f per round trip (%llu total, process-wide)\n",
+                allocs_per_request, static_cast<unsigned long long>(allocs_during));
+  }
 
   const auto wire = gateway.WireLatencySnapshot();
   const auto inproc = fixture.router->AggregateLatency();
@@ -281,8 +311,14 @@ int main(int argc, char** argv) {
     return pass ? 0 : 1;
   }
 
-  const bool pass = qps >= 5000.0 && merged.P99() < 5000.0;
+  const bool perf_pass = qps >= 5000.0 && merged.P99() < 5000.0;
   std::printf("\n%s: %.0f qps, p99 %.0f us (target: >= 5000 qps, p99 < 5000 us)\n",
-              pass ? "PASS" : "MISS", qps, merged.P99());
+              perf_pass ? "PASS" : "MISS", qps, merged.P99());
+  if (alloc_budget > 0.0) {
+    const bool alloc_pass = allocs_per_request <= alloc_budget;
+    std::printf("%s: %.1f allocs/request (budget: <= %.1f)\n", alloc_pass ? "PASS" : "MISS",
+                allocs_per_request, alloc_budget);
+    if (!alloc_pass) return 1;
+  }
   return total_errors == 0 ? 0 : 1;
 }

@@ -1,0 +1,77 @@
+// Counting global operator new/delete replacement (see alloc_hook.h).
+//
+// Linking this object into a binary replaces the global allocation
+// functions for the whole binary (ISO C++ replaceable allocation
+// functions), so every `new`, std::string growth, and std::vector
+// reallocation bumps the counters. The counters are the measurement
+// behind the zero-allocation hot-path invariant: a thread-local count for
+// exact single-thread assertions (tests) and a process-wide atomic for
+// allocs/request reporting (bench_gateway).
+
+#include "common/alloc_hook.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<uint64_t> g_total_allocs{0};
+thread_local uint64_t t_thread_allocs = 0;
+
+void* CountedAlloc(std::size_t size) {
+  t_thread_allocs += 1;
+  g_total_allocs.fetch_add(1, std::memory_order_relaxed);
+  // malloc(0) may return nullptr; operator new must not.
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* CountedAllocAligned(std::size_t size, std::size_t align) {
+  t_thread_allocs += 1;
+  g_total_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::aligned_alloc(align, ((size + align - 1) / align) * align);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+namespace titant::allochook {
+
+uint64_t ThreadAllocs() { return t_thread_allocs; }
+uint64_t TotalAllocs() { return g_total_allocs.load(std::memory_order_relaxed); }
+bool Active() { return true; }
+
+}  // namespace titant::allochook
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  t_thread_allocs += 1;
+  g_total_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  t_thread_allocs += 1;
+  g_total_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return CountedAllocAligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return CountedAllocAligned(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }

@@ -1,0 +1,27 @@
+#ifndef TITANT_COMMON_ALLOC_HOOK_H_
+#define TITANT_COMMON_ALLOC_HOOK_H_
+
+#include <cstdint>
+
+namespace titant::allochook {
+
+/// Heap allocations (operator new calls) made by the calling thread since
+/// it started. Only meaningful in binaries that link `titant_alloc_hook`,
+/// which replaces the global operator new/delete with counting versions;
+/// everywhere else this returns 0.
+///
+/// The hook exists to *prove* the zero-allocation invariant of the serving
+/// hot path (ModelServer::ScoreSpan steady state) in tests and to report
+/// allocs/request in bench_gateway — it is never linked into the library
+/// targets themselves.
+uint64_t ThreadAllocs();
+
+/// Process-wide allocation count across all threads.
+uint64_t TotalAllocs();
+
+/// True when the counting operator new/delete replacement is linked in.
+bool Active();
+
+}  // namespace titant::allochook
+
+#endif  // TITANT_COMMON_ALLOC_HOOK_H_

@@ -1,0 +1,163 @@
+#ifndef TITANT_COMMON_ARENA_H_
+#define TITANT_COMMON_ARENA_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define TITANT_ARENA_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define TITANT_ARENA_ASAN 1
+#endif
+#endif
+
+#ifdef TITANT_ARENA_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace titant {
+
+/// Bump allocator backing the zero-allocation serving hot path: Allocate
+/// hands out pointers from a current block by advancing a cursor, Reset
+/// rewinds the cursor without returning memory to the heap. After a
+/// warm-up pass has sized the block, the steady state performs no heap
+/// allocations at all — the arena is the ownership boundary the read path
+/// (kvstore views, score scratch, wire buffers) leans on (DESIGN.md §8).
+///
+/// Under AddressSanitizer, Reset() poisons the reclaimed region, so a view
+/// that outlives its arena reset is caught as a use-after-poison instead
+/// of silently reading stale bytes.
+///
+/// Not thread-safe; each scratch/pin owns its own arena.
+class Arena {
+ public:
+  explicit Arena(std::size_t initial_bytes = kMinBlockBytes) : next_block_bytes_(initial_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+#ifdef TITANT_ARENA_ASAN
+  ~Arena() {
+    // Unpoison before handing blocks back so the allocator's own metadata
+    // writes are not flagged.
+    for (auto& block : blocks_) ASAN_UNPOISON_MEMORY_REGION(block.data.get(), block.size);
+  }
+#endif
+
+  /// Returns `bytes` of storage aligned to `align` (a power of two).
+  /// Never fails: the arena grows when the current block is exhausted.
+  char* Allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
+    std::size_t offset = AlignedOffset(align);
+    if (block_ >= blocks_.size() || offset + bytes > blocks_[block_].size) {
+      AddBlock(bytes + align);
+      offset = AlignedOffset(align);
+    }
+    char* out = blocks_[block_].data.get() + offset;
+    cursor_ = offset + bytes;
+#ifdef TITANT_ARENA_ASAN
+    ASAN_UNPOISON_MEMORY_REGION(out, bytes);
+#endif
+    return out;
+  }
+
+  /// Copies `data[0..size)` into the arena and returns the stable copy.
+  char* Copy(const char* data, std::size_t size) {
+    char* out = Allocate(size, 1);
+    std::memcpy(out, data, size);
+    return out;
+  }
+
+  /// Typed array allocation (uninitialized storage).
+  template <typename T>
+  T* AllocateArray(std::size_t count) {
+    return reinterpret_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds the cursor, invalidating everything previously allocated,
+  /// without freeing blocks (zero heap traffic at steady state). If the
+  /// last cycle spilled across blocks, they are coalesced into one block
+  /// sized for the whole cycle — a one-time allocation after which Reset
+  /// is pure pointer arithmetic. Under ASan the reclaimed bytes are
+  /// poisoned so stale views fault loudly.
+  void Reset() {
+    if (blocks_.size() > 1) {
+      std::size_t total = 0;
+      for (const Block& block : blocks_) total += block.size;
+#ifdef TITANT_ARENA_ASAN
+      for (auto& block : blocks_) ASAN_UNPOISON_MEMORY_REGION(block.data.get(), block.size);
+#endif
+      blocks_.clear();
+      next_block_bytes_ = RoundUpPow2(total);
+      AddBlock(0);
+    }
+    block_ = 0;
+    cursor_ = 0;
+#ifdef TITANT_ARENA_ASAN
+    for (auto& block : blocks_) ASAN_POISON_MEMORY_REGION(block.data.get(), block.size);
+#endif
+  }
+
+  /// Total block capacity owned by the arena.
+  std::size_t capacity() const {
+    std::size_t total = 0;
+    for (const Block& block : blocks_) total += block.size;
+    return total;
+  }
+
+ private:
+  static constexpr std::size_t kMinBlockBytes = 4096;
+
+  struct Block {
+    std::unique_ptr<char[]> data;
+    std::size_t size = 0;
+  };
+
+  // Alignment must hold for the absolute address, not the block-relative
+  // offset — operator new[] only guarantees ~16 bytes, so over-aligned
+  // requests (e.g. cache lines) pad from the block's actual base.
+  std::size_t AlignedOffset(std::size_t align) const {
+    const std::uintptr_t base =
+        block_ < blocks_.size() ? reinterpret_cast<std::uintptr_t>(blocks_[block_].data.get()) : 0;
+    const std::uintptr_t aligned =
+        (base + cursor_ + (align - 1)) & ~static_cast<std::uintptr_t>(align - 1);
+    return static_cast<std::size_t>(aligned - base);
+  }
+
+  static std::size_t RoundUpPow2(std::size_t n) {
+    std::size_t p = kMinBlockBytes;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  void AddBlock(std::size_t at_least) {
+    // First call with an empty arena lands here too (block_ == 0 == size).
+    if (block_ + 1 < blocks_.size() && blocks_[block_ + 1].size >= at_least) {
+      ++block_;  // A block from a previous, larger cycle is still free.
+    } else {
+      Block block;
+      block.size = RoundUpPow2(std::max(next_block_bytes_, at_least));
+      block.data = std::make_unique<char[]>(block.size);
+#ifdef TITANT_ARENA_ASAN
+      ASAN_POISON_MEMORY_REGION(block.data.get(), block.size);
+#endif
+      next_block_bytes_ = block.size * 2;
+      blocks_.push_back(std::move(block));
+      block_ = blocks_.size() - 1;
+    }
+    cursor_ = 0;
+  }
+
+  std::vector<Block> blocks_;
+  std::size_t block_ = 0;       // Index of the block the cursor lives in.
+  std::size_t cursor_ = 0;      // Offset of the next byte in blocks_[block_].
+  std::size_t next_block_bytes_;
+};
+
+}  // namespace titant
+
+#endif  // TITANT_COMMON_ARENA_H_

@@ -9,14 +9,24 @@ namespace {
 
 // 64-bit FNV-1a; the second probe hash is derived by rotation (double
 // hashing per Kirsch-Mitzenmacher).
-uint64_t Fnv1a(std::string_view key) {
-  uint64_t hash = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+uint64_t Fnv1aExtend(uint64_t hash, std::string_view key) {
   for (unsigned char c : key) {
     hash ^= c;
-    hash *= 0x100000001b3ULL;
+    hash *= kFnvPrime;
   }
   return hash;
 }
+
+uint64_t Fnv1aExtend(uint64_t hash, unsigned char c) {
+  hash ^= c;
+  hash *= kFnvPrime;
+  return hash;
+}
+
+uint64_t Fnv1a(std::string_view key) { return Fnv1aExtend(kFnvOffset, key); }
 
 }  // namespace
 
@@ -56,8 +66,23 @@ void BloomFilter::Add(std::string_view key) {
 bool BloomFilter::MayContain(std::string_view key) const {
   const std::size_t bits = num_bits();
   if (bits == 0) return true;  // Filterless: always probe.
+  return ProbeHash(Fnv1a(key), bits);
+}
+
+bool BloomFilter::MayContainColumn(std::string_view row, std::string_view family,
+                                   std::string_view qualifier) const {
+  const std::size_t bits = num_bits();
+  if (bits == 0) return true;  // Filterless: always probe.
+  uint64_t h = Fnv1aExtend(kFnvOffset, row);
+  h = Fnv1aExtend(h, static_cast<unsigned char>('\x1f'));
+  h = Fnv1aExtend(h, family);
+  h = Fnv1aExtend(h, static_cast<unsigned char>('\x1f'));
+  h = Fnv1aExtend(h, qualifier);
+  return ProbeHash(h, bits);
+}
+
+bool BloomFilter::ProbeHash(uint64_t h, std::size_t bits) const {
   const int k = static_cast<int>(static_cast<unsigned char>(payload_.back()));
-  uint64_t h = Fnv1a(key);
   const uint64_t delta = (h >> 17) | (h << 47);
   for (int i = 0; i < k; ++i) {
     const std::size_t bit = static_cast<std::size_t>(h % bits);

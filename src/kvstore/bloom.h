@@ -25,6 +25,13 @@ class BloomFilter {
   /// False means definitely absent; true means possibly present.
   bool MayContain(std::string_view key) const;
 
+  /// MayContain(BloomKeyOf(row, family, qualifier)) without materializing
+  /// the joined key: the three parts are hashed incrementally with the
+  /// separator bytes, producing the identical FNV-1a value. This keeps the
+  /// zero-allocation read path out of the heap on every SSTable probe.
+  bool MayContainColumn(std::string_view row, std::string_view family,
+                        std::string_view qualifier) const;
+
   /// Serialized bit array plus hash count.
   const std::string& payload() const { return payload_; }
 
@@ -32,6 +39,9 @@ class BloomFilter {
 
  private:
   BloomFilter() = default;
+
+  /// Shared double-hashing probe loop over `bits` filter bits.
+  bool ProbeHash(uint64_t h, std::size_t bits) const;
 
   // payload_ layout: [bits ...][1 byte: k]. Empty payload = match-all
   // (a filterless table degrades to always probing).

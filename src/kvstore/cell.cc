@@ -37,6 +37,29 @@ bool GetString(const std::string& data, std::size_t* offset, std::string* out) {
   return true;
 }
 
+bool GetU32View(std::string_view data, std::size_t* offset, uint32_t* v) {
+  if (*offset + sizeof(*v) > data.size()) return false;
+  std::memcpy(v, data.data() + *offset, sizeof(*v));
+  *offset += sizeof(*v);
+  return true;
+}
+
+bool GetU64View(std::string_view data, std::size_t* offset, uint64_t* v) {
+  if (*offset + sizeof(*v) > data.size()) return false;
+  std::memcpy(v, data.data() + *offset, sizeof(*v));
+  *offset += sizeof(*v);
+  return true;
+}
+
+bool GetStringView(std::string_view data, std::size_t* offset, std::string_view* out) {
+  uint32_t len = 0;
+  if (!GetU32View(data, offset, &len)) return false;
+  if (*offset + len > data.size()) return false;
+  *out = data.substr(*offset, len);
+  *offset += len;
+  return true;
+}
+
 }  // namespace
 
 std::string EncodeCell(const Cell& cell) {
@@ -64,6 +87,17 @@ bool DecodeCell(const std::string& data, std::size_t* offset, Cell* out) {
   if (*offset >= data.size()) return false;
   out->tombstone = data[(*offset)++] != 0;
   if (!GetString(data, offset, &out->value)) return false;
+  return true;
+}
+
+bool DecodeCellView(std::string_view data, std::size_t* offset, CellViewRec* out) {
+  if (!GetStringView(data, offset, &out->row)) return false;
+  if (!GetStringView(data, offset, &out->family)) return false;
+  if (!GetStringView(data, offset, &out->qualifier)) return false;
+  if (!GetU64View(data, offset, &out->version)) return false;
+  if (*offset >= data.size()) return false;
+  out->tombstone = data[(*offset)++] != 0;
+  if (!GetStringView(data, offset, &out->value)) return false;
   return true;
 }
 

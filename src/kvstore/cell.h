@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <tuple>
 
 namespace titant::kvstore {
@@ -44,6 +45,23 @@ std::string EncodeCell(const Cell& cell);
 /// Parses a record produced by EncodeCell starting at `data[*offset]`;
 /// advances *offset. Returns false on truncation/corruption.
 bool DecodeCell(const std::string& data, std::size_t* offset, Cell* out);
+
+/// A decoded cell whose strings alias the encoded record (no copies).
+/// Views are valid only while the backing buffer is: for an SSTable that
+/// is the table's lifetime, for a WAL record the record string. The
+/// zero-allocation read path (AliHBase::MultiGetView) decodes with this
+/// form and copies just the winning value into the caller's pin arena.
+struct CellViewRec {
+  std::string_view row;
+  std::string_view family;
+  std::string_view qualifier;
+  uint64_t version = 0;
+  bool tombstone = false;
+  std::string_view value;
+};
+
+/// View-returning twin of DecodeCell: same record format, no allocation.
+bool DecodeCellView(std::string_view data, std::size_t* offset, CellViewRec* out);
 
 }  // namespace titant::kvstore
 

@@ -16,6 +16,17 @@ std::string EncodeKey(const CellKey& key) {
   return EncodeCell(cell);  // Value empty; fine for index entries.
 }
 
+// Three-way compare of (row, family, qualifier) coordinates; the callers
+// layer CellKey's descending-version rule on top.
+int CompareRfq(std::string_view ar, std::string_view af, std::string_view aq,
+               std::string_view br, std::string_view bf, std::string_view bq) {
+  int c = ar.compare(br);
+  if (c != 0) return c;
+  c = af.compare(bf);
+  if (c != 0) return c;
+  return aq.compare(bq);
+}
+
 }  // namespace
 
 Status SSTable::Write(const std::string& path, const std::vector<Cell>& cells) {
@@ -126,17 +137,51 @@ StatusOr<SSTable> SSTable::Open(const std::string& path) {
 
 std::optional<Cell> SSTable::Get(const std::string& row, const std::string& family,
                                  const std::string& qualifier, uint64_t snapshot) const {
-  if (!bloom_.MayContain(BloomKeyOf(row, family, qualifier))) return std::nullopt;
-  CellKey target{row, family, qualifier, snapshot};
-  Iterator it(this);
-  it.Seek(target);
-  if (!it.Valid()) return std::nullopt;
-  const Cell& cell = it.cell();
-  if (cell.key.row == row && cell.key.family == family && cell.key.qualifier == qualifier &&
-      cell.key.version <= snapshot) {
-    return cell;
+  CellViewRec rec;
+  if (!GetView(row, family, qualifier, snapshot, &rec)) return std::nullopt;
+  Cell cell;
+  cell.key.row = std::string(rec.row);
+  cell.key.family = std::string(rec.family);
+  cell.key.qualifier = std::string(rec.qualifier);
+  cell.key.version = rec.version;
+  cell.tombstone = rec.tombstone;
+  cell.value = std::string(rec.value);
+  return cell;
+}
+
+bool SSTable::GetView(std::string_view row, std::string_view family, std::string_view qualifier,
+                      uint64_t snapshot, CellViewRec* out) const {
+  if (!bloom_.MayContainColumn(row, family, qualifier)) return false;
+  const auto& keys = index_keys_;
+  if (keys.empty()) return false;
+  // Binary-search the sparse index for the first key > target, where the
+  // target sits at (row, family, qualifier, snapshot) in CellKey order
+  // (versions descend within a column). Hand-rolled so the probe compares
+  // string_views against the index keys without materializing a CellKey.
+  std::size_t lo = 0, hi = keys.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const CellKey& k = keys[mid];
+    const int c = CompareRfq(row, family, qualifier, k.row, k.family, k.qualifier);
+    if (c < 0 || (c == 0 && snapshot > k.version)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
   }
-  return std::nullopt;
+  std::size_t pos = lo == 0 ? 0 : static_cast<std::size_t>(index_offsets_[lo - 1]);
+  const std::string_view data(data_);
+  CellViewRec rec;
+  while (pos < data.size()) {
+    if (!DecodeCellView(data, &pos, &rec)) return false;
+    const int c = CompareRfq(rec.row, rec.family, rec.qualifier, row, family, qualifier);
+    if (c < 0) continue;               // Still before the column.
+    if (c > 0) return false;           // Past it without a hit: absent.
+    if (rec.version > snapshot) continue;  // Too new for this snapshot.
+    *out = rec;                        // Newest version <= snapshot.
+    return true;
+  }
+  return false;
 }
 
 void SSTable::Iterator::LoadAt(std::size_t offset) {

@@ -33,6 +33,13 @@ class SSTable {
   std::optional<Cell> Get(const std::string& row, const std::string& family,
                           const std::string& qualifier, uint64_t snapshot) const;
 
+  /// Zero-allocation twin of Get: on hit fills `out` with views into the
+  /// table's in-memory data region (valid for the table's lifetime — the
+  /// store copies winning values into the caller's pin before the table
+  /// can be dropped by a compaction). Returns false when absent.
+  bool GetView(std::string_view row, std::string_view family, std::string_view qualifier,
+               uint64_t snapshot, CellViewRec* out) const;
+
   /// Iterates cells in key order starting at the first key >= start.
   class Iterator {
    public:

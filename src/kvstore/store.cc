@@ -62,11 +62,28 @@ StatusOr<std::unique_ptr<AliHBase>> AliHBase::Open(StoreOptions options) {
   return store;
 }
 
-Status AliHBase::CheckFamily(const std::string& family) const {
+namespace {
+
+// "row/family:qualifier" for NotFound messages (error paths only).
+std::string ColumnName(std::string_view row, std::string_view family,
+                       std::string_view qualifier) {
+  std::string name;
+  name.reserve(row.size() + family.size() + qualifier.size() + 2);
+  name.append(row);
+  name.push_back('/');
+  name.append(family);
+  name.push_back(':');
+  name.append(qualifier);
+  return name;
+}
+
+}  // namespace
+
+Status AliHBase::CheckFamily(std::string_view family) const {
   for (const auto& cf : options_.column_families) {
     if (cf == family) return Status::OK();
   }
-  return Status::InvalidArgument("undeclared column family: " + family);
+  return Status::InvalidArgument("undeclared column family: " + std::string(family));
 }
 
 Status AliHBase::Put(const std::string& row, const std::string& family,
@@ -107,23 +124,35 @@ Status AliHBase::WriteCells(const std::vector<Cell>& cells) {
   return Status::OK();
 }
 
-const Cell* AliHBase::FindLocked(const std::string& row, const std::string& family,
-                                 const std::string& qualifier, uint64_t snapshot,
-                                 std::optional<Cell>* sstable_scratch) const {
-  const Cell* best = nullptr;
+bool AliHBase::FindViewLocked(std::string_view row, std::string_view family,
+                              std::string_view qualifier, uint64_t snapshot,
+                              CellViewRec* out) const {
+  bool found = false;
   // Memtable: entries for this column are ordered by version desc, then
   // write order; the first entry at or below the snapshot wins there.
+  // The seek key is a std::string triple, but short keys (the feature
+  // store's 11/6-char row keys, family/qualifier names) stay inside the
+  // small-string buffer, so building it does not touch the heap.
   {
     SkipList<MemEntry>::Iterator it(memtable_.get());
     MemEntry target;
-    target.cell.key = CellKey{row, family, qualifier, snapshot};
+    target.cell.key.row.assign(row);
+    target.cell.key.family.assign(family);
+    target.cell.key.qualifier.assign(qualifier);
+    target.cell.key.version = snapshot;
     target.seq = UINT64_MAX;  // Before any real entry of that exact key.
     it.Seek(target);
     if (it.Valid()) {
       const Cell& cell = it.key().cell;
       if (cell.key.row == row && cell.key.family == family &&
           cell.key.qualifier == qualifier && cell.key.version <= snapshot) {
-        best = &cell;
+        out->row = cell.key.row;
+        out->family = cell.key.family;
+        out->qualifier = cell.key.qualifier;
+        out->version = cell.key.version;
+        out->tombstone = cell.tombstone;
+        out->value = cell.value;
+        found = true;
       }
     }
   }
@@ -131,13 +160,14 @@ const Cell* AliHBase::FindLocked(const std::string& row, const std::string& fami
   // first and require a strictly greater version to override, so that
   // same-version overwrites resolve to the memtable, then the newest file.
   for (auto it = sstables_.rbegin(); it != sstables_.rend(); ++it) {
-    std::optional<Cell> cell = it->Get(row, family, qualifier, snapshot);
-    if (cell && (best == nullptr || cell->key.version > best->key.version)) {
-      *sstable_scratch = std::move(cell);
-      best = &**sstable_scratch;
+    CellViewRec rec;
+    if (it->GetView(row, family, qualifier, snapshot, &rec) &&
+        (!found || rec.version > out->version)) {
+      *out = rec;
+      found = true;
     }
   }
-  return best;
+  return found;
 }
 
 StatusOr<std::string> AliHBase::Get(const std::string& row, const std::string& family,
@@ -148,32 +178,53 @@ StatusOr<std::string> AliHBase::Get(const std::string& row, const std::string& f
   TITANT_FAILPOINT("kvstore.get");
   TITANT_RETURN_IF_ERROR(CheckFamily(family));
   std::shared_lock lock(mu_);
-  std::optional<Cell> scratch;
-  const Cell* cell = FindLocked(row, family, qualifier, snapshot, &scratch);
-  if (cell == nullptr || cell->tombstone) {
-    return Status::NotFound(row + "/" + family + ":" + qualifier);
+  CellViewRec rec;
+  if (!FindViewLocked(row, family, qualifier, snapshot, &rec) || rec.tombstone) {
+    return Status::NotFound(ColumnName(row, family, qualifier));
   }
-  return cell->value;
+  return std::string(rec.value);
 }
 
 std::vector<StatusOr<std::string>> AliHBase::MultiGet(const std::vector<ColumnProbe>& probes,
                                                       uint64_t snapshot) const {
-  // Per-probe admission mirrors Get: the chaos hook and the family check
-  // run key by key (and before the shared lock), so one injected fault or
-  // one bad family fails one probe, never its batch siblings.
+  // Convenience wrapper over the view path: same admission, visit order,
+  // and per-probe semantics, with values copied out into owning strings.
+  std::vector<ColumnProbeView> views;
+  views.reserve(probes.size());
+  for (const ColumnProbe& p : probes) views.push_back({p.row, p.family, p.qualifier});
+  ReadPin pin;
+  std::vector<StatusOr<std::string_view>> raw(
+      probes.size(), StatusOr<std::string_view>(std::string_view()));
+  MultiGetView(views.data(), views.size(), &pin, raw.data(), snapshot);
   std::vector<StatusOr<std::string>> results;
   results.reserve(probes.size());
-  std::vector<std::size_t> live;
-  live.reserve(probes.size());
-  for (std::size_t i = 0; i < probes.size(); ++i) {
+  for (StatusOr<std::string_view>& r : raw) {
+    if (r.ok()) {
+      results.emplace_back(std::string(*r));
+    } else {
+      results.emplace_back(r.status());
+    }
+  }
+  return results;
+}
+
+void AliHBase::MultiGetView(const ColumnProbeView* probes, std::size_t n, ReadPin* pin,
+                            StatusOr<std::string_view>* out, uint64_t snapshot) const {
+  // Per-probe admission mirrors Get: the chaos hook and the family check
+  // run key by key, in INPUT order (chaos draws stay deterministic per
+  // probe position) and before the shared lock, so one injected fault or
+  // one bad family fails one probe, never its batch siblings.
+  std::vector<std::size_t>& live = pin->order_;
+  live.clear();
+  for (std::size_t i = 0; i < n; ++i) {
     Status admitted = failpoint_internal::AnyArmed() ? Failpoints::Eval("kvstore.get")
                                                      : Status::OK();
     if (admitted.ok()) admitted = CheckFamily(probes[i].family);
     if (admitted.ok()) {
       live.push_back(i);
-      results.emplace_back(std::string());  // Placeholder, overwritten below.
+      out[i] = StatusOr<std::string_view>(std::string_view());  // Overwritten below.
     } else {
-      results.emplace_back(std::move(admitted));
+      out[i] = StatusOr<std::string_view>(std::move(admitted));
     }
   }
 
@@ -182,32 +233,39 @@ std::vector<StatusOr<std::string>> AliHBase::MultiGet(const std::vector<ColumnPr
   // and duplicate coordinates collapse into one lookup (the bloom-filter
   // and index probes are paid once per distinct column, not per request).
   auto key_of = [&probes](std::size_t i) {
-    const ColumnProbe& p = probes[i];
+    const ColumnProbeView& p = probes[i];
     return std::tie(p.row, p.family, p.qualifier);
   };
   std::sort(live.begin(), live.end(),
             [&](std::size_t a, std::size_t b) { return key_of(a) < key_of(b); });
 
   std::shared_lock lock(mu_);  // One lock acquisition for the whole batch.
-  std::optional<Cell> scratch;
-  const Cell* cell = nullptr;
+  CellViewRec rec;
+  bool hit = false;
+  std::string_view pinned;
   bool have_prev = false;
   std::size_t prev = 0;
   for (std::size_t idx : live) {
-    const ColumnProbe& probe = probes[idx];
+    const ColumnProbeView& probe = probes[idx];
     if (!have_prev || key_of(prev) != key_of(idx)) {
-      scratch.reset();
-      cell = FindLocked(probe.row, probe.family, probe.qualifier, snapshot, &scratch);
+      hit = FindViewLocked(probe.row, probe.family, probe.qualifier, snapshot, &rec);
+      if (hit && !rec.tombstone) {
+        // The winning value is copied into the pin's arena while the lock
+        // still pins the memtable/SSTable bytes — after that, the view is
+        // immune to flushes and compactions. One copy per distinct column;
+        // duplicate probes share it.
+        pinned = std::string_view(pin->arena_.Copy(rec.value.data(), rec.value.size()),
+                                  rec.value.size());
+      }
       prev = idx;
       have_prev = true;
     }
-    if (cell == nullptr || cell->tombstone) {
-      results[idx] = Status::NotFound(probe.row + "/" + probe.family + ":" + probe.qualifier);
+    if (!hit || rec.tombstone) {
+      out[idx] = Status::NotFound(ColumnName(probe.row, probe.family, probe.qualifier));
     } else {
-      results[idx] = cell->value;
+      out[idx] = StatusOr<std::string_view>(pinned);
     }
   }
-  return results;
 }
 
 StatusOr<std::map<std::string, std::string>> AliHBase::GetRow(const std::string& row,

@@ -7,8 +7,10 @@
 #include <optional>
 #include <shared_mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/statusor.h"
 #include "kvstore/cell.h"
 #include "kvstore/skiplist.h"
@@ -39,6 +41,41 @@ struct ColumnProbe {
   std::string row;
   std::string family;
   std::string qualifier;
+};
+
+/// Non-owning probe for the view read path: the caller keeps the key
+/// bytes alive for the duration of the MultiGetView call (typically a
+/// stack or scratch buffer the row keys were formatted into).
+struct ColumnProbeView {
+  std::string_view row;
+  std::string_view family;
+  std::string_view qualifier;
+};
+
+/// Owns the memory behind MultiGetView results. Every returned
+/// std::string_view points into the pin's arena; the views stay valid —
+/// across store flushes and compactions — until the pin is Reset or
+/// destroyed. Reset rewinds the arena without freeing, so a pin reused
+/// across batches reaches a steady state with zero heap traffic. Under
+/// AddressSanitizer, Reset poisons the reclaimed bytes: touching a stale
+/// view faults instead of silently reading reused memory.
+class ReadPin {
+ public:
+  ReadPin() = default;
+  ReadPin(const ReadPin&) = delete;
+  ReadPin& operator=(const ReadPin&) = delete;
+
+  /// Invalidates all views handed out since the last Reset and recycles
+  /// their memory for the next batch.
+  void Reset() { arena_.Reset(); }
+
+  /// Bytes currently reserved (diagnostics).
+  std::size_t capacity() const { return arena_.capacity(); }
+
+ private:
+  friend class AliHBase;
+  Arena arena_;
+  std::vector<std::size_t> order_;  // MultiGetView visit-order scratch.
 };
 
 /// A single-table, column-family KV store with timestamp versions —
@@ -82,6 +119,17 @@ class AliHBase {
   std::vector<StatusOr<std::string>> MultiGet(const std::vector<ColumnProbe>& probes,
                                               uint64_t snapshot = UINT64_MAX) const;
 
+  /// Zero-allocation batched Get. Identical per-probe semantics and visit
+  /// order to MultiGet, but the probes carry string_view keys, results are
+  /// written into the caller's `out` array (length n), and value bytes are
+  /// copied once into `pin`'s arena — the returned views are valid until
+  /// the pin is Reset or destroyed, independent of later flushes or
+  /// compactions. With a reused pin the steady state performs no heap
+  /// allocation on the all-hits path (error Statuses may allocate their
+  /// message). This is the hot path under ModelServer::ScoreSpan.
+  void MultiGetView(const ColumnProbeView* probes, std::size_t n, ReadPin* pin,
+                    StatusOr<std::string_view>* out, uint64_t snapshot = UINT64_MAX) const;
+
   /// Returns all visible columns of a row as "family:qualifier" -> value.
   StatusOr<std::map<std::string, std::string>> GetRow(const std::string& row,
                                                       uint64_t snapshot = UINT64_MAX) const;
@@ -124,17 +172,15 @@ class AliHBase {
 
   explicit AliHBase(StoreOptions options) : options_(std::move(options)) {}
 
-  Status CheckFamily(const std::string& family) const;
+  Status CheckFamily(std::string_view family) const;
   Status WriteCells(const std::vector<Cell>& cells);
   Status FlushLocked();
-  /// Point lookup under mu_. Returns a pointer into the memtable (valid
-  /// while the lock is held) or into *sstable_scratch when an SSTable
-  /// holds the winning version; nullptr when the column is absent. The
-  /// pointer form spares the read path a full Cell copy per probe — the
-  /// caller copies just the value, and only for hits it keeps.
-  const Cell* FindLocked(const std::string& row, const std::string& family,
-                         const std::string& qualifier, uint64_t snapshot,
-                         std::optional<Cell>* sstable_scratch) const;
+  /// Point lookup under mu_, allocation-free for keys within the string
+  /// SSO limit (the 11/6-char feature row keys qualify). On a hit, fills
+  /// `out` with views into the memtable or an SSTable — valid only while
+  /// mu_ is held; callers copy what they keep before releasing the lock.
+  bool FindViewLocked(std::string_view row, std::string_view family,
+                      std::string_view qualifier, uint64_t snapshot, CellViewRec* out) const;
   std::vector<Cell> ScanLocked(const std::string& start_row, const std::string& end_row,
                                uint64_t snapshot, std::size_t limit) const;
 

@@ -206,11 +206,14 @@ void GbdtModel::ScoreBatch(const float* rows, int n, double* out) const {
   const std::size_t width = static_cast<std::size_t>(num_features_);
   const std::size_t total = static_cast<std::size_t>(n) * width;
   uint16_t stack_bins[kStackBinEntries];
-  std::vector<uint16_t> heap_bins;
+  // Spill block reused across calls (thread_local, capacity only grows):
+  // batches above the stack limit hit the heap once per thread, not once
+  // per call — ScoreBatch is inside the zero-allocation serving loop.
+  thread_local std::vector<uint16_t> spill_bins;
   uint16_t* bins = stack_bins;
   if (total > kStackBinEntries) {
-    heap_bins.resize(total);
-    bins = heap_bins.data();
+    if (spill_bins.size() < total) spill_bins.resize(total);
+    bins = spill_bins.data();
   }
   for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) {
     discretizer_.TransformRow(rows + i * width, bins + i * width);

@@ -157,7 +157,10 @@ double LogisticRegressionModel::Score(const float* row) const { return Sigmoid(M
 void LogisticRegressionModel::ScoreBatch(const float* rows, int n, double* out) const {
   if (n <= 0) return;
   const std::size_t width = static_cast<std::size_t>(num_features_);
-  std::vector<double> margin(static_cast<std::size_t>(n), bias_);
+  // Margin accumulator reused across calls (thread_local, capacity only
+  // grows): assign() over warm capacity keeps the serving loop off the heap.
+  thread_local std::vector<double> margin;
+  margin.assign(static_cast<std::size_t>(n), bias_);
   if (options_.discretize) {
     for (int f = 0; f < num_features_; ++f) {
       const std::size_t base = discretizer_.OneHotOffset(f);

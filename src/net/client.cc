@@ -144,12 +144,13 @@ StatusOr<Frame> Client::CallFrame(uint16_t method, std::string_view payload, int
   const int64_t deadline_us = DeadlineFrom(budget_ms);
   const uint64_t request_id = next_request_id_++;
   // The remaining budget rides in the header so the server can refuse
-  // work whose caller will have given up by the time it would run.
-  const std::string frame_bytes =
-      EncodeRequestFrame(method, request_id, payload,
-                         budget_ms > 0 ? static_cast<uint32_t>(budget_ms) : 0);
+  // work whose caller will have given up by the time it would run. The
+  // frame is encoded into a member buffer reused across calls.
+  send_scratch_.clear();
+  EncodeRequestFrameTo(&send_scratch_, method, request_id, payload,
+                       budget_ms > 0 ? static_cast<uint32_t>(budget_ms) : 0);
 
-  Status written = WriteAll(frame_bytes, deadline_us);
+  Status written = WriteAll(send_scratch_, deadline_us);
   if (!written.ok()) {
     Close();
     return written;
@@ -197,10 +198,10 @@ StatusOr<Frame> Client::ReadResponse(uint64_t request_id, int64_t deadline_us) {
     }
     const ssize_t n = ::read(fd_, buffer, sizeof(buffer));
     if (n > 0) {
-      std::vector<Frame> frames;
+      read_scratch_.clear();  // Reused scratch; capacity survives the clear.
       TITANT_RETURN_IF_ERROR(
-          decoder_.Feed(buffer, static_cast<std::size_t>(n), &frames));
-      for (auto& frame : frames) inbox_.push_back(std::move(frame));
+          decoder_.Feed(buffer, static_cast<std::size_t>(n), &read_scratch_));
+      for (auto& frame : read_scratch_) inbox_.push_back(std::move(frame));
       continue;
     }
     if (n == 0) return Status::Unavailable("connection closed by server");

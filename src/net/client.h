@@ -5,6 +5,7 @@
 #include <deque>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/random.h"
 #include "common/statusor.h"
@@ -106,6 +107,8 @@ class Client {
   Rng jitter_rng_;
   FrameDecoder decoder_;
   std::deque<Frame> inbox_;  // Decoded frames not yet claimed by a call.
+  std::string send_scratch_;        // Reused request-frame encode buffer.
+  std::vector<Frame> read_scratch_; // Reused decode scratch for ReadResponse.
 };
 
 }  // namespace titant::net

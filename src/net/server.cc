@@ -9,6 +9,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <mutex>
 
 #include "common/failpoint.h"
 #include "common/logging.h"
@@ -21,14 +22,18 @@ Status Errno(const std::string& what) {
 }
 }  // namespace
 
-/// Per-connection state. Mutated only on the loop thread; worker threads
-/// reach it exclusively through EventLoop::Post.
+/// Per-connection state. The outbox (and its written-prefix offset) is
+/// shared with worker threads, which encode response frames straight into
+/// it under `out_mu` — no per-response string, no posting payload bytes
+/// through the loop. Every other field is loop-thread-only.
 struct Server::Connection {
   explicit Connection(int fd_in, std::size_t max_payload)
       : fd(fd_in), decoder(max_payload) {}
 
   int fd;
   FrameDecoder decoder;
+  std::vector<Frame> frames;     // Decode scratch, reused per read burst.
+  std::mutex out_mu;             // Guards outbox + outbox_offset.
   std::string outbox;            // Encoded responses awaiting write.
   std::size_t outbox_offset = 0; // Prefix of outbox already written.
   std::size_t in_flight = 0;     // Dispatched, not yet completed.
@@ -152,20 +157,26 @@ void Server::ReadReady(const std::shared_ptr<Connection>& conn) {
   while (!conn->closed) {
     const ssize_t n = ::read(conn->fd, buffer, sizeof(buffer));
     if (n > 0) {
-      std::vector<Frame> frames;
-      const Status decoded = conn->decoder.Feed(buffer, static_cast<std::size_t>(n), &frames);
+      conn->frames.clear();  // Reused scratch; capacity survives the clear.
+      const Status decoded =
+          conn->decoder.Feed(buffer, static_cast<std::size_t>(n), &conn->frames);
       if (!decoded.ok()) {
         protocol_errors_.fetch_add(1);
         TITANT_WARN << "closing connection on protocol error: " << decoded.ToString();
         CloseConnection(conn);
         break;
       }
-      for (auto& frame : frames) Dispatch(conn, std::move(frame));
+      for (auto& frame : conn->frames) Dispatch(conn, std::move(frame));
       continue;
     }
     if (n == 0) {  // Peer EOF: finish what was dispatched, then close.
       conn->peer_closed = true;
-      if (conn->in_flight == 0 && conn->outbox_offset == conn->outbox.size()) {
+      bool flushed;
+      {
+        std::lock_guard<std::mutex> guard(conn->out_mu);
+        flushed = conn->outbox_offset == conn->outbox.size();
+      }
+      if (conn->in_flight == 0 && flushed) {
         CloseConnection(conn);
       } else {
         UpdateInterest(conn);
@@ -208,76 +219,88 @@ void Server::Dispatch(const std::shared_ptr<Connection>& conn, Frame frame) {
   ++in_flight_total_;
   frames_dispatched_.fetch_add(1);
   pool_->Submit([this, conn, frame = std::move(frame)] {
+    // Reused per worker thread: the handler writes its body here and the
+    // response frame is encoded straight into the connection outbox, so a
+    // warm steady state allocates nothing on the reply path.
+    thread_local std::string body;
+    body.clear();
     Status status = Status::OK();
-    std::string body_bytes;
     // Re-check after the queue wait: the deadline may have expired while
     // the frame sat behind slower work.
     if (frame.has_deadline() && MonotonicMicros() > frame.deadline_us()) {
       requests_expired_.fetch_add(1);
       status = Status::Timeout("deadline expired in queue");
     } else {
-      StatusOr<std::string> body = handler_(frame);
-      status = body.status();
-      if (body.ok()) body_bytes = std::move(*body);
+      status = handler_(frame, &body);
     }
-    std::string response =
-        EncodeResponseFrame(frame.method, frame.request_id, status, body_bytes);
-    loop_.Post(
-        [this, conn, response = std::move(response)]() mutable { Complete(conn, std::move(response)); });
+    {
+      std::lock_guard<std::mutex> guard(conn->out_mu);
+      EncodeResponseFrameTo(&conn->outbox, frame.method, frame.request_id, status, body);
+    }
+    loop_.Post([this, conn] { Complete(conn); });
   });
 }
 
 void Server::RespondDirect(const std::shared_ptr<Connection>& conn, const Frame& frame,
                            const Status& status) {
   if (conn->closed) return;
-  conn->outbox.append(EncodeResponseFrame(frame.method, frame.request_id, status, {}));
+  {
+    std::lock_guard<std::mutex> guard(conn->out_mu);
+    EncodeResponseFrameTo(&conn->outbox, frame.method, frame.request_id, status, {});
+  }
   WriteReady(conn);
 }
 
-void Server::Complete(const std::shared_ptr<Connection>& conn, std::string response_bytes) {
+void Server::Complete(const std::shared_ptr<Connection>& conn) {
   --conn->in_flight;
   --in_flight_total_;
-  if (!conn->closed) {
-    conn->outbox.append(response_bytes);
-    WriteReady(conn);  // Flush opportunistically; registers EPOLLOUT if short.
-  }
+  // The worker already queued the encoded response; flush it (registers
+  // EPOLLOUT if the socket is short).
+  if (!conn->closed) WriteReady(conn);
   MaybeFinishDrain();
 }
 
 void Server::WriteReady(const std::shared_ptr<Connection>& conn) {
-  // Chaos hook: the reply path tears before the bytes make it out.
-  if (failpoint_internal::AnyArmed() && conn->outbox_offset < conn->outbox.size() &&
-      !Failpoints::Eval("net.server.write").ok()) {
+  bool close_conn = false;
+  {
+    std::lock_guard<std::mutex> guard(conn->out_mu);
+    // Chaos hook: the reply path tears before the bytes make it out.
+    if (failpoint_internal::AnyArmed() && conn->outbox_offset < conn->outbox.size() &&
+        !Failpoints::Eval("net.server.write").ok()) {
+      close_conn = true;
+    }
+    while (!close_conn && conn->outbox_offset < conn->outbox.size()) {
+      // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not SIGPIPE.
+      const ssize_t n = ::send(conn->fd, conn->outbox.data() + conn->outbox_offset,
+                               conn->outbox.size() - conn->outbox_offset, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn->outbox_offset += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      close_conn = true;  // EPIPE/ECONNRESET: peer is gone.
+    }
+    if (!close_conn && conn->outbox_offset == conn->outbox.size()) {
+      conn->outbox.clear();  // Capacity is retained for the next burst.
+      conn->outbox_offset = 0;
+      if ((conn->peer_closed || draining_) && conn->in_flight == 0) close_conn = true;
+    }
+  }
+  if (close_conn) {
     CloseConnection(conn);
     return;
-  }
-  while (conn->outbox_offset < conn->outbox.size()) {
-    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not SIGPIPE.
-    const ssize_t n = ::send(conn->fd, conn->outbox.data() + conn->outbox_offset,
-                             conn->outbox.size() - conn->outbox_offset, MSG_NOSIGNAL);
-    if (n > 0) {
-      conn->outbox_offset += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    if (errno == EINTR) continue;
-    CloseConnection(conn);  // EPIPE/ECONNRESET: peer is gone.
-    return;
-  }
-  if (conn->outbox_offset == conn->outbox.size()) {
-    conn->outbox.clear();
-    conn->outbox_offset = 0;
-    if ((conn->peer_closed || draining_) && conn->in_flight == 0) {
-      CloseConnection(conn);
-      return;
-    }
   }
   UpdateInterest(conn);
 }
 
 void Server::UpdateInterest(const std::shared_ptr<Connection>& conn) {
   if (conn->closed) return;
-  const bool want_write = conn->outbox_offset < conn->outbox.size();
+  bool want_write;
+  {
+    std::lock_guard<std::mutex> guard(conn->out_mu);
+    want_write = conn->outbox_offset < conn->outbox.size();
+  }
   const bool want_read = !conn->peer_closed && !draining_;
   if (want_write == conn->want_write && want_read == conn->reading) return;
   uint32_t events = 0;
@@ -328,6 +351,7 @@ void Server::BeginDrain() {
 void Server::MaybeFinishDrain() {
   if (!draining_ || in_flight_total_ > 0) return;
   for (auto& [fd, conn] : connections_) {
+    std::lock_guard<std::mutex> guard(conn->out_mu);
     if (conn->outbox_offset < conn->outbox.size()) return;  // Reply still flushing.
   }
   std::vector<std::shared_ptr<Connection>> conns;

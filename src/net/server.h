@@ -16,6 +16,13 @@
 
 namespace titant::net {
 
+/// Default handler-thread count: one per hardware thread, never zero
+/// (hardware_concurrency() may return 0 on exotic platforms).
+inline std::size_t DefaultWorkerThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
 /// TCP server configuration.
 struct ServerOptions {
   /// Interface to bind (dotted quad; "0.0.0.0" for all).
@@ -25,7 +32,7 @@ struct ServerOptions {
   /// listen(2) backlog.
   int backlog = 128;
   /// Handler threads (the common::ThreadPool the loop dispatches to).
-  std::size_t worker_threads = 4;
+  std::size_t worker_threads = DefaultWorkerThreads();
   /// Per-frame payload cap enforced by the decoder.
   std::size_t max_payload_bytes = kMaxPayloadBytes;
   /// Admission control: requests dispatched-but-not-completed (running or
@@ -39,11 +46,14 @@ struct ServerOptions {
 /// common::ThreadPool (§4.4: the MS must absorb heavy concurrent traffic
 /// without the I/O thread blocking on model work).
 ///
-/// The handler returns the response *body*; the server wraps it — or the
-/// error status — into a response frame for the originating connection.
-/// Responses may complete out of order across connections; within one
-/// connection frames are answered in decoded order because completions are
-/// serialized back through the loop thread.
+/// The handler fills the response *body* into a server-owned (thread_local,
+/// reused) buffer; the server wraps it — or the error status — into a
+/// response frame encoded directly into the connection's outbox, so the
+/// steady-state reply path performs no per-frame allocation. The outbox is
+/// the one piece of connection state workers touch; a per-connection mutex
+/// guards it, everything else stays loop-thread-only. Responses may
+/// complete out of order across connections; within one connection they
+/// land in handler-completion order.
 ///
 /// Shutdown() is graceful: stop accepting, pull already-received bytes
 /// from every connection, finish every dispatched request, flush the
@@ -51,7 +61,10 @@ struct ServerOptions {
 /// titant::Status.
 class Server {
  public:
-  using Handler = std::function<StatusOr<std::string>(const Frame& request)>;
+  /// Fills `*body` (cleared by the server before the call; reused across
+  /// requests on the same worker thread) and returns the handler Status.
+  /// On a non-OK return the body is not transmitted.
+  using Handler = std::function<Status(const Frame& request, std::string* body)>;
 
   Server(ServerOptions options, Handler handler);
   ~Server();
@@ -95,7 +108,7 @@ class Server {
   /// Fast reply from the loop thread (shed / expired), bypassing the pool.
   void RespondDirect(const std::shared_ptr<Connection>& conn, const Frame& frame,
                      const Status& status);
-  void Complete(const std::shared_ptr<Connection>& conn, std::string response_bytes);
+  void Complete(const std::shared_ptr<Connection>& conn);
   void UpdateInterest(const std::shared_ptr<Connection>& conn);
   void CloseConnection(const std::shared_ptr<Connection>& conn);
   void BeginDrain();

@@ -42,7 +42,7 @@ void WireWriter::F64(double v) {
 
 void WireWriter::Str(std::string_view s) {
   U32(static_cast<uint32_t>(s.size()));
-  out_.append(s);
+  out_->append(s);
 }
 
 // ---------------------------------------------------------------------------
@@ -127,34 +127,57 @@ Status WireReader::ExpectDone() const {
 
 namespace {
 
-std::string EncodeFrame(FrameType type, uint16_t method, uint64_t request_id,
-                        std::string_view payload, uint32_t deadline_ms) {
-  WireWriter w;
+/// Writes the fixed frame header, declaring `payload_size` bytes to follow.
+void EncodeFrameHeaderTo(std::string* out, FrameType type, uint16_t method,
+                         uint64_t request_id, uint32_t deadline_ms, std::size_t payload_size) {
+  WireWriter w(out);
   w.U32(kWireMagic);
   w.U8(kWireVersion);
   w.U8(static_cast<uint8_t>(type));
   w.U16(method);
   w.U64(request_id);
   w.U32(deadline_ms);
-  w.U32(static_cast<uint32_t>(payload.size()));
-  w.Bytes(payload);
-  return w.Take();
+  w.U32(static_cast<uint32_t>(payload_size));
 }
 
 }  // namespace
 
+void EncodeRequestFrameTo(std::string* out, uint16_t method, uint64_t request_id,
+                          std::string_view payload, uint32_t deadline_ms) {
+  EncodeFrameHeaderTo(out, FrameType::kRequest, method, request_id, deadline_ms,
+                      payload.size());
+  out->append(payload);
+}
+
 std::string EncodeRequestFrame(uint16_t method, uint64_t request_id, std::string_view payload,
                                uint32_t deadline_ms) {
-  return EncodeFrame(FrameType::kRequest, method, request_id, payload, deadline_ms);
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size());
+  EncodeRequestFrameTo(&out, method, request_id, payload, deadline_ms);
+  return out;
+}
+
+void EncodeResponseFrameTo(std::string* out, uint16_t method, uint64_t request_id,
+                           const Status& status, std::string_view body) {
+  // The status + body sizes are known up front, so the whole frame is
+  // written in one pass — no intermediate payload string to build, copy,
+  // and free per response.
+  const std::string_view message = status.message();
+  const std::string_view carried_body = status.ok() ? body : std::string_view();
+  const std::size_t payload_size = 4 + 4 + message.size() + carried_body.size();
+  EncodeFrameHeaderTo(out, FrameType::kResponse, method, request_id, /*deadline_ms=*/0,
+                      payload_size);
+  WireWriter w(out);
+  w.I32(static_cast<int32_t>(status.code()));
+  w.Str(message);
+  w.Bytes(carried_body);
 }
 
 std::string EncodeResponseFrame(uint16_t method, uint64_t request_id, const Status& status,
                                 std::string_view body) {
-  WireWriter w;
-  w.I32(static_cast<int32_t>(status.code()));
-  w.Str(status.message());
-  w.Bytes(status.ok() ? body : std::string_view());
-  return EncodeFrame(FrameType::kResponse, method, request_id, w.Take(), /*deadline_ms=*/0);
+  std::string out;
+  EncodeResponseFrameTo(&out, method, request_id, status, body);
+  return out;
 }
 
 Status DecodeResponsePayload(const Frame& frame, std::string* body) {
@@ -282,6 +305,11 @@ std::string EncodeTransferRequest(const serving::TransferRequest& request) {
   return w.Take();
 }
 
+void EncodeTransferRequestTo(std::string* out, const serving::TransferRequest& request) {
+  WireWriter w(out);
+  WriteTransferRequestFields(w, request);
+}
+
 Status DecodeTransferRequest(std::string_view payload, serving::TransferRequest* request) {
   WireReader r(payload);
   TITANT_RETURN_IF_ERROR(ReadTransferRequestFields(r, request));
@@ -294,6 +322,11 @@ std::string EncodeVerdict(const serving::Verdict& verdict) {
   return w.Take();
 }
 
+void EncodeVerdictTo(std::string* out, const serving::Verdict& verdict) {
+  WireWriter w(out);
+  WriteVerdictFields(w, verdict);
+}
+
 Status DecodeVerdict(std::string_view payload, serving::Verdict* verdict) {
   WireReader r(payload);
   TITANT_RETURN_IF_ERROR(ReadVerdictFields(r, verdict));
@@ -301,12 +334,19 @@ Status DecodeVerdict(std::string_view payload, serving::Verdict* verdict) {
 }
 
 std::string EncodeScoreBatchRequest(const std::vector<serving::TransferRequest>& requests) {
-  WireWriter w;
+  std::string out;
+  out.reserve(4 + requests.size() * kTransferRequestBytes);
+  EncodeScoreBatchRequestTo(&out, requests);
+  return out;
+}
+
+void EncodeScoreBatchRequestTo(std::string* out,
+                               const std::vector<serving::TransferRequest>& requests) {
+  WireWriter w(out);
   w.U32(static_cast<uint32_t>(requests.size()));
   for (const serving::TransferRequest& request : requests) {
     WriteTransferRequestFields(w, request);
   }
-  return w.Take();
 }
 
 Status DecodeScoreBatchRequest(std::string_view payload,
@@ -339,14 +379,21 @@ Status DecodeScoreBatchRequest(std::string_view payload,
 }
 
 std::string EncodeScoreBatchResponse(const std::vector<StatusOr<serving::Verdict>>& items) {
-  WireWriter w;
-  w.U32(static_cast<uint32_t>(items.size()));
-  for (const StatusOr<serving::Verdict>& item : items) {
+  std::string out;
+  EncodeScoreBatchResponseTo(&out, items.data(), items.size());
+  return out;
+}
+
+void EncodeScoreBatchResponseTo(std::string* out, const StatusOr<serving::Verdict>* items,
+                                std::size_t count) {
+  WireWriter w(out);
+  w.U32(static_cast<uint32_t>(count));
+  for (std::size_t i = 0; i < count; ++i) {
+    const StatusOr<serving::Verdict>& item = items[i];
     w.I32(static_cast<int32_t>(item.status().code()));
     w.Str(item.status().message());
     if (item.ok()) WriteVerdictFields(w, *item);
   }
-  return w.Take();
 }
 
 Status DecodeScoreBatchResponse(std::string_view payload,

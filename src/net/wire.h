@@ -97,10 +97,18 @@ inline int64_t MonotonicMicros() {
 // Field codec: explicit little-endian writes/reads, independent of host
 // byte order.
 
-/// Appends little-endian primitive fields to a byte string.
+/// Appends little-endian primitive fields to a byte string. Two modes:
+/// the default constructor owns its buffer (retrieve with Take()); the
+/// pointer constructor appends to a caller-owned string, which the hot
+/// path reuses across frames so steady-state encoding never allocates.
 class WireWriter {
  public:
-  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  WireWriter() : out_(&own_) {}
+  /// Appending mode: all writes append to `*out` (not cleared first).
+  /// Take() is only meaningful in owning mode.
+  explicit WireWriter(std::string* out) : out_(out) {}
+
+  void U8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
   void U16(uint16_t v);
   void U32(uint32_t v);
   void U64(uint64_t v);
@@ -110,13 +118,14 @@ class WireWriter {
   /// uint32 length prefix + raw bytes.
   void Str(std::string_view s);
   /// Raw bytes, no length prefix (trailing blob).
-  void Bytes(std::string_view s) { out_.append(s); }
+  void Bytes(std::string_view s) { out_->append(s); }
 
-  std::string Take() { return std::move(out_); }
-  std::size_t size() const { return out_.size(); }
+  std::string Take() { return std::move(own_); }
+  std::size_t size() const { return out_->size(); }
 
  private:
-  std::string out_;
+  std::string own_;
+  std::string* out_;
 };
 
 /// Bounds-checked little-endian reads over a payload view. Every read
@@ -154,10 +163,23 @@ class WireReader {
 std::string EncodeRequestFrame(uint16_t method, uint64_t request_id, std::string_view payload,
                                uint32_t deadline_ms = 0);
 
+/// Appending variant: the frame is appended to `*out` (a caller-owned,
+/// reused buffer — the client's per-connection send buffer). All To-
+/// variants below share this contract; with warm capacity they allocate
+/// nothing.
+void EncodeRequestFrameTo(std::string* out, uint16_t method, uint64_t request_id,
+                          std::string_view payload, uint32_t deadline_ms = 0);
+
 /// Encodes a response frame: `status` travels in-band ahead of `body`
 /// (which is empty for error responses).
 std::string EncodeResponseFrame(uint16_t method, uint64_t request_id, const Status& status,
                                 std::string_view body);
+
+/// Appending variant (the server's per-connection outbox). The payload
+/// size is computed up front, so the frame is written in one pass with no
+/// intermediate payload string.
+void EncodeResponseFrameTo(std::string* out, uint16_t method, uint64_t request_id,
+                           const Status& status, std::string_view body);
 
 /// Splits a response frame's payload back into the handler Status and the
 /// body. Returns the transported status; `*body` is filled only when it
@@ -191,10 +213,12 @@ class FrameDecoder {
 
 /// kScore request payload.
 std::string EncodeTransferRequest(const serving::TransferRequest& request);
+void EncodeTransferRequestTo(std::string* out, const serving::TransferRequest& request);
 Status DecodeTransferRequest(std::string_view payload, serving::TransferRequest* request);
 
 /// kScore response body.
 std::string EncodeVerdict(const serving::Verdict& verdict);
+void EncodeVerdictTo(std::string* out, const serving::Verdict& verdict);
 Status DecodeVerdict(std::string_view payload, serving::Verdict* verdict);
 
 /// kScoreBatch request payload: uint32 item count + that many fixed-width
@@ -202,6 +226,8 @@ Status DecodeVerdict(std::string_view payload, serving::Verdict* verdict);
 /// the actual payload size (and the kMaxBatchItems cap) before touching
 /// any item.
 std::string EncodeScoreBatchRequest(const std::vector<serving::TransferRequest>& requests);
+void EncodeScoreBatchRequestTo(std::string* out,
+                               const std::vector<serving::TransferRequest>& requests);
 Status DecodeScoreBatchRequest(std::string_view payload,
                                std::vector<serving::TransferRequest>* requests);
 
@@ -209,6 +235,9 @@ Status DecodeScoreBatchRequest(std::string_view payload,
 /// transported Status (int32 code + length-prefixed message) followed by
 /// the Verdict fields when — and only when — the status is OK.
 std::string EncodeScoreBatchResponse(const std::vector<StatusOr<serving::Verdict>>& items);
+/// Span form so handlers can encode straight from their result scratch.
+void EncodeScoreBatchResponseTo(std::string* out, const StatusOr<serving::Verdict>* items,
+                                std::size_t count);
 Status DecodeScoreBatchResponse(std::string_view payload,
                                 std::vector<StatusOr<serving::Verdict>>* items);
 

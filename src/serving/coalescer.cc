@@ -30,10 +30,12 @@ StatusOr<Verdict> ScoreCoalescer::Score(const TransferRequest& request, int64_t 
 
 void ScoreCoalescer::DrainBatchLocked(std::unique_lock<std::mutex>& lock) {
   const std::size_t take = std::min(queue_.size(), static_cast<std::size_t>(max_batch_));
-  std::vector<Pending*> batch(queue_.begin(), queue_.begin() + static_cast<std::ptrdiff_t>(take));
+  std::vector<Pending*>& batch = batch_scratch_;
+  batch.assign(queue_.begin(), queue_.begin() + static_cast<std::ptrdiff_t>(take));
   queue_.erase(queue_.begin(), queue_.begin() + static_cast<std::ptrdiff_t>(take));
 
-  std::vector<TransferRequest> requests;
+  std::vector<TransferRequest>& requests = requests_scratch_;
+  requests.clear();
   requests.reserve(take);
   int64_t batch_deadline_us = 0;
   for (const Pending* p : batch) {
@@ -45,9 +47,12 @@ void ScoreCoalescer::DrainBatchLocked(std::unique_lock<std::mutex>& lock) {
   }
 
   // The dispatch itself runs unlocked so arrivals can queue behind it —
-  // that queue depth is exactly what the next batch coalesces.
+  // that queue depth is exactly what the next batch coalesces. The drain
+  // scratch stays safe unlocked: there is exactly one leader at a time.
   lock.unlock();
-  auto items = router_->ScoreBatch(requests, batch_deadline_us);
+  results_scratch_.assign(take, StatusOr<Verdict>(Status::Internal("unscored")));
+  const Status status = router_->ScoreSpan(requests.data(), take, batch_deadline_us,
+                                           results_scratch_.data(), &score_scratch_);
   batches_.fetch_add(1);
   rows_.fetch_add(take);
   lock.lock();
@@ -56,7 +61,8 @@ void ScoreCoalescer::DrainBatchLocked(std::unique_lock<std::mutex>& lock) {
     // An instance-level failure (no healthy instance, exhausted failover)
     // fails every member of the dispatch — same as it would have failed a
     // lone request.
-    batch[i]->result = items.ok() ? std::move((*items)[i]) : StatusOr<Verdict>(items.status());
+    batch[i]->result =
+        status.ok() ? std::move(results_scratch_[i]) : StatusOr<Verdict>(status);
     batch[i]->done = true;
   }
   cv_.notify_all();

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <vector>
 
 #include "serving/router.h"
 
@@ -79,6 +80,14 @@ class ScoreCoalescer {
   std::deque<Pending*> queue_;
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> rows_{0};
+
+  // Drain scratch, reused across dispatches. Only the single active
+  // leader touches these (leader_active_ guards leadership), so they need
+  // no locking of their own; with warm capacity a drain allocates nothing.
+  std::vector<Pending*> batch_scratch_;
+  std::vector<TransferRequest> requests_scratch_;
+  std::vector<StatusOr<Verdict>> results_scratch_;
+  ScoreScratch score_scratch_;
 };
 
 }  // namespace titant::serving

@@ -15,29 +15,39 @@ kvstore::StoreOptions FeatureTableOptions() {
 // three-plus times per scored row on the batched read path, where format
 // parsing is a measurable slice of the per-probe cost.
 
-std::string UserRowKey(txn::UserId user) {
-  std::string key(11, '0');  // "u%010u"
-  key[0] = 'u';
-  for (std::size_t pos = 10; user != 0; --pos, user /= 10) {
-    key[pos] = static_cast<char>('0' + user % 10);
+std::string_view UserRowKeyTo(char* buf, txn::UserId user) {
+  std::memset(buf, '0', kUserRowKeyLen);
+  buf[0] = 'u';  // "u%010u"
+  for (std::size_t pos = kUserRowKeyLen - 1; user != 0; --pos, user /= 10) {
+    buf[pos] = static_cast<char>('0' + user % 10);
   }
-  return key;
+  return std::string_view(buf, kUserRowKeyLen);
+}
+
+std::string_view CityRowKeyTo(char* buf, uint16_t city) {
+  std::memset(buf, '0', kCityRowKeyLen);
+  buf[0] = 'c';  // "c%05u"
+  for (std::size_t pos = kCityRowKeyLen - 1; city != 0; --pos, city /= 10) {
+    buf[pos] = static_cast<char>('0' + city % 10);
+  }
+  return std::string_view(buf, kCityRowKeyLen);
+}
+
+std::string UserRowKey(txn::UserId user) {
+  char buf[kUserRowKeyLen];
+  return std::string(UserRowKeyTo(buf, user));
 }
 
 std::string CityRowKey(uint16_t city) {
-  std::string key(6, '0');  // "c%05u"
-  key[0] = 'c';
-  for (std::size_t pos = 5; city != 0; --pos, city /= 10) {
-    key[pos] = static_cast<char>('0' + city % 10);
-  }
-  return key;
+  char buf[kCityRowKeyLen];
+  return std::string(CityRowKeyTo(buf, city));
 }
 
 std::string EncodeFloats(const float* values, std::size_t count) {
   return std::string(reinterpret_cast<const char*>(values), count * sizeof(float));
 }
 
-Status DecodeFloats(const std::string& blob, std::size_t expected, float* out) {
+Status DecodeFloats(std::string_view blob, std::size_t expected, float* out) {
   if (blob.size() != expected * sizeof(float)) {
     return Status::Corruption("float blob size mismatch");
   }
@@ -52,14 +62,25 @@ Status UploadDailyArtifacts(kvstore::AliHBase* store, const txn::TransactionLog&
   if (embeddings.rows() < log.num_users()) {
     return Status::InvalidArgument("embedding matrix smaller than the user population");
   }
+  // Cells are grouped into bounded PutBatch chunks rather than one batch
+  // per user: each PutBatch pays a WAL append and a lock round-trip, so
+  // per-user batches made the daily upload WAL-bound. The chunk size caps
+  // the WAL record (and the memory held per call) while amortizing the
+  // per-batch cost ~340x.
+  constexpr std::size_t kUploadChunkCells = 1024;
   std::vector<kvstore::Cell> batch;
-  batch.reserve(3);
+  batch.reserve(kUploadChunkCells + 3);
+  auto flush_if_full = [&]() -> Status {
+    if (batch.size() < kUploadChunkCells) return Status::OK();
+    Status status = store->PutBatch(batch);
+    batch.clear();
+    return status;
+  };
   float snapshot[core::FeatureExtractor::kNumBasicFeatures];
   float aux[2];
   for (txn::UserId user = 0; user < log.num_users(); ++user) {
     extractor.ExtractUserSnapshot(user, as_of, snapshot, aux);
     const std::string row = UserRowKey(user);
-    batch.clear();
     batch.push_back({kvstore::CellKey{row, kFamilyBasic, kQualSnapshot, version},
                      EncodeFloats(snapshot, core::FeatureExtractor::kNumBasicFeatures),
                      false});
@@ -69,14 +90,16 @@ Status UploadDailyArtifacts(kvstore::AliHBase* store, const txn::TransactionLog&
         {kvstore::CellKey{row, kFamilyEmbedding, kQualVector, version},
          EncodeFloats(embeddings.Row(user), static_cast<std::size_t>(embeddings.dim())),
          false});
-    TITANT_RETURN_IF_ERROR(store->PutBatch(batch));
+    TITANT_RETURN_IF_ERROR(flush_if_full());
   }
   for (uint16_t city = 0; city < num_cities; ++city) {
     float stats[3];
     extractor.CityStats(city, stats);
-    TITANT_RETURN_IF_ERROR(store->Put(CityRowKey(city), kFamilyCity, kQualStats,
-                                      EncodeFloats(stats, 3), version));
+    batch.push_back({kvstore::CellKey{CityRowKey(city), kFamilyCity, kQualStats, version},
+                     EncodeFloats(stats, 3), false});
+    TITANT_RETURN_IF_ERROR(flush_if_full());
   }
+  if (!batch.empty()) TITANT_RETURN_IF_ERROR(store->PutBatch(batch));
   return Status::OK();
 }
 

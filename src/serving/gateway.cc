@@ -21,7 +21,8 @@ Status Gateway::Start() {
   server_options.worker_threads = options_.worker_threads;
   server_options.max_in_flight = options_.max_in_flight;
   auto server = std::make_unique<net::Server>(
-      std::move(server_options), [this](const net::Frame& frame) { return Handle(frame); });
+      std::move(server_options),
+      [this](const net::Frame& frame, std::string* body) { return Handle(frame, body); });
   TITANT_RETURN_IF_ERROR(server->Start());
   server_ = std::move(server);
   return Status::OK();
@@ -73,14 +74,14 @@ net::GatewayStats Gateway::StatsSnapshot() const {
   return stats;
 }
 
-StatusOr<std::string> Gateway::Handle(const net::Frame& frame) {
-  StatusOr<std::string> body = Status::Unimplemented("unknown method");
+Status Gateway::Handle(const net::Frame& frame, std::string* body) {
+  Status status = Status::OK();
   switch (frame.method) {
     case net::kScore: {
       TransferRequest request;
       const Status decoded = net::DecodeTransferRequest(frame.payload, &request);
       if (!decoded.ok()) {
-        body = decoded;
+        status = decoded;
         break;
       }
       // Propagate the caller's remaining budget so the instance can shed
@@ -90,23 +91,35 @@ StatusOr<std::string> Gateway::Handle(const net::Frame& frame) {
       StatusOr<Verdict> verdict = coalescer_ != nullptr
                                       ? coalescer_->Score(request, deadline_us)
                                       : router_->Score(request, deadline_us);
-      body = verdict.ok() ? StatusOr<std::string>(net::EncodeVerdict(*verdict))
-                          : StatusOr<std::string>(verdict.status());
+      if (verdict.ok()) {
+        net::EncodeVerdictTo(body, *verdict);
+      } else {
+        status = verdict.status();
+      }
       break;
     }
     case net::kScoreBatch: {
-      std::vector<TransferRequest> requests;
+      // Decode/result scratch reused across requests on this worker
+      // thread; the router's ScoreSpan writes into it directly and the
+      // response encodes from it, so a warm batch allocates nothing.
+      thread_local std::vector<TransferRequest> requests;
+      thread_local std::vector<StatusOr<Verdict>> items;
       const Status decoded = net::DecodeScoreBatchRequest(frame.payload, &requests);
       if (!decoded.ok()) {
-        body = decoded;
+        status = decoded;
         break;
       }
       // An explicit batch is already coalesced — it goes straight to the
       // router as one dispatch under the frame's single deadline.
-      auto items = router_->ScoreBatch(requests,
-                                       frame.has_deadline() ? frame.deadline_us() : 0);
-      body = items.ok() ? StatusOr<std::string>(net::EncodeScoreBatchResponse(*items))
-                        : StatusOr<std::string>(items.status());
+      items.assign(requests.size(), StatusOr<Verdict>(Status::Internal("unscored")));
+      const Status scored =
+          router_->ScoreSpan(requests.data(), requests.size(),
+                             frame.has_deadline() ? frame.deadline_us() : 0, items.data());
+      if (scored.ok()) {
+        net::EncodeScoreBatchResponseTo(body, items.data(), items.size());
+      } else {
+        status = scored;
+      }
       break;
     }
     case net::kLoadModel: {
@@ -114,11 +127,10 @@ StatusOr<std::string> Gateway::Handle(const net::Frame& frame) {
       std::string blob;
       const Status decoded = net::DecodeLoadModel(frame.payload, &version, &blob);
       if (!decoded.ok()) {
-        body = decoded;
+        status = decoded;
         break;
       }
-      const Status loaded = router_->LoadModel(blob, version);
-      body = loaded.ok() ? StatusOr<std::string>(std::string()) : StatusOr<std::string>(loaded);
+      status = router_->LoadModel(blob, version);
       break;
     }
     case net::kHealth: {
@@ -128,15 +140,15 @@ StatusOr<std::string> Gateway::Handle(const net::Frame& frame) {
         info.healthy_instances += router_->instance_healthy(i) ? 1 : 0;
       }
       info.model_version = router_->model_version();
-      body = net::EncodeHealthInfo(info);
+      body->append(net::EncodeHealthInfo(info));
       break;
     }
     case net::kStats: {
-      body = net::EncodeGatewayStats(StatsSnapshot());
+      body->append(net::EncodeGatewayStats(StatsSnapshot()));
       break;
     }
     default:
-      body = Status::Unimplemented("unknown wire method " + std::to_string(frame.method));
+      status = Status::Unimplemented("unknown wire method " + std::to_string(frame.method));
       break;
   }
   const double wire_us = static_cast<double>(net::MonotonicMicros() - frame.received_at_us);
@@ -144,7 +156,7 @@ StatusOr<std::string> Gateway::Handle(const net::Frame& frame) {
     std::lock_guard<std::mutex> lock(mu_);
     wire_latency_us_.Add(wire_us);
   }
-  return body;
+  return status;
 }
 
 // ---------------------------------------------------------------------------
@@ -154,9 +166,10 @@ GatewayClient::GatewayClient(std::string host, uint16_t port, net::ClientOptions
     : client_(std::move(host), port, options) {}
 
 StatusOr<Verdict> GatewayClient::Score(const TransferRequest& request, int timeout_ms) {
-  TITANT_ASSIGN_OR_RETURN(
-      std::string body,
-      client_.CallRetrying(net::kScore, net::EncodeTransferRequest(request), timeout_ms));
+  payload_scratch_.clear();
+  net::EncodeTransferRequestTo(&payload_scratch_, request);
+  TITANT_ASSIGN_OR_RETURN(std::string body,
+                          client_.CallRetrying(net::kScore, payload_scratch_, timeout_ms));
   Verdict verdict;
   TITANT_RETURN_IF_ERROR(net::DecodeVerdict(body, &verdict));
   return verdict;
@@ -164,9 +177,10 @@ StatusOr<Verdict> GatewayClient::Score(const TransferRequest& request, int timeo
 
 StatusOr<std::vector<StatusOr<Verdict>>> GatewayClient::ScoreBatch(
     const std::vector<TransferRequest>& requests, int timeout_ms) {
-  TITANT_ASSIGN_OR_RETURN(
-      std::string body,
-      client_.CallRetrying(net::kScoreBatch, net::EncodeScoreBatchRequest(requests), timeout_ms));
+  payload_scratch_.clear();
+  net::EncodeScoreBatchRequestTo(&payload_scratch_, requests);
+  TITANT_ASSIGN_OR_RETURN(std::string body,
+                          client_.CallRetrying(net::kScoreBatch, payload_scratch_, timeout_ms));
   std::vector<StatusOr<Verdict>> items;
   TITANT_RETURN_IF_ERROR(net::DecodeScoreBatchResponse(body, &items));
   if (items.size() != requests.size()) {

@@ -22,8 +22,9 @@ struct GatewayOptions {
   std::string host = "127.0.0.1";
   /// Port; 0 picks an ephemeral port (read back via port()).
   uint16_t port = 0;
-  /// Handler threads scoring requests off the I/O loop.
-  std::size_t worker_threads = 4;
+  /// Handler threads scoring requests off the I/O loop. Defaults to one
+  /// per hardware thread (never zero).
+  std::size_t worker_threads = net::DefaultWorkerThreads();
   /// Admission control (net::ServerOptions::max_in_flight): requests
   /// beyond this many in flight are shed with ResourceExhausted instead
   /// of queueing unboundedly. 0 disables.
@@ -73,7 +74,10 @@ class Gateway {
   net::GatewayStats StatsSnapshot() const;
 
  private:
-  StatusOr<std::string> Handle(const net::Frame& frame);
+  /// Fills `*body` (a server-owned reused buffer) and returns the handler
+  /// status transported in-band; the scoring paths encode straight into
+  /// the buffer so a warm steady state allocates nothing here.
+  Status Handle(const net::Frame& frame, std::string* body);
 
   ModelServerRouter* router_;
   GatewayOptions options_;
@@ -124,6 +128,9 @@ class GatewayClient {
 
  private:
   net::Client client_;
+  /// Request-payload encode buffer, reused across calls (the class is
+  /// single-threaded by contract, so no locking).
+  std::string payload_scratch_;
 };
 
 }  // namespace titant::serving

@@ -66,7 +66,8 @@ StatusOr<std::vector<StatusOr<Verdict>>> ModelServer::ScoreBatch(
 }
 
 Status ModelServer::ScoreSpan(const TransferRequest* requests, std::size_t n,
-                              int64_t deadline_us, StatusOr<Verdict>* out) {
+                              int64_t deadline_us, StatusOr<Verdict>* out,
+                              ScoreScratch* scratch) {
   Stopwatch timer;
   TITANT_FAILPOINT("serving.score");
   {
@@ -74,14 +75,21 @@ Status ModelServer::ScoreSpan(const TransferRequest* requests, std::size_t n,
     if (model_ == nullptr) return Status::FailedPrecondition("no model loaded");
   }
   if (n == 0) return Status::OK();
+  if (scratch == nullptr) {
+    // Callers without their own buffers share a per-thread scratch: the
+    // worker-pool threads each warm one up and then run allocation-free.
+    thread_local ScoreScratch tls_scratch;
+    scratch = &tls_scratch;
+  }
+  ScoreScratch& s = *scratch;
 
   constexpr int kBasic = core::FeatureExtractor::kNumBasicFeatures;
   const std::size_t width = static_cast<std::size_t>(
       kBasic + (options_.use_embeddings ? options_.embedding_dim : 0));
   // One contiguous row-major block: zero-filled so degraded rows fall back
   // to the cold defaults, and laid out exactly as ml::Model::ScoreBatch
-  // consumes it.
-  std::vector<float> features(n * width, 0.0f);
+  // consumes it. assign() over warm capacity does not allocate.
+  s.features.assign(n * width, 0.0f);
 
   // The whole batch shares one fetch round trip, so the budget is checked
   // once up front: an already-overrun batch skips the store entirely and
@@ -89,29 +97,44 @@ Status ModelServer::ScoreSpan(const TransferRequest* requests, std::size_t n,
   // transaction — same rule as the single path, amortized).
   const bool out_of_budget = deadline_us > 0 && NowMicros() > deadline_us;
 
-  // One MultiGet round trip for every row's probes: transferor snapshot,
-  // transferor aux, city stats, and (optionally) transferee embedding.
+  // One MultiGetView round trip for every row's probes: transferor
+  // snapshot, transferor aux, city stats, and (optionally) transferee
+  // embedding. The probe keys are formatted into the scratch key block
+  // (sized up front — the probe views point into it, so it must never
+  // reallocate underneath them), and the fetched values live in the
+  // scratch pin's arena until the next ScoreSpan call resets it.
   const std::size_t per_row = options_.use_embeddings ? 4 : 3;
-  std::vector<StatusOr<std::string>> fetched;
+  constexpr std::size_t kKeysPerRow = 2 * kUserRowKeyLen + kCityRowKeyLen;
   if (!out_of_budget) {
-    std::vector<kvstore::ColumnProbe> probes;
-    probes.reserve(n * per_row);
+    s.keys.resize(n * kKeysPerRow);
+    s.probes.clear();
+    s.probes.reserve(n * per_row);
     for (std::size_t i = 0; i < n; ++i) {
       const TransferRequest& request = requests[i];
-      std::string row = UserRowKey(request.from_user);
-      probes.push_back({row, kFamilyBasic, kQualSnapshot});
-      probes.push_back({std::move(row), kFamilyBasic, kQualAux});
-      probes.push_back({CityRowKey(request.trans_city), kFamilyCity, kQualStats});
+      char* key_base = s.keys.data() + i * kKeysPerRow;
+      const std::string_view from = UserRowKeyTo(key_base, request.from_user);
+      const std::string_view city = CityRowKeyTo(key_base + kUserRowKeyLen, request.trans_city);
+      s.probes.push_back({from, kFamilyBasic, kQualSnapshot});
+      s.probes.push_back({from, kFamilyBasic, kQualAux});
+      s.probes.push_back({city, kFamilyCity, kQualStats});
       if (options_.use_embeddings) {
-        probes.push_back({UserRowKey(request.to_user), kFamilyEmbedding, kQualVector});
+        const std::string_view to =
+            UserRowKeyTo(key_base + kUserRowKeyLen + kCityRowKeyLen, request.to_user);
+        s.probes.push_back({to, kFamilyEmbedding, kQualVector});
       }
     }
-    fetched = store_->MultiGet(probes);
+    s.pin.Reset();
+    s.fetched.assign(n * per_row, StatusOr<std::string_view>(std::string_view()));
+    store_->MultiGetView(s.probes.data(), s.probes.size(), &s.pin, s.fetched.data());
   }
 
   // Per-row feature assembly; failures stay per row.
-  std::vector<uint8_t> degraded(n, out_of_budget ? 1 : 0);
-  std::vector<Status> item_error(n, Status::OK());
+  s.degraded.assign(n, out_of_budget ? 1 : 0);
+  s.item_error.assign(n, Status::OK());
+  std::vector<float>& features = s.features;
+  std::vector<StatusOr<std::string_view>>& fetched = s.fetched;
+  std::vector<uint8_t>& degraded = s.degraded;
+  std::vector<Status>& item_error = s.item_error;
   for (std::size_t i = 0; i < n; ++i) {
     const TransferRequest& request = requests[i];
     float* f = features.data() + i * width;
@@ -119,7 +142,7 @@ Status ModelServer::ScoreSpan(const TransferRequest* requests, std::size_t n,
 
     // 1. Transferor snapshot + aux from the feature store.
     if (!out_of_budget) {
-      const StatusOr<std::string>& snapshot_blob = fetched[i * per_row];
+      const StatusOr<std::string_view>& snapshot_blob = fetched[i * per_row];
       if (snapshot_blob.ok()) {
         const Status decoded =
             DecodeFloats(*snapshot_blob, static_cast<std::size_t>(kBasic), f);
@@ -134,7 +157,8 @@ Status ModelServer::ScoreSpan(const TransferRequest* requests, std::size_t n,
         continue;
       }
       if (!degraded[i]) {
-        if (const StatusOr<std::string>& aux_blob = fetched[i * per_row + 1]; aux_blob.ok()) {
+        if (const StatusOr<std::string_view>& aux_blob = fetched[i * per_row + 1];
+            aux_blob.ok()) {
           const Status decoded = DecodeFloats(*aux_blob, 2, aux);
           if (!decoded.ok()) {
             item_error[i] = decoded;
@@ -178,7 +202,8 @@ Status ModelServer::ScoreSpan(const TransferRequest* requests, std::size_t n,
     f[47] = static_cast<float>(std::fabs(hour - aux[0]));
     // City statistics from the store.
     if (!out_of_budget && !degraded[i]) {
-      if (const StatusOr<std::string>& city_blob = fetched[i * per_row + 2]; city_blob.ok()) {
+      if (const StatusOr<std::string_view>& city_blob = fetched[i * per_row + 2];
+          city_blob.ok()) {
         const Status decoded = DecodeFloats(*city_blob, 3, &f[48]);
         if (!decoded.ok()) {
           item_error[i] = decoded;
@@ -189,7 +214,7 @@ Status ModelServer::ScoreSpan(const TransferRequest* requests, std::size_t n,
 
     // 3. Transferee's user node embedding (zero vector when degraded).
     if (options_.use_embeddings && !out_of_budget && !degraded[i]) {
-      const StatusOr<std::string>& emb_blob = fetched[i * per_row + 3];
+      const StatusOr<std::string_view>& emb_blob = fetched[i * per_row + 3];
       if (emb_blob.ok()) {
         const Status decoded = DecodeFloats(
             *emb_blob, static_cast<std::size_t>(options_.embedding_dim), f + kBasic);
@@ -208,7 +233,8 @@ Status ModelServer::ScoreSpan(const TransferRequest* requests, std::size_t n,
   // 4. Score the whole block in one model invocation and decide per row.
   // Rows that already failed with a data error still occupy their (zeroed)
   // slot — scoring them is harmless and cheaper than compacting the block.
-  std::vector<double> scores(n, 0.0);
+  std::vector<double>& scores = s.scores;
+  scores.assign(n, 0.0);
   {
     std::lock_guard<std::mutex> lock(mu_);
     model_->ScoreBatch(features.data(), static_cast<int>(n), scores.data());

@@ -18,6 +18,32 @@
 
 namespace titant::serving {
 
+/// Reusable buffers behind the zero-allocation score path. Every vector
+/// grows to its high-water capacity during warm-up and is then reused
+/// verbatim; the pin's arena recycles the fetched value bytes the same
+/// way. One scratch serves one caller at a time (not thread-safe) — the
+/// typical owners are a thread_local (default), a coalescer leader, or a
+/// bench loop. After warm-up, ModelServer::ScoreSpan with a reused
+/// scratch performs zero heap allocations on the all-hits path (proven by
+/// tests/zeroalloc_test.cc against the counting allocator).
+class ScoreScratch {
+ public:
+  ScoreScratch() = default;
+  ScoreScratch(const ScoreScratch&) = delete;
+  ScoreScratch& operator=(const ScoreScratch&) = delete;
+
+ private:
+  friend class ModelServer;
+  std::vector<char> keys;  // Row-key bytes the probe views point into.
+  std::vector<kvstore::ColumnProbeView> probes;
+  kvstore::ReadPin pin;
+  std::vector<StatusOr<std::string_view>> fetched;
+  std::vector<float> features;
+  std::vector<uint8_t> degraded;
+  std::vector<Status> item_error;
+  std::vector<double> scores;
+};
+
 /// Model Server configuration.
 struct ModelServerOptions {
   /// Transactions scoring at or above this probability are interrupted
@@ -74,6 +100,15 @@ class ModelServer {
   StatusOr<std::vector<StatusOr<Verdict>>> ScoreBatch(
       const std::vector<TransferRequest>& requests, int64_t deadline_us = 0);
 
+  /// The batch engine behind Score and ScoreBatch, exposed for callers
+  /// that own their buffers: fills `out[0..n)` with per-item results
+  /// unless the whole call fails at instance level. `scratch` holds every
+  /// intermediate buffer and is reused across calls (nullptr selects a
+  /// per-thread default); with a warm scratch the all-hits steady state
+  /// allocates nothing.
+  Status ScoreSpan(const TransferRequest* requests, std::size_t n, int64_t deadline_us,
+                   StatusOr<Verdict>* out, ScoreScratch* scratch = nullptr);
+
   /// End-to-end latency distribution (microseconds) across Score calls.
   Histogram LatencySnapshot() const;
 
@@ -84,11 +119,6 @@ class ModelServer {
   uint64_t degraded_scores() const { return degraded_scores_.load(); }
 
  private:
-  /// Shared batch engine behind Score and ScoreBatch: fills `out[0..n)`
-  /// with per-item results unless the whole call fails at instance level.
-  Status ScoreSpan(const TransferRequest* requests, std::size_t n, int64_t deadline_us,
-                   StatusOr<Verdict>* out);
-
   kvstore::AliHBase* store_;
   ModelServerOptions options_;
   mutable std::mutex mu_;

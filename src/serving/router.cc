@@ -58,19 +58,29 @@ Status ModelServerRouter::LoadModel(const std::string& blob, uint64_t version) {
 }
 
 StatusOr<Verdict> ModelServerRouter::Score(const TransferRequest& request, int64_t deadline_us) {
-  // The single-request path is the batch-of-1 special case of ScoreBatch.
-  auto batch = ScoreBatch({request}, deadline_us);
-  if (!batch.ok()) return batch.status();
-  return std::move((*batch)[0]);
+  // The single-request path is the batch-of-1 special case of ScoreSpan
+  // (stack-resident result slot — no vector round trip).
+  StatusOr<Verdict> verdict = Status::Internal("unscored");
+  TITANT_RETURN_IF_ERROR(ScoreSpan(&request, 1, deadline_us, &verdict));
+  return verdict;
 }
 
 StatusOr<std::vector<StatusOr<Verdict>>> ModelServerRouter::ScoreBatch(
     const std::vector<TransferRequest>& requests, int64_t deadline_us) {
-  const std::size_t n = instances_.size();
+  std::vector<StatusOr<Verdict>> out(requests.size(),
+                                     StatusOr<Verdict>(Status::Internal("unscored")));
+  TITANT_RETURN_IF_ERROR(ScoreSpan(requests.data(), requests.size(), deadline_us, out.data()));
+  return out;
+}
+
+Status ModelServerRouter::ScoreSpan(const TransferRequest* requests, std::size_t n,
+                                    int64_t deadline_us, StatusOr<Verdict>* out,
+                                    ScoreScratch* scratch) {
+  const std::size_t fleet = instances_.size();
   const uint64_t start = cursor_.fetch_add(1);
   Status last_unavailable = Status::Unavailable("no healthy Model Server instance");
-  for (std::size_t attempt = 0; attempt < n; ++attempt) {
-    const std::size_t i = static_cast<std::size_t>((start + attempt) % n);
+  for (std::size_t attempt = 0; attempt < fleet; ++attempt) {
+    const std::size_t i = static_cast<std::size_t>((start + attempt) % fleet);
     if (!healthy_[i].load() || rollout_held_[i].load()) continue;
     if (breaker_open_[i].load()) {
       // Half-open probing: most traffic keeps failing over, but every Nth
@@ -80,9 +90,8 @@ StatusOr<std::vector<StatusOr<Verdict>>> ModelServerRouter::ScoreBatch(
         continue;
       }
     }
-    auto items = instances_[i]->ScoreBatch(requests, deadline_us);
-    const bool instance_failure =
-        !items.ok() && StatusCodeIsInstanceFailure(items.status().code());
+    const Status status = instances_[i]->ScoreSpan(requests, n, deadline_us, out, scratch);
+    const bool instance_failure = !status.ok() && StatusCodeIsInstanceFailure(status.code());
     if (!instance_failure) {
       // The instance answered authoritatively (including request-level
       // errors like an unknown user, which travel per item): it is alive,
@@ -91,24 +100,24 @@ StatusOr<std::vector<StatusOr<Verdict>>> ModelServerRouter::ScoreBatch(
       if (breaker_open_[i].exchange(false)) {
         TITANT_INFO << "instance " << i << " breaker closed after successful probe";
       }
-      if (!items.ok()) return items.status();
+      if (!status.ok()) return status;
       std::size_t scored = 0;
-      for (const auto& item : *items) {
-        if (item.ok()) ++scored;
+      for (std::size_t item = 0; item < n; ++item) {
+        if (out[item].ok()) ++scored;
       }
       served_[i].fetch_add(scored);
-      return items;
+      return Status::OK();
     }
     // Instance-level outage: fail over the whole batch, and trip the
     // breaker once the failure streak crosses the threshold.
-    last_unavailable = items.status();
+    last_unavailable = status;
     const uint32_t streak = consecutive_failures_[i].fetch_add(1) + 1;
     if (streak >= static_cast<uint32_t>(router_options_.breaker_failure_threshold) &&
         !breaker_open_[i].exchange(true)) {
       breaker_skipped_[i].store(0);
       breaker_trips_.fetch_add(1);
       TITANT_WARN << "instance " << i << " breaker opened after " << streak
-                  << " consecutive failures: " << items.status().ToString();
+                  << " consecutive failures: " << status.ToString();
     }
   }
   return last_unavailable;

@@ -62,6 +62,14 @@ class ModelServerRouter {
   StatusOr<std::vector<StatusOr<Verdict>>> ScoreBatch(
       const std::vector<TransferRequest>& requests, int64_t deadline_us = 0);
 
+  /// Span engine behind Score and ScoreBatch, mirroring
+  /// ModelServer::ScoreSpan: results land in `out[0..n)`, every buffer
+  /// lives in `scratch` (nullptr = the chosen instance's per-thread
+  /// default), and a warm scratch keeps the whole dispatch allocation-free.
+  /// Failover/breaker semantics are identical to ScoreBatch.
+  Status ScoreSpan(const TransferRequest* requests, std::size_t n, int64_t deadline_us,
+                   StatusOr<Verdict>* out, ScoreScratch* scratch = nullptr);
+
   /// Marks an instance up/down (ops control; also used by failure tests).
   /// Reviving an instance clears its breaker and any rollout hold-down.
   Status SetInstanceHealthy(int instance, bool healthy);

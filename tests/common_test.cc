@@ -10,6 +10,7 @@
 #include <set>
 
 #include "common/alias_table.h"
+#include "common/arena.h"
 #include "common/failpoint.h"
 #include "common/histogram.h"
 #include "common/random.h"
@@ -432,6 +433,58 @@ TEST(HistogramTest, EmptyAndClear) {
   EXPECT_EQ(h.count(), 0u);
   EXPECT_EQ(h.mean(), 0.0);
 }
+
+TEST(ArenaTest, AllocateCopyAndAlignment) {
+  Arena arena;
+  char* a = arena.Allocate(10);
+  char* b = arena.Allocate(1, 64);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % 64, 0u);
+  EXPECT_NE(a, b);
+  const std::string value = "stable bytes";
+  char* copy = arena.Copy(value.data(), value.size());
+  EXPECT_EQ(std::string_view(copy, value.size()), value);
+  double* doubles = arena.AllocateArray<double>(8);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(doubles) % alignof(double), 0u);
+  doubles[7] = 1.5;  // Writable (would fault if poisoned/unbacked).
+  EXPECT_EQ(doubles[7], 1.5);
+}
+
+TEST(ArenaTest, GrowsAcrossBlocksAndKeepsOldAllocationsStable) {
+  Arena arena(64);  // Tiny first block forces growth.
+  std::vector<std::pair<char*, char>> marks;
+  for (int i = 0; i < 200; ++i) {
+    char* p = arena.Allocate(100);
+    p[0] = static_cast<char>('a' + i % 26);
+    marks.emplace_back(p, p[0]);
+  }
+  for (const auto& [p, mark] : marks) EXPECT_EQ(p[0], mark);
+}
+
+TEST(ArenaTest, ResetCoalescesToOneBlockAndReusesIt) {
+  Arena arena(64);
+  for (int i = 0; i < 50; ++i) arena.Allocate(300);  // Spills across blocks.
+  arena.Reset();
+  const std::size_t warm_capacity = arena.capacity();
+  // A same-sized second cycle must fit the coalesced block without growing.
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    for (int i = 0; i < 50; ++i) arena.Allocate(300);
+    arena.Reset();
+    EXPECT_EQ(arena.capacity(), warm_capacity);
+  }
+}
+
+#ifdef TITANT_ARENA_ASAN
+TEST(ArenaTest, ResetPoisonsReclaimedBytesUnderAsan) {
+  Arena arena;
+  char* p = arena.Allocate(32);
+  EXPECT_FALSE(__asan_address_is_poisoned(p));
+  arena.Reset();
+  EXPECT_TRUE(__asan_address_is_poisoned(p));
+  // Reallocation unpoisons exactly the handed-out range again.
+  char* q = arena.Allocate(32);
+  EXPECT_FALSE(__asan_address_is_poisoned(q));
+}
+#endif
 
 TEST(ThreadPoolTest, RunsAllTasks) {
   ThreadPool pool(4);

@@ -448,6 +448,94 @@ TEST(StoreTest, MultiGetMatchesGetAcrossMemtableAndSSTables) {
   }
 }
 
+TEST(StoreTest, MultiGetViewMatchesMultiGetAndReusesPin) {
+  const std::string dir = TempDir("multigetview");
+  StoreOptions options = MemOptions();
+  options.durable = true;
+  options.dir = dir;
+  auto store = AliHBase::Open(options);
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        (*store)->Put("row" + std::to_string(i), "bf", "q", "sst" + std::to_string(i), 1).ok());
+  }
+  ASSERT_TRUE((*store)->Flush().ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        (*store)->Put("row" + std::to_string(i), "bf", "q", "mem" + std::to_string(i), 2).ok());
+  }
+
+  // Probe keys live in caller storage (here: strings; in serving: stack
+  // buffers) — the store must not need owned keys.
+  std::vector<std::string> keys;
+  std::vector<ColumnProbeView> probes;
+  for (int i = 19; i >= 0; --i) keys.push_back("row" + std::to_string(i));
+  for (const std::string& key : keys) probes.push_back({key, "bf", "q"});
+  probes.push_back({"row3", "bf", "q"});       // Duplicate coordinate.
+  probes.push_back({"absent", "bf", "q"});     // NotFound.
+  probes.push_back({"row1", "nope", "q"});     // InvalidArgument.
+
+  ReadPin pin;
+  std::vector<StatusOr<std::string_view>> views(
+      probes.size(), StatusOr<std::string_view>(std::string_view()));
+  // Two rounds through one pin: results must be identical and the second
+  // round must be able to reuse the arena after Reset.
+  for (int round = 0; round < 2; ++round) {
+    pin.Reset();
+    (*store)->MultiGetView(probes.data(), probes.size(), &pin, views.data());
+    for (std::size_t p = 0; p < keys.size(); ++p) {
+      const auto single = (*store)->Get(keys[p], "bf", "q");
+      ASSERT_TRUE(single.ok());
+      ASSERT_TRUE(views[p].ok()) << keys[p];
+      EXPECT_EQ(*views[p], *single) << keys[p];
+    }
+    ASSERT_TRUE(views[keys.size()].ok());
+    EXPECT_EQ(*views[keys.size()], "mem3");
+    EXPECT_TRUE(views[keys.size() + 1].status().IsNotFound());
+    EXPECT_TRUE(views[keys.size() + 2].status().IsInvalidArgument());
+  }
+}
+
+TEST(StoreTest, MultiGetViewSurvivesFlushAndCompaction) {
+  const std::string dir = TempDir("multigetview_flush");
+  StoreOptions options = MemOptions();
+  options.durable = true;
+  options.dir = dir;
+  auto store = AliHBase::Open(options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("u", "bf", "x", "pinned-value", 1).ok());
+
+  const ColumnProbeView probe{"u", "bf", "x"};
+  ReadPin pin;
+  StatusOr<std::string_view> view{std::string_view()};
+  (*store)->MultiGetView(&probe, 1, &pin, &view);
+  ASSERT_TRUE(view.ok());
+  // The view is a copy in the pin's arena, not a pointer into the
+  // memtable: flushing (which tears the memtable down) must not move it.
+  ASSERT_TRUE((*store)->Flush().ok());
+  EXPECT_EQ(*view, "pinned-value");
+}
+
+#ifdef TITANT_ARENA_ASAN
+TEST(StoreTest, MultiGetViewStaleAfterPinResetIsPoisoned) {
+  auto store = AliHBase::Open(MemOptions());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("u", "bf", "x", "soon-to-be-stale-value", 1).ok());
+
+  const ColumnProbeView probe{"u", "bf", "x"};
+  ReadPin pin;
+  StatusOr<std::string_view> view{std::string_view()};
+  (*store)->MultiGetView(&probe, 1, &pin, &view);
+  ASSERT_TRUE(view.ok());
+  const char* data = view->data();
+  EXPECT_FALSE(__asan_address_is_poisoned(data));
+  // Releasing the pin poisons the arena: a stale view now faults loudly
+  // under ASan instead of silently reading recycled bytes.
+  pin.Reset();
+  EXPECT_TRUE(__asan_address_is_poisoned(data));
+}
+#endif
+
 TEST(StoreTest, MultiGetRowPreservesRequestOrder) {
   auto store = AliHBase::Open(MemOptions());
   ASSERT_TRUE(store.ok());

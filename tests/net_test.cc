@@ -389,21 +389,23 @@ constexpr uint16_t kSlow = 12;
 struct EchoServer {
   explicit EchoServer(std::atomic<int>* slow_started = nullptr,
                       ServerOptions options = DefaultOptions()) {
-    server = std::make_unique<Server>(options, [slow_started](const Frame& frame)
-                                                   -> StatusOr<std::string> {
-      switch (frame.method) {
-        case kEcho:
-          return std::string(frame.payload);
-        case kFail:
-          return Status::NotFound("nothing here");
-        case kSlow:
-          if (slow_started != nullptr) slow_started->fetch_add(1);
-          std::this_thread::sleep_for(std::chrono::milliseconds(200));
-          return std::string(frame.payload);
-        default:
-          return Status::Unimplemented("unknown method");
-      }
-    });
+    server = std::make_unique<Server>(
+        options, [slow_started](const Frame& frame, std::string* body) -> Status {
+          switch (frame.method) {
+            case kEcho:
+              body->append(frame.payload);
+              return Status::OK();
+            case kFail:
+              return Status::NotFound("nothing here");
+            case kSlow:
+              if (slow_started != nullptr) slow_started->fetch_add(1);
+              std::this_thread::sleep_for(std::chrono::milliseconds(200));
+              body->append(frame.payload);
+              return Status::OK();
+            default:
+              return Status::Unimplemented("unknown method");
+          }
+        });
   }
   static ServerOptions DefaultOptions() {
     ServerOptions options;

@@ -1,0 +1,159 @@
+// Proves the zero-allocation invariant of the serving hot path: after a
+// warm-up pass has sized every scratch buffer and the pin arena,
+// ModelServer::ScoreSpan performs no heap allocations at all on the
+// all-hits path. The binary links titant_alloc_hook, which replaces the
+// global operator new/delete with counting versions, so the assertion is
+// exact — any std::string growth, vector reallocation, or stray `new`
+// anywhere under ScoreSpan trips it.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/alloc_hook.h"
+#include "common/random.h"
+#include "core/feature_extractor.h"
+#include "ml/logistic_regression.h"
+#include "ml/model.h"
+#include "serving/feature_store.h"
+#include "serving/model_server.h"
+
+namespace titant::serving {
+namespace {
+
+constexpr int kBasic = core::FeatureExtractor::kNumBasicFeatures;
+constexpr int kUsers = 32;
+constexpr int kCities = 4;
+
+TEST(ZeroAllocTest, CountingAllocatorIsLinked) {
+  EXPECT_TRUE(allochook::Active());
+  const uint64_t before = allochook::ThreadAllocs();
+  auto* p = new int(7);
+  EXPECT_GT(allochook::ThreadAllocs(), before);
+  delete p;
+}
+
+/// Feature store with snapshot/aux/city rows for kUsers users and kCities
+/// cities, all resident in the memtable.
+std::unique_ptr<kvstore::AliHBase> SeededStore() {
+  auto options = FeatureTableOptions();
+  options.durable = false;
+  auto store = kvstore::AliHBase::Open(std::move(options));
+  EXPECT_TRUE(store.ok());
+  Rng rng(41);
+  std::vector<float> snapshot(static_cast<std::size_t>(kBasic));
+  for (int u = 0; u < kUsers; ++u) {
+    for (float& v : snapshot) v = static_cast<float>(rng.NextDouble());
+    EXPECT_TRUE((*store)
+                    ->Put(UserRowKey(static_cast<txn::UserId>(u)), kFamilyBasic, kQualSnapshot,
+                          EncodeFloats(snapshot.data(), snapshot.size()), 1)
+                    .ok());
+    const float aux[2] = {12.0f, 80.0f};
+    EXPECT_TRUE((*store)
+                    ->Put(UserRowKey(static_cast<txn::UserId>(u)), kFamilyBasic, kQualAux,
+                          EncodeFloats(aux, 2), 1)
+                    .ok());
+  }
+  for (int c = 0; c < kCities; ++c) {
+    const float stats[3] = {0.01f, 2.0f, 3.0f};
+    EXPECT_TRUE((*store)
+                    ->Put(CityRowKey(static_cast<uint16_t>(c)), kFamilyCity, kQualStats,
+                          EncodeFloats(stats, 3), 1)
+                    .ok());
+  }
+  return std::move(*store);
+}
+
+/// A width-52 LR trained on a tiny synthetic matrix — the model itself is
+/// irrelevant; what matters is that ScoreBatch runs the real vectorized
+/// scoring code.
+std::string TinyModelBlob() {
+  ml::LogisticRegressionOptions lr;
+  lr.discretize = false;  // Standardized raw features: cheap to train.
+  lr.iterations = 3;
+  ml::LogisticRegressionModel model(lr);
+  ml::DataMatrix train(64, kBasic);
+  Rng rng(7);
+  train.mutable_labels().resize(64);
+  for (std::size_t r = 0; r < train.num_rows(); ++r) {
+    for (int c = 0; c < kBasic; ++c) train.Set(r, c, static_cast<float>(rng.NextDouble()));
+    train.mutable_labels()[r] = static_cast<uint8_t>(r % 2);
+  }
+  EXPECT_TRUE(model.Train(train).ok());
+  return ml::SerializeModel(model);
+}
+
+TEST(ZeroAllocTest, ScoreSpanSteadyStateAllocatesNothing) {
+  std::unique_ptr<kvstore::AliHBase> store = SeededStore();
+  ModelServerOptions options;
+  options.use_embeddings = false;  // 52-wide layout; no emb rows needed.
+  ModelServer server(store.get(), options);
+  ASSERT_TRUE(server.LoadModel(TinyModelBlob(), 1).ok());
+
+  constexpr std::size_t kBatch = 8;
+  TransferRequest requests[kBatch];
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    requests[i].txn_id = static_cast<txn::TxnId>(i + 1);
+    requests[i].from_user = static_cast<txn::UserId>(i % kUsers);
+    requests[i].to_user = static_cast<txn::UserId>((i + 1) % kUsers);
+    requests[i].amount = 150.0 + static_cast<double>(i);
+    requests[i].second_of_day = 3600u * static_cast<uint32_t>(i % 24);
+    requests[i].trans_city = static_cast<uint16_t>(i % kCities);
+  }
+
+  ScoreScratch scratch;
+  std::vector<StatusOr<Verdict>> out(kBatch, StatusOr<Verdict>(Status::Internal("unscored")));
+
+  // Warm-up: grows every scratch vector to its high-water capacity and
+  // lets the pin arena coalesce to one block. Its allocations don't count.
+  for (int warm = 0; warm < 3; ++warm) {
+    ASSERT_TRUE(server.ScoreSpan(requests, kBatch, 0, out.data(), &scratch).ok());
+    for (const auto& verdict : out) {
+      ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+      EXPECT_FALSE(verdict->degraded);
+    }
+  }
+
+  const uint64_t before = allochook::ThreadAllocs();
+  for (int round = 0; round < 100; ++round) {
+    ASSERT_TRUE(server.ScoreSpan(requests, kBatch, 0, out.data(), &scratch).ok());
+  }
+  const uint64_t leaked = allochook::ThreadAllocs() - before;
+  EXPECT_EQ(leaked, 0u) << leaked
+                        << " heap allocations leaked into 100 steady-state ScoreSpan calls";
+}
+
+TEST(ZeroAllocTest, SingleRequestSteadyStateAllocatesNothing) {
+  std::unique_ptr<kvstore::AliHBase> store = SeededStore();
+  ModelServerOptions options;
+  options.use_embeddings = false;
+  ModelServer server(store.get(), options);
+  ASSERT_TRUE(server.LoadModel(TinyModelBlob(), 1).ok());
+
+  TransferRequest request;
+  request.txn_id = 1;
+  request.from_user = 3;
+  request.to_user = 4;
+  request.amount = 99.5;
+  request.second_of_day = 43200;
+  request.trans_city = 2;
+
+  ScoreScratch scratch;
+  StatusOr<Verdict> verdict = Status::Internal("unscored");
+  for (int warm = 0; warm < 3; ++warm) {
+    ASSERT_TRUE(server.ScoreSpan(&request, 1, 0, &verdict, &scratch).ok());
+    ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+  }
+
+  const uint64_t before = allochook::ThreadAllocs();
+  for (int round = 0; round < 100; ++round) {
+    ASSERT_TRUE(server.ScoreSpan(&request, 1, 0, &verdict, &scratch).ok());
+  }
+  const uint64_t leaked = allochook::ThreadAllocs() - before;
+  EXPECT_EQ(leaked, 0u) << leaked
+                        << " heap allocations leaked into 100 steady-state batch-1 calls";
+}
+
+}  // namespace
+}  // namespace titant::serving
