@@ -4,7 +4,7 @@
 //
 //   bench_gateway [client_threads] [seconds] [instances] [--faults]
 //                 [--batch N] [--no-coalesce] [--alloc-budget N]
-//                 [--workers N]
+//                 [--workers N] [--shards N]
 //
 // Starts a Gateway over loopback in-process, drives it from N closed-loop
 // client threads (one connection each, next request issued as soon as the
@@ -34,6 +34,11 @@
 //
 // --workers N overrides the gateway's handler thread count (default:
 // hardware_concurrency), useful for studying scheduling on small hosts.
+//
+// --shards N overrides the feature store's lock-stripe count (default:
+// kFeatureTableShards). --shards 1 reproduces the pre-sharding
+// single-mutex store, so the sweep in the bench-smoke lane contrasts
+// striped vs. serialized MultiGetView under concurrent workers.
 
 #include <cstdio>
 #include <cstdlib>
@@ -65,7 +70,7 @@ struct Fixture {
   std::vector<titant::serving::TransferRequest> requests;
 };
 
-Fixture BuildFixture(int instances) {
+Fixture BuildFixture(int instances, int shards) {
   Fixture f;
   titant::datagen::WorldOptions world_options;
   world_options.num_users = 1200;
@@ -86,6 +91,7 @@ Fixture BuildFixture(int instances) {
 
   auto store_options = titant::serving::FeatureTableOptions();
   store_options.durable = false;
+  if (shards > 0) store_options.num_shards = shards;
   f.store = CheckOk(titant::kvstore::AliHBase::Open(store_options));
   CheckOk(titant::serving::UploadDailyArtifacts(f.store.get(), f.world.log,
                                                 trainer.extractor(), *trainer.dw_embeddings(),
@@ -119,6 +125,7 @@ int main(int argc, char** argv) {
   bool coalesce = true;
   int batch = 1;
   int workers = 0;  // 0 = GatewayOptions default (hardware_concurrency).
+  int shards = 0;  // 0 = FeatureTableOptions default (kFeatureTableShards).
   double alloc_budget = 0.0;  // 0 = report only, no pass bar.
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
@@ -133,6 +140,8 @@ int main(int argc, char** argv) {
       alloc_budget = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
       workers = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::atoi(argv[++i]);
     } else {
       positional.push_back(argv[i]);
     }
@@ -146,8 +155,9 @@ int main(int argc, char** argv) {
       "batch %d, coalescing %s%s\n",
       threads, seconds, instances, batch, coalesce ? "on" : "off",
       faults ? ", fault injection ON" : "");
+  if (shards > 0) std::printf("feature store lock stripes: %d\n", shards);
   std::printf("setting up world + model + feature store...\n");
-  Fixture fixture = BuildFixture(instances);
+  Fixture fixture = BuildFixture(instances, shards);
 
   titant::serving::GatewayOptions gateway_options;
   if (workers > 0) gateway_options.worker_threads = static_cast<std::size_t>(workers);

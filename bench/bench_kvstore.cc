@@ -1,12 +1,18 @@
 // Micro-benchmarks for the Ali-HBase substrate: point writes, hot/cold
 // point reads, versioned reads and short scans, in both in-memory and
-// durable (WAL + SSTable) configurations.
+// durable (WAL + SSTable) configurations — plus the lock-striping
+// contrast: MultiGetView against 1/4/8-shard stores under 1/2/4
+// concurrent reader threads.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <filesystem>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "common/random.h"
@@ -106,6 +112,59 @@ void BM_VersionedGet(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_VersionedGet)->Unit(benchmark::kMicrosecond);
+
+/// Lazily-built shared stores for the multi-threaded sharding contrast:
+/// google-benchmark re-enters the function once per thread, so the store
+/// for a given stripe count is built exactly once and shared by all
+/// reader threads of every repetition at that arg.
+AliHBase* ShardedReadStore(int shards) {
+  static std::mutex mu;
+  static std::map<int, std::unique_ptr<AliHBase>> stores;
+  std::lock_guard<std::mutex> lock(mu);
+  auto& slot = stores[shards];
+  if (!slot) {
+    StoreOptions options;
+    options.column_families = {"bf", "emb"};
+    options.durable = false;
+    options.num_shards = shards;
+    slot = CheckOk(AliHBase::Open(std::move(options)));
+    FillStore(slot.get(), 50000);
+  }
+  return slot.get();
+}
+
+/// MultiGetView (the ScoreSpan probe pattern: a small batch of random
+/// user rows) against a store with range(0) lock stripes. --shards 1 is
+/// the pre-sharding single-mutex store; with ThreadRange(1, 4) the same
+/// probe load runs under 1/2/4 concurrent readers, so the table shows
+/// directly how much of the single-lock convoy striping removes.
+void BM_MultiGetViewSharded(benchmark::State& state) {
+  AliHBase* store = ShardedReadStore(static_cast<int>(state.range(0)));
+  constexpr std::size_t kProbes = 16;
+  titant::Rng rng(7 + static_cast<uint64_t>(state.thread_index()));
+  std::vector<std::string> keys(kProbes);
+  std::vector<titant::kvstore::ColumnProbeView> probes(kProbes);
+  std::vector<titant::StatusOr<std::string_view>> out(
+      kProbes, titant::StatusOr<std::string_view>(std::string_view()));
+  titant::kvstore::ReadPin pin;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kProbes; ++i) {
+      keys[i] = Row(static_cast<uint32_t>(rng.Uniform(50000)));
+      probes[i] = {keys[i], "bf", "snapshot"};
+    }
+    pin.Reset();
+    store->MultiGetView(probes.data(), kProbes, &pin, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(kProbes));
+}
+BENCHMARK(BM_MultiGetViewSharded)
+    ->Unit(benchmark::kMicrosecond)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->ThreadRange(1, 4)
+    ->UseRealTime();
 
 void BM_Scan100Rows(benchmark::State& state) {
   auto store = MakeStore(false, "scan");

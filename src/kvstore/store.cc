@@ -1,6 +1,8 @@
 #include "kvstore/store.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cstdio>
 #include <filesystem>
 #include <tuple>
 
@@ -11,6 +13,47 @@ namespace titant::kvstore {
 
 namespace fs = std::filesystem;
 
+namespace {
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::string out;
+  char buf[256];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+Status WriteFileString(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot create " + path);
+  const bool ok =
+      std::fwrite(text.data(), 1, text.size(), f) == text.size() && std::fflush(f) == 0;
+  std::fclose(f);
+  if (!ok) return Status::IOError("cannot write " + path);
+  return Status::OK();
+}
+
+/// Collects "<id>.sst" files directly inside `dir`, sorted by id
+/// (oldest first). Subdirectories (the shard dirs) are skipped.
+StatusOr<std::vector<std::pair<uint64_t, std::string>>> ListSSTables(const std::string& dir) {
+  std::vector<std::pair<uint64_t, std::string>> found;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 4 && name.substr(name.size() - 4) == ".sst") {
+      TITANT_ASSIGN_OR_RETURN(int64_t id, ParseInt64(name.substr(0, name.size() - 4)));
+      found.emplace_back(static_cast<uint64_t>(id), entry.path().string());
+    }
+  }
+  std::sort(found.begin(), found.end());
+  return found;
+}
+
+}  // namespace
+
 StatusOr<std::unique_ptr<AliHBase>> AliHBase::Open(StoreOptions options) {
   if (options.column_families.empty()) {
     return Status::InvalidArgument("at least one column family is required");
@@ -18,53 +61,159 @@ StatusOr<std::unique_ptr<AliHBase>> AliHBase::Open(StoreOptions options) {
   if (options.durable && options.dir.empty()) {
     return Status::InvalidArgument("durable store requires a data directory");
   }
+  if (options.num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
   auto store = std::unique_ptr<AliHBase>(new AliHBase(std::move(options)));
-  store->memtable_ = std::make_unique<SkipList<MemEntry>>();
 
   if (store->options_.durable) {
     std::error_code ec;
     fs::create_directories(store->options_.dir, ec);
     if (ec) return Status::IOError("cannot create " + store->options_.dir);
 
-    // Load SSTables in id order (oldest first).
-    std::vector<std::pair<uint64_t, std::string>> found;
-    for (const auto& entry : fs::directory_iterator(store->options_.dir)) {
-      const std::string name = entry.path().filename().string();
-      if (name.size() > 4 && name.substr(name.size() - 4) == ".sst") {
-        TITANT_ASSIGN_OR_RETURN(int64_t id, ParseInt64(name.substr(0, name.size() - 4)));
-        found.emplace_back(static_cast<uint64_t>(id), entry.path().string());
+    // The shard count is a property of the directory, not the open call:
+    // rows are routed by hash-mod-count, so the manifest written on first
+    // open wins over the requested count forever after — a reopen with a
+    // different count must not silently mis-route existing rows. The
+    // manifest is written before any shard state so a crash at any later
+    // point (including mid-migration) reopens under the same count.
+    const std::string manifest = store->options_.dir + "/SHARDS";
+    if (fs::exists(manifest)) {
+      TITANT_ASSIGN_OR_RETURN(std::string text, ReadFileToString(manifest));
+      std::string digits;
+      for (const char c : text) {
+        if (!std::isspace(static_cast<unsigned char>(c))) digits.push_back(c);
       }
+      TITANT_ASSIGN_OR_RETURN(int64_t recorded, ParseInt64(digits));
+      if (recorded < 1 || recorded > (1 << 16)) {
+        return Status::Corruption("invalid shard count in " + manifest);
+      }
+      store->options_.num_shards = static_cast<int>(recorded);
+    } else {
+      TITANT_RETURN_IF_ERROR(
+          WriteFileString(manifest, std::to_string(store->options_.num_shards) + "\n"));
     }
-    std::sort(found.begin(), found.end());
-    for (const auto& [id, path] : found) {
-      TITANT_ASSIGN_OR_RETURN(SSTable table, SSTable::Open(path));
-      store->sstables_.push_back(std::move(table));
-      store->next_sstable_id_ = std::max(store->next_sstable_id_, id + 1);
-    }
+  }
 
-    // Replay the WAL into the memtable.
-    const std::string wal_path = store->options_.dir + "/wal.log";
+  const int num_shards = store->options_.num_shards;
+  store->shards_.reserve(static_cast<std::size_t>(num_shards));
+  for (int k = 0; k < num_shards; ++k) {
+    auto shard = std::make_unique<Shard>();
+    shard->memtable = std::make_unique<SkipList<MemEntry>>();
+    if (store->options_.durable) {
+      shard->dir = store->options_.dir + "/shard-" + std::to_string(k);
+      std::error_code ec;
+      fs::create_directories(shard->dir, ec);
+      if (ec) return Status::IOError("cannot create " + shard->dir);
+    }
+    store->shards_.push_back(std::move(shard));
+  }
+  if (store->options_.durable) {
+    for (auto& shard : store->shards_) {
+      TITANT_RETURN_IF_ERROR(store->OpenShardFiles(*shard));
+    }
+    TITANT_RETURN_IF_ERROR(store->MigrateLegacyDir());
+  }
+  return store;
+}
+
+Status AliHBase::OpenShardFiles(Shard& shard) {
+  // Load SSTables in id order (oldest first).
+  TITANT_ASSIGN_OR_RETURN(auto found, ListSSTables(shard.dir));
+  for (const auto& [id, path] : found) {
+    TITANT_ASSIGN_OR_RETURN(SSTable table, SSTable::Open(path));
+    shard.sstables.push_back(std::move(table));
+    shard.next_sstable_id = std::max(shard.next_sstable_id, id + 1);
+  }
+
+  // Replay the WAL into the memtable.
+  const std::string wal_path = shard.dir + "/wal.log";
+  TITANT_ASSIGN_OR_RETURN(std::vector<std::string> records, WriteAheadLog::ReadAll(wal_path));
+  for (const std::string& record : records) {
+    std::size_t offset = 0;
+    while (offset < record.size()) {
+      Cell cell;
+      if (!DecodeCell(record, &offset, &cell)) {
+        return Status::Corruption("corrupt WAL record in " + wal_path);
+      }
+      shard.memtable->Insert(MemEntry{std::move(cell), shard.next_seq++});
+    }
+  }
+  TITANT_ASSIGN_OR_RETURN(WriteAheadLog wal, WriteAheadLog::Open(wal_path));
+  shard.wal.emplace(std::move(wal));
+  return Status::OK();
+}
+
+Status AliHBase::MigrateLegacyDir() {
+  // Pre-shard layouts kept one WAL and every SSTable at the directory
+  // root. Route each legacy cell to its shard — oldest SSTable first,
+  // then the WAL records in order, so the per-shard sequence numbers
+  // reproduce the legacy newest-wins resolution exactly — then delete
+  // the legacy files. A crash mid-migration re-runs harmlessly: the
+  // re-inserted cells carry the same key+version and resolve to the
+  // same winners.
+  TITANT_ASSIGN_OR_RETURN(auto legacy_ssts, ListSSTables(options_.dir));
+  const std::string legacy_wal = options_.dir + "/wal.log";
+  const bool has_wal = fs::exists(legacy_wal);
+  if (legacy_ssts.empty() && !has_wal) return Status::OK();
+
+  std::vector<std::vector<Cell>> routed(shards_.size());
+  auto route = [&](Cell cell) { routed[ShardOf(cell.key.row)].push_back(std::move(cell)); };
+  for (const auto& [id, path] : legacy_ssts) {
+    TITANT_ASSIGN_OR_RETURN(SSTable table, SSTable::Open(path));
+    SSTable::Iterator it(&table);
+    for (it.SeekToFirst(); it.Valid(); it.Next()) route(it.cell());
+  }
+  if (has_wal) {
     TITANT_ASSIGN_OR_RETURN(std::vector<std::string> records,
-                            WriteAheadLog::ReadAll(wal_path));
+                            WriteAheadLog::ReadAll(legacy_wal));
     for (const std::string& record : records) {
       std::size_t offset = 0;
       while (offset < record.size()) {
         Cell cell;
         if (!DecodeCell(record, &offset, &cell)) {
-          return Status::Corruption("corrupt WAL record in " + wal_path);
+          return Status::Corruption("corrupt WAL record in " + legacy_wal);
         }
-        store->memtable_->Insert(MemEntry{std::move(cell), store->next_seq_++});
+        route(std::move(cell));
       }
     }
-    TITANT_ASSIGN_OR_RETURN(WriteAheadLog wal, WriteAheadLog::Open(wal_path));
-    store->wal_.emplace(std::move(wal));
   }
-  return store;
+
+  constexpr std::size_t kMigrateChunkCells = 1024;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (routed[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    std::unique_lock lock(shard.mu);
+    std::string record;
+    std::size_t in_record = 0;
+    for (const Cell& cell : routed[s]) {
+      record += EncodeCell(cell);
+      if (++in_record >= kMigrateChunkCells) {
+        TITANT_RETURN_IF_ERROR(shard.wal->Append(record));
+        record.clear();
+        in_record = 0;
+      }
+    }
+    if (!record.empty()) TITANT_RETURN_IF_ERROR(shard.wal->Append(record));
+    for (Cell& cell : routed[s]) {
+      shard.memtable->Insert(MemEntry{std::move(cell), shard.next_seq++});
+    }
+    if (shard.memtable->size() >= options_.memtable_flush_cells) {
+      TITANT_RETURN_IF_ERROR(FlushShardLocked(shard));
+    }
+  }
+
+  // Legacy files go away only after their cells are durable per shard.
+  std::error_code ec;
+  if (has_wal) fs::remove(legacy_wal, ec);
+  for (const auto& [id, path] : legacy_ssts) fs::remove(path, ec);
+  return Status::OK();
 }
 
 namespace {
 
-// "row/family:qualifier" for NotFound messages (error paths only).
+// "row/family:qualifier" for NotFound messages (error paths only; the
+// zero-alloc view path returns message-free canonical statuses instead).
 std::string ColumnName(std::string_view row, std::string_view family,
                        std::string_view qualifier) {
   std::string name;
@@ -78,6 +227,18 @@ std::string ColumnName(std::string_view row, std::string_view family,
 }
 
 }  // namespace
+
+std::size_t AliHBase::ShardOf(std::string_view row) const {
+  if (shards_.size() <= 1) return 0;
+  // FNV-1a 64: cheap, allocation-free, and stable across runs (the
+  // on-disk shard layout depends on it — never change the constants).
+  uint64_t h = 14695981039346656037ull;
+  for (const char c : row) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return static_cast<std::size_t>(h % shards_.size());
+}
 
 Status AliHBase::CheckFamily(std::string_view family) const {
   for (const auto& cf : options_.column_families) {
@@ -107,26 +268,49 @@ Status AliHBase::PutBatch(const std::vector<Cell>& cells) { return WriteCells(ce
 
 Status AliHBase::WriteCells(const std::vector<Cell>& cells) {
   if (cells.empty()) return Status::OK();
+  // Validate everything up front so a bad cell rejects the whole batch
+  // before any shard has written a byte.
   for (const Cell& cell : cells) {
     TITANT_RETURN_IF_ERROR(CheckFamily(cell.key.family));
     if (cell.key.row.empty()) return Status::InvalidArgument("empty row key");
   }
-  std::unique_lock lock(mu_);
-  if (wal_) {
-    std::string record;
-    for (const Cell& cell : cells) record += EncodeCell(cell);
-    TITANT_RETURN_IF_ERROR(wal_->Append(record));
+  if (shards_.size() == 1) {
+    std::vector<const Cell*> ptrs;
+    ptrs.reserve(cells.size());
+    for (const Cell& cell : cells) ptrs.push_back(&cell);
+    return WriteShardCells(*shards_[0], ptrs.data(), ptrs.size());
   }
-  for (const Cell& cell : cells) memtable_->Insert(MemEntry{cell, next_seq_++});
-  if (memtable_->size() >= options_.memtable_flush_cells && options_.durable) {
-    return FlushLocked();
+  // Group by shard, then commit one shard at a time — each under its own
+  // exclusive lock, so a bulk upload to one stripe never blocks readers
+  // (or other writers) on the rest of the keyspace.
+  std::vector<std::vector<const Cell*>> groups(shards_.size());
+  for (const Cell& cell : cells) groups[ShardOf(cell.key.row)].push_back(&cell);
+  for (std::size_t s = 0; s < groups.size(); ++s) {
+    if (groups[s].empty()) continue;
+    TITANT_RETURN_IF_ERROR(WriteShardCells(*shards_[s], groups[s].data(), groups[s].size()));
   }
   return Status::OK();
 }
 
-bool AliHBase::FindViewLocked(std::string_view row, std::string_view family,
-                              std::string_view qualifier, uint64_t snapshot,
-                              CellViewRec* out) const {
+Status AliHBase::WriteShardCells(Shard& shard, const Cell* const* cells, std::size_t n) {
+  std::unique_lock lock(shard.mu);
+  if (shard.wal) {
+    std::string record;
+    for (std::size_t i = 0; i < n; ++i) record += EncodeCell(*cells[i]);
+    TITANT_RETURN_IF_ERROR(shard.wal->Append(record));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    shard.memtable->Insert(MemEntry{*cells[i], shard.next_seq++});
+  }
+  if (shard.memtable->size() >= options_.memtable_flush_cells && options_.durable) {
+    return FlushShardLocked(shard);
+  }
+  return Status::OK();
+}
+
+bool AliHBase::FindViewLocked(const Shard& shard, std::string_view row,
+                              std::string_view family, std::string_view qualifier,
+                              uint64_t snapshot, CellViewRec* out) const {
   bool found = false;
   // Memtable: entries for this column are ordered by version desc, then
   // write order; the first entry at or below the snapshot wins there.
@@ -134,7 +318,7 @@ bool AliHBase::FindViewLocked(std::string_view row, std::string_view family,
   // store's 11/6-char row keys, family/qualifier names) stay inside the
   // small-string buffer, so building it does not touch the heap.
   {
-    SkipList<MemEntry>::Iterator it(memtable_.get());
+    SkipList<MemEntry>::Iterator it(shard.memtable.get());
     MemEntry target;
     target.cell.key.row.assign(row);
     target.cell.key.family.assign(family);
@@ -159,7 +343,7 @@ bool AliHBase::FindViewLocked(std::string_view row, std::string_view family,
   // SSTables: any of them may hold a newer version. Iterate newest file
   // first and require a strictly greater version to override, so that
   // same-version overwrites resolve to the memtable, then the newest file.
-  for (auto it = sstables_.rbegin(); it != sstables_.rend(); ++it) {
+  for (auto it = shard.sstables.rbegin(); it != shard.sstables.rend(); ++it) {
     CellViewRec rec;
     if (it->GetView(row, family, qualifier, snapshot, &rec) &&
         (!found || rec.version > out->version)) {
@@ -177,9 +361,10 @@ StatusOr<std::string> AliHBase::Get(const std::string& row, const std::string& f
   // before the shared lock so a latency spike never blocks writers.
   TITANT_FAILPOINT("kvstore.get");
   TITANT_RETURN_IF_ERROR(CheckFamily(family));
-  std::shared_lock lock(mu_);
+  const Shard& shard = *shards_[ShardOf(row)];
+  std::shared_lock lock(shard.mu);
   CellViewRec rec;
-  if (!FindViewLocked(row, family, qualifier, snapshot, &rec) || rec.tombstone) {
+  if (!FindViewLocked(shard, row, family, qualifier, snapshot, &rec) || rec.tombstone) {
     return Status::NotFound(ColumnName(row, family, qualifier));
   }
   return std::string(rec.value);
@@ -212,69 +397,101 @@ void AliHBase::MultiGetView(const ColumnProbeView* probes, std::size_t n, ReadPi
                             StatusOr<std::string_view>* out, uint64_t snapshot) const {
   // Per-probe admission mirrors Get: the chaos hook and the family check
   // run key by key, in INPUT order (chaos draws stay deterministic per
-  // probe position) and before the shared lock, so one injected fault or
+  // probe position) and before any shard lock, so one injected fault or
   // one bad family fails one probe, never its batch siblings.
   std::vector<std::size_t>& live = pin->order_;
   live.clear();
+  const bool any_armed = failpoint_internal::AnyArmed();
   for (std::size_t i = 0; i < n; ++i) {
-    Status admitted = failpoint_internal::AnyArmed() ? Failpoints::Eval("kvstore.get")
-                                                     : Status::OK();
+    Status admitted = any_armed ? Failpoints::Eval("kvstore.get") : Status::OK();
     if (admitted.ok()) admitted = CheckFamily(probes[i].family);
     if (admitted.ok()) {
       live.push_back(i);
       out[i] = StatusOr<std::string_view>(std::string_view());  // Overwritten below.
     } else {
-      out[i] = StatusOr<std::string_view>(std::move(admitted));
+      // Hand back the code alone: the admission Status may carry an
+      // allocated message (failpoint text, the family name), and dropping
+      // it keeps the fault path allocation-free. Callers branch on codes.
+      out[i] = StatusOr<std::string_view>(Status(admitted.code(), std::string()));
     }
   }
 
-  // Visit the surviving probes in key order: lookups sweep the memtable
-  // and the SSTable sparse indexes forward instead of seeking randomly,
-  // and duplicate coordinates collapse into one lookup (the bloom-filter
-  // and index probes are paid once per distinct column, not per request).
+  // Group the surviving probes by shard, sorted by key within each group:
+  // every shard's read lock is taken exactly once per batch, lookups sweep
+  // the memtable and SSTable sparse indexes forward instead of seeking
+  // randomly, and duplicate coordinates collapse into one lookup (the
+  // bloom-filter and index probes are paid once per distinct column, not
+  // per request). Equal keys always share a shard, so the dedup still
+  // holds across the whole batch.
+  const bool sharded = shards_.size() > 1;
+  std::vector<uint32_t>& stripe = pin->shards_;
+  if (sharded) {
+    stripe.resize(n);
+    for (const std::size_t idx : live) {
+      stripe[idx] = static_cast<uint32_t>(ShardOf(probes[idx].row));
+    }
+  }
   auto key_of = [&probes](std::size_t i) {
     const ColumnProbeView& p = probes[i];
     return std::tie(p.row, p.family, p.qualifier);
   };
-  std::sort(live.begin(), live.end(),
-            [&](std::size_t a, std::size_t b) { return key_of(a) < key_of(b); });
+  auto stripe_of = [&](std::size_t i) -> uint32_t { return sharded ? stripe[i] : 0; };
+  std::sort(live.begin(), live.end(), [&](std::size_t a, std::size_t b) {
+    const uint32_t sa = stripe_of(a);
+    const uint32_t sb = stripe_of(b);
+    if (sa != sb) return sa < sb;
+    return key_of(a) < key_of(b);
+  });
 
-  std::shared_lock lock(mu_);  // One lock acquisition for the whole batch.
-  CellViewRec rec;
-  bool hit = false;
-  std::string_view pinned;
-  bool have_prev = false;
-  std::size_t prev = 0;
-  for (std::size_t idx : live) {
-    const ColumnProbeView& probe = probes[idx];
-    if (!have_prev || key_of(prev) != key_of(idx)) {
-      hit = FindViewLocked(probe.row, probe.family, probe.qualifier, snapshot, &rec);
-      if (hit && !rec.tombstone) {
-        // The winning value is copied into the pin's arena while the lock
-        // still pins the memtable/SSTable bytes — after that, the view is
-        // immune to flushes and compactions. One copy per distinct column;
-        // duplicate probes share it.
-        pinned = std::string_view(pin->arena_.Copy(rec.value.data(), rec.value.size()),
-                                  rec.value.size());
+  std::size_t pos = 0;
+  while (pos < live.size()) {
+    const uint32_t cur = stripe_of(live[pos]);
+    std::size_t end = pos + 1;
+    while (end < live.size() && stripe_of(live[end]) == cur) ++end;
+
+    const Shard& shard = *shards_[cur];
+    std::shared_lock lock(shard.mu);  // One acquisition per shard run.
+    CellViewRec rec;
+    bool hit = false;
+    std::string_view pinned;
+    bool have_prev = false;
+    std::size_t prev = 0;
+    for (std::size_t k = pos; k < end; ++k) {
+      const std::size_t idx = live[k];
+      const ColumnProbeView& probe = probes[idx];
+      if (!have_prev || key_of(prev) != key_of(idx)) {
+        hit = FindViewLocked(shard, probe.row, probe.family, probe.qualifier, snapshot, &rec);
+        if (hit && !rec.tombstone) {
+          // The winning value is copied into the pin's arena while the lock
+          // still pins the memtable/SSTable bytes — after that, the view is
+          // immune to flushes and compactions. One copy per distinct column;
+          // duplicate probes share it.
+          pinned = std::string_view(pin->arena_.Copy(rec.value.data(), rec.value.size()),
+                                    rec.value.size());
+        }
+        prev = idx;
+        have_prev = true;
       }
-      prev = idx;
-      have_prev = true;
+      if (!hit || rec.tombstone) {
+        // Canonical message-free NotFound: the miss path is as hot as the
+        // hit path under cold-start traffic and must not touch the heap.
+        out[idx] = StatusOr<std::string_view>(Status(StatusCode::kNotFound, std::string()));
+      } else {
+        out[idx] = StatusOr<std::string_view>(pinned);
+      }
     }
-    if (!hit || rec.tombstone) {
-      out[idx] = Status::NotFound(ColumnName(probe.row, probe.family, probe.qualifier));
-    } else {
-      out[idx] = StatusOr<std::string_view>(pinned);
-    }
+    pos = end;
   }
 }
 
 StatusOr<std::map<std::string, std::string>> AliHBase::GetRow(const std::string& row,
                                                               uint64_t snapshot) const {
-  TITANT_ASSIGN_OR_RETURN(
-      std::vector<Cell> cells,
-      Scan(row, row + std::string(1, '\0'), snapshot, SIZE_MAX));
+  // A row never spans shards, so this is a single-stripe scan.
+  const Shard& shard = *shards_[ShardOf(row)];
+  std::shared_lock lock(shard.mu);
   std::map<std::string, std::string> out;
-  for (Cell& cell : cells) {
+  for (Cell& cell :
+       ScanShardLocked(shard, row, row + std::string(1, '\0'), snapshot, SIZE_MAX)) {
     out[cell.key.family + ":" + cell.key.qualifier] = std::move(cell.value);
   }
   return out;
@@ -283,16 +500,41 @@ StatusOr<std::map<std::string, std::string>> AliHBase::GetRow(const std::string&
 StatusOr<std::vector<Cell>> AliHBase::Scan(const std::string& start_row,
                                            const std::string& end_row, uint64_t snapshot,
                                            std::size_t limit) const {
-  std::shared_lock lock(mu_);
-  return ScanLocked(start_row, end_row, snapshot, limit);
+  if (shards_.size() == 1) {
+    const Shard& shard = *shards_[0];
+    std::shared_lock lock(shard.mu);
+    return ScanShardLocked(shard, start_row, end_row, snapshot, limit);
+  }
+  // Cross-shard merge: each shard contributes its own consistent view
+  // under its own read lock (locks are taken one at a time, never
+  // nested); the caller's snapshot version — not lock timing — defines
+  // which writes are visible, so the merged result is exactly the union
+  // of per-shard results at that snapshot. Shards partition the row
+  // space by hash, so no column appears twice and a global sort by
+  // (row, family, qualifier) restores scan order; each shard is asked
+  // for at most `limit` cells since the global first-`limit` is a subset
+  // of the per-shard first-`limit` sets.
+  std::vector<Cell> merged;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mu);
+    std::vector<Cell> part = ScanShardLocked(*shard, start_row, end_row, snapshot, limit);
+    merged.insert(merged.end(), std::make_move_iterator(part.begin()),
+                  std::make_move_iterator(part.end()));
+  }
+  std::sort(merged.begin(), merged.end(), [](const Cell& a, const Cell& b) {
+    return std::tie(a.key.row, a.key.family, a.key.qualifier) <
+           std::tie(b.key.row, b.key.family, b.key.qualifier);
+  });
+  if (merged.size() > limit) merged.resize(limit);
+  return merged;
 }
 
-std::vector<Cell> AliHBase::ScanLocked(const std::string& start_row,
-                                       const std::string& end_row, uint64_t snapshot,
-                                       std::size_t limit) const {
-  // Merge all sources into (key -> cell), keeping the winning version per
-  // column. Simplicity over peak throughput: scans here back bulk
-  // verification jobs, not the latency-critical point reads.
+std::vector<Cell> AliHBase::ScanShardLocked(const Shard& shard, const std::string& start_row,
+                                            const std::string& end_row, uint64_t snapshot,
+                                            std::size_t limit) const {
+  // Merge the shard's sources into (key -> cell), keeping the winning
+  // version per column. Simplicity over peak throughput: scans here back
+  // bulk verification jobs, not the latency-critical point reads.
   // Winner per column. Sources are visited in authority order within each
   // equal version — memtable newest-seq first, then newest SSTable — so on
   // ties the FIRST writer must win and later ones must not overwrite.
@@ -319,7 +561,7 @@ std::vector<Cell> AliHBase::ScanLocked(const std::string& start_row,
   };
 
   {
-    SkipList<MemEntry>::Iterator it(memtable_.get());
+    SkipList<MemEntry>::Iterator it(shard.memtable.get());
     MemEntry target;
     target.cell.key = CellKey{start_row, "", "", UINT64_MAX};
     target.seq = UINT64_MAX;
@@ -332,7 +574,7 @@ std::vector<Cell> AliHBase::ScanLocked(const std::string& start_row,
   }
   // Newest file first: `consider` keeps the first writer on equal
   // versions (after the memtable).
-  for (auto table = sstables_.rbegin(); table != sstables_.rend(); ++table) {
+  for (auto table = shard.sstables.rbegin(); table != shard.sstables.rend(); ++table) {
     SSTable::Iterator it(&*table);
     it.Seek(CellKey{start_row, "", "", UINT64_MAX});
     for (; it.Valid(); it.Next()) {
@@ -352,33 +594,48 @@ std::vector<Cell> AliHBase::ScanLocked(const std::string& start_row,
 
 std::vector<StatusOr<std::map<std::string, std::string>>> AliHBase::MultiGetRow(
     const std::vector<std::string>& rows, uint64_t snapshot) const {
-  std::vector<std::size_t> order(rows.size());
-  for (std::size_t i = 0; i < rows.size(); ++i) order[i] = i;
+  // Visit rows grouped by shard (a row never spans shards), sorted within
+  // each group, taking each shard's read lock once for its run.
+  std::vector<std::pair<std::size_t, std::size_t>> order(rows.size());  // (shard, index)
+  for (std::size_t i = 0; i < rows.size(); ++i) order[i] = {ShardOf(rows[i]), i};
   std::sort(order.begin(), order.end(),
-            [&rows](std::size_t a, std::size_t b) { return rows[a] < rows[b]; });
+            [&rows](const std::pair<std::size_t, std::size_t>& a,
+                    const std::pair<std::size_t, std::size_t>& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return rows[a.second] < rows[b.second];
+            });
 
   std::vector<StatusOr<std::map<std::string, std::string>>> results(
       rows.size(), StatusOr<std::map<std::string, std::string>>(std::map<std::string, std::string>()));
-  std::shared_lock lock(mu_);  // One lock acquisition for the whole batch.
-  for (std::size_t idx : order) {
-    const std::string& row = rows[idx];
-    std::map<std::string, std::string> columns;
-    for (Cell& cell :
-         ScanLocked(row, row + std::string(1, '\0'), snapshot, SIZE_MAX)) {
-      columns[cell.key.family + ":" + cell.key.qualifier] = std::move(cell.value);
+  std::size_t pos = 0;
+  while (pos < order.size()) {
+    const std::size_t cur = order[pos].first;
+    std::size_t end = pos + 1;
+    while (end < order.size() && order[end].first == cur) ++end;
+
+    const Shard& shard = *shards_[cur];
+    std::shared_lock lock(shard.mu);  // One acquisition per shard run.
+    for (std::size_t k = pos; k < end; ++k) {
+      const std::string& row = rows[order[k].second];
+      std::map<std::string, std::string> columns;
+      for (Cell& cell :
+           ScanShardLocked(shard, row, row + std::string(1, '\0'), snapshot, SIZE_MAX)) {
+        columns[cell.key.family + ":" + cell.key.qualifier] = std::move(cell.value);
+      }
+      results[order[k].second] = std::move(columns);
     }
-    results[idx] = std::move(columns);
+    pos = end;
   }
   return results;
 }
 
-Status AliHBase::FlushLocked() {
-  if (memtable_->empty()) return Status::OK();
+Status AliHBase::FlushShardLocked(Shard& shard) {
+  if (shard.memtable->empty()) return Status::OK();
   if (!options_.durable) return Status::OK();
 
   std::vector<Cell> cells;
-  cells.reserve(memtable_->size());
-  SkipList<MemEntry>::Iterator it(memtable_.get());
+  cells.reserve(shard.memtable->size());
+  SkipList<MemEntry>::Iterator it(shard.memtable.get());
   for (it.SeekToFirst(); it.Valid(); it.Next()) {
     const Cell& cell = it.key().cell;
     // Entries with equal CellKey are ordered newest-seq first: keep the
@@ -388,29 +645,42 @@ Status AliHBase::FlushLocked() {
   }
 
   const std::string path =
-      options_.dir + "/" + std::to_string(next_sstable_id_) + ".sst";
+      shard.dir + "/" + std::to_string(shard.next_sstable_id) + ".sst";
   TITANT_RETURN_IF_ERROR(SSTable::Write(path, cells));
   TITANT_ASSIGN_OR_RETURN(SSTable table, SSTable::Open(path));
-  sstables_.push_back(std::move(table));
-  ++next_sstable_id_;
-  memtable_ = std::make_unique<SkipList<MemEntry>>();
-  if (wal_) TITANT_RETURN_IF_ERROR(wal_->Reset());
+  shard.sstables.push_back(std::move(table));
+  ++shard.next_sstable_id;
+  shard.memtable = std::make_unique<SkipList<MemEntry>>();
+  if (shard.wal) TITANT_RETURN_IF_ERROR(shard.wal->Reset());
   return Status::OK();
 }
 
 Status AliHBase::Flush() {
-  std::unique_lock lock(mu_);
-  return FlushLocked();
+  for (auto& shard : shards_) {
+    std::unique_lock lock(shard->mu);
+    TITANT_RETURN_IF_ERROR(FlushShardLocked(*shard));
+  }
+  return Status::OK();
 }
 
 Status AliHBase::Compact() {
-  std::unique_lock lock(mu_);
-  TITANT_RETURN_IF_ERROR(FlushLocked());
-  if (sstables_.size() <= 1 && options_.max_versions <= 0) return Status::OK();
+  // Shard by shard: compacting one stripe blocks only that stripe's
+  // readers and writers; the rest of the keyspace stays fully available.
+  for (auto& shard : shards_) {
+    TITANT_RETURN_IF_ERROR(CompactShard(*shard));
+  }
+  return Status::OK();
+}
+
+Status AliHBase::CompactShard(Shard& shard) {
+  if (!options_.durable) return Status::OK();
+  std::unique_lock lock(shard.mu);
+  TITANT_RETURN_IF_ERROR(FlushShardLocked(shard));
+  if (shard.sstables.size() <= 1 && options_.max_versions <= 0) return Status::OK();
 
   // Gather every cell, newest file wins on exact-key collisions.
   std::map<CellKey, Cell> all;
-  for (const SSTable& table : sstables_) {  // Oldest first: later overwrite.
+  for (const SSTable& table : shard.sstables) {  // Oldest first: later overwrite.
     SSTable::Iterator it(&table);
     for (it.SeekToFirst(); it.Valid(); it.Next()) all[it.cell().key] = it.cell();
   }
@@ -445,16 +715,16 @@ Status AliHBase::Compact() {
   }
 
   const std::string path =
-      options_.dir + "/" + std::to_string(next_sstable_id_) + ".sst";
+      shard.dir + "/" + std::to_string(shard.next_sstable_id) + ".sst";
   TITANT_RETURN_IF_ERROR(SSTable::Write(path, kept));
   TITANT_ASSIGN_OR_RETURN(SSTable merged, SSTable::Open(path));
 
   // Swap in the merged table and remove the old files.
   std::vector<std::string> old_paths;
-  for (const SSTable& table : sstables_) old_paths.push_back(table.path());
-  sstables_.clear();
-  sstables_.push_back(std::move(merged));
-  ++next_sstable_id_;
+  for (const SSTable& table : shard.sstables) old_paths.push_back(table.path());
+  shard.sstables.clear();
+  shard.sstables.push_back(std::move(merged));
+  ++shard.next_sstable_id;
   for (const std::string& old : old_paths) {
     std::error_code ec;
     fs::remove(old, ec);  // Best effort; stale files are re-merged later.
@@ -463,13 +733,21 @@ Status AliHBase::Compact() {
 }
 
 std::size_t AliHBase::memtable_cells() const {
-  std::shared_lock lock(mu_);
-  return memtable_->size();
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mu);
+    total += shard->memtable->size();
+  }
+  return total;
 }
 
 std::size_t AliHBase::num_sstables() const {
-  std::shared_lock lock(mu_);
-  return sstables_.size();
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mu);
+    total += shard->sstables.size();
+  }
+  return total;
 }
 
 }  // namespace titant::kvstore

@@ -1,6 +1,7 @@
 #ifndef TITANT_KVSTORE_STORE_H_
 #define TITANT_KVSTORE_STORE_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -27,12 +28,23 @@ struct StoreOptions {
   /// (HBase semantics).
   std::vector<std::string> column_families;
   /// Memtable size (cell count) that triggers an automatic flush.
+  /// Applied per shard.
   std::size_t memtable_flush_cells = 64 * 1024;
   /// Number of versions per column retained by Compact().
   int max_versions = 3;
   /// When false the store is purely in-memory (no WAL, no SSTables);
   /// useful for tests and latency benchmarks isolating CPU cost.
   bool durable = true;
+  /// Lock-striped shards the table is split into by row-key hash. Each
+  /// shard owns its own memtable, WAL segment, SSTable set, sequence
+  /// counter, and reader-writer lock, so a flush or bulk upload on one
+  /// shard never blocks reads on the others. 1 (the default) reproduces
+  /// the original single-striped store. For durable stores the count is
+  /// recorded in `dir/SHARDS` on first open and the recorded value wins
+  /// on reopen (re-sharding an existing directory is not supported);
+  /// directories written by the pre-shard layout (a root-level `wal.log`
+  /// plus `*.sst`) are migrated into the sharded layout on open.
+  int num_shards = 1;
 };
 
 /// One column coordinate of a MultiGet batch (a CellKey without the
@@ -76,6 +88,7 @@ class ReadPin {
   friend class AliHBase;
   Arena arena_;
   std::vector<std::size_t> order_;  // MultiGetView visit-order scratch.
+  std::vector<uint32_t> shards_;    // MultiGetView per-probe shard scratch.
 };
 
 /// A single-table, column-family KV store with timestamp versions —
@@ -83,21 +96,29 @@ class ReadPin {
 /// Fig. 7): row key = user, one family for basic features, one for the
 /// user node embeddings, versioned by upload date.
 ///
-/// Write path: WAL append -> memtable (skiplist); memtable flushes to
-/// immutable SSTables. Read path: merge memtable + SSTables, newest
-/// version <= snapshot wins. Crash recovery replays the WAL.
-/// Thread-safe: reads share a lock, writes are exclusive.
+/// The table is horizontally partitioned into `num_shards` lock-striped
+/// shards by row-key hash, mirroring the paper's partitioned Ali-HBase
+/// tier: every cell of a row lives in exactly one shard, and each shard
+/// is an independent little LSM tree (WAL append -> memtable skiplist;
+/// memtable flushes to immutable SSTables). Read path: merge the shard's
+/// memtable + SSTables, newest version <= snapshot wins. Crash recovery
+/// replays each shard's WAL independently. Thread-safe: reads share a
+/// per-shard lock, writes are exclusive per shard — so a flush, compaction
+/// or bulk upload on one shard never blocks reads on the others.
 class AliHBase {
  public:
-  /// Opens the table, replaying any WAL and loading existing SSTables.
+  /// Opens the table, replaying any WALs and loading existing SSTables.
+  /// Directories written by the pre-shard layout are migrated in place.
   static StatusOr<std::unique_ptr<AliHBase>> Open(StoreOptions options);
 
   /// Writes one cell version.
   Status Put(const std::string& row, const std::string& family, const std::string& qualifier,
              const std::string& value, uint64_t version);
 
-  /// Atomically writes a batch (the daily bulk upload from offline
-  /// training writes one batch per user row).
+  /// Writes a batch (the daily bulk upload from offline training writes
+  /// one batch per user row). Validation rejects the whole batch before
+  /// anything is written; past that point the batch commits shard by
+  /// shard (atomic per shard, cells of one row always land together).
   Status PutBatch(const std::vector<Cell>& cells);
 
   /// Deletes a column at `version` (tombstone shadows older versions).
@@ -110,12 +131,13 @@ class AliHBase {
                             const std::string& qualifier,
                             uint64_t snapshot = UINT64_MAX) const;
 
-  /// Batched Get: one result per probe, in probe order. The read-path lock
-  /// is taken once for the whole batch and the probes are visited in sorted
-  /// key order (seek locality in the memtable and SSTable indexes;
-  /// duplicate coordinates collapse to one lookup). Per-probe semantics
-  /// match Get exactly — a probe that fails (undeclared family, injected
-  /// fault, no visible value) fails alone, never its batch siblings.
+  /// Batched Get: one result per probe, in probe order. Probes are grouped
+  /// by shard and visited in sorted key order within each shard (seek
+  /// locality in the memtable and SSTable indexes; duplicate coordinates
+  /// collapse to one lookup), taking each shard's read lock exactly once.
+  /// Per-probe semantics match Get exactly — a probe that fails
+  /// (undeclared family, injected fault, no visible value) fails alone,
+  /// never its batch siblings.
   std::vector<StatusOr<std::string>> MultiGet(const std::vector<ColumnProbe>& probes,
                                               uint64_t snapshot = UINT64_MAX) const;
 
@@ -124,9 +146,11 @@ class AliHBase {
   /// written into the caller's `out` array (length n), and value bytes are
   /// copied once into `pin`'s arena — the returned views are valid until
   /// the pin is Reset or destroyed, independent of later flushes or
-  /// compactions. With a reused pin the steady state performs no heap
-  /// allocation on the all-hits path (error Statuses may allocate their
-  /// message). This is the hot path under ModelServer::ScoreSpan.
+  /// compactions. Miss and fault Statuses are message-free canonical
+  /// values, so with a reused pin the steady state performs no heap
+  /// allocation on hits **or** misses. This is the hot path under
+  /// ModelServer::ScoreSpan; concurrent callers only contend when their
+  /// probes hash to the same shard.
   void MultiGetView(const ColumnProbeView* probes, std::size_t n, ReadPin* pin,
                     StatusOr<std::string_view>* out, uint64_t snapshot = UINT64_MAX) const;
 
@@ -134,28 +158,30 @@ class AliHBase {
   StatusOr<std::map<std::string, std::string>> GetRow(const std::string& row,
                                                       uint64_t snapshot = UINT64_MAX) const;
 
-  /// Batched GetRow: one row map per requested row, in request order,
-  /// under a single read-lock acquisition (rows visited in sorted order).
+  /// Batched GetRow: one row map per requested row, in request order.
+  /// Rows are grouped by shard (a row never spans shards) and each
+  /// shard's read lock is taken once for its run of rows.
   std::vector<StatusOr<std::map<std::string, std::string>>> MultiGetRow(
       const std::vector<std::string>& rows, uint64_t snapshot = UINT64_MAX) const;
 
   /// Scans visible cells with start_row <= row < end_row (end empty =
   /// unbounded), at most `limit` cells. Returns the newest visible
-  /// version per column.
+  /// version per column, merged across shards in global key order.
   StatusOr<std::vector<Cell>> Scan(const std::string& start_row, const std::string& end_row,
                                    uint64_t snapshot = UINT64_MAX,
                                    std::size_t limit = SIZE_MAX) const;
 
-  /// Forces the memtable to an SSTable (no-op when empty).
+  /// Forces every shard's memtable to an SSTable (no-op when empty).
   Status Flush();
 
-  /// Merges all SSTables into one, dropping tombstoned data and versions
-  /// beyond max_versions.
+  /// Per shard, merges all SSTables into one, dropping tombstoned data
+  /// and versions beyond max_versions.
   Status Compact();
 
-  /// Diagnostics.
+  /// Diagnostics. Counts aggregate across shards.
   std::size_t memtable_cells() const;
   std::size_t num_sstables() const;
+  std::size_t num_shards() const { return shards_.size(); }
   const StoreOptions& options() const { return options_; }
 
  private:
@@ -170,27 +196,50 @@ class AliHBase {
     }
   };
 
+  /// One lock stripe: an independent LSM tree over the rows that hash
+  /// here. Equal row keys always map to the same shard, so the per-shard
+  /// `next_seq` preserves overwrite order exactly as the global counter
+  /// did, and snapshot reads of a row never straddle stripes.
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unique_ptr<SkipList<MemEntry>> memtable;
+    uint64_t next_seq = 1;
+    std::optional<WriteAheadLog> wal;
+    std::vector<SSTable> sstables;  // Oldest first.
+    uint64_t next_sstable_id = 1;
+    std::string dir;  // "<options.dir>/shard-<k>"; empty when not durable.
+  };
+
   explicit AliHBase(StoreOptions options) : options_(std::move(options)) {}
+
+  /// Shard index for a row key (FNV-1a 64); 0 when unsharded.
+  std::size_t ShardOf(std::string_view row) const;
 
   Status CheckFamily(std::string_view family) const;
   Status WriteCells(const std::vector<Cell>& cells);
-  Status FlushLocked();
-  /// Point lookup under mu_, allocation-free for keys within the string
-  /// SSO limit (the 11/6-char feature row keys qualify). On a hit, fills
-  /// `out` with views into the memtable or an SSTable — valid only while
-  /// mu_ is held; callers copy what they keep before releasing the lock.
-  bool FindViewLocked(std::string_view row, std::string_view family,
+  /// Appends `cells` (non-null pointers) to one shard: WAL record,
+  /// memtable inserts, threshold flush. All cells must hash to `shard`.
+  Status WriteShardCells(Shard& shard, const Cell* const* cells, std::size_t n);
+  Status FlushShardLocked(Shard& shard);
+  Status CompactShard(Shard& shard);
+  /// Loads a shard's SSTables, replays its WAL, opens the WAL for append.
+  Status OpenShardFiles(Shard& shard);
+  /// Moves a pre-shard root-level `wal.log` + `*.sst` layout into the
+  /// shard directories (idempotent; re-runs after a crash converge).
+  Status MigrateLegacyDir();
+  /// Point lookup under the shard's mu, allocation-free for keys within
+  /// the string SSO limit (the 11/6-char feature row keys qualify). On a
+  /// hit, fills `out` with views into the memtable or an SSTable — valid
+  /// only while the shard lock is held; callers copy what they keep
+  /// before releasing the lock.
+  bool FindViewLocked(const Shard& shard, std::string_view row, std::string_view family,
                       std::string_view qualifier, uint64_t snapshot, CellViewRec* out) const;
-  std::vector<Cell> ScanLocked(const std::string& start_row, const std::string& end_row,
-                               uint64_t snapshot, std::size_t limit) const;
+  std::vector<Cell> ScanShardLocked(const Shard& shard, const std::string& start_row,
+                                    const std::string& end_row, uint64_t snapshot,
+                                    std::size_t limit) const;
 
   StoreOptions options_;
-  mutable std::shared_mutex mu_;
-  std::unique_ptr<SkipList<MemEntry>> memtable_;
-  uint64_t next_seq_ = 1;
-  std::optional<WriteAheadLog> wal_;
-  std::vector<SSTable> sstables_;  // Oldest first.
-  uint64_t next_sstable_id_ = 1;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace titant::kvstore

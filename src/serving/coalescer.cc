@@ -5,36 +5,50 @@
 
 namespace titant::serving {
 
-ScoreCoalescer::ScoreCoalescer(ModelServerRouter* router, int max_batch)
-    : router_(router), max_batch_(std::max(1, max_batch)) {}
+ScoreCoalescer::ScoreCoalescer(ModelServerRouter* router, int max_batch, int max_concurrent)
+    : router_(router),
+      max_batch_(std::max(1, max_batch)),
+      max_concurrent_(std::max(1, max_concurrent)) {}
 
 StatusOr<Verdict> ScoreCoalescer::Score(const TransferRequest& request, int64_t deadline_us) {
   Pending self(request, deadline_us);
   std::unique_lock<std::mutex> lock(mu_);
   queue_.push_back(&self);
   while (!self.done) {
-    if (!leader_active_) {
-      // Become the leader: score queued batches until our own request is
-      // answered, then retire. Any rows still queued (they arrived during
-      // our last dispatch) are picked up by the follower the notify wakes.
-      leader_active_ = true;
-      while (!self.done) DrainBatchLocked(lock);
-      leader_active_ = false;
+    if (!queue_.empty() && active_leaders_ < max_concurrent_) {
+      // Claim a leader slot: score queued batches until our own request
+      // is answered (another leader may have taken it into its batch, in
+      // which case we drain on behalf of others until the queue is dry,
+      // then park until that leader publishes our result). Any rows still
+      // queued when we retire are picked up by a woken follower.
+      ++active_leaders_;
+      while (!self.done && !queue_.empty()) DrainBatchLocked(lock);
+      --active_leaders_;
       cv_.notify_all();
     } else {
-      cv_.wait(lock, [&] { return self.done || !leader_active_; });
+      cv_.wait(lock, [&] {
+        return self.done || (!queue_.empty() && active_leaders_ < max_concurrent_);
+      });
     }
   }
   return std::move(self.result);
 }
 
 void ScoreCoalescer::DrainBatchLocked(std::unique_lock<std::mutex>& lock) {
+  // Per-thread drain buffers: each leader dispatches from its own worker
+  // thread, so thread-local scratch gives concurrent leaders disjoint
+  // buffers with zero coordination — and the same warm-capacity,
+  // zero-allocation steady state the old member scratch provided when
+  // there was only ever one leader at a time.
+  thread_local std::vector<Pending*> batch;
+  thread_local std::vector<TransferRequest> requests;
+  thread_local std::vector<StatusOr<Verdict>> results;
+  thread_local ScoreScratch score_scratch;
+
   const std::size_t take = std::min(queue_.size(), static_cast<std::size_t>(max_batch_));
-  std::vector<Pending*>& batch = batch_scratch_;
   batch.assign(queue_.begin(), queue_.begin() + static_cast<std::ptrdiff_t>(take));
   queue_.erase(queue_.begin(), queue_.begin() + static_cast<std::ptrdiff_t>(take));
 
-  std::vector<TransferRequest>& requests = requests_scratch_;
   requests.clear();
   requests.reserve(take);
   int64_t batch_deadline_us = 0;
@@ -47,12 +61,13 @@ void ScoreCoalescer::DrainBatchLocked(std::unique_lock<std::mutex>& lock) {
   }
 
   // The dispatch itself runs unlocked so arrivals can queue behind it —
-  // that queue depth is exactly what the next batch coalesces. The drain
-  // scratch stays safe unlocked: there is exactly one leader at a time.
+  // that queue depth is exactly what the next batch coalesces — and so
+  // other leaders can drain their own batches concurrently against
+  // independent store shards.
   lock.unlock();
-  results_scratch_.assign(take, StatusOr<Verdict>(Status::Internal("unscored")));
+  results.assign(take, StatusOr<Verdict>(Status::Internal("unscored")));
   const Status status = router_->ScoreSpan(requests.data(), take, batch_deadline_us,
-                                           results_scratch_.data(), &score_scratch_);
+                                           results.data(), &score_scratch);
   batches_.fetch_add(1);
   rows_.fetch_add(take);
   lock.lock();
@@ -61,8 +76,7 @@ void ScoreCoalescer::DrainBatchLocked(std::unique_lock<std::mutex>& lock) {
     // An instance-level failure (no healthy instance, exhausted failover)
     // fails every member of the dispatch — same as it would have failed a
     // lone request.
-    batch[i]->result =
-        status.ok() ? std::move(results_scratch_[i]) : StatusOr<Verdict>(status);
+    batch[i]->result = status.ok() ? std::move(results[i]) : StatusOr<Verdict>(status);
     batch[i]->done = true;
   }
   cv_.notify_all();

@@ -17,12 +17,19 @@ namespace titant::serving {
 /// coalesce into one batched dispatch (one MultiGet round trip, one
 /// vectorized model invocation) without any timer:
 ///
-///   - The first thread to arrive becomes the leader. It drains whatever
-///     is queued (up to `max_batch` rows) into one ScoreBatch call, and
-///     keeps draining batches until its own request has been answered.
-///   - Threads that arrive while a leader is scoring queue up; the leader
-///     picks them up on its next drain, or one of them inherits
-///     leadership when the leader retires with rows still queued.
+///   - A thread that arrives while a leader slot is free becomes a
+///     leader. It drains whatever is queued (up to `max_batch` rows) into
+///     one ScoreBatch call, and keeps draining batches until its own
+///     request has been answered or the queue is empty.
+///   - Threads that arrive while every leader slot is busy queue up; an
+///     in-flight leader picks them up on its next drain, or one of them
+///     claims a slot (or inherits a retiring leader's) and dispatches.
+///
+/// Up to `max_concurrent` leaders dispatch at once, each on the calling
+/// worker's own thread with its own thread-local drain scratch — with a
+/// sharded store underneath, independent batches really do score in
+/// parallel instead of serializing behind one leader. `max_concurrent`
+/// of 1 reproduces the original single-leader group commit exactly.
 ///
 /// Because there is no wait-for-more-work timer, an idle coalescer scores
 /// a lone request immediately as a batch of 1 — coalescing never adds
@@ -36,8 +43,10 @@ class ScoreCoalescer {
  public:
   /// `router` must outlive the coalescer. `max_batch` bounds the rows in
   /// one drained dispatch; values < 1 are clamped to 1 (every request
-  /// scores alone, i.e. coalescing is disabled).
-  ScoreCoalescer(ModelServerRouter* router, int max_batch);
+  /// scores alone, i.e. coalescing is disabled). `max_concurrent` caps
+  /// how many coalesced dispatches may be in flight at once; values < 1
+  /// are clamped to 1 (the original single-leader behavior).
+  ScoreCoalescer(ModelServerRouter* router, int max_batch, int max_concurrent = 1);
 
   ScoreCoalescer(const ScoreCoalescer&) = delete;
   ScoreCoalescer& operator=(const ScoreCoalescer&) = delete;
@@ -68,26 +77,21 @@ class ScoreCoalescer {
   };
 
   /// Pops up to max_batch_ queued callers, scores them in one ScoreBatch
-  /// (with mu_ released around the dispatch), publishes per-caller
-  /// results, and wakes everyone. Requires a non-empty queue.
+  /// (with mu_ released around the dispatch; drain state lives in a
+  /// thread-local scratch so concurrent leaders never share buffers),
+  /// publishes per-caller results, and wakes everyone. Requires a
+  /// non-empty queue.
   void DrainBatchLocked(std::unique_lock<std::mutex>& lock);
 
   ModelServerRouter* router_;
   int max_batch_;
+  int max_concurrent_;
   std::mutex mu_;
   std::condition_variable cv_;
-  bool leader_active_ = false;
+  int active_leaders_ = 0;
   std::deque<Pending*> queue_;
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> rows_{0};
-
-  // Drain scratch, reused across dispatches. Only the single active
-  // leader touches these (leader_active_ guards leadership), so they need
-  // no locking of their own; with warm capacity a drain allocates nothing.
-  std::vector<Pending*> batch_scratch_;
-  std::vector<TransferRequest> requests_scratch_;
-  std::vector<StatusOr<Verdict>> results_scratch_;
-  ScoreScratch score_scratch_;
 };
 
 }  // namespace titant::serving

@@ -1,13 +1,16 @@
 #include "serving/feature_store.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
 
 namespace titant::serving {
 
 kvstore::StoreOptions FeatureTableOptions() {
   kvstore::StoreOptions options;
   options.column_families = {kFamilyBasic, kFamilyEmbedding, kFamilyCity};
+  options.num_shards = kFeatureTableShards;
   return options;
 }
 
@@ -55,30 +58,28 @@ Status DecodeFloats(std::string_view blob, std::size_t expected, float* out) {
   return Status::OK();
 }
 
-Status UploadDailyArtifacts(kvstore::AliHBase* store, const txn::TransactionLog& log,
-                            const core::FeatureExtractor& extractor,
-                            const nrl::EmbeddingMatrix& embeddings, txn::Day as_of,
-                            uint64_t version, uint16_t num_cities) {
-  if (embeddings.rows() < log.num_users()) {
-    return Status::InvalidArgument("embedding matrix smaller than the user population");
-  }
-  // Cells are grouped into bounded PutBatch chunks rather than one batch
-  // per user: each PutBatch pays a WAL append and a lock round-trip, so
-  // per-user batches made the daily upload WAL-bound. The chunk size caps
-  // the WAL record (and the memory held per call) while amortizing the
-  // per-batch cost ~340x.
-  constexpr std::size_t kUploadChunkCells = 1024;
+namespace {
+
+// Cells are grouped into bounded PutBatch chunks rather than one batch
+// per user: each PutBatch pays a WAL append and a lock round-trip, so
+// per-user batches made the daily upload WAL-bound. The chunk size caps
+// the WAL record (and the memory held per call) while amortizing the
+// per-batch cost ~340x. It is also the fan-out unit of the parallel
+// upload: one pool task builds and commits roughly one chunk.
+constexpr std::size_t kUploadChunkCells = 1024;
+
+// Builds and commits the three cells of every user in [begin, end) in
+// chunked PutBatches. Safe to run concurrently for disjoint user ranges:
+// the extractor calls are const reads and the store's per-shard locks
+// serialize the actual commits.
+Status UploadUserRange(kvstore::AliHBase* store, const core::FeatureExtractor& extractor,
+                       const nrl::EmbeddingMatrix& embeddings, txn::Day as_of,
+                       uint64_t version, txn::UserId begin, txn::UserId end) {
   std::vector<kvstore::Cell> batch;
   batch.reserve(kUploadChunkCells + 3);
-  auto flush_if_full = [&]() -> Status {
-    if (batch.size() < kUploadChunkCells) return Status::OK();
-    Status status = store->PutBatch(batch);
-    batch.clear();
-    return status;
-  };
   float snapshot[core::FeatureExtractor::kNumBasicFeatures];
   float aux[2];
-  for (txn::UserId user = 0; user < log.num_users(); ++user) {
+  for (txn::UserId user = begin; user < end; ++user) {
     extractor.ExtractUserSnapshot(user, as_of, snapshot, aux);
     const std::string row = UserRowKey(user);
     batch.push_back({kvstore::CellKey{row, kFamilyBasic, kQualSnapshot, version},
@@ -90,14 +91,67 @@ Status UploadDailyArtifacts(kvstore::AliHBase* store, const txn::TransactionLog&
         {kvstore::CellKey{row, kFamilyEmbedding, kQualVector, version},
          EncodeFloats(embeddings.Row(user), static_cast<std::size_t>(embeddings.dim())),
          false});
-    TITANT_RETURN_IF_ERROR(flush_if_full());
+    if (batch.size() >= kUploadChunkCells) {
+      TITANT_RETURN_IF_ERROR(store->PutBatch(batch));
+      batch.clear();
+    }
   }
+  if (!batch.empty()) TITANT_RETURN_IF_ERROR(store->PutBatch(batch));
+  return Status::OK();
+}
+
+}  // namespace
+
+Status UploadDailyArtifacts(kvstore::AliHBase* store, const txn::TransactionLog& log,
+                            const core::FeatureExtractor& extractor,
+                            const nrl::EmbeddingMatrix& embeddings, txn::Day as_of,
+                            uint64_t version, uint16_t num_cities, ThreadPool* pool) {
+  if (embeddings.rows() < log.num_users()) {
+    return Status::InvalidArgument("embedding matrix smaller than the user population");
+  }
+  const txn::UserId users = log.num_users();
+  if (pool == nullptr || pool->num_threads() <= 1 || users == 0) {
+    TITANT_RETURN_IF_ERROR(UploadUserRange(store, extractor, embeddings, as_of, version,
+                                           /*begin=*/0, /*end=*/users));
+  } else {
+    // Fan chunk-sized user ranges across the pool. Ranges are disjoint and
+    // each user's cells stay inside one PutBatch sequence, so the uploaded
+    // table is identical to the sequential upload; the first error wins
+    // and the rest of the tasks turn into no-ops.
+    const txn::UserId users_per_task =
+        static_cast<txn::UserId>(std::max<std::size_t>(1, kUploadChunkCells / 3));
+    std::mutex error_mu;
+    Status first_error;
+    for (txn::UserId begin = 0; begin < users; begin += users_per_task) {
+      const txn::UserId end = std::min<txn::UserId>(users, begin + users_per_task);
+      pool->Submit([&, begin, end] {
+        {
+          std::lock_guard<std::mutex> guard(error_mu);
+          if (!first_error.ok()) return;
+        }
+        const Status status =
+            UploadUserRange(store, extractor, embeddings, as_of, version, begin, end);
+        if (!status.ok()) {
+          std::lock_guard<std::mutex> guard(error_mu);
+          if (first_error.ok()) first_error = status;
+        }
+      });
+    }
+    pool->Wait();
+    TITANT_RETURN_IF_ERROR(first_error);
+  }
+  // The handful of city rows is not worth fanning out.
+  std::vector<kvstore::Cell> batch;
+  batch.reserve(std::min<std::size_t>(num_cities, kUploadChunkCells) + 1);
   for (uint16_t city = 0; city < num_cities; ++city) {
     float stats[3];
     extractor.CityStats(city, stats);
     batch.push_back({kvstore::CellKey{CityRowKey(city), kFamilyCity, kQualStats, version},
                      EncodeFloats(stats, 3), false});
-    TITANT_RETURN_IF_ERROR(flush_if_full());
+    if (batch.size() >= kUploadChunkCells) {
+      TITANT_RETURN_IF_ERROR(store->PutBatch(batch));
+      batch.clear();
+    }
   }
   if (!batch.empty()) TITANT_RETURN_IF_ERROR(store->PutBatch(batch));
   return Status::OK();

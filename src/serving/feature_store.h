@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/statusor.h"
+#include "common/thread_pool.h"
 #include "core/feature_extractor.h"
 #include "kvstore/store.h"
 #include "nrl/embedding.h"
@@ -25,8 +26,14 @@ inline constexpr char kQualAux[] = "aux";            // {mean_hour, avg_amt}.
 inline constexpr char kQualVector[] = "vec";         // float32[dim] blob.
 inline constexpr char kQualStats[] = "stats";        // {rate, log_cnt, log_txn}.
 
+/// Shard count of the canonical feature table: the serving hot path fans
+/// MultiGetView probes across this many lock stripes, so batch scoring
+/// and the daily bulk upload stop serializing on one reader-writer lock.
+inline constexpr int kFeatureTableShards = 8;
+
 /// Returns the canonical StoreOptions for the feature table (declares the
-/// three families above); callers fill in `dir`/`durable`.
+/// three families above, kFeatureTableShards lock stripes); callers fill
+/// in `dir`/`durable`.
 kvstore::StoreOptions FeatureTableOptions();
 
 /// Row-key widths of the two key formats below (without NUL; the To-
@@ -58,10 +65,17 @@ Status DecodeFloats(std::string_view blob, std::size_t expected, float* out);
 /// user's feature snapshot, node embedding, and the city statistics to
 /// `store`, versioned by `version` (conventionally the training day).
 /// `extractor` must already have city stats fitted.
+///
+/// With a non-null `pool` (of more than one thread), the per-user chunks
+/// are fanned across the pool's workers — the store's per-shard write
+/// locks let concurrent PutBatches commit in parallel, and every chunk
+/// writes a disjoint user range, so the uploaded table is byte-identical
+/// to the sequential one. Null `pool` keeps the original sequential path.
 Status UploadDailyArtifacts(kvstore::AliHBase* store, const txn::TransactionLog& log,
                             const core::FeatureExtractor& extractor,
                             const nrl::EmbeddingMatrix& embeddings, txn::Day as_of,
-                            uint64_t version, uint16_t num_cities);
+                            uint64_t version, uint16_t num_cities,
+                            ThreadPool* pool = nullptr);
 
 }  // namespace titant::serving
 

@@ -1,5 +1,7 @@
 #include "serving/gateway.h"
 
+#include <algorithm>
+
 namespace titant::serving {
 
 Gateway::Gateway(ModelServerRouter* router, GatewayOptions options)
@@ -13,7 +15,12 @@ Gateway::~Gateway() {
 Status Gateway::Start() {
   if (server_ != nullptr) return Status::FailedPrecondition("gateway already started");
   if (options_.coalesce_max_batch > 1) {
-    coalescer_ = std::make_unique<ScoreCoalescer>(router_, options_.coalesce_max_batch);
+    int concurrent = options_.coalesce_max_concurrent;
+    if (concurrent <= 0) {
+      concurrent = static_cast<int>(std::max<std::size_t>(1, options_.worker_threads));
+    }
+    coalescer_ =
+        std::make_unique<ScoreCoalescer>(router_, options_.coalesce_max_batch, concurrent);
   }
   net::ServerOptions server_options;
   server_options.host = options_.host;

@@ -35,6 +35,12 @@ struct GatewayOptions {
   /// Explicit kScoreBatch frames always bypass the coalescer — they are
   /// already batches.
   int coalesce_max_batch = 16;
+  /// Coalesced dispatches allowed in flight at once: with a sharded store
+  /// underneath, independent batches score concurrently on independent
+  /// worker threads (each with its own thread-local scratch tier) instead
+  /// of serializing behind one leader. 0 (the default) derives the cap
+  /// from worker_threads; 1 reproduces the single-leader group commit.
+  int coalesce_max_concurrent = 0;
 };
 
 /// The TCP front door of the Model Server fleet (§4.4, Fig. 5: the Alipay

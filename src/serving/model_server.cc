@@ -99,10 +99,13 @@ Status ModelServer::ScoreSpan(const TransferRequest* requests, std::size_t n,
 
   // One MultiGetView round trip for every row's probes: transferor
   // snapshot, transferor aux, city stats, and (optionally) transferee
-  // embedding. The probe keys are formatted into the scratch key block
-  // (sized up front — the probe views point into it, so it must never
-  // reallocate underneath them), and the fetched values live in the
-  // scratch pin's arena until the next ScoreSpan call resets it.
+  // embedding. Inside that one call the store groups the probes by shard
+  // and takes each shard's read lock once, so concurrent ScoreSpans on
+  // other worker threads only contend where their rows actually collide.
+  // The probe keys are formatted into the scratch key block (sized up
+  // front — the probe views point into it, so it must never reallocate
+  // underneath them), and the fetched values live in the scratch pin's
+  // arena until the next ScoreSpan call resets it.
   const std::size_t per_row = options_.use_embeddings ? 4 : 3;
   constexpr std::size_t kKeysPerRow = 2 * kUserRowKeyLen + kCityRowKeyLen;
   if (!out_of_budget) {

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
@@ -686,6 +687,246 @@ TEST(StoreTest, OpenValidatesOptions) {
   options.column_families = {"bf"};
   options.durable = true;  // No dir.
   EXPECT_FALSE(AliHBase::Open(options).ok());
+  options.durable = false;
+  options.num_shards = 0;  // Must be >= 1.
+  EXPECT_FALSE(AliHBase::Open(options).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Sharded store
+// ---------------------------------------------------------------------------
+
+TEST(ShardedStoreTest, MatchesSingleShardSemantics) {
+  // The same operation sequence against a 1-shard and an 8-shard store
+  // must be observationally identical: sharding is an implementation
+  // detail of locking and file layout, never of semantics.
+  StoreOptions single = MemOptions();
+  StoreOptions sharded = MemOptions();
+  sharded.num_shards = 8;
+  auto a = AliHBase::Open(single);
+  auto b = AliHBase::Open(sharded);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ((*b)->num_shards(), 8u);
+
+  for (AliHBase* store : {a->get(), b->get()}) {
+    for (int i = 0; i < 50; ++i) {
+      const std::string row = "user" + std::to_string(i);
+      ASSERT_TRUE(store->Put(row, "bf", "q", "v1-" + std::to_string(i), 1).ok());
+      ASSERT_TRUE(store->Put(row, "bf", "q", "v2-" + std::to_string(i), 2).ok());
+    }
+    ASSERT_TRUE(store->Delete("user7", "bf", "q", 3).ok());
+    ASSERT_TRUE(store->Put("user7", "bf", "q", "reborn", 4).ok());
+  }
+
+  // Point reads at several snapshots.
+  for (const uint64_t snapshot : std::vector<uint64_t>{1, 2, 3, UINT64_MAX}) {
+    for (int i = 0; i < 50; ++i) {
+      const std::string row = "user" + std::to_string(i);
+      const auto va = (*a)->Get(row, "bf", "q", snapshot);
+      const auto vb = (*b)->Get(row, "bf", "q", snapshot);
+      ASSERT_EQ(va.ok(), vb.ok()) << row << " @" << snapshot;
+      if (va.ok()) {
+        EXPECT_EQ(*va, *vb);
+      } else {
+        EXPECT_EQ(va.status().code(), vb.status().code());
+      }
+    }
+  }
+
+  // Scans merge across shards back into global key order.
+  const auto sa = (*a)->Scan("", "");
+  const auto sb = (*b)->Scan("", "");
+  ASSERT_TRUE(sa.ok() && sb.ok());
+  ASSERT_EQ(sa->size(), sb->size());
+  for (std::size_t i = 0; i < sa->size(); ++i) {
+    EXPECT_EQ((*sa)[i].key.row, (*sb)[i].key.row);
+    EXPECT_EQ((*sa)[i].key.version, (*sb)[i].key.version);
+    EXPECT_EQ((*sa)[i].value, (*sb)[i].value);
+  }
+  // Limited scans truncate identically.
+  const auto la = (*a)->Scan("", "", UINT64_MAX, 9);
+  const auto lb = (*b)->Scan("", "", UINT64_MAX, 9);
+  ASSERT_TRUE(la.ok() && lb.ok());
+  ASSERT_EQ(la->size(), 9u);
+  ASSERT_EQ(lb->size(), 9u);
+  for (std::size_t i = 0; i < 9; ++i) EXPECT_EQ((*la)[i].key.row, (*lb)[i].key.row);
+
+  // Row reads and batched row reads.
+  const auto ra = (*a)->GetRow("user7");
+  const auto rb = (*b)->GetRow("user7");
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_EQ(*ra, *rb);
+  const std::vector<std::string> rows = {"user9", "user1", "user30", "absent"};
+  const auto ma = (*a)->MultiGetRow(rows);
+  const auto mb = (*b)->MultiGetRow(rows);
+  ASSERT_EQ(ma.size(), mb.size());
+  for (std::size_t i = 0; i < ma.size(); ++i) {
+    ASSERT_TRUE(ma[i].ok() && mb[i].ok());
+    EXPECT_EQ(*ma[i], *mb[i]);
+  }
+}
+
+TEST(ShardedStoreTest, DurableShardedWritesRecoverAfterCrash) {
+  const std::string dir = TempDir("sharded_recover");
+  StoreOptions options = MemOptions();
+  options.durable = true;
+  options.dir = dir;
+  options.num_shards = 4;
+  {
+    auto store = AliHBase::Open(options);
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 40; ++i) {
+      ASSERT_TRUE(
+          (*store)->Put("row" + std::to_string(i), "bf", "q", std::to_string(i), 1).ok());
+    }
+    ASSERT_TRUE((*store)->Flush().ok());
+    // Post-flush writes stay in the per-shard WALs ("crash" below).
+    for (int i = 40; i < 60; ++i) {
+      ASSERT_TRUE(
+          (*store)->Put("row" + std::to_string(i), "bf", "q", std::to_string(i), 1).ok());
+    }
+  }
+  auto reopened = AliHBase::Open(options);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->num_shards(), 4u);
+  for (int i = 0; i < 60; i += 3) {
+    const auto got = (*reopened)->Get("row" + std::to_string(i), "bf", "q");
+    ASSERT_TRUE(got.ok()) << "row" << i;
+    EXPECT_EQ(*got, std::to_string(i));
+  }
+}
+
+TEST(ShardedStoreTest, ShardCountIsPinnedByTheDirectory) {
+  const std::string dir = TempDir("sharded_manifest");
+  StoreOptions options = MemOptions();
+  options.durable = true;
+  options.dir = dir;
+  options.num_shards = 4;
+  {
+    auto store = AliHBase::Open(options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("alice", "bf", "q", "A", 1).ok());
+  }
+  // Reopening with a different requested count must keep the recorded 4 —
+  // rows were routed by hash mod 4 and must stay findable.
+  options.num_shards = 16;
+  auto reopened = AliHBase::Open(options);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->num_shards(), 4u);
+  EXPECT_EQ((*reopened)->options().num_shards, 4);
+  EXPECT_EQ(*(*reopened)->Get("alice", "bf", "q"), "A");
+}
+
+TEST(ShardedStoreTest, MigratesLegacySingleWalDirectory) {
+  // Hand-build a pre-shard layout: one root-level WAL plus root-level
+  // SSTables, exactly what Open() produced before sharding landed.
+  const std::string dir = TempDir("sharded_migrate");
+  fs::create_directories(dir);
+  {
+    // Legacy SSTable 1: the older flush.
+    std::vector<Cell> old_cells;
+    for (int i = 0; i < 20; ++i) {
+      old_cells.push_back(
+          {CellKey{"user" + std::to_string(i), "bf", "q", 1}, "old" + std::to_string(i), false});
+    }
+    std::sort(old_cells.begin(), old_cells.end(),
+              [](const Cell& x, const Cell& y) { return x.key < y.key; });
+    ASSERT_TRUE(SSTable::Write(dir + "/1.sst", old_cells).ok());
+    // Legacy SSTable 2 overwrites user3 at the same version: the newer
+    // file must win after migration, as it did before.
+    std::vector<Cell> newer_cells = {{CellKey{"user3", "bf", "q", 1}, "newer3", false}};
+    ASSERT_TRUE(SSTable::Write(dir + "/2.sst", newer_cells).ok());
+    // Legacy WAL: unflushed tail, including a same-version overwrite that
+    // must beat both SSTables.
+    auto wal = WriteAheadLog::Open(dir + "/wal.log");
+    ASSERT_TRUE(wal.ok());
+    std::string record;
+    record += EncodeCell({CellKey{"user5", "bf", "q", 1}, "walwins5", false});
+    record += EncodeCell({CellKey{"user90", "bf", "q", 2}, "tail90", false});
+    ASSERT_TRUE(wal->Append(record).ok());
+  }
+
+  StoreOptions options = MemOptions();
+  options.durable = true;
+  options.dir = dir;
+  options.num_shards = 4;
+  {
+    auto store = AliHBase::Open(options);
+    ASSERT_TRUE(store.ok());
+    EXPECT_EQ((*store)->num_shards(), 4u);
+    // Every legacy cell is readable, with legacy resolution preserved:
+    // WAL over SSTables, newer SSTable over older.
+    EXPECT_EQ(*(*store)->Get("user0", "bf", "q"), "old0");
+    EXPECT_EQ(*(*store)->Get("user3", "bf", "q"), "newer3");
+    EXPECT_EQ(*(*store)->Get("user5", "bf", "q"), "walwins5");
+    EXPECT_EQ(*(*store)->Get("user90", "bf", "q"), "tail90");
+    // The legacy files are gone; the data now lives under shard dirs.
+    EXPECT_FALSE(fs::exists(dir + "/wal.log"));
+    EXPECT_FALSE(fs::exists(dir + "/1.sst"));
+    EXPECT_FALSE(fs::exists(dir + "/2.sst"));
+  }
+  // And the migrated layout survives a reopen on its own.
+  auto reopened = AliHBase::Open(options);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(*(*reopened)->Get("user5", "bf", "q"), "walwins5");
+  EXPECT_EQ(*(*reopened)->Get("user90", "bf", "q"), "tail90");
+}
+
+TEST(ShardedStoreTest, FlushAndCompactWorkPerShard) {
+  const std::string dir = TempDir("sharded_compact");
+  StoreOptions options = MemOptions();
+  options.durable = true;
+  options.dir = dir;
+  options.num_shards = 4;
+  options.max_versions = 1;
+  auto store = AliHBase::Open(options);
+  ASSERT_TRUE(store.ok());
+  for (int round = 1; round <= 3; ++round) {
+    for (int i = 0; i < 32; ++i) {
+      ASSERT_TRUE((*store)
+                      ->Put("row" + std::to_string(i), "bf", "q",
+                            "v" + std::to_string(round), static_cast<uint64_t>(round))
+                      .ok());
+    }
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  // 32 rows over 4 shards, 3 flushes: more than one table per shard.
+  EXPECT_GT((*store)->num_sstables(), 4u);
+  ASSERT_TRUE((*store)->Compact().ok());
+  // Compaction leaves exactly one table per non-empty shard and applies
+  // max_versions per column.
+  EXPECT_LE((*store)->num_sstables(), 4u);
+  EXPECT_EQ(*(*store)->Get("row9", "bf", "q"), "v3");
+  EXPECT_TRUE((*store)->Get("row9", "bf", "q", /*snapshot=*/1).status().IsNotFound());
+}
+
+TEST(ShardedStoreTest, MultiGetViewMissesAreMessageFreeAndOrdered) {
+  StoreOptions options = MemOptions();
+  options.num_shards = 8;
+  auto store = AliHBase::Open(options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("hit1", "bf", "q", "A", 1).ok());
+  ASSERT_TRUE((*store)->Put("hit2", "emb", "q", "B", 1).ok());
+
+  const std::vector<std::string> keys = {"hit2", "miss1", "hit1", "miss2", "hit1"};
+  std::vector<ColumnProbeView> probes;
+  probes.push_back({keys[0], "emb", "q"});
+  probes.push_back({keys[1], "bf", "q"});
+  probes.push_back({keys[2], "bf", "q"});
+  probes.push_back({keys[3], "nope", "q"});  // Undeclared family.
+  probes.push_back({keys[4], "bf", "q"});
+  ReadPin pin;
+  std::vector<StatusOr<std::string_view>> out(
+      probes.size(), StatusOr<std::string_view>(std::string_view()));
+  (*store)->MultiGetView(probes.data(), probes.size(), &pin, out.data());
+
+  EXPECT_EQ(*out[0], "B");
+  EXPECT_TRUE(out[1].status().IsNotFound());
+  EXPECT_TRUE(out[1].status().message().empty());  // Canonical, no alloc.
+  EXPECT_EQ(*out[2], "A");
+  EXPECT_TRUE(out[3].status().IsInvalidArgument());
+  EXPECT_TRUE(out[3].status().message().empty());
+  EXPECT_EQ(*out[4], "A");
 }
 
 }  // namespace

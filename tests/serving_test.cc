@@ -619,6 +619,80 @@ TEST_F(ModelServerTest, CoalescerGroupsConcurrentCallersWithoutChangingResults) 
   EXPECT_LE(coalescer.batches(), coalescer.rows());
 }
 
+TEST_F(ModelServerTest, CoalescerConcurrentLeadersMatchDirectResults) {
+  // With multiple leader slots, independent batches dispatch in parallel
+  // (against independent store shards) — per-caller results must still
+  // match the direct path exactly, and no row may be lost or doubled.
+  ModelServerRouter router(store_, ModelServerOptions(), 2);
+  ASSERT_TRUE(router.LoadModel(ml::SerializeModel(*model_), 9).ok());
+  ScoreCoalescer coalescer(&router, /*max_batch=*/4, /*max_concurrent=*/4);
+
+  constexpr int kThreads = 8;
+  constexpr int kCallsPerThread = 40;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kCallsPerThread; ++i) {
+        const auto& rec = world_->log.records
+                              [window_->test_records[(static_cast<std::size_t>(t) * kCallsPerThread +
+                                                      static_cast<std::size_t>(i)) %
+                                                     window_->test_records.size()]];
+        const auto via_coalescer = coalescer.Score(RequestFor(rec));
+        const auto direct = router.Score(RequestFor(rec));
+        if (!via_coalescer.ok() || !direct.ok() ||
+            via_coalescer->fraud_probability != direct->fraud_probability) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(coalescer.rows(), static_cast<uint64_t>(kThreads) * kCallsPerThread);
+  EXPECT_LE(coalescer.batches(), coalescer.rows());
+}
+
+TEST_F(ModelServerTest, ParallelUploadMatchesSequentialUpload) {
+  // The pool-fanned daily upload must produce a byte-identical table:
+  // same cells, same versions, same values as the sequential path.
+  auto options = FeatureTableOptions();
+  options.durable = false;
+  std::unique_ptr<kvstore::AliHBase> sequential(AliHBaseOrDie(options));
+  std::unique_ptr<kvstore::AliHBase> parallel(AliHBaseOrDie(options));
+
+  const uint64_t version = 20170412;
+  ASSERT_TRUE(UploadDailyArtifacts(sequential.get(), world_->log, trainer_->extractor(),
+                                   *trainer_->dw_embeddings(), window_->spec.test_day,
+                                   version, 50)
+                  .ok());
+  ThreadPool pool(4);
+  ASSERT_TRUE(UploadDailyArtifacts(parallel.get(), world_->log, trainer_->extractor(),
+                                   *trainer_->dw_embeddings(), window_->spec.test_day,
+                                   version, 50, &pool)
+                  .ok());
+
+  for (txn::UserId user = 0; user < world_->log.num_users(); user += 17) {
+    const std::string row = UserRowKey(user);
+    for (const char* qual : {kQualSnapshot, kQualAux}) {
+      const auto a = sequential->Get(row, kFamilyBasic, qual, version);
+      const auto b = parallel->Get(row, kFamilyBasic, qual, version);
+      ASSERT_TRUE(a.ok() && b.ok()) << row << " " << qual;
+      EXPECT_EQ(*a, *b) << row << " " << qual;
+    }
+    const auto ea = sequential->Get(row, kFamilyEmbedding, kQualVector, version);
+    const auto eb = parallel->Get(row, kFamilyEmbedding, kQualVector, version);
+    ASSERT_TRUE(ea.ok() && eb.ok());
+    EXPECT_EQ(*ea, *eb);
+  }
+  for (uint16_t city = 0; city < 50; city += 7) {
+    const auto ca = sequential->Get(CityRowKey(city), kFamilyCity, kQualStats, version);
+    const auto cb = parallel->Get(CityRowKey(city), kFamilyCity, kQualStats, version);
+    ASSERT_TRUE(ca.ok() && cb.ok());
+    EXPECT_EQ(*ca, *cb);
+  }
+}
+
 TEST(ModelServerLifecycleTest, RequiresModelBeforeScoring) {
   auto options = FeatureTableOptions();
   options.durable = false;

@@ -124,6 +124,82 @@ TEST(ZeroAllocTest, ScoreSpanSteadyStateAllocatesNothing) {
                         << " heap allocations leaked into 100 steady-state ScoreSpan calls";
 }
 
+TEST(ZeroAllocTest, AllMissMultiGetViewAllocatesNothing) {
+  // The miss path is as hot as the hit path under cold-start traffic:
+  // NotFound (and fault) Statuses come back message-free and canonical,
+  // so an all-misses batch must be exactly as allocation-free as an
+  // all-hits one.
+  std::unique_ptr<kvstore::AliHBase> store = SeededStore();
+
+  constexpr std::size_t kProbes = 3 * 8;
+  char keys[kProbes * kUserRowKeyLen];
+  std::vector<kvstore::ColumnProbeView> probes;
+  probes.reserve(kProbes);
+  for (std::size_t i = 0; i < kProbes; ++i) {
+    // Users beyond kUsers were never uploaded: every probe misses.
+    const std::string_view row = UserRowKeyTo(
+        keys + i * kUserRowKeyLen, static_cast<txn::UserId>(kUsers + 1000 + i));
+    probes.push_back({row, kFamilyBasic, kQualSnapshot});
+  }
+  kvstore::ReadPin pin;
+  std::vector<StatusOr<std::string_view>> out(
+      kProbes, StatusOr<std::string_view>(std::string_view()));
+
+  for (int warm = 0; warm < 3; ++warm) {
+    pin.Reset();
+    store->MultiGetView(probes.data(), probes.size(), &pin, out.data());
+    for (const auto& r : out) {
+      ASSERT_TRUE(r.status().IsNotFound());
+      ASSERT_TRUE(r.status().message().empty());
+    }
+  }
+
+  const uint64_t before = allochook::ThreadAllocs();
+  for (int round = 0; round < 100; ++round) {
+    pin.Reset();
+    store->MultiGetView(probes.data(), probes.size(), &pin, out.data());
+  }
+  const uint64_t leaked = allochook::ThreadAllocs() - before;
+  EXPECT_EQ(leaked, 0u) << leaked
+                        << " heap allocations leaked into 100 all-misses MultiGetView calls";
+}
+
+TEST(ZeroAllocTest, ScoreSpanAllMissesAllocatesNothing) {
+  // End to end: a batch whose every feature fetch misses (unknown users)
+  // surfaces per-row NotFound without touching the heap either.
+  std::unique_ptr<kvstore::AliHBase> store = SeededStore();
+  ModelServerOptions options;
+  options.use_embeddings = false;
+  ModelServer server(store.get(), options);
+  ASSERT_TRUE(server.LoadModel(TinyModelBlob(), 1).ok());
+
+  constexpr std::size_t kBatch = 8;
+  TransferRequest requests[kBatch];
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    requests[i].txn_id = static_cast<txn::TxnId>(i + 1);
+    requests[i].from_user = static_cast<txn::UserId>(kUsers + 500 + i);  // Absent.
+    requests[i].to_user = static_cast<txn::UserId>(kUsers + 600 + i);    // Absent.
+    requests[i].amount = 10.0;
+    requests[i].second_of_day = 1200;
+    requests[i].trans_city = static_cast<uint16_t>(kCities + 9);  // Absent.
+  }
+
+  ScoreScratch scratch;
+  std::vector<StatusOr<Verdict>> out(kBatch, StatusOr<Verdict>(Status::Internal("unscored")));
+  for (int warm = 0; warm < 3; ++warm) {
+    ASSERT_TRUE(server.ScoreSpan(requests, kBatch, 0, out.data(), &scratch).ok());
+    for (const auto& verdict : out) ASSERT_TRUE(verdict.status().IsNotFound());
+  }
+
+  const uint64_t before = allochook::ThreadAllocs();
+  for (int round = 0; round < 100; ++round) {
+    ASSERT_TRUE(server.ScoreSpan(requests, kBatch, 0, out.data(), &scratch).ok());
+  }
+  const uint64_t leaked = allochook::ThreadAllocs() - before;
+  EXPECT_EQ(leaked, 0u) << leaked
+                        << " heap allocations leaked into 100 all-misses ScoreSpan calls";
+}
+
 TEST(ZeroAllocTest, SingleRequestSteadyStateAllocatesNothing) {
   std::unique_ptr<kvstore::AliHBase> store = SeededStore();
   ModelServerOptions options;
