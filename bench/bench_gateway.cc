@@ -4,7 +4,7 @@
 //
 //   bench_gateway [client_threads] [seconds] [instances] [--faults]
 //                 [--batch N] [--no-coalesce] [--alloc-budget N]
-//                 [--workers N] [--shards N]
+//                 [--workers N] [--shards N] [--ingest] [--puts W]
 //
 // Starts a Gateway over loopback in-process, drives it from N closed-loop
 // client threads (one connection each, next request issued as soon as the
@@ -35,11 +35,23 @@
 // --workers N overrides the gateway's handler thread count (default:
 // hardware_concurrency), useful for studying scheduling on small hosts.
 //
+// --ingest attaches a streaming Ingestor: every scored transaction is
+// folded back into the sliding-window velocity counters and published to
+// the store — the closed feature loop running at full scoring rate. The
+// score qps under --ingest vs without it is the cost of closing the loop.
+//
+// --puts W (implies --ingest) additionally adds W closed-loop writer
+// threads sending kPutBatch frames of live-counter cells (64 per round
+// trip, the streaming publisher's shape) concurrently with the score
+// traffic. This is the saturation mixed-load number: score qps while the
+// write path is driven as hard as the host allows, plus sustained puts/s.
+//
 // --shards N overrides the feature store's lock-stripe count (default:
 // kFeatureTableShards). --shards 1 reproduces the pre-sharding
 // single-mutex store, so the sweep in the bench-smoke lane contrasts
 // striped vs. serialized MultiGetView under concurrent workers.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -58,6 +70,7 @@
 #include "serving/feature_store.h"
 #include "serving/gateway.h"
 #include "serving/router.h"
+#include "streaming/ingestor.h"
 
 namespace {
 
@@ -126,6 +139,8 @@ int main(int argc, char** argv) {
   int batch = 1;
   int workers = 0;  // 0 = GatewayOptions default (hardware_concurrency).
   int shards = 0;  // 0 = FeatureTableOptions default (kFeatureTableShards).
+  bool ingest = false;  // Fold scored traffic back via a streaming Ingestor.
+  int put_threads = 0;  // Concurrent kPutBatch writer threads (mixed load).
   double alloc_budget = 0.0;  // 0 = report only, no pass bar.
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
@@ -142,6 +157,12 @@ int main(int argc, char** argv) {
       workers = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shards = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--ingest") == 0) {
+      ingest = true;
+    } else if (std::strcmp(argv[i], "--puts") == 0 && i + 1 < argc) {
+      put_threads = std::atoi(argv[++i]);
+      if (put_threads < 0) put_threads = 0;
+      if (put_threads > 0) ingest = true;
     } else {
       positional.push_back(argv[i]);
     }
@@ -162,6 +183,17 @@ int main(int argc, char** argv) {
   titant::serving::GatewayOptions gateway_options;
   if (workers > 0) gateway_options.worker_threads = static_cast<std::size_t>(workers);
   if (!coalesce) gateway_options.coalesce_max_batch = 1;
+  std::unique_ptr<titant::streaming::Ingestor> ingestor;
+  if (ingest) {
+    ingestor = CheckOk(
+        titant::streaming::Ingestor::Open(fixture.store.get(), titant::streaming::IngestorOptions()));
+    gateway_options.ingestor = ingestor.get();
+    std::printf("streaming ingestion ON: scored traffic feeds the live counters%s\n",
+                put_threads > 0 ? "" : " (no writer threads)");
+    if (put_threads > 0) {
+      std::printf("mixed load: %d kPutBatch writer threads alongside the scorers\n", put_threads);
+    }
+  }
   titant::serving::Gateway gateway(fixture.router.get(), gateway_options);
   CheckOk(gateway.Start());
   std::printf("gateway listening on 127.0.0.1:%u\n\n", gateway.port());
@@ -234,7 +266,49 @@ int main(int argc, char** argv) {
       retries[slot] = client.transport().retries();
     });
   }
+  // Writer threads: closed-loop kPutBatch frames of live-counter cells to
+  // a user range disjoint from the scored world, so the write path loads
+  // the same sharded store without silently changing what scorers read.
+  std::vector<uint64_t> puts_ok(static_cast<std::size_t>(std::max(put_threads, 1)), 0);
+  std::vector<uint64_t> put_round_trips(static_cast<std::size_t>(std::max(put_threads, 1)), 0);
+  std::vector<uint64_t> put_errors(static_cast<std::size_t>(std::max(put_threads, 1)), 0);
+  std::vector<std::thread> writers;
+  for (int t = 0; t < put_threads; ++t) {
+    writers.emplace_back([&, t] {
+      const std::size_t slot = static_cast<std::size_t>(t);
+      titant::serving::GatewayClient client("127.0.0.1", gateway.port());
+      constexpr int kCellsPerFrame = 64;
+      float counters[titant::streaming::kCounterFloats] = {};
+      std::vector<titant::kvstore::Cell> cells(kCellsPerFrame);
+      uint64_t version = 0;
+      uint32_t user = 10'000'000 + static_cast<uint32_t>(t) * 1'000'000;
+      titant::Stopwatch elapsed;
+      while (elapsed.ElapsedSeconds() < seconds) {
+        ++version;
+        for (int c = 0; c < kCellsPerFrame; ++c) {
+          counters[0] = static_cast<float>(version);
+          char row[16];
+          std::snprintf(row, sizeof(row), "u%010u", user + static_cast<uint32_t>(c));
+          cells[static_cast<std::size_t>(c)].key.row = row;
+          cells[static_cast<std::size_t>(c)].key.family = titant::streaming::kFamilyRealtime;
+          cells[static_cast<std::size_t>(c)].key.qualifier = titant::streaming::kQualWindow;
+          cells[static_cast<std::size_t>(c)].key.version = version;
+          cells[static_cast<std::size_t>(c)].value = titant::serving::EncodeFloats(
+              counters, titant::streaming::kCounterFloats);
+        }
+        user = 10'000'000 + static_cast<uint32_t>(t) * 1'000'000 +
+               (user + kCellsPerFrame) % 100'000;
+        if (client.PutBatch(cells, /*timeout_ms=*/5000).ok()) {
+          puts_ok[slot] += kCellsPerFrame;
+          ++put_round_trips[slot];
+        } else {
+          ++put_errors[slot];
+        }
+      }
+    });
+  }
   for (auto& thread : clients) thread.join();
+  for (auto& thread : writers) thread.join();
   const double elapsed_s = wall.ElapsedSeconds();
   const uint64_t allocs_during = titant::allochook::TotalAllocs() - allocs_before;
   titant::Failpoints::DisarmAll();
@@ -252,6 +326,14 @@ int main(int argc, char** argv) {
     total_retries += retries[static_cast<std::size_t>(t)];
   }
   const double qps = static_cast<double>(total_scored) / elapsed_s;
+  uint64_t total_puts = 0;
+  uint64_t total_put_round_trips = 0;
+  uint64_t total_put_errors = 0;
+  for (int t = 0; t < put_threads; ++t) {
+    total_puts += puts_ok[static_cast<std::size_t>(t)];
+    total_put_round_trips += put_round_trips[static_cast<std::size_t>(t)];
+    total_put_errors += put_errors[static_cast<std::size_t>(t)];
+  }
 
   std::printf("end-to-end over loopback (client-observed RTT, %d row%s per round trip):\n",
               batch, batch == 1 ? "" : "s");
@@ -265,9 +347,17 @@ int main(int argc, char** argv) {
   std::printf("  p99       %.0f us\n", merged.P99());
   std::printf("  p99.9     %.0f us\n", merged.P999());
   std::printf("  max       %.0f us\n", merged.max());
+  if (put_threads > 0) {
+    std::printf("  puts      %llu cells in %llu round trips at %.0f cells/s  (errors %llu)\n",
+                static_cast<unsigned long long>(total_puts),
+                static_cast<unsigned long long>(total_put_round_trips),
+                static_cast<double>(total_puts) / elapsed_s,
+                static_cast<unsigned long long>(total_put_errors));
+  }
+  const uint64_t all_round_trips = merged.count() + total_put_round_trips;
   const double allocs_per_request =
-      merged.count() == 0 ? 0.0
-                          : static_cast<double>(allocs_during) / static_cast<double>(merged.count());
+      all_round_trips == 0 ? 0.0
+                           : static_cast<double>(allocs_during) / static_cast<double>(all_round_trips);
   if (titant::allochook::Active()) {
     std::printf("  allocs    %.1f per round trip (%llu total, process-wide)\n",
                 allocs_per_request, static_cast<unsigned long long>(allocs_during));
@@ -308,6 +398,16 @@ int main(int argc, char** argv) {
   }
 
   CheckOk(gateway.Shutdown());
+  if (ingestor != nullptr) {
+    const auto istats = ingestor->stats();
+    std::printf("  streaming: %llu scored events folded (%llu shed under backpressure), "
+                "%llu counter cells published, %llu cells via kPutBatch\n",
+                static_cast<unsigned long long>(istats.applied),
+                static_cast<unsigned long long>(istats.shed),
+                static_cast<unsigned long long>(istats.counter_cells_published),
+                static_cast<unsigned long long>(istats.put_cells));
+    CheckOk(ingestor->Shutdown());
+  }
 
   if (faults) {
     // Under injection the bar is availability, not a spotless error count.
@@ -330,5 +430,5 @@ int main(int argc, char** argv) {
                 allocs_per_request, alloc_budget);
     if (!alloc_pass) return 1;
   }
-  return total_errors == 0 ? 0 : 1;
+  return total_errors + total_put_errors == 0 ? 0 : 1;
 }

@@ -1,0 +1,165 @@
+// The streaming-ingestion demo: why the feature loop has to close in
+// seconds, not at T+1.
+//
+// A mule account wakes up and fires a burst of transfers. Every per-user
+// feature the batch pipeline uploaded was computed from yesterday's log,
+// so the burst looks exactly like the account's quiet history — a model
+// fed only T+1 snapshots scores transfer #40 of the ring the same as
+// transfer #1. With the streaming ingestor attached, every scored
+// transfer is folded back into sliding-window velocity counters within
+// the same window, and the model sees the burst *while it is happening*:
+// the live 24h txn-count feature (f[43]) climbs with each transfer until
+// the velocity rule trips and the ring is interrupted mid-run.
+//
+// The demo scores the same burst twice — once against a read-only
+// gateway (the pre-streaming architecture) and once with the ingestor
+// attached — and prints the verdict trajectory side by side.
+
+#include <cstdio>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/decision_tree.h"
+#include "ml/model.h"
+#include "serving/feature_store.h"
+#include "serving/gateway.h"
+#include "serving/model_server.h"
+#include "serving/router.h"
+#include "streaming/ingestor.h"
+
+namespace {
+
+template <typename T>
+T OrDie(titant::StatusOr<T> value) {
+  if (!value.ok()) {
+    std::fprintf(stderr, "error: %s\n", value.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(value).value();
+}
+
+void OrDie(const titant::Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+// A velocity rule as a one-split decision tree: fraud iff the live 24h
+// transaction count (feature 43) is high. Real deployments learn this
+// split from labeled bursts; the demo trains it on a synthetic matrix so
+// the threshold lands between "quiet account" (0 txns) and "ring" (30).
+std::string VelocityModelBlob(int width) {
+  titant::ml::DataMatrix train(40, width);
+  train.mutable_labels().assign(40, 0);
+  for (std::size_t row = 0; row < 20; ++row) {
+    train.mutable_labels()[row] = 1;
+    train.Set(row, 43, 30.0f);
+  }
+  auto model = titant::ml::MakeId3();
+  OrDie(model->Train(train));
+  return titant::ml::SerializeModel(*model);
+}
+
+titant::serving::TransferRequest RingTransfer(int i) {
+  titant::serving::TransferRequest request;
+  request.txn_id = static_cast<uint64_t>(i + 1);
+  request.from_user = 1;                 // The mule account.
+  request.to_user = 100 + (i % 5);       // Fanning out over five payees.
+  request.amount = 240.0 + i;
+  request.day = 100;
+  request.second_of_day = 43'200 + i * 15;  // The whole ring inside 10 min.
+  return request;
+}
+
+struct BurstResult {
+  std::vector<double> probabilities;
+  int first_interrupt = -1;  // Index of the first interrupted transfer.
+};
+
+BurstResult RunBurst(titant::kvstore::AliHBase* store, titant::streaming::Ingestor* ingestor,
+                     int burst_size) {
+  titant::serving::ModelServerRouter router(store, titant::serving::ModelServerOptions(),
+                                            /*num_instances=*/2);
+  OrDie(router.LoadModel(VelocityModelBlob(/*width=*/84), 1));
+  titant::serving::GatewayOptions options;
+  options.ingestor = ingestor;  // Null = the read-only, T+1-features world.
+  titant::serving::Gateway gateway(&router, std::move(options));
+  OrDie(gateway.Start());
+  titant::serving::GatewayClient client("127.0.0.1", gateway.port());
+
+  BurstResult result;
+  for (int i = 0; i < burst_size; ++i) {
+    const auto verdict = OrDie(client.Score(RingTransfer(i)));
+    result.probabilities.push_back(verdict.fraud_probability);
+    if (verdict.interrupt && result.first_interrupt < 0) result.first_interrupt = i;
+    // Let the ingestor fold this transfer back before the next one fires
+    // (the ring's 15s gaps dwarf the ingestion latency; Drain makes the
+    // demo deterministic instead of sleeping).
+    if (ingestor != nullptr) ingestor->Drain();
+  }
+  OrDie(gateway.Shutdown());
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace titant;
+  constexpr int kBurst = 40;
+
+  // The feature table holds yesterday's snapshot for the mule account:
+  // a quiet history, indistinguishable from any other user.
+  auto store_options = serving::FeatureTableOptions();
+  store_options.durable = false;
+  auto store = OrDie(kvstore::AliHBase::Open(store_options));
+  std::vector<float> snapshot(52, 0.5f);
+  std::vector<float> aux = {14.0f, 80.0f};
+  OrDie(store->Put(serving::UserRowKey(1), serving::kFamilyBasic, serving::kQualSnapshot,
+                   serving::EncodeFloats(snapshot.data(), snapshot.size()), 1));
+  OrDie(store->Put(serving::UserRowKey(1), serving::kFamilyBasic, serving::kQualAux,
+                   serving::EncodeFloats(aux.data(), aux.size()), 1));
+  // The payees' graph embeddings (any known user has one in the table).
+  std::vector<float> embedding(32, 0.25f);
+  for (txn::UserId payee = 100; payee < 105; ++payee) {
+    OrDie(store->Put(serving::UserRowKey(payee), serving::kFamilyEmbedding, serving::kQualVector,
+                     serving::EncodeFloats(embedding.data(), embedding.size()), 1));
+  }
+
+  std::printf("a fraud ring fires %d transfers from a quiet account in 10 minutes\n\n", kBurst);
+
+  // Pass 1: the pre-streaming architecture. Features are frozen at T+1.
+  const BurstResult batch_only = RunBurst(store.get(), nullptr, kBurst);
+
+  // Pass 2: streaming ingestion closes the loop within the same window.
+  auto ingestor = OrDie(streaming::Ingestor::Open(store.get(), streaming::IngestorOptions()));
+  const BurstResult live = RunBurst(store.get(), ingestor.get(), kBurst);
+
+  std::printf("%-10s %-22s %-22s\n", "transfer", "T+1 features only", "with streaming counters");
+  for (int i = 0; i < kBurst; i += 5) {
+    std::printf("#%-9d p=%-21.3f p=%.3f%s\n", i + 1, batch_only.probabilities[i],
+                live.probabilities[i],
+                (live.first_interrupt >= 0 && i >= live.first_interrupt) ? "  INTERRUPTED" : "");
+  }
+  std::printf("\n");
+
+  if (batch_only.first_interrupt >= 0) {
+    std::printf("T+1-only model interrupted at transfer #%d (unexpected!)\n",
+                batch_only.first_interrupt + 1);
+  } else {
+    std::printf("T+1-only model: the whole ring sailed through — every transfer scored\n"
+                "against yesterday's snapshot of a quiet account.\n");
+  }
+  if (live.first_interrupt >= 0) {
+    const auto stats = ingestor->stats();
+    std::printf("streaming model: ring interrupted at transfer #%d — the live 24h velocity\n"
+                "counter climbed past the rule threshold mid-burst (%llu events folded,\n"
+                "%llu counter cells published, all within the same 1h window).\n",
+                live.first_interrupt + 1, static_cast<unsigned long long>(stats.applied),
+                static_cast<unsigned long long>(stats.counter_cells_published));
+  } else {
+    std::printf("streaming model never interrupted (unexpected!)\n");
+  }
+  OrDie(ingestor->Shutdown());
+  return (batch_only.first_interrupt < 0 && live.first_interrupt >= 0) ? 0 : 1;
+}

@@ -349,25 +349,36 @@ void EncodeScoreBatchRequestTo(std::string* out,
   }
 }
 
+Status CheckBatchItemCount(std::string_view what, uint32_t count, std::size_t payload_bytes,
+                           std::size_t item_bytes, bool fixed_width) {
+  if (count == 0) return Status::InvalidArgument("empty " + std::string(what));
+  if (count > kMaxBatchItems) {
+    return Status::InvalidArgument(std::string(what) + " of " + std::to_string(count) +
+                                   " items exceeds the " + std::to_string(kMaxBatchItems) +
+                                   "-item cap");
+  }
+  const std::size_t declared = static_cast<std::size_t>(count) * item_bytes;
+  // Fixed-width items: a declared count that disagrees with the bytes
+  // actually present is a protocol error, caught before any item decodes.
+  // Variable-width items: the payload must at least fit `count` items at
+  // their minimum encoded size, so a hostile count can't drive a huge
+  // reserve() off a tiny frame.
+  if (fixed_width ? payload_bytes != declared : payload_bytes < declared) {
+    return Status::InvalidArgument(
+        std::string(what) + " declares " + std::to_string(count) + " items (" +
+        std::to_string(declared) + (fixed_width ? " bytes) but carries " : " bytes minimum) but carries ") +
+        std::to_string(payload_bytes) + " payload bytes");
+  }
+  return Status::OK();
+}
+
 Status DecodeScoreBatchRequest(std::string_view payload,
                                std::vector<serving::TransferRequest>* requests) {
   WireReader r(payload);
   uint32_t count = 0;
   TITANT_RETURN_IF_ERROR(r.U32(&count));
-  if (count == 0) return Status::InvalidArgument("empty score batch");
-  if (count > kMaxBatchItems) {
-    return Status::InvalidArgument("score batch of " + std::to_string(count) +
-                                   " items exceeds the " + std::to_string(kMaxBatchItems) +
-                                   "-item cap");
-  }
-  // Items are fixed-width: a declared count that disagrees with the bytes
-  // actually present is a protocol error, caught before any item decodes.
-  if (r.remaining() != static_cast<std::size_t>(count) * kTransferRequestBytes) {
-    return Status::InvalidArgument(
-        "score batch declares " + std::to_string(count) + " items (" +
-        std::to_string(static_cast<std::size_t>(count) * kTransferRequestBytes) +
-        " bytes) but carries " + std::to_string(r.remaining()) + " payload bytes");
-  }
+  TITANT_RETURN_IF_ERROR(CheckBatchItemCount("score batch", count, r.remaining(),
+                                             kTransferRequestBytes, /*fixed_width=*/true));
   requests->clear();
   requests->reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
@@ -429,6 +440,80 @@ Status DecodeScoreBatchResponse(std::string_view payload,
   return r.ExpectDone();
 }
 
+namespace {
+
+void WritePutCellFields(WireWriter& w, const kvstore::Cell& cell) {
+  w.Str(cell.key.row);
+  w.Str(cell.key.family);
+  w.Str(cell.key.qualifier);
+  w.U64(cell.key.version);
+  w.U8(cell.tombstone ? 1 : 0);
+  w.Str(cell.value);
+}
+
+Status ReadPutCellFields(WireReader& r, kvstore::Cell* cell) {
+  uint8_t tombstone = 0;
+  TITANT_RETURN_IF_ERROR(r.Str(&cell->key.row));
+  TITANT_RETURN_IF_ERROR(r.Str(&cell->key.family));
+  TITANT_RETURN_IF_ERROR(r.Str(&cell->key.qualifier));
+  TITANT_RETURN_IF_ERROR(r.U64(&cell->key.version));
+  TITANT_RETURN_IF_ERROR(r.U8(&tombstone));
+  TITANT_RETURN_IF_ERROR(r.Str(&cell->value));
+  cell->tombstone = tombstone != 0;
+  if (cell->key.row.empty()) return Status::InvalidArgument("put cell with empty row key");
+  if (cell->key.family.empty()) {
+    return Status::InvalidArgument("put cell with empty column family");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodePutRequest(const kvstore::Cell& cell) {
+  std::string out;
+  EncodePutRequestTo(&out, cell);
+  return out;
+}
+
+void EncodePutRequestTo(std::string* out, const kvstore::Cell& cell) {
+  WireWriter w(out);
+  WritePutCellFields(w, cell);
+}
+
+Status DecodePutRequest(std::string_view payload, kvstore::Cell* cell) {
+  WireReader r(payload);
+  TITANT_RETURN_IF_ERROR(ReadPutCellFields(r, cell));
+  return r.ExpectDone();
+}
+
+std::string EncodePutBatchRequest(const std::vector<kvstore::Cell>& cells) {
+  std::string out;
+  EncodePutBatchRequestTo(&out, cells);
+  return out;
+}
+
+void EncodePutBatchRequestTo(std::string* out, const std::vector<kvstore::Cell>& cells) {
+  WireWriter w(out);
+  w.U32(static_cast<uint32_t>(cells.size()));
+  for (const kvstore::Cell& cell : cells) WritePutCellFields(w, cell);
+}
+
+Status DecodePutBatchRequest(std::string_view payload, std::vector<kvstore::Cell>* cells) {
+  WireReader r(payload);
+  uint32_t count = 0;
+  TITANT_RETURN_IF_ERROR(r.U32(&count));
+  TITANT_RETURN_IF_ERROR(CheckBatchItemCount("put batch", count, r.remaining(),
+                                             kPutCellMinBytes, /*fixed_width=*/false));
+  cells->clear();
+  cells->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    kvstore::Cell cell;
+    TITANT_RETURN_IF_ERROR(ReadPutCellFields(r, &cell));
+    cells->push_back(std::move(cell));
+  }
+  return r.ExpectDone();
+}
+
 std::string EncodeLoadModel(uint64_t version, std::string_view blob) {
   WireWriter w;
   w.U64(version);
@@ -476,6 +561,13 @@ std::string EncodeGatewayStats(const GatewayStats& stats) {
   w.U64(stats.open_instances);
   w.U64(stats.coalesced_batches);
   w.U64(stats.coalesced_rows);
+  w.U64(stats.puts_applied);
+  w.U64(stats.ingest_enqueued);
+  w.U64(stats.ingest_shed);
+  w.U64(stats.ingest_applied);
+  w.U64(stats.ingest_dropped);
+  w.U64(stats.counter_cells_published);
+  w.U64(stats.aggregator_users);
   return w.Take();
 }
 
@@ -496,6 +588,13 @@ Status DecodeGatewayStats(std::string_view payload, GatewayStats* stats) {
   TITANT_RETURN_IF_ERROR(r.U64(&stats->open_instances));
   TITANT_RETURN_IF_ERROR(r.U64(&stats->coalesced_batches));
   TITANT_RETURN_IF_ERROR(r.U64(&stats->coalesced_rows));
+  TITANT_RETURN_IF_ERROR(r.U64(&stats->puts_applied));
+  TITANT_RETURN_IF_ERROR(r.U64(&stats->ingest_enqueued));
+  TITANT_RETURN_IF_ERROR(r.U64(&stats->ingest_shed));
+  TITANT_RETURN_IF_ERROR(r.U64(&stats->ingest_applied));
+  TITANT_RETURN_IF_ERROR(r.U64(&stats->ingest_dropped));
+  TITANT_RETURN_IF_ERROR(r.U64(&stats->counter_cells_published));
+  TITANT_RETURN_IF_ERROR(r.U64(&stats->aggregator_users));
   return r.ExpectDone();
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/statusor.h"
+#include "kvstore/cell.h"
 #include "serving/request.h"
 
 namespace titant::net {
@@ -36,13 +37,19 @@ namespace titant::net {
 /// (status, Verdict) pairs, all under the same single deadline header —
 /// one budget for the batch, one degraded/failed outcome per item.
 ///
+/// Version 4 adds the streaming write path: kPut carries one feature cell
+/// and kPutBatch a count-capped vector of them, turning the protocol from
+/// read-only into a closed loop (scored transactions fold their counters
+/// back into the feature store). Both share kScoreBatch's hostile-count
+/// validation and the same deadline/admission semantics.
+///
 /// Response payloads additionally carry the handler's Status ahead of the
 /// body: int32 code, uint32 message length, message bytes, body bytes.
 /// Oversized or malformed frames decode to InvalidArgument; torn frames
 /// (header or payload split across reads) simply wait for more bytes.
 
 inline constexpr uint32_t kWireMagic = 0x54695431;  // "TiT1"
-inline constexpr uint8_t kWireVersion = 3;
+inline constexpr uint8_t kWireVersion = 4;
 inline constexpr std::size_t kHeaderBytes = 24;
 
 /// Hard cap on a single frame's payload. Covers model blobs (a few MB)
@@ -59,11 +66,24 @@ enum Method : uint16_t {
   kHealth = 3,      // empty -> HealthInfo.
   kStats = 4,       // empty -> GatewayStats.
   kScoreBatch = 5,  // vector<TransferRequest> -> vector<(Status, Verdict)>.
+  kPut = 6,         // One kvstore::Cell -> empty (streaming feature write).
+  kPutBatch = 7,    // vector<kvstore::Cell> -> empty.
 };
 
-/// Hard cap on items in one kScoreBatch frame: far above any sane
-/// micro-batch, low enough that a hostile count can't drive allocation.
+/// Hard cap on items in one kScoreBatch/kPutBatch frame: far above any
+/// sane micro-batch, low enough that a hostile count can't drive
+/// allocation.
 inline constexpr uint32_t kMaxBatchItems = 4096;
+
+/// Validates a batch frame's declared item count against the cap and the
+/// bytes actually present, before any item is decoded or allocated for.
+/// `item_bytes` is the per-item wire size: exact for fixed-width items
+/// (`fixed_width` true — a disagreeing payload size is a protocol error)
+/// or the minimum encoded size for variable-width items (`fixed_width`
+/// false — the payload merely has to be large enough). Shared by the
+/// kScoreBatch and kPutBatch decode paths.
+Status CheckBatchItemCount(std::string_view what, uint32_t count, std::size_t payload_bytes,
+                           std::size_t item_bytes, bool fixed_width);
 
 /// A decoded frame (header fields + owned payload bytes).
 struct Frame {
@@ -241,6 +261,26 @@ void EncodeScoreBatchResponseTo(std::string* out, const StatusOr<serving::Verdic
 Status DecodeScoreBatchResponse(std::string_view payload,
                                 std::vector<StatusOr<serving::Verdict>>* items);
 
+/// Minimum encoded size of one cell in a kPut/kPutBatch payload: three
+/// empty length-prefixed strings (row/family/qualifier), the u64 version,
+/// the tombstone byte, and an empty length-prefixed value. Lets the batch
+/// decoder reject a hostile count before touching any item.
+inline constexpr std::size_t kPutCellMinBytes = 4 + 4 + 4 + 8 + 1 + 4;
+
+/// kPut request payload: one feature cell (row, family, qualifier,
+/// version, tombstone flag, value) bound for AliHBase::PutBatch.
+std::string EncodePutRequest(const kvstore::Cell& cell);
+void EncodePutRequestTo(std::string* out, const kvstore::Cell& cell);
+Status DecodePutRequest(std::string_view payload, kvstore::Cell* cell);
+
+/// kPutBatch request payload: uint32 item count + that many cells. Decode
+/// validates the declared count against the payload's minimum possible
+/// size (and the kMaxBatchItems cap) before touching any item; both puts
+/// have empty response bodies — the transported Status is the outcome.
+std::string EncodePutBatchRequest(const std::vector<kvstore::Cell>& cells);
+void EncodePutBatchRequestTo(std::string* out, const std::vector<kvstore::Cell>& cells);
+Status DecodePutBatchRequest(std::string_view payload, std::vector<kvstore::Cell>* cells);
+
 /// kLoadModel request payload: version + the serialized model blob.
 std::string EncodeLoadModel(uint64_t version, std::string_view blob);
 Status DecodeLoadModel(std::string_view payload, uint64_t* version, std::string* blob);
@@ -283,6 +323,19 @@ struct GatewayStats {
   /// both 0 when coalescing is disabled.
   uint64_t coalesced_batches = 0;
   uint64_t coalesced_rows = 0;
+  /// Streaming ingestion (version 4): cells written through kPut/kPutBatch.
+  uint64_t puts_applied = 0;
+  /// Scored events accepted into the ingest queue, shed from it under
+  /// backpressure (shed-oldest), folded into the aggregator, and dropped
+  /// (too old for every window, or an injected `streaming.ingest` fault).
+  uint64_t ingest_enqueued = 0;
+  uint64_t ingest_shed = 0;
+  uint64_t ingest_applied = 0;
+  uint64_t ingest_dropped = 0;
+  /// Live counter cells published back to the feature store ("rt"/"win").
+  uint64_t counter_cells_published = 0;
+  /// Users with live sliding-window state in the aggregator.
+  uint64_t aggregator_users = 0;
 };
 std::string EncodeGatewayStats(const GatewayStats& stats);
 Status DecodeGatewayStats(std::string_view payload, GatewayStats* stats);

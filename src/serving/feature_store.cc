@@ -5,11 +5,14 @@
 #include <cstring>
 #include <mutex>
 
+#include "streaming/aggregator.h"
+
 namespace titant::serving {
 
 kvstore::StoreOptions FeatureTableOptions() {
   kvstore::StoreOptions options;
-  options.column_families = {kFamilyBasic, kFamilyEmbedding, kFamilyCity};
+  options.column_families = {kFamilyBasic, kFamilyEmbedding, kFamilyCity,
+                             streaming::kFamilyRealtime};
   options.num_shards = kFeatureTableShards;
   return options;
 }

@@ -25,6 +25,10 @@ inline constexpr char kQualSnapshot[] = "snapshot";  // float32[52] blob.
 inline constexpr char kQualAux[] = "aux";            // {mean_hour, avg_amt}.
 inline constexpr char kQualVector[] = "vec";         // float32[dim] blob.
 inline constexpr char kQualStats[] = "stats";        // {rate, log_cnt, log_txn}.
+// A fourth family, streaming::kFamilyRealtime ("rt"), holds the live
+// sliding-window counter cells published by the streaming ingestor
+// (qualifier streaming::kQualWindow); the schema lives with its producer
+// in streaming/aggregator.h. FeatureTableOptions() declares it.
 
 /// Shard count of the canonical feature table: the serving hot path fans
 /// MultiGetView probes across this many lock stripes, so batch scoring

@@ -5,7 +5,51 @@
 namespace titant::serving {
 
 Gateway::Gateway(ModelServerRouter* router, GatewayOptions options)
-    : router_(router), options_(std::move(options)) {}
+    : router_(router), options_(std::move(options)) {
+  // Every stats source behind kStats registers here once; StatsSnapshot
+  // is just Collect(). Providers read members guarded the same way the
+  // old hand-rolled snapshot did, so they are safe before Start() and
+  // after Shutdown().
+  metrics_.Register("server", [this](net::GatewayStats* stats) {
+    stats->requests_served = requests_served();
+    stats->requests_shed =
+        server_ == nullptr ? shed_before_shutdown_ : server_->requests_shed();
+    stats->requests_expired =
+        server_ == nullptr ? expired_before_shutdown_ : server_->requests_expired();
+  });
+  metrics_.Register("wire", [this](net::GatewayStats* stats) {
+    const Histogram wire = WireLatencySnapshot();
+    stats->wire_p50_us = wire.P50();
+    stats->wire_p95_us = wire.P95();
+    stats->wire_p99_us = wire.P99();
+    stats->wire_p999_us = wire.P999();
+    stats->wire_max_us = wire.max();
+  });
+  metrics_.Register("router", [this](net::GatewayStats* stats) {
+    const Histogram inproc = router_->AggregateLatency();
+    stats->inproc_p50_us = inproc.P50();
+    stats->inproc_p99_us = inproc.P99();
+    stats->degraded_verdicts = router_->degraded_total();
+    stats->breaker_trips = router_->breaker_trips();
+    stats->open_instances = static_cast<uint64_t>(router_->open_instances());
+  });
+  metrics_.Register("coalescer", [this](net::GatewayStats* stats) {
+    if (coalescer_ == nullptr) return;
+    stats->coalesced_batches = coalescer_->batches();
+    stats->coalesced_rows = coalescer_->rows();
+  });
+  metrics_.Register("streaming", [this](net::GatewayStats* stats) {
+    if (options_.ingestor == nullptr) return;
+    const streaming::IngestorStats ingest = options_.ingestor->stats();
+    stats->puts_applied = ingest.put_cells;
+    stats->ingest_enqueued = ingest.enqueued;
+    stats->ingest_shed = ingest.shed;
+    stats->ingest_applied = ingest.applied;
+    stats->ingest_dropped = ingest.dropped;
+    stats->counter_cells_published = ingest.counter_cells_published;
+    stats->aggregator_users = options_.ingestor->aggregator().stats().active_users;
+  });
+}
 
 Gateway::~Gateway() {
   const Status status = Shutdown();
@@ -56,30 +100,7 @@ Histogram Gateway::WireLatencySnapshot() const {
   return wire_latency_us_;
 }
 
-net::GatewayStats Gateway::StatsSnapshot() const {
-  net::GatewayStats stats;
-  stats.requests_served = requests_served();
-  const Histogram wire = WireLatencySnapshot();
-  stats.wire_p50_us = wire.P50();
-  stats.wire_p95_us = wire.P95();
-  stats.wire_p99_us = wire.P99();
-  stats.wire_p999_us = wire.P999();
-  stats.wire_max_us = wire.max();
-  const Histogram inproc = router_->AggregateLatency();
-  stats.inproc_p50_us = inproc.P50();
-  stats.inproc_p99_us = inproc.P99();
-  stats.requests_shed = server_ == nullptr ? shed_before_shutdown_ : server_->requests_shed();
-  stats.requests_expired =
-      server_ == nullptr ? expired_before_shutdown_ : server_->requests_expired();
-  stats.degraded_verdicts = router_->degraded_total();
-  stats.breaker_trips = router_->breaker_trips();
-  stats.open_instances = static_cast<uint64_t>(router_->open_instances());
-  if (coalescer_ != nullptr) {
-    stats.coalesced_batches = coalescer_->batches();
-    stats.coalesced_rows = coalescer_->rows();
-  }
-  return stats;
-}
+net::GatewayStats Gateway::StatsSnapshot() const { return metrics_.Collect(); }
 
 Status Gateway::Handle(const net::Frame& frame, std::string* body) {
   Status status = Status::OK();
@@ -100,6 +121,9 @@ Status Gateway::Handle(const net::Frame& frame, std::string* body) {
                                       : router_->Score(request, deadline_us);
       if (verdict.ok()) {
         net::EncodeVerdictTo(body, *verdict);
+        // Close the loop: the scored transaction feeds the streaming
+        // aggregator (bounded queue — never blocks this handler).
+        if (options_.ingestor != nullptr) options_.ingestor->Submit(request);
       } else {
         status = verdict.status();
       }
@@ -124,9 +148,55 @@ Status Gateway::Handle(const net::Frame& frame, std::string* body) {
                              frame.has_deadline() ? frame.deadline_us() : 0, items.data());
       if (scored.ok()) {
         net::EncodeScoreBatchResponseTo(body, items.data(), items.size());
+        if (options_.ingestor != nullptr) {
+          for (std::size_t i = 0; i < items.size(); ++i) {
+            // Per-item-failed rows (unknown user, corrupt blob) carry no
+            // usable verdict and are not ingested; degraded rows are —
+            // the transaction happened either way.
+            if (items[i].ok()) options_.ingestor->Submit(requests[i]);
+          }
+        }
       } else {
         status = scored;
       }
+      break;
+    }
+    case net::kPut: {
+      kvstore::Cell cell;
+      const Status decoded = net::DecodePutRequest(frame.payload, &cell);
+      if (!decoded.ok()) {
+        status = decoded;
+        break;
+      }
+      if (options_.ingestor == nullptr) {
+        status = Status::FailedPrecondition("gateway has no ingestor (streaming writes disabled)");
+        break;
+      }
+      thread_local std::vector<kvstore::Cell> one;
+      one.clear();
+      one.push_back(std::move(cell));
+      status = options_.ingestor->PutCells(one);
+      break;
+    }
+    case net::kPutBatch: {
+      thread_local std::vector<kvstore::Cell> cells;
+      const Status decoded = net::DecodePutBatchRequest(frame.payload, &cells);
+      if (!decoded.ok()) {
+        status = decoded;
+        break;
+      }
+      if (options_.ingestor == nullptr) {
+        status = Status::FailedPrecondition("gateway has no ingestor (streaming writes disabled)");
+        break;
+      }
+      // The server already refused frames whose budget expired before
+      // dispatch; re-check here because a store write is heavier than a
+      // deadline read (same rule the scoring path applies up front).
+      if (frame.has_deadline() && net::MonotonicMicros() > frame.deadline_us()) {
+        status = Status::Timeout("put batch deadline expired before the store write");
+        break;
+      }
+      status = options_.ingestor->PutCells(cells);
       break;
     }
     case net::kLoadModel: {
@@ -195,6 +265,18 @@ StatusOr<std::vector<StatusOr<Verdict>>> GatewayClient::ScoreBatch(
                             " items for " + std::to_string(requests.size()) + " requests");
   }
   return items;
+}
+
+Status GatewayClient::Put(const kvstore::Cell& cell, int timeout_ms) {
+  payload_scratch_.clear();
+  net::EncodePutRequestTo(&payload_scratch_, cell);
+  return client_.CallRetrying(net::kPut, payload_scratch_, timeout_ms).status();
+}
+
+Status GatewayClient::PutBatch(const std::vector<kvstore::Cell>& cells, int timeout_ms) {
+  payload_scratch_.clear();
+  net::EncodePutBatchRequestTo(&payload_scratch_, cells);
+  return client_.CallRetrying(net::kPutBatch, payload_scratch_, timeout_ms).status();
 }
 
 Status GatewayClient::LoadModel(const std::string& blob, uint64_t version, int timeout_ms) {

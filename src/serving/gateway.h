@@ -12,7 +12,9 @@
 #include "net/server.h"
 #include "net/wire.h"
 #include "serving/coalescer.h"
+#include "serving/metrics.h"
 #include "serving/router.h"
+#include "streaming/ingestor.h"
 
 namespace titant::serving {
 
@@ -35,6 +37,13 @@ struct GatewayOptions {
   /// Explicit kScoreBatch frames always bypass the coalescer — they are
   /// already batches.
   int coalesce_max_batch = 16;
+  /// Streaming ingestion engine (not owned; must outlive the gateway).
+  /// When set, every successfully scored transaction is submitted to it
+  /// after the verdict is produced (closing the feature loop), and the
+  /// kPut/kPutBatch wire methods write through its PutCells. Null — the
+  /// default — keeps the gateway read-only: puts are refused with
+  /// FailedPrecondition and scored events are not folded back.
+  streaming::Ingestor* ingestor = nullptr;
   /// Coalesced dispatches allowed in flight at once: with a sharded store
   /// underneath, independent batches score concurrently on independent
   /// worker threads (each with its own thread-local scratch tier) instead
@@ -76,8 +85,14 @@ class Gateway {
   /// response encode, including thread-pool queueing.
   Histogram WireLatencySnapshot() const;
 
-  /// The current stats payload (same data kStats serves remotely).
+  /// The current stats payload (same data kStats serves remotely):
+  /// MetricsRegistry::Collect over every registered source.
   net::GatewayStats StatsSnapshot() const;
+
+  /// The stats registry behind StatsSnapshot/kStats. The gateway
+  /// registers its built-in sources (server, wire, router, coalescer,
+  /// streaming) at construction; embedders may Register more.
+  MetricsRegistry& metrics() { return metrics_; }
 
  private:
   /// Fills `*body` (a server-owned reused buffer) and returns the handler
@@ -96,6 +111,7 @@ class Gateway {
   uint64_t expired_before_shutdown_ = 0;
   mutable std::mutex mu_;
   Histogram wire_latency_us_;
+  MetricsRegistry metrics_;
 };
 
 /// Typed client for the gateway protocol: the piece the Alipay server (or
@@ -119,6 +135,14 @@ class GatewayClient {
   /// Retried like Score (idempotent server-side).
   StatusOr<std::vector<StatusOr<Verdict>>> ScoreBatch(
       const std::vector<TransferRequest>& requests, int timeout_ms = 0);
+
+  /// Writes one feature cell through the gateway (kPut). Idempotent
+  /// server-side (a cell is keyed by row/family/qualifier/version), so
+  /// transport failures are retried like Score.
+  Status Put(const kvstore::Cell& cell, int timeout_ms = 0);
+
+  /// Writes a batch of feature cells in one round trip (kPutBatch).
+  Status PutBatch(const std::vector<kvstore::Cell>& cells, int timeout_ms = 0);
 
   /// Rolls a serialized model out to every instance behind the gateway.
   Status LoadModel(const std::string& blob, uint64_t version, int timeout_ms = 0);

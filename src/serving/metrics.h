@@ -1,0 +1,61 @@
+#ifndef TITANT_SERVING_METRICS_H_
+#define TITANT_SERVING_METRICS_H_
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/wire.h"
+
+namespace titant::serving {
+
+/// One registry for every stats source behind the gateway's kStats frame.
+///
+/// The serving stack grew observability piecemeal — server admission
+/// counters, the wire histogram, router breaker stats, coalescer tallies,
+/// and now the streaming ingestor — each read by hand in one ever-growing
+/// snapshot function. The registry inverts that: each subsystem registers
+/// a named provider that fills its own slice of net::GatewayStats, and
+/// Collect() runs them in registration order over one zeroed snapshot.
+/// Adding a stats source is now a Register call next to the subsystem's
+/// construction, not an edit to a central switchboard.
+///
+/// Thread-safe. Providers must tolerate concurrent invocation and outlive
+/// the registry (the gateway registers lambdas over members it owns).
+class MetricsRegistry {
+ public:
+  using Provider = std::function<void(net::GatewayStats*)>;
+
+  /// Registers a provider; `name` is diagnostic (sources()).
+  void Register(std::string name, Provider provider) {
+    std::lock_guard<std::mutex> lock(mu_);
+    providers_.emplace_back(std::move(name), std::move(provider));
+  }
+
+  /// Runs every provider, in registration order, over a fresh snapshot.
+  net::GatewayStats Collect() const {
+    net::GatewayStats stats;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, provider] : providers_) provider(&stats);
+    return stats;
+  }
+
+  /// Registered source names, in registration order.
+  std::vector<std::string> sources() const {
+    std::vector<std::string> names;
+    std::lock_guard<std::mutex> lock(mu_);
+    names.reserve(providers_.size());
+    for (const auto& [name, provider] : providers_) names.push_back(name);
+    return names;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, Provider>> providers_;
+};
+
+}  // namespace titant::serving
+
+#endif  // TITANT_SERVING_METRICS_H_

@@ -1,11 +1,13 @@
 #include "serving/model_server.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <vector>
 
 #include "common/failpoint.h"
 #include "common/stopwatch.h"
+#include "streaming/aggregator.h"
 
 namespace titant::serving {
 
@@ -106,7 +108,8 @@ Status ModelServer::ScoreSpan(const TransferRequest* requests, std::size_t n,
   // front — the probe views point into it, so it must never reallocate
   // underneath them), and the fetched values live in the scratch pin's
   // arena until the next ScoreSpan call resets it.
-  const std::size_t per_row = options_.use_embeddings ? 4 : 3;
+  const std::size_t per_row =
+      3 + (options_.use_embeddings ? 1 : 0) + (options_.use_live_counters ? 1 : 0);
   constexpr std::size_t kKeysPerRow = 2 * kUserRowKeyLen + kCityRowKeyLen;
   if (!out_of_budget) {
     s.keys.resize(n * kKeysPerRow);
@@ -124,6 +127,11 @@ Status ModelServer::ScoreSpan(const TransferRequest* requests, std::size_t n,
         const std::string_view to =
             UserRowKeyTo(key_base + kUserRowKeyLen + kCityRowKeyLen, request.to_user);
         s.probes.push_back({to, kFamilyEmbedding, kQualVector});
+      }
+      if (options_.use_live_counters) {
+        // Streaming live counters for the transferor (same row key as
+        // the snapshot probes, so no extra key formatting).
+        s.probes.push_back({from, streaming::kFamilyRealtime, streaming::kQualWindow});
       }
     }
     s.pin.Reset();
@@ -229,6 +237,32 @@ Status ModelServer::ScoreSpan(const TransferRequest* requests, std::size_t n,
         degraded[i] = 1;
       } else {
         item_error[i] = emb_blob.status();
+      }
+    }
+
+    // 4. Streaming live counters ("rt"/"win", published by the ingest
+    // worker within seconds of each scored transfer) overwrite the
+    // same-day velocity slots that the T+1 store can't materialize.
+    // Deliberately fault-blind in every direction — a miss (user not yet
+    // seen by the aggregator, or no ingestor running), an undeclared
+    // family, an outage, or a short blob all just keep the cold
+    // defaults. Live counters sharpen a verdict; they never degrade or
+    // fail one, and stores predating the "rt" family keep serving.
+    if (options_.use_live_counters && !out_of_budget && !degraded[i] && item_error[i].ok()) {
+      const std::size_t rt_off = options_.use_embeddings ? 4 : 3;
+      const StatusOr<std::string_view>& rt_blob = fetched[i * per_row + rt_off];
+      float counters[streaming::kCounterFloats];
+      if (rt_blob.ok() &&
+          DecodeFloats(*rt_blob, streaming::kCounterFloats, counters).ok()) {
+        f[43] = counters[6];                // 24h sliding txn count.
+        f[44] = std::log1p(counters[7]);    // 24h sliding amount sum.
+        if (counters[9] >= 0.0f) {          // Last event day/second stamps.
+          const int64_t last_s = static_cast<int64_t>(counters[9]) * 86400 +
+                                 static_cast<int64_t>(counters[10]);
+          const int64_t now_s =
+              static_cast<int64_t>(request.day) * 86400 + request.second_of_day;
+          f[45] = std::log1p(static_cast<float>(std::max<int64_t>(0, now_s - last_s)));
+        }
       }
     }
   }

@@ -54,6 +54,15 @@ struct ModelServerOptions {
   /// Whether the loaded model consumes the embedding columns
   /// (Basic+DW-style model) or only the 52 basic features.
   bool use_embeddings = true;
+  /// Probe the streaming live-counter cell ("rt"/"win", written by the
+  /// ingestion worker) and overwrite the same-day velocity slots
+  /// (f[43] txn count, f[44] log amount sum, f[45] log seconds since the
+  /// previous transfer) with sliding-window values fresh to seconds
+  /// instead of the T+1 cold defaults. Strictly best-effort: a missing
+  /// cell, a store that never declared the family, or a fetch fault all
+  /// silently keep the defaults — live counters can improve a verdict
+  /// but never degrade or fail one.
+  bool use_live_counters = true;
 };
 
 /// Online real-time predictor (§4.4). Loads versioned model files produced

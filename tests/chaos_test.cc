@@ -314,12 +314,13 @@ TEST_F(ChaosTest, BatchFaultDegradesOnlyTheRowItHit) {
   std::vector<TransferRequest> batch(4, ScorableRequest());
   for (std::size_t i = 0; i < batch.size(); ++i) batch[i].txn_id = i + 1;
 
-  // The Model Server issues four probes per row (snapshot, aux, city,
-  // embedding) in request order, and MultiGet evaluates the kvstore.get
-  // failpoint per probe in that same order — so "skip:8,hits:1" lands the
-  // injected outage on exactly row 2's snapshot fetch, deterministically.
+  // The Model Server issues five probes per row (snapshot, aux, city,
+  // embedding, live counters) in request order, and MultiGet evaluates
+  // the kvstore.get failpoint per probe in that same order — so
+  // "skip:10,hits:1" lands the injected outage on exactly row 2's
+  // snapshot fetch, deterministically.
   ASSERT_TRUE(
-      Failpoints::ArmFromSpec("kvstore.get,error:Unavailable,skip:8,hits:1").ok());
+      Failpoints::ArmFromSpec("kvstore.get,error:Unavailable,skip:10,hits:1").ok());
   const auto items = client.ScoreBatch(batch);
   EXPECT_EQ(Failpoints::hits("kvstore.get"), 1u);
   Failpoints::DisarmAll();
@@ -339,6 +340,80 @@ TEST_F(ChaosTest, BatchFaultDegradesOnlyTheRowItHit) {
     ASSERT_TRUE(item.ok());
     EXPECT_FALSE(item->degraded);
   }
+}
+
+// The streaming schedule: a fraud ring drains an account with a burst of
+// transfers that each look benign in isolation — the T+1 snapshot was
+// taken before the ring woke up, so a batch-fed model can never flag
+// them. The ring is caught only because the ingestor folds every scored
+// transfer back into the live velocity counters mid-run, and the model is
+// keyed off the 24h live txn count (f[43]). A lossy ingest path (an
+// injected fault dropping a fraction of events) must not break the
+// detection: the surviving counters still cross the trained threshold.
+TEST_F(ChaosTest, FraudRingCaughtOnlyByLiveCounterShift) {
+  auto ingestor = streaming::Ingestor::Open(store_.get(), streaming::IngestorOptions());
+  ASSERT_TRUE(ingestor.ok()) << ingestor.status().ToString();
+  GatewayOptions options;
+  options.ingestor = ingestor->get();
+  StartGateway(std::move(options));
+  // Swap in a velocity-keyed model: fraud iff the live 24h txn count is
+  // high. 40 rows so the root clears min_split_weight (24) and splits.
+  {
+    ml::DataMatrix train(40, kWidth);
+    train.mutable_labels().assign(40, 0);
+    for (std::size_t row = 0; row < 20; ++row) {
+      train.mutable_labels()[row] = 1;
+      train.Set(row, 43, 30.0f);
+    }
+    auto model = ml::MakeId3();
+    ASSERT_TRUE(model->Train(train).ok());
+    ASSERT_TRUE(router_->LoadModel(ml::SerializeModel(*model), 2).ok());
+  }
+  GatewayClient client("127.0.0.1", gateway_->port());
+
+  // Before the ring wakes up: the same transfer shape scores cold.
+  const auto before = client.Score(ScorableRequest());
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  EXPECT_FALSE(before->interrupt);
+
+  // Chaos rider: 20% of ingested events are dropped on the floor.
+  ASSERT_TRUE(
+      Failpoints::ArmFromSpec("streaming.ingest,error:Unavailable,p:0.2,seed:707").ok());
+
+  // The ring fires: 40 transfers inside ten minutes. Each one is scored
+  // (and not interrupted — the counters are still climbing), then folded
+  // back into the windows by the ingestor.
+  std::vector<TransferRequest> burst(40, ScorableRequest());
+  for (std::size_t i = 0; i < burst.size(); ++i) {
+    burst[i].txn_id = 100 + i;
+    burst[i].second_of_day = 43'200 + static_cast<int32_t>(i) * 15;
+  }
+  const auto scored = client.ScoreBatch(burst);
+  ASSERT_TRUE(scored.ok()) << scored.status().ToString();
+  (*ingestor)->Drain();
+  Failpoints::DisarmAll();
+
+  // Even with a fifth of the burst lost to the fault, the surviving
+  // velocity counters crossed the rule threshold: the next transfer in
+  // the ring is interrupted. Nothing else about the request changed —
+  // only the streaming counters moved.
+  TransferRequest next = ScorableRequest();
+  next.second_of_day = 43'200 + 660;
+  const auto after = client.Score(next);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_GT(after->fraud_probability, before->fraud_probability);
+  EXPECT_TRUE(after->interrupt) << "fraud ring escaped: live counters never shifted the verdict";
+
+  // The schedule really was lossy and the loop really closed.
+  const auto stats = gateway_->StatsSnapshot();
+  EXPECT_GT(stats.ingest_dropped, 0u);
+  EXPECT_GE(stats.ingest_applied, 20u);
+  EXPECT_GE(stats.counter_cells_published, 1u);
+
+  // The gateway references the test-scoped ingestor; take it down first
+  // (TearDown's Shutdown is idempotent).
+  ASSERT_TRUE(gateway_->Shutdown().ok());
+  ASSERT_TRUE((*ingestor)->Shutdown().ok());
 }
 
 }  // namespace

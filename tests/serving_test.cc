@@ -462,11 +462,14 @@ TEST_F(ModelServerTest, ExpiredDeadlineSkipsFetchesAndDegrades) {
   const auto& sample = world_->log.records[window_->test_records.front()];
 
   // A deadline 1h in the past: no time for any fetch, but the caller
-  // still gets a (degraded) verdict instead of a timeout.
-  const int64_t past = std::chrono::duration_cast<std::chrono::microseconds>(
-                           std::chrono::steady_clock::now().time_since_epoch())
-                           .count() -
-                       3'600'000'000LL;
+  // still gets a (degraded) verdict instead of a timeout. Clamped to
+  // stay positive — steady_clock counts from boot, and on a host up for
+  // less than an hour a negative stamp would read as "no deadline".
+  const int64_t past = std::max<int64_t>(
+      1, std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+                 .count() -
+             3'600'000'000LL);
   const auto verdict = server.Score(RequestFor(sample), past);
   ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
   EXPECT_TRUE(verdict->degraded);
@@ -534,12 +537,13 @@ TEST_F(ModelServerTest, ScoreBatchIsolatesPerRowOutcomes) {
   EXPECT_FALSE((*items)[0]->degraded);
 
   // An infra failure on exactly one row's snapshot fetch degrades that row
-  // and leaves its batch siblings at full quality. ScoreSpan issues four
-  // probes per row in request order, so row 2's snapshot probe is
-  // evaluation 8 of the batch's kvstore.get failpoint.
+  // and leaves its batch siblings at full quality. ScoreSpan issues five
+  // probes per row (snapshot, aux, city, embedding, live counters) in
+  // request order, so row 2's snapshot probe is evaluation 10 of the
+  // batch's kvstore.get failpoint.
   FailpointSpec spec;
   spec.code = StatusCode::kUnavailable;
-  spec.skip = 8;
+  spec.skip = 10;
   spec.max_hits = 1;
   Failpoints::Arm("kvstore.get", spec);
   items = server.ScoreBatch(batch);
