@@ -172,6 +172,12 @@ Status Gateway::Handle(const net::Frame& frame, std::string* body) {
         status = Status::FailedPrecondition("gateway has no ingestor (streaming writes disabled)");
         break;
       }
+      // Same rule as kPutBatch: a store write is heavier than a deadline
+      // read, so re-check the budget the server checked at dispatch.
+      if (frame.has_deadline() && net::MonotonicMicros() > frame.deadline_us()) {
+        status = Status::Timeout("put deadline expired before the store write");
+        break;
+      }
       thread_local std::vector<kvstore::Cell> one;
       one.clear();
       one.push_back(std::move(cell));

@@ -1,6 +1,7 @@
 #include "streaming/event_log.h"
 
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -58,6 +59,23 @@ StatusOr<std::unique_ptr<EventLog>> EventLog::Open(EventLogOptions options) {
   std::fseek(log->out_, 0, SEEK_END);
   const long size = std::ftell(log->out_);
   log->current_records_ = size > 0 ? static_cast<uint64_t>(size) / kRecordBytes : 0;
+  const long intact = static_cast<long>(log->current_records_ * kRecordBytes);
+  if (size > intact) {
+    // A crash mid-append left a torn tail. Truncate it: replay stops at
+    // the first torn record, so appending after it would make every
+    // subsequently acknowledged event unreplayable on the next restart.
+    std::fclose(log->out_);
+    log->out_ = nullptr;
+    std::error_code ec;
+    std::filesystem::resize_file(path, static_cast<std::uintmax_t>(intact), ec);
+    if (ec) {
+      return Status::IOError("cannot truncate torn event log tail in " + path);
+    }
+    log->out_ = std::fopen(path.c_str(), "ab");
+    if (log->out_ == nullptr) {
+      return Status::IOError("cannot reopen event log segment " + path);
+    }
+  }
   return log;
 }
 
@@ -71,6 +89,11 @@ Status EventLog::Replay(const std::function<void(const serving::TransferRequest&
 }
 
 Status EventLog::Append(const serving::TransferRequest& event) {
+  if (out_ == nullptr) {
+    // A failed Rotate() leaves the log closed; report it instead of
+    // dereferencing a null FILE* (matches Flush()).
+    return Status::IOError("event log segment is not open");
+  }
   scratch_.clear();
   const uint32_t size = static_cast<uint32_t>(kPayloadBytes);
   scratch_.append(reinterpret_cast<const char*>(&size), 4);

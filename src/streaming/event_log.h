@@ -45,7 +45,10 @@ struct EventLogOptions {
 /// Not thread-safe; owned and driven by the single ingest worker.
 class EventLog {
  public:
-  /// Opens (creating if absent) the current segment for appending.
+  /// Opens (creating if absent) the current segment for appending,
+  /// truncating any crash-torn tail first so new records start on an
+  /// intact record boundary (replay stops at the first torn record, so
+  /// appending after one would strand everything acknowledged later).
   static StatusOr<std::unique_ptr<EventLog>> Open(EventLogOptions options);
   ~EventLog();
 

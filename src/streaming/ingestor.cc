@@ -30,7 +30,17 @@ std::string EncodeCounterValue(const float* values, std::size_t count) {
 }  // namespace
 
 Ingestor::Ingestor(kvstore::AliHBase* store, IngestorOptions options)
-    : store_(store), options_(std::move(options)) {}
+    : store_(store), options_(std::move(options)) {
+  // Seed the publish version from the wall clock: a sequence restarting
+  // at 0 would stamp post-crash publishes with lower versions than the
+  // stale pre-crash cells in a durable store, and the read path (newest
+  // version wins) would keep scoring against the stale counters until
+  // the sequence caught up. Epoch microseconds outrun any plausible
+  // in-process publish rate, so post-restart publishes always win.
+  publish_seq_ = static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                           std::chrono::system_clock::now().time_since_epoch())
+                                           .count());
+}
 
 StatusOr<std::unique_ptr<Ingestor>> Ingestor::Open(kvstore::AliHBase* store,
                                                    IngestorOptions options) {

@@ -154,7 +154,9 @@ class Ingestor {
   std::atomic<uint64_t> put_cells_{0};
   std::atomic<uint64_t> counter_cells_published_{0};
   /// Version stamp of published counter cells: a per-ingestor monotonic
-  /// sequence, so newer publishes always win the store's version order.
+  /// sequence seeded from wall-clock microseconds at construction, so
+  /// newer publishes always win the store's version order — including
+  /// over stale cells a crashed predecessor left in a durable store.
   std::atomic<uint64_t> publish_seq_{0};
 
   /// Worker-owned scratch (single consumer thread).

@@ -393,6 +393,47 @@ TEST(EventLogTest, TornTailEndsReplayCleanly) {
   RemoveLog(prefix);
 }
 
+TEST(EventLogTest, AppendAfterTornTailStaysReplayable) {
+  const std::string prefix = TempPrefix("torn_append");
+  RemoveLog(prefix);
+  EventLogOptions options;
+  options.path_prefix = prefix;
+  {
+    auto log = EventLog::Open(options);
+    ASSERT_TRUE(log.ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE((*log)->Append(Event(1, 2, 1.0 + i, 86400 + i)).ok());
+    }
+  }
+  {
+    // Crash mid-append: half a record at the tail.
+    std::FILE* f = std::fopen((prefix + ".cur").c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const char garbage[17] = "torn-record-tail";
+    std::fwrite(garbage, 1, sizeof(garbage), f);
+    std::fclose(f);
+  }
+  {
+    // Recovery truncates the torn tail, so the post-recovery append
+    // lands on a record boundary instead of after the garbage.
+    auto log = EventLog::Open(options);
+    ASSERT_TRUE(log.ok());
+    EXPECT_EQ((*log)->current_records(), 3u);
+    ASSERT_TRUE((*log)->Append(Event(1, 2, 50.0, 86400 + 10)).ok());
+  }
+  // The next restart replays everything acknowledged after recovery —
+  // without the truncation the torn tail would end replay at record 3
+  // and strand the fourth event forever.
+  auto log = EventLog::Open(options);
+  ASSERT_TRUE(log.ok());
+  std::vector<double> amounts;
+  ASSERT_TRUE(
+      (*log)->Replay([&](const serving::TransferRequest& e) { amounts.push_back(e.amount); }).ok());
+  ASSERT_EQ(amounts.size(), 4u);
+  EXPECT_DOUBLE_EQ(amounts.back(), 50.0);
+  RemoveLog(prefix);
+}
+
 TEST(EventLogTest, RotationKeepsTheLastTwoSegments) {
   const std::string prefix = TempPrefix("rotate");
   RemoveLog(prefix);
@@ -521,6 +562,35 @@ TEST_F(IngestorTest, PutCellsWritesThroughAndHonorsFailpoint) {
   ASSERT_TRUE(Failpoints::ArmFromSpec("streaming.put,error:Unavailable").ok());
   EXPECT_EQ((*ingestor)->PutCells(cells).code(), StatusCode::kUnavailable);
   ASSERT_TRUE((*ingestor)->Shutdown().ok());
+}
+
+TEST_F(IngestorTest, RestartPublishesOutrankStaleStoreCells) {
+  const int64_t t0 = 100 * 86400;
+  IngestorOptions options;
+  options.publish_interval_ms = 0;  // Publish after every drained batch.
+  {
+    auto first = Ingestor::Open(store_.get(), options);
+    ASSERT_TRUE(first.ok());
+    // Three separate publishes advance the first instance's version
+    // sequence well past a fresh sequence's first value.
+    for (int i = 0; i < 3; ++i) {
+      (*first)->Submit(Event(1, 2, 10.0, t0 + i * 60));
+      (*first)->Drain();
+    }
+    ASSERT_TRUE((*first)->Shutdown().ok());
+  }
+  // Restart with no event log: the new aggregator starts empty, so its
+  // published count is lower — but newer, and the read path returns the
+  // newest version. A version sequence restarting at 0 would lose to
+  // the stale cells above until it caught up.
+  auto second = Ingestor::Open(store_.get(), options);
+  ASSERT_TRUE(second.ok());
+  (*second)->Submit(Event(1, 2, 10.0, t0 + 3600));
+  (*second)->Drain();
+  float published[kCounterFloats] = {};
+  ReadPublishedCounters(1, published);
+  EXPECT_FLOAT_EQ(published[0], 1.0f);  // The restart's count, not the stale 3.
+  ASSERT_TRUE((*second)->Shutdown().ok());
 }
 
 TEST_F(IngestorTest, CrashRecoveryReplaysExactlyOnce) {
