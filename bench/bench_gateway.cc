@@ -5,6 +5,7 @@
 //   bench_gateway [client_threads] [seconds] [instances] [--faults]
 //                 [--batch N] [--no-coalesce] [--alloc-budget N]
 //                 [--workers N] [--shards N] [--ingest] [--puts W]
+//                 [--replica]
 //
 // Starts a Gateway over loopback in-process, drives it from N closed-loop
 // client threads (one connection each, next request issued as soon as the
@@ -50,6 +51,14 @@
 // kFeatureTableShards). --shards 1 reproduces the pre-sharding
 // single-mutex store, so the sweep in the bench-smoke lane contrasts
 // striped vs. serialized MultiGetView under concurrent workers.
+//
+// --replica stands up the full replicated feature-store tier behind the
+// scorers: a warm-standby AliHBase behind a KvStoreServer on loopback, a
+// WAL Shipper streaming every primary commit to it, and a FailoverStore
+// fronting both for the router. The score qps under --replica vs without
+// it is the serving-path cost of replication (the commit tap + breaker
+// indirection; shipping itself rides a background thread), reported next
+// to the shipper's shipped/acked watermark and lag.
 
 #include <algorithm>
 #include <cstdio>
@@ -67,6 +76,9 @@
 #include "common/histogram.h"
 #include "common/stopwatch.h"
 #include "core/experiment.h"
+#include "replication/failover_store.h"
+#include "replication/kv_server.h"
+#include "replication/shipper.h"
 #include "serving/feature_store.h"
 #include "serving/gateway.h"
 #include "serving/router.h"
@@ -79,11 +91,22 @@ using titant::benchutil::CheckOk;
 struct Fixture {
   titant::datagen::World world;
   std::unique_ptr<titant::kvstore::AliHBase> store;
+  // --replica: the standby node, its wire endpoint, the WAL shipper, and
+  // the failover front the router scores through instead of the raw store.
+  std::unique_ptr<titant::kvstore::AliHBase> standby;
+  std::unique_ptr<titant::replication::KvStoreServer> standby_server;
+  std::unique_ptr<titant::replication::Shipper> shipper;
+  std::unique_ptr<titant::replication::FailoverStore> failover;
   std::unique_ptr<titant::serving::ModelServerRouter> router;
   std::vector<titant::serving::TransferRequest> requests;
+
+  titant::kvstore::KvTable* serving_store() {
+    return failover != nullptr ? static_cast<titant::kvstore::KvTable*>(failover.get())
+                               : store.get();
+  }
 };
 
-Fixture BuildFixture(int instances, int shards) {
+Fixture BuildFixture(int instances, int shards, bool replica) {
   Fixture f;
   titant::datagen::WorldOptions world_options;
   world_options.num_users = 1200;
@@ -110,8 +133,29 @@ Fixture BuildFixture(int instances, int shards) {
                                                 trainer.extractor(), *trainer.dw_embeddings(),
                                                 windows[0].spec.test_day, 20170410, 50));
 
+  if (replica) {
+    auto standby_options = titant::serving::FeatureTableOptions();
+    standby_options.durable = false;
+    if (shards > 0) standby_options.num_shards = shards;
+    f.standby = CheckOk(titant::kvstore::AliHBase::Open(standby_options));
+    f.standby_server = std::make_unique<titant::replication::KvStoreServer>(f.standby.get());
+    CheckOk(f.standby_server->Start());
+    titant::replication::ShipperOptions ship_options;
+    ship_options.standby_port = f.standby_server->port();
+    // Attaching after the daily upload means the standby warms through one
+    // snapshot catch-up (the production join path) rather than replaying
+    // the whole upload record by record.
+    f.shipper = titant::replication::Shipper::Attach(f.store.get(), ship_options);
+    if (!f.shipper->Drain(/*timeout_ms=*/60'000)) {
+      std::fprintf(stderr, "standby failed to warm within 60s\n");
+      std::exit(1);
+    }
+    f.failover = std::make_unique<titant::replication::FailoverStore>(f.store.get(),
+                                                                      f.standby.get());
+  }
+
   f.router = std::make_unique<titant::serving::ModelServerRouter>(
-      f.store.get(), titant::serving::ModelServerOptions(), instances);
+      f.serving_store(), titant::serving::ModelServerOptions(), instances);
   CheckOk(f.router->LoadModel(titant::ml::SerializeModel(*model), 20170410));
 
   for (std::size_t idx : windows[0].test_records) {
@@ -139,6 +183,7 @@ int main(int argc, char** argv) {
   int batch = 1;
   int workers = 0;  // 0 = GatewayOptions default (hardware_concurrency).
   int shards = 0;  // 0 = FeatureTableOptions default (kFeatureTableShards).
+  bool replica = false;  // Replicated store tier: standby + shipper + failover.
   bool ingest = false;  // Fold scored traffic back via a streaming Ingestor.
   int put_threads = 0;  // Concurrent kPutBatch writer threads (mixed load).
   double alloc_budget = 0.0;  // 0 = report only, no pass bar.
@@ -157,6 +202,8 @@ int main(int argc, char** argv) {
       workers = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shards = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--replica") == 0) {
+      replica = true;
     } else if (std::strcmp(argv[i], "--ingest") == 0) {
       ingest = true;
     } else if (std::strcmp(argv[i], "--puts") == 0 && i + 1 < argc) {
@@ -178,15 +225,20 @@ int main(int argc, char** argv) {
       faults ? ", fault injection ON" : "");
   if (shards > 0) std::printf("feature store lock stripes: %d\n", shards);
   std::printf("setting up world + model + feature store...\n");
-  Fixture fixture = BuildFixture(instances, shards);
+  Fixture fixture = BuildFixture(instances, shards, replica);
+  if (replica) {
+    std::printf("replicated tier ON: WAL shipping to a warm standby on 127.0.0.1:%u, "
+                "router scoring through the failover front\n",
+                fixture.standby_server->port());
+  }
 
   titant::serving::GatewayOptions gateway_options;
   if (workers > 0) gateway_options.worker_threads = static_cast<std::size_t>(workers);
   if (!coalesce) gateway_options.coalesce_max_batch = 1;
   std::unique_ptr<titant::streaming::Ingestor> ingestor;
   if (ingest) {
-    ingestor = CheckOk(
-        titant::streaming::Ingestor::Open(fixture.store.get(), titant::streaming::IngestorOptions()));
+    ingestor = CheckOk(titant::streaming::Ingestor::Open(fixture.serving_store(),
+                                                         titant::streaming::IngestorOptions()));
     gateway_options.ingestor = ingestor.get();
     std::printf("streaming ingestion ON: scored traffic feeds the live counters%s\n",
                 put_threads > 0 ? "" : " (no writer threads)");
@@ -398,6 +450,26 @@ int main(int argc, char** argv) {
   }
 
   CheckOk(gateway.Shutdown());
+  if (replica) {
+    // Quiesce shipping before reading the watermark so lag reflects the
+    // pipeline's steady state, not the tail of the final batch.
+    const bool drained = fixture.shipper->Drain(/*timeout_ms=*/10'000);
+    const auto rstats = fixture.shipper->stats();
+    const auto fstats = fixture.failover->stats();
+    std::printf("  replication: shipped seq %llu, acked %llu, end lag %llu%s; "
+                "standby watermark %llu; catch-up %llu cells / %llu bytes; "
+                "failovers %llu\n",
+                static_cast<unsigned long long>(rstats.shipped_seq),
+                static_cast<unsigned long long>(rstats.acked_seq),
+                static_cast<unsigned long long>(rstats.lag),
+                drained ? "" : " (NOT drained)",
+                static_cast<unsigned long long>(fixture.standby_server->watermark()),
+                static_cast<unsigned long long>(rstats.catchup_cells),
+                static_cast<unsigned long long>(rstats.catchup_bytes),
+                static_cast<unsigned long long>(fstats.failovers));
+    fixture.shipper->Shutdown();
+    CheckOk(fixture.standby_server->Shutdown());
+  }
   if (ingestor != nullptr) {
     const auto istats = ingestor->stats();
     std::printf("  streaming: %llu scored events folded (%llu shed under backpressure), "

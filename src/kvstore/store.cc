@@ -54,6 +54,30 @@ StatusOr<std::vector<std::pair<uint64_t, std::string>>> ListSSTables(const std::
 
 }  // namespace
 
+AliHBase::AliHBase(StoreOptions options) : options_(std::move(options)) {
+  const std::string scope =
+      options_.failpoint_scope.empty() ? "" : options_.failpoint_scope + ".";
+  get_failpoint_ = "kvstore." + scope + "get";
+  put_failpoint_ = "kvstore." + scope + "put";
+}
+
+void AliHBase::SetCommitSink(CommitSink sink) {
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  commit_sink_ = std::move(sink);
+  has_sink_.store(commit_sink_ != nullptr, std::memory_order_release);
+}
+
+StatusOr<uint64_t> AliHBase::CatchupSnapshot(std::vector<Cell>* cells) const {
+  // Read the watermark BEFORE scanning: a commit bumps the sequence only
+  // after its memtable insert, so every commit at or below the value read
+  // here is visible to the scan. Commits racing past it may also appear —
+  // the shipped log re-applies them idempotently — so the snapshot can
+  // overstate its coverage but never understate it.
+  const uint64_t watermark = commit_seq_.load(std::memory_order_acquire);
+  TITANT_ASSIGN_OR_RETURN(*cells, Scan("", "", UINT64_MAX, SIZE_MAX));
+  return watermark;
+}
+
 StatusOr<std::unique_ptr<AliHBase>> AliHBase::Open(StoreOptions options) {
   if (options.column_families.empty()) {
     return Status::InvalidArgument("at least one column family is required");
@@ -268,6 +292,13 @@ Status AliHBase::PutBatch(const std::vector<Cell>& cells) { return WriteCells(ce
 
 Status AliHBase::WriteCells(const std::vector<Cell>& cells) {
   if (cells.empty()) return Status::OK();
+  // Chaos hook for the write path (scoped per instance, like reads):
+  // injected errors model a dead or wedged region server, evaluated
+  // before any shard has written a byte so a killed node's puts fail
+  // atomically.
+  if (failpoint_internal::AnyArmed()) {
+    TITANT_RETURN_IF_ERROR(Failpoints::Eval(put_failpoint_));
+  }
   // Validate everything up front so a bad cell rejects the whole batch
   // before any shard has written a byte.
   for (const Cell& cell : cells) {
@@ -301,6 +332,17 @@ Status AliHBase::WriteShardCells(Shard& shard, const Cell* const* cells, std::si
   }
   for (std::size_t i = 0; i < n; ++i) {
     shard.memtable->Insert(MemEntry{*cells[i], shard.next_seq++});
+  }
+  // Replication tap: assign the store-wide commit sequence and hand the
+  // committed cells to the sink. Sequence assignment and the sink call
+  // share sink_mu_ so shippers see a gap-free ordered stream even when
+  // writers land on different shards concurrently.
+  if (has_sink_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> sink_lock(sink_mu_);
+    const uint64_t seq = commit_seq_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (commit_sink_) commit_sink_(seq, cells, n);
+  } else {
+    commit_seq_.fetch_add(1, std::memory_order_acq_rel);
   }
   if (shard.memtable->size() >= options_.memtable_flush_cells && options_.durable) {
     return FlushShardLocked(shard);
@@ -359,7 +401,9 @@ StatusOr<std::string> AliHBase::Get(const std::string& row, const std::string& f
   // Chaos hook for the online feature fetch: injected latency models an
   // HBase region-server hiccup, injected errors a lost region. Evaluated
   // before the shared lock so a latency spike never blocks writers.
-  TITANT_FAILPOINT("kvstore.get");
+  if (failpoint_internal::AnyArmed()) {
+    TITANT_RETURN_IF_ERROR(Failpoints::Eval(get_failpoint_));
+  }
   TITANT_RETURN_IF_ERROR(CheckFamily(family));
   const Shard& shard = *shards_[ShardOf(row)];
   std::shared_lock lock(shard.mu);
@@ -403,7 +447,7 @@ void AliHBase::MultiGetView(const ColumnProbeView* probes, std::size_t n, ReadPi
   live.clear();
   const bool any_armed = failpoint_internal::AnyArmed();
   for (std::size_t i = 0; i < n; ++i) {
-    Status admitted = any_armed ? Failpoints::Eval("kvstore.get") : Status::OK();
+    Status admitted = any_armed ? Failpoints::Eval(get_failpoint_) : Status::OK();
     if (admitted.ok()) admitted = CheckFamily(probes[i].family);
     if (admitted.ok()) {
       live.push_back(i);

@@ -1,7 +1,9 @@
 #ifndef TITANT_KVSTORE_STORE_H_
 #define TITANT_KVSTORE_STORE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -35,6 +37,12 @@ struct StoreOptions {
   /// When false the store is purely in-memory (no WAL, no SSTables);
   /// useful for tests and latency benchmarks isolating CPU cost.
   bool durable = true;
+  /// Failpoint namespace for this instance's chaos hooks. Empty (the
+  /// default) evaluates the global "kvstore.get"/"kvstore.put" points;
+  /// a scope S evaluates "kvstore.S.get"/"kvstore.S.put" instead, so a
+  /// failover test can kill one replica of a primary/standby pair while
+  /// the other keeps serving.
+  std::string failpoint_scope;
   /// Lock-striped shards the table is split into by row-key hash. Each
   /// shard owns its own memtable, WAL segment, SSTable set, sequence
   /// counter, and reader-writer lock, so a flush or bulk upload on one
@@ -91,6 +99,36 @@ class ReadPin {
   std::vector<uint32_t> shards_;    // MultiGetView per-probe shard scratch.
 };
 
+/// The narrow store surface the online serving tier runs against: the
+/// zero-allocation batched read (ModelServer::ScoreSpan's single store
+/// touchpoint) and the batched write (counter publishes, wire puts).
+/// AliHBase is the canonical implementation; replication::FailoverStore
+/// fronts a primary/standby pair behind the same interface so the
+/// serving layer fails over without knowing replication exists. The
+/// interface is deliberately this small — everything else (Scan, Flush,
+/// Compact, bulk upload) is offline-path machinery that talks to a
+/// concrete AliHBase.
+class KvTable {
+ public:
+  virtual ~KvTable() = default;
+
+  /// Zero-allocation batched read; see AliHBase::MultiGetView for the
+  /// full contract (per-probe semantics, pin-owned views, message-free
+  /// miss statuses).
+  virtual void MultiGetView(const ColumnProbeView* probes, std::size_t n, ReadPin* pin,
+                            StatusOr<std::string_view>* out,
+                            uint64_t snapshot = UINT64_MAX) const = 0;
+
+  /// Batched write; see AliHBase::PutBatch.
+  virtual Status PutBatch(const std::vector<Cell>& cells) = 0;
+
+  /// True while reads may be stale relative to the authoritative copy —
+  /// a failover tier serving from a warm standby reports true so the
+  /// scorer can set the degraded-verdict bit instead of failing closed.
+  /// A plain store is never stale relative to itself.
+  virtual bool degraded_reads() const { return false; }
+};
+
 /// A single-table, column-family KV store with timestamp versions —
 /// the Ali-HBase stand-in serving the online feature fetches (§4.4,
 /// Fig. 7): row key = user, one family for basic features, one for the
@@ -105,11 +143,42 @@ class ReadPin {
 /// replays each shard's WAL independently. Thread-safe: reads share a
 /// per-shard lock, writes are exclusive per shard — so a flush, compaction
 /// or bulk upload on one shard never blocks reads on the others.
-class AliHBase {
+class AliHBase : public KvTable {
  public:
   /// Opens the table, replaying any WALs and loading existing SSTables.
   /// Directories written by the pre-shard layout are migrated in place.
   static StatusOr<std::unique_ptr<AliHBase>> Open(StoreOptions options);
+
+  /// Observer of committed writes — the WAL-shipping tap. Invoked once
+  /// per shard commit, after the cells are in the WAL and memtable, with
+  /// the store-wide replication sequence assigned to that commit and the
+  /// committed cells. Calls are serialized and strictly seq-ordered
+  /// (seq 1, 2, 3, ...), so a shipper can treat the stream as a log.
+  /// The sink runs under the committing shard's write lock: it must be
+  /// cheap (encode + enqueue) and must never call back into the store.
+  using CommitSink = std::function<void(uint64_t seq, const Cell* const* cells, std::size_t n)>;
+
+  /// Attaches (or, with nullptr, detaches) the commit sink. Attach
+  /// before the store takes concurrent write traffic; commits made
+  /// before attachment are not replayed to the sink — a standby that
+  /// missed them detects the sequence gap and catches up from a
+  /// CatchupSnapshot instead.
+  void SetCommitSink(CommitSink sink);
+
+  /// Store-wide commit sequence: the seq of the most recent shard
+  /// commit (0 before the first write). Advances on every commit,
+  /// sink attached or not, so "standby caught up" is exactly
+  /// `acked watermark == primary commit_seq`.
+  uint64_t commit_seq() const { return commit_seq_.load(std::memory_order_acquire); }
+
+  /// Snapshot for standby catch-up: fills `cells` with every visible
+  /// cell (the merged memtable+SSTable image — newest version per
+  /// column, the same image reads see) and returns the commit sequence
+  /// the snapshot is guaranteed to cover. Commits racing past the
+  /// returned watermark may also be included; re-applying them from the
+  /// shipped log is idempotent (a cell is keyed by row/family/qualifier/
+  /// version), so the snapshot may overstate but never understate.
+  StatusOr<uint64_t> CatchupSnapshot(std::vector<Cell>* cells) const;
 
   /// Writes one cell version.
   Status Put(const std::string& row, const std::string& family, const std::string& qualifier,
@@ -119,7 +188,7 @@ class AliHBase {
   /// one batch per user row). Validation rejects the whole batch before
   /// anything is written; past that point the batch commits shard by
   /// shard (atomic per shard, cells of one row always land together).
-  Status PutBatch(const std::vector<Cell>& cells);
+  Status PutBatch(const std::vector<Cell>& cells) override;
 
   /// Deletes a column at `version` (tombstone shadows older versions).
   Status Delete(const std::string& row, const std::string& family,
@@ -152,7 +221,8 @@ class AliHBase {
   /// ModelServer::ScoreSpan; concurrent callers only contend when their
   /// probes hash to the same shard.
   void MultiGetView(const ColumnProbeView* probes, std::size_t n, ReadPin* pin,
-                    StatusOr<std::string_view>* out, uint64_t snapshot = UINT64_MAX) const;
+                    StatusOr<std::string_view>* out,
+                    uint64_t snapshot = UINT64_MAX) const override;
 
   /// Returns all visible columns of a row as "family:qualifier" -> value.
   StatusOr<std::map<std::string, std::string>> GetRow(const std::string& row,
@@ -210,7 +280,7 @@ class AliHBase {
     std::string dir;  // "<options.dir>/shard-<k>"; empty when not durable.
   };
 
-  explicit AliHBase(StoreOptions options) : options_(std::move(options)) {}
+  explicit AliHBase(StoreOptions options);
 
   /// Shard index for a row key (FNV-1a 64); 0 when unsharded.
   std::size_t ShardOf(std::string_view row) const;
@@ -240,6 +310,19 @@ class AliHBase {
 
   StoreOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Scoped chaos-hook names, resolved once from failpoint_scope.
+  std::string get_failpoint_;
+  std::string put_failpoint_;
+
+  /// Replication tap. `commit_seq_` always advances (one tick per shard
+  /// commit); when a sink is attached, the seq assignment and the sink
+  /// call share `sink_mu_` so the sink observes a gap-free, ordered
+  /// stream even with writers on different shards.
+  std::atomic<uint64_t> commit_seq_{0};
+  std::atomic<bool> has_sink_{false};
+  mutable std::mutex sink_mu_;
+  CommitSink commit_sink_;
 };
 
 }  // namespace titant::kvstore

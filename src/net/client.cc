@@ -20,10 +20,15 @@ namespace titant::net {
 namespace {
 
 Status Errno(const std::string& what) {
-  // Peer-reset errnos are transport failures, not local I/O faults: map
-  // them to Unavailable so CallRetrying reconnects and retries.
+  // Peer-reset and node-down errnos are transport failures, not local
+  // I/O faults: map them to Unavailable so CallRetrying reconnects and
+  // retries, and so the breaker/failover tier classifies them as a dead
+  // peer rather than a wedged local stack. ETIMEDOUT here is the kernel
+  // giving up on retransmits — the node-kill signature — distinct from
+  // our own deadline expiring, which surfaces as kTimeout from PollFd.
   if (errno == ECONNRESET || errno == EPIPE || errno == ECONNABORTED ||
-      errno == ENETRESET) {
+      errno == ENETRESET || errno == ETIMEDOUT || errno == EHOSTUNREACH ||
+      errno == ENETUNREACH || errno == ENETDOWN || errno == ECONNREFUSED) {
     return Status::Unavailable(what + ": " + std::strerror(errno));
   }
   return Status::IOError(what + ": " + std::strerror(errno));

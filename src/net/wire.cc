@@ -514,6 +514,94 @@ Status DecodePutBatchRequest(std::string_view payload, std::vector<kvstore::Cell
   return r.ExpectDone();
 }
 
+void EncodeReplRecordTo(std::string* out, const kvstore::Cell* const* cells, std::size_t n) {
+  WireWriter w(out);
+  w.U32(static_cast<uint32_t>(n));
+  for (std::size_t i = 0; i < n; ++i) WritePutCellFields(w, *cells[i]);
+}
+
+void EncodeReplAppendTo(std::string* out, uint64_t first_seq, uint32_t record_count,
+                        std::string_view records) {
+  WireWriter w(out);
+  w.U64(first_seq);
+  w.U32(record_count);
+  w.Bytes(records);
+}
+
+Status DecodeReplAppend(std::string_view payload, uint64_t* first_seq,
+                        std::vector<ReplRecord>* records) {
+  WireReader r(payload);
+  uint32_t count = 0;
+  TITANT_RETURN_IF_ERROR(r.U64(first_seq));
+  TITANT_RETURN_IF_ERROR(r.U32(&count));
+  TITANT_RETURN_IF_ERROR(CheckBatchItemCount("repl append", count, r.remaining(),
+                                             kReplRecordMinBytes, /*fixed_width=*/false));
+  if (*first_seq == 0) return Status::InvalidArgument("repl append starts at seq 0");
+  records->clear();
+  records->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t cell_count = 0;
+    TITANT_RETURN_IF_ERROR(r.U32(&cell_count));
+    TITANT_RETURN_IF_ERROR(CheckBatchItemCount("repl record", cell_count, r.remaining(),
+                                               kPutCellMinBytes, /*fixed_width=*/false));
+    ReplRecord record;
+    record.cells.reserve(cell_count);
+    for (uint32_t c = 0; c < cell_count; ++c) {
+      kvstore::Cell cell;
+      TITANT_RETURN_IF_ERROR(ReadPutCellFields(r, &cell));
+      record.cells.push_back(std::move(cell));
+    }
+    records->push_back(std::move(record));
+  }
+  return r.ExpectDone();
+}
+
+std::string EncodeReplAck(uint64_t watermark) {
+  WireWriter w;
+  w.U64(watermark);
+  return w.Take();
+}
+
+Status DecodeReplAck(std::string_view payload, uint64_t* watermark) {
+  WireReader r(payload);
+  TITANT_RETURN_IF_ERROR(r.U64(watermark));
+  return r.ExpectDone();
+}
+
+void EncodeReplCatchupTo(std::string* out, uint64_t watermark, bool done,
+                         const kvstore::Cell* cells, std::size_t n) {
+  WireWriter w(out);
+  w.U64(watermark);
+  w.U8(done ? 1 : 0);
+  w.U32(static_cast<uint32_t>(n));
+  for (std::size_t i = 0; i < n; ++i) WritePutCellFields(w, cells[i]);
+}
+
+Status DecodeReplCatchup(std::string_view payload, uint64_t* watermark, bool* done,
+                         std::vector<kvstore::Cell>* cells) {
+  WireReader r(payload);
+  uint8_t done_flag = 0;
+  uint32_t count = 0;
+  TITANT_RETURN_IF_ERROR(r.U64(watermark));
+  TITANT_RETURN_IF_ERROR(r.U8(&done_flag));
+  TITANT_RETURN_IF_ERROR(r.U32(&count));
+  *done = done_flag != 0;
+  cells->clear();
+  // An empty final chunk is legal (an empty store still hands over its
+  // watermark), so the zero-count rejection inside CheckBatchItemCount
+  // only applies to non-empty chunks.
+  if (count == 0) return r.ExpectDone();
+  TITANT_RETURN_IF_ERROR(CheckBatchItemCount("repl catchup", count, r.remaining(),
+                                             kPutCellMinBytes, /*fixed_width=*/false));
+  cells->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    kvstore::Cell cell;
+    TITANT_RETURN_IF_ERROR(ReadPutCellFields(r, &cell));
+    cells->push_back(std::move(cell));
+  }
+  return r.ExpectDone();
+}
+
 std::string EncodeLoadModel(uint64_t version, std::string_view blob) {
   WireWriter w;
   w.U64(version);
@@ -568,6 +656,12 @@ std::string EncodeGatewayStats(const GatewayStats& stats) {
   w.U64(stats.ingest_dropped);
   w.U64(stats.counter_cells_published);
   w.U64(stats.aggregator_users);
+  w.U64(stats.repl_shipped_seq);
+  w.U64(stats.repl_acked_seq);
+  w.U64(stats.repl_lag);
+  w.U64(stats.repl_failovers);
+  w.U64(stats.repl_catchup_cells);
+  w.U64(stats.repl_catchup_bytes);
   return w.Take();
 }
 
@@ -595,6 +689,12 @@ Status DecodeGatewayStats(std::string_view payload, GatewayStats* stats) {
   TITANT_RETURN_IF_ERROR(r.U64(&stats->ingest_dropped));
   TITANT_RETURN_IF_ERROR(r.U64(&stats->counter_cells_published));
   TITANT_RETURN_IF_ERROR(r.U64(&stats->aggregator_users));
+  TITANT_RETURN_IF_ERROR(r.U64(&stats->repl_shipped_seq));
+  TITANT_RETURN_IF_ERROR(r.U64(&stats->repl_acked_seq));
+  TITANT_RETURN_IF_ERROR(r.U64(&stats->repl_lag));
+  TITANT_RETURN_IF_ERROR(r.U64(&stats->repl_failovers));
+  TITANT_RETURN_IF_ERROR(r.U64(&stats->repl_catchup_cells));
+  TITANT_RETURN_IF_ERROR(r.U64(&stats->repl_catchup_bytes));
   return r.ExpectDone();
 }
 

@@ -43,13 +43,21 @@ namespace titant::net {
 /// back into the feature store). Both share kScoreBatch's hostile-count
 /// validation and the same deadline/admission semantics.
 ///
+/// Version 5 adds the replication plane between kvstore nodes: a primary
+/// streams committed writes to a warm standby as kReplAppend frames (a
+/// contiguous run of commit records, ack'd with the standby's replicated-
+/// seq watermark) and pushes a full store snapshot as chunked kReplCatchup
+/// frames when the standby reports a sequence gap (fresh join, restart,
+/// or shipper overflow). Both reuse kPutBatch's cell codec and hostile-
+/// count validation.
+///
 /// Response payloads additionally carry the handler's Status ahead of the
 /// body: int32 code, uint32 message length, message bytes, body bytes.
 /// Oversized or malformed frames decode to InvalidArgument; torn frames
 /// (header or payload split across reads) simply wait for more bytes.
 
 inline constexpr uint32_t kWireMagic = 0x54695431;  // "TiT1"
-inline constexpr uint8_t kWireVersion = 4;
+inline constexpr uint8_t kWireVersion = 5;
 inline constexpr std::size_t kHeaderBytes = 24;
 
 /// Hard cap on a single frame's payload. Covers model blobs (a few MB)
@@ -68,6 +76,8 @@ enum Method : uint16_t {
   kScoreBatch = 5,  // vector<TransferRequest> -> vector<(Status, Verdict)>.
   kPut = 6,         // One kvstore::Cell -> empty (streaming feature write).
   kPutBatch = 7,    // vector<kvstore::Cell> -> empty.
+  kReplAppend = 8,  // Contiguous commit records -> replicated watermark.
+  kReplCatchup = 9, // Snapshot chunk (+ final watermark) -> watermark.
 };
 
 /// Hard cap on items in one kScoreBatch/kPutBatch frame: far above any
@@ -281,6 +291,45 @@ std::string EncodePutBatchRequest(const std::vector<kvstore::Cell>& cells);
 void EncodePutBatchRequestTo(std::string* out, const std::vector<kvstore::Cell>& cells);
 Status DecodePutBatchRequest(std::string_view payload, std::vector<kvstore::Cell>* cells);
 
+/// One replication record: the cells of one primary shard commit. Its
+/// commit sequence is implicit — record i of a kReplAppend frame carries
+/// seq `first_seq + i`.
+struct ReplRecord {
+  std::vector<kvstore::Cell> cells;
+};
+
+/// Minimum encoded size of one replication record: the u32 cell count
+/// plus at least one minimum-size cell (empty commits are never shipped).
+inline constexpr std::size_t kReplRecordMinBytes = 4 + kPutCellMinBytes;
+
+/// Appends one commit record (u32 cell count + cells in the kPut cell
+/// codec) to `*out` — called from the primary's commit sink, so it
+/// appends to a reused buffer and allocates nothing once warm.
+void EncodeReplRecordTo(std::string* out, const kvstore::Cell* const* cells, std::size_t n);
+
+/// kReplAppend request payload: u64 first_seq, u32 record count, then the
+/// pre-encoded records blob covering seqs [first_seq, first_seq+count).
+void EncodeReplAppendTo(std::string* out, uint64_t first_seq, uint32_t record_count,
+                        std::string_view records);
+Status DecodeReplAppend(std::string_view payload, uint64_t* first_seq,
+                        std::vector<ReplRecord>* records);
+
+/// kReplAppend/kReplCatchup response body: the replica's watermark — the
+/// highest commit seq it has durably applied.
+std::string EncodeReplAck(uint64_t watermark);
+Status DecodeReplAck(std::string_view payload, uint64_t* watermark);
+
+/// kReplCatchup request payload: u64 watermark (the commit seq the full
+/// snapshot covers — the same value in every chunk), u8 done flag (set on
+/// the final chunk; the replica adopts the watermark only then, so a
+/// half-delivered catch-up is simply retried from scratch), u32 cell
+/// count, cells. Catch-up is additive: stale cells a diverged replica
+/// already holds are shadowed by version order, not deleted.
+void EncodeReplCatchupTo(std::string* out, uint64_t watermark, bool done,
+                         const kvstore::Cell* cells, std::size_t n);
+Status DecodeReplCatchup(std::string_view payload, uint64_t* watermark, bool* done,
+                         std::vector<kvstore::Cell>* cells);
+
 /// kLoadModel request payload: version + the serialized model blob.
 std::string EncodeLoadModel(uint64_t version, std::string_view blob);
 Status DecodeLoadModel(std::string_view payload, uint64_t* version, std::string* blob);
@@ -336,6 +385,18 @@ struct GatewayStats {
   uint64_t counter_cells_published = 0;
   /// Users with live sliding-window state in the aggregator.
   uint64_t aggregator_users = 0;
+  /// Replication (version 5). On a primary: the highest commit seq handed
+  /// to the shipper and the highest the standby has acknowledged — their
+  /// difference is the shipping lag in commits (the staleness bound a
+  /// failover inherits). On a replica: acked_seq is its own watermark.
+  uint64_t repl_shipped_seq = 0;
+  uint64_t repl_acked_seq = 0;
+  uint64_t repl_lag = 0;
+  /// Reads flipped primary->standby by the serving tier's failover store.
+  uint64_t repl_failovers = 0;
+  /// Cells and bytes pushed through snapshot catch-up (gap recovery).
+  uint64_t repl_catchup_cells = 0;
+  uint64_t repl_catchup_bytes = 0;
 };
 std::string EncodeGatewayStats(const GatewayStats& stats);
 Status DecodeGatewayStats(std::string_view payload, GatewayStats* stats);

@@ -1,0 +1,164 @@
+#include "replication/kv_server.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace titant::replication {
+
+KvStoreServer::KvStoreServer(kvstore::AliHBase* store, KvServerOptions options)
+    : store_(store), options_(std::move(options)) {
+  net::ServerOptions server_options;
+  server_options.host = options_.host;
+  server_options.port = options_.port;
+  server_options.worker_threads = options_.worker_threads;
+  server_options.max_in_flight = options_.max_in_flight;
+  server_ = std::make_unique<net::Server>(
+      std::move(server_options),
+      [this](const net::Frame& request, std::string* body) { return Handle(request, body); });
+}
+
+KvStoreServer::~KvStoreServer() { (void)Shutdown(); }
+
+Status KvStoreServer::Start() { return server_->Start(); }
+
+Status KvStoreServer::Shutdown() { return server_->Shutdown(); }
+
+uint16_t KvStoreServer::port() const { return server_->port(); }
+
+Status KvStoreServer::Handle(const net::Frame& request, std::string* body) {
+  switch (request.method) {
+    case net::kPut:
+    case net::kPutBatch:
+      return HandlePut(request);
+    case net::kReplAppend:
+      return HandleReplAppend(request, body);
+    case net::kReplCatchup:
+      return HandleReplCatchup(request, body);
+    case net::kHealth: {
+      // model_version doubles as the replication watermark: a probing
+      // shipper (or operator) reads how far this node has applied.
+      net::HealthInfo info;
+      info.num_instances = 1;
+      info.healthy_instances = 1;
+      info.model_version = watermark();
+      *body = net::EncodeHealthInfo(info);
+      return Status::OK();
+    }
+    case net::kStats: {
+      net::GatewayStats stats;
+      FillStats(&stats);
+      stats.puts_applied = puts_applied_.load(std::memory_order_relaxed);
+      *body = net::EncodeGatewayStats(stats);
+      return Status::OK();
+    }
+    default:
+      return Status::Unimplemented("kvstore node does not serve method " +
+                                   std::to_string(request.method));
+  }
+}
+
+Status KvStoreServer::HandlePut(const net::Frame& request) {
+  // Same admission rule as the gateway: refuse work whose caller already
+  // gave up (the pool queue may have eaten the budget).
+  if (request.has_deadline() && net::MonotonicMicros() > request.deadline_us()) {
+    return Status::Timeout("deadline expired before put applied");
+  }
+  std::vector<kvstore::Cell> cells;
+  if (request.method == net::kPut) {
+    cells.resize(1);
+    TITANT_RETURN_IF_ERROR(net::DecodePutRequest(request.payload, &cells[0]));
+  } else {
+    TITANT_RETURN_IF_ERROR(net::DecodePutBatchRequest(request.payload, &cells));
+  }
+  const std::size_t n = cells.size();
+  TITANT_RETURN_IF_ERROR(store_->PutBatch(cells));
+  puts_applied_.fetch_add(n, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status KvStoreServer::HandleReplAppend(const net::Frame& request, std::string* body) {
+  uint64_t first_seq = 0;
+  std::vector<net::ReplRecord> records;
+  TITANT_RETURN_IF_ERROR(net::DecodeReplAppend(request.payload, &first_seq, &records));
+
+  std::lock_guard<std::mutex> lock(apply_mu_);
+  const uint64_t mark = watermark_.load(std::memory_order_relaxed);
+  const uint64_t last_seq = first_seq + records.size() - 1;
+  if (last_seq <= mark) {
+    // Full replay of records already applied (shipper retry after a lost
+    // ack). Applying cells again would be harmless — they are keyed by
+    // row/family/qualifier/version — but skipping is free.
+    *body = net::EncodeReplAck(mark);
+    return Status::OK();
+  }
+  if (first_seq > mark + 1) {
+    gaps_detected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::FailedPrecondition(
+        "replication gap: watermark " + std::to_string(mark) + ", batch starts at seq " +
+        std::to_string(first_seq) + "; snapshot catch-up required");
+  }
+  // Apply the suffix past the watermark; the prefix is replayed overlap.
+  uint64_t applied_records = 0;
+  uint64_t applied_cells = 0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const uint64_t seq = first_seq + static_cast<uint64_t>(i);
+    if (seq <= mark) continue;
+    TITANT_RETURN_IF_ERROR(store_->PutBatch(records[i].cells));
+    // Advance per record, not per batch: a mid-batch apply failure leaves
+    // the watermark on the last record that actually landed, and the
+    // shipper's re-send skips the applied prefix.
+    watermark_.store(seq, std::memory_order_release);
+    ++applied_records;
+    applied_cells += records[i].cells.size();
+  }
+  repl_records_applied_.fetch_add(applied_records, std::memory_order_relaxed);
+  repl_cells_applied_.fetch_add(applied_cells, std::memory_order_relaxed);
+  *body = net::EncodeReplAck(last_seq);
+  return Status::OK();
+}
+
+Status KvStoreServer::HandleReplCatchup(const net::Frame& request, std::string* body) {
+  uint64_t snapshot_watermark = 0;
+  bool done = false;
+  std::vector<kvstore::Cell> cells;
+  TITANT_RETURN_IF_ERROR(
+      net::DecodeReplCatchup(request.payload, &snapshot_watermark, &done, &cells));
+
+  std::lock_guard<std::mutex> lock(apply_mu_);
+  if (!cells.empty()) {
+    TITANT_RETURN_IF_ERROR(store_->PutBatch(cells));
+    catchup_cells_.fetch_add(cells.size(), std::memory_order_relaxed);
+  }
+  catchup_bytes_.fetch_add(request.payload.size(), std::memory_order_relaxed);
+  if (done && snapshot_watermark > watermark_.load(std::memory_order_relaxed)) {
+    // Adopt only on the final chunk: a half-delivered catch-up leaves the
+    // old watermark, so the next kReplAppend re-detects the gap and the
+    // whole snapshot is simply retried (applies are idempotent).
+    watermark_.store(snapshot_watermark, std::memory_order_release);
+  }
+  *body = net::EncodeReplAck(watermark_.load(std::memory_order_relaxed));
+  return Status::OK();
+}
+
+KvServerStats KvStoreServer::stats() const {
+  KvServerStats stats;
+  stats.puts_applied = puts_applied_.load(std::memory_order_relaxed);
+  stats.repl_records_applied = repl_records_applied_.load(std::memory_order_relaxed);
+  stats.repl_cells_applied = repl_cells_applied_.load(std::memory_order_relaxed);
+  stats.catchup_cells = catchup_cells_.load(std::memory_order_relaxed);
+  stats.catchup_bytes = catchup_bytes_.load(std::memory_order_relaxed);
+  stats.gaps_detected = gaps_detected_.load(std::memory_order_relaxed);
+  stats.watermark = watermark();
+  return stats;
+}
+
+void KvStoreServer::FillStats(net::GatewayStats* stats) const {
+  // On a replica the acked seq IS its own watermark; shipped/lag belong to
+  // the primary's shipper and stay zero here.
+  stats->repl_acked_seq = watermark();
+  stats->repl_catchup_cells = catchup_cells_.load(std::memory_order_relaxed);
+  stats->repl_catchup_bytes = catchup_bytes_.load(std::memory_order_relaxed);
+}
+
+}  // namespace titant::replication

@@ -31,7 +31,7 @@ bool InfraFailure(const Status& status) {
 
 }  // namespace
 
-ModelServer::ModelServer(kvstore::AliHBase* store, ModelServerOptions options)
+ModelServer::ModelServer(kvstore::KvTable* store, ModelServerOptions options)
     : store_(store), options_(options) {}
 
 Status ModelServer::LoadModel(const std::string& blob, uint64_t version) {
@@ -276,20 +276,27 @@ Status ModelServer::ScoreSpan(const TransferRequest* requests, std::size_t n,
     std::lock_guard<std::mutex> lock(mu_);
     model_->ScoreBatch(features.data(), static_cast<int>(n), scores.data());
     const int64_t elapsed = timer.ElapsedMicros();
+    // A store serving possibly-stale reads (a failover tier on its warm
+    // standby) degrades every verdict it fed: the features are real but
+    // may trail the dead primary by the shipping lag, and the caller
+    // deserves to know (§4.4 fail-open — a stale answer inside the
+    // budget beats a refused transaction). Checked after the fetch so
+    // the flag covers the store that actually answered.
+    const bool stale_store = !out_of_budget && store_->degraded_reads();
     for (std::size_t i = 0; i < n; ++i) {
       if (!item_error[i].ok()) {
         out[i] = item_error[i];
         continue;
       }
       Verdict verdict;
-      verdict.degraded = degraded[i] != 0;
+      verdict.degraded = degraded[i] != 0 || stale_store;
       verdict.fraud_probability = scores[i];
       verdict.model_version = model_version_;
       verdict.interrupt = verdict.fraud_probability >= options_.interrupt_threshold;
       verdict.latency_us = elapsed;
       latency_us_.Add(static_cast<double>(verdict.latency_us));
       out[i] = verdict;
-      if (degraded[i]) degraded_scores_.fetch_add(1);
+      if (verdict.degraded) degraded_scores_.fetch_add(1);
     }
   }
   return Status::OK();

@@ -74,8 +74,10 @@ struct ModelServerOptions {
 /// swaps (LoadModel) are exclusive.
 class ModelServer {
  public:
-  /// `store` must outlive the server.
-  ModelServer(kvstore::AliHBase* store, ModelServerOptions options);
+  /// `store` must outlive the server. Any KvTable serves: a plain
+  /// AliHBase, or a replication::FailoverStore — whose degraded_reads()
+  /// marks every verdict degraded while reads come from the standby.
+  ModelServer(kvstore::KvTable* store, ModelServerOptions options);
 
   /// Installs a model from a serialized blob (the "model file" uploaded by
   /// offline training), tagged with its version (training day).
@@ -128,7 +130,7 @@ class ModelServer {
   uint64_t degraded_scores() const { return degraded_scores_.load(); }
 
  private:
-  kvstore::AliHBase* store_;
+  kvstore::KvTable* store_;
   ModelServerOptions options_;
   mutable std::mutex mu_;
   std::unique_ptr<ml::Model> model_;

@@ -4,7 +4,7 @@
 
 namespace titant::serving {
 
-ModelServerRouter::ModelServerRouter(kvstore::AliHBase* store, ModelServerOptions options,
+ModelServerRouter::ModelServerRouter(kvstore::KvTable* store, ModelServerOptions options,
                                      int num_instances, RouterOptions router_options)
     : router_options_(router_options),
       healthy_(static_cast<std::size_t>(std::max(1, num_instances))),

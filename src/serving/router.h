@@ -34,7 +34,7 @@ class ModelServerRouter {
  public:
   /// Spins up `num_instances` servers sharing `store` (which must outlive
   /// the router).
-  ModelServerRouter(kvstore::AliHBase* store, ModelServerOptions options, int num_instances,
+  ModelServerRouter(kvstore::KvTable* store, ModelServerOptions options, int num_instances,
                     RouterOptions router_options = RouterOptions());
 
   int num_instances() const { return static_cast<int>(instances_.size()); }

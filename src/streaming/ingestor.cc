@@ -29,7 +29,7 @@ std::string EncodeCounterValue(const float* values, std::size_t count) {
 
 }  // namespace
 
-Ingestor::Ingestor(kvstore::AliHBase* store, IngestorOptions options)
+Ingestor::Ingestor(kvstore::KvTable* store, IngestorOptions options)
     : store_(store), options_(std::move(options)) {
   // Seed the publish version from the wall clock: a sequence restarting
   // at 0 would stamp post-crash publishes with lower versions than the
@@ -42,7 +42,7 @@ Ingestor::Ingestor(kvstore::AliHBase* store, IngestorOptions options)
                                            .count());
 }
 
-StatusOr<std::unique_ptr<Ingestor>> Ingestor::Open(kvstore::AliHBase* store,
+StatusOr<std::unique_ptr<Ingestor>> Ingestor::Open(kvstore::KvTable* store,
                                                    IngestorOptions options) {
   std::unique_ptr<Ingestor> ingestor(new Ingestor(store, std::move(options)));
   if (!ingestor->options_.event_log_path.empty()) {
@@ -62,6 +62,12 @@ StatusOr<std::unique_ptr<Ingestor>> Ingestor::Open(kvstore::AliHBase* store,
     TITANT_RETURN_IF_ERROR(
         ingestor->log_->Replay([&](const serving::TransferRequest& event) {
           ingestor->recovered_.fetch_add(1, std::memory_order_relaxed);
+          // Reseed the dedup ring: a wire retry of a pre-crash txn must
+          // still be recognized after the restart (single-threaded here,
+          // the worker is not running yet).
+          if (ingestor->options_.dedup_capacity > 0 && event.txn_id != 0) {
+            (void)ingestor->SeenTxnLocked(event.txn_id);
+          }
           if (ingestor->aggregator_.Apply(event)) {
             users.push_back(event.from_user);
             latest = std::max(latest, EventSeconds(event));
@@ -80,11 +86,30 @@ Ingestor::~Ingestor() {
   (void)status;
 }
 
+bool Ingestor::SeenTxnLocked(txn::TxnId txn_id) {
+  if (!dedup_set_.insert(txn_id).second) return true;
+  if (dedup_ring_.size() < options_.dedup_capacity) {
+    dedup_ring_.push_back(txn_id);
+  } else {
+    // At capacity: the slot's previous occupant is the oldest id.
+    dedup_set_.erase(dedup_ring_[dedup_pos_]);
+    dedup_ring_[dedup_pos_] = txn_id;
+    dedup_pos_ = (dedup_pos_ + 1) % dedup_ring_.size();
+  }
+  return false;
+}
+
 void Ingestor::Submit(const serving::TransferRequest& event) {
   bool wake;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stop_) return;
+    if (options_.dedup_capacity > 0 && event.txn_id != 0 && SeenTxnLocked(event.txn_id)) {
+      // A replayed wire retry: the event already folded into the windows
+      // (or sits in the queue); folding it again would double-count.
+      deduped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     if (queue_.size() >= options_.queue_capacity) {
       // Shed-oldest: under sustained overload the freshest events carry
       // the velocity signal worth keeping, and Submit must never block
@@ -266,6 +291,7 @@ IngestorStats Ingestor::stats() const {
   stats.applied = applied_.load(std::memory_order_relaxed);
   stats.dropped = dropped_.load(std::memory_order_relaxed);
   stats.recovered = recovered_.load(std::memory_order_relaxed);
+  stats.deduped = deduped_.load(std::memory_order_relaxed);
   stats.put_cells = put_cells_.load(std::memory_order_relaxed);
   stats.counter_cells_published = counter_cells_published_.load(std::memory_order_relaxed);
   return stats;

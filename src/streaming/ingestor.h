@@ -10,6 +10,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "common/statusor.h"
@@ -50,6 +51,14 @@ struct IngestorOptions {
   /// Publish each touched user's counters to the store ("rt"/"win" cells)
   /// after every drained batch. False keeps counters query-only (tests).
   bool publish_counters = true;
+  /// Recent-txn dedup ring: Submit drops an event whose txn_id matches
+  /// one of the last `dedup_capacity` accepted ids, so a replayed wire
+  /// retry (the client re-sent a kScore whose ack was lost) folds into
+  /// the velocity windows once, not twice. Survives restarts: the event-
+  /// log replay at Open reseeds the ring, so a retry that straddles a
+  /// crash is still caught. txn_id 0 (unset) is never deduplicated.
+  /// 0 disables.
+  std::size_t dedup_capacity = 65536;
 };
 
 struct IngestorStats {
@@ -59,6 +68,7 @@ struct IngestorStats {
   uint64_t dropped = 0;    // Late for every window, log-append failures,
                            // or injected `streaming.ingest` faults.
   uint64_t recovered = 0;  // Replayed from the event log at Open.
+  uint64_t deduped = 0;    // Submits dropped by the recent-txn ring.
   uint64_t put_cells = 0;  // Cells written through PutCells (wire puts).
   uint64_t counter_cells_published = 0;
 };
@@ -86,9 +96,11 @@ struct IngestorStats {
 class Ingestor {
  public:
   /// `store` may be null (aggregation only, no publishing/puts) and must
-  /// otherwise outlive the ingestor. Replays the event log, republishes
-  /// recovered counters, then starts the worker.
-  static StatusOr<std::unique_ptr<Ingestor>> Open(kvstore::AliHBase* store,
+  /// otherwise outlive the ingestor. Any KvTable serves: a plain
+  /// AliHBase, or a replication::FailoverStore so counter publishes
+  /// re-target the standby when the primary dies. Replays the event log,
+  /// republishes recovered counters, then starts the worker.
+  static StatusOr<std::unique_ptr<Ingestor>> Open(kvstore::KvTable* store,
                                                   IngestorOptions options);
   ~Ingestor();
 
@@ -101,7 +113,10 @@ class Ingestor {
 
   /// Writes feature cells straight to the store (the kPut/kPutBatch
   /// handler path). Synchronous: the caller's deadline and the server's
-  /// admission control already bound it.
+  /// admission control already bound it. Needs no dedup ring: a retried
+  /// put re-writes the same (row, family, qualifier, version) cells, and
+  /// the store's version order makes that replay idempotent — unlike a
+  /// replayed Submit, which would fold the event into the windows twice.
   Status PutCells(const std::vector<kvstore::Cell>& cells);
 
   /// Blocks until every event submitted so far has been applied and its
@@ -115,7 +130,11 @@ class Ingestor {
   IngestorStats stats() const;
 
  private:
-  Ingestor(kvstore::AliHBase* store, IngestorOptions options);
+  Ingestor(kvstore::KvTable* store, IngestorOptions options);
+
+  /// True when `txn_id` is in the recent-txn ring; records it otherwise.
+  /// Callers hold mu_ (or run before the worker starts).
+  bool SeenTxnLocked(txn::TxnId txn_id);
 
   void WorkerLoop();
   /// Logs and applies a drained batch, accumulating touched users into
@@ -126,7 +145,7 @@ class Ingestor {
   void MaybePublish(bool force);
   void PublishCounters(std::vector<txn::UserId>& users, int64_t now_s);
 
-  kvstore::AliHBase* store_;
+  kvstore::KvTable* store_;
   IngestorOptions options_;
   Aggregator aggregator_;
   std::unique_ptr<EventLog> log_;
@@ -140,6 +159,11 @@ class Ingestor {
   /// Drain() calls waiting for the queue to empty; the worker skips the
   /// linger while any are outstanding.
   int drain_waiters_ = 0;
+  /// Recent-txn dedup ring (guarded by mu_): the set answers "seen?",
+  /// the ring evicts oldest-first at capacity.
+  std::unordered_set<txn::TxnId> dedup_set_;
+  std::vector<txn::TxnId> dedup_ring_;
+  std::size_t dedup_pos_ = 0;
   /// Mirror of "pending_users_ is non-empty", maintained under mu_ so
   /// Drain() and the worker's wait predicates can read it without
   /// touching the worker-owned scratch.
@@ -151,6 +175,7 @@ class Ingestor {
   std::atomic<uint64_t> applied_{0};
   std::atomic<uint64_t> dropped_{0};
   std::atomic<uint64_t> recovered_{0};
+  std::atomic<uint64_t> deduped_{0};
   std::atomic<uint64_t> put_cells_{0};
   std::atomic<uint64_t> counter_cells_published_{0};
   /// Version stamp of published counter cells: a per-ingestor monotonic

@@ -636,6 +636,61 @@ TEST_F(IngestorTest, CrashRecoveryReplaysExactlyOnce) {
   RemoveLog(prefix);
 }
 
+TEST_F(IngestorTest, DedupDropsReplayedTxnIdsAcrossRestart) {
+  const std::string prefix = TempPrefix("dedup");
+  RemoveLog(prefix);
+  IngestorOptions options;
+  options.event_log_path = prefix;
+  const int64_t t0 = 100 * 86400;
+  {
+    auto ingestor = Ingestor::Open(store_.get(), options);
+    ASSERT_TRUE(ingestor.ok());
+    (*ingestor)->Submit(Event(1, 2, 5.0, t0));
+    (*ingestor)->Submit(Event(1, 3, 5.0, t0 + 60));
+    // A wire retry folds the same txn back in: dropped, not double-counted
+    // (Submit is the one non-idempotent write path — a replayed put only
+    // rewrites the same cell, but a replayed Submit would bump windows).
+    (*ingestor)->Submit(Event(1, 2, 5.0, t0));
+    (*ingestor)->Drain();
+    const auto stats = (*ingestor)->stats();
+    EXPECT_EQ(stats.deduped, 1u);
+    EXPECT_EQ(stats.applied, 2u);
+    ASSERT_TRUE((*ingestor)->Shutdown().ok());
+  }
+  // Restart reseeds the ring from event-log replay, so a retry that
+  // arrives after the crash still folds once instead of double-counting
+  // into the recovered windows.
+  auto recovered = Ingestor::Open(store_.get(), options);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ((*recovered)->stats().recovered, 2u);
+  (*recovered)->Submit(Event(1, 2, 5.0, t0));  // The post-crash retry.
+  (*recovered)->Drain();
+  EXPECT_EQ((*recovered)->stats().deduped, 1u);
+  LiveCounters counters;
+  ASSERT_TRUE((*recovered)->aggregator().Query(1, t0 + 600, &counters));
+  EXPECT_EQ(counters.window[0].count, 2u);  // Not 3: the retry never lands.
+  ASSERT_TRUE((*recovered)->Shutdown().ok());
+  RemoveLog(prefix);
+}
+
+TEST_F(IngestorTest, DedupRingIsBoundedAndEvictsOldest) {
+  IngestorOptions options;
+  options.dedup_capacity = 2;
+  auto ingestor = Ingestor::Open(store_.get(), options);
+  ASSERT_TRUE(ingestor.ok());
+  const int64_t t0 = 100 * 86400;
+  (*ingestor)->Submit(Event(1, 2, 1.0, t0));
+  (*ingestor)->Submit(Event(1, 2, 1.0, t0 + 1));
+  (*ingestor)->Submit(Event(1, 2, 1.0, t0 + 2));  // Evicts t0 from the ring.
+  (*ingestor)->Submit(Event(1, 2, 1.0, t0));      // Forgotten: applies again.
+  (*ingestor)->Submit(Event(1, 2, 1.0, t0 + 2));  // Remembered: drops.
+  (*ingestor)->Drain();
+  const auto stats = (*ingestor)->stats();
+  EXPECT_EQ(stats.deduped, 1u);
+  EXPECT_EQ(stats.applied, 4u);
+  ASSERT_TRUE((*ingestor)->Shutdown().ok());
+}
+
 // ---------------------------------------------------------------------------
 // End to end: gateway puts, scored-traffic ingestion, live-counter scoring.
 // ---------------------------------------------------------------------------

@@ -38,6 +38,22 @@
 //       velocity counters within seconds, so later transfers in the replay
 //       are judged against the live burst — not the T+1 snapshot. Prints
 //       the gateway's streaming counters when the replay finishes.
+//
+//   titant_cli kvserve <dir> [port] [--standby host:port] [--shards N]
+//       Runs one kvstore node: a durable sharded AliHBase at <dir> behind
+//       the wire protocol's store subset (kPut/kPutBatch/kReplAppend/
+//       kReplCatchup/kHealth/kStats). With --standby the node acts as a
+//       replication primary, WAL-shipping every commit to the standby's
+//       kvserve endpoint (a restarted old primary points --standby at the
+//       promoted node to catch back up — failback is the arrow flipping).
+//       Serves until SIGINT/SIGTERM.
+//
+//   titant_cli kvput <host> <port> <row> <family> <qualifier> <value> [version]
+//       Writes one cell to a running kvserve node (or gateway) over kPut.
+//
+//   titant_cli kvstats <host> <port>
+//       Prints a node's replication counters (watermark, lag, catch-up)
+//       from its kStats frame.
 
 #include <algorithm>
 #include <chrono>
@@ -51,6 +67,8 @@
 
 #include "common/failpoint.h"
 #include "core/experiment.h"
+#include "replication/kv_server.h"
+#include "replication/shipper.h"
 #include "datagen/world.h"
 #include "ml/decision_tree.h"
 #include "ml/metrics.h"
@@ -92,7 +110,10 @@ int Usage() {
                "  titant_cli rules <profiles.csv> <records.csv> <test-date> [net-days] [train-days]\n"
                "  titant_cli serve <profiles.csv> <records.csv> <test-date> <model.bin> [port] [instances] [net-days] [train-days]\n"
                "  titant_cli score <host> <port> <from-user> <to-user> <amount> <date> [channel] [--batch N]\n"
-               "  titant_cli ingest <host> <port> <profiles.csv> <records.csv> <date> [--batch N]\n");
+               "  titant_cli ingest <host> <port> <profiles.csv> <records.csv> <date> [--batch N]\n"
+               "  titant_cli kvserve <dir> [port] [--standby host:port] [--shards N]\n"
+               "  titant_cli kvput <host> <port> <row> <family> <qualifier> <value> [version]\n"
+               "  titant_cli kvstats <host> <port>\n");
   return 2;
 }
 
@@ -506,6 +527,126 @@ int CmdIngest(int argc, char** argv) {
   return 0;
 }
 
+int CmdKvServe(int argc, char** argv) {
+  const char* standby = nullptr;
+  int shards = 0;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--standby") == 0 && i + 1 < argc) {
+      standby = argv[++i];
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::atoi(argv[++i]);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
+  if (argc < 3) return Usage();
+  const uint16_t port = argc > 3 ? static_cast<uint16_t>(std::atoi(argv[3])) : 7432;
+
+  // The node owns a durable feature table (same families/sharding the
+  // gateway serves against) that survives restarts via its per-shard WALs.
+  auto store_options = titant::serving::FeatureTableOptions();
+  store_options.dir = argv[2];
+  store_options.durable = true;
+  if (shards > 0) store_options.num_shards = shards;
+  auto store = OrDie(titant::kvstore::AliHBase::Open(store_options));
+
+  OrDie(titant::Failpoints::ArmFromEnv());
+  for (const auto& name : titant::Failpoints::ArmedNames()) {
+    std::printf("failpoint armed: %s\n", name.c_str());
+  }
+
+  titant::replication::KvServerOptions server_options;
+  server_options.port = port;
+  titant::replication::KvStoreServer server(store.get(), server_options);
+  OrDie(server.Start());
+
+  // With a standby named, this node is a replication primary: every commit
+  // ships over the wire, and the watermark acked back bounds failover
+  // staleness. A restarted old primary points --standby at the promoted
+  // node instead — same command, arrow reversed — to catch it back up.
+  std::unique_ptr<titant::replication::Shipper> shipper;
+  if (standby != nullptr) {
+    const char* colon = std::strrchr(standby, ':');
+    if (colon == nullptr) {
+      std::fprintf(stderr, "error: --standby wants host:port, got '%s'\n", standby);
+      return 2;
+    }
+    titant::replication::ShipperOptions ship_options;
+    ship_options.standby_host = std::string(standby, colon - standby);
+    ship_options.standby_port = static_cast<uint16_t>(std::atoi(colon + 1));
+    shipper = titant::replication::Shipper::Attach(store.get(), std::move(ship_options));
+  }
+
+  std::printf("kvstore node serving on 127.0.0.1:%u (dir %s, %zu shards%s%s)\n", server.port(),
+              argv[2], store->num_shards(), standby != nullptr ? ", shipping to " : "",
+              standby != nullptr ? standby : "");
+  std::printf("press Ctrl-C to stop\n");
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (g_stop_serving == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  if (shipper != nullptr) {
+    std::printf("\ndraining replication queue...\n");
+    if (!shipper->Drain(/*timeout_ms=*/5000)) {
+      std::printf("standby not caught up (it will gap-detect and snapshot on rejoin)\n");
+    }
+    const auto repl = shipper->stats();
+    std::printf("replication: shipped seq %llu, acked %llu, %llu catch-up cells, %llu overflows\n",
+                static_cast<unsigned long long>(repl.shipped_seq),
+                static_cast<unsigned long long>(repl.acked_seq),
+                static_cast<unsigned long long>(repl.catchup_cells),
+                static_cast<unsigned long long>(repl.overflows));
+    shipper->Shutdown();
+  }
+  OrDie(server.Shutdown());
+  const auto stats = server.stats();
+  std::printf("node: %llu puts, watermark %llu, %llu repl cells, %llu catch-up cells, %llu gaps\n",
+              static_cast<unsigned long long>(stats.puts_applied),
+              static_cast<unsigned long long>(stats.watermark),
+              static_cast<unsigned long long>(stats.repl_cells_applied),
+              static_cast<unsigned long long>(stats.catchup_cells),
+              static_cast<unsigned long long>(stats.gaps_detected));
+  return 0;
+}
+
+int CmdKvPut(int argc, char** argv) {
+  if (argc < 8) return Usage();
+  titant::kvstore::Cell cell;
+  cell.key.row = argv[4];
+  cell.key.family = argv[5];
+  cell.key.qualifier = argv[6];
+  cell.value = argv[7];
+  cell.key.version = argc > 8 ? static_cast<uint64_t>(std::atoll(argv[8])) : 1;
+  titant::serving::GatewayClient client(argv[2], static_cast<uint16_t>(std::atoi(argv[3])));
+  OrDie(client.Put(cell, /*timeout_ms=*/2000));
+  std::printf("put %s/%s:%s @v%llu (%zu bytes)\n", cell.key.row.c_str(),
+              cell.key.family.c_str(), cell.key.qualifier.c_str(),
+              static_cast<unsigned long long>(cell.key.version), cell.value.size());
+  return 0;
+}
+
+int CmdKvStats(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  titant::serving::GatewayClient client(argv[2], static_cast<uint16_t>(std::atoi(argv[3])));
+  const auto stats = OrDie(client.Stats(/*timeout_ms=*/2000));
+  std::printf("puts_applied       %llu\n", static_cast<unsigned long long>(stats.puts_applied));
+  std::printf("repl_shipped_seq   %llu\n", static_cast<unsigned long long>(stats.repl_shipped_seq));
+  std::printf("repl_acked_seq     %llu\n", static_cast<unsigned long long>(stats.repl_acked_seq));
+  std::printf("repl_lag           %llu\n", static_cast<unsigned long long>(stats.repl_lag));
+  std::printf("repl_failovers     %llu\n", static_cast<unsigned long long>(stats.repl_failovers));
+  std::printf("repl_catchup_cells %llu\n",
+              static_cast<unsigned long long>(stats.repl_catchup_cells));
+  std::printf("repl_catchup_bytes %llu\n",
+              static_cast<unsigned long long>(stats.repl_catchup_bytes));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -517,5 +658,8 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "serve") == 0) return CmdServe(argc, argv);
   if (std::strcmp(argv[1], "score") == 0) return CmdScore(argc, argv);
   if (std::strcmp(argv[1], "ingest") == 0) return CmdIngest(argc, argv);
+  if (std::strcmp(argv[1], "kvserve") == 0) return CmdKvServe(argc, argv);
+  if (std::strcmp(argv[1], "kvput") == 0) return CmdKvPut(argc, argv);
+  if (std::strcmp(argv[1], "kvstats") == 0) return CmdKvStats(argc, argv);
   return Usage();
 }
