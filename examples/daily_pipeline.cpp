@@ -11,6 +11,7 @@
 #include "common/thread_pool.h"
 #include "core/experiment.h"
 #include "datagen/world.h"
+#include "graph/random_walk.h"
 #include "maxcompute/odps.h"
 #include "serving/feature_store.h"
 #include "serving/model_server.h"
@@ -103,6 +104,45 @@ int main() {
         OrDie(trainer.BuildMatrix(windows[0].train_records, core::FeatureSet::kBasicDW));
     auto model = core::MakeModel(core::ModelKind::kGbdt, pipeline);
     OrDie(model->Train(train));
+
+    // On the first day, measure the offline pipeline's multi-thread
+    // speedup: the same walk-corpus generation and GBDT train, one worker
+    // vs a small pool (per-rep / per-feature fan-out is deterministic, so
+    // the parallel run does the same work).
+    if (test_day == 0) {
+      const int offline_workers = 4;
+      graph::RandomWalkOptions walk_opts;
+      walk_opts.walk_length = pipeline.walk_length;
+      walk_opts.walks_per_node = pipeline.walks_per_node;
+      walk_opts.seed = 7;
+      Stopwatch walk_serial_watch;
+      const auto serial_corpus = OrDie(graph::GenerateWalks(*trainer.network(), walk_opts));
+      const double walk_serial_ms = walk_serial_watch.ElapsedMillis();
+      walk_opts.num_threads = offline_workers;
+      Stopwatch walk_parallel_watch;
+      const auto parallel_corpus = OrDie(graph::GenerateWalks(*trainer.network(), walk_opts));
+      const double walk_parallel_ms = walk_parallel_watch.ElapsedMillis();
+      std::printf(
+          "  walk generation: %zu walks in %.1f ms on 1 thread, %.1f ms on %d "
+          "(%.2fx speedup)\n",
+          parallel_corpus.walks.size(), walk_serial_ms, walk_parallel_ms, offline_workers,
+          walk_parallel_ms > 0.0 ? walk_serial_ms / walk_parallel_ms : 0.0);
+
+      core::PipelineOptions gbdt_parallel = pipeline;
+      gbdt_parallel.gbdt.num_threads = offline_workers;
+      auto serial_model = core::MakeModel(core::ModelKind::kGbdt, pipeline);
+      Stopwatch gbdt_serial_watch;
+      OrDie(serial_model->Train(train));
+      const double gbdt_serial_ms = gbdt_serial_watch.ElapsedMillis();
+      auto parallel_model = core::MakeModel(core::ModelKind::kGbdt, gbdt_parallel);
+      Stopwatch gbdt_parallel_watch;
+      OrDie(parallel_model->Train(train));
+      const double gbdt_parallel_ms = gbdt_parallel_watch.ElapsedMillis();
+      std::printf(
+          "  gbdt train: %.1f ms on 1 thread, %.1f ms on %d (%.2fx speedup)\n",
+          gbdt_serial_ms, gbdt_parallel_ms, offline_workers,
+          gbdt_parallel_ms > 0.0 ? gbdt_serial_ms / gbdt_parallel_ms : 0.0);
+    }
 
     // Upload artifacts under the new version; hot-swap the model. On the
     // first day, also time a sequential upload into a scratch store so the

@@ -1,6 +1,7 @@
 #include "core/pipeline.h"
 
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "graph/hetero.h"
 #include "common/string_util.h"
 
@@ -96,6 +97,7 @@ Status OfflineTrainer::BuildDw() {
   dw_opts.w2v.negatives = options_.w2v_negatives;
   dw_opts.w2v.epochs = options_.w2v_epochs;
   dw_opts.w2v.num_threads = options_.w2v_threads;
+  dw_opts.walk.num_threads = options_.walk_threads;
   dw_opts.seed = options_.seed * 101 + 7;
   Stopwatch timer;
   if (options_.hetero_dw) {
@@ -172,9 +174,14 @@ StatusOr<ml::DataMatrix> OfflineTrainer::BuildMatrix(
 
   auto& labels = matrix.mutable_labels();
   labels.resize(record_indices.size());
-  for (std::size_t i = 0; i < record_indices.size(); ++i) {
-    const std::size_t idx = record_indices[i];
+  // Validate up front so the fill loop below is infallible (it may fan
+  // out across threads, where a mid-loop return has no clean semantics).
+  for (const std::size_t idx : record_indices) {
     if (idx >= log_.records.size()) return Status::OutOfRange("record index out of range");
+  }
+
+  auto fill_row = [&](std::size_t i) {
+    const std::size_t idx = record_indices[i];
     const auto& rec = log_.records[idx];
     float* row = matrix.Row(i);
     extractor_.Extract(idx, row);
@@ -191,6 +198,15 @@ StatusOr<ml::DataMatrix> OfflineTrainer::BuildMatrix(
       for (int j = 0; j < dim; ++j) row[offset + j] = emb[j];
     }
     labels[i] = rec.is_fraud ? 1 : 0;
+  };
+
+  // Rows are independent (stateless extractor, disjoint output slices):
+  // identical matrices at any thread count.
+  if (options_.feature_threads > 1 && record_indices.size() >= 1024) {
+    ThreadPool pool(static_cast<std::size_t>(options_.feature_threads));
+    pool.ParallelFor(record_indices.size(), fill_row);
+  } else {
+    for (std::size_t i = 0; i < record_indices.size(); ++i) fill_row(i);
   }
   return matrix;
 }

@@ -48,6 +48,12 @@ struct PipelineOptions {
   int w2v_negatives = 5;
   int w2v_epochs = 1;
   int w2v_threads = 1;
+  /// Workers for random-walk corpus generation (per-rep fan-out; see
+  /// graph::RandomWalkOptions::num_threads for the determinism contract).
+  int walk_threads = 1;
+  /// Workers for feature-matrix assembly (BuildMatrix row ranges; the
+  /// extractor is stateless per row, output is identical at any count).
+  int feature_threads = 1;
   /// Learn the DW embeddings over the heterogeneous user+device network
   /// (graph::HeteroNetwork) instead of the user-user transaction network —
   /// the §4.5 future-work configuration exercised by bench_hetero.

@@ -4,6 +4,7 @@
 
 #include "common/alias_table.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 
 namespace titant::graph {
 
@@ -62,14 +63,10 @@ StatusOr<WalkCorpus> GenerateWalks(const TransactionNetwork& network,
     }
   }
 
-  Rng rng(options.seed);
-  WalkCorpus corpus;
-  corpus.walks.reserve(network.active_nodes().size() *
-                       static_cast<std::size_t>(options.walks_per_node));
-
-  // The outer loop is over repetitions so early walks cover every node
-  // once before repeating — matching the DeepWalk paper's pass structure.
-  for (int rep = 0; rep < options.walks_per_node; ++rep) {
+  // One repetition pass: a walk from every startable node, appended to
+  // `out` in active-node order — matching the DeepWalk paper's pass
+  // structure (early walks cover every node once before repeating).
+  auto run_rep = [&](Rng& rng, std::vector<std::vector<NodeId>>* out) {
     for (NodeId start : network.active_nodes()) {
       if (tables[start].empty()) continue;
       std::vector<NodeId> walk;
@@ -112,8 +109,36 @@ StatusOr<WalkCorpus> GenerateWalks(const TransactionNetwork& network,
         cur = next;
         walk.push_back(cur);
       }
-      corpus.walks.push_back(std::move(walk));
+      out->push_back(std::move(walk));
     }
+  };
+
+  WalkCorpus corpus;
+  corpus.walks.reserve(network.active_nodes().size() *
+                       static_cast<std::size_t>(options.walks_per_node));
+
+  if (options.num_threads <= 1) {
+    // Original single-stream path: byte-identical corpora across releases.
+    Rng rng(options.seed);
+    for (int rep = 0; rep < options.walks_per_node; ++rep) {
+      run_rep(rng, &corpus.walks);
+    }
+    return corpus;
+  }
+
+  // Parallel: repetitions are independent given their own RNG stream, so
+  // each rep is one task seeded deterministically from (seed, rep) and
+  // the per-rep slices concatenate in rep order. The result is stable
+  // for any thread count (but differs from the num_threads == 1 stream).
+  const auto reps = static_cast<std::size_t>(options.walks_per_node);
+  std::vector<std::vector<std::vector<NodeId>>> rep_walks(reps);
+  ThreadPool pool(static_cast<std::size_t>(options.num_threads));
+  pool.ParallelFor(reps, [&](std::size_t rep) {
+    Rng rng(options.seed ^ (0x9e3779b97f4a7c15ull * (rep + 1)));
+    run_rep(rng, &rep_walks[rep]);
+  });
+  for (auto& slice : rep_walks) {
+    for (auto& walk : slice) corpus.walks.push_back(std::move(walk));
   }
   return corpus;
 }

@@ -25,6 +25,12 @@ struct RandomWalkOptions {
   double return_p = 1.0;
   double inout_q = 1.0;
   uint64_t seed = 1;
+  /// Workers for corpus generation. 1 (the default) keeps the original
+  /// single-stream path, byte-identical to earlier releases. With more
+  /// threads, each repetition pass draws from its own deterministic
+  /// per-rep RNG stream and passes are concatenated in rep order — the
+  /// corpus depends only on the seed, never on the thread count.
+  int num_threads = 1;
 };
 
 /// A corpus of node sequences: the "sentences" fed to word2vec.

@@ -1,0 +1,33 @@
+#ifndef TITANT_MAXCOMPUTE_METRICS_H_
+#define TITANT_MAXCOMPUTE_METRICS_H_
+
+#include <functional>
+
+#include "maxcompute/odps.h"
+#include "net/wire.h"
+
+namespace titant::maxcompute {
+
+/// Fills the mc_* slice of a GatewayStats snapshot from a SQL-path
+/// counter snapshot.
+inline void FillSqlStats(const MaxComputeSqlStats& s, net::GatewayStats* out) {
+  out->mc_queries_executed = s.queries_executed;
+  out->mc_plan_cache_hits = s.plan_cache_hits;
+  out->mc_parse_failures = s.parse_failures;
+  out->mc_rows_scanned = s.rows_scanned;
+  out->mc_batches_scanned = s.batches_scanned;
+}
+
+/// A serving::MetricsRegistry-compatible provider bound to `mc`, for
+/// registration under the conventional name "maxcompute":
+///
+///   gateway.metrics().Register("maxcompute", SqlStatsProvider(&mc));
+///
+/// `mc` must outlive the registry (or at least every Collect call).
+inline std::function<void(net::GatewayStats*)> SqlStatsProvider(const MaxCompute* mc) {
+  return [mc](net::GatewayStats* out) { FillSqlStats(mc->sql_stats(), out); };
+}
+
+}  // namespace titant::maxcompute
+
+#endif  // TITANT_MAXCOMPUTE_METRICS_H_

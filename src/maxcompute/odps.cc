@@ -3,8 +3,13 @@
 #include <atomic>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
+#include "maxcompute/sql_parser.h"
 
 namespace titant::maxcompute {
+
+MaxCompute::MaxCompute(MaxComputeOptions options) : options_(std::move(options)) {}
+MaxCompute::~MaxCompute() = default;
 
 StatusOr<std::unique_ptr<MaxCompute>> MaxCompute::Open(MaxComputeOptions options) {
   if (options.fuxi_slots < 1) return Status::InvalidArgument("need at least one Fuxi slot");
@@ -15,7 +20,43 @@ StatusOr<std::unique_ptr<MaxCompute>> MaxCompute::Open(MaxComputeOptions options
   TITANT_ASSIGN_OR_RETURN(PanguStore pangu, PanguStore::Open(options.pangu_dir));
   mc->pangu_ = std::make_unique<PanguStore>(std::move(pangu));
   mc->fuxi_ = std::make_unique<FuxiScheduler>(options.fuxi_slots);
+  if (options.fuxi_slots > 1) {
+    // Separate pool from the Fuxi slots: the query itself occupies a slot
+    // while its partitioned scan fans out here, so sharing would deadlock.
+    mc->scan_pool_ = std::make_unique<ThreadPool>(static_cast<std::size_t>(options.fuxi_slots));
+  }
   return mc;
+}
+
+MaxComputeSqlStats MaxCompute::sql_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sql_stats_;
+}
+
+StatusOr<std::shared_ptr<const Query>> MaxCompute::ParseCached(const std::string& query) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = plan_cache_.find(query);
+    if (it != plan_cache_.end()) {
+      ++sql_stats_.plan_cache_hits;
+      return it->second;
+    }
+  }
+  auto parsed = ParseSql(query);
+  if (!parsed.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++sql_stats_.parse_failures;
+    return parsed.status();
+  }
+  auto shared = std::make_shared<const Query>(std::move(parsed).value());
+  std::lock_guard<std::mutex> lock(mu_);
+  if (plan_cache_.size() >= options_.plan_cache_capacity && !plan_cache_order_.empty()) {
+    plan_cache_.erase(plan_cache_order_.front());
+    plan_cache_order_.erase(plan_cache_order_.begin());
+  }
+  auto [it, inserted] = plan_cache_.emplace(query, shared);
+  if (inserted) plan_cache_order_.push_back(query);
+  return it->second;
 }
 
 Status MaxCompute::CreateTable(const std::string& name, Table table) {
@@ -61,22 +102,36 @@ StatusOr<std::string> MaxCompute::SubmitSqlJob(const std::string& query,
       (submitter.empty() ? std::string() : "[" + submitter + "] ") + "sql: " + query);
   TITANT_RETURN_IF_ERROR(ots_.UpdateStatus(instance_id, InstanceStatus::kRunning));
 
-  // The embedded engine evaluates the whole query on one executor subtask
-  // (splitting a SQL plan across shards correctly requires a distributed
-  // planner; the scan-heavy work still runs on a Fuxi slot, and MapReduce
-  // jobs below do shard).
+  // Compile once (or fetch the parse from the plan cache — the Query is
+  // schema-independent), then bind + execute on a Fuxi slot. The scan
+  // itself fans out over the scan pool in rows_per_subtask partitions.
+  auto parsed = ParseCached(query);
+  if (!parsed.ok()) {
+    (void)ots_.UpdateStatus(instance_id, InstanceStatus::kFailed, parsed.status().ToString());
+    return parsed.status();
+  }
+  std::shared_ptr<const Query> plan = std::move(parsed).value();
+
+  SqlExecOptions exec_options;
+  exec_options.pool = scan_pool_.get();
+  exec_options.partition_rows = options_.rows_per_subtask;
+
   Status result = Status::OK();
   Table output;
+  SqlExecStats exec_stats;
   fuxi_->Submit(/*priority=*/1, [&] {
-    auto table = ExecuteSql(query, [this](const std::string& name) -> StatusOr<const Table*> {
-      // Resolver: case-insensitive lookup against stored tables.
-      for (const std::string& candidate : ListTables()) {
-        std::string upper = candidate;
-        for (char& c : upper) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
-        if (upper == name) return GetTable(candidate);
-      }
-      return Status::NotFound("table " + name);
-    });
+    auto table = ExecuteQuery(
+        *plan,
+        [this](const std::string& name) -> StatusOr<const Table*> {
+          // Resolver: case-insensitive lookup against stored tables.
+          for (const std::string& candidate : ListTables()) {
+            std::string upper = candidate;
+            for (char& c : upper) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+            if (upper == name) return GetTable(candidate);
+          }
+          return Status::NotFound("table " + name);
+        },
+        exec_options, &exec_stats);
     if (!table.ok()) {
       result = table.status();
     } else {
@@ -88,6 +143,12 @@ StatusOr<std::string> MaxCompute::SubmitSqlJob(const std::string& query,
   if (!result.ok()) {
     (void)ots_.UpdateStatus(instance_id, InstanceStatus::kFailed, result.ToString());
     return result;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++sql_stats_.queries_executed;
+    sql_stats_.rows_scanned += exec_stats.rows_scanned;
+    sql_stats_.batches_scanned += exec_stats.batches;
   }
   TITANT_RETURN_IF_ERROR(CreateTable(output_table, std::move(output)));
   TITANT_RETURN_IF_ERROR(ots_.UpdateStatus(instance_id, InstanceStatus::kTerminated));

@@ -15,6 +15,10 @@
 #include "maxcompute/sql.h"
 #include "maxcompute/table.h"
 
+namespace titant {
+class ThreadPool;
+}
+
 namespace titant::maxcompute {
 
 /// Map function: emits (key, row) pairs for one input row.
@@ -30,6 +34,17 @@ struct MaxComputeOptions {
   std::string pangu_dir;  // Storage root.
   int fuxi_slots = 4;     // Compute slots.
   std::size_t rows_per_subtask = 50'000;  // Shard granularity for jobs.
+  std::size_t plan_cache_capacity = 256;  // Parsed-query cache entries.
+};
+
+/// Monotonic counters for the SQL path, exported through the serving
+/// metrics registry (kStats frame). Snapshot via MaxCompute::sql_stats().
+struct MaxComputeSqlStats {
+  uint64_t queries_executed = 0;  // Successfully executed SQL jobs.
+  uint64_t plan_cache_hits = 0;   // Jobs that reused a cached parse.
+  uint64_t parse_failures = 0;    // Jobs rejected by the lexer/parser.
+  uint64_t rows_scanned = 0;      // Source rows fed through the executor.
+  uint64_t batches_scanned = 0;   // Column batches evaluated.
 };
 
 /// The embedded MaxCompute/ODPS platform (§4.2): tables persisted in
@@ -39,6 +54,7 @@ struct MaxComputeOptions {
 class MaxCompute {
  public:
   static StatusOr<std::unique_ptr<MaxCompute>> Open(MaxComputeOptions options);
+  ~MaxCompute();
 
   /// Creates (or replaces) a table and persists it to Pangu.
   Status CreateTable(const std::string& name, Table table);
@@ -73,17 +89,30 @@ class MaxCompute {
   PanguStore& pangu() { return *pangu_; }
   FuxiScheduler& fuxi() { return *fuxi_; }
 
+  /// Snapshot of the SQL-path counters (thread-safe).
+  MaxComputeSqlStats sql_stats() const;
+
  private:
-  explicit MaxCompute(MaxComputeOptions options) : options_(std::move(options)) {}
+  explicit MaxCompute(MaxComputeOptions options);
 
   static std::string TableBlobName(const std::string& table) { return "table/" + table; }
+
+  /// Returns the parsed form of `query`, from the plan cache when the
+  /// exact query text was seen before. The parsed Query is
+  /// schema-independent, so cached entries survive table replacement;
+  /// binding happens per execution.
+  StatusOr<std::shared_ptr<const Query>> ParseCached(const std::string& query);
 
   MaxComputeOptions options_;
   std::unique_ptr<PanguStore> pangu_;
   std::unique_ptr<FuxiScheduler> fuxi_;
+  std::unique_ptr<ThreadPool> scan_pool_;  // Partitioned scans; null if 1 slot.
   OpenTableService ots_;
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Table>> cache_;
+  std::map<std::string, std::shared_ptr<const Query>> plan_cache_;
+  std::vector<std::string> plan_cache_order_;  // FIFO eviction order.
+  MaxComputeSqlStats sql_stats_;
 };
 
 }  // namespace titant::maxcompute

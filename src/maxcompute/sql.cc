@@ -1,980 +1,12 @@
 #include "maxcompute/sql.h"
 
-#include <algorithm>
-#include <cctype>
-#include <cmath>
-#include <map>
-#include <memory>
-#include <optional>
-#include <vector>
-
-#include "common/string_util.h"
+#include "maxcompute/sql_parser.h"
 
 namespace titant::maxcompute {
 
-namespace {
-
-// ---------------------------------------------------------------------------
-// Lexer
-// ---------------------------------------------------------------------------
-
-enum class TokenType { kKeywordOrIdent, kNumber, kString, kSymbol, kEnd };
-
-struct Token {
-  TokenType type = TokenType::kEnd;
-  std::string text;   // Upper-cased for idents/keywords; raw for strings.
-  double number = 0;
-  bool is_integer = false;
-};
-
-class Lexer {
- public:
-  explicit Lexer(const std::string& input) : input_(input) {}
-
-  StatusOr<std::vector<Token>> Tokenize() {
-    std::vector<Token> tokens;
-    while (pos_ < input_.size()) {
-      const char c = input_[pos_];
-      if (std::isspace(static_cast<unsigned char>(c))) {
-        ++pos_;
-        continue;
-      }
-      if (std::isdigit(static_cast<unsigned char>(c)) ||
-          (c == '.' && pos_ + 1 < input_.size() &&
-           std::isdigit(static_cast<unsigned char>(input_[pos_ + 1])))) {
-        TITANT_ASSIGN_OR_RETURN(Token t, LexNumber());
-        tokens.push_back(std::move(t));
-        continue;
-      }
-      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
-        tokens.push_back(LexIdent());
-        continue;
-      }
-      if (c == '\'') {
-        TITANT_ASSIGN_OR_RETURN(Token t, LexString());
-        tokens.push_back(std::move(t));
-        continue;
-      }
-      // Multi-char symbols first.
-      static const char* kTwoChar[] = {"!=", "<>", "<=", ">="};
-      bool matched = false;
-      for (const char* sym : kTwoChar) {
-        if (input_.compare(pos_, 2, sym) == 0) {
-          tokens.push_back(Token{TokenType::kSymbol, sym, 0, false});
-          pos_ += 2;
-          matched = true;
-          break;
-        }
-      }
-      if (matched) continue;
-      static const std::string kOneChar = "()+-*/%,.=<>";
-      if (kOneChar.find(c) != std::string::npos) {
-        tokens.push_back(Token{TokenType::kSymbol, std::string(1, c), 0, false});
-        ++pos_;
-        continue;
-      }
-      return Status::InvalidArgument(StrFormat("SQL: unexpected character '%c'", c));
-    }
-    tokens.push_back(Token{TokenType::kEnd, "", 0, false});
-    return tokens;
-  }
-
- private:
-  StatusOr<Token> LexNumber() {
-    const std::size_t start = pos_;
-    bool has_dot = false;
-    while (pos_ < input_.size() &&
-           (std::isdigit(static_cast<unsigned char>(input_[pos_])) || input_[pos_] == '.')) {
-      if (input_[pos_] == '.') {
-        if (has_dot) break;
-        has_dot = true;
-      }
-      ++pos_;
-    }
-    Token t;
-    t.type = TokenType::kNumber;
-    t.text = input_.substr(start, pos_ - start);
-    TITANT_ASSIGN_OR_RETURN(t.number, ParseDouble(t.text));
-    t.is_integer = !has_dot;
-    return t;
-  }
-
-  Token LexIdent() {
-    const std::size_t start = pos_;
-    while (pos_ < input_.size() && (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
-                                    input_[pos_] == '_')) {
-      ++pos_;
-    }
-    Token t;
-    t.type = TokenType::kKeywordOrIdent;
-    t.text = input_.substr(start, pos_ - start);
-    for (char& c : t.text) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
-    return t;
-  }
-
-  StatusOr<Token> LexString() {
-    ++pos_;  // opening quote
-    std::string out;
-    while (pos_ < input_.size()) {
-      if (input_[pos_] == '\'') {
-        if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '\'') {
-          out.push_back('\'');  // Escaped quote.
-          pos_ += 2;
-          continue;
-        }
-        ++pos_;
-        Token t;
-        t.type = TokenType::kString;
-        t.text = std::move(out);
-        return t;
-      }
-      out.push_back(input_[pos_++]);
-    }
-    return Status::InvalidArgument("SQL: unterminated string literal");
-  }
-
-  const std::string& input_;
-  std::size_t pos_ = 0;
-};
-
-// ---------------------------------------------------------------------------
-// AST
-// ---------------------------------------------------------------------------
-
-enum class AggFunc { kNone, kCount, kSum, kAvg, kMin, kMax };
-
-struct Expr {
-  enum class Kind {
-    kLiteral,
-    kColumn,
-    kUnaryMinus,
-    kNot,
-    kBinary,   // op in text
-    kFunction, // scalar: ABS/ROUND/FLOOR/LOG/LOG1P
-    kAggregate,
-    kStar,     // only inside COUNT(*)
-  };
-  Kind kind = Kind::kLiteral;
-  Value literal;
-  std::string column;      // Possibly "TABLE.COLUMN" (upper-cased).
-  std::string op;          // For kBinary / kFunction name.
-  AggFunc agg = AggFunc::kNone;
-  std::vector<std::unique_ptr<Expr>> children;
-
-  bool ContainsAggregate() const {
-    if (kind == Kind::kAggregate) return true;
-    for (const auto& child : children) {
-      if (child->ContainsAggregate()) return true;
-    }
-    return false;
-  }
-};
-
-using ExprPtr = std::unique_ptr<Expr>;
-
-struct SelectItem {
-  ExprPtr expr;  // Null for "*".
-  std::string alias;
-};
-
-struct OrderItem {
-  ExprPtr expr;
-  bool descending = false;
-};
-
-struct Query {
-  std::vector<SelectItem> select;
-  std::string from_table;
-  std::string join_table;  // Empty if no join.
-  ExprPtr join_left;       // join condition: left = right
-  ExprPtr join_right;
-  ExprPtr where;
-  std::vector<ExprPtr> group_by;
-  std::vector<OrderItem> order_by;
-  int64_t limit = -1;
-};
-
-// ---------------------------------------------------------------------------
-// Parser
-// ---------------------------------------------------------------------------
-
-class Parser {
- public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
-
-  StatusOr<Query> Parse() {
-    Query q;
-    TITANT_RETURN_IF_ERROR(Expect("SELECT"));
-    // Select list.
-    for (;;) {
-      SelectItem item;
-      if (PeekSymbol("*")) {
-        Advance();
-        item.expr = nullptr;
-      } else {
-        TITANT_ASSIGN_OR_RETURN(item.expr, ParseExpr());
-        if (PeekKeyword("AS")) {
-          Advance();
-          if (Peek().type != TokenType::kKeywordOrIdent) {
-            return Status::InvalidArgument("SQL: expected alias after AS");
-          }
-          item.alias = Peek().text;
-          Advance();
-        }
-      }
-      q.select.push_back(std::move(item));
-      if (!PeekSymbol(",")) break;
-      Advance();
-    }
-    TITANT_RETURN_IF_ERROR(Expect("FROM"));
-    if (Peek().type != TokenType::kKeywordOrIdent) {
-      return Status::InvalidArgument("SQL: expected table name after FROM");
-    }
-    q.from_table = Peek().text;
-    Advance();
-    if (PeekKeyword("JOIN")) {
-      Advance();
-      if (Peek().type != TokenType::kKeywordOrIdent) {
-        return Status::InvalidArgument("SQL: expected table name after JOIN");
-      }
-      q.join_table = Peek().text;
-      Advance();
-      TITANT_RETURN_IF_ERROR(Expect("ON"));
-      TITANT_ASSIGN_OR_RETURN(q.join_left, ParseAdditive());
-      TITANT_RETURN_IF_ERROR(ExpectSymbol("="));
-      TITANT_ASSIGN_OR_RETURN(q.join_right, ParseAdditive());
-    }
-    if (PeekKeyword("WHERE")) {
-      Advance();
-      TITANT_ASSIGN_OR_RETURN(q.where, ParseExpr());
-    }
-    if (PeekKeyword("GROUP")) {
-      Advance();
-      TITANT_RETURN_IF_ERROR(Expect("BY"));
-      for (;;) {
-        TITANT_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
-        q.group_by.push_back(std::move(e));
-        if (!PeekSymbol(",")) break;
-        Advance();
-      }
-    }
-    if (PeekKeyword("ORDER")) {
-      Advance();
-      TITANT_RETURN_IF_ERROR(Expect("BY"));
-      for (;;) {
-        OrderItem item;
-        TITANT_ASSIGN_OR_RETURN(item.expr, ParseExpr());
-        if (PeekKeyword("ASC")) {
-          Advance();
-        } else if (PeekKeyword("DESC")) {
-          Advance();
-          item.descending = true;
-        }
-        q.order_by.push_back(std::move(item));
-        if (!PeekSymbol(",")) break;
-        Advance();
-      }
-    }
-    if (PeekKeyword("LIMIT")) {
-      Advance();
-      if (Peek().type != TokenType::kNumber || !Peek().is_integer) {
-        return Status::InvalidArgument("SQL: LIMIT expects an integer");
-      }
-      q.limit = static_cast<int64_t>(Peek().number);
-      Advance();
-    }
-    if (Peek().type != TokenType::kEnd) {
-      return Status::InvalidArgument("SQL: trailing input at '" + Peek().text + "'");
-    }
-    return q;
-  }
-
- private:
-  const Token& Peek() const { return tokens_[pos_]; }
-  void Advance() { ++pos_; }
-
-  bool PeekKeyword(const char* kw) const {
-    return Peek().type == TokenType::kKeywordOrIdent && Peek().text == kw;
-  }
-  bool PeekSymbol(const char* sym) const {
-    return Peek().type == TokenType::kSymbol && Peek().text == sym;
-  }
-  Status Expect(const char* kw) {
-    if (!PeekKeyword(kw)) {
-      return Status::InvalidArgument(std::string("SQL: expected ") + kw);
-    }
-    Advance();
-    return Status::OK();
-  }
-  Status ExpectSymbol(const char* sym) {
-    if (!PeekSymbol(sym)) {
-      return Status::InvalidArgument(std::string("SQL: expected '") + sym + "'");
-    }
-    Advance();
-    return Status::OK();
-  }
-
-  StatusOr<ExprPtr> ParseExpr() { return ParseOr(); }
-
-  StatusOr<ExprPtr> ParseOr() {
-    TITANT_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
-    while (PeekKeyword("OR")) {
-      Advance();
-      TITANT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
-      auto node = std::make_unique<Expr>();
-      node->kind = Expr::Kind::kBinary;
-      node->op = "OR";
-      node->children.push_back(std::move(lhs));
-      node->children.push_back(std::move(rhs));
-      lhs = std::move(node);
-    }
-    return lhs;
-  }
-
-  StatusOr<ExprPtr> ParseAnd() {
-    TITANT_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
-    while (PeekKeyword("AND")) {
-      Advance();
-      TITANT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
-      auto node = std::make_unique<Expr>();
-      node->kind = Expr::Kind::kBinary;
-      node->op = "AND";
-      node->children.push_back(std::move(lhs));
-      node->children.push_back(std::move(rhs));
-      lhs = std::move(node);
-    }
-    return lhs;
-  }
-
-  StatusOr<ExprPtr> ParseNot() {
-    if (PeekKeyword("NOT")) {
-      Advance();
-      TITANT_ASSIGN_OR_RETURN(ExprPtr child, ParseNot());
-      auto node = std::make_unique<Expr>();
-      node->kind = Expr::Kind::kNot;
-      node->children.push_back(std::move(child));
-      return node;
-    }
-    return ParseComparison();
-  }
-
-  StatusOr<ExprPtr> ParseComparison() {
-    TITANT_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
-    static const char* kOps[] = {"=", "!=", "<>", "<=", ">=", "<", ">"};
-    for (const char* op : kOps) {
-      if (PeekSymbol(op)) {
-        Advance();
-        TITANT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
-        auto node = std::make_unique<Expr>();
-        node->kind = Expr::Kind::kBinary;
-        node->op = op;
-        node->children.push_back(std::move(lhs));
-        node->children.push_back(std::move(rhs));
-        return node;
-      }
-    }
-    return lhs;
-  }
-
-  StatusOr<ExprPtr> ParseAdditive() {
-    TITANT_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
-    while (PeekSymbol("+") || PeekSymbol("-")) {
-      const std::string op = Peek().text;
-      Advance();
-      TITANT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
-      auto node = std::make_unique<Expr>();
-      node->kind = Expr::Kind::kBinary;
-      node->op = op;
-      node->children.push_back(std::move(lhs));
-      node->children.push_back(std::move(rhs));
-      lhs = std::move(node);
-    }
-    return lhs;
-  }
-
-  StatusOr<ExprPtr> ParseMultiplicative() {
-    TITANT_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
-    while (PeekSymbol("*") || PeekSymbol("/") || PeekSymbol("%")) {
-      const std::string op = Peek().text;
-      Advance();
-      TITANT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
-      auto node = std::make_unique<Expr>();
-      node->kind = Expr::Kind::kBinary;
-      node->op = op;
-      node->children.push_back(std::move(lhs));
-      node->children.push_back(std::move(rhs));
-      lhs = std::move(node);
-    }
-    return lhs;
-  }
-
-  StatusOr<ExprPtr> ParseUnary() {
-    if (PeekSymbol("-")) {
-      Advance();
-      TITANT_ASSIGN_OR_RETURN(ExprPtr child, ParseUnary());
-      auto node = std::make_unique<Expr>();
-      node->kind = Expr::Kind::kUnaryMinus;
-      node->children.push_back(std::move(child));
-      return node;
-    }
-    return ParsePrimary();
-  }
-
-  StatusOr<ExprPtr> ParsePrimary() {
-    auto node = std::make_unique<Expr>();
-    const Token& t = Peek();
-    switch (t.type) {
-      case TokenType::kNumber:
-        node->kind = Expr::Kind::kLiteral;
-        node->literal =
-            t.is_integer ? Value(static_cast<int64_t>(t.number)) : Value(t.number);
-        Advance();
-        return node;
-      case TokenType::kString:
-        node->kind = Expr::Kind::kLiteral;
-        node->literal = Value(t.text);
-        Advance();
-        return node;
-      case TokenType::kSymbol:
-        if (t.text == "(") {
-          Advance();
-          TITANT_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
-          TITANT_RETURN_IF_ERROR(ExpectSymbol(")"));
-          return inner;
-        }
-        return Status::InvalidArgument("SQL: unexpected symbol '" + t.text + "'");
-      case TokenType::kKeywordOrIdent: {
-        const std::string name = t.text;
-        Advance();
-        if (name == "TRUE" || name == "FALSE") {
-          node->kind = Expr::Kind::kLiteral;
-          node->literal = Value(name == "TRUE");
-          return node;
-        }
-        if (name == "NULL") {
-          node->kind = Expr::Kind::kLiteral;
-          node->literal = Value::Null();
-          return node;
-        }
-        if (PeekSymbol("(")) {
-          Advance();
-          static const std::map<std::string, AggFunc> kAggs = {
-              {"COUNT", AggFunc::kCount}, {"SUM", AggFunc::kSum}, {"AVG", AggFunc::kAvg},
-              {"MIN", AggFunc::kMin},     {"MAX", AggFunc::kMax},
-          };
-          auto agg_it = kAggs.find(name);
-          if (agg_it != kAggs.end()) {
-            node->kind = Expr::Kind::kAggregate;
-            node->agg = agg_it->second;
-            if (PeekSymbol("*")) {
-              Advance();
-              auto star = std::make_unique<Expr>();
-              star->kind = Expr::Kind::kStar;
-              node->children.push_back(std::move(star));
-            } else {
-              TITANT_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
-              node->children.push_back(std::move(arg));
-            }
-            TITANT_RETURN_IF_ERROR(ExpectSymbol(")"));
-            return node;
-          }
-          // Scalar function.
-          static const char* kScalars[] = {"ABS", "ROUND", "FLOOR", "LOG", "LOG1P"};
-          const bool known = std::any_of(std::begin(kScalars), std::end(kScalars),
-                                         [&](const char* f) { return name == f; });
-          if (!known) return Status::InvalidArgument("SQL: unknown function " + name);
-          node->kind = Expr::Kind::kFunction;
-          node->op = name;
-          TITANT_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
-          node->children.push_back(std::move(arg));
-          TITANT_RETURN_IF_ERROR(ExpectSymbol(")"));
-          return node;
-        }
-        // Column reference; maybe qualified.
-        node->kind = Expr::Kind::kColumn;
-        node->column = name;
-        if (PeekSymbol(".")) {
-          Advance();
-          if (Peek().type != TokenType::kKeywordOrIdent) {
-            return Status::InvalidArgument("SQL: expected column after '.'");
-          }
-          node->column = name + "." + Peek().text;
-          Advance();
-        }
-        return node;
-      }
-      case TokenType::kEnd:
-        return Status::InvalidArgument("SQL: unexpected end of input");
-    }
-    return Status::InvalidArgument("SQL: parse error");
-  }
-
-  std::vector<Token> tokens_;
-  std::size_t pos_ = 0;
-};
-
-// ---------------------------------------------------------------------------
-// Evaluation
-// ---------------------------------------------------------------------------
-
-// Column environment: maps (possibly qualified) names to row positions in
-// the working row layout.
-struct ColumnEnv {
-  // Pairs of (upper-cased name, index). Qualified names listed too.
-  std::vector<std::pair<std::string, int>> bindings;
-
-  StatusOr<int> Resolve(const std::string& name) const {
-    int found = -1;
-    for (const auto& [bound, idx] : bindings) {
-      if (bound == name) {
-        if (found >= 0) return Status::InvalidArgument("SQL: ambiguous column " + name);
-        found = idx;
-      }
-    }
-    if (found < 0) return Status::InvalidArgument("SQL: unknown column " + name);
-    return found;
-  }
-
-  static ColumnEnv ForTable(const Table& table, const std::string& table_name) {
-    ColumnEnv env;
-    int idx = 0;
-    for (const auto& col : table.schema().columns()) {
-      std::string upper = ToLower(col.name);
-      for (char& c : upper) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
-      env.bindings.emplace_back(upper, idx);
-      env.bindings.emplace_back(table_name + "." + upper, idx);
-      ++idx;
-    }
-    return env;
-  }
-};
-
-StatusOr<Value> Evaluate(const Expr& expr, const ColumnEnv& env, const Row& row);
-
-StatusOr<Value> EvaluateBinary(const Expr& expr, const ColumnEnv& env, const Row& row) {
-  // Short-circuit logical operators.
-  if (expr.op == "AND" || expr.op == "OR") {
-    TITANT_ASSIGN_OR_RETURN(Value lhs, Evaluate(*expr.children[0], env, row));
-    const bool l = lhs.AsBool();
-    if (expr.op == "AND" && !l) return Value(false);
-    if (expr.op == "OR" && l) return Value(true);
-    TITANT_ASSIGN_OR_RETURN(Value rhs, Evaluate(*expr.children[1], env, row));
-    return Value(rhs.AsBool());
-  }
-  TITANT_ASSIGN_OR_RETURN(Value lhs, Evaluate(*expr.children[0], env, row));
-  TITANT_ASSIGN_OR_RETURN(Value rhs, Evaluate(*expr.children[1], env, row));
-  if (expr.op == "=") return Value(Value::Compare(lhs, rhs) == 0);
-  if (expr.op == "!=" || expr.op == "<>") return Value(Value::Compare(lhs, rhs) != 0);
-  if (expr.op == "<") return Value(Value::Compare(lhs, rhs) < 0);
-  if (expr.op == "<=") return Value(Value::Compare(lhs, rhs) <= 0);
-  if (expr.op == ">") return Value(Value::Compare(lhs, rhs) > 0);
-  if (expr.op == ">=") return Value(Value::Compare(lhs, rhs) >= 0);
-  if (lhs.is_null() || rhs.is_null()) return Value::Null();
-  const bool integral =
-      lhs.type() == ValueType::kInt && rhs.type() == ValueType::kInt && expr.op != "/";
-  if (expr.op == "+") {
-    return integral ? Value(lhs.AsInt() + rhs.AsInt()) : Value(lhs.AsDouble() + rhs.AsDouble());
-  }
-  if (expr.op == "-") {
-    return integral ? Value(lhs.AsInt() - rhs.AsInt()) : Value(lhs.AsDouble() - rhs.AsDouble());
-  }
-  if (expr.op == "*") {
-    return integral ? Value(lhs.AsInt() * rhs.AsInt()) : Value(lhs.AsDouble() * rhs.AsDouble());
-  }
-  if (expr.op == "/") {
-    const double denom = rhs.AsDouble();
-    if (denom == 0.0) return Value::Null();
-    return Value(lhs.AsDouble() / denom);
-  }
-  if (expr.op == "%") {
-    const int64_t denom = rhs.AsInt();
-    if (denom == 0) return Value::Null();
-    return Value(lhs.AsInt() % denom);
-  }
-  return Status::Internal("SQL: unknown operator " + expr.op);
-}
-
-StatusOr<Value> Evaluate(const Expr& expr, const ColumnEnv& env, const Row& row) {
-  switch (expr.kind) {
-    case Expr::Kind::kLiteral:
-      return expr.literal;
-    case Expr::Kind::kColumn: {
-      TITANT_ASSIGN_OR_RETURN(int idx, env.Resolve(expr.column));
-      return row[static_cast<std::size_t>(idx)];
-    }
-    case Expr::Kind::kUnaryMinus: {
-      TITANT_ASSIGN_OR_RETURN(Value v, Evaluate(*expr.children[0], env, row));
-      if (v.is_null()) return v;
-      if (v.type() == ValueType::kInt) return Value(-v.AsInt());
-      return Value(-v.AsDouble());
-    }
-    case Expr::Kind::kNot: {
-      TITANT_ASSIGN_OR_RETURN(Value v, Evaluate(*expr.children[0], env, row));
-      return Value(!v.AsBool());
-    }
-    case Expr::Kind::kBinary:
-      return EvaluateBinary(expr, env, row);
-    case Expr::Kind::kFunction: {
-      TITANT_ASSIGN_OR_RETURN(Value v, Evaluate(*expr.children[0], env, row));
-      if (v.is_null()) return v;
-      const double x = v.AsDouble();
-      if (expr.op == "ABS") {
-        return v.type() == ValueType::kInt ? Value(std::abs(v.AsInt()))
-                                           : Value(std::fabs(x));
-      }
-      if (expr.op == "ROUND") return Value(std::round(x));
-      if (expr.op == "FLOOR") return Value(std::floor(x));
-      if (expr.op == "LOG") return x > 0 ? Value(std::log(x)) : Value::Null();
-      if (expr.op == "LOG1P") return x > -1 ? Value(std::log1p(x)) : Value::Null();
-      return Status::Internal("SQL: unknown function " + expr.op);
-    }
-    case Expr::Kind::kAggregate:
-      return Status::InvalidArgument("SQL: aggregate used outside an aggregating query");
-    case Expr::Kind::kStar:
-      return Status::InvalidArgument("SQL: '*' is only valid in COUNT(*)");
-  }
-  return Status::Internal("SQL: unreachable");
-}
-
-// Aggregate accumulator.
-struct AggState {
-  double sum = 0.0;
-  int64_t isum = 0;
-  bool integral = true;
-  std::size_t count = 0;
-  std::optional<Value> min, max;
-
-  void Add(const Value& v) {
-    if (v.is_null()) return;
-    ++count;
-    if (v.type() != ValueType::kInt) integral = false;
-    sum += v.AsDouble();
-    isum += v.AsInt();
-    if (!min || Value::Compare(v, *min) < 0) min = v;
-    if (!max || Value::Compare(v, *max) > 0) max = v;
-  }
-
-  Value Result(AggFunc func) const {
-    switch (func) {
-      case AggFunc::kCount:
-        return Value(static_cast<int64_t>(count));
-      case AggFunc::kSum:
-        if (count == 0) return Value::Null();
-        return integral ? Value(isum) : Value(sum);
-      case AggFunc::kAvg:
-        return count == 0 ? Value::Null() : Value(sum / static_cast<double>(count));
-      case AggFunc::kMin:
-        return min.value_or(Value::Null());
-      case AggFunc::kMax:
-        return max.value_or(Value::Null());
-      case AggFunc::kNone:
-        return Value::Null();
-    }
-    return Value::Null();
-  }
-};
-
-// Evaluates an expression tree over a group: aggregates read their
-// accumulated state, everything else is evaluated on the representative
-// (first) row of the group.
-StatusOr<Value> EvaluateWithAggregates(const Expr& expr, const ColumnEnv& env,
-                                       const Row& representative,
-                                       const std::vector<AggState>& states,
-                                       const std::vector<const Expr*>& agg_exprs) {
-  if (expr.kind == Expr::Kind::kAggregate) {
-    for (std::size_t i = 0; i < agg_exprs.size(); ++i) {
-      if (agg_exprs[i] == &expr) return states[i].Result(expr.agg);
-    }
-    return Status::Internal("SQL: unregistered aggregate");
-  }
-  if (expr.children.empty()) return Evaluate(expr, env, representative);
-  // Recurse, substituting aggregate results.
-  Expr shallow;
-  shallow.kind = expr.kind;
-  shallow.literal = expr.literal;
-  shallow.column = expr.column;
-  shallow.op = expr.op;
-  shallow.agg = expr.agg;
-  // Evaluate children first into literals.
-  for (const auto& child : expr.children) {
-    TITANT_ASSIGN_OR_RETURN(
-        Value v, EvaluateWithAggregates(*child, env, representative, states, agg_exprs));
-    auto lit = std::make_unique<Expr>();
-    lit->kind = Expr::Kind::kLiteral;
-    lit->literal = std::move(v);
-    shallow.children.push_back(std::move(lit));
-  }
-  return Evaluate(shallow, env, representative);
-}
-
-void CollectAggregates(const Expr& expr, std::vector<const Expr*>* out) {
-  if (expr.kind == Expr::Kind::kAggregate) {
-    out->push_back(&expr);
-    return;  // Nested aggregates are not supported (checked elsewhere).
-  }
-  for (const auto& child : expr.children) CollectAggregates(*child, out);
-}
-
-ValueType DeduceType(const Value& v) { return v.type(); }
-
-// Deep-copies an expression tree (used to resolve ORDER BY select-aliases).
-ExprPtr CloneExpr(const Expr& expr) {
-  auto out = std::make_unique<Expr>();
-  out->kind = expr.kind;
-  out->literal = expr.literal;
-  out->column = expr.column;
-  out->op = expr.op;
-  out->agg = expr.agg;
-  for (const auto& child : expr.children) out->children.push_back(CloneExpr(*child));
-  return out;
-}
-
-std::string DefaultName(const Expr& expr, std::size_t position) {
-  if (expr.kind == Expr::Kind::kColumn) {
-    const auto dot = expr.column.find('.');
-    return ToLower(dot == std::string::npos ? expr.column : expr.column.substr(dot + 1));
-  }
-  return StrFormat("_c%zu", position);
-}
-
-}  // namespace
-
 StatusOr<Table> ExecuteSql(const std::string& query, const TableResolver& resolver) {
-  Lexer lexer(query);
-  TITANT_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
-  Parser parser(std::move(tokens));
-  TITANT_ASSIGN_OR_RETURN(Query q, parser.Parse());
-
-  // ORDER BY may name a select alias; rewrite such references to the
-  // aliased expression so they evaluate in any context.
-  for (auto& order : q.order_by) {
-    if (order.expr->kind != Expr::Kind::kColumn) continue;
-    for (const auto& item : q.select) {
-      if (!item.expr || item.alias.empty()) continue;
-      if (order.expr->column == item.alias) {
-        order.expr = CloneExpr(*item.expr);
-        break;
-      }
-    }
-  }
-
-  TITANT_ASSIGN_OR_RETURN(const Table* base, resolver(q.from_table));
-
-  // Working rows + column environment (single table or hash join).
-  ColumnEnv env = ColumnEnv::ForTable(*base, q.from_table);
-  std::vector<Row> working;
-  if (q.join_table.empty()) {
-    working = base->rows();
-  } else {
-    TITANT_ASSIGN_OR_RETURN(const Table* right, resolver(q.join_table));
-    ColumnEnv right_env = ColumnEnv::ForTable(*right, q.join_table);
-    // Extend env with the right table's columns shifted.
-    const int shift = static_cast<int>(base->schema().num_columns());
-    for (const auto& [name, idx] : right_env.bindings) {
-      env.bindings.emplace_back(name, idx + shift);
-    }
-    // Hash join on the equality condition: left expr over left table,
-    // right expr over right table.
-    ColumnEnv left_only = ColumnEnv::ForTable(*base, q.from_table);
-    std::map<std::string, std::vector<std::size_t>> hash;
-    for (std::size_t r = 0; r < right->num_rows(); ++r) {
-      TITANT_ASSIGN_OR_RETURN(Value key, Evaluate(*q.join_right, right_env, right->row(r)));
-      hash[key.AsString()].push_back(r);
-    }
-    for (const Row& lrow : base->rows()) {
-      TITANT_ASSIGN_OR_RETURN(Value key, Evaluate(*q.join_left, left_only, lrow));
-      auto it = hash.find(key.AsString());
-      if (it == hash.end()) continue;
-      for (std::size_t r : it->second) {
-        Row combined = lrow;
-        const Row& rrow = right->row(r);
-        combined.insert(combined.end(), rrow.begin(), rrow.end());
-        working.push_back(std::move(combined));
-      }
-    }
-  }
-
-  // WHERE filter.
-  if (q.where) {
-    std::vector<Row> filtered;
-    filtered.reserve(working.size());
-    for (Row& row : working) {
-      TITANT_ASSIGN_OR_RETURN(Value keep, Evaluate(*q.where, env, row));
-      if (keep.AsBool()) filtered.push_back(std::move(row));
-    }
-    working = std::move(filtered);
-  }
-
-  // Determine aggregation mode.
-  bool has_aggregate = !q.group_by.empty();
-  for (const auto& item : q.select) {
-    if (item.expr && item.expr->ContainsAggregate()) has_aggregate = true;
-  }
-  for (const auto& item : q.select) {
-    if (!item.expr && has_aggregate) {
-      return Status::InvalidArgument("SQL: SELECT * cannot be combined with aggregation");
-    }
-  }
-
-  std::vector<Row> result_rows;
-  std::vector<Column> result_columns;
-
-  if (!has_aggregate) {
-    // Plain projection.
-    for (std::size_t i = 0; i < q.select.size(); ++i) {
-      const auto& item = q.select[i];
-      if (!item.expr) {
-        if (q.select.size() != 1) {
-          return Status::InvalidArgument("SQL: '*' must be the only select item");
-        }
-        result_columns = base->schema().columns();
-        if (!q.join_table.empty()) {
-          TITANT_ASSIGN_OR_RETURN(const Table* right, resolver(q.join_table));
-          for (const auto& col : right->schema().columns()) result_columns.push_back(col);
-        }
-      } else {
-        Column col;
-        col.name = !item.alias.empty() ? ToLower(item.alias) : DefaultName(*item.expr, i);
-        col.type = ValueType::kNull;  // Deduce from first row below.
-        result_columns.push_back(col);
-      }
-    }
-    for (const Row& row : working) {
-      if (!q.select[0].expr) {
-        result_rows.push_back(row);
-        continue;
-      }
-      Row out;
-      out.reserve(q.select.size());
-      for (const auto& item : q.select) {
-        TITANT_ASSIGN_OR_RETURN(Value v, Evaluate(*item.expr, env, row));
-        out.push_back(std::move(v));
-      }
-      result_rows.push_back(std::move(out));
-    }
-  } else {
-    // Group rows (no GROUP BY -> one global group).
-    std::vector<const Expr*> agg_exprs;
-    for (const auto& item : q.select) {
-      if (item.expr) CollectAggregates(*item.expr, &agg_exprs);
-    }
-    for (const auto& order : q.order_by) CollectAggregates(*order.expr, &agg_exprs);
-
-    struct Group {
-      Row representative;
-      std::vector<AggState> states;
-      bool initialized = false;
-    };
-    std::map<std::string, Group> groups;
-    if (working.empty() && q.group_by.empty()) {
-      groups[""];  // COUNT(*) over an empty table is 0, not no-rows.
-    }
-    for (const Row& row : working) {
-      std::string key;
-      for (const auto& g : q.group_by) {
-        TITANT_ASSIGN_OR_RETURN(Value v, Evaluate(*g, env, row));
-        key += v.AsString();
-        key.push_back('\x1f');
-      }
-      Group& group = groups[key];
-      if (!group.initialized) {
-        group.representative = row;
-        group.states.resize(agg_exprs.size());
-        group.initialized = true;
-      }
-      for (std::size_t i = 0; i < agg_exprs.size(); ++i) {
-        const Expr& agg = *agg_exprs[i];
-        if (agg.children[0]->kind == Expr::Kind::kStar) {
-          group.states[i].Add(Value(static_cast<int64_t>(1)));
-        } else {
-          TITANT_ASSIGN_OR_RETURN(Value v, Evaluate(*agg.children[0], env, row));
-          group.states[i].Add(v);
-        }
-      }
-    }
-    for (std::size_t i = 0; i < q.select.size(); ++i) {
-      Column col;
-      col.name = !q.select[i].alias.empty() ? ToLower(q.select[i].alias)
-                                            : DefaultName(*q.select[i].expr, i);
-      result_columns.push_back(col);
-    }
-    for (auto& [key, group] : groups) {
-      if (!group.initialized) {
-        group.states.resize(agg_exprs.size());
-        group.representative.assign(env.bindings.size(), Value::Null());
-      }
-      Row out;
-      for (const auto& item : q.select) {
-        TITANT_ASSIGN_OR_RETURN(
-            Value v, EvaluateWithAggregates(*item.expr, env, group.representative,
-                                            group.states, agg_exprs));
-        out.push_back(std::move(v));
-      }
-      // ORDER BY expressions may reference aggregates too; stash their
-      // values alongside (appended, stripped after sorting).
-      for (const auto& order : q.order_by) {
-        TITANT_ASSIGN_OR_RETURN(
-            Value v, EvaluateWithAggregates(*order.expr, env, group.representative,
-                                            group.states, agg_exprs));
-        out.push_back(std::move(v));
-      }
-      result_rows.push_back(std::move(out));
-    }
-    // Sort by the stashed trailing order keys.
-    if (!q.order_by.empty()) {
-      const std::size_t base_width = q.select.size();
-      std::stable_sort(result_rows.begin(), result_rows.end(),
-                       [&](const Row& a, const Row& b) {
-                         for (std::size_t k = 0; k < q.order_by.size(); ++k) {
-                           const int c =
-                               Value::Compare(a[base_width + k], b[base_width + k]);
-                           if (c != 0) return q.order_by[k].descending ? c > 0 : c < 0;
-                         }
-                         return false;
-                       });
-      for (Row& row : result_rows) row.resize(base_width);
-    }
-  }
-
-  // ORDER BY for non-aggregating queries.
-  if (!has_aggregate && !q.order_by.empty()) {
-    // Build an env over the ORIGINAL row layout and sort the working rows
-    // in lockstep with results: simplest is to sort pairs.
-    std::vector<std::size_t> index(result_rows.size());
-    for (std::size_t i = 0; i < index.size(); ++i) index[i] = i;
-    std::vector<std::vector<Value>> sort_keys(result_rows.size());
-    for (std::size_t i = 0; i < working.size(); ++i) {
-      for (const auto& order : q.order_by) {
-        TITANT_ASSIGN_OR_RETURN(Value v, Evaluate(*order.expr, env, working[i]));
-        sort_keys[i].push_back(std::move(v));
-      }
-    }
-    std::stable_sort(index.begin(), index.end(), [&](std::size_t a, std::size_t b) {
-      for (std::size_t k = 0; k < q.order_by.size(); ++k) {
-        const int c = Value::Compare(sort_keys[a][k], sort_keys[b][k]);
-        if (c != 0) return q.order_by[k].descending ? c > 0 : c < 0;
-      }
-      return false;
-    });
-    std::vector<Row> sorted;
-    sorted.reserve(result_rows.size());
-    for (std::size_t i : index) sorted.push_back(std::move(result_rows[i]));
-    result_rows = std::move(sorted);
-  }
-
-  if (q.limit >= 0 && result_rows.size() > static_cast<std::size_t>(q.limit)) {
-    result_rows.resize(static_cast<std::size_t>(q.limit));
-  }
-
-  // Deduce column types from the first row.
-  for (std::size_t c = 0; c < result_columns.size(); ++c) {
-    if (result_columns[c].type == ValueType::kNull && !result_rows.empty()) {
-      result_columns[c].type = DeduceType(result_rows[0][c]);
-    }
-  }
-  Table result{Schema(std::move(result_columns))};
-  TITANT_RETURN_IF_ERROR(result.AppendAll(std::move(result_rows)));
-  return result;
+  TITANT_ASSIGN_OR_RETURN(Query parsed, ParseSql(query));
+  return ExecuteQuery(parsed, resolver);
 }
 
 }  // namespace titant::maxcompute

@@ -1,20 +1,23 @@
 #ifndef TITANT_MAXCOMPUTE_SQL_H_
 #define TITANT_MAXCOMPUTE_SQL_H_
 
-#include <functional>
 #include <string>
 
 #include "common/statusor.h"
+#include "maxcompute/sql_exec.h"
+#include "maxcompute/sql_plan.h"
 #include "maxcompute/table.h"
 
 namespace titant::maxcompute {
 
-/// Resolves a table name to a table (borrowed pointer, valid for the
-/// duration of the query).
-using TableResolver = std::function<StatusOr<const Table*>(const std::string&)>;
-
 /// Executes one query of the supported SQL subset against the resolver's
 /// tables and returns the result table.
+///
+/// This is the one-shot convenience wrapper over the staged pipeline
+/// (sql_lexer.h → sql_parser.h → sql_plan.h → sql_exec.h): it parses,
+/// binds, and runs the query single-threaded with default batching.
+/// Callers that re-run the same query text (MaxCompute's job runner) keep
+/// the parsed Query and call BindSql/ExecutePlan themselves.
 ///
 /// Grammar (case-insensitive keywords):
 ///

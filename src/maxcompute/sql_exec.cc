@@ -1,0 +1,1710 @@
+#include "maxcompute/sql_exec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace titant::maxcompute {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar semantics. These free functions are the single source of truth
+// for the SQL subset's dynamic typing rules: the batch kernels fast-path
+// homogeneous lanes and fall back to them for mixed-type slots, and the
+// per-group finalizer evaluates through them directly.
+// ---------------------------------------------------------------------------
+
+Value ScalarNeg(const Value& v) {
+  if (v.is_null()) return v;
+  if (v.type() == ValueType::kInt) return Value(-v.AsInt());
+  return Value(-v.AsDouble());
+}
+
+Value ScalarNot(const Value& v) { return Value(!v.AsBool()); }
+
+Value ScalarFunc(SqlOp op, const Value& v) {
+  if (v.is_null()) return v;
+  const double x = v.AsDouble();
+  switch (op) {
+    case SqlOp::kAbs:
+      return v.type() == ValueType::kInt ? Value(std::abs(v.AsInt())) : Value(std::fabs(x));
+    case SqlOp::kRound:
+      return Value(std::round(x));
+    case SqlOp::kFloor:
+      return Value(std::floor(x));
+    case SqlOp::kLog:
+      return x > 0 ? Value(std::log(x)) : Value::Null();
+    case SqlOp::kLog1p:
+      return x > -1 ? Value(std::log1p(x)) : Value::Null();
+    default:
+      return Value::Null();
+  }
+}
+
+Value ScalarBinary(SqlOp op, const Value& lhs, const Value& rhs) {
+  switch (op) {
+    case SqlOp::kAnd:
+      if (!lhs.AsBool()) return Value(false);
+      return Value(rhs.AsBool());
+    case SqlOp::kOr:
+      if (lhs.AsBool()) return Value(true);
+      return Value(rhs.AsBool());
+    case SqlOp::kEq:
+      return Value(Value::Compare(lhs, rhs) == 0);
+    case SqlOp::kNe:
+      return Value(Value::Compare(lhs, rhs) != 0);
+    case SqlOp::kLt:
+      return Value(Value::Compare(lhs, rhs) < 0);
+    case SqlOp::kLe:
+      return Value(Value::Compare(lhs, rhs) <= 0);
+    case SqlOp::kGt:
+      return Value(Value::Compare(lhs, rhs) > 0);
+    case SqlOp::kGe:
+      return Value(Value::Compare(lhs, rhs) >= 0);
+    default:
+      break;
+  }
+  if (lhs.is_null() || rhs.is_null()) return Value::Null();
+  const bool integral =
+      lhs.type() == ValueType::kInt && rhs.type() == ValueType::kInt;
+  switch (op) {
+    case SqlOp::kAdd:
+      return integral ? Value(lhs.AsInt() + rhs.AsInt())
+                      : Value(lhs.AsDouble() + rhs.AsDouble());
+    case SqlOp::kSub:
+      return integral ? Value(lhs.AsInt() - rhs.AsInt())
+                      : Value(lhs.AsDouble() - rhs.AsDouble());
+    case SqlOp::kMul:
+      return integral ? Value(lhs.AsInt() * rhs.AsInt())
+                      : Value(lhs.AsDouble() * rhs.AsDouble());
+    case SqlOp::kDiv: {
+      const double denom = rhs.AsDouble();
+      if (denom == 0.0) return Value::Null();
+      return Value(lhs.AsDouble() / denom);
+    }
+    case SqlOp::kMod: {
+      const int64_t denom = rhs.AsInt();
+      if (denom == 0) return Value::Null();
+      return Value(lhs.AsInt() % denom);
+    }
+    default:
+      return Value::Null();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Columnar batch vectors. A VVec holds one expression node's values for
+// the current batch in the narrowest lossless lane; heterogeneous
+// columns fall back to the generic Value lane so dynamic typing stays
+// exact. The null mask is maintained for every lane.
+// ---------------------------------------------------------------------------
+
+struct VVec {
+  enum class Lane : uint8_t { kInt, kDouble, kBool, kStr, kVal };
+  Lane lane = Lane::kInt;
+  std::vector<int64_t> i64;
+  std::vector<double> f64;
+  std::vector<uint8_t> b8;
+  std::vector<const std::string*> str;  // Borrowed from table cells/plan literals.
+  std::vector<Value> val;
+  std::vector<uint8_t> null;  // 1 = NULL; sized n for every lane.
+  std::size_t n = 0;
+  // Summary hint for the kernels' null-free fast paths. May be true with
+  // no nulls present (over-approximation is harmless) but must never be
+  // false when null[] has a set bit.
+  bool any_null = false;
+
+  void Reset(Lane l, std::size_t count) {
+    lane = l;
+    n = count;
+    any_null = false;
+    null.assign(count, 0);
+    switch (l) {
+      case Lane::kInt:
+        i64.resize(count);
+        break;
+      case Lane::kDouble:
+        f64.resize(count);
+        break;
+      case Lane::kBool:
+        b8.resize(count);
+        break;
+      case Lane::kStr:
+        str.assign(count, nullptr);
+        break;
+      case Lane::kVal:
+        val.resize(count);
+        break;
+    }
+  }
+};
+
+using Lane = VVec::Lane;
+
+bool IsNumericLane(Lane l) {
+  return l == Lane::kInt || l == Lane::kDouble || l == Lane::kBool;
+}
+
+double DoubleAt(const VVec& v, std::size_t i) {
+  switch (v.lane) {
+    case Lane::kInt:
+      return static_cast<double>(v.i64[i]);
+    case Lane::kDouble:
+      return v.f64[i];
+    case Lane::kBool:
+      return v.b8[i] ? 1.0 : 0.0;
+    case Lane::kStr:
+      return 0.0;
+    case Lane::kVal:
+      return v.val[i].AsDouble();
+  }
+  return 0.0;
+}
+
+int64_t IntAt(const VVec& v, std::size_t i) {
+  switch (v.lane) {
+    case Lane::kInt:
+      return v.i64[i];
+    case Lane::kDouble:
+      return static_cast<int64_t>(v.f64[i]);
+    case Lane::kBool:
+      return v.b8[i] ? 1 : 0;
+    case Lane::kStr:
+      return 0;
+    case Lane::kVal:
+      return v.val[i].AsInt();
+  }
+  return 0;
+}
+
+bool BoolAt(const VVec& v, std::size_t i) {
+  if (v.null[i]) return false;
+  switch (v.lane) {
+    case Lane::kInt:
+      return v.i64[i] != 0;
+    case Lane::kDouble:
+      return v.f64[i] != 0.0;
+    case Lane::kBool:
+      return v.b8[i] != 0;
+    case Lane::kStr:
+      return !v.str[i]->empty();
+    case Lane::kVal:
+      return v.val[i].AsBool();
+  }
+  return false;
+}
+
+Value At(const VVec& v, std::size_t i) {
+  if (v.null[i]) return Value::Null();
+  switch (v.lane) {
+    case Lane::kInt:
+      return Value(v.i64[i]);
+    case Lane::kDouble:
+      return Value(v.f64[i]);
+    case Lane::kBool:
+      return Value(v.b8[i] != 0);
+    case Lane::kStr:
+      return Value(*v.str[i]);
+    case Lane::kVal:
+      return v.val[i];
+  }
+  return Value::Null();
+}
+
+// Appends the slot's Value::AsString form (group/join keys must hash and
+// compare exactly like the interpreter's key strings did).
+void AppendString(const VVec& v, std::size_t i, std::string* out) {
+  if (v.null[i]) {
+    out->append("NULL");
+    return;
+  }
+  switch (v.lane) {
+    case Lane::kInt:
+      out->append(std::to_string(v.i64[i]));
+      return;
+    case Lane::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.10g", v.f64[i]);
+      out->append(buf);
+      return;
+    }
+    case Lane::kBool:
+      out->append(v.b8[i] ? "true" : "false");
+      return;
+    case Lane::kStr:
+      out->append(*v.str[i]);
+      return;
+    case Lane::kVal:
+      out->append(v.val[i].AsString());
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Row source: the scan's input. Either a table's rows directly or the
+// materialized (left, right) index pairs of a hash join.
+// ---------------------------------------------------------------------------
+
+struct RowSource {
+  const Table* base = nullptr;
+  const Table* right = nullptr;
+  std::size_t left_width = 0;
+  const std::vector<std::pair<uint32_t, uint32_t>>* pairs = nullptr;
+
+  std::size_t num_rows() const { return pairs ? pairs->size() : base->num_rows(); }
+
+  const Value& Cell(std::size_t r, int col) const {
+    const auto c = static_cast<std::size_t>(col);
+    if (pairs == nullptr) return base->row(r)[c];
+    const auto& pr = (*pairs)[r];
+    if (c < left_width) return base->row(pr.first)[c];
+    return right->row(pr.second)[c - left_width];
+  }
+
+  Row MaterializeRow(std::size_t r) const {
+    if (pairs == nullptr) return base->row(r);
+    const auto& pr = (*pairs)[r];
+    Row out = base->row(pr.first);
+    const Row& rrow = right->row(pr.second);
+    out.insert(out.end(), rrow.begin(), rrow.end());
+    return out;
+  }
+};
+
+// Mixed-type fallback: the generic lane keeps every cell's Value
+// verbatim so dynamic typing stays exact.
+void GatherGeneric(const RowSource& src, int col, const uint32_t* ids, std::size_t n,
+                   VVec* out) {
+  out->Reset(Lane::kVal, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Value& v = src.Cell(ids[i], col);
+    out->val[i] = v;
+    if (v.is_null()) {
+      out->null[i] = 1;
+      out->any_null = true;
+    }
+  }
+}
+
+// Loads one column for the batch in a single optimistic pass: the first
+// non-null cell picks a typed lane, and any later type mismatch
+// restarts into the generic lane. A typed lane is only kept when every
+// non-null cell matches it, so projecting the column back out returns
+// the original Values bit-for-bit.
+void GatherColumn(const RowSource& src, int col, const uint32_t* ids, std::size_t n,
+                  VVec* out) {
+  ValueType t = ValueType::kNull;
+  for (std::size_t i = 0; i < n && t == ValueType::kNull; ++i) {
+    t = src.Cell(ids[i], col).type();
+  }
+  switch (t) {
+    case ValueType::kNull:  // Empty batch or all-null column.
+      out->Reset(Lane::kInt, n);
+      std::fill(out->null.begin(), out->null.end(), static_cast<uint8_t>(1));
+      out->any_null = n > 0;
+      return;
+    case ValueType::kInt:
+      out->Reset(Lane::kInt, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const Value& v = src.Cell(ids[i], col);
+        if (const int64_t* p = v.int_or_null()) {
+          out->i64[i] = *p;
+        } else if (v.is_null()) {
+          out->null[i] = 1;
+          out->any_null = true;
+        } else {
+          GatherGeneric(src, col, ids, n, out);
+          return;
+        }
+      }
+      return;
+    case ValueType::kDouble:
+      out->Reset(Lane::kDouble, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const Value& v = src.Cell(ids[i], col);
+        if (const double* p = v.double_or_null()) {
+          out->f64[i] = *p;
+        } else if (v.is_null()) {
+          out->null[i] = 1;
+          out->any_null = true;
+        } else {
+          GatherGeneric(src, col, ids, n, out);
+          return;
+        }
+      }
+      return;
+    case ValueType::kBool:
+      out->Reset(Lane::kBool, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const Value& v = src.Cell(ids[i], col);
+        if (const bool* p = v.bool_or_null()) {
+          out->b8[i] = *p ? 1 : 0;
+        } else if (v.is_null()) {
+          out->null[i] = 1;
+          out->any_null = true;
+        } else {
+          GatherGeneric(src, col, ids, n, out);
+          return;
+        }
+      }
+      return;
+    case ValueType::kString:
+      out->Reset(Lane::kStr, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const Value& v = src.Cell(ids[i], col);
+        if (const std::string* s = v.string_or_null()) {
+          out->str[i] = s;
+        } else if (v.is_null()) {
+          out->null[i] = 1;
+          out->any_null = true;
+        } else {
+          GatherGeneric(src, col, ids, n, out);
+          return;
+        }
+      }
+      return;
+  }
+}
+
+void BroadcastLiteral(const Value& literal, std::size_t n, VVec* out) {
+  switch (literal.type()) {
+    case ValueType::kInt:
+      out->Reset(Lane::kInt, n);
+      std::fill(out->i64.begin(), out->i64.begin() + static_cast<long>(n), literal.AsInt());
+      return;
+    case ValueType::kDouble:
+      out->Reset(Lane::kDouble, n);
+      std::fill(out->f64.begin(), out->f64.begin() + static_cast<long>(n),
+                literal.AsDouble());
+      return;
+    case ValueType::kBool:
+      out->Reset(Lane::kBool, n);
+      std::fill(out->b8.begin(), out->b8.begin() + static_cast<long>(n),
+                literal.AsBool() ? 1 : 0);
+      return;
+    case ValueType::kString:
+      out->Reset(Lane::kStr, n);
+      std::fill(out->str.begin(), out->str.begin() + static_cast<long>(n),
+                literal.string_or_null());
+      return;
+    case ValueType::kNull:
+      out->Reset(Lane::kInt, n);
+      std::fill(out->null.begin(), out->null.end(), 1);
+      out->any_null = n > 0;
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batch kernels
+// ---------------------------------------------------------------------------
+
+void NegKernel(const VVec& in, VVec* out) {
+  const std::size_t n = in.n;
+  switch (in.lane) {
+    case Lane::kInt:
+      out->Reset(Lane::kInt, n);
+      out->any_null = in.any_null;
+      for (std::size_t i = 0; i < n; ++i) {
+        out->null[i] = in.null[i];
+        if (!in.null[i]) out->i64[i] = -in.i64[i];
+      }
+      return;
+    case Lane::kDouble:
+    case Lane::kBool:
+    case Lane::kStr:
+      out->Reset(Lane::kDouble, n);
+      out->any_null = in.any_null;
+      for (std::size_t i = 0; i < n; ++i) {
+        out->null[i] = in.null[i];
+        if (!in.null[i]) out->f64[i] = -DoubleAt(in, i);
+      }
+      return;
+    case Lane::kVal:
+      out->Reset(Lane::kVal, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        out->val[i] = ScalarNeg(in.val[i]);
+        out->null[i] = out->val[i].is_null() ? 1 : 0;
+        out->any_null |= out->null[i] != 0;
+      }
+      return;
+  }
+}
+
+void NotKernel(const VVec& in, VVec* out) {
+  const std::size_t n = in.n;
+  out->Reset(Lane::kBool, n);
+  if (in.lane == Lane::kBool && !in.any_null) {
+    for (std::size_t i = 0; i < n; ++i) out->b8[i] = in.b8[i] ^ 1;
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) out->b8[i] = BoolAt(in, i) ? 0 : 1;
+}
+
+void FuncKernel(SqlOp op, const VVec& in, VVec* out) {
+  const std::size_t n = in.n;
+  if (in.lane == Lane::kVal) {
+    out->Reset(Lane::kVal, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out->val[i] = ScalarFunc(op, in.val[i]);
+      out->null[i] = out->val[i].is_null() ? 1 : 0;
+      out->any_null |= out->null[i] != 0;
+    }
+    return;
+  }
+  if (op == SqlOp::kAbs && in.lane == Lane::kInt) {
+    out->Reset(Lane::kInt, n);
+    out->any_null = in.any_null;
+    for (std::size_t i = 0; i < n; ++i) {
+      out->null[i] = in.null[i];
+      if (!in.null[i]) out->i64[i] = std::abs(in.i64[i]);
+    }
+    return;
+  }
+  out->Reset(Lane::kDouble, n);
+  // Null-free double input: tight loops without per-slot mask reads.
+  if (!in.any_null && in.lane == Lane::kDouble) {
+    switch (op) {
+      case SqlOp::kAbs:
+        for (std::size_t i = 0; i < n; ++i) out->f64[i] = std::fabs(in.f64[i]);
+        return;
+      case SqlOp::kRound:
+        for (std::size_t i = 0; i < n; ++i) out->f64[i] = std::round(in.f64[i]);
+        return;
+      case SqlOp::kFloor:
+        for (std::size_t i = 0; i < n; ++i) out->f64[i] = std::floor(in.f64[i]);
+        return;
+      case SqlOp::kLog:
+        for (std::size_t i = 0; i < n; ++i) {
+          if (in.f64[i] > 0) {
+            out->f64[i] = std::log(in.f64[i]);
+          } else {
+            out->null[i] = 1;
+            out->any_null = true;
+          }
+        }
+        return;
+      case SqlOp::kLog1p:
+        for (std::size_t i = 0; i < n; ++i) {
+          if (in.f64[i] > -1) {
+            out->f64[i] = std::log1p(in.f64[i]);
+          } else {
+            out->null[i] = 1;
+            out->any_null = true;
+          }
+        }
+        return;
+      default:
+        break;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (in.null[i]) {
+      out->null[i] = 1;
+      out->any_null = true;
+      continue;
+    }
+    const double x = DoubleAt(in, i);
+    switch (op) {
+      case SqlOp::kAbs:
+        out->f64[i] = std::fabs(x);
+        break;
+      case SqlOp::kRound:
+        out->f64[i] = std::round(x);
+        break;
+      case SqlOp::kFloor:
+        out->f64[i] = std::floor(x);
+        break;
+      case SqlOp::kLog:
+        if (x > 0) {
+          out->f64[i] = std::log(x);
+        } else {
+          out->null[i] = 1;
+          out->any_null = true;
+        }
+        break;
+      case SqlOp::kLog1p:
+        if (x > -1) {
+          out->f64[i] = std::log1p(x);
+        } else {
+          out->null[i] = 1;
+          out->any_null = true;
+        }
+        break;
+      default:
+        out->null[i] = 1;
+        out->any_null = true;
+        break;
+    }
+  }
+}
+
+void LogicKernel(SqlOp op, const VVec& l, const VVec& r, VVec* out) {
+  const std::size_t n = l.n;
+  out->Reset(Lane::kBool, n);
+  if (l.lane == Lane::kBool && r.lane == Lane::kBool && !l.any_null && !r.any_null) {
+    if (op == SqlOp::kAnd) {
+      for (std::size_t i = 0; i < n; ++i) out->b8[i] = l.b8[i] & r.b8[i];
+    } else {
+      for (std::size_t i = 0; i < n; ++i) out->b8[i] = l.b8[i] | r.b8[i];
+    }
+    return;
+  }
+  if (op == SqlOp::kAnd) {
+    for (std::size_t i = 0; i < n; ++i) out->b8[i] = (BoolAt(l, i) && BoolAt(r, i)) ? 1 : 0;
+  } else {
+    for (std::size_t i = 0; i < n; ++i) out->b8[i] = (BoolAt(l, i) || BoolAt(r, i)) ? 1 : 0;
+  }
+}
+
+bool ApplyCmp(SqlOp op, int c) {
+  switch (op) {
+    case SqlOp::kEq:
+      return c == 0;
+    case SqlOp::kNe:
+      return c != 0;
+    case SqlOp::kLt:
+      return c < 0;
+    case SqlOp::kLe:
+      return c <= 0;
+    case SqlOp::kGt:
+      return c > 0;
+    case SqlOp::kGe:
+      return c >= 0;
+    default:
+      return false;
+  }
+}
+
+void CompareKernel(SqlOp op, const VVec& l, const VVec& r, VVec* out) {
+  const std::size_t n = l.n;
+  out->Reset(Lane::kBool, n);
+  if (IsNumericLane(l.lane) && IsNumericLane(r.lane)) {
+    if (!l.any_null && !r.any_null) {
+      // Null-free: branchless typed loops for the homogeneous pairs.
+      if (l.lane == Lane::kDouble && r.lane == Lane::kDouble) {
+        for (std::size_t i = 0; i < n; ++i) {
+          const int c = l.f64[i] < r.f64[i] ? -1 : (l.f64[i] > r.f64[i] ? 1 : 0);
+          out->b8[i] = ApplyCmp(op, c) ? 1 : 0;
+        }
+        return;
+      }
+      if (l.lane == Lane::kInt && r.lane == Lane::kInt) {
+        for (std::size_t i = 0; i < n; ++i) {
+          const int c = l.i64[i] < r.i64[i] ? -1 : (l.i64[i] > r.i64[i] ? 1 : 0);
+          out->b8[i] = ApplyCmp(op, c) ? 1 : 0;
+        }
+        return;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        const double x = DoubleAt(l, i);
+        const double y = DoubleAt(r, i);
+        out->b8[i] = ApplyCmp(op, x < y ? -1 : (x > y ? 1 : 0)) ? 1 : 0;
+      }
+      return;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      int c;
+      if (l.null[i] || r.null[i]) {
+        c = static_cast<int>(r.null[i]) - static_cast<int>(l.null[i]);
+      } else {
+        const double x = DoubleAt(l, i);
+        const double y = DoubleAt(r, i);
+        c = x < y ? -1 : (x > y ? 1 : 0);
+      }
+      out->b8[i] = ApplyCmp(op, c) ? 1 : 0;
+    }
+    return;
+  }
+  if (l.lane == Lane::kStr && r.lane == Lane::kStr) {
+    for (std::size_t i = 0; i < n; ++i) {
+      int c;
+      if (l.null[i] || r.null[i]) {
+        c = static_cast<int>(r.null[i]) - static_cast<int>(l.null[i]);
+      } else {
+        c = l.str[i]->compare(*r.str[i]);
+        c = c < 0 ? -1 : (c > 0 ? 1 : 0);
+      }
+      out->b8[i] = ApplyCmp(op, c) ? 1 : 0;
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    out->b8[i] = ApplyCmp(op, Value::Compare(At(l, i), At(r, i))) ? 1 : 0;
+  }
+}
+
+void ArithKernel(SqlOp op, const VVec& l, const VVec& r, VVec* out) {
+  const std::size_t n = l.n;
+  const bool nulls = l.any_null || r.any_null;
+  if (op == SqlOp::kDiv) {
+    if (IsNumericLane(l.lane) && IsNumericLane(r.lane)) {
+      out->Reset(Lane::kDouble, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (nulls && (l.null[i] || r.null[i])) {
+          out->null[i] = 1;
+          out->any_null = true;
+          continue;
+        }
+        const double denom = DoubleAt(r, i);
+        if (denom == 0.0) {
+          out->null[i] = 1;
+          out->any_null = true;
+        } else {
+          out->f64[i] = DoubleAt(l, i) / denom;
+        }
+      }
+      return;
+    }
+  } else if (op == SqlOp::kMod) {
+    if (IsNumericLane(l.lane) && IsNumericLane(r.lane)) {
+      out->Reset(Lane::kInt, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (nulls && (l.null[i] || r.null[i])) {
+          out->null[i] = 1;
+          out->any_null = true;
+          continue;
+        }
+        const int64_t denom = IntAt(r, i);
+        if (denom == 0) {
+          out->null[i] = 1;
+          out->any_null = true;
+        } else {
+          out->i64[i] = IntAt(l, i) % denom;
+        }
+      }
+      return;
+    }
+  } else if (l.lane == Lane::kInt && r.lane == Lane::kInt) {
+    out->Reset(Lane::kInt, n);
+    if (!nulls) {
+      // Null-free: branchless loops the compiler can vectorize.
+      switch (op) {
+        case SqlOp::kAdd:
+          for (std::size_t i = 0; i < n; ++i) out->i64[i] = l.i64[i] + r.i64[i];
+          return;
+        case SqlOp::kSub:
+          for (std::size_t i = 0; i < n; ++i) out->i64[i] = l.i64[i] - r.i64[i];
+          return;
+        default:
+          for (std::size_t i = 0; i < n; ++i) out->i64[i] = l.i64[i] * r.i64[i];
+          return;
+      }
+    }
+    out->any_null = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (l.null[i] || r.null[i]) {
+        out->null[i] = 1;
+        continue;
+      }
+      switch (op) {
+        case SqlOp::kAdd:
+          out->i64[i] = l.i64[i] + r.i64[i];
+          break;
+        case SqlOp::kSub:
+          out->i64[i] = l.i64[i] - r.i64[i];
+          break;
+        default:
+          out->i64[i] = l.i64[i] * r.i64[i];
+          break;
+      }
+    }
+    return;
+  } else if (IsNumericLane(l.lane) && IsNumericLane(r.lane)) {
+    out->Reset(Lane::kDouble, n);
+    if (!nulls && l.lane == Lane::kDouble && r.lane == Lane::kDouble) {
+      switch (op) {
+        case SqlOp::kAdd:
+          for (std::size_t i = 0; i < n; ++i) out->f64[i] = l.f64[i] + r.f64[i];
+          return;
+        case SqlOp::kSub:
+          for (std::size_t i = 0; i < n; ++i) out->f64[i] = l.f64[i] - r.f64[i];
+          return;
+        default:
+          for (std::size_t i = 0; i < n; ++i) out->f64[i] = l.f64[i] * r.f64[i];
+          return;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (nulls && (l.null[i] || r.null[i])) {
+        out->null[i] = 1;
+        out->any_null = true;
+        continue;
+      }
+      const double x = DoubleAt(l, i);
+      const double y = DoubleAt(r, i);
+      switch (op) {
+        case SqlOp::kAdd:
+          out->f64[i] = x + y;
+          break;
+        case SqlOp::kSub:
+          out->f64[i] = x - y;
+          break;
+        default:
+          out->f64[i] = x * y;
+          break;
+      }
+    }
+    return;
+  }
+  // Mixed string/generic slots: exact per-slot semantics.
+  out->Reset(Lane::kVal, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out->val[i] = ScalarBinary(op, At(l, i), At(r, i));
+    out->null[i] = out->val[i].is_null() ? 1 : 0;
+    out->any_null |= out->null[i] != 0;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Program evaluation (one forward pass over post-order nodes)
+// ---------------------------------------------------------------------------
+
+struct ProgramScratch {
+  std::vector<VVec> nodes;
+  // Input indirection: slots[k] is where node k's result actually lives —
+  // &nodes[k] for computed nodes, a ColumnCache entry for columns.
+  std::vector<const VVec*> slots;
+};
+
+// Per-batch column cache shared by every program evaluated over the same
+// (batch, ids) pair. Bump `cur` whenever ids change (new batch, or WHERE
+// compacted the id list); entries regenerate lazily on next use.
+struct ColumnCache {
+  std::vector<VVec> cols;    // Indexed by plan column position.
+  std::vector<uint64_t> gen;  // Generation the entry was gathered for.
+  uint64_t cur = 0;
+};
+
+// In-place selection of a gathered column: keeps the slots at `pos`
+// (strictly increasing), so the vector stays aligned with a compacted
+// id list. `any_null` is left set — over-approximation is allowed.
+void CompactVVec(VVec* v, const std::vector<uint32_t>& pos) {
+  const std::size_t m = pos.size();
+  switch (v->lane) {
+    case Lane::kInt:
+      for (std::size_t k = 0; k < m; ++k) v->i64[k] = v->i64[pos[k]];
+      break;
+    case Lane::kDouble:
+      for (std::size_t k = 0; k < m; ++k) v->f64[k] = v->f64[pos[k]];
+      break;
+    case Lane::kBool:
+      for (std::size_t k = 0; k < m; ++k) v->b8[k] = v->b8[pos[k]];
+      break;
+    case Lane::kStr:
+      for (std::size_t k = 0; k < m; ++k) v->str[k] = v->str[pos[k]];
+      break;
+    case Lane::kVal:
+      for (std::size_t k = 0; k < m; ++k) {
+        if (k != pos[k]) v->val[k] = std::move(v->val[pos[k]]);
+      }
+      break;
+  }
+  for (std::size_t k = 0; k < m; ++k) v->null[k] = v->null[pos[k]];
+  v->n = m;
+}
+
+// Gathers every not-yet-cached column in `cols` for the current
+// (batch, ids) generation. The batch's row data stays L2-resident
+// across the per-column passes, so each column still runs the tight
+// typed loop of GatherColumn.
+void GatherColumns(const RowSource& src, const std::vector<int>& cols, const uint32_t* ids,
+                   std::size_t n, ColumnCache* cache) {
+  for (int c : cols) {
+    const auto idx = static_cast<std::size_t>(c);
+    if (cache->gen[idx] == cache->cur) continue;
+    GatherColumn(src, c, ids, n, &cache->cols[idx]);
+    cache->gen[idx] = cache->cur;
+  }
+}
+
+const VVec& EvalProgram(const ExprProgram& p, const RowSource& src, const uint32_t* ids,
+                        std::size_t n, ProgramScratch* scratch,
+                        ColumnCache* cache = nullptr) {
+  scratch->nodes.resize(p.nodes.size());
+  scratch->slots.resize(p.nodes.size());
+  for (std::size_t k = 0; k < p.nodes.size(); ++k) {
+    const BoundExpr& node = p.nodes[k];
+    VVec& out = scratch->nodes[k];
+    scratch->slots[k] = &out;
+    const auto in = [&](int idx) -> const VVec& { return *scratch->slots[idx]; };
+    switch (node.op) {
+      case SqlOp::kLiteral:
+        BroadcastLiteral(node.literal, n, &out);
+        break;
+      case SqlOp::kColumn:
+        if (cache != nullptr) {
+          const auto c = static_cast<std::size_t>(node.column);
+          if (cache->gen[c] != cache->cur) {
+            GatherColumn(src, node.column, ids, n, &cache->cols[c]);
+            cache->gen[c] = cache->cur;
+          }
+          scratch->slots[k] = &cache->cols[c];
+        } else {
+          GatherColumn(src, node.column, ids, n, &out);
+        }
+        break;
+      case SqlOp::kNeg:
+        NegKernel(in(node.lhs), &out);
+        break;
+      case SqlOp::kNot:
+        NotKernel(in(node.lhs), &out);
+        break;
+      case SqlOp::kAbs:
+      case SqlOp::kRound:
+      case SqlOp::kFloor:
+      case SqlOp::kLog:
+      case SqlOp::kLog1p:
+        FuncKernel(node.op, in(node.lhs), &out);
+        break;
+      case SqlOp::kAnd:
+      case SqlOp::kOr:
+        LogicKernel(node.op, in(node.lhs), in(node.rhs), &out);
+        break;
+      case SqlOp::kEq:
+      case SqlOp::kNe:
+      case SqlOp::kLt:
+      case SqlOp::kLe:
+      case SqlOp::kGt:
+      case SqlOp::kGe:
+        CompareKernel(node.op, in(node.lhs), in(node.rhs), &out);
+        break;
+      case SqlOp::kAdd:
+      case SqlOp::kSub:
+      case SqlOp::kMul:
+      case SqlOp::kDiv:
+      case SqlOp::kMod:
+        ArithKernel(node.op, in(node.lhs), in(node.rhs), &out);
+        break;
+      case SqlOp::kAggRef:
+        // Aggregate references only appear in group-emit programs, which
+        // are evaluated by EvalScalarProgram below, never in batch.
+        BroadcastLiteral(Value::Null(), n, &out);
+        break;
+    }
+  }
+  return *scratch->slots[p.root()];
+}
+
+// Per-group finalization: evaluates a program over one representative
+// row, substituting finalized aggregate results for kAggRef nodes.
+Value EvalScalarProgram(const ExprProgram& p, const Row& row,
+                        const std::vector<Value>* agg_results,
+                        std::vector<Value>* slots) {
+  slots->resize(p.nodes.size());
+  for (std::size_t k = 0; k < p.nodes.size(); ++k) {
+    const BoundExpr& node = p.nodes[k];
+    Value& out = (*slots)[k];
+    switch (node.op) {
+      case SqlOp::kLiteral:
+        out = node.literal;
+        break;
+      case SqlOp::kColumn:
+        out = row[static_cast<std::size_t>(node.column)];
+        break;
+      case SqlOp::kAggRef:
+        out = (*agg_results)[static_cast<std::size_t>(node.agg)];
+        break;
+      case SqlOp::kNeg:
+        out = ScalarNeg((*slots)[node.lhs]);
+        break;
+      case SqlOp::kNot:
+        out = ScalarNot((*slots)[node.lhs]);
+        break;
+      case SqlOp::kAbs:
+      case SqlOp::kRound:
+      case SqlOp::kFloor:
+      case SqlOp::kLog:
+      case SqlOp::kLog1p:
+        out = ScalarFunc(node.op, (*slots)[node.lhs]);
+        break;
+      default:
+        out = ScalarBinary(node.op, (*slots)[node.lhs], (*slots)[node.rhs]);
+        break;
+    }
+  }
+  return (*slots)[p.root()];
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation state
+// ---------------------------------------------------------------------------
+
+struct AggState {
+  double sum = 0.0;
+  int64_t isum = 0;
+  bool integral = true;
+  std::size_t count = 0;
+  std::optional<Value> min, max;
+
+  void Add(const Value& v) {
+    if (v.is_null()) return;
+    ++count;
+    if (v.type() != ValueType::kInt) integral = false;
+    sum += v.AsDouble();
+    isum += v.AsInt();
+    if (!min || Value::Compare(v, *min) < 0) min = v;
+    if (!max || Value::Compare(v, *max) > 0) max = v;
+  }
+
+  // Folds a later partition's state into this one. Strict </> keeps the
+  // earlier partition's min/max on ties, matching serial Add order.
+  void Merge(const AggState& o) {
+    sum += o.sum;
+    isum += o.isum;
+    integral = integral && o.integral;
+    count += o.count;
+    if (o.min && (!min || Value::Compare(*o.min, *min) < 0)) min = o.min;
+    if (o.max && (!max || Value::Compare(*o.max, *max) > 0)) max = o.max;
+  }
+
+  Value Result(AggFunc func) const {
+    switch (func) {
+      case AggFunc::kCount:
+        return Value(static_cast<int64_t>(count));
+      case AggFunc::kSum:
+        if (count == 0) return Value::Null();
+        return integral ? Value(isum) : Value(sum);
+      case AggFunc::kAvg:
+        return count == 0 ? Value::Null() : Value(sum / static_cast<double>(count));
+      case AggFunc::kMin:
+        return min.value_or(Value::Null());
+      case AggFunc::kMax:
+        return max.value_or(Value::Null());
+      case AggFunc::kNone:
+        return Value::Null();
+    }
+    return Value::Null();
+  }
+};
+
+// Per-row aggregate update specialized by function: COUNT and SUM skip
+// the generic Add's min/max Value comparisons. Each AggState belongs to
+// exactly one aggregate, so only the fields its Result() reads need
+// maintaining; Merge still composes partial states correctly because
+// unmaintained fields stay at their defaults on every partition.
+inline void AggAddRow(AggFunc func, const Value& v, AggState* s) {
+  if (v.is_null()) return;
+  switch (func) {
+    case AggFunc::kCount:
+      ++s->count;
+      return;
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      ++s->count;
+      if (v.type() != ValueType::kInt) s->integral = false;
+      s->sum += v.AsDouble();
+      s->isum += v.AsInt();
+      return;
+    case AggFunc::kMin:
+      if (!s->min || Value::Compare(v, *s->min) < 0) s->min = v;
+      return;
+    case AggFunc::kMax:
+      if (!s->max || Value::Compare(v, *s->max) > 0) s->max = v;
+      return;
+    case AggFunc::kNone:
+      s->Add(v);
+      return;
+  }
+}
+
+// Column-at-a-time fold for the global-aggregate fast path. Addition
+// order over the rows is unchanged, so float results match the per-row
+// path bit for bit.
+void AggAddBatch(AggFunc func, const VVec& v, std::size_t n, AggState* s) {
+  switch (func) {
+    case AggFunc::kCount:
+      if (!v.any_null) {
+        s->count += n;
+      } else {
+        for (std::size_t i = 0; i < n; ++i) s->count += v.null[i] ? 0 : 1;
+      }
+      return;
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      if (!v.any_null && v.lane == Lane::kInt) {
+        for (std::size_t i = 0; i < n; ++i) {
+          s->sum += static_cast<double>(v.i64[i]);
+          s->isum += v.i64[i];
+        }
+        s->count += n;
+        return;
+      }
+      if (!v.any_null && v.lane == Lane::kDouble && n > 0) {
+        for (std::size_t i = 0; i < n; ++i) {
+          s->sum += v.f64[i];
+          s->isum += static_cast<int64_t>(v.f64[i]);
+        }
+        s->count += n;
+        s->integral = false;
+        return;
+      }
+      break;
+    default:
+      break;
+  }
+  for (std::size_t i = 0; i < n; ++i) AggAddRow(func, At(v, i), s);
+}
+
+struct GroupState {
+  Row representative;  // First scan-order row of the group (combined layout).
+  std::vector<AggState> states;
+};
+
+// ---------------------------------------------------------------------------
+// Ordering: top-N heap / full sort over (keys, original sequence)
+// ---------------------------------------------------------------------------
+
+struct OrderedRow {
+  Row row;
+  std::vector<Value> keys;
+  uint64_t seq = 0;
+};
+
+struct RowOrder {
+  const std::vector<bool>* desc;
+
+  // Strict total order: order keys, then original sequence. Sorting by
+  // it equals stable_sort on the keys alone.
+  bool operator()(const OrderedRow& a, const OrderedRow& b) const {
+    for (std::size_t k = 0; k < desc->size(); ++k) {
+      const int c = Value::Compare(a.keys[k], b.keys[k]);
+      if (c != 0) return (*desc)[k] ? c > 0 : c < 0;
+    }
+    return a.seq < b.seq;
+  }
+};
+
+// Bounded top-N accumulator for ORDER BY ... LIMIT n: a max-heap of the
+// best n rows seen so far (heap front = the worst kept row), O(n log k)
+// instead of the interpreter's full sort + resize.
+class TopNHeap {
+ public:
+  TopNHeap(std::size_t limit, RowOrder order) : limit_(limit), order_(order) {}
+
+  void Offer(OrderedRow&& r) {
+    if (limit_ == 0) return;
+    if (heap_.size() < limit_) {
+      heap_.push_back(std::move(r));
+      std::push_heap(heap_.begin(), heap_.end(), order_);
+      return;
+    }
+    if (order_(r, heap_.front())) {
+      std::pop_heap(heap_.begin(), heap_.end(), order_);
+      heap_.back() = std::move(r);
+      std::push_heap(heap_.begin(), heap_.end(), order_);
+    }
+  }
+
+  std::vector<OrderedRow> Take() {
+    std::sort(heap_.begin(), heap_.end(), order_);
+    return std::move(heap_);
+  }
+
+ private:
+  std::size_t limit_;
+  RowOrder order_;
+  std::vector<OrderedRow> heap_;
+};
+
+// ---------------------------------------------------------------------------
+// Partition scan
+// ---------------------------------------------------------------------------
+
+struct PartitionOutput {
+  // Non-aggregate collectors (exactly one in use per query shape):
+  std::vector<Row> rows;                  // No ORDER BY.
+  std::vector<OrderedRow> ordered;        // ORDER BY without LIMIT.
+  std::optional<TopNHeap> topn;           // ORDER BY + LIMIT.
+  // Aggregate collector:
+  std::unordered_map<std::string, GroupState> groups;
+  SqlExecStats stats;
+};
+
+void ScanPartition(const SqlPlan& plan, const RowSource& src, std::size_t begin,
+                   std::size_t end, std::size_t batch_rows, PartitionOutput* out) {
+  const bool agg = plan.has_aggregate;
+  const bool ordered = !agg && !plan.order.empty();
+  const bool top_n = ordered && plan.limit >= 0;
+  if (top_n) {
+    out->topn.emplace(static_cast<std::size_t>(plan.limit), RowOrder{&plan.order_desc});
+  }
+
+  std::vector<uint32_t> ids;
+  ProgramScratch where_scratch;
+  std::vector<ProgramScratch> select_scratch(plan.select.size());
+  std::vector<ProgramScratch> order_scratch(plan.order.size());
+  std::vector<ProgramScratch> group_scratch(plan.group_by.size());
+  std::vector<ProgramScratch> arg_scratch(plan.aggregates.size());
+  std::vector<const VVec*> select_vecs(plan.select.size());
+  std::vector<const VVec*> order_vecs(plan.order.size());
+  std::vector<const VVec*> group_vecs(plan.group_by.size());
+  std::vector<const VVec*> arg_vecs(plan.aggregates.size(), nullptr);
+  ColumnCache cache;
+  cache.cols.resize(plan.width);
+  cache.gen.assign(plan.width, 0);
+  std::string keybuf;
+
+  // Columns referenced by the WHERE clause vs by the later batch-
+  // evaluated phases. Each set is gathered in one pass per batch so a
+  // row's cells are pulled in together while the row is cache-hot.
+  std::vector<int> where_cols, post_cols;
+  const auto collect = [](const ExprProgram& p, std::vector<int>* dst) {
+    for (const BoundExpr& nd : p.nodes) {
+      if (nd.op == SqlOp::kColumn &&
+          std::find(dst->begin(), dst->end(), nd.column) == dst->end()) {
+        dst->push_back(nd.column);
+      }
+    }
+  };
+  collect(plan.where, &where_cols);
+  if (agg) {
+    for (const auto& g : plan.group_by) collect(g, &post_cols);
+    for (const auto& a : plan.aggregates) {
+      if (!a.star) collect(a.arg, &post_cols);
+    }
+  } else {
+    if (!plan.select_star) {
+      for (const auto& s : plan.select) collect(s, &post_cols);
+    }
+    for (const auto& o : plan.order) collect(o, &post_cols);
+  }
+  if (!agg && !ordered) {
+    std::size_t expect = end - begin;
+    if (plan.limit >= 0) {
+      expect = std::min(expect, static_cast<std::size_t>(plan.limit));
+    }
+    out->rows.reserve(expect);
+  }
+  std::vector<uint32_t> poss;  // Surviving batch positions after WHERE.
+
+  for (std::size_t start = begin; start < end; start += batch_rows) {
+    std::size_t n = std::min(batch_rows, end - start);
+    out->stats.batches++;
+    out->stats.rows_scanned += n;
+    ids.resize(n);
+    for (std::size_t i = 0; i < n; ++i) ids[i] = static_cast<uint32_t>(start + i);
+    ++cache.cur;  // New batch: every cached column is stale.
+
+    if (!plan.where.empty()) {
+      GatherColumns(src, where_cols, ids.data(), n, &cache);
+      const VVec& keep = EvalProgram(plan.where, src, ids.data(), n, &where_scratch, &cache);
+      poss.clear();
+      if (keep.lane == Lane::kBool && !keep.any_null) {
+        for (std::size_t i = 0; i < n; ++i) {
+          if (keep.b8[i]) poss.push_back(static_cast<uint32_t>(i));
+        }
+      } else {
+        for (std::size_t i = 0; i < n; ++i) {
+          if (BoolAt(keep, i)) poss.push_back(static_cast<uint32_t>(i));
+        }
+      }
+      const std::size_t m = poss.size();
+      if (m != n) {
+        // Compact the id list and every cached column in place with the
+        // same selection, so the select phase reuses the WHERE columns
+        // instead of re-gathering them. (`keep` may alias a cache entry,
+        // which is why the positions are computed before any compaction.)
+        for (std::size_t k = 0; k < m; ++k) ids[k] = ids[poss[k]];
+        for (std::size_t c = 0; c < cache.cols.size(); ++c) {
+          if (cache.gen[c] == cache.cur) CompactVVec(&cache.cols[c], poss);
+        }
+      }
+      ids.resize(m);
+      n = m;
+    }
+    if (n == 0) continue;
+    GatherColumns(src, post_cols, ids.data(), n, &cache);
+
+    if (agg) {
+      for (std::size_t g = 0; g < plan.group_by.size(); ++g) {
+        group_vecs[g] =
+            &EvalProgram(plan.group_by[g], src, ids.data(), n, &group_scratch[g], &cache);
+      }
+      for (std::size_t a = 0; a < plan.aggregates.size(); ++a) {
+        if (!plan.aggregates[a].star) {
+          arg_vecs[a] = &EvalProgram(plan.aggregates[a].arg, src, ids.data(), n,
+                                     &arg_scratch[a], &cache);
+        }
+      }
+      if (plan.group_by.empty()) {
+        // Global aggregate: one group, so hoist the hash lookup out of
+        // the row loop and fold each argument column-at-a-time.
+        auto [it, inserted] = out->groups.try_emplace(keybuf);
+        GroupState& gs = it->second;
+        if (inserted) {
+          gs.representative = src.MaterializeRow(ids[0]);
+          gs.states.resize(plan.aggregates.size());
+        }
+        for (std::size_t a = 0; a < plan.aggregates.size(); ++a) {
+          AggState& state = gs.states[a];
+          if (plan.aggregates[a].star) {
+            state.count += n;  // COUNT(*): every surviving row counts.
+          } else {
+            AggAddBatch(plan.aggregates[a].func, *arg_vecs[a], n, &state);
+          }
+        }
+        continue;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        keybuf.clear();
+        for (std::size_t g = 0; g < plan.group_by.size(); ++g) {
+          AppendString(*group_vecs[g], i, &keybuf);
+          keybuf.push_back('\x1f');
+        }
+        auto [it, inserted] = out->groups.try_emplace(keybuf);
+        GroupState& gs = it->second;
+        if (inserted) {
+          gs.representative = src.MaterializeRow(ids[i]);
+          gs.states.resize(plan.aggregates.size());
+        }
+        for (std::size_t a = 0; a < plan.aggregates.size(); ++a) {
+          if (plan.aggregates[a].star) {
+            ++gs.states[a].count;
+          } else {
+            AggAddRow(plan.aggregates[a].func, At(*arg_vecs[a], i), &gs.states[a]);
+          }
+        }
+      }
+      continue;
+    }
+
+    // Non-aggregate: project the surviving rows.
+    if (!plan.select_star) {
+      for (std::size_t s = 0; s < plan.select.size(); ++s) {
+        select_vecs[s] =
+            &EvalProgram(plan.select[s], src, ids.data(), n, &select_scratch[s], &cache);
+      }
+    }
+    for (std::size_t o = 0; o < plan.order.size(); ++o) {
+      order_vecs[o] = &EvalProgram(plan.order[o], src, ids.data(), n, &order_scratch[o], &cache);
+    }
+
+    if (!ordered) {
+      // Unordered output: materialize column-at-a-time (one lane dispatch
+      // per column instead of per cell). Scan-order LIMIT caps the batch
+      // up front — nothing past row `limit` can matter.
+      std::size_t take = n;
+      if (plan.limit >= 0) {
+        const auto remaining = static_cast<std::size_t>(plan.limit) - out->rows.size();
+        take = std::min(take, remaining);
+      }
+      const std::size_t base = out->rows.size();
+      out->rows.resize(base + take);
+      if (plan.select_star) {
+        for (std::size_t i = 0; i < take; ++i) {
+          out->rows[base + i] = src.MaterializeRow(ids[i]);
+        }
+      } else {
+        for (std::size_t i = 0; i < take; ++i) {
+          out->rows[base + i].resize(plan.select.size());  // Slots default to NULL.
+        }
+        for (std::size_t s = 0; s < plan.select.size(); ++s) {
+          const VVec& v = *select_vecs[s];
+          switch (v.lane) {
+            case Lane::kInt:
+              for (std::size_t i = 0; i < take; ++i) {
+                if (!v.null[i]) out->rows[base + i][s] = Value(v.i64[i]);
+              }
+              break;
+            case Lane::kDouble:
+              for (std::size_t i = 0; i < take; ++i) {
+                if (!v.null[i]) out->rows[base + i][s] = Value(v.f64[i]);
+              }
+              break;
+            case Lane::kBool:
+              for (std::size_t i = 0; i < take; ++i) {
+                if (!v.null[i]) out->rows[base + i][s] = Value(v.b8[i] != 0);
+              }
+              break;
+            case Lane::kStr:
+              for (std::size_t i = 0; i < take; ++i) {
+                if (!v.null[i]) out->rows[base + i][s] = Value(*v.str[i]);
+              }
+              break;
+            case Lane::kVal:
+              for (std::size_t i = 0; i < take; ++i) {
+                if (!v.null[i]) out->rows[base + i][s] = v.val[i];
+              }
+              break;
+          }
+        }
+      }
+      if (plan.limit >= 0 && out->rows.size() >= static_cast<std::size_t>(plan.limit)) {
+        return;
+      }
+      continue;
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      Row row;
+      if (plan.select_star) {
+        row = src.MaterializeRow(ids[i]);
+      } else {
+        row.reserve(plan.select.size());
+        for (std::size_t s = 0; s < plan.select.size(); ++s) {
+          row.push_back(At(*select_vecs[s], i));
+        }
+      }
+      OrderedRow orow;
+      orow.row = std::move(row);
+      orow.seq = ids[i];
+      orow.keys.reserve(plan.order.size());
+      for (std::size_t o = 0; o < plan.order.size(); ++o) {
+        orow.keys.push_back(At(*order_vecs[o], i));
+      }
+      if (top_n) {
+        out->topn->Offer(std::move(orow));
+      } else {
+        out->ordered.push_back(std::move(orow));
+      }
+    }
+  }
+}
+
+// Row-at-a-time reference interpreter: every expression node produces
+// one Value per row through EvalScalarProgram — the execution strategy
+// the columnar batches replaced. Shares all collectors and finalization
+// with ScanPartition, so the two paths are directly comparable (and
+// differential-tested against each other).
+void ScanPartitionScalar(const SqlPlan& plan, const RowSource& src, std::size_t begin,
+                         std::size_t end, PartitionOutput* out) {
+  const bool agg = plan.has_aggregate;
+  const bool ordered = !agg && !plan.order.empty();
+  const bool top_n = ordered && plan.limit >= 0;
+  if (top_n) {
+    out->topn.emplace(static_cast<std::size_t>(plan.limit), RowOrder{&plan.order_desc});
+  }
+
+  std::vector<Value> slots;
+  std::string keybuf;
+  Row scratch_row;
+  const auto key_append = [&keybuf](const Value& v) {
+    keybuf.append(v.is_null() ? "NULL" : v.AsString());
+    keybuf.push_back('\x1f');
+  };
+
+  for (std::size_t r = begin; r < end; ++r) {
+    out->stats.batches++;
+    out->stats.rows_scanned++;
+    const Row* rowp;
+    if (src.pairs == nullptr) {
+      rowp = &src.base->row(r);
+    } else {
+      scratch_row = src.MaterializeRow(r);
+      rowp = &scratch_row;
+    }
+    const Row& row = *rowp;
+
+    if (!plan.where.empty() &&
+        !EvalScalarProgram(plan.where, row, nullptr, &slots).AsBool()) {
+      continue;
+    }
+
+    if (agg) {
+      keybuf.clear();
+      for (const auto& g : plan.group_by) {
+        key_append(EvalScalarProgram(g, row, nullptr, &slots));
+      }
+      auto [it, inserted] = out->groups.try_emplace(keybuf);
+      GroupState& gs = it->second;
+      if (inserted) {
+        gs.representative = row;
+        gs.states.resize(plan.aggregates.size());
+      }
+      for (std::size_t a = 0; a < plan.aggregates.size(); ++a) {
+        if (plan.aggregates[a].star) {
+          ++gs.states[a].count;
+        } else {
+          gs.states[a].Add(EvalScalarProgram(plan.aggregates[a].arg, row, nullptr, &slots));
+        }
+      }
+      continue;
+    }
+
+    if (!ordered && plan.limit >= 0 &&
+        out->rows.size() >= static_cast<std::size_t>(plan.limit)) {
+      return;
+    }
+    Row selected;
+    if (plan.select_star) {
+      selected = row;
+    } else {
+      selected.reserve(plan.select.size());
+      for (const auto& s : plan.select) {
+        selected.push_back(EvalScalarProgram(s, row, nullptr, &slots));
+      }
+    }
+    if (!ordered) {
+      out->rows.push_back(std::move(selected));
+      continue;
+    }
+    OrderedRow orow;
+    orow.row = std::move(selected);
+    orow.seq = r;
+    orow.keys.reserve(plan.order.size());
+    for (const auto& o : plan.order) {
+      orow.keys.push_back(EvalScalarProgram(o, row, nullptr, &slots));
+    }
+    if (top_n) {
+      out->topn->Offer(std::move(orow));
+    } else {
+      out->ordered.push_back(std::move(orow));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hash join: build on the right table, probe in left-row order. The
+// emitted (left, right) pair list preserves the interpreter's output
+// order (left rows in order, bucket entries in right-row order).
+// ---------------------------------------------------------------------------
+
+std::vector<std::pair<uint32_t, uint32_t>> BuildJoinPairs(const SqlPlan& plan,
+                                                          std::size_t batch_rows,
+                                                          SqlExecStats* stats) {
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  std::unordered_map<std::string, std::vector<uint32_t>> hash;
+  std::string keybuf;
+  std::vector<uint32_t> ids;
+  ProgramScratch scratch;
+
+  RowSource right_src;
+  right_src.base = plan.right;
+  right_src.left_width = plan.right->schema().num_columns();
+  const std::size_t rn = plan.right->num_rows();
+  for (std::size_t start = 0; start < rn; start += batch_rows) {
+    const std::size_t n = std::min(batch_rows, rn - start);
+    stats->batches++;
+    stats->rows_scanned += n;
+    ids.resize(n);
+    for (std::size_t i = 0; i < n; ++i) ids[i] = static_cast<uint32_t>(start + i);
+    const VVec& keys = EvalProgram(plan.join_right, right_src, ids.data(), n, &scratch);
+    for (std::size_t i = 0; i < n; ++i) {
+      keybuf.clear();
+      AppendString(keys, i, &keybuf);
+      hash[keybuf].push_back(ids[i]);
+    }
+  }
+
+  RowSource left_src;
+  left_src.base = plan.base;
+  left_src.left_width = plan.left_width;
+  const std::size_t ln = plan.base->num_rows();
+  for (std::size_t start = 0; start < ln; start += batch_rows) {
+    const std::size_t n = std::min(batch_rows, ln - start);
+    stats->batches++;
+    stats->rows_scanned += n;
+    ids.resize(n);
+    for (std::size_t i = 0; i < n; ++i) ids[i] = static_cast<uint32_t>(start + i);
+    const VVec& keys = EvalProgram(plan.join_left, left_src, ids.data(), n, &scratch);
+    for (std::size_t i = 0; i < n; ++i) {
+      keybuf.clear();
+      AppendString(keys, i, &keybuf);
+      auto it = hash.find(keybuf);
+      if (it == hash.end()) continue;
+      for (uint32_t r : it->second) pairs.emplace_back(ids[i], r);
+    }
+  }
+  return pairs;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+StatusOr<Table> ExecutePlan(const SqlPlan& plan, const SqlExecOptions& options,
+                            SqlExecStats* stats) {
+  SqlExecStats local_stats;
+  const std::size_t batch_rows = std::max<std::size_t>(1, options.batch_rows);
+
+  RowSource src;
+  src.base = plan.base;
+  src.right = plan.right;
+  src.left_width = plan.left_width;
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  if (plan.right != nullptr) {
+    pairs = BuildJoinPairs(plan, batch_rows, &local_stats);
+    src.pairs = &pairs;
+  }
+
+  const std::size_t nrows = src.num_rows();
+  std::size_t nparts = 1;
+  if (options.pool != nullptr && options.partition_rows > 0 &&
+      nrows >= 2 * options.partition_rows) {
+    nparts = (nrows + options.partition_rows - 1) / options.partition_rows;
+  }
+
+  const bool scalar = options.scalar;
+  const auto scan = [&plan, &src, scalar, batch_rows](std::size_t begin, std::size_t end,
+                                                      PartitionOutput* out) {
+    if (scalar) {
+      ScanPartitionScalar(plan, src, begin, end, out);
+    } else {
+      ScanPartition(plan, src, begin, end, batch_rows, out);
+    }
+  };
+
+  std::vector<PartitionOutput> parts(nparts);
+  if (nparts == 1) {
+    scan(0, nrows, &parts[0]);
+  } else {
+    // Own completion latch (not pool->Wait()) so concurrent queries
+    // sharing the pool don't wait on each other's tasks.
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t remaining = nparts;
+    for (std::size_t p = 0; p < nparts; ++p) {
+      const std::size_t begin = p * options.partition_rows;
+      const std::size_t end = std::min(nrows, begin + options.partition_rows);
+      PartitionOutput* out = &parts[p];
+      options.pool->Submit([&scan, begin, end, out, &mu, &cv, &remaining] {
+        scan(begin, end, out);
+        std::lock_guard<std::mutex> lock(mu);
+        if (--remaining == 0) cv.notify_one();
+      });
+    }
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&remaining] { return remaining == 0; });
+  }
+
+  // Merge partitions in index order (= scan order).
+  PartitionOutput merged = std::move(parts[0]);
+  for (std::size_t p = 1; p < nparts; ++p) {
+    PartitionOutput& part = parts[p];
+    merged.stats.rows_scanned += part.stats.rows_scanned;
+    merged.stats.batches += part.stats.batches;
+    if (plan.has_aggregate) {
+      for (auto& [key, gs] : part.groups) {
+        auto it = merged.groups.find(key);
+        if (it == merged.groups.end()) {
+          merged.groups.emplace(key, std::move(gs));
+          continue;
+        }
+        for (std::size_t a = 0; a < it->second.states.size(); ++a) {
+          it->second.states[a].Merge(gs.states[a]);
+        }
+      }
+    } else if (merged.topn.has_value()) {
+      if (part.topn.has_value()) {
+        for (OrderedRow& r : part.topn->Take()) merged.topn->Offer(std::move(r));
+      }
+    } else if (!plan.order.empty()) {
+      merged.ordered.insert(merged.ordered.end(),
+                            std::make_move_iterator(part.ordered.begin()),
+                            std::make_move_iterator(part.ordered.end()));
+    } else {
+      merged.rows.insert(merged.rows.end(), std::make_move_iterator(part.rows.begin()),
+                         std::make_move_iterator(part.rows.end()));
+      if (plan.limit >= 0 && merged.rows.size() > static_cast<std::size_t>(plan.limit)) {
+        merged.rows.resize(static_cast<std::size_t>(plan.limit));
+        break;
+      }
+    }
+  }
+  local_stats.rows_scanned += merged.stats.rows_scanned;
+  local_stats.batches += merged.stats.batches;
+
+  // Finalize into result rows.
+  std::vector<Row> result_rows;
+  if (plan.has_aggregate) {
+    if (merged.groups.empty() && plan.group_by.empty()) {
+      // COUNT(*) over an empty (or fully filtered) input is 0, not no-rows.
+      GroupState& gs = merged.groups[""];
+      gs.representative.assign(plan.width, Value::Null());
+      gs.states.resize(plan.aggregates.size());
+    }
+    std::vector<std::pair<const std::string*, GroupState*>> order;
+    order.reserve(merged.groups.size());
+    for (auto& [key, gs] : merged.groups) order.emplace_back(&key, &gs);
+    std::sort(order.begin(), order.end(),
+              [](const auto& a, const auto& b) { return *a.first < *b.first; });
+
+    std::vector<Value> agg_results(plan.aggregates.size());
+    std::vector<Value> slots;
+    std::vector<OrderedRow> emitted;
+    emitted.reserve(order.size());
+    for (std::size_t g = 0; g < order.size(); ++g) {
+      const GroupState& gs = *order[g].second;
+      for (std::size_t a = 0; a < plan.aggregates.size(); ++a) {
+        agg_results[a] = gs.states[a].Result(plan.aggregates[a].func);
+      }
+      OrderedRow orow;
+      orow.seq = g;
+      orow.row.reserve(plan.select.size());
+      for (const ExprProgram& sel : plan.select) {
+        orow.row.push_back(EvalScalarProgram(sel, gs.representative, &agg_results, &slots));
+      }
+      orow.keys.reserve(plan.order.size());
+      for (const ExprProgram& ord : plan.order) {
+        orow.keys.push_back(EvalScalarProgram(ord, gs.representative, &agg_results, &slots));
+      }
+      emitted.push_back(std::move(orow));
+    }
+    if (!plan.order.empty()) {
+      const RowOrder row_order{&plan.order_desc};
+      if (plan.limit >= 0 && emitted.size() > static_cast<std::size_t>(plan.limit)) {
+        TopNHeap heap(static_cast<std::size_t>(plan.limit), row_order);
+        for (OrderedRow& r : emitted) heap.Offer(std::move(r));
+        emitted = heap.Take();
+      } else {
+        std::sort(emitted.begin(), emitted.end(), row_order);
+      }
+    } else if (plan.limit >= 0 && emitted.size() > static_cast<std::size_t>(plan.limit)) {
+      emitted.resize(static_cast<std::size_t>(plan.limit));
+    }
+    result_rows.reserve(emitted.size());
+    for (OrderedRow& r : emitted) result_rows.push_back(std::move(r.row));
+  } else if (merged.topn.has_value()) {
+    std::vector<OrderedRow> top = merged.topn->Take();
+    result_rows.reserve(top.size());
+    for (OrderedRow& r : top) result_rows.push_back(std::move(r.row));
+  } else if (!plan.order.empty()) {
+    std::sort(merged.ordered.begin(), merged.ordered.end(), RowOrder{&plan.order_desc});
+    result_rows.reserve(merged.ordered.size());
+    for (OrderedRow& r : merged.ordered) result_rows.push_back(std::move(r.row));
+  } else {
+    result_rows = std::move(merged.rows);
+    if (plan.limit >= 0 && result_rows.size() > static_cast<std::size_t>(plan.limit)) {
+      result_rows.resize(static_cast<std::size_t>(plan.limit));
+    }
+  }
+
+  // Deduce still-untyped column types from the first result row.
+  std::vector<Column> columns = plan.out_columns;
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    if (columns[c].type == ValueType::kNull && !result_rows.empty()) {
+      columns[c].type = result_rows[0][c].type();
+    }
+  }
+  local_stats.rows_output = result_rows.size();
+  if (stats != nullptr) {
+    stats->rows_scanned += local_stats.rows_scanned;
+    stats->batches += local_stats.batches;
+    stats->rows_output += local_stats.rows_output;
+  }
+  Table result{Schema(std::move(columns))};
+  result.Reserve(result_rows.size());
+  TITANT_RETURN_IF_ERROR(result.AppendAll(std::move(result_rows)));
+  return result;
+}
+
+StatusOr<Table> ExecuteQuery(const Query& q, const TableResolver& resolver,
+                             const SqlExecOptions& options, SqlExecStats* stats) {
+  TITANT_ASSIGN_OR_RETURN(SqlPlan plan, BindSql(q, resolver));
+  return ExecutePlan(plan, options, stats);
+}
+
+}  // namespace titant::maxcompute

@@ -1,0 +1,127 @@
+#include "maxcompute/sql_lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace titant::maxcompute {
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) {}
+
+  StatusOr<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    while (pos_ < input_.size()) {
+      const char c = input_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && pos_ + 1 < input_.size() &&
+           std::isdigit(static_cast<unsigned char>(input_[pos_ + 1])))) {
+        TITANT_ASSIGN_OR_RETURN(Token t, LexNumber());
+        tokens.push_back(std::move(t));
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        tokens.push_back(LexIdent());
+        continue;
+      }
+      if (c == '\'') {
+        TITANT_ASSIGN_OR_RETURN(Token t, LexString());
+        tokens.push_back(std::move(t));
+        continue;
+      }
+      // Multi-char symbols first.
+      static const char* kTwoChar[] = {"!=", "<>", "<=", ">="};
+      bool matched = false;
+      for (const char* sym : kTwoChar) {
+        if (input_.compare(pos_, 2, sym) == 0) {
+          tokens.push_back(Token{TokenType::kSymbol, sym, 0, false});
+          pos_ += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+      static const std::string kOneChar = "()+-*/%,.=<>";
+      if (kOneChar.find(c) != std::string::npos) {
+        tokens.push_back(Token{TokenType::kSymbol, std::string(1, c), 0, false});
+        ++pos_;
+        continue;
+      }
+      return Status::InvalidArgument(StrFormat("SQL: unexpected character '%c'", c));
+    }
+    tokens.push_back(Token{TokenType::kEnd, "", 0, false});
+    return tokens;
+  }
+
+ private:
+  StatusOr<Token> LexNumber() {
+    const std::size_t start = pos_;
+    bool has_dot = false;
+    while (pos_ < input_.size() &&
+           (std::isdigit(static_cast<unsigned char>(input_[pos_])) || input_[pos_] == '.')) {
+      if (input_[pos_] == '.') {
+        if (has_dot) break;
+        has_dot = true;
+      }
+      ++pos_;
+    }
+    Token t;
+    t.type = TokenType::kNumber;
+    t.text = input_.substr(start, pos_ - start);
+    TITANT_ASSIGN_OR_RETURN(t.number, ParseDouble(t.text));
+    t.is_integer = !has_dot;
+    return t;
+  }
+
+  Token LexIdent() {
+    const std::size_t start = pos_;
+    while (pos_ < input_.size() && (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+                                    input_[pos_] == '_')) {
+      ++pos_;
+    }
+    Token t;
+    t.type = TokenType::kKeywordOrIdent;
+    t.text = input_.substr(start, pos_ - start);
+    for (char& c : t.text) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    return t;
+  }
+
+  StatusOr<Token> LexString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < input_.size()) {
+      if (input_[pos_] == '\'') {
+        if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '\'') {
+          out.push_back('\'');  // Escaped quote.
+          pos_ += 2;
+          continue;
+        }
+        ++pos_;
+        Token t;
+        t.type = TokenType::kString;
+        t.text = std::move(out);
+        return t;
+      }
+      out.push_back(input_[pos_++]);
+    }
+    return Status::InvalidArgument("SQL: unterminated string literal");
+  }
+
+  const std::string& input_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<std::vector<Token>> TokenizeSql(const std::string& input) {
+  return Lexer(input).Tokenize();
+}
+
+}  // namespace titant::maxcompute

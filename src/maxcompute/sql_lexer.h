@@ -1,0 +1,34 @@
+#ifndef TITANT_MAXCOMPUTE_SQL_LEXER_H_
+#define TITANT_MAXCOMPUTE_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace titant::maxcompute {
+
+/// Token kinds of the SQL subset. Keywords are not distinguished from
+/// identifiers at the lexical level; the parser decides by position.
+enum class TokenType { kKeywordOrIdent, kNumber, kString, kSymbol, kEnd };
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // Upper-cased for idents/keywords; raw for strings.
+  double number = 0;
+  bool is_integer = false;
+};
+
+/// Tokenizes `input`. The returned vector always ends with a kEnd token.
+///
+/// Rules: idents/keywords are [A-Za-z_][A-Za-z0-9_]* and upper-cased;
+/// numbers are digit runs with at most one '.' (a second '.' ends the
+/// token); strings are single-quoted with '' as the escaped quote;
+/// two-char symbols != <> <= >= are matched before the one-char set
+/// ()+-*/%,.=<>. Unterminated strings and unknown characters are
+/// InvalidArgument.
+StatusOr<std::vector<Token>> TokenizeSql(const std::string& input);
+
+}  // namespace titant::maxcompute
+
+#endif  // TITANT_MAXCOMPUTE_SQL_LEXER_H_

@@ -1,0 +1,382 @@
+#include "maxcompute/sql_parser.h"
+
+#include <algorithm>
+#include <map>
+
+#include "maxcompute/sql_lexer.h"
+
+namespace titant::maxcompute {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<Query> Parse() {
+    Query q;
+    TITANT_RETURN_IF_ERROR(Expect("SELECT"));
+    // Select list.
+    for (;;) {
+      SelectItem item;
+      if (PeekSymbol("*")) {
+        Advance();
+        item.expr = nullptr;
+      } else {
+        TITANT_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (PeekKeyword("AS")) {
+          Advance();
+          if (Peek().type != TokenType::kKeywordOrIdent) {
+            return Status::InvalidArgument("SQL: expected alias after AS");
+          }
+          item.alias = Peek().text;
+          Advance();
+        }
+      }
+      q.select.push_back(std::move(item));
+      if (!PeekSymbol(",")) break;
+      Advance();
+    }
+    TITANT_RETURN_IF_ERROR(Expect("FROM"));
+    if (Peek().type != TokenType::kKeywordOrIdent) {
+      return Status::InvalidArgument("SQL: expected table name after FROM");
+    }
+    q.from_table = Peek().text;
+    Advance();
+    if (PeekKeyword("JOIN")) {
+      Advance();
+      if (Peek().type != TokenType::kKeywordOrIdent) {
+        return Status::InvalidArgument("SQL: expected table name after JOIN");
+      }
+      q.join_table = Peek().text;
+      Advance();
+      TITANT_RETURN_IF_ERROR(Expect("ON"));
+      TITANT_ASSIGN_OR_RETURN(q.join_left, ParseAdditive());
+      TITANT_RETURN_IF_ERROR(ExpectSymbol("="));
+      TITANT_ASSIGN_OR_RETURN(q.join_right, ParseAdditive());
+    }
+    if (PeekKeyword("WHERE")) {
+      Advance();
+      TITANT_ASSIGN_OR_RETURN(q.where, ParseExpr());
+    }
+    if (PeekKeyword("GROUP")) {
+      Advance();
+      TITANT_RETURN_IF_ERROR(Expect("BY"));
+      for (;;) {
+        TITANT_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        q.group_by.push_back(std::move(e));
+        if (!PeekSymbol(",")) break;
+        Advance();
+      }
+    }
+    if (PeekKeyword("ORDER")) {
+      Advance();
+      TITANT_RETURN_IF_ERROR(Expect("BY"));
+      for (;;) {
+        OrderItem item;
+        TITANT_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (PeekKeyword("ASC")) {
+          Advance();
+        } else if (PeekKeyword("DESC")) {
+          Advance();
+          item.descending = true;
+        }
+        q.order_by.push_back(std::move(item));
+        if (!PeekSymbol(",")) break;
+        Advance();
+      }
+    }
+    if (PeekKeyword("LIMIT")) {
+      Advance();
+      if (Peek().type != TokenType::kNumber || !Peek().is_integer) {
+        return Status::InvalidArgument("SQL: LIMIT expects an integer");
+      }
+      q.limit = static_cast<int64_t>(Peek().number);
+      Advance();
+    }
+    if (Peek().type != TokenType::kEnd) {
+      return Status::InvalidArgument("SQL: trailing input at '" + Peek().text + "'");
+    }
+    return q;
+  }
+
+ private:
+  // Every recursive production passes through ParseOr, ParseNot, or
+  // ParseUnary, so counting frames there bounds the total C++ stack
+  // depth for hostile inputs (10k-deep parens, NOT chains, ----- runs).
+  struct DepthGuard {
+    explicit DepthGuard(int* depth) : depth_(depth) { ++*depth_; }
+    ~DepthGuard() { --*depth_; }
+    int* depth_;
+  };
+  Status CheckDepth() const {
+    if (depth_ > kMaxSqlExprDepth) {
+      return Status::InvalidArgument("SQL: expression nesting too deep");
+    }
+    return Status::OK();
+  }
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  void Advance() { ++pos_; }
+
+  bool PeekKeyword(const char* kw) const {
+    return Peek().type == TokenType::kKeywordOrIdent && Peek().text == kw;
+  }
+  bool PeekSymbol(const char* sym) const {
+    return Peek().type == TokenType::kSymbol && Peek().text == sym;
+  }
+  Status Expect(const char* kw) {
+    if (!PeekKeyword(kw)) {
+      return Status::InvalidArgument(std::string("SQL: expected ") + kw);
+    }
+    Advance();
+    return Status::OK();
+  }
+  Status ExpectSymbol(const char* sym) {
+    if (!PeekSymbol(sym)) {
+      return Status::InvalidArgument(std::string("SQL: expected '") + sym + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  StatusOr<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  StatusOr<ExprPtr> ParseOr() {
+    DepthGuard guard(&depth_);
+    TITANT_RETURN_IF_ERROR(CheckDepth());
+    TITANT_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (PeekKeyword("OR")) {
+      Advance();
+      TITANT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kBinary;
+      node->op = "OR";
+      node->children.push_back(std::move(lhs));
+      node->children.push_back(std::move(rhs));
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  StatusOr<ExprPtr> ParseAnd() {
+    TITANT_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (PeekKeyword("AND")) {
+      Advance();
+      TITANT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kBinary;
+      node->op = "AND";
+      node->children.push_back(std::move(lhs));
+      node->children.push_back(std::move(rhs));
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  StatusOr<ExprPtr> ParseNot() {
+    if (PeekKeyword("NOT")) {
+      DepthGuard guard(&depth_);
+      TITANT_RETURN_IF_ERROR(CheckDepth());
+      Advance();
+      TITANT_ASSIGN_OR_RETURN(ExprPtr child, ParseNot());
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kNot;
+      node->children.push_back(std::move(child));
+      return node;
+    }
+    return ParseComparison();
+  }
+
+  StatusOr<ExprPtr> ParseComparison() {
+    TITANT_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    static const char* kOps[] = {"=", "!=", "<>", "<=", ">=", "<", ">"};
+    for (const char* op : kOps) {
+      if (PeekSymbol(op)) {
+        Advance();
+        TITANT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+        auto node = std::make_unique<Expr>();
+        node->kind = Expr::Kind::kBinary;
+        node->op = op;
+        node->children.push_back(std::move(lhs));
+        node->children.push_back(std::move(rhs));
+        return node;
+      }
+    }
+    return lhs;
+  }
+
+  StatusOr<ExprPtr> ParseAdditive() {
+    TITANT_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (PeekSymbol("+") || PeekSymbol("-")) {
+      const std::string op = Peek().text;
+      Advance();
+      TITANT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kBinary;
+      node->op = op;
+      node->children.push_back(std::move(lhs));
+      node->children.push_back(std::move(rhs));
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  StatusOr<ExprPtr> ParseMultiplicative() {
+    TITANT_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (PeekSymbol("*") || PeekSymbol("/") || PeekSymbol("%")) {
+      const std::string op = Peek().text;
+      Advance();
+      TITANT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kBinary;
+      node->op = op;
+      node->children.push_back(std::move(lhs));
+      node->children.push_back(std::move(rhs));
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  StatusOr<ExprPtr> ParseUnary() {
+    if (PeekSymbol("-")) {
+      DepthGuard guard(&depth_);
+      TITANT_RETURN_IF_ERROR(CheckDepth());
+      Advance();
+      TITANT_ASSIGN_OR_RETURN(ExprPtr child, ParseUnary());
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kUnaryMinus;
+      node->children.push_back(std::move(child));
+      return node;
+    }
+    return ParsePrimary();
+  }
+
+  StatusOr<ExprPtr> ParsePrimary() {
+    auto node = std::make_unique<Expr>();
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kNumber:
+        node->kind = Expr::Kind::kLiteral;
+        node->literal =
+            t.is_integer ? Value(static_cast<int64_t>(t.number)) : Value(t.number);
+        Advance();
+        return node;
+      case TokenType::kString:
+        node->kind = Expr::Kind::kLiteral;
+        node->literal = Value(t.text);
+        Advance();
+        return node;
+      case TokenType::kSymbol:
+        if (t.text == "(") {
+          Advance();
+          TITANT_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+          TITANT_RETURN_IF_ERROR(ExpectSymbol(")"));
+          return inner;
+        }
+        return Status::InvalidArgument("SQL: unexpected symbol '" + t.text + "'");
+      case TokenType::kKeywordOrIdent: {
+        const std::string name = t.text;
+        Advance();
+        if (name == "TRUE" || name == "FALSE") {
+          node->kind = Expr::Kind::kLiteral;
+          node->literal = Value(name == "TRUE");
+          return node;
+        }
+        if (name == "NULL") {
+          node->kind = Expr::Kind::kLiteral;
+          node->literal = Value::Null();
+          return node;
+        }
+        if (PeekSymbol("(")) {
+          Advance();
+          static const std::map<std::string, AggFunc> kAggs = {
+              {"COUNT", AggFunc::kCount}, {"SUM", AggFunc::kSum}, {"AVG", AggFunc::kAvg},
+              {"MIN", AggFunc::kMin},     {"MAX", AggFunc::kMax},
+          };
+          auto agg_it = kAggs.find(name);
+          if (agg_it != kAggs.end()) {
+            node->kind = Expr::Kind::kAggregate;
+            node->agg = agg_it->second;
+            if (PeekSymbol("*")) {
+              Advance();
+              auto star = std::make_unique<Expr>();
+              star->kind = Expr::Kind::kStar;
+              node->children.push_back(std::move(star));
+            } else {
+              TITANT_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+              node->children.push_back(std::move(arg));
+            }
+            TITANT_RETURN_IF_ERROR(ExpectSymbol(")"));
+            return node;
+          }
+          // Scalar function.
+          static const char* kScalars[] = {"ABS", "ROUND", "FLOOR", "LOG", "LOG1P"};
+          const bool known = std::any_of(std::begin(kScalars), std::end(kScalars),
+                                         [&](const char* f) { return name == f; });
+          if (!known) return Status::InvalidArgument("SQL: unknown function " + name);
+          node->kind = Expr::Kind::kFunction;
+          node->op = name;
+          TITANT_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+          node->children.push_back(std::move(arg));
+          TITANT_RETURN_IF_ERROR(ExpectSymbol(")"));
+          return node;
+        }
+        // Column reference; maybe qualified.
+        node->kind = Expr::Kind::kColumn;
+        node->column = name;
+        if (PeekSymbol(".")) {
+          Advance();
+          if (Peek().type != TokenType::kKeywordOrIdent) {
+            return Status::InvalidArgument("SQL: expected column after '.'");
+          }
+          node->column = name + "." + Peek().text;
+          Advance();
+        }
+        return node;
+      }
+      case TokenType::kEnd:
+        return Status::InvalidArgument("SQL: unexpected end of input");
+    }
+    return Status::InvalidArgument("SQL: parse error");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+ExprPtr CloneExpr(const Expr& expr) {
+  auto out = std::make_unique<Expr>();
+  out->kind = expr.kind;
+  out->literal = expr.literal;
+  out->column = expr.column;
+  out->op = expr.op;
+  out->agg = expr.agg;
+  for (const auto& child : expr.children) out->children.push_back(CloneExpr(*child));
+  return out;
+}
+
+StatusOr<Query> ParseSql(const std::string& query) {
+  TITANT_ASSIGN_OR_RETURN(std::vector<Token> tokens, TokenizeSql(query));
+  Parser parser(std::move(tokens));
+  TITANT_ASSIGN_OR_RETURN(Query q, parser.Parse());
+  // ORDER BY may name a select alias; rewrite such references to the
+  // aliased expression so they evaluate in any context. Done at parse
+  // time so a cached Query needs no per-execution mutation.
+  for (auto& order : q.order_by) {
+    if (order.expr->kind != Expr::Kind::kColumn) continue;
+    for (const auto& item : q.select) {
+      if (!item.expr || item.alias.empty()) continue;
+      if (order.expr->column == item.alias) {
+        order.expr = CloneExpr(*item.expr);
+        break;
+      }
+    }
+  }
+  return q;
+}
+
+}  // namespace titant::maxcompute

@@ -1,0 +1,235 @@
+#include "maxcompute/sql_plan.h"
+
+#include <cctype>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace titant::maxcompute {
+
+namespace {
+
+// Column environment: maps (possibly qualified) upper-cased names to row
+// positions in the working row layout.
+struct ColumnEnv {
+  std::vector<std::pair<std::string, int>> bindings;
+
+  StatusOr<int> Resolve(const std::string& name) const {
+    int found = -1;
+    for (const auto& [bound, idx] : bindings) {
+      if (bound == name) {
+        if (found >= 0) return Status::InvalidArgument("SQL: ambiguous column " + name);
+        found = idx;
+      }
+    }
+    if (found < 0) return Status::InvalidArgument("SQL: unknown column " + name);
+    return found;
+  }
+
+  static ColumnEnv ForTable(const Table& table, const std::string& table_name,
+                            int shift = 0) {
+    ColumnEnv env;
+    int idx = shift;
+    for (const auto& col : table.schema().columns()) {
+      std::string upper = col.name;
+      for (char& c : upper) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+      env.bindings.emplace_back(upper, idx);
+      env.bindings.emplace_back(table_name + "." + upper, idx);
+      ++idx;
+    }
+    return env;
+  }
+};
+
+StatusOr<SqlOp> OpFromString(const std::string& op) {
+  if (op == "AND") return SqlOp::kAnd;
+  if (op == "OR") return SqlOp::kOr;
+  if (op == "=") return SqlOp::kEq;
+  if (op == "!=" || op == "<>") return SqlOp::kNe;
+  if (op == "<") return SqlOp::kLt;
+  if (op == "<=") return SqlOp::kLe;
+  if (op == ">") return SqlOp::kGt;
+  if (op == ">=") return SqlOp::kGe;
+  if (op == "+") return SqlOp::kAdd;
+  if (op == "-") return SqlOp::kSub;
+  if (op == "*") return SqlOp::kMul;
+  if (op == "/") return SqlOp::kDiv;
+  if (op == "%") return SqlOp::kMod;
+  if (op == "ABS") return SqlOp::kAbs;
+  if (op == "ROUND") return SqlOp::kRound;
+  if (op == "FLOOR") return SqlOp::kFloor;
+  if (op == "LOG") return SqlOp::kLog;
+  if (op == "LOG1P") return SqlOp::kLog1p;
+  return Status::Internal("SQL: unknown operator " + op);
+}
+
+// Flattens an expression tree into a post-order node program. When
+// `aggregates` is non-null, aggregate call sites are registered there and
+// emitted as kAggRef nodes; when null, aggregates are rejected (WHERE,
+// GROUP BY, join conditions, and every expression of a non-aggregating
+// query).
+class Flattener {
+ public:
+  Flattener(const ColumnEnv& env, std::vector<BoundAggregate>* aggregates)
+      : env_(env), aggregates_(aggregates) {}
+
+  StatusOr<ExprProgram> Flatten(const Expr& expr) {
+    ExprProgram program;
+    TITANT_RETURN_IF_ERROR(Emit(expr, &program).status());
+    return program;
+  }
+
+ private:
+  StatusOr<int> Emit(const Expr& expr, ExprProgram* out) {
+    BoundExpr node;
+    switch (expr.kind) {
+      case Expr::Kind::kLiteral:
+        node.op = SqlOp::kLiteral;
+        node.literal = expr.literal;
+        break;
+      case Expr::Kind::kColumn: {
+        TITANT_ASSIGN_OR_RETURN(int idx, env_.Resolve(expr.column));
+        node.op = SqlOp::kColumn;
+        node.column = idx;
+        break;
+      }
+      case Expr::Kind::kUnaryMinus: {
+        TITANT_ASSIGN_OR_RETURN(node.lhs, Emit(*expr.children[0], out));
+        node.op = SqlOp::kNeg;
+        break;
+      }
+      case Expr::Kind::kNot: {
+        TITANT_ASSIGN_OR_RETURN(node.lhs, Emit(*expr.children[0], out));
+        node.op = SqlOp::kNot;
+        break;
+      }
+      case Expr::Kind::kBinary: {
+        TITANT_ASSIGN_OR_RETURN(node.lhs, Emit(*expr.children[0], out));
+        TITANT_ASSIGN_OR_RETURN(node.rhs, Emit(*expr.children[1], out));
+        TITANT_ASSIGN_OR_RETURN(node.op, OpFromString(expr.op));
+        break;
+      }
+      case Expr::Kind::kFunction: {
+        TITANT_ASSIGN_OR_RETURN(node.lhs, Emit(*expr.children[0], out));
+        TITANT_ASSIGN_OR_RETURN(node.op, OpFromString(expr.op));
+        break;
+      }
+      case Expr::Kind::kAggregate: {
+        if (aggregates_ == nullptr) {
+          return Status::InvalidArgument("SQL: aggregate used outside an aggregating query");
+        }
+        BoundAggregate agg;
+        agg.func = expr.agg;
+        if (expr.children[0]->kind == Expr::Kind::kStar) {
+          agg.star = true;
+        } else {
+          // Aggregate arguments are plain row expressions; nesting
+          // another aggregate inside is rejected here.
+          Flattener arg_flattener(env_, nullptr);
+          TITANT_ASSIGN_OR_RETURN(agg.arg, arg_flattener.Flatten(*expr.children[0]));
+        }
+        node.op = SqlOp::kAggRef;
+        node.agg = static_cast<int>(aggregates_->size());
+        aggregates_->push_back(std::move(agg));
+        break;
+      }
+      case Expr::Kind::kStar:
+        return Status::InvalidArgument("SQL: '*' is only valid in COUNT(*)");
+    }
+    out->nodes.push_back(std::move(node));
+    return out->root();
+  }
+
+  const ColumnEnv& env_;
+  std::vector<BoundAggregate>* aggregates_;
+};
+
+std::string DefaultName(const Expr& expr, std::size_t position) {
+  if (expr.kind == Expr::Kind::kColumn) {
+    const auto dot = expr.column.find('.');
+    return ToLower(dot == std::string::npos ? expr.column : expr.column.substr(dot + 1));
+  }
+  return StrFormat("_c%zu", position);
+}
+
+}  // namespace
+
+StatusOr<SqlPlan> BindSql(const Query& q, const TableResolver& resolver) {
+  SqlPlan plan;
+  TITANT_ASSIGN_OR_RETURN(plan.base, resolver(q.from_table));
+  plan.left_width = plan.base->schema().num_columns();
+  plan.width = plan.left_width;
+
+  ColumnEnv env = ColumnEnv::ForTable(*plan.base, q.from_table);
+  if (!q.join_table.empty()) {
+    TITANT_ASSIGN_OR_RETURN(plan.right, resolver(q.join_table));
+    plan.width += plan.right->schema().num_columns();
+    ColumnEnv right_env = ColumnEnv::ForTable(*plan.right, q.join_table);
+    ColumnEnv shifted =
+        ColumnEnv::ForTable(*plan.right, q.join_table, static_cast<int>(plan.left_width));
+    env.bindings.insert(env.bindings.end(), shifted.bindings.begin(),
+                        shifted.bindings.end());
+    ColumnEnv left_only = ColumnEnv::ForTable(*plan.base, q.from_table);
+    Flattener left_fl(left_only, nullptr);
+    TITANT_ASSIGN_OR_RETURN(plan.join_left, left_fl.Flatten(*q.join_left));
+    Flattener right_fl(right_env, nullptr);
+    TITANT_ASSIGN_OR_RETURN(plan.join_right, right_fl.Flatten(*q.join_right));
+  }
+
+  plan.has_aggregate = !q.group_by.empty();
+  for (const auto& item : q.select) {
+    if (item.expr && item.expr->ContainsAggregate()) plan.has_aggregate = true;
+  }
+  for (const auto& item : q.select) {
+    if (!item.expr && plan.has_aggregate) {
+      return Status::InvalidArgument("SQL: SELECT * cannot be combined with aggregation");
+    }
+  }
+
+  Flattener row_fl(env, nullptr);  // Aggregates forbidden.
+  Flattener agg_fl(env, &plan.aggregates);
+
+  if (q.where) {
+    TITANT_ASSIGN_OR_RETURN(plan.where, row_fl.Flatten(*q.where));
+  }
+  for (const auto& g : q.group_by) {
+    TITANT_ASSIGN_OR_RETURN(ExprProgram p, row_fl.Flatten(*g));
+    plan.group_by.push_back(std::move(p));
+  }
+
+  for (std::size_t i = 0; i < q.select.size(); ++i) {
+    const auto& item = q.select[i];
+    if (!item.expr) {
+      if (q.select.size() != 1) {
+        return Status::InvalidArgument("SQL: '*' must be the only select item");
+      }
+      plan.select_star = true;
+      plan.out_columns = plan.base->schema().columns();
+      if (plan.right != nullptr) {
+        for (const auto& col : plan.right->schema().columns()) {
+          plan.out_columns.push_back(col);
+        }
+      }
+      continue;
+    }
+    Flattener& fl = plan.has_aggregate ? agg_fl : row_fl;
+    TITANT_ASSIGN_OR_RETURN(ExprProgram p, fl.Flatten(*item.expr));
+    plan.select.push_back(std::move(p));
+    Column col;
+    col.name = !item.alias.empty() ? ToLower(item.alias) : DefaultName(*item.expr, i);
+    col.type = ValueType::kNull;  // Deduced from the first result row.
+    plan.out_columns.push_back(std::move(col));
+  }
+
+  for (const auto& order : q.order_by) {
+    Flattener& fl = plan.has_aggregate ? agg_fl : row_fl;
+    TITANT_ASSIGN_OR_RETURN(ExprProgram p, fl.Flatten(*order.expr));
+    plan.order.push_back(std::move(p));
+    plan.order_desc.push_back(order.descending);
+  }
+
+  plan.limit = q.limit;
+  return plan;
+}
+
+}  // namespace titant::maxcompute

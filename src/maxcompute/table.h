@@ -27,6 +27,9 @@ class Table {
   /// Bulk append.
   Status AppendAll(std::vector<Row> rows);
 
+  /// Pre-sizes the row storage (query results know their cardinality).
+  void Reserve(std::size_t n) { rows_.reserve(n); }
+
   const Row& row(std::size_t i) const { return rows_[i]; }
 
   /// Serializes schema + rows to a compact binary blob (Pangu format).

@@ -51,6 +51,9 @@ class Value {
   std::string AsString() const; // Printable form.
 
   const std::string* string_or_null() const { return std::get_if<std::string>(&data_); }
+  const int64_t* int_or_null() const { return std::get_if<int64_t>(&data_); }
+  const double* double_or_null() const { return std::get_if<double>(&data_); }
+  const bool* bool_or_null() const { return std::get_if<bool>(&data_); }
 
   /// SQL-style comparison: numerics compare numerically (int/double mix
   /// allowed), strings lexicographically. Nulls sort first. Returns

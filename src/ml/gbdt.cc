@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <memory>
 #include <numeric>
 
 #include "common/random.h"
+#include "common/thread_pool.h"
 
 namespace titant::ml {
 
@@ -51,6 +53,20 @@ Status GbdtModel::Train(const DataMatrix& train) {
     int depth;
   };
 
+  // One worker pool for the whole ensemble; per-feature histogram builds
+  // are fanned out over it node by node. Small nodes stay serial — the
+  // task overhead would dominate the histogram fill.
+  std::unique_ptr<ThreadPool> pool;
+  if (options_.num_threads > 1) {
+    pool = std::make_unique<ThreadPool>(static_cast<std::size_t>(options_.num_threads));
+  }
+  constexpr std::size_t kParallelRowThreshold = 2048;
+
+  struct SplitCand {
+    double gain = 1e-10;
+    int bin = -1;
+  };
+
   trees_.reserve(static_cast<std::size_t>(options_.num_trees));
   for (int t = 0; t < options_.num_trees; ++t) {
     for (std::size_t i = 0; i < n; ++i) residual[i] = (labels[i] ? 1.0 : 0.0) - score[i];
@@ -88,16 +104,18 @@ Status GbdtModel::Train(const DataMatrix& train) {
         continue;
       }
 
-      // Histogram split search: maximize sum^2/count gain.
+      // Histogram split search: maximize sum^2/count gain. Each sampled
+      // feature builds its histogram and scans its candidate bins
+      // independently (its own buffers), so features are parallel tasks;
+      // the winner is reduced sequentially in feature order below, which
+      // keeps the chosen split — and therefore the whole model —
+      // identical for every thread count.
       const double parent_gain = sum * sum / count;
-      double best_gain = 1e-10;
-      int best_feature = -1;
-      int best_bin = -1;
-      std::vector<double> hist_sum;
-      std::vector<uint32_t> hist_cnt;
-      for (int f : features) {
+      auto scan_feature = [&](int f, std::vector<double>& hist_sum,
+                              std::vector<uint32_t>& hist_cnt) -> SplitCand {
+        SplitCand cand;
         const int nb = discretizer_.NumBins(f);
-        if (nb < 2) continue;
+        if (nb < 2) return cand;
         hist_sum.assign(static_cast<std::size_t>(nb), 0.0);
         hist_cnt.assign(static_cast<std::size_t>(nb), 0);
         for (std::size_t r : part.rows) {
@@ -119,11 +137,36 @@ Status GbdtModel::Train(const DataMatrix& train) {
           const double right_sum = sum - left_sum;
           const double gain = left_sum * left_sum / left_cnt +
                               right_sum * right_sum / right_cnt - parent_gain;
-          if (gain > best_gain) {
-            best_gain = gain;
-            best_feature = f;
-            best_bin = b;
+          if (gain > cand.gain) {
+            cand.gain = gain;
+            cand.bin = b;
           }
+        }
+        return cand;
+      };
+
+      std::vector<SplitCand> cands(features.size());
+      if (pool && part.rows.size() >= kParallelRowThreshold && features.size() > 1) {
+        pool->ParallelFor(features.size(), [&](std::size_t j) {
+          std::vector<double> hist_sum;
+          std::vector<uint32_t> hist_cnt;
+          cands[j] = scan_feature(features[j], hist_sum, hist_cnt);
+        });
+      } else {
+        std::vector<double> hist_sum;
+        std::vector<uint32_t> hist_cnt;
+        for (std::size_t j = 0; j < features.size(); ++j) {
+          cands[j] = scan_feature(features[j], hist_sum, hist_cnt);
+        }
+      }
+      double best_gain = 1e-10;
+      int best_feature = -1;
+      int best_bin = -1;
+      for (std::size_t j = 0; j < features.size(); ++j) {
+        if (cands[j].bin >= 0 && cands[j].gain > best_gain) {
+          best_gain = cands[j].gain;
+          best_feature = features[j];
+          best_bin = cands[j].bin;
         }
       }
       if (best_feature < 0) {

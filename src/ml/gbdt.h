@@ -26,6 +26,11 @@ struct GbdtOptions {
   int max_bins = 64;            // Histogram pre-binning resolution.
   int min_child_samples = 8;
   uint64_t seed = 31;
+  /// Workers for the per-node histogram build (the training hot loop).
+  /// Each sampled feature's histogram is an independent task; candidate
+  /// splits are then reduced sequentially in feature order, so the
+  /// trained model is identical for every thread count.
+  int num_threads = 1;
 };
 
 /// Histogram-based gradient-boosted regression trees on the 0/1 fraud

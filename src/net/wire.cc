@@ -662,6 +662,11 @@ std::string EncodeGatewayStats(const GatewayStats& stats) {
   w.U64(stats.repl_failovers);
   w.U64(stats.repl_catchup_cells);
   w.U64(stats.repl_catchup_bytes);
+  w.U64(stats.mc_queries_executed);
+  w.U64(stats.mc_plan_cache_hits);
+  w.U64(stats.mc_parse_failures);
+  w.U64(stats.mc_rows_scanned);
+  w.U64(stats.mc_batches_scanned);
   return w.Take();
 }
 
@@ -695,6 +700,11 @@ Status DecodeGatewayStats(std::string_view payload, GatewayStats* stats) {
   TITANT_RETURN_IF_ERROR(r.U64(&stats->repl_failovers));
   TITANT_RETURN_IF_ERROR(r.U64(&stats->repl_catchup_cells));
   TITANT_RETURN_IF_ERROR(r.U64(&stats->repl_catchup_bytes));
+  TITANT_RETURN_IF_ERROR(r.U64(&stats->mc_queries_executed));
+  TITANT_RETURN_IF_ERROR(r.U64(&stats->mc_plan_cache_hits));
+  TITANT_RETURN_IF_ERROR(r.U64(&stats->mc_parse_failures));
+  TITANT_RETURN_IF_ERROR(r.U64(&stats->mc_rows_scanned));
+  TITANT_RETURN_IF_ERROR(r.U64(&stats->mc_batches_scanned));
   return r.ExpectDone();
 }
 

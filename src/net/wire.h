@@ -397,6 +397,14 @@ struct GatewayStats {
   /// Cells and bytes pushed through snapshot catch-up (gap recovery).
   uint64_t repl_catchup_cells = 0;
   uint64_t repl_catchup_bytes = 0;
+  /// Batch SQL engine (the "maxcompute" metrics provider): jobs executed,
+  /// parses served from the plan cache, parse rejections, and the source
+  /// rows / column batches fed through the vectorized executor.
+  uint64_t mc_queries_executed = 0;
+  uint64_t mc_plan_cache_hits = 0;
+  uint64_t mc_parse_failures = 0;
+  uint64_t mc_rows_scanned = 0;
+  uint64_t mc_batches_scanned = 0;
 };
 std::string EncodeGatewayStats(const GatewayStats& stats);
 Status DecodeGatewayStats(std::string_view payload, GatewayStats* stats);

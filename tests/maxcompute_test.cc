@@ -434,5 +434,55 @@ TEST(MaxComputeTest, DropTable) {
   EXPECT_TRUE((*mc)->GetTable("t").status().IsNotFound());
 }
 
+TEST(MaxComputeTest, PlanCacheAndSqlStats) {
+  MaxComputeOptions options;
+  options.pangu_dir = TempDir("odps_sqlstats");
+  auto mc = MaxCompute::Open(options);
+  ASSERT_TRUE(mc.ok());
+  ASSERT_TRUE((*mc)->CreateTable("people", PeopleTable()).ok());
+
+  const std::string query = "SELECT COUNT(*) AS n FROM people WHERE age >= 30";
+  ASSERT_TRUE((*mc)->SubmitSqlJob(query, "count1").ok());
+  ASSERT_TRUE((*mc)->SubmitSqlJob(query, "count2").ok());  // Cached parse.
+  EXPECT_FALSE((*mc)->SubmitSqlJob("SELECT COUNT( FROM people", "bad").ok());
+
+  const auto stats = (*mc)->sql_stats();
+  EXPECT_EQ(stats.queries_executed, 2u);
+  EXPECT_EQ(stats.plan_cache_hits, 1u);
+  EXPECT_EQ(stats.parse_failures, 1u);
+  EXPECT_EQ(stats.rows_scanned, 2u * PeopleTable().num_rows());
+  EXPECT_EQ(stats.batches_scanned, 2u);
+
+  // Both executions of the cached plan produced the same result.
+  const auto first = (*mc)->GetTable("count1");
+  const auto second = (*mc)->GetTable("count2");
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ((*first)->row(0)[0].AsInt(), (*second)->row(0)[0].AsInt());
+}
+
+TEST(MaxComputeTest, PlanCacheEvictsOldestBeyondCapacity) {
+  MaxComputeOptions options;
+  options.pangu_dir = TempDir("odps_plancache_evict");
+  options.plan_cache_capacity = 2;
+  auto mc = MaxCompute::Open(options);
+  ASSERT_TRUE(mc.ok());
+  ASSERT_TRUE((*mc)->CreateTable("people", PeopleTable()).ok());
+
+  const std::string q1 = "SELECT name FROM people LIMIT 1";
+  const std::string q2 = "SELECT age FROM people LIMIT 1";
+  const std::string q3 = "SELECT city FROM people LIMIT 1";
+  ASSERT_TRUE((*mc)->SubmitSqlJob(q1, "o1").ok());
+  ASSERT_TRUE((*mc)->SubmitSqlJob(q2, "o2").ok());
+  ASSERT_TRUE((*mc)->SubmitSqlJob(q3, "o3").ok());  // Evicts q1 (FIFO).
+  ASSERT_TRUE((*mc)->SubmitSqlJob(q1, "o4").ok());  // Re-parse, not a hit.
+  ASSERT_TRUE((*mc)->SubmitSqlJob(q3, "o5").ok());  // Still cached.
+
+  const auto stats = (*mc)->sql_stats();
+  EXPECT_EQ(stats.queries_executed, 5u);
+  EXPECT_EQ(stats.plan_cache_hits, 1u);
+  EXPECT_EQ(stats.parse_failures, 0u);
+}
+
 }  // namespace
 }  // namespace titant::maxcompute
