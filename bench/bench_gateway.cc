@@ -5,7 +5,7 @@
 //   bench_gateway [client_threads] [seconds] [instances] [--faults]
 //                 [--batch N] [--no-coalesce] [--alloc-budget N]
 //                 [--workers N] [--shards N] [--ingest] [--puts W]
-//                 [--replica]
+//                 [--replica] [--disk] [--cache-mb N] [--compact-storm]
 //
 // Starts a Gateway over loopback in-process, drives it from N closed-loop
 // client threads (one connection each, next request issued as soon as the
@@ -52,6 +52,24 @@
 // single-mutex store, so the sweep in the bench-smoke lane contrasts
 // striped vs. serialized MultiGetView under concurrent workers.
 //
+// --disk rebuilds the feature store durable (WAL + SSTables) and flushes
+// the daily upload to disk before the clients start, so every feature
+// read during the run goes through the v2 SSTable read path — block
+// cache, row-prefix blooms, per-block CRCs — instead of the memtable.
+// --cache-mb N (default 32, 0 = off) sizes the block cache, and the
+// report grows a kvstore line (hits/misses/compactions). With the cache
+// on, zero hits fails the run: the serving path must actually exercise
+// the cache it claims to.
+//
+// --compact-storm (implies --disk) runs a background thread through the
+// timed window that keeps writing fresh cell versions and driving every
+// stripe through the rate-limited flush + compact path — the acceptance
+// probe: gateway batch-1 p99 while compaction rewrites the store under
+// it, compared against a --disk run without the storm. --storm-rate-mb N
+// (default 8) sets the store's maintenance token bucket; it is the knob
+// that keeps a single-core host's foreground tail intact, and sweeping
+// it shows the throttle doing its job.
+//
 // --replica stands up the full replicated feature-store tier behind the
 // scorers: a warm-standby AliHBase behind a KvStoreServer on loopback, a
 // WAL Shipper streaming every primary commit to it, and a FailoverStore
@@ -61,9 +79,11 @@
 // to the shipper's shipped/acked watermark and lag.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -106,7 +126,8 @@ struct Fixture {
   }
 };
 
-Fixture BuildFixture(int instances, int shards, bool replica) {
+Fixture BuildFixture(int instances, int shards, bool replica, bool disk,
+                     std::size_t cache_mb, uint64_t rate_mb) {
   Fixture f;
   titant::datagen::WorldOptions world_options;
   world_options.num_users = 1200;
@@ -128,10 +149,21 @@ Fixture BuildFixture(int instances, int shards, bool replica) {
   auto store_options = titant::serving::FeatureTableOptions();
   store_options.durable = false;
   if (shards > 0) store_options.num_shards = shards;
+  if (disk) {
+    const char* kStoreDir = "/tmp/titant_bench_gateway_store";
+    std::filesystem::remove_all(kStoreDir);
+    store_options.durable = true;
+    store_options.dir = kStoreDir;
+    store_options.block_cache_bytes = cache_mb << 20;
+    store_options.maintenance_rate_bytes_per_sec = rate_mb << 20;
+  }
   f.store = CheckOk(titant::kvstore::AliHBase::Open(store_options));
   CheckOk(titant::serving::UploadDailyArtifacts(f.store.get(), f.world.log,
                                                 trainer.extractor(), *trainer.dw_embeddings(),
                                                 windows[0].spec.test_day, 20170410, 50));
+  // Disk mode: push the whole upload out of the memtables so the clients
+  // read through SSTables (cache + blooms + CRCs), not skiplists.
+  if (disk) CheckOk(f.store->Flush());
 
   if (replica) {
     auto standby_options = titant::serving::FeatureTableOptions();
@@ -186,6 +218,10 @@ int main(int argc, char** argv) {
   bool replica = false;  // Replicated store tier: standby + shipper + failover.
   bool ingest = false;  // Fold scored traffic back via a streaming Ingestor.
   int put_threads = 0;  // Concurrent kPutBatch writer threads (mixed load).
+  bool disk = false;  // Durable store: serve features through SSTables.
+  std::size_t cache_mb = 32;  // Block cache size in disk mode (0 = off).
+  bool compact_storm = false;  // Flush+compact every stripe through the run.
+  uint64_t storm_rate_mb = 8;  // Maintenance token bucket in disk mode.
   double alloc_budget = 0.0;  // 0 = report only, no pass bar.
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
@@ -204,6 +240,16 @@ int main(int argc, char** argv) {
       shards = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--replica") == 0) {
       replica = true;
+    } else if (std::strcmp(argv[i], "--disk") == 0) {
+      disk = true;
+    } else if (std::strcmp(argv[i], "--cache-mb") == 0 && i + 1 < argc) {
+      cache_mb = static_cast<std::size_t>(std::atoi(argv[++i]));
+      disk = true;
+    } else if (std::strcmp(argv[i], "--compact-storm") == 0) {
+      compact_storm = true;
+      disk = true;
+    } else if (std::strcmp(argv[i], "--storm-rate-mb") == 0 && i + 1 < argc) {
+      storm_rate_mb = static_cast<uint64_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--ingest") == 0) {
       ingest = true;
     } else if (std::strcmp(argv[i], "--puts") == 0 && i + 1 < argc) {
@@ -225,7 +271,12 @@ int main(int argc, char** argv) {
       faults ? ", fault injection ON" : "");
   if (shards > 0) std::printf("feature store lock stripes: %d\n", shards);
   std::printf("setting up world + model + feature store...\n");
-  Fixture fixture = BuildFixture(instances, shards, replica);
+  if (disk) {
+    std::printf("disk mode: durable store, %zu MB block cache, maintenance throttle %llu MB/s%s\n",
+                cache_mb, static_cast<unsigned long long>(storm_rate_mb),
+                compact_storm ? ", compaction storm through the timed window" : "");
+  }
+  Fixture fixture = BuildFixture(instances, shards, replica, disk, cache_mb, storm_rate_mb);
   if (replica) {
     std::printf("replicated tier ON: WAL shipping to a warm standby on 127.0.0.1:%u, "
                 "router scoring through the failover front\n",
@@ -272,6 +323,38 @@ int main(int argc, char** argv) {
   std::vector<uint64_t> degraded(static_cast<std::size_t>(threads), 0);
   std::vector<uint64_t> retries(static_cast<std::size_t>(threads), 0);
   std::vector<std::thread> clients;
+  // --compact-storm: rewrite the store underneath the scorers for the whole
+  // window — fresh versions into a disjoint row range, then every stripe
+  // flushed and compacted through the same rate-limited path background
+  // maintenance uses. The foreground read working set stays byte-identical;
+  // what changes is which files serve it.
+  std::atomic<bool> storm_stop{false};
+  std::thread storm;
+  const titant::kvstore::KvStoreStats kv_before = fixture.store->kv_stats();
+  if (compact_storm) {
+    storm = std::thread([&] {
+      titant::kvstore::AliHBase* store = fixture.store.get();
+      uint64_t version = 1;
+      const std::string value(128, 's');
+      std::vector<titant::kvstore::Cell> cells(256);
+      while (!storm_stop.load()) {
+        ++version;
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+          char row[16];
+          std::snprintf(row, sizeof(row), "z%010zu", (version * cells.size() + c) % 50'000);
+          cells[c] = {titant::kvstore::CellKey{row, "rt", "storm", version}, value, false};
+        }
+        if (!store->PutBatch(cells).ok()) break;
+        for (std::size_t sh = 0; sh < store->num_shards(); ++sh) {
+          if (storm_stop.load()) break;
+          if (!store->FlushShard(sh).ok() || !store->CompactShard(sh).ok()) {
+            std::fprintf(stderr, "FATAL: compact storm maintenance failed\n");
+            std::exit(1);
+          }
+        }
+      }
+    });
+  }
   const uint64_t allocs_before = titant::allochook::TotalAllocs();
   titant::Stopwatch wall;
   for (int t = 0; t < threads; ++t) {
@@ -362,6 +445,8 @@ int main(int argc, char** argv) {
   for (auto& thread : clients) thread.join();
   for (auto& thread : writers) thread.join();
   const double elapsed_s = wall.ElapsedSeconds();
+  storm_stop.store(true);
+  if (storm.joinable()) storm.join();
   const uint64_t allocs_during = titant::allochook::TotalAllocs() - allocs_before;
   titant::Failpoints::DisarmAll();
 
@@ -422,6 +507,20 @@ int main(int argc, char** argv) {
               inproc.P99());
   std::printf("  %-28s p50 %7.0f   p99 %7.0f\n", "gateway handle (wire side)", wire.P50(),
               wire.P99());
+
+  if (disk) {
+    const titant::kvstore::KvStoreStats kv = fixture.store->kv_stats();
+    const uint64_t lookups = kv.cache_hits + kv.cache_misses;
+    std::printf("  %-28s %llu hits / %llu misses (%.1f%% hit rate), "
+                "%llu compactions, %.1f MB maintenance writes\n",
+                "kvstore (disk mode)", static_cast<unsigned long long>(kv.cache_hits),
+                static_cast<unsigned long long>(kv.cache_misses),
+                lookups == 0 ? 0.0 : 100.0 * static_cast<double>(kv.cache_hits) /
+                                         static_cast<double>(lookups),
+                static_cast<unsigned long long>(kv.compactions - kv_before.compactions),
+                static_cast<double>(kv.maintenance_bytes_written - kv_before.maintenance_bytes_written) /
+                    (1024.0 * 1024.0));
+  }
 
   const auto snapshot = gateway.StatsSnapshot();
   if (snapshot.coalesced_batches > 0) {
@@ -496,6 +595,23 @@ int main(int argc, char** argv) {
   const bool perf_pass = qps >= 5000.0 && merged.P99() < 5000.0;
   std::printf("\n%s: %.0f qps, p99 %.0f us (target: >= 5000 qps, p99 < 5000 us)\n",
               perf_pass ? "PASS" : "MISS", qps, merged.P99());
+  if (disk && cache_mb > 0) {
+    const titant::kvstore::KvStoreStats kv = fixture.store->kv_stats();
+    const bool cache_pass = kv.cache_hits > 0;
+    std::printf("%s: block cache served %llu hits in disk mode (target: > 0)\n",
+                cache_pass ? "PASS" : "MISS",
+                static_cast<unsigned long long>(kv.cache_hits));
+    if (!cache_pass) return 1;
+  }
+  if (compact_storm) {
+    const titant::kvstore::KvStoreStats kv = fixture.store->kv_stats();
+    const uint64_t storm_compactions = kv.compactions - kv_before.compactions;
+    const bool storm_pass = storm_compactions > 0;
+    std::printf("%s: %llu compactions ran during the timed window (target: > 0)\n",
+                storm_pass ? "PASS" : "MISS",
+                static_cast<unsigned long long>(storm_compactions));
+    if (!storm_pass) return 1;
+  }
   if (alloc_budget > 0.0) {
     const bool alloc_pass = allocs_per_request <= alloc_budget;
     std::printf("%s: %.1f allocs/request (budget: <= %.1f)\n", alloc_pass ? "PASS" : "MISS",

@@ -1,0 +1,328 @@
+// LSM maintenance bench: the block cache's read-path payoff and the cost
+// of background compaction to foreground tail latency.
+//
+//   bench_lsm [--rows N] [--value-bytes N] [--seconds S] [--cache-mb N]
+//             [--min-speedup X] [--max-p99-delta-us N] [--rate-mb N]
+//
+// Phase 1 (cache contrast): builds a durable store whose working set is
+// several times the per-stripe memtable budget, flushes everything to v2
+// SSTables, then drives random 16-probe MultiGetView batches against the
+// same directory twice — once with a block cache sized to hold the whole
+// set, once with the cache off (every block read is a pread + CRC'd copy).
+// Reports probes/s for both and fails when cached/uncached falls below
+// --min-speedup (default 1.5).
+//
+// Phase 2 (compaction-stall probe): batch-1 reads against the cached
+// store, first quiet, then with a storm thread continuously rewriting
+// stripes (write + flush + compact in a loop) through the maintenance
+// path — the compaction output throttled to --rate-mb MB/s (default 32)
+// by the store's token bucket. Reports both latency histograms and fails
+// when the under-storm p99 exceeds the quiet p99 by more than
+// --max-p99-delta-us (default 200): at microbench granularity the quiet
+// p99 is single-digit microseconds, so the bar is the absolute stall a
+// compaction sweep may add, not a ratio of it. (The 25%-of-baseline
+// gateway acceptance rides bench_gateway --compact-storm, where the
+// baseline p99 is wire-dominated.) The paper's online tier must keep
+// serving while the daily upload compacts underneath it.
+//
+// Every number self-reports next to the store's kv_stats() counters
+// (cache hits/misses, flushes, compactions, maintenance bytes, stalls)
+// so a run can be transcribed straight into BENCH_lsm.json.
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "common/statusor.h"
+#include "common/stopwatch.h"
+#include "kvstore/store.h"
+
+namespace {
+
+using titant::Histogram;
+using titant::Rng;
+using titant::Status;
+using titant::StatusOr;
+using titant::Stopwatch;
+using titant::kvstore::AliHBase;
+using titant::kvstore::Cell;
+using titant::kvstore::CellKey;
+using titant::kvstore::ColumnProbeView;
+using titant::kvstore::KvStoreStats;
+using titant::kvstore::ReadPin;
+using titant::kvstore::StoreOptions;
+
+constexpr int kShards = 4;
+constexpr std::size_t kProbesPerBatch = 16;
+const char* kDir = "/tmp/titant_bench_lsm";
+
+void CheckOk(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+std::string Row(uint32_t i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "u%08u", i);
+  return buf;
+}
+
+StoreOptions BaseOptions(uint32_t rows, std::size_t cache_bytes, uint64_t rate_bytes) {
+  StoreOptions options;
+  options.dir = kDir;
+  options.column_families = {"bf"};
+  options.durable = true;
+  options.num_shards = kShards;
+  // Working set >= 4x the total memtable budget: rows/shard is several
+  // multiples of the flush threshold, so steady state is disk-resident.
+  options.memtable_flush_cells = rows / (kShards * 6);
+  options.block_cache_bytes = cache_bytes;
+  options.maintenance_rate_bytes_per_sec = rate_bytes;
+  return options;
+}
+
+void PrintKvStats(const char* tag, const KvStoreStats& s) {
+  const uint64_t lookups = s.cache_hits + s.cache_misses;
+  std::printf("  %-22s cache %llu hits / %llu misses (%.1f%% hit rate), "
+              "%llu flushes, %llu compactions, %.1f MB maintenance writes, "
+              "stall %llu us\n",
+              tag, static_cast<unsigned long long>(s.cache_hits),
+              static_cast<unsigned long long>(s.cache_misses),
+              lookups == 0 ? 0.0 : 100.0 * static_cast<double>(s.cache_hits) /
+                                       static_cast<double>(lookups),
+              static_cast<unsigned long long>(s.flushes),
+              static_cast<unsigned long long>(s.compactions),
+              static_cast<double>(s.maintenance_bytes_written) / (1024.0 * 1024.0),
+              static_cast<unsigned long long>(s.stall_us));
+}
+
+struct ReadResult {
+  double probes_per_s = 0;
+  Histogram batch_us;
+  KvStoreStats stats;
+};
+
+/// Random multi-probe reads against `store` for `seconds`. `batch` probes
+/// per MultiGetView call; one warm sweep over every row first so a cached
+/// run measures the steady (all-hits) state, not the fill.
+ReadResult DriveReads(AliHBase* store, uint32_t rows, std::size_t batch, double seconds,
+                      const std::atomic<bool>* stop = nullptr) {
+  std::vector<std::string> keys(batch);
+  std::vector<ColumnProbeView> probes(batch);
+  std::vector<StatusOr<std::string_view>> out(batch,
+                                              StatusOr<std::string_view>(std::string_view()));
+  ReadPin pin;
+  Rng rng(7);
+
+  // Warm sweep: every block gets touched once (and cached, if a cache is
+  // attached), every scratch buffer reaches its high-water mark.
+  for (uint32_t i = 0; i < rows; i += batch) {
+    for (std::size_t p = 0; p < batch; ++p) {
+      keys[p] = Row((i + static_cast<uint32_t>(p)) % rows);
+      probes[p] = {keys[p], "bf", "f"};
+    }
+    pin.Reset();
+    store->MultiGetView(probes.data(), batch, &pin, out.data());
+  }
+
+  ReadResult result;
+  uint64_t done = 0;
+  Stopwatch wall;
+  while (wall.ElapsedSeconds() < seconds && (stop == nullptr || !stop->load())) {
+    for (std::size_t p = 0; p < batch; ++p) {
+      keys[p] = Row(static_cast<uint32_t>(rng.Uniform(rows)));
+      probes[p] = {keys[p], "bf", "f"};
+    }
+    pin.Reset();
+    Stopwatch op;
+    store->MultiGetView(probes.data(), batch, &pin, out.data());
+    result.batch_us.Add(static_cast<double>(op.ElapsedMicros()));
+    for (std::size_t p = 0; p < batch; ++p) {
+      if (!out[p].ok()) {
+        std::fprintf(stderr, "FATAL: probe %s failed: %s\n", keys[p].c_str(),
+                     out[p].status().ToString().c_str());
+        std::exit(1);
+      }
+    }
+    done += batch;
+  }
+  result.probes_per_s = static_cast<double>(done) / wall.ElapsedSeconds();
+  result.stats = store->kv_stats();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint32_t rows = 200'000;
+  std::size_t value_bytes = 128;
+  double seconds = 2.0;
+  std::size_t cache_mb = 64;
+  double min_speedup = 1.5;
+  double max_p99_delta_us = 200.0;
+  uint64_t rate_mb = 32;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rows") == 0 && i + 1 < argc) {
+      rows = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--value-bytes") == 0 && i + 1 < argc) {
+      value_bytes = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
+      seconds = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--cache-mb") == 0 && i + 1 < argc) {
+      cache_mb = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--min-speedup") == 0 && i + 1 < argc) {
+      min_speedup = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-p99-delta-us") == 0 && i + 1 < argc) {
+      max_p99_delta_us = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--rate-mb") == 0 && i + 1 < argc) {
+      rate_mb = static_cast<uint64_t>(std::atoi(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_lsm [--rows N] [--value-bytes N] [--seconds S] "
+                   "[--cache-mb N] [--min-speedup X] [--max-p99-delta-us N] [--rate-mb N]\n");
+      return 2;
+    }
+  }
+
+  const double data_mb = static_cast<double>(rows) * static_cast<double>(value_bytes + 24) /
+                         (1024.0 * 1024.0);
+  std::printf("bench_lsm: %u rows x %zu B (~%.1f MB on disk), %d stripes, "
+              "flush threshold %u cells/stripe (working set ~6x the memtable budget)\n",
+              rows, value_bytes, data_mb, kShards, rows / (kShards * 6));
+
+  // Build once: fill, flush everything, drop the store. Both read phases
+  // reopen the same immutable directory.
+  std::filesystem::remove_all(kDir);
+  {
+    auto store_or = AliHBase::Open(BaseOptions(rows, 0, 0));
+    CheckOk(store_or.status());
+    auto& store = *store_or;
+    const std::string value(value_bytes, 'x');
+    std::vector<Cell> batch;
+    for (uint32_t i = 0; i < rows; ++i) {
+      batch.push_back({CellKey{Row(i), "bf", "f", 1}, value, false});
+      if (batch.size() >= 1024) {
+        CheckOk(store->PutBatch(batch));
+        batch.clear();
+      }
+    }
+    if (!batch.empty()) CheckOk(store->PutBatch(batch));
+    CheckOk(store->Flush());
+    CheckOk(store->Compact());  // One table per stripe: a clean baseline.
+    std::printf("built: %zu SSTables across %d stripes, memtable empty\n\n",
+                store->num_sstables(), kShards);
+  }
+
+  // --- Phase 1: cache on/off MultiGetView throughput ---------------------
+  ReadResult cached;
+  {
+    auto store = AliHBase::Open(BaseOptions(rows, cache_mb << 20, 0));
+    CheckOk(store.status());
+    cached = DriveReads(store->get(), rows, kProbesPerBatch, seconds);
+    PrintKvStats("cache on:", cached.stats);
+  }
+  ReadResult uncached;
+  {
+    auto store = AliHBase::Open(BaseOptions(rows, 0, 0));
+    CheckOk(store.status());
+    uncached = DriveReads(store->get(), rows, kProbesPerBatch, seconds);
+    PrintKvStats("cache off:", uncached.stats);
+  }
+  const double speedup = uncached.probes_per_s > 0
+                             ? cached.probes_per_s / uncached.probes_per_s
+                             : 0.0;
+  std::printf("\nMultiGetView over a disk-resident set (%zu probes/batch):\n", kProbesPerBatch);
+  std::printf("  cache %3zu MB   %10.0f probes/s   batch p99 %6.0f us\n", cache_mb,
+              cached.probes_per_s, cached.batch_us.P99());
+  std::printf("  cache   0 MB   %10.0f probes/s   batch p99 %6.0f us\n", uncached.probes_per_s,
+              uncached.batch_us.P99());
+  std::printf("  speedup        %.2fx\n", speedup);
+
+  if (cache_mb > 0 && cached.stats.cache_hits == 0) {
+    std::printf("\nMISS: block cache enabled but served zero hits\n");
+    return 1;
+  }
+
+  // --- Phase 2: batch-1 p99 under a live compaction storm ----------------
+  std::printf("\ncompaction-stall probe (batch-1 reads, storm rate %llu MB/s):\n",
+              static_cast<unsigned long long>(rate_mb));
+  Histogram quiet_us;
+  Histogram storm_us;
+  KvStoreStats storm_stats;
+  {
+    auto store_or = AliHBase::Open(BaseOptions(rows, cache_mb << 20, rate_mb << 20));
+    CheckOk(store_or.status());
+    AliHBase* store = store_or->get();
+
+    const ReadResult quiet = DriveReads(store, rows, 1, seconds);
+    quiet_us = quiet.batch_us;
+
+    // The storm: a writer laying down fresh versions plus a maintenance
+    // loop flushing and rewriting every stripe, continuously, through the
+    // same rate-limited path the background thread uses.
+    std::atomic<bool> stop{false};
+    std::thread storm([&] {
+      Rng rng(11);
+      uint64_t version = 2;
+      const std::string value(value_bytes, 'y');
+      while (!stop.load()) {
+        std::vector<Cell> batch;
+        for (int i = 0; i < 512; ++i) {
+          batch.push_back({CellKey{Row(static_cast<uint32_t>(rng.Uniform(rows))), "bf", "f",
+                           version},
+                           value, false});
+        }
+        ++version;
+        if (!store->PutBatch(batch).ok()) break;
+        for (std::size_t s = 0; s < store->num_shards(); ++s) {
+          if (stop.load()) break;
+          if (!store->FlushShard(s).ok() || !store->CompactShard(s).ok()) {
+            std::fprintf(stderr, "FATAL: storm maintenance failed\n");
+            std::exit(1);
+          }
+        }
+      }
+    });
+    const ReadResult stormy = DriveReads(store, rows, 1, seconds, nullptr);
+    stop.store(true);
+    storm.join();
+    storm_us = stormy.batch_us;
+    storm_stats = store->kv_stats();
+    PrintKvStats("under storm:", storm_stats);
+  }
+  const double p99_delta = storm_us.P99() - quiet_us.P99();
+  std::printf("  quiet          p50 %6.0f us   p99 %6.0f us\n", quiet_us.P50(), quiet_us.P99());
+  std::printf("  under storm    p50 %6.0f us   p99 %6.0f us   (%llu compactions ran)\n",
+              storm_us.P50(), storm_us.P99(),
+              static_cast<unsigned long long>(storm_stats.compactions));
+  std::printf("  p99 delta      %+.0f us\n", p99_delta);
+
+  bool pass = true;
+  if (cache_mb > 0) {
+    const bool speedup_pass = speedup >= min_speedup;
+    std::printf("\n%s: cache speedup %.2fx (target: >= %.2fx)\n",
+                speedup_pass ? "PASS" : "MISS", speedup, min_speedup);
+    pass = pass && speedup_pass;
+  } else {
+    std::printf("\ncache off (--cache-mb 0): speedup bar skipped\n");
+  }
+  if (storm_stats.compactions == 0) {
+    std::printf("MISS: the storm never completed a compaction — probe is vacuous\n");
+    pass = false;
+  }
+  const bool stall_pass = p99_delta <= max_p99_delta_us;
+  std::printf("%s: batch-1 p99 under compaction %+.0f us vs quiet (target: <= +%.0f us)\n",
+              stall_pass ? "PASS" : "MISS", p99_delta, max_p99_delta_us);
+  return pass && stall_pass ? 0 : 1;
+}

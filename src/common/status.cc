@@ -32,13 +32,15 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }
 
 bool StatusCodeFromName(std::string_view name, StatusCode* code) {
   for (int raw = static_cast<int>(StatusCode::kOk);
-       raw <= static_cast<int>(StatusCode::kResourceExhausted); ++raw) {
+       raw <= static_cast<int>(StatusCode::kDataLoss); ++raw) {
     if (StatusCodeName(static_cast<StatusCode>(raw)) == name) {
       *code = static_cast<StatusCode>(raw);
       return true;
@@ -49,7 +51,7 @@ bool StatusCodeFromName(std::string_view name, StatusCode* code) {
 
 bool StatusCodeIsValid(int raw) {
   return raw >= static_cast<int>(StatusCode::kOk) &&
-         raw <= static_cast<int>(StatusCode::kResourceExhausted);
+         raw <= static_cast<int>(StatusCode::kDataLoss);
 }
 
 bool StatusCodeIsRetryable(StatusCode code) {

@@ -25,6 +25,12 @@ enum class StatusCode : int {
   kAborted = 11,
   kUnimplemented = 12,
   kResourceExhausted = 13,
+  /// Stored bytes are unrecoverably damaged (bad magic, short footer,
+  /// CRC mismatch, failed read of a live file). Distinct from kCorruption
+  /// — which marks a malformed in-flight payload the caller can retry or
+  /// drop — data loss means the durable copy itself is gone and the
+  /// operator must restore or resync the stripe.
+  kDataLoss = 14,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "NotFound").
@@ -92,6 +98,7 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status DataLoss(std::string msg) { return Status(StatusCode::kDataLoss, std::move(msg)); }
 
   /// True iff this status represents success.
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,92 @@
+#include "kvstore/block_cache.h"
+
+#include <algorithm>
+
+namespace titant::kvstore {
+
+BlockCache::BlockCache(std::size_t capacity_bytes, int num_shards)
+    : capacity_bytes_(capacity_bytes) {
+  num_shards = std::max(1, num_shards);
+  shard_capacity_ = std::max<std::size_t>(1, capacity_bytes_ / static_cast<std::size_t>(num_shards));
+  shards_.reserve(static_cast<std::size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+uint64_t BlockCache::NextTableId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool BlockCache::Get(uint64_t table_id, uint32_t block_index, Block* out) {
+  const Key key{table_id, block_index};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  // Promote to the LRU front: an O(1) relink, no allocation.
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *out = it->second->block;  // Refcount bump only.
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void BlockCache::Insert(uint64_t table_id, uint32_t block_index, Block block) {
+  if (!block) return;
+  const Key key{table_id, block_index};
+  const std::size_t size = block->size();
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    shard.bytes -= it->second->block->size();
+    shard.bytes += size;
+    it->second->block = std::move(block);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  } else {
+    shard.lru.push_front(Entry{key, std::move(block)});
+    shard.index.emplace(key, shard.lru.begin());
+    shard.bytes += size;
+  }
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  while (shard.bytes > shard_capacity_ && shard.lru.size() > 1) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.block->size();
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void BlockCache::EraseTable(uint64_t table_id) {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (it->key.table_id == table_id) {
+        shard->bytes -= it->block->size();
+        shard->index.erase(it->key);
+        it = shard->lru.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+BlockCacheStats BlockCache::stats() const {
+  BlockCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.inserts = inserts_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.capacity_bytes = capacity_bytes_;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.bytes += shard->bytes;
+  }
+  return stats;
+}
+
+}  // namespace titant::kvstore

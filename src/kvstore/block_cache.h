@@ -1,0 +1,112 @@
+#ifndef TITANT_KVSTORE_BLOCK_CACHE_H_
+#define TITANT_KVSTORE_BLOCK_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace titant::kvstore {
+
+/// Counters exposed through the "kvstore" metrics provider. hits/misses
+/// cover lookups only (inserts are not misses twice); bytes is the live
+/// payload total across shards at the time of the call.
+struct BlockCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;
+  uint64_t bytes = 0;
+  uint64_t capacity_bytes = 0;
+};
+
+/// Sharded LRU cache of SSTable data blocks, shared by every stripe of a
+/// store. Keys are (table id, block index) — table ids are unique per
+/// opened SSTable instance, so a compaction that drops tables never
+/// resurrects stale blocks: the merged table reads under a fresh id and
+/// the dead entries are either erased eagerly (EraseTable) or age out of
+/// the LRU tail.
+///
+/// Blocks are refcounted (shared_ptr to an immutable buffer): a hit hands
+/// back a strong reference, so eviction can never free bytes a reader is
+/// still viewing. The hit path is allocation-free — hash lookup, an O(1)
+/// list splice to the LRU front, and a refcount bump — which keeps cached
+/// SSTable reads inside the PR 4 zero-allocation steady-state budget.
+/// Misses allocate (the caller is about to touch the disk anyway).
+///
+/// Thread-safe; contention is limited to the shard owning the key.
+class BlockCache {
+ public:
+  using Block = std::shared_ptr<const std::string>;
+
+  explicit BlockCache(std::size_t capacity_bytes, int num_shards = 8);
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  /// Returns a strong reference to the cached block, or false on miss.
+  bool Get(uint64_t table_id, uint32_t block_index, Block* out);
+
+  /// Inserts (or replaces) a block and evicts from the owning shard's LRU
+  /// tail until that shard is back under its capacity slice.
+  void Insert(uint64_t table_id, uint32_t block_index, Block block);
+
+  /// Drops every block of `table_id` (compaction just removed the file).
+  void EraseTable(uint64_t table_id);
+
+  BlockCacheStats stats() const;
+  std::size_t capacity_bytes() const { return capacity_bytes_; }
+
+  /// Process-unique id for a newly opened SSTable.
+  static uint64_t NextTableId();
+
+ private:
+  struct Key {
+    uint64_t table_id;
+    uint32_t block_index;
+    friend bool operator==(const Key& a, const Key& b) {
+      return a.table_id == b.table_id && a.block_index == b.block_index;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      // Mix the table id and block index (splitmix-style avalanche).
+      uint64_t h = k.table_id ^ (static_cast<uint64_t>(k.block_index) << 32);
+      h ^= h >> 33;
+      h *= 0xff51afd7ed558ccdULL;
+      h ^= h >> 33;
+      return static_cast<std::size_t>(h);
+    }
+  };
+  struct Entry {
+    Key key;
+    Block block;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  // Front = most recently used.
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index;
+    std::size_t bytes = 0;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    return *shards_[KeyHash()(key) % shards_.size()];
+  }
+
+  std::size_t capacity_bytes_;
+  std::size_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> inserts_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace titant::kvstore
+
+#endif  // TITANT_KVSTORE_BLOCK_CACHE_H_

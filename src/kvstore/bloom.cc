@@ -50,17 +50,25 @@ std::size_t BloomFilter::num_bits() const {
   return payload_.size() <= 1 ? 0 : (payload_.size() - 1) * 8;
 }
 
-void BloomFilter::Add(std::string_view key) {
+void BloomFilter::Add(std::string_view key) { AddHash(Fnv1a(key)); }
+
+void BloomFilter::AddHash(uint64_t hash) {
   const std::size_t bits = num_bits();
   if (bits == 0) return;
   const int k = static_cast<int>(static_cast<unsigned char>(payload_.back()));
-  uint64_t h = Fnv1a(key);
+  uint64_t h = hash;
   const uint64_t delta = (h >> 17) | (h << 47);
   for (int i = 0; i < k; ++i) {
     const std::size_t bit = static_cast<std::size_t>(h % bits);
     payload_[bit / 8] = static_cast<char>(payload_[bit / 8] | (1 << (bit % 8)));
     h += delta;
   }
+}
+
+bool BloomFilter::MayContainHash(uint64_t hash) const {
+  const std::size_t bits = num_bits();
+  if (bits == 0) return true;  // Filterless: always probe.
+  return ProbeHash(hash, bits);
 }
 
 bool BloomFilter::MayContain(std::string_view key) const {
@@ -91,6 +99,8 @@ bool BloomFilter::ProbeHash(uint64_t h, std::size_t bits) const {
   }
   return true;
 }
+
+uint64_t BloomHashOf(std::string_view key) { return Fnv1a(key); }
 
 std::string BloomKeyOf(std::string_view row, std::string_view family,
                        std::string_view qualifier) {

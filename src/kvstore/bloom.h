@@ -32,6 +32,12 @@ class BloomFilter {
   bool MayContainColumn(std::string_view row, std::string_view family,
                         std::string_view qualifier) const;
 
+  /// Add/probe with a precomputed hash (see BloomHashOf). The row-prefix
+  /// filters use this so a MultiGetView batch hashes each probe's row key
+  /// once and reuses the value across every SSTable of the stripe.
+  void AddHash(uint64_t hash);
+  bool MayContainHash(uint64_t hash) const;
+
   /// Serialized bit array plus hash count.
   const std::string& payload() const { return payload_; }
 
@@ -51,6 +57,10 @@ class BloomFilter {
 /// The column-coordinate key the store's filters are built over.
 std::string BloomKeyOf(std::string_view row, std::string_view family,
                        std::string_view qualifier);
+
+/// FNV-1a hash of `key`, the value AddHash/MayContainHash expect. The
+/// row-prefix filters are built over BloomHashOf(row) alone.
+uint64_t BloomHashOf(std::string_view key);
 
 }  // namespace titant::kvstore
 

@@ -1,0 +1,139 @@
+#include "kvstore/maintenance.h"
+
+#include <algorithm>
+
+#include "kvstore/store.h"
+
+namespace titant::kvstore {
+
+void RateLimiter::Acquire(std::size_t bytes) {
+  if (rate_ == 0 || bytes == 0) return;
+  std::chrono::steady_clock::duration debt{};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto now = std::chrono::steady_clock::now();
+    if (!primed_) {
+      // First caller starts with a full bucket (one second of burst).
+      primed_ = true;
+      tokens_ = static_cast<double>(rate_);
+      last_ = now;
+    }
+    const double elapsed = std::chrono::duration<double>(now - last_).count();
+    last_ = now;
+    tokens_ = std::min(static_cast<double>(rate_),
+                       tokens_ + elapsed * static_cast<double>(rate_));
+    tokens_ -= static_cast<double>(bytes);
+    if (tokens_ < 0) {
+      debt = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(-tokens_ / static_cast<double>(rate_)));
+    }
+  }
+  if (debt.count() > 0) std::this_thread::sleep_for(debt);
+}
+
+void MaintenanceThread::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!stop_) return;  // Already running.
+  stop_ = false;
+  thread_ = std::thread([this] { Run(); });
+}
+
+void MaintenanceThread::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    cv_.notify_all();
+    idle_cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void MaintenanceThread::Notify() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_ = true;
+  cv_.notify_one();
+}
+
+void MaintenanceThread::WaitIdle() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      idle_cv_.wait(lock, [this] { return stop_ || (!busy_ && !pending_); });
+      if (stop_) return;
+    }
+    // Score the stripes with mu_ released: FindWork takes shard locks,
+    // and holding mu_ across those inverts against the put path, which
+    // calls Notify with its shard lock held. The worker looked idle a
+    // moment ago; if the stripes really are under threshold we are done,
+    // otherwise kick the worker and wait for it to go idle again.
+    std::size_t shard = 0;
+    bool flush = false, compact = false;
+    if (!FindWork(&shard, &flush, &compact)) return;
+    Notify();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+bool MaintenanceThread::FindWork(std::size_t* shard, bool* flush, bool* compact) const {
+  const StoreOptions& opts = store_->options();
+  const double flush_cells =
+      static_cast<double>(std::max<std::size_t>(1, opts.memtable_flush_cells));
+  const double trigger = static_cast<double>(std::max(1, opts.compaction_trigger_sstables));
+  double worst = 0;
+  bool found = false;
+  for (std::size_t s = 0; s < store_->num_shards(); ++s) {
+    const AliHBase::ShardLoad load = store_->ShardLoadAt(s);
+    const double flush_score = static_cast<double>(load.memtable_cells) / flush_cells;
+    const double compact_score = static_cast<double>(load.sstables) / trigger;
+    const double score = std::max(flush_score, compact_score);
+    if (score >= 1.0 && score > worst) {
+      worst = score;
+      found = true;
+      *shard = s;
+      *flush = flush_score >= 1.0;
+      *compact = compact_score >= 1.0;
+    }
+  }
+  return found;
+}
+
+void MaintenanceThread::Run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    // Notify() wakes us immediately; the timeout is the polling fallback
+    // that catches work signaled while a pass was already in flight.
+    cv_.wait_for(lock, std::chrono::milliseconds(50),
+                 [this] { return stop_ || pending_; });
+    if (stop_) break;
+    pending_ = false;
+    busy_ = true;
+    lock.unlock();
+
+    // Service stripes worst-first until every stripe is under threshold.
+    // A flush may push the same stripe over the compaction trigger; the
+    // re-score after each action picks that up.
+    std::size_t shard = 0;
+    bool flush = false, compact = false;
+    while (FindWork(&shard, &flush, &compact)) {
+      bool ok = true;
+      if (flush) ok = store_->FlushShard(shard).ok();
+      if (ok && compact) ok = store_->CompactShard(shard).ok();
+      bool stopping = false;
+      {
+        std::lock_guard<std::mutex> check(mu_);
+        stopping = stop_;
+      }
+      // On error back off to the next polling tick instead of spinning
+      // against a stripe that keeps failing (e.g. disk full).
+      if (!ok || stopping) break;
+    }
+
+    lock.lock();
+    busy_ = false;
+    idle_cv_.notify_all();
+  }
+  busy_ = false;
+  idle_cv_.notify_all();
+}
+
+}  // namespace titant::kvstore

@@ -1,0 +1,89 @@
+#ifndef TITANT_KVSTORE_MAINTENANCE_H_
+#define TITANT_KVSTORE_MAINTENANCE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+namespace titant::kvstore {
+
+class AliHBase;
+
+/// Token-bucket throttle over a byte stream. Background compactions pace
+/// their SSTable writes through one of these so a merge sweep cannot
+/// monopolize disk bandwidth against foreground WAL appends and block
+/// reads. Thread-safe; a rate of 0 disables throttling entirely.
+class RateLimiter {
+ public:
+  explicit RateLimiter(uint64_t bytes_per_sec) : rate_(bytes_per_sec) {}
+
+  /// Debits `bytes` from the bucket, sleeping until the debt is covered.
+  /// The bucket holds at most one second of burst, so a long pause does
+  /// not bank unbounded credit.
+  void Acquire(std::size_t bytes);
+
+  uint64_t rate_bytes_per_sec() const { return rate_; }
+
+ private:
+  const uint64_t rate_;
+  std::mutex mu_;
+  double tokens_ = 0;  // May go negative: callers pay the debt by sleeping.
+  bool primed_ = false;
+  std::chrono::steady_clock::time_point last_{};
+};
+
+/// The store's background maintenance loop (the compaction scheduler).
+/// One thread per store, started by AliHBase::Open when
+/// StoreOptions::background_maintenance is set. Each pass scores every
+/// stripe by how far past its thresholds it is — pending memtable cells
+/// against memtable_flush_cells, SSTable count against
+/// compaction_trigger_sstables — and services the worst stripe first
+/// (flush before compact, since a flush is what grows the SSTable count).
+/// Writers Notify() the thread when a stripe crosses a threshold instead
+/// of flushing inline, so the put path stays O(memtable insert).
+///
+/// All mutation goes through AliHBase::FlushShard/CompactShard, which
+/// serialize against foreground Flush()/Compact() calls on the same
+/// stripe via the per-stripe maintenance mutex.
+class MaintenanceThread {
+ public:
+  explicit MaintenanceThread(AliHBase* store) : store_(store) {}
+  ~MaintenanceThread() { Stop(); }
+
+  MaintenanceThread(const MaintenanceThread&) = delete;
+  MaintenanceThread& operator=(const MaintenanceThread&) = delete;
+
+  void Start();
+  /// Stops and joins the thread; idempotent.
+  void Stop();
+
+  /// Wakes the loop (a stripe crossed a threshold). Cheap enough for the
+  /// write path: a relaxed flag store plus a condition-variable signal.
+  void Notify();
+
+  /// Blocks until the loop has observed every stripe under its
+  /// thresholds and gone idle. Test/benchmark helper for deterministic
+  /// "maintenance has caught up" points.
+  void WaitIdle();
+
+ private:
+  void Run();
+  /// Scores all stripes; true if any is at/over a threshold. Out-params
+  /// get the worst stripe and which services it needs.
+  bool FindWork(std::size_t* shard, bool* flush, bool* compact) const;
+
+  AliHBase* store_;
+  std::mutex mu_;
+  std::condition_variable cv_;       // Wakes the loop.
+  std::condition_variable idle_cv_;  // Wakes WaitIdle waiters.
+  bool stop_ = true;
+  bool pending_ = false;  // A Notify arrived since the last pass.
+  bool busy_ = false;     // The loop is mid-pass.
+  std::thread thread_;
+};
+
+}  // namespace titant::kvstore
+
+#endif  // TITANT_KVSTORE_MAINTENANCE_H_

@@ -1,0 +1,36 @@
+#ifndef TITANT_KVSTORE_METRICS_H_
+#define TITANT_KVSTORE_METRICS_H_
+
+#include <functional>
+
+#include "kvstore/store.h"
+#include "net/wire.h"
+
+namespace titant::kvstore {
+
+/// Fills the kv_* slice of a GatewayStats snapshot from a store counter
+/// snapshot.
+inline void FillKvStats(const KvStoreStats& s, net::GatewayStats* out) {
+  out->kv_cache_hits = s.cache_hits;
+  out->kv_cache_misses = s.cache_misses;
+  out->kv_cache_bytes = s.cache_bytes;
+  out->kv_flushes = s.flushes;
+  out->kv_compactions = s.compactions;
+  out->kv_compaction_backlog = s.compaction_backlog;
+  out->kv_maintenance_bytes_written = s.maintenance_bytes_written;
+  out->kv_stall_us = s.stall_us;
+}
+
+/// A serving::MetricsRegistry-compatible provider bound to `store`, for
+/// registration under the conventional name "kvstore":
+///
+///   gateway.metrics().Register("kvstore", KvStatsProvider(&store));
+///
+/// `store` must outlive the registry (or at least every Collect call).
+inline std::function<void(net::GatewayStats*)> KvStatsProvider(const AliHBase* store) {
+  return [store](net::GatewayStats* out) { FillKvStats(store->kv_stats(), out); };
+}
+
+}  // namespace titant::kvstore
+
+#endif  // TITANT_KVSTORE_METRICS_H_

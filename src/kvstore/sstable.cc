@@ -1,10 +1,14 @@
 #include "kvstore/sstable.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstring>
 #include <fstream>
 
-#include "kvstore/wal.h"  // Crc32
+#include "kvstore/maintenance.h"  // RateLimiter
+#include "kvstore/wal.h"          // Crc32
 
 namespace titant::kvstore {
 
@@ -27,14 +31,110 @@ int CompareRfq(std::string_view ar, std::string_view af, std::string_view aq,
   return aq.compare(bq);
 }
 
-}  // namespace
-
-Status SSTable::Write(const std::string& path, const std::vector<Cell>& cells) {
+Status CheckSorted(const std::vector<Cell>& cells) {
   for (std::size_t i = 1; i < cells.size(); ++i) {
     if (!(cells[i - 1].key < cells[i].key)) {
       return Status::InvalidArgument("SSTable cells must be strictly sorted");
     }
   }
+  return Status::OK();
+}
+
+/// Writes `file` to `path` atomically (tmp + rename). A non-null limiter
+/// paces the write in chunks so a background compaction's disk bandwidth
+/// is bounded while foreground traffic shares the device.
+Status WriteFileAtomic(const std::string& path, const std::string& file, RateLimiter* limiter) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot create " + tmp);
+    constexpr std::size_t kChunk = 256 * 1024;
+    for (std::size_t off = 0; off < file.size(); off += kChunk) {
+      const std::size_t n = std::min(kChunk, file.size() - off);
+      if (limiter != nullptr) limiter->Acquire(n);
+      out.write(file.data() + off, static_cast<std::streamsize>(n));
+    }
+    if (!out) return Status::IOError("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError("cannot rename " + tmp + " -> " + path);
+  }
+  return Status::OK();
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+}  // namespace
+
+Status SSTable::Write(const std::string& path, const std::vector<Cell>& cells,
+                      RateLimiter* limiter, uint64_t* bytes_written) {
+  TITANT_RETURN_IF_ERROR(CheckSorted(cells));
+
+  // Data region: whole records packed into blocks. A block closes once it
+  // reaches kBlockSize, so records never straddle a boundary and a block
+  // is independently decodable.
+  std::string data;
+  std::string index;
+  std::vector<uint64_t> offsets;
+  BloomFilter bloom(cells.size());
+  BloomFilter row_bloom(cells.size(), /*bits_per_key=*/10);
+  std::size_t block_start = 0;
+  for (const Cell& cell : cells) {
+    if (offsets.empty() || data.size() - block_start >= kBlockSize) {
+      block_start = data.size();
+      offsets.push_back(block_start);
+      index += EncodeKey(cell.key);
+    }
+    bloom.Add(BloomKeyOf(cell.key.row, cell.key.family, cell.key.qualifier));
+    row_bloom.AddHash(BloomHashOf(cell.key.row));
+    data += EncodeCell(cell);
+  }
+
+  std::string index_offsets;
+  for (uint64_t off : offsets) AppendU64(&index_offsets, off);
+
+  // Per-block checksums, verified on every disk read (a cache hit serves
+  // pre-verified bytes, so the read path only pays this on a miss).
+  std::string block_crcs;
+  for (std::size_t b = 0; b < offsets.size(); ++b) {
+    const std::size_t start = static_cast<std::size_t>(offsets[b]);
+    const std::size_t end =
+        b + 1 < offsets.size() ? static_cast<std::size_t>(offsets[b + 1]) : data.size();
+    AppendU32(&block_crcs, Crc32(std::string_view(data).substr(start, end - start)));
+  }
+
+  std::string file;
+  file.reserve(data.size() + index.size() + index_offsets.size() + block_crcs.size() +
+               bloom.payload().size() + row_bloom.payload().size() + 64);
+  file += data;
+  file += index;
+  file += index_offsets;
+  file += block_crcs;
+  file += bloom.payload();
+  file += row_bloom.payload();
+  AppendU64(&file, data.size());
+  AppendU64(&file, index.size());
+  AppendU64(&file, offsets.size());
+  AppendU64(&file, cells.size());
+  AppendU64(&file, bloom.payload().size());
+  AppendU64(&file, row_bloom.payload().size());
+  AppendU32(&file, Crc32(data));
+  AppendU32(&file, 2);  // Format version.
+  AppendU32(&file, kMagicV2);
+
+  TITANT_RETURN_IF_ERROR(WriteFileAtomic(path, file, limiter));
+  if (bytes_written != nullptr) *bytes_written = file.size();
+  return Status::OK();
+}
+
+Status SSTable::WriteLegacyV1(const std::string& path, const std::vector<Cell>& cells) {
+  TITANT_RETURN_IF_ERROR(CheckSorted(cells));
 
   std::string data;
   std::string index;
@@ -49,96 +149,212 @@ Status SSTable::Write(const std::string& path, const std::vector<Cell>& cells) {
     data += EncodeCell(cells[i]);
   }
 
-  std::string footer;
-  auto put_u64 = [&footer](uint64_t v) {
-    footer.append(reinterpret_cast<const char*>(&v), sizeof(v));
-  };
-  // Index offsets follow the index-key blob.
-  std::string index_offsets;
-  for (uint64_t off : offsets) {
-    index_offsets.append(reinterpret_cast<const char*>(&off), sizeof(off));
-  }
-  put_u64(data.size());                      // Index blob offset.
-  put_u64(index.size());                     // Index blob size.
-  put_u64(offsets.size());                   // Number of index entries.
-  put_u64(cells.size());                     // Total cells.
-  put_u64(bloom.payload().size());           // Bloom filter size.
-  const uint32_t crc = Crc32(data);
-  footer.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
-  const uint32_t magic = kMagic;
-  footer.append(reinterpret_cast<const char*>(&magic), sizeof(magic));
-
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::IOError("cannot create " + tmp);
-    out.write(data.data(), static_cast<std::streamsize>(data.size()));
-    out.write(index.data(), static_cast<std::streamsize>(index.size()));
-    out.write(index_offsets.data(), static_cast<std::streamsize>(index_offsets.size()));
-    out.write(bloom.payload().data(),
-              static_cast<std::streamsize>(bloom.payload().size()));
-    out.write(footer.data(), static_cast<std::streamsize>(footer.size()));
-    if (!out) return Status::IOError("short write to " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Status::IOError("cannot rename " + tmp + " -> " + path);
-  }
-  return Status::OK();
+  std::string file = data;
+  file += index;
+  for (uint64_t off : offsets) AppendU64(&file, off);
+  file += bloom.payload();
+  AppendU64(&file, data.size());
+  AppendU64(&file, index.size());
+  AppendU64(&file, offsets.size());
+  AppendU64(&file, cells.size());
+  AppendU64(&file, bloom.payload().size());
+  AppendU32(&file, Crc32(data));
+  AppendU32(&file, kMagicV1);
+  return WriteFileAtomic(path, file, nullptr);
 }
 
-StatusOr<SSTable> SSTable::Open(const std::string& path) {
+StatusOr<SSTable> SSTable::Open(const std::string& path, BlockCache* cache) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path);
   std::string file((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
 
-  const std::size_t footer_size = 5 * sizeof(uint64_t) + 2 * sizeof(uint32_t);
-  if (file.size() < footer_size) return Status::Corruption("SSTable too small: " + path);
-  const char* footer = file.data() + file.size() - footer_size;
-  uint64_t index_offset = 0, index_size = 0, num_index = 0, num_cells = 0, bloom_size = 0;
-  uint32_t crc = 0, magic = 0;
-  std::memcpy(&index_offset, footer, 8);
-  std::memcpy(&index_size, footer + 8, 8);
-  std::memcpy(&num_index, footer + 16, 8);
-  std::memcpy(&num_cells, footer + 24, 8);
-  std::memcpy(&bloom_size, footer + 32, 8);
-  std::memcpy(&crc, footer + 40, 4);
-  std::memcpy(&magic, footer + 44, 4);
-  if (magic != kMagic) return Status::Corruption("bad SSTable magic: " + path);
-  const uint64_t offsets_size = num_index * sizeof(uint64_t);
-  if (index_offset + index_size + offsets_size + bloom_size + footer_size != file.size()) {
-    return Status::Corruption("bad SSTable geometry: " + path);
+  if (file.size() < sizeof(uint32_t)) {
+    return Status::DataLoss("SSTable too small (no magic): " + path);
   }
+  uint32_t magic = 0;
+  std::memcpy(&magic, file.data() + file.size() - sizeof(uint32_t), sizeof(uint32_t));
 
   SSTable table;
   table.path_ = path;
-  table.data_ = file.substr(0, index_offset);
-  if (Crc32(table.data_) != crc) return Status::Corruption("SSTable data CRC mismatch: " + path);
-  table.num_cells_ = static_cast<std::size_t>(num_cells);
+  table.table_id_ = BlockCache::NextTableId();
 
-  // Parse the sparse index.
-  const std::string index_blob = file.substr(index_offset, index_size);
+  if (magic == kMagicV1) {
+    // Legacy footer: 5 u64 fields + crc + magic, no row bloom, sparse
+    // every-Nth-key index, whole data region resident.
+    const std::size_t footer_size = 5 * sizeof(uint64_t) + 2 * sizeof(uint32_t);
+    if (file.size() < footer_size) return Status::DataLoss("short SSTable footer: " + path);
+    const char* footer = file.data() + file.size() - footer_size;
+    uint64_t index_offset = 0, index_size = 0, num_index = 0, num_cells = 0, bloom_size = 0;
+    uint32_t crc = 0;
+    std::memcpy(&index_offset, footer, 8);
+    std::memcpy(&index_size, footer + 8, 8);
+    std::memcpy(&num_index, footer + 16, 8);
+    std::memcpy(&num_cells, footer + 24, 8);
+    std::memcpy(&bloom_size, footer + 32, 8);
+    std::memcpy(&crc, footer + 40, 4);
+    const uint64_t offsets_size = num_index * sizeof(uint64_t);
+    if (index_offset + index_size + offsets_size + bloom_size + footer_size != file.size()) {
+      return Status::DataLoss("bad SSTable geometry: " + path);
+    }
+
+    table.format_version_ = 1;
+    table.data_ = file.substr(0, index_offset);
+    table.data_size_ = index_offset;
+    if (Crc32(table.data_) != crc) {
+      return Status::DataLoss("SSTable data CRC mismatch: " + path);
+    }
+    table.num_cells_ = static_cast<std::size_t>(num_cells);
+
+    const std::string index_blob = file.substr(index_offset, index_size);
+    std::size_t pos = 0;
+    table.index_keys_.reserve(static_cast<std::size_t>(num_index));
+    for (uint64_t i = 0; i < num_index; ++i) {
+      Cell key_cell;
+      if (!DecodeCell(index_blob, &pos, &key_cell)) {
+        return Status::DataLoss("bad SSTable index: " + path);
+      }
+      table.index_keys_.push_back(std::move(key_cell.key));
+    }
+    table.index_offsets_.resize(static_cast<std::size_t>(num_index));
+    std::memcpy(table.index_offsets_.data(), file.data() + index_offset + index_size,
+                offsets_size);
+    table.bloom_ = BloomFilter::FromPayload(
+        file.substr(static_cast<std::size_t>(index_offset + index_size + offsets_size),
+                    static_cast<std::size_t>(bloom_size)));
+    return table;
+  }
+
+  if (magic != kMagicV2) return Status::DataLoss("bad SSTable magic: " + path);
+
+  const std::size_t footer_size = 6 * sizeof(uint64_t) + 3 * sizeof(uint32_t);
+  if (file.size() < footer_size) return Status::DataLoss("short SSTable footer: " + path);
+  const char* footer = file.data() + file.size() - footer_size;
+  uint64_t data_size = 0, index_size = 0, num_blocks = 0, num_cells = 0;
+  uint64_t bloom_size = 0, row_bloom_size = 0;
+  uint32_t crc = 0, version = 0;
+  std::memcpy(&data_size, footer, 8);
+  std::memcpy(&index_size, footer + 8, 8);
+  std::memcpy(&num_blocks, footer + 16, 8);
+  std::memcpy(&num_cells, footer + 24, 8);
+  std::memcpy(&bloom_size, footer + 32, 8);
+  std::memcpy(&row_bloom_size, footer + 40, 8);
+  std::memcpy(&crc, footer + 48, 4);
+  std::memcpy(&version, footer + 52, 4);
+  if (version != 2) return Status::DataLoss("unsupported SSTable version: " + path);
+  const uint64_t offsets_size = num_blocks * sizeof(uint64_t);
+  const uint64_t crcs_size = num_blocks * sizeof(uint32_t);
+  if (data_size + index_size + offsets_size + crcs_size + bloom_size + row_bloom_size +
+          footer_size !=
+      file.size()) {
+    return Status::DataLoss("bad SSTable geometry: " + path);
+  }
+
+  // One sequential pass over the data region verifies the checksum at
+  // open; after this the region is dropped and re-read block by block.
+  if (Crc32(file.substr(0, data_size)) != crc) {
+    return Status::DataLoss("SSTable data CRC mismatch: " + path);
+  }
+
+  table.format_version_ = 2;
+  table.data_size_ = data_size;
+  table.num_cells_ = static_cast<std::size_t>(num_cells);
+  table.cache_ = cache;
+
+  const std::string index_blob = file.substr(data_size, index_size);
   std::size_t pos = 0;
-  table.index_keys_.reserve(static_cast<std::size_t>(num_index));
-  for (uint64_t i = 0; i < num_index; ++i) {
+  table.index_keys_.reserve(static_cast<std::size_t>(num_blocks));
+  for (uint64_t i = 0; i < num_blocks; ++i) {
     Cell key_cell;
     if (!DecodeCell(index_blob, &pos, &key_cell)) {
-      return Status::Corruption("bad SSTable index: " + path);
+      return Status::DataLoss("bad SSTable index: " + path);
     }
     table.index_keys_.push_back(std::move(key_cell.key));
   }
-  table.index_offsets_.resize(static_cast<std::size_t>(num_index));
-  std::memcpy(table.index_offsets_.data(), file.data() + index_offset + index_size,
-              offsets_size);
+  table.index_offsets_.resize(static_cast<std::size_t>(num_blocks));
+  std::memcpy(table.index_offsets_.data(), file.data() + data_size + index_size, offsets_size);
+  table.block_crcs_.resize(static_cast<std::size_t>(num_blocks));
+  std::memcpy(table.block_crcs_.data(), file.data() + data_size + index_size + offsets_size,
+              crcs_size);
   table.bloom_ = BloomFilter::FromPayload(
-      file.substr(static_cast<std::size_t>(index_offset + index_size + offsets_size),
+      file.substr(static_cast<std::size_t>(data_size + index_size + offsets_size + crcs_size),
                   static_cast<std::size_t>(bloom_size)));
+  table.row_bloom_ = BloomFilter::FromPayload(file.substr(
+      static_cast<std::size_t>(data_size + index_size + offsets_size + crcs_size + bloom_size),
+      static_cast<std::size_t>(row_bloom_size)));
+
+  table.fd_ = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (table.fd_ < 0) return Status::IOError("cannot reopen " + path);
   return table;
+}
+
+SSTable::SSTable(SSTable&& other) noexcept { *this = std::move(other); }
+
+SSTable& SSTable::operator=(SSTable&& other) noexcept {
+  if (this == &other) return *this;
+  if (fd_ >= 0) ::close(fd_);
+  format_version_ = other.format_version_;
+  path_ = std::move(other.path_);
+  data_ = std::move(other.data_);
+  fd_ = other.fd_;
+  other.fd_ = -1;
+  data_size_ = other.data_size_;
+  table_id_ = other.table_id_;
+  cache_ = other.cache_;
+  index_keys_ = std::move(other.index_keys_);
+  index_offsets_ = std::move(other.index_offsets_);
+  block_crcs_ = std::move(other.block_crcs_);
+  bloom_ = std::move(other.bloom_);
+  row_bloom_ = std::move(other.row_bloom_);
+  num_cells_ = other.num_cells_;
+  return *this;
+}
+
+SSTable::~SSTable() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::size_t SSTable::BlockSizeOf(std::size_t b) const {
+  const uint64_t start = index_offsets_[b];
+  const uint64_t end = b + 1 < index_offsets_.size() ? index_offsets_[b + 1] : data_size_;
+  return static_cast<std::size_t>(end - start);
+}
+
+bool SSTable::ReadBlockView(std::size_t b, BlockCache::Block* pin, std::string_view* out,
+                            Status* io_status) const {
+  if (cache_ != nullptr && cache_->Get(table_id_, static_cast<uint32_t>(b), pin)) {
+    *out = **pin;
+    return true;
+  }
+  auto block = std::make_shared<std::string>();
+  block->resize(BlockSizeOf(b));
+  const ssize_t got = ::pread(fd_, block->data(), block->size(),
+                              static_cast<off_t>(index_offsets_[b]));
+  if (got < 0 || static_cast<std::size_t>(got) != block->size()) {
+    if (io_status != nullptr) *io_status = Status::DataLoss("SSTable block read failed: " + path_);
+    return false;
+  }
+  // Verify before the block becomes visible: cached blocks are always
+  // pre-verified, so bit rot surfaces as loud DataLoss on the first read.
+  if (Crc32(*block) != block_crcs_[b]) {
+    if (io_status != nullptr) {
+      *io_status = Status::DataLoss("SSTable block CRC mismatch: " + path_);
+    }
+    return false;
+  }
+  BlockCache::Block shared = std::move(block);
+  if (cache_ != nullptr) cache_->Insert(table_id_, static_cast<uint32_t>(b), shared);
+  *pin = std::move(shared);
+  *out = **pin;
+  return true;
 }
 
 std::optional<Cell> SSTable::Get(const std::string& row, const std::string& family,
                                  const std::string& qualifier, uint64_t snapshot) const {
   CellViewRec rec;
-  if (!GetView(row, family, qualifier, snapshot, &rec)) return std::nullopt;
+  BlockCache::Block pin;
+  if (!GetView(row, family, qualifier, snapshot, BloomHashOf(row), &rec, &pin)) {
+    return std::nullopt;
+  }
   Cell cell;
   cell.key.row = std::string(rec.row);
   cell.key.family = std::string(rec.family);
@@ -149,15 +365,13 @@ std::optional<Cell> SSTable::Get(const std::string& row, const std::string& fami
   return cell;
 }
 
-bool SSTable::GetView(std::string_view row, std::string_view family, std::string_view qualifier,
-                      uint64_t snapshot, CellViewRec* out) const {
-  if (!bloom_.MayContainColumn(row, family, qualifier)) return false;
-  const auto& keys = index_keys_;
-  if (keys.empty()) return false;
-  // Binary-search the sparse index for the first key > target, where the
-  // target sits at (row, family, qualifier, snapshot) in CellKey order
-  // (versions descend within a column). Hand-rolled so the probe compares
+std::size_t SSTable::SeekBlock(std::string_view row, std::string_view family,
+                               std::string_view qualifier, uint64_t snapshot) const {
+  // Binary-search the index for the first key > target, where the target
+  // sits at (row, family, qualifier, snapshot) in CellKey order (versions
+  // descend within a column). Hand-rolled so the probe compares
   // string_views against the index keys without materializing a CellKey.
+  const auto& keys = index_keys_;
   std::size_t lo = 0, hi = keys.size();
   while (lo < hi) {
     const std::size_t mid = lo + (hi - lo) / 2;
@@ -169,45 +383,119 @@ bool SSTable::GetView(std::string_view row, std::string_view family, std::string
       lo = mid + 1;
     }
   }
-  std::size_t pos = lo == 0 ? 0 : static_cast<std::size_t>(index_offsets_[lo - 1]);
+  return lo == 0 ? 0 : lo - 1;
+}
+
+bool SSTable::GetViewV1(std::string_view row, std::string_view family,
+                        std::string_view qualifier, uint64_t snapshot, CellViewRec* out) const {
+  if (index_keys_.empty()) return false;
+  const std::size_t block = SeekBlock(row, family, qualifier, snapshot);
+  std::size_t pos = static_cast<std::size_t>(index_offsets_[block]);
   const std::string_view data(data_);
   CellViewRec rec;
   while (pos < data.size()) {
     if (!DecodeCellView(data, &pos, &rec)) return false;
     const int c = CompareRfq(rec.row, rec.family, rec.qualifier, row, family, qualifier);
-    if (c < 0) continue;               // Still before the column.
-    if (c > 0) return false;           // Past it without a hit: absent.
+    if (c < 0) continue;                   // Still before the column.
+    if (c > 0) return false;               // Past it without a hit: absent.
     if (rec.version > snapshot) continue;  // Too new for this snapshot.
-    *out = rec;                        // Newest version <= snapshot.
+    *out = rec;                            // Newest version <= snapshot.
     return true;
   }
   return false;
 }
 
-void SSTable::Iterator::LoadAt(std::size_t offset) {
-  offset_ = offset;
-  valid_ = offset_ < table_->data_.size() && DecodeCell(table_->data_, &offset_, &current_);
+bool SSTable::GetView(std::string_view row, std::string_view family, std::string_view qualifier,
+                      uint64_t snapshot, uint64_t row_hash, CellViewRec* out,
+                      BlockCache::Block* pin, Status* io_status) const {
+  if (!row_bloom_.MayContainHash(row_hash)) return false;
+  if (!bloom_.MayContainColumn(row, family, qualifier)) return false;
+  if (index_keys_.empty()) return false;
+  if (format_version_ == 1) return GetViewV1(row, family, qualifier, snapshot, out);
+
+  // Scan forward from the candidate block. The target column usually
+  // resolves within it; a column whose versions span a boundary continues
+  // into the next block.
+  CellViewRec rec;
+  for (std::size_t b = SeekBlock(row, family, qualifier, snapshot); b < index_offsets_.size();
+       ++b) {
+    std::string_view data;
+    if (!ReadBlockView(b, pin, &data, io_status)) return false;
+    std::size_t pos = 0;
+    while (pos < data.size()) {
+      if (!DecodeCellView(data, &pos, &rec)) return false;
+      const int c = CompareRfq(rec.row, rec.family, rec.qualifier, row, family, qualifier);
+      if (c < 0) continue;                   // Still before the column.
+      if (c > 0) return false;               // Past it without a hit: absent.
+      if (rec.version > snapshot) continue;  // Too new for this snapshot.
+      *out = rec;                            // Newest version <= snapshot.
+      return true;
+    }
+  }
+  return false;
 }
 
-void SSTable::Iterator::SeekToFirst() { LoadAt(0); }
+bool SSTable::Iterator::LoadBlock(std::size_t block) {
+  block_ = block;
+  pos_ = 0;
+  if (table_->format_version_ == 1) return true;  // One resident region.
+  if (block >= table_->index_offsets_.size()) return false;
+  buffer_.resize(table_->BlockSizeOf(block));
+  const ssize_t got = ::pread(table_->fd_, buffer_.data(), buffer_.size(),
+                              static_cast<off_t>(table_->index_offsets_[block]));
+  if (got < 0 || static_cast<std::size_t>(got) != buffer_.size()) {
+    status_ = Status::DataLoss("SSTable block read failed: " + table_->path_);
+    return false;
+  }
+  if (Crc32(buffer_) != table_->block_crcs_[block]) {
+    status_ = Status::DataLoss("SSTable block CRC mismatch: " + table_->path_);
+    return false;
+  }
+  return true;
+}
+
+void SSTable::Iterator::LoadAt(std::size_t block, std::size_t pos) {
+  valid_ = false;
+  if (!LoadBlock(block)) return;
+  pos_ = pos;
+  Next();
+}
+
+void SSTable::Iterator::SeekToFirst() {
+  valid_ = false;
+  status_ = Status::OK();
+  if (table_->index_offsets_.empty()) return;
+  LoadAt(0, 0);
+}
 
 void SSTable::Iterator::Seek(const CellKey& start) {
-  // Find the last sparse-index key <= start, then scan forward.
+  valid_ = false;
+  status_ = Status::OK();
   const auto& keys = table_->index_keys_;
-  if (keys.empty()) {
-    valid_ = false;
-    return;
-  }
+  if (keys.empty()) return;
+  // Find the last index key <= start, then scan forward.
   auto it = std::upper_bound(keys.begin(), keys.end(), start);
-  std::size_t base = 0;
-  if (it != keys.begin()) {
-    base = static_cast<std::size_t>(
-        table_->index_offsets_[static_cast<std::size_t>(it - keys.begin()) - 1]);
+  const std::size_t entry =
+      it == keys.begin() ? 0 : static_cast<std::size_t>(it - keys.begin()) - 1;
+  if (table_->format_version_ == 1) {
+    LoadAt(0, static_cast<std::size_t>(table_->index_offsets_[entry]));
+  } else {
+    LoadAt(entry, 0);
   }
-  LoadAt(base);
   while (valid_ && current_.key < start) Next();
 }
 
-void SSTable::Iterator::Next() { LoadAt(offset_); }
+void SSTable::Iterator::Next() {
+  valid_ = false;
+  while (true) {
+    const std::string& data = table_->format_version_ == 1 ? table_->data_ : buffer_;
+    if (pos_ < data.size()) {
+      valid_ = DecodeCell(data, &pos_, &current_);
+      return;
+    }
+    if (table_->format_version_ == 1) return;  // Region exhausted.
+    if (!LoadBlock(block_ + 1)) return;        // Cross the block boundary.
+  }
+}
 
 }  // namespace titant::kvstore

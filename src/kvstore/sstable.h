@@ -1,46 +1,88 @@
 #ifndef TITANT_KVSTORE_SSTABLE_H_
 #define TITANT_KVSTORE_SSTABLE_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/statusor.h"
+#include "kvstore/block_cache.h"
 #include "kvstore/bloom.h"
 #include "kvstore/cell.h"
 
 namespace titant::kvstore {
 
+class RateLimiter;  // maintenance.h — byte/sec throttle for background writes.
+
 /// Immutable sorted run of cells on disk (the HFile analogue).
-/// Layout: cell records in CellKey order, a sparse index (every Nth key's
-/// file offset), and a footer. Readers keep the file contents plus the
-/// sparse index in memory — at feature-store scale this mirrors an
-/// OS-cached HFile.
+///
+/// Format v2 (written by Write): cell records grouped into ~4 KiB blocks
+/// (records never straddle a block boundary), a per-block index (first key
+/// + file offset + CRC32 of every block), a column-coordinate Bloom
+/// filter, a row-prefix Bloom filter, and a versioned footer. Readers keep
+/// only the index and the filters in memory; data blocks are fetched on
+/// demand with pread through the store's shared BlockCache, so the
+/// resident set is the hot blocks, not the table. Every disk read verifies
+/// its block's checksum before the bytes are served or cached — bit rot
+/// after open surfaces as DataLoss on first touch, and cache hits skip the
+/// verification because cached blocks are pre-verified.
+///
+/// Format v1 (pre-block files) still opens: the versioned footer fallback
+/// detects the old magic, loads the whole data region into memory as
+/// before, and serves reads from it (no row bloom, no block reads). The
+/// next compaction rewrites such tables as v2.
 class SSTable {
  public:
   /// Writes `cells` (must already be sorted by CellKey and free of exact
-  /// duplicates) to `path`, replacing any existing file.
-  static Status Write(const std::string& path, const std::vector<Cell>& cells);
+  /// duplicates) to `path` in format v2, replacing any existing file.
+  /// A non-null `limiter` throttles the file write (background compaction
+  /// pacing against foreground traffic); `bytes_written` (optional)
+  /// returns the file size for maintenance accounting.
+  static Status Write(const std::string& path, const std::vector<Cell>& cells,
+                      RateLimiter* limiter = nullptr, uint64_t* bytes_written = nullptr);
 
-  /// Opens and validates an SSTable file.
-  static StatusOr<SSTable> Open(const std::string& path);
+  /// Writes a format-v1 file (the pre-block layout). Compatibility
+  /// fixture writer: tests use it to synthesize stores written before the
+  /// bloom-footer change and prove they reopen and upgrade.
+  static Status WriteLegacyV1(const std::string& path, const std::vector<Cell>& cells);
+
+  /// Opens and validates an SSTable file of either format. Corrupt files
+  /// (short footer, bad magic, CRC mismatch, bad geometry) fail loudly
+  /// with a DataLoss status naming the path. `cache` (nullable) serves
+  /// this table's block reads; v1 tables ignore it.
+  static StatusOr<SSTable> Open(const std::string& path, BlockCache* cache = nullptr);
+
+  SSTable(SSTable&& other) noexcept;
+  SSTable& operator=(SSTable&& other) noexcept;
+  SSTable(const SSTable&) = delete;
+  SSTable& operator=(const SSTable&) = delete;
+  ~SSTable();
 
   /// Returns the newest cell of (row, family, qualifier) with
   /// version <= snapshot, including tombstones (the store interprets
-  /// them); nullopt if the column has no visible cell here. A per-table
-  /// Bloom filter over column coordinates rejects most absent probes
-  /// without touching the data region.
+  /// them); nullopt if the column has no visible cell here.
   std::optional<Cell> Get(const std::string& row, const std::string& family,
                           const std::string& qualifier, uint64_t snapshot) const;
 
-  /// Zero-allocation twin of Get: on hit fills `out` with views into the
-  /// table's in-memory data region (valid for the table's lifetime — the
-  /// store copies winning values into the caller's pin before the table
-  /// can be dropped by a compaction). Returns false when absent.
+  /// Zero-allocation twin of Get. `row_hash` is BloomHashOf(row), computed
+  /// once per probe by the store and checked against the row-prefix filter
+  /// before the column filter or any block is touched. On a hit, fills
+  /// `out` with views into the block backing the record and hands the
+  /// block's strong cache reference back through `pin` — the views stay
+  /// valid exactly as long as the pin (or, for v1 tables, the table) is
+  /// alive. A cache hit performs no heap allocation; a cache miss reads
+  /// the block from disk. A failed disk read reports DataLoss through
+  /// `io_status` (when non-null) and returns false.
   bool GetView(std::string_view row, std::string_view family, std::string_view qualifier,
-               uint64_t snapshot, CellViewRec* out) const;
+               uint64_t snapshot, uint64_t row_hash, CellViewRec* out, BlockCache::Block* pin,
+               Status* io_status = nullptr) const;
 
   /// Iterates cells in key order starting at the first key >= start.
+  /// Reads blocks directly (bypassing the cache) so compaction sweeps do
+  /// not evict the foreground working set. A disk read failure ends the
+  /// iteration (Valid() false) with status() holding the DataLoss.
   class Iterator {
    public:
     explicit Iterator(const SSTable* table) : table_(table) {}
@@ -49,28 +91,63 @@ class SSTable {
     bool Valid() const { return valid_; }
     const Cell& cell() const { return current_; }
     void Next();
+    const Status& status() const { return status_; }
 
    private:
-    void LoadAt(std::size_t offset);
+    /// Positions the iterator at `pos` within block `block` and decodes.
+    void LoadAt(std::size_t block, std::size_t pos);
+    bool LoadBlock(std::size_t block);
 
     const SSTable* table_;
-    std::size_t offset_ = 0;       // Offset of the NEXT record.
+    std::size_t block_ = 0;  // Current block (always 0 for v1).
+    std::string buffer_;     // Owned block bytes (v2 only).
+    std::size_t pos_ = 0;    // Offset of the NEXT record in the block
+                             // (v1: in the whole data region).
     Cell current_;
     bool valid_ = false;
+    Status status_;
   };
 
   std::size_t num_cells() const { return num_cells_; }
+  std::size_t num_blocks() const { return index_offsets_.size(); }
   const std::string& path() const { return path_; }
+  int format_version() const { return format_version_; }
+  uint64_t table_id() const { return table_id_; }
 
  private:
-  static constexpr uint32_t kMagic = 0x54535354;  // "TSST"
-  static constexpr std::size_t kIndexStride = 16;
+  friend class Iterator;
 
+  static constexpr uint32_t kMagicV1 = 0x54535354;  // "TSST"
+  static constexpr uint32_t kMagicV2 = 0x32545354;  // "TST2"
+  static constexpr std::size_t kIndexStride = 16;   // v1 sparse-index stride.
+  static constexpr std::size_t kBlockSize = 4096;   // v2 target block bytes.
+
+  SSTable() = default;
+
+  /// v2: returns a view of block `b`, cache-first, pinned by `pin`.
+  bool ReadBlockView(std::size_t b, BlockCache::Block* pin, std::string_view* out,
+                     Status* io_status) const;
+  /// Size in bytes of block `b`.
+  std::size_t BlockSizeOf(std::size_t b) const;
+  /// First block that could contain (row, family, qualifier, <=snapshot).
+  std::size_t SeekBlock(std::string_view row, std::string_view family,
+                        std::string_view qualifier, uint64_t snapshot) const;
+
+  bool GetViewV1(std::string_view row, std::string_view family, std::string_view qualifier,
+                 uint64_t snapshot, CellViewRec* out) const;
+
+  int format_version_ = 2;
   std::string path_;
-  std::string data_;       // Cell records region only.
-  std::vector<CellKey> index_keys_;
-  std::vector<uint64_t> index_offsets_;
-  BloomFilter bloom_ = BloomFilter::FromPayload("");  // Match-all default.
+  std::string data_;  // v1 only: the whole cell-record region, resident.
+  int fd_ = -1;       // v2 only: open file for block pread.
+  uint64_t data_size_ = 0;
+  uint64_t table_id_ = 0;
+  BlockCache* cache_ = nullptr;
+  std::vector<CellKey> index_keys_;      // v1: every Nth key; v2: block first keys.
+  std::vector<uint64_t> index_offsets_;  // Matching data-region offsets.
+  std::vector<uint32_t> block_crcs_;     // v2: per-block CRC32, checked per read.
+  BloomFilter bloom_ = BloomFilter::FromPayload("");      // Column coordinates.
+  BloomFilter row_bloom_ = BloomFilter::FromPayload("");  // v2: row keys.
   std::size_t num_cells_ = 0;
 };
 

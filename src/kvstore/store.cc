@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <tuple>
 
 #include "common/failpoint.h"
 #include "common/string_util.h"
+#include "kvstore/maintenance.h"
 
 namespace titant::kvstore {
 
@@ -52,6 +54,12 @@ StatusOr<std::vector<std::pair<uint64_t, std::string>>> ListSSTables(const std::
   return found;
 }
 
+/// Approximate encoded footprint of a cell (maintenance scoring only).
+std::size_t ApproxCellBytes(const Cell& cell) {
+  return cell.key.row.size() + cell.key.family.size() + cell.key.qualifier.size() +
+         cell.value.size() + 24;
+}
+
 }  // namespace
 
 AliHBase::AliHBase(StoreOptions options) : options_(std::move(options)) {
@@ -59,6 +67,16 @@ AliHBase::AliHBase(StoreOptions options) : options_(std::move(options)) {
       options_.failpoint_scope.empty() ? "" : options_.failpoint_scope + ".";
   get_failpoint_ = "kvstore." + scope + "get";
   put_failpoint_ = "kvstore." + scope + "put";
+  if (options_.block_cache_bytes > 0) {
+    cache_ = std::make_unique<BlockCache>(options_.block_cache_bytes);
+  }
+  if (options_.maintenance_rate_bytes_per_sec > 0) {
+    rate_limiter_ = std::make_unique<RateLimiter>(options_.maintenance_rate_bytes_per_sec);
+  }
+}
+
+AliHBase::~AliHBase() {
+  if (maintenance_) maintenance_->Stop();
 }
 
 void AliHBase::SetCommitSink(CommitSink sink) {
@@ -137,16 +155,27 @@ StatusOr<std::unique_ptr<AliHBase>> AliHBase::Open(StoreOptions options) {
       TITANT_RETURN_IF_ERROR(store->OpenShardFiles(*shard));
     }
     TITANT_RETURN_IF_ERROR(store->MigrateLegacyDir());
+    if (store->options_.background_maintenance) {
+      store->maintenance_ = std::make_unique<MaintenanceThread>(store.get());
+      store->maintenance_->Start();
+    }
   }
   return store;
 }
 
 Status AliHBase::OpenShardFiles(Shard& shard) {
-  // Load SSTables in id order (oldest first).
+  // Load SSTables in id order (oldest first). A table that fails to open
+  // fails the whole shard — and thus the whole Open — with the DataLoss
+  // status naming the damaged file, rather than serving the stripe as if
+  // the file's cells never existed.
   TITANT_ASSIGN_OR_RETURN(auto found, ListSSTables(shard.dir));
   for (const auto& [id, path] : found) {
-    TITANT_ASSIGN_OR_RETURN(SSTable table, SSTable::Open(path));
-    shard.sstables.push_back(std::move(table));
+    StatusOr<SSTable> table = SSTable::Open(path, cache_.get());
+    if (!table.ok()) {
+      return Status(table.status().code(),
+                    "shard " + shard.dir + ": " + table.status().message());
+    }
+    shard.sstables.push_back(std::make_shared<SSTable>(std::move(*table)));
     shard.next_sstable_id = std::max(shard.next_sstable_id, id + 1);
   }
 
@@ -331,6 +360,7 @@ Status AliHBase::WriteShardCells(Shard& shard, const Cell* const* cells, std::si
     TITANT_RETURN_IF_ERROR(shard.wal->Append(record));
   }
   for (std::size_t i = 0; i < n; ++i) {
+    shard.memtable_bytes += ApproxCellBytes(*cells[i]);
     shard.memtable->Insert(MemEntry{*cells[i], shard.next_seq++});
   }
   // Replication tap: assign the store-wide commit sequence and hand the
@@ -345,15 +375,37 @@ Status AliHBase::WriteShardCells(Shard& shard, const Cell* const* cells, std::si
     commit_seq_.fetch_add(1, std::memory_order_acq_rel);
   }
   if (shard.memtable->size() >= options_.memtable_flush_cells && options_.durable) {
-    return FlushShardLocked(shard);
+    if (maintenance_ == nullptr) return FlushShardLocked(shard);
+    // Background maintenance owns the flush. Writers only pay for one
+    // themselves at the hard cap — the memtable ran 4x past its budget,
+    // meaning the background thread is not keeping up — and that stall
+    // is measured and exported (kv_stall_us) as the backpressure signal.
+    if (shard.memtable->size() >= 4 * options_.memtable_flush_cells) {
+      const auto start = std::chrono::steady_clock::now();
+      const Status flushed = FlushShardLocked(shard);
+      stall_us_.fetch_add(
+          static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                    std::chrono::steady_clock::now() - start)
+                                    .count()),
+          std::memory_order_relaxed);
+      return flushed;
+    }
+    // Signal with the stripe lock released: Notify takes the maintenance
+    // mutex, and the maintenance thread takes stripe locks to score the
+    // backlog — signaling under the stripe lock would order the two
+    // mutexes both ways.
+    lock.unlock();
+    maintenance_->Notify();
   }
   return Status::OK();
 }
 
 bool AliHBase::FindViewLocked(const Shard& shard, std::string_view row,
                               std::string_view family, std::string_view qualifier,
-                              uint64_t snapshot, CellViewRec* out) const {
+                              uint64_t snapshot, uint64_t row_hash, CellViewRec* out,
+                              BlockCache::Block* pin, Status* io_status) const {
   bool found = false;
+  pin->reset();
   // Memtable: entries for this column are ordered by version desc, then
   // write order; the first entry at or below the snapshot wins there.
   // The seek key is a std::string triple, but short keys (the feature
@@ -385,11 +437,16 @@ bool AliHBase::FindViewLocked(const Shard& shard, std::string_view row,
   // SSTables: any of them may hold a newer version. Iterate newest file
   // first and require a strictly greater version to override, so that
   // same-version overwrites resolve to the memtable, then the newest file.
+  // The winning table's block pin is handed through `pin` so the caller
+  // can copy the value even after the block falls out of the cache.
+  BlockCache::Block cur;
+  CellViewRec rec;
   for (auto it = shard.sstables.rbegin(); it != shard.sstables.rend(); ++it) {
-    CellViewRec rec;
-    if (it->GetView(row, family, qualifier, snapshot, &rec) &&
+    cur.reset();
+    if ((*it)->GetView(row, family, qualifier, snapshot, row_hash, &rec, &cur, io_status) &&
         (!found || rec.version > out->version)) {
       *out = rec;
+      *pin = std::move(cur);
       found = true;
     }
   }
@@ -408,7 +465,12 @@ StatusOr<std::string> AliHBase::Get(const std::string& row, const std::string& f
   const Shard& shard = *shards_[ShardOf(row)];
   std::shared_lock lock(shard.mu);
   CellViewRec rec;
-  if (!FindViewLocked(shard, row, family, qualifier, snapshot, &rec) || rec.tombstone) {
+  BlockCache::Block pin;
+  Status io = Status::OK();
+  const bool hit =
+      FindViewLocked(shard, row, family, qualifier, snapshot, BloomHashOf(row), &rec, &pin, &io);
+  if (!io.ok()) return io;  // Damaged block: loud DataLoss, not a miss.
+  if (!hit || rec.tombstone) {
     return Status::NotFound(ColumnName(row, family, qualifier));
   }
   return std::string(rec.value);
@@ -497,26 +559,35 @@ void AliHBase::MultiGetView(const ColumnProbeView* probes, std::size_t n, ReadPi
     std::shared_lock lock(shard.mu);  // One acquisition per shard run.
     CellViewRec rec;
     bool hit = false;
+    bool lost = false;
     std::string_view pinned;
+    BlockCache::Block block_pin;
     bool have_prev = false;
     std::size_t prev = 0;
     for (std::size_t k = pos; k < end; ++k) {
       const std::size_t idx = live[k];
       const ColumnProbeView& probe = probes[idx];
       if (!have_prev || key_of(prev) != key_of(idx)) {
-        hit = FindViewLocked(shard, probe.row, probe.family, probe.qualifier, snapshot, &rec);
+        Status io = Status::OK();
+        hit = FindViewLocked(shard, probe.row, probe.family, probe.qualifier, snapshot,
+                             BloomHashOf(probe.row), &rec, &block_pin, &io);
+        lost = !io.ok();
         if (hit && !rec.tombstone) {
           // The winning value is copied into the pin's arena while the lock
-          // still pins the memtable/SSTable bytes — after that, the view is
-          // immune to flushes and compactions. One copy per distinct column;
-          // duplicate probes share it.
+          // (and the block pin) still holds the backing bytes — after that,
+          // the view is immune to flushes, compactions and cache evictions.
+          // One copy per distinct column; duplicate probes share it.
           pinned = std::string_view(pin->arena_.Copy(rec.value.data(), rec.value.size()),
                                     rec.value.size());
         }
         prev = idx;
         have_prev = true;
       }
-      if (!hit || rec.tombstone) {
+      if (lost) {
+        // A damaged block fails the probe loudly (message-free canonical
+        // DataLoss — the code is the signal, the heap stays untouched).
+        out[idx] = StatusOr<std::string_view>(Status(StatusCode::kDataLoss, std::string()));
+      } else if (!hit || rec.tombstone) {
         // Canonical message-free NotFound: the miss path is as hot as the
         // hit path under cold-start traffic and must not touch the heap.
         out[idx] = StatusOr<std::string_view>(Status(StatusCode::kNotFound, std::string()));
@@ -619,7 +690,7 @@ std::vector<Cell> AliHBase::ScanShardLocked(const Shard& shard, const std::strin
   // Newest file first: `consider` keeps the first writer on equal
   // versions (after the memtable).
   for (auto table = shard.sstables.rbegin(); table != shard.sstables.rend(); ++table) {
-    SSTable::Iterator it(&*table);
+    SSTable::Iterator it(table->get());
     it.Seek(CellKey{start_row, "", "", UINT64_MAX});
     for (; it.Valid(); it.Next()) {
       if (!end_row.empty() && it.cell().key.row >= end_row) break;
@@ -690,43 +761,100 @@ Status AliHBase::FlushShardLocked(Shard& shard) {
 
   const std::string path =
       shard.dir + "/" + std::to_string(shard.next_sstable_id) + ".sst";
-  TITANT_RETURN_IF_ERROR(SSTable::Write(path, cells));
-  TITANT_ASSIGN_OR_RETURN(SSTable table, SSTable::Open(path));
-  shard.sstables.push_back(std::move(table));
+  uint64_t bytes = 0;
+  // Unthrottled: a flush runs under the stripe's exclusive lock, so
+  // pacing it would stall writers — the rate limiter only applies to the
+  // lock-free compaction merge.
+  TITANT_RETURN_IF_ERROR(SSTable::Write(path, cells, nullptr, &bytes));
+  TITANT_ASSIGN_OR_RETURN(SSTable table, SSTable::Open(path, cache_.get()));
+  shard.sstables.push_back(std::make_shared<SSTable>(std::move(table)));
   ++shard.next_sstable_id;
   shard.memtable = std::make_unique<SkipList<MemEntry>>();
+  shard.memtable_bytes = 0;
   if (shard.wal) TITANT_RETURN_IF_ERROR(shard.wal->Reset());
+  flushes_.fetch_add(1, std::memory_order_relaxed);
+  maintenance_bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
   return Status::OK();
+}
+
+Status AliHBase::MaintainFlushShard(Shard& shard) {
+  std::lock_guard<std::mutex> maint(shard.maint_mu);
+  std::unique_lock lock(shard.mu);
+  return FlushShardLocked(shard);
 }
 
 Status AliHBase::Flush() {
   for (auto& shard : shards_) {
-    std::unique_lock lock(shard->mu);
-    TITANT_RETURN_IF_ERROR(FlushShardLocked(*shard));
+    TITANT_RETURN_IF_ERROR(MaintainFlushShard(*shard));
   }
   return Status::OK();
+}
+
+Status AliHBase::FlushShard(std::size_t shard) {
+  if (shard >= shards_.size()) return Status::InvalidArgument("shard index out of range");
+  return MaintainFlushShard(*shards_[shard]);
+}
+
+Status AliHBase::CompactShard(std::size_t shard) {
+  if (shard >= shards_.size()) return Status::InvalidArgument("shard index out of range");
+  return MaintainCompactShard(*shards_[shard]);
+}
+
+AliHBase::ShardLoad AliHBase::ShardLoadAt(std::size_t shard) const {
+  ShardLoad load;
+  if (shard >= shards_.size()) return load;
+  const Shard& s = *shards_[shard];
+  std::shared_lock lock(s.mu);
+  load.memtable_cells = s.memtable->size();
+  load.memtable_bytes = s.memtable_bytes;
+  load.sstables = s.sstables.size();
+  return load;
 }
 
 Status AliHBase::Compact() {
-  // Shard by shard: compacting one stripe blocks only that stripe's
-  // readers and writers; the rest of the keyspace stays fully available.
+  // Shard by shard: compacting one stripe contends only with that
+  // stripe's maintenance; the rest of the keyspace stays fully available.
   for (auto& shard : shards_) {
-    TITANT_RETURN_IF_ERROR(CompactShard(*shard));
+    TITANT_RETURN_IF_ERROR(MaintainCompactShard(*shard));
   }
   return Status::OK();
 }
 
-Status AliHBase::CompactShard(Shard& shard) {
+Status AliHBase::MaintainCompactShard(Shard& shard) {
   if (!options_.durable) return Status::OK();
-  std::unique_lock lock(shard.mu);
-  TITANT_RETURN_IF_ERROR(FlushShardLocked(shard));
-  if (shard.sstables.size() <= 1 && options_.max_versions <= 0) return Status::OK();
+  // The per-stripe maintenance mutex is what makes concurrent Compact()
+  // calls (foreground + background scheduler) safe: both would snapshot
+  // the same input tables and both would try to remove them from the
+  // stripe — serialized here, the second merge sees the already-merged
+  // single table and no-ops.
+  std::lock_guard<std::mutex> maint(shard.maint_mu);
+  {
+    std::unique_lock lock(shard.mu);
+    TITANT_RETURN_IF_ERROR(FlushShardLocked(shard));
+  }
 
-  // Gather every cell, newest file wins on exact-key collisions.
+  // Phase 1 (brief exclusive lock): snapshot the input tables and
+  // reserve the output file id, so concurrent flushes appending to the
+  // stripe can neither race the id nor be lost by the swap below.
+  std::vector<std::shared_ptr<SSTable>> inputs;
+  uint64_t merged_id = 0;
+  {
+    std::unique_lock lock(shard.mu);
+    if (shard.sstables.size() <= 1 && options_.max_versions <= 0) return Status::OK();
+    if (shard.sstables.empty()) return Status::OK();
+    inputs = shard.sstables;
+    merged_id = shard.next_sstable_id++;
+  }
+
+  // Phase 2 (no stripe lock): merge the snapshot and write the output,
+  // paced by the maintenance rate limiter. Readers and writers proceed
+  // on the stripe the whole time; the shared_ptrs keep the inputs alive
+  // even if something else drops them from the stripe meanwhile.
   std::map<CellKey, Cell> all;
-  for (const SSTable& table : shard.sstables) {  // Oldest first: later overwrite.
-    SSTable::Iterator it(&table);
+  for (const auto& table : inputs) {  // Oldest first: later overwrite.
+    SSTable::Iterator it(table.get());
     for (it.SeekToFirst(); it.Valid(); it.Next()) all[it.cell().key] = it.cell();
+    if (!it.status().ok()) return it.status();  // Loud DataLoss mid-sweep.
   }
 
   // Version GC: keep at most max_versions per column, drop data shadowed
@@ -758,22 +886,62 @@ Status AliHBase::CompactShard(Shard& shard) {
     ++versions_kept;
   }
 
-  const std::string path =
-      shard.dir + "/" + std::to_string(shard.next_sstable_id) + ".sst";
-  TITANT_RETURN_IF_ERROR(SSTable::Write(path, kept));
-  TITANT_ASSIGN_OR_RETURN(SSTable merged, SSTable::Open(path));
+  const std::string path = shard.dir + "/" + std::to_string(merged_id) + ".sst";
+  uint64_t bytes = 0;
+  TITANT_RETURN_IF_ERROR(SSTable::Write(path, kept, rate_limiter_.get(), &bytes));
+  TITANT_ASSIGN_OR_RETURN(SSTable merged_table, SSTable::Open(path, cache_.get()));
+  auto merged = std::make_shared<SSTable>(std::move(merged_table));
 
-  // Swap in the merged table and remove the old files.
-  std::vector<std::string> old_paths;
-  for (const SSTable& table : shard.sstables) old_paths.push_back(table.path());
-  shard.sstables.clear();
-  shard.sstables.push_back(std::move(merged));
-  ++shard.next_sstable_id;
-  for (const std::string& old : old_paths) {
+  // Phase 3 (brief exclusive lock): swap. The merged table takes the
+  // OLDEST position — tables flushed during the merge hold newer data
+  // and must stay after it in the newest-file-wins read order.
+  {
+    std::unique_lock lock(shard.mu);
+    std::vector<std::shared_ptr<SSTable>> next;
+    next.reserve(shard.sstables.size());
+    next.push_back(merged);
+    for (const auto& table : shard.sstables) {
+      const bool was_input =
+          std::find(inputs.begin(), inputs.end(), table) != inputs.end();
+      if (!was_input) next.push_back(table);
+    }
+    shard.sstables = std::move(next);
+  }
+  compactions_.fetch_add(1, std::memory_order_relaxed);
+  maintenance_bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+
+  // Phase 4: drop the dead tables' cache entries and unlink their files.
+  // In-flight readers still holding a shared_ptr (or a pinned block)
+  // keep the bytes alive; POSIX keeps an unlinked file readable through
+  // its open descriptor.
+  for (const auto& table : inputs) {
+    if (cache_ != nullptr) cache_->EraseTable(table->table_id());
     std::error_code ec;
-    fs::remove(old, ec);  // Best effort; stale files are re-merged later.
+    fs::remove(table->path(), ec);  // Best effort; stale files re-merge later.
   }
   return Status::OK();
+}
+
+KvStoreStats AliHBase::kv_stats() const {
+  KvStoreStats stats;
+  if (cache_ != nullptr) {
+    const BlockCacheStats cache = cache_->stats();
+    stats.cache_hits = cache.hits;
+    stats.cache_misses = cache.misses;
+    stats.cache_bytes = cache.bytes;
+  }
+  stats.flushes = flushes_.load(std::memory_order_relaxed);
+  stats.compactions = compactions_.load(std::memory_order_relaxed);
+  stats.maintenance_bytes_written =
+      maintenance_bytes_written_.load(std::memory_order_relaxed);
+  stats.stall_us = stall_us_.load(std::memory_order_relaxed);
+  const std::size_t trigger =
+      static_cast<std::size_t>(std::max(1, options_.compaction_trigger_sstables));
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mu);
+    if (shard->sstables.size() >= trigger) ++stats.compaction_backlog;
+  }
+  return stats;
 }
 
 std::size_t AliHBase::memtable_cells() const {

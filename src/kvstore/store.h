@@ -15,12 +15,16 @@
 
 #include "common/arena.h"
 #include "common/statusor.h"
+#include "kvstore/block_cache.h"
 #include "kvstore/cell.h"
 #include "kvstore/skiplist.h"
 #include "kvstore/sstable.h"
 #include "kvstore/wal.h"
 
 namespace titant::kvstore {
+
+class MaintenanceThread;  // maintenance.h
+class RateLimiter;        // maintenance.h
 
 /// Configuration of one Ali-HBase-style table.
 struct StoreOptions {
@@ -53,6 +57,41 @@ struct StoreOptions {
   /// directories written by the pre-shard layout (a root-level `wal.log`
   /// plus `*.sst`) are migrated into the sharded layout on open.
   int num_shards = 1;
+  /// Block-cache budget shared by every shard's SSTable reads. 0 turns
+  /// the cache off (every block read hits the disk).
+  std::size_t block_cache_bytes = 32 * 1024 * 1024;
+  /// A stripe whose SSTable count reaches this is compaction-eligible
+  /// (the maintenance thread's trigger; Compact() always compacts).
+  int compaction_trigger_sstables = 4;
+  /// Byte/sec budget for compaction output (token bucket, 1s burst).
+  /// Flushes are never paced — they run under the stripe's exclusive
+  /// lock, so throttling them would stall writers. 0 = unthrottled.
+  uint64_t maintenance_rate_bytes_per_sec = 0;
+  /// When true, Open starts a background maintenance thread that flushes
+  /// and compacts stripes by threshold score, and the write path signals
+  /// it instead of flushing inline (writes only stall at the 4x hard
+  /// cap). When false (the default), flushes stay inline on the write
+  /// path and compaction only runs when Compact() is called — the
+  /// pre-maintenance behavior, byte for byte.
+  bool background_maintenance = false;
+};
+
+/// Aggregate store health counters (the "kvstore" metrics provider).
+struct KvStoreStats {
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_bytes = 0;
+  /// Memtable flushes (inline and background).
+  uint64_t flushes = 0;
+  /// Stripe compactions completed.
+  uint64_t compactions = 0;
+  /// Stripes currently at/over compaction_trigger_sstables.
+  uint64_t compaction_backlog = 0;
+  /// SSTable bytes written by flush + compaction.
+  uint64_t maintenance_bytes_written = 0;
+  /// Wall time writers spent in hard-cap inline flushes while background
+  /// maintenance was supposed to absorb them (backpressure indicator).
+  uint64_t stall_us = 0;
 };
 
 /// One column coordinate of a MultiGet batch (a CellKey without the
@@ -148,6 +187,10 @@ class AliHBase : public KvTable {
   /// Opens the table, replaying any WALs and loading existing SSTables.
   /// Directories written by the pre-shard layout are migrated in place.
   static StatusOr<std::unique_ptr<AliHBase>> Open(StoreOptions options);
+
+  /// Stops the background maintenance thread (when running) and joins it
+  /// before any shard state is torn down.
+  ~AliHBase() override;
 
   /// Observer of committed writes — the WAL-shipping tap. Invoked once
   /// per shard commit, after the cells are in the WAL and memtable, with
@@ -248,11 +291,41 @@ class AliHBase : public KvTable {
   /// and versions beyond max_versions.
   Status Compact();
 
+  /// Flush/compact one stripe by index. These are the maintenance
+  /// thread's entry points, and they serialize with each other (and with
+  /// Flush()/Compact()) on the stripe's maintenance mutex, so a
+  /// foreground Compact() racing the background sweep never merges the
+  /// same input tables twice. CompactShard holds the stripe's write lock
+  /// only to snapshot inputs and to swap in the merged table — the merge
+  /// and the (rate-limited) output write run with readers and writers
+  /// live on the stripe.
+  Status FlushShard(std::size_t shard);
+  Status CompactShard(std::size_t shard);
+
+  /// Per-stripe pressure, read under the stripe's shared lock — the
+  /// maintenance thread's scoring input.
+  struct ShardLoad {
+    std::size_t memtable_cells = 0;
+    std::size_t memtable_bytes = 0;  // Approximate encoded size.
+    std::size_t sstables = 0;
+  };
+  ShardLoad ShardLoadAt(std::size_t shard) const;
+
   /// Diagnostics. Counts aggregate across shards.
   std::size_t memtable_cells() const;
   std::size_t num_sstables() const;
   std::size_t num_shards() const { return shards_.size(); }
   const StoreOptions& options() const { return options_; }
+
+  /// Aggregate health counters (cache + maintenance); cheap to call.
+  KvStoreStats kv_stats() const;
+
+  /// The shared block cache; nullptr when block_cache_bytes is 0.
+  BlockCache* block_cache() const { return cache_.get(); }
+
+  /// The maintenance thread; nullptr unless background_maintenance.
+  /// Exposed for tests/benches that need WaitIdle-style determinism.
+  MaintenanceThread* maintenance() const { return maintenance_.get(); }
 
  private:
   struct MemEntry {
@@ -272,10 +345,21 @@ class AliHBase : public KvTable {
   /// did, and snapshot reads of a row never straddle stripes.
   struct Shard {
     mutable std::shared_mutex mu;
+    /// Serializes maintenance (flush/compact) on this stripe. Always
+    /// acquired BEFORE mu, never while holding mu — the inline
+    /// threshold flush inside WriteShardCells (which already holds mu)
+    /// skips it, which is safe because every flush mutation happens
+    /// under exclusive mu and output file ids are reserved under mu.
+    mutable std::mutex maint_mu;
     std::unique_ptr<SkipList<MemEntry>> memtable;
+    /// Approximate encoded bytes in the memtable (maintenance scoring).
+    std::size_t memtable_bytes = 0;
     uint64_t next_seq = 1;
     std::optional<WriteAheadLog> wal;
-    std::vector<SSTable> sstables;  // Oldest first.
+    /// Oldest first. shared_ptr so compaction can snapshot its inputs
+    /// and merge them outside the stripe lock while readers (and the
+    /// swap) hold their own references.
+    std::vector<std::shared_ptr<SSTable>> sstables;
     uint64_t next_sstable_id = 1;
     std::string dir;  // "<options.dir>/shard-<k>"; empty when not durable.
   };
@@ -291,25 +375,46 @@ class AliHBase : public KvTable {
   /// memtable inserts, threshold flush. All cells must hash to `shard`.
   Status WriteShardCells(Shard& shard, const Cell* const* cells, std::size_t n);
   Status FlushShardLocked(Shard& shard);
-  Status CompactShard(Shard& shard);
+  /// Flush under maint_mu (takes the stripe's write lock itself).
+  Status MaintainFlushShard(Shard& shard);
+  /// Split-phase merge under maint_mu; see CompactShard(std::size_t).
+  Status MaintainCompactShard(Shard& shard);
   /// Loads a shard's SSTables, replays its WAL, opens the WAL for append.
   Status OpenShardFiles(Shard& shard);
   /// Moves a pre-shard root-level `wal.log` + `*.sst` layout into the
   /// shard directories (idempotent; re-runs after a crash converge).
   Status MigrateLegacyDir();
   /// Point lookup under the shard's mu, allocation-free for keys within
-  /// the string SSO limit (the 11/6-char feature row keys qualify). On a
-  /// hit, fills `out` with views into the memtable or an SSTable — valid
-  /// only while the shard lock is held; callers copy what they keep
-  /// before releasing the lock.
+  /// the string SSO limit (the 11/6-char feature row keys qualify).
+  /// `row_hash` is BloomHashOf(row), computed once per probe and reused
+  /// against every SSTable's row-prefix filter. On a hit, fills `out`
+  /// with views into the memtable or an SSTable block; `pin` receives
+  /// the winning block's cache reference. The views are valid while the
+  /// shard lock is held AND the pin is alive; callers copy what they
+  /// keep before releasing either. A block-read failure surfaces
+  /// through `io_status` (when non-null) as DataLoss.
   bool FindViewLocked(const Shard& shard, std::string_view row, std::string_view family,
-                      std::string_view qualifier, uint64_t snapshot, CellViewRec* out) const;
+                      std::string_view qualifier, uint64_t snapshot, uint64_t row_hash,
+                      CellViewRec* out, BlockCache::Block* pin,
+                      Status* io_status = nullptr) const;
   std::vector<Cell> ScanShardLocked(const Shard& shard, const std::string& start_row,
                                     const std::string& end_row, uint64_t snapshot,
                                     std::size_t limit) const;
 
   StoreOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Shared SSTable block cache (null when disabled) and the background
+  /// maintenance machinery (null unless background_maintenance).
+  std::unique_ptr<BlockCache> cache_;
+  std::unique_ptr<RateLimiter> rate_limiter_;
+  std::unique_ptr<MaintenanceThread> maintenance_;
+
+  /// Maintenance counters (see KvStoreStats).
+  std::atomic<uint64_t> flushes_{0};
+  std::atomic<uint64_t> compactions_{0};
+  std::atomic<uint64_t> maintenance_bytes_written_{0};
+  std::atomic<uint64_t> stall_us_{0};
 
   /// Scoped chaos-hook names, resolved once from failpoint_scope.
   std::string get_failpoint_;

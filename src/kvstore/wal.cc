@@ -23,7 +23,7 @@ const uint32_t* CrcTable() {
 
 }  // namespace
 
-uint32_t Crc32(const std::string& data) {
+uint32_t Crc32(std::string_view data) {
   const uint32_t* table = CrcTable();
   uint32_t crc = 0xFFFFFFFFu;
   for (unsigned char ch : data) crc = table[(crc ^ ch) & 0xFF] ^ (crc >> 8);

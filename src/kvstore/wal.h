@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/statusor.h"
@@ -12,7 +13,7 @@ namespace titant::kvstore {
 
 /// CRC32 (IEEE, reflected) over `data`; used to detect torn/corrupt WAL
 /// records on recovery.
-uint32_t Crc32(const std::string& data);
+uint32_t Crc32(std::string_view data);
 
 /// Append-only write-ahead log. Record framing: u32 length, u32 crc32,
 /// payload. Recovery stops cleanly at the first truncated or corrupt

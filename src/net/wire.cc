@@ -667,6 +667,14 @@ std::string EncodeGatewayStats(const GatewayStats& stats) {
   w.U64(stats.mc_parse_failures);
   w.U64(stats.mc_rows_scanned);
   w.U64(stats.mc_batches_scanned);
+  w.U64(stats.kv_cache_hits);
+  w.U64(stats.kv_cache_misses);
+  w.U64(stats.kv_cache_bytes);
+  w.U64(stats.kv_flushes);
+  w.U64(stats.kv_compactions);
+  w.U64(stats.kv_compaction_backlog);
+  w.U64(stats.kv_maintenance_bytes_written);
+  w.U64(stats.kv_stall_us);
   return w.Take();
 }
 
@@ -705,6 +713,14 @@ Status DecodeGatewayStats(std::string_view payload, GatewayStats* stats) {
   TITANT_RETURN_IF_ERROR(r.U64(&stats->mc_parse_failures));
   TITANT_RETURN_IF_ERROR(r.U64(&stats->mc_rows_scanned));
   TITANT_RETURN_IF_ERROR(r.U64(&stats->mc_batches_scanned));
+  TITANT_RETURN_IF_ERROR(r.U64(&stats->kv_cache_hits));
+  TITANT_RETURN_IF_ERROR(r.U64(&stats->kv_cache_misses));
+  TITANT_RETURN_IF_ERROR(r.U64(&stats->kv_cache_bytes));
+  TITANT_RETURN_IF_ERROR(r.U64(&stats->kv_flushes));
+  TITANT_RETURN_IF_ERROR(r.U64(&stats->kv_compactions));
+  TITANT_RETURN_IF_ERROR(r.U64(&stats->kv_compaction_backlog));
+  TITANT_RETURN_IF_ERROR(r.U64(&stats->kv_maintenance_bytes_written));
+  TITANT_RETURN_IF_ERROR(r.U64(&stats->kv_stall_us));
   return r.ExpectDone();
 }
 

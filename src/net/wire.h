@@ -405,6 +405,18 @@ struct GatewayStats {
   uint64_t mc_parse_failures = 0;
   uint64_t mc_rows_scanned = 0;
   uint64_t mc_batches_scanned = 0;
+  /// KV store engine (the "kvstore" metrics provider): block-cache
+  /// traffic and the background maintenance loop. kv_stall_us is wall
+  /// time writers spent in hard-cap inline flushes — the backpressure
+  /// signal that maintenance is not keeping up.
+  uint64_t kv_cache_hits = 0;
+  uint64_t kv_cache_misses = 0;
+  uint64_t kv_cache_bytes = 0;
+  uint64_t kv_flushes = 0;
+  uint64_t kv_compactions = 0;
+  uint64_t kv_compaction_backlog = 0;
+  uint64_t kv_maintenance_bytes_written = 0;
+  uint64_t kv_stall_us = 0;
 };
 std::string EncodeGatewayStats(const GatewayStats& stats);
 Status DecodeGatewayStats(std::string_view payload, GatewayStats* stats);

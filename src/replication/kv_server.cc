@@ -159,6 +159,16 @@ void KvStoreServer::FillStats(net::GatewayStats* stats) const {
   stats->repl_acked_seq = watermark();
   stats->repl_catchup_cells = catchup_cells_.load(std::memory_order_relaxed);
   stats->repl_catchup_bytes = catchup_bytes_.load(std::memory_order_relaxed);
+  // The node's storage engine: cache traffic and maintenance health.
+  const kvstore::KvStoreStats kv = store_->kv_stats();
+  stats->kv_cache_hits = kv.cache_hits;
+  stats->kv_cache_misses = kv.cache_misses;
+  stats->kv_cache_bytes = kv.cache_bytes;
+  stats->kv_flushes = kv.flushes;
+  stats->kv_compactions = kv.compactions;
+  stats->kv_compaction_backlog = kv.compaction_backlog;
+  stats->kv_maintenance_bytes_written = kv.maintenance_bytes_written;
+  stats->kv_stall_us = kv.stall_us;
 }
 
 }  // namespace titant::replication

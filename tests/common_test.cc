@@ -45,13 +45,13 @@ TEST(StatusTest, OkDropsMessage) {
 }
 
 TEST(StatusTest, EveryCodeHasAName) {
-  for (int code = 0; code <= 13; ++code) {
+  for (int code = 0; code <= 14; ++code) {
     EXPECT_NE(StatusCodeName(static_cast<StatusCode>(code)), "Unknown");
   }
 }
 
 TEST(StatusTest, CodeNamesRoundTripThroughFromName) {
-  for (int code = 0; code <= 13; ++code) {
+  for (int code = 0; code <= 14; ++code) {
     ASSERT_TRUE(StatusCodeIsValid(code));
     StatusCode parsed = StatusCode::kOk;
     ASSERT_TRUE(StatusCodeFromName(StatusCodeName(static_cast<StatusCode>(code)), &parsed));
@@ -60,7 +60,7 @@ TEST(StatusTest, CodeNamesRoundTripThroughFromName) {
   StatusCode parsed = StatusCode::kOk;
   EXPECT_FALSE(StatusCodeFromName("NoSuchCode", &parsed));
   EXPECT_FALSE(StatusCodeIsValid(-1));
-  EXPECT_FALSE(StatusCodeIsValid(14));
+  EXPECT_FALSE(StatusCodeIsValid(15));
 }
 
 TEST(StatusTest, RetryableCodesAreTransportFailures) {

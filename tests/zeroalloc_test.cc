@@ -8,10 +8,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/alloc_hook.h"
+#include "kvstore/store.h"
 #include "common/random.h"
 #include "core/feature_extractor.h"
 #include "ml/logistic_regression.h"
@@ -198,6 +203,62 @@ TEST(ZeroAllocTest, ScoreSpanAllMissesAllocatesNothing) {
   const uint64_t leaked = allochook::ThreadAllocs() - before;
   EXPECT_EQ(leaked, 0u) << leaked
                         << " heap allocations leaked into 100 all-misses ScoreSpan calls";
+}
+
+TEST(ZeroAllocTest, CacheHitSSTableReadsAllocateNothing) {
+  // The LSM read path off disk: every memtable is flushed, so each probe
+  // resolves through a bloom check and a block-cache lookup. A cache hit
+  // is a hash find, an LRU splice, and a refcount bump — after the warm-up
+  // rounds populate the cache and size the pin arena, 100 all-hits batches
+  // must not allocate at all.
+  const std::string dir = "/tmp/titant_zeroalloc_lsm";
+  std::filesystem::remove_all(dir);
+  kvstore::StoreOptions options;
+  options.dir = dir;
+  options.column_families = {"cf"};
+  options.durable = true;
+  options.num_shards = 2;
+  options.block_cache_bytes = 4 * 1024 * 1024;
+  auto store_or = kvstore::AliHBase::Open(std::move(options));
+  ASSERT_TRUE(store_or.ok()) << store_or.status().ToString();
+  auto store = std::move(*store_or);
+
+  constexpr uint32_t kRows = 64;
+  std::vector<std::string> keys(kRows);
+  for (uint32_t i = 0; i < kRows; ++i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "r%06u", i);
+    keys[i] = buf;  // 7 chars: inside SSO, like the feature row keys.
+    ASSERT_TRUE(store->Put(keys[i], "cf", "q", std::string(64, 'v'), 1).ok());
+  }
+  ASSERT_TRUE(store->Flush().ok());
+  ASSERT_EQ(store->memtable_cells(), 0u);  // All reads come off SSTables.
+
+  std::vector<kvstore::ColumnProbeView> probes;
+  probes.reserve(kRows);
+  for (uint32_t i = 0; i < kRows; ++i) probes.push_back({keys[i], "cf", "q"});
+  kvstore::ReadPin pin;
+  std::vector<StatusOr<std::string_view>> out(
+      kRows, StatusOr<std::string_view>(std::string_view()));
+
+  for (int warm = 0; warm < 3; ++warm) {
+    pin.Reset();
+    store->MultiGetView(probes.data(), probes.size(), &pin, out.data());
+    for (const auto& r : out) {
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      ASSERT_EQ(r->size(), 64u);
+    }
+  }
+  ASSERT_GT(store->kv_stats().cache_hits, 0u);
+
+  const uint64_t before = allochook::ThreadAllocs();
+  for (int round = 0; round < 100; ++round) {
+    pin.Reset();
+    store->MultiGetView(probes.data(), probes.size(), &pin, out.data());
+  }
+  const uint64_t leaked = allochook::ThreadAllocs() - before;
+  EXPECT_EQ(leaked, 0u) << leaked
+                        << " heap allocations leaked into 100 cache-hit MultiGetView calls";
 }
 
 TEST(ZeroAllocTest, SingleRequestSteadyStateAllocatesNothing) {

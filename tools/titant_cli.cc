@@ -40,6 +40,7 @@
 //       the gateway's streaming counters when the replay finishes.
 //
 //   titant_cli kvserve <dir> [port] [--standby host:port] [--shards N]
+//              [--cache-mb N] [--maintenance]
 //       Runs one kvstore node: a durable sharded AliHBase at <dir> behind
 //       the wire protocol's store subset (kPut/kPutBatch/kReplAppend/
 //       kReplCatchup/kHealth/kStats). With --standby the node acts as a
@@ -53,7 +54,8 @@
 //
 //   titant_cli kvstats <host> <port>
 //       Prints a node's replication counters (watermark, lag, catch-up)
-//       from its kStats frame.
+//       and storage-engine counters (block-cache hit rate, flushes,
+//       compactions, backlog, write stalls) from its kStats frame.
 
 #include <algorithm>
 #include <chrono>
@@ -67,6 +69,7 @@
 
 #include "common/failpoint.h"
 #include "core/experiment.h"
+#include "kvstore/metrics.h"
 #include "replication/kv_server.h"
 #include "replication/shipper.h"
 #include "datagen/world.h"
@@ -111,7 +114,8 @@ int Usage() {
                "  titant_cli serve <profiles.csv> <records.csv> <test-date> <model.bin> [port] [instances] [net-days] [train-days]\n"
                "  titant_cli score <host> <port> <from-user> <to-user> <amount> <date> [channel] [--batch N]\n"
                "  titant_cli ingest <host> <port> <profiles.csv> <records.csv> <date> [--batch N]\n"
-               "  titant_cli kvserve <dir> [port] [--standby host:port] [--shards N]\n"
+               "  titant_cli kvserve <dir> [port] [--standby host:port] [--shards N]"
+               " [--cache-mb N] [--maintenance]\n"
                "  titant_cli kvput <host> <port> <row> <family> <qualifier> <value> [version]\n"
                "  titant_cli kvstats <host> <port>\n");
   return 2;
@@ -330,6 +334,7 @@ int CmdServe(int argc, char** argv) {
   gw_options.port = port;
   gw_options.ingestor = ingestor.get();
   titant::serving::Gateway gateway(&router, gw_options);
+  gateway.metrics().Register("kvstore", titant::kvstore::KvStatsProvider(store.get()));
   OrDie(gateway.Start());
   std::printf("gateway serving on 127.0.0.1:%u  (%d MS instances, model v%llu, streaming on)\n",
               gateway.port(), instances, static_cast<unsigned long long>(version));
@@ -530,12 +535,18 @@ int CmdIngest(int argc, char** argv) {
 int CmdKvServe(int argc, char** argv) {
   const char* standby = nullptr;
   int shards = 0;
+  int cache_mb = -1;
+  bool maintenance = false;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--standby") == 0 && i + 1 < argc) {
       standby = argv[++i];
     } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shards = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--cache-mb") == 0 && i + 1 < argc) {
+      cache_mb = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--maintenance") == 0) {
+      maintenance = true;
     } else {
       args.push_back(argv[i]);
     }
@@ -551,6 +562,10 @@ int CmdKvServe(int argc, char** argv) {
   store_options.dir = argv[2];
   store_options.durable = true;
   if (shards > 0) store_options.num_shards = shards;
+  if (cache_mb >= 0) {
+    store_options.block_cache_bytes = static_cast<std::size_t>(cache_mb) * 1024 * 1024;
+  }
+  store_options.background_maintenance = maintenance;
   auto store = OrDie(titant::kvstore::AliHBase::Open(store_options));
 
   OrDie(titant::Failpoints::ArmFromEnv());
@@ -644,6 +659,23 @@ int CmdKvStats(int argc, char** argv) {
               static_cast<unsigned long long>(stats.repl_catchup_cells));
   std::printf("repl_catchup_bytes %llu\n",
               static_cast<unsigned long long>(stats.repl_catchup_bytes));
+  const uint64_t cache_lookups = stats.kv_cache_hits + stats.kv_cache_misses;
+  const double hit_rate =
+      cache_lookups == 0 ? 0.0
+                         : 100.0 * static_cast<double>(stats.kv_cache_hits) /
+                               static_cast<double>(cache_lookups);
+  std::printf("kv_cache_hits      %llu\n", static_cast<unsigned long long>(stats.kv_cache_hits));
+  std::printf("kv_cache_misses    %llu\n",
+              static_cast<unsigned long long>(stats.kv_cache_misses));
+  std::printf("kv_cache_hit_rate  %.1f%%\n", hit_rate);
+  std::printf("kv_cache_bytes     %llu\n", static_cast<unsigned long long>(stats.kv_cache_bytes));
+  std::printf("kv_flushes         %llu\n", static_cast<unsigned long long>(stats.kv_flushes));
+  std::printf("kv_compactions     %llu\n", static_cast<unsigned long long>(stats.kv_compactions));
+  std::printf("kv_compaction_backlog %llu\n",
+              static_cast<unsigned long long>(stats.kv_compaction_backlog));
+  std::printf("kv_maint_bytes     %llu\n",
+              static_cast<unsigned long long>(stats.kv_maintenance_bytes_written));
+  std::printf("kv_stall_us        %llu\n", static_cast<unsigned long long>(stats.kv_stall_us));
   return 0;
 }
 
