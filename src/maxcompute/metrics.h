@@ -13,6 +13,7 @@ namespace titant::maxcompute {
 inline void FillSqlStats(const MaxComputeSqlStats& s, net::GatewayStats* out) {
   out->mc_queries_executed = s.queries_executed;
   out->mc_plan_cache_hits = s.plan_cache_hits;
+  out->mc_plan_evictions = s.plan_cache_evictions;
   out->mc_parse_failures = s.parse_failures;
   out->mc_rows_scanned = s.rows_scanned;
   out->mc_batches_scanned = s.batches_scanned;

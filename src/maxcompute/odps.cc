@@ -1,5 +1,6 @@
 #include "maxcompute/odps.h"
 
+#include <algorithm>
 #include <atomic>
 
 #include "common/logging.h"
@@ -39,7 +40,11 @@ StatusOr<std::shared_ptr<const Query>> MaxCompute::ParseCached(const std::string
     auto it = plan_cache_.find(query);
     if (it != plan_cache_.end()) {
       ++sql_stats_.plan_cache_hits;
-      return it->second;
+      // LRU touch: a hit moves to the back so a repeating workload's hot
+      // parses are never the eviction victim (FIFO evicted the hottest
+      // entry precisely because it was inserted first).
+      plan_cache_lru_.splice(plan_cache_lru_.end(), plan_cache_lru_, it->second.second);
+      return it->second.first;
     }
   }
   auto parsed = ParseSql(query);
@@ -50,13 +55,19 @@ StatusOr<std::shared_ptr<const Query>> MaxCompute::ParseCached(const std::string
   }
   auto shared = std::make_shared<const Query>(std::move(parsed).value());
   std::lock_guard<std::mutex> lock(mu_);
-  if (plan_cache_.size() >= options_.plan_cache_capacity && !plan_cache_order_.empty()) {
-    plan_cache_.erase(plan_cache_order_.front());
-    plan_cache_order_.erase(plan_cache_order_.begin());
+  auto it = plan_cache_.find(query);
+  if (it != plan_cache_.end()) {
+    // Raced with another parser of the same text; keep the incumbent.
+    return it->second.first;
   }
-  auto [it, inserted] = plan_cache_.emplace(query, shared);
-  if (inserted) plan_cache_order_.push_back(query);
-  return it->second;
+  if (plan_cache_.size() >= options_.plan_cache_capacity && !plan_cache_lru_.empty()) {
+    plan_cache_.erase(plan_cache_lru_.front());
+    plan_cache_lru_.pop_front();
+    ++sql_stats_.plan_cache_evictions;
+  }
+  plan_cache_lru_.push_back(query);
+  plan_cache_.emplace(query, PlanCacheEntry{shared, std::prev(plan_cache_lru_.end())});
+  return shared;
 }
 
 Status MaxCompute::CreateTable(const std::string& name, Table table) {
@@ -73,7 +84,15 @@ StatusOr<const Table*> MaxCompute::GetTable(const std::string& name) {
     auto it = cache_.find(name);
     if (it != cache_.end()) return it->second.get();
   }
-  TITANT_ASSIGN_OR_RETURN(Table table, pangu_->GetTable(TableBlobName(name)));
+  uint32_t format_version = 0;
+  TITANT_ASSIGN_OR_RETURN(Table table,
+                          pangu_->GetTable(TableBlobName(name), &format_version));
+  if (format_version < 2) {
+    // Upgrade on rewrite: a legacy row-major blob is rewritten in the
+    // columnar v2 format the first time it is read, so old stores
+    // converge without a migration pass (the SSTable-v2 precedent).
+    TITANT_RETURN_IF_ERROR(pangu_->PutTable(TableBlobName(name), table));
+  }
   std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = cache_.emplace(name, std::make_unique<Table>(std::move(table)));
   return it->second.get();
@@ -168,15 +187,21 @@ StatusOr<std::string> MaxCompute::SubmitMapReduceJob(const std::string& input_ta
   const std::size_t shard_rows = options_.rows_per_subtask;
   const std::size_t num_shards = n == 0 ? 1 : (n + shard_rows - 1) / shard_rows;
 
-  // Map phase: one subtask per shard, each with its own emit buffer.
-  std::vector<std::map<std::string, std::vector<Row>>> shard_outputs(num_shards);
+  // Map phase: one subtask per shard, each with its own emit buffer. The
+  // buffers are hash maps — the hot emit path pays one hash probe, not a
+  // red-black rebalance; ordering is restored once, at the drain below.
+  // Mapper input rows are materialized through a per-shard row cursor
+  // (one reused Row) off the columnar table.
+  std::vector<std::unordered_map<std::string, std::vector<Row>>> shard_outputs(num_shards);
   for (std::size_t shard = 0; shard < num_shards; ++shard) {
     fuxi_->Submit(/*priority=*/1, [&, shard] {
       const std::size_t begin = shard * shard_rows;
       const std::size_t end = std::min(n, begin + shard_rows);
       auto& local = shard_outputs[shard];
+      Row cursor;
       for (std::size_t r = begin; r < end; ++r) {
-        mapper(input->row(r), [&local](std::string key, Row value) {
+        input->MaterializeRowInto(r, &cursor);
+        mapper(cursor, [&local](std::string key, Row value) {
           local[std::move(key)].push_back(std::move(value));
         });
       }
@@ -184,8 +209,9 @@ StatusOr<std::string> MaxCompute::SubmitMapReduceJob(const std::string& input_ta
   }
   fuxi_->Wait();
 
-  // Shuffle: merge shard outputs by key.
-  std::map<std::string, std::vector<Row>> merged;
+  // Shuffle: merge shard outputs by key (hash-merged, shard order keeps
+  // row order deterministic within a key).
+  std::unordered_map<std::string, std::vector<Row>> merged;
   for (auto& shard : shard_outputs) {
     for (auto& [key, rows] : shard) {
       auto& sink = merged[key];
@@ -193,10 +219,13 @@ StatusOr<std::string> MaxCompute::SubmitMapReduceJob(const std::string& input_ta
     }
   }
 
-  // Reduce phase: partition keys across subtasks.
+  // Sorted-key drain: reducers still see keys in lexicographic order, the
+  // same deterministic order the std::map shuffle produced.
   std::vector<const std::string*> keys;
   keys.reserve(merged.size());
   for (const auto& [key, rows] : merged) keys.push_back(&key);
+  std::sort(keys.begin(), keys.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
   const std::size_t reducers =
       std::min<std::size_t>(static_cast<std::size_t>(options_.fuxi_slots),
                             std::max<std::size_t>(1, keys.size()));

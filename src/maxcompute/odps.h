@@ -2,10 +2,13 @@
 #define TITANT_MAXCOMPUTE_ODPS_H_
 
 #include <functional>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/statusor.h"
@@ -42,6 +45,7 @@ struct MaxComputeOptions {
 struct MaxComputeSqlStats {
   uint64_t queries_executed = 0;  // Successfully executed SQL jobs.
   uint64_t plan_cache_hits = 0;   // Jobs that reused a cached parse.
+  uint64_t plan_cache_evictions = 0;  // Parses dropped by LRU pressure.
   uint64_t parse_failures = 0;    // Jobs rejected by the lexer/parser.
   uint64_t rows_scanned = 0;      // Source rows fed through the executor.
   uint64_t batches_scanned = 0;   // Column batches evaluated.
@@ -110,8 +114,13 @@ class MaxCompute {
   OpenTableService ots_;
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Table>> cache_;
-  std::map<std::string, std::shared_ptr<const Query>> plan_cache_;
-  std::vector<std::string> plan_cache_order_;  // FIFO eviction order.
+  // LRU plan cache: a hit splices its entry to the back of the recency
+  // list, so a repeating workload keeps its hot parses; eviction drops
+  // the front (least recently used).
+  using PlanCacheEntry =
+      std::pair<std::shared_ptr<const Query>, std::list<std::string>::iterator>;
+  std::unordered_map<std::string, PlanCacheEntry> plan_cache_;
+  std::list<std::string> plan_cache_lru_;  // Front = coldest, back = hottest.
   MaxComputeSqlStats sql_stats_;
 };
 

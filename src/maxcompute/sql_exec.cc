@@ -107,43 +107,96 @@ Value ScalarBinary(SqlOp op, const Value& lhs, const Value& rhs) {
 // the current batch in the narrowest lossless lane; heterogeneous
 // columns fall back to the generic Value lane so dynamic typing stays
 // exact. The null mask is maintained for every lane.
+//
+// The lane members are raw views: after Reset() they point into the
+// VVec's own storage (writable), after Borrow() they alias a columnar
+// Table's lane and null mask zero-copy (read-only by discipline — the
+// const_cast exists only so kernels share one access path; nothing may
+// write through a borrowed view, and CompactVVec materializes borrowed
+// data into owned storage before compacting in place).
 // ---------------------------------------------------------------------------
 
 struct VVec {
   enum class Lane : uint8_t { kInt, kDouble, kBool, kStr, kVal };
   Lane lane = Lane::kInt;
-  std::vector<int64_t> i64;
-  std::vector<double> f64;
-  std::vector<uint8_t> b8;
-  std::vector<const std::string*> str;  // Borrowed from table cells/plan literals.
-  std::vector<Value> val;
-  std::vector<uint8_t> null;  // 1 = NULL; sized n for every lane.
+  int64_t* i64 = nullptr;
+  double* f64 = nullptr;
+  uint8_t* b8 = nullptr;
+  const std::string** str = nullptr;  // Pointers into table cells/plan literals.
+  Value* val = nullptr;
+  uint8_t* null = nullptr;  // 1 = NULL; sized n for every lane.
   std::size_t n = 0;
   // Summary hint for the kernels' null-free fast paths. May be true with
-  // no nulls present (over-approximation is harmless) but must never be
+  // no nulls present (over-approximation is harmless; a borrowed column
+  // carries its table column's whole-column flag) but must never be
   // false when null[] has a set bit.
   bool any_null = false;
+  bool borrowed = false;
+
+  std::vector<int64_t> i64_store;
+  std::vector<double> f64_store;
+  std::vector<uint8_t> b8_store;
+  std::vector<const std::string*> str_store;
+  std::vector<Value> val_store;
+  std::vector<uint8_t> null_store;
 
   void Reset(Lane l, std::size_t count) {
     lane = l;
     n = count;
     any_null = false;
-    null.assign(count, 0);
+    borrowed = false;
+    null_store.assign(count, 0);
+    null = null_store.data();
     switch (l) {
       case Lane::kInt:
-        i64.resize(count);
+        i64_store.resize(count);
+        i64 = i64_store.data();
         break;
       case Lane::kDouble:
-        f64.resize(count);
+        f64_store.resize(count);
+        f64 = f64_store.data();
         break;
       case Lane::kBool:
-        b8.resize(count);
+        b8_store.resize(count);
+        b8 = b8_store.data();
         break;
       case Lane::kStr:
-        str.assign(count, nullptr);
+        str_store.assign(count, nullptr);
+        str = str_store.data();
         break;
       case Lane::kVal:
-        val.resize(count);
+        val_store.resize(count);
+        val = val_store.data();
+        break;
+    }
+  }
+
+  // Aliases rows [offset, offset+count) of a typed/mixed table column.
+  // Caller guarantees the column's lane is not kEmpty or kStr.
+  void Borrow(const Table::ColumnData& cd, std::size_t offset, std::size_t count) {
+    n = count;
+    borrowed = true;
+    any_null = cd.any_null;
+    null = const_cast<uint8_t*>(cd.nulls.data()) + offset;
+    switch (cd.lane) {
+      case Table::Lane::kI64:
+        lane = Lane::kInt;
+        i64 = const_cast<int64_t*>(cd.i64.data()) + offset;
+        break;
+      case Table::Lane::kF64:
+        lane = Lane::kDouble;
+        f64 = const_cast<double*>(cd.f64.data()) + offset;
+        break;
+      case Table::Lane::kBool:
+        lane = Lane::kBool;
+        b8 = const_cast<uint8_t*>(cd.b8.data()) + offset;
+        break;
+      case Table::Lane::kMixed:
+        lane = Lane::kVal;
+        val = const_cast<Value*>(cd.mixed.data()) + offset;
+        break;
+      case Table::Lane::kEmpty:
+      case Table::Lane::kStr:
         break;
     }
   }
@@ -263,113 +316,112 @@ struct RowSource {
 
   std::size_t num_rows() const { return pairs ? pairs->size() : base->num_rows(); }
 
-  const Value& Cell(std::size_t r, int col) const {
+  // Which table column backs plan column `col`, and whether the join's
+  // right-side row index applies to it.
+  struct ColRef {
+    const Table::ColumnData* cd;
+    bool right_side;
+  };
+  ColRef Resolve(int col) const {
     const auto c = static_cast<std::size_t>(col);
-    if (pairs == nullptr) return base->row(r)[c];
-    const auto& pr = (*pairs)[r];
-    if (c < left_width) return base->row(pr.first)[c];
-    return right->row(pr.second)[c - left_width];
+    if (pairs == nullptr || c < left_width) return {&base->column_data(c), false};
+    return {&right->column_data(c - left_width), true};
+  }
+  std::size_t MapRow(uint32_t id, bool right_side) const {
+    if (pairs == nullptr) return id;
+    const auto& pr = (*pairs)[id];
+    return right_side ? pr.second : pr.first;
+  }
+
+  Value Cell(std::size_t r, int col) const {
+    const ColRef ref = Resolve(col);
+    return ref.cd->ValueAt(MapRow(static_cast<uint32_t>(r), ref.right_side));
   }
 
   Row MaterializeRow(std::size_t r) const {
-    if (pairs == nullptr) return base->row(r);
+    if (pairs == nullptr) return base->MaterializeRow(r);
     const auto& pr = (*pairs)[r];
-    Row out = base->row(pr.first);
-    const Row& rrow = right->row(pr.second);
-    out.insert(out.end(), rrow.begin(), rrow.end());
+    Row out = base->MaterializeRow(pr.first);
+    Row rrow = right->MaterializeRow(pr.second);
+    out.insert(out.end(), std::make_move_iterator(rrow.begin()),
+               std::make_move_iterator(rrow.end()));
     return out;
   }
 };
 
-// Mixed-type fallback: the generic lane keeps every cell's Value
-// verbatim so dynamic typing stays exact.
-void GatherGeneric(const RowSource& src, int col, const uint32_t* ids, std::size_t n,
-                   VVec* out) {
-  out->Reset(Lane::kVal, n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const Value& v = src.Cell(ids[i], col);
-    out->val[i] = v;
-    if (v.is_null()) {
-      out->null[i] = 1;
-      out->any_null = true;
-    }
-  }
-}
-
-// Loads one column for the batch in a single optimistic pass: the first
-// non-null cell picks a typed lane, and any later type mismatch
-// restarts into the generic lane. A typed lane is only kept when every
-// non-null cell matches it, so projecting the column back out returns
-// the original Values bit-for-bit.
+// Loads one column for the batch. The table column's lane is
+// authoritative (columnar storage keeps heterogeneous columns in the
+// mixed lane), so the gather is one tight typed loop — and when the id
+// list is contiguous over a non-join source, the column slice is
+// borrowed zero-copy instead of copied.
 void GatherColumn(const RowSource& src, int col, const uint32_t* ids, std::size_t n,
                   VVec* out) {
-  ValueType t = ValueType::kNull;
-  for (std::size_t i = 0; i < n && t == ValueType::kNull; ++i) {
-    t = src.Cell(ids[i], col).type();
+  const RowSource::ColRef ref = src.Resolve(col);
+  const Table::ColumnData& cd = *ref.cd;
+  const bool direct = src.pairs == nullptr;
+  if (direct && n > 0 && cd.lane != Table::Lane::kEmpty && cd.lane != Table::Lane::kStr &&
+      static_cast<std::size_t>(ids[n - 1] - ids[0]) + 1 == n) {
+    out->Borrow(cd, ids[0], n);
+    return;
   }
-  switch (t) {
-    case ValueType::kNull:  // Empty batch or all-null column.
+  switch (cd.lane) {
+    case Table::Lane::kEmpty:  // Every row is NULL.
       out->Reset(Lane::kInt, n);
-      std::fill(out->null.begin(), out->null.end(), static_cast<uint8_t>(1));
+      std::fill(out->null, out->null + n, static_cast<uint8_t>(1));
       out->any_null = n > 0;
       return;
-    case ValueType::kInt:
+    case Table::Lane::kI64:
       out->Reset(Lane::kInt, n);
       for (std::size_t i = 0; i < n; ++i) {
-        const Value& v = src.Cell(ids[i], col);
-        if (const int64_t* p = v.int_or_null()) {
-          out->i64[i] = *p;
-        } else if (v.is_null()) {
+        const std::size_t r = src.MapRow(ids[i], ref.right_side);
+        out->i64[i] = cd.i64[r];
+        if (cd.any_null && cd.nulls[r]) {
           out->null[i] = 1;
           out->any_null = true;
-        } else {
-          GatherGeneric(src, col, ids, n, out);
-          return;
         }
       }
       return;
-    case ValueType::kDouble:
+    case Table::Lane::kF64:
       out->Reset(Lane::kDouble, n);
       for (std::size_t i = 0; i < n; ++i) {
-        const Value& v = src.Cell(ids[i], col);
-        if (const double* p = v.double_or_null()) {
-          out->f64[i] = *p;
-        } else if (v.is_null()) {
+        const std::size_t r = src.MapRow(ids[i], ref.right_side);
+        out->f64[i] = cd.f64[r];
+        if (cd.any_null && cd.nulls[r]) {
           out->null[i] = 1;
           out->any_null = true;
-        } else {
-          GatherGeneric(src, col, ids, n, out);
-          return;
         }
       }
       return;
-    case ValueType::kBool:
+    case Table::Lane::kBool:
       out->Reset(Lane::kBool, n);
       for (std::size_t i = 0; i < n; ++i) {
-        const Value& v = src.Cell(ids[i], col);
-        if (const bool* p = v.bool_or_null()) {
-          out->b8[i] = *p ? 1 : 0;
-        } else if (v.is_null()) {
+        const std::size_t r = src.MapRow(ids[i], ref.right_side);
+        out->b8[i] = cd.b8[r];
+        if (cd.any_null && cd.nulls[r]) {
           out->null[i] = 1;
           out->any_null = true;
-        } else {
-          GatherGeneric(src, col, ids, n, out);
-          return;
         }
       }
       return;
-    case ValueType::kString:
+    case Table::Lane::kStr:
       out->Reset(Lane::kStr, n);
       for (std::size_t i = 0; i < n; ++i) {
-        const Value& v = src.Cell(ids[i], col);
-        if (const std::string* s = v.string_or_null()) {
-          out->str[i] = s;
-        } else if (v.is_null()) {
+        const std::size_t r = src.MapRow(ids[i], ref.right_side);
+        out->str[i] = &cd.str[r];
+        if (cd.any_null && cd.nulls[r]) {
           out->null[i] = 1;
           out->any_null = true;
-        } else {
-          GatherGeneric(src, col, ids, n, out);
-          return;
+        }
+      }
+      return;
+    case Table::Lane::kMixed:
+      out->Reset(Lane::kVal, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t r = src.MapRow(ids[i], ref.right_side);
+        out->val[i] = cd.mixed[r];
+        if (cd.nulls[r]) {
+          out->null[i] = 1;
+          out->any_null = true;
         }
       }
       return;
@@ -380,26 +432,23 @@ void BroadcastLiteral(const Value& literal, std::size_t n, VVec* out) {
   switch (literal.type()) {
     case ValueType::kInt:
       out->Reset(Lane::kInt, n);
-      std::fill(out->i64.begin(), out->i64.begin() + static_cast<long>(n), literal.AsInt());
+      std::fill(out->i64, out->i64 + n, literal.AsInt());
       return;
     case ValueType::kDouble:
       out->Reset(Lane::kDouble, n);
-      std::fill(out->f64.begin(), out->f64.begin() + static_cast<long>(n),
-                literal.AsDouble());
+      std::fill(out->f64, out->f64 + n, literal.AsDouble());
       return;
     case ValueType::kBool:
       out->Reset(Lane::kBool, n);
-      std::fill(out->b8.begin(), out->b8.begin() + static_cast<long>(n),
-                literal.AsBool() ? 1 : 0);
+      std::fill(out->b8, out->b8 + n, static_cast<uint8_t>(literal.AsBool() ? 1 : 0));
       return;
     case ValueType::kString:
       out->Reset(Lane::kStr, n);
-      std::fill(out->str.begin(), out->str.begin() + static_cast<long>(n),
-                literal.string_or_null());
+      std::fill(out->str, out->str + n, literal.string_or_null());
       return;
     case ValueType::kNull:
       out->Reset(Lane::kInt, n);
-      std::fill(out->null.begin(), out->null.end(), 1);
+      std::fill(out->null, out->null + n, static_cast<uint8_t>(1));
       out->any_null = n > 0;
       return;
   }
@@ -788,9 +837,57 @@ struct ColumnCache {
 
 // In-place selection of a gathered column: keeps the slots at `pos`
 // (strictly increasing), so the vector stays aligned with a compacted
-// id list. `any_null` is left set — over-approximation is allowed.
+// id list. `any_null` is left set — over-approximation is allowed. A
+// borrowed view is never written through: it materializes the selected
+// slots into owned storage instead (gather-while-compacting).
 void CompactVVec(VVec* v, const std::vector<uint32_t>& pos) {
   const std::size_t m = pos.size();
+  if (v->borrowed) {
+    const uint8_t* src_null = v->null;
+    v->null_store.resize(m);
+    switch (v->lane) {
+      case Lane::kInt: {
+        const int64_t* s = v->i64;
+        v->i64_store.resize(m);
+        for (std::size_t k = 0; k < m; ++k) v->i64_store[k] = s[pos[k]];
+        v->i64 = v->i64_store.data();
+        break;
+      }
+      case Lane::kDouble: {
+        const double* s = v->f64;
+        v->f64_store.resize(m);
+        for (std::size_t k = 0; k < m; ++k) v->f64_store[k] = s[pos[k]];
+        v->f64 = v->f64_store.data();
+        break;
+      }
+      case Lane::kBool: {
+        const uint8_t* s = v->b8;
+        v->b8_store.resize(m);
+        for (std::size_t k = 0; k < m; ++k) v->b8_store[k] = s[pos[k]];
+        v->b8 = v->b8_store.data();
+        break;
+      }
+      case Lane::kStr: {
+        const std::string* const* s = v->str;
+        v->str_store.resize(m);
+        for (std::size_t k = 0; k < m; ++k) v->str_store[k] = s[pos[k]];
+        v->str = v->str_store.data();
+        break;
+      }
+      case Lane::kVal: {
+        const Value* s = v->val;
+        v->val_store.resize(m);
+        for (std::size_t k = 0; k < m; ++k) v->val_store[k] = s[pos[k]];
+        v->val = v->val_store.data();
+        break;
+      }
+    }
+    for (std::size_t k = 0; k < m; ++k) v->null_store[k] = src_null[pos[k]];
+    v->null = v->null_store.data();
+    v->borrowed = false;
+    v->n = m;
+    return;
+  }
   switch (v->lane) {
     case Lane::kInt:
       for (std::size_t k = 0; k < m; ++k) v->i64[k] = v->i64[pos[k]];
@@ -914,6 +1011,47 @@ Value EvalScalarProgram(const ExprProgram& p, const Row& row,
         break;
       case SqlOp::kAggRef:
         out = (*agg_results)[static_cast<std::size_t>(node.agg)];
+        break;
+      case SqlOp::kNeg:
+        out = ScalarNeg((*slots)[node.lhs]);
+        break;
+      case SqlOp::kNot:
+        out = ScalarNot((*slots)[node.lhs]);
+        break;
+      case SqlOp::kAbs:
+      case SqlOp::kRound:
+      case SqlOp::kFloor:
+      case SqlOp::kLog:
+      case SqlOp::kLog1p:
+        out = ScalarFunc(node.op, (*slots)[node.lhs]);
+        break;
+      default:
+        out = ScalarBinary(node.op, (*slots)[node.lhs], (*slots)[node.rhs]);
+        break;
+    }
+  }
+  return (*slots)[p.root()];
+}
+
+// Row-at-a-time evaluation reading cells straight off the source (the
+// scalar interpreter's hot path): each kColumn node boxes exactly one
+// Value per row, the same copy the old row-major storage handed out, so
+// the oracle's cost profile is unchanged by the columnar layout.
+Value EvalScalarCell(const ExprProgram& p, const RowSource& src, std::size_t r,
+                     std::vector<Value>* slots) {
+  slots->resize(p.nodes.size());
+  for (std::size_t k = 0; k < p.nodes.size(); ++k) {
+    const BoundExpr& node = p.nodes[k];
+    Value& out = (*slots)[k];
+    switch (node.op) {
+      case SqlOp::kLiteral:
+        out = node.literal;
+        break;
+      case SqlOp::kColumn:
+        out = src.Cell(r, node.column);
+        break;
+      case SqlOp::kAggRef:
+        out = Value::Null();  // Unreachable in scan-phase programs.
         break;
       case SqlOp::kNeg:
         out = ScalarNeg((*slots)[node.lhs]);
@@ -1121,9 +1259,35 @@ class TopNHeap {
 // Partition scan
 // ---------------------------------------------------------------------------
 
+// Appends the first `take` slots of a batch vector onto a result column
+// (one lane dispatch per column per batch instead of one Value box per
+// cell). ColumnData handles lane adoption/promotion if a computed
+// expression changes type across batches.
+void AppendVVecToColumn(const VVec& v, std::size_t take, Table::ColumnData* col) {
+  const uint8_t* mask = v.any_null ? v.null : nullptr;
+  switch (v.lane) {
+    case Lane::kInt:
+      col->AppendI64(v.i64, mask, take);
+      return;
+    case Lane::kDouble:
+      col->AppendF64(v.f64, mask, take);
+      return;
+    case Lane::kBool:
+      col->AppendBool(v.b8, mask, take);
+      return;
+    case Lane::kStr:
+      col->AppendStrings(v.str, mask, take);
+      return;
+    case Lane::kVal:
+      col->AppendValues(v.val, mask, take);
+      return;
+  }
+}
+
 struct PartitionOutput {
   // Non-aggregate collectors (exactly one in use per query shape):
-  std::vector<Row> rows;                  // No ORDER BY.
+  std::vector<Table::ColumnData> cols;    // No ORDER BY: lane-wise result columns.
+  std::size_t col_rows = 0;               // Row count across `cols`.
   std::vector<OrderedRow> ordered;        // ORDER BY without LIMIT.
   std::optional<TopNHeap> topn;           // ORDER BY + LIMIT.
   // Aggregate collector:
@@ -1153,6 +1317,7 @@ void ScanPartition(const SqlPlan& plan, const RowSource& src, std::size_t begin,
   ColumnCache cache;
   cache.cols.resize(plan.width);
   cache.gen.assign(plan.width, 0);
+  VVec star_scratch;  // SELECT * output gather, reused across batches.
   std::string keybuf;
 
   // Columns referenced by the WHERE clause vs by the later batch-
@@ -1184,7 +1349,9 @@ void ScanPartition(const SqlPlan& plan, const RowSource& src, std::size_t begin,
     if (plan.limit >= 0) {
       expect = std::min(expect, static_cast<std::size_t>(plan.limit));
     }
-    out->rows.reserve(expect);
+    out->cols.resize(plan.select_star ? static_cast<std::size_t>(plan.width)
+                                      : plan.select.size());
+    for (auto& col : out->cols) col.Reserve(expect);
   }
   std::vector<uint32_t> poss;  // Surviving batch positions after WHERE.
 
@@ -1291,56 +1458,27 @@ void ScanPartition(const SqlPlan& plan, const RowSource& src, std::size_t begin,
     }
 
     if (!ordered) {
-      // Unordered output: materialize column-at-a-time (one lane dispatch
-      // per column instead of per cell). Scan-order LIMIT caps the batch
-      // up front — nothing past row `limit` can matter.
+      // Unordered output: fill the result lanes directly — one column
+      // append per select expression per batch, no per-row Row boxing.
+      // Scan-order LIMIT caps the batch up front — nothing past row
+      // `limit` can matter.
       std::size_t take = n;
       if (plan.limit >= 0) {
-        const auto remaining = static_cast<std::size_t>(plan.limit) - out->rows.size();
+        const auto remaining = static_cast<std::size_t>(plan.limit) - out->col_rows;
         take = std::min(take, remaining);
       }
-      const std::size_t base = out->rows.size();
-      out->rows.resize(base + take);
       if (plan.select_star) {
-        for (std::size_t i = 0; i < take; ++i) {
-          out->rows[base + i] = src.MaterializeRow(ids[i]);
+        for (std::size_t c = 0; c < out->cols.size(); ++c) {
+          GatherColumn(src, static_cast<int>(c), ids.data(), take, &star_scratch);
+          AppendVVecToColumn(star_scratch, take, &out->cols[c]);
         }
       } else {
-        for (std::size_t i = 0; i < take; ++i) {
-          out->rows[base + i].resize(plan.select.size());  // Slots default to NULL.
-        }
         for (std::size_t s = 0; s < plan.select.size(); ++s) {
-          const VVec& v = *select_vecs[s];
-          switch (v.lane) {
-            case Lane::kInt:
-              for (std::size_t i = 0; i < take; ++i) {
-                if (!v.null[i]) out->rows[base + i][s] = Value(v.i64[i]);
-              }
-              break;
-            case Lane::kDouble:
-              for (std::size_t i = 0; i < take; ++i) {
-                if (!v.null[i]) out->rows[base + i][s] = Value(v.f64[i]);
-              }
-              break;
-            case Lane::kBool:
-              for (std::size_t i = 0; i < take; ++i) {
-                if (!v.null[i]) out->rows[base + i][s] = Value(v.b8[i] != 0);
-              }
-              break;
-            case Lane::kStr:
-              for (std::size_t i = 0; i < take; ++i) {
-                if (!v.null[i]) out->rows[base + i][s] = Value(*v.str[i]);
-              }
-              break;
-            case Lane::kVal:
-              for (std::size_t i = 0; i < take; ++i) {
-                if (!v.null[i]) out->rows[base + i][s] = v.val[i];
-              }
-              break;
-          }
+          AppendVVecToColumn(*select_vecs[s], take, &out->cols[s]);
         }
       }
-      if (plan.limit >= 0 && out->rows.size() >= static_cast<std::size_t>(plan.limit)) {
+      out->col_rows += take;
+      if (plan.limit >= 0 && out->col_rows >= static_cast<std::size_t>(plan.limit)) {
         return;
       }
       continue;
@@ -1386,9 +1524,13 @@ void ScanPartitionScalar(const SqlPlan& plan, const RowSource& src, std::size_t 
     out->topn.emplace(static_cast<std::size_t>(plan.limit), RowOrder{&plan.order_desc});
   }
 
+  if (!agg && !ordered) {
+    out->cols.resize(plan.select_star ? static_cast<std::size_t>(plan.width)
+                                      : plan.select.size());
+  }
+
   std::vector<Value> slots;
   std::string keybuf;
-  Row scratch_row;
   const auto key_append = [&keybuf](const Value& v) {
     keybuf.append(v.is_null() ? "NULL" : v.AsString());
     keybuf.push_back('\x1f');
@@ -1397,64 +1539,63 @@ void ScanPartitionScalar(const SqlPlan& plan, const RowSource& src, std::size_t 
   for (std::size_t r = begin; r < end; ++r) {
     out->stats.batches++;
     out->stats.rows_scanned++;
-    const Row* rowp;
-    if (src.pairs == nullptr) {
-      rowp = &src.base->row(r);
-    } else {
-      scratch_row = src.MaterializeRow(r);
-      rowp = &scratch_row;
-    }
-    const Row& row = *rowp;
 
     if (!plan.where.empty() &&
-        !EvalScalarProgram(plan.where, row, nullptr, &slots).AsBool()) {
+        !EvalScalarCell(plan.where, src, r, &slots).AsBool()) {
       continue;
     }
 
     if (agg) {
       keybuf.clear();
       for (const auto& g : plan.group_by) {
-        key_append(EvalScalarProgram(g, row, nullptr, &slots));
+        key_append(EvalScalarCell(g, src, r, &slots));
       }
       auto [it, inserted] = out->groups.try_emplace(keybuf);
       GroupState& gs = it->second;
       if (inserted) {
-        gs.representative = row;
+        gs.representative = src.MaterializeRow(r);
         gs.states.resize(plan.aggregates.size());
       }
       for (std::size_t a = 0; a < plan.aggregates.size(); ++a) {
         if (plan.aggregates[a].star) {
           ++gs.states[a].count;
         } else {
-          gs.states[a].Add(EvalScalarProgram(plan.aggregates[a].arg, row, nullptr, &slots));
+          gs.states[a].Add(EvalScalarCell(plan.aggregates[a].arg, src, r, &slots));
         }
       }
       continue;
     }
 
-    if (!ordered && plan.limit >= 0 &&
-        out->rows.size() >= static_cast<std::size_t>(plan.limit)) {
-      return;
-    }
-    Row selected;
-    if (plan.select_star) {
-      selected = row;
-    } else {
-      selected.reserve(plan.select.size());
-      for (const auto& s : plan.select) {
-        selected.push_back(EvalScalarProgram(s, row, nullptr, &slots));
-      }
-    }
     if (!ordered) {
-      out->rows.push_back(std::move(selected));
+      if (plan.limit >= 0 && out->col_rows >= static_cast<std::size_t>(plan.limit)) {
+        return;
+      }
+      // Row-at-a-time cell appends into the shared columnar collector.
+      if (plan.select_star) {
+        for (std::size_t c = 0; c < out->cols.size(); ++c) {
+          out->cols[c].Append(src.Cell(r, static_cast<int>(c)));
+        }
+      } else {
+        for (std::size_t s = 0; s < plan.select.size(); ++s) {
+          out->cols[s].Append(EvalScalarCell(plan.select[s], src, r, &slots));
+        }
+      }
+      ++out->col_rows;
       continue;
     }
     OrderedRow orow;
-    orow.row = std::move(selected);
+    if (plan.select_star) {
+      orow.row = src.MaterializeRow(r);
+    } else {
+      orow.row.reserve(plan.select.size());
+      for (const auto& s : plan.select) {
+        orow.row.push_back(EvalScalarCell(s, src, r, &slots));
+      }
+    }
     orow.seq = r;
     orow.keys.reserve(plan.order.size());
     for (const auto& o : plan.order) {
-      orow.keys.push_back(EvalScalarProgram(o, row, nullptr, &slots));
+      orow.keys.push_back(EvalScalarCell(o, src, r, &slots));
     }
     if (top_n) {
       out->topn->Offer(std::move(orow));
@@ -1606,10 +1747,14 @@ StatusOr<Table> ExecutePlan(const SqlPlan& plan, const SqlExecOptions& options,
                             std::make_move_iterator(part.ordered.begin()),
                             std::make_move_iterator(part.ordered.end()));
     } else {
-      merged.rows.insert(merged.rows.end(), std::make_move_iterator(part.rows.begin()),
-                         std::make_move_iterator(part.rows.end()));
-      if (plan.limit >= 0 && merged.rows.size() > static_cast<std::size_t>(plan.limit)) {
-        merged.rows.resize(static_cast<std::size_t>(plan.limit));
+      // Column-level splice: lane-matched ranges copy flat, no re-boxing.
+      for (std::size_t c = 0; c < merged.cols.size(); ++c) {
+        merged.cols[c].AppendRange(part.cols[c], 0, part.cols[c].size());
+      }
+      merged.col_rows += part.col_rows;
+      if (plan.limit >= 0 && merged.col_rows > static_cast<std::size_t>(plan.limit)) {
+        for (auto& col : merged.cols) col.Truncate(static_cast<std::size_t>(plan.limit));
+        merged.col_rows = static_cast<std::size_t>(plan.limit);
         break;
       }
     }
@@ -1617,8 +1762,13 @@ StatusOr<Table> ExecutePlan(const SqlPlan& plan, const SqlExecOptions& options,
   local_stats.rows_scanned += merged.stats.rows_scanned;
   local_stats.batches += merged.stats.batches;
 
-  // Finalize into result rows.
+  // Finalize. The agg / ordered / top-N shapes box their (small) outputs
+  // into rows for sorting and group emission, then convert to columns;
+  // the unordered select shape is columnar end to end.
+  std::vector<Table::ColumnData> result_cols;
+  std::size_t out_rows = 0;
   std::vector<Row> result_rows;
+  bool boxed = true;
   if (plan.has_aggregate) {
     if (merged.groups.empty() && plan.group_by.empty()) {
       // COUNT(*) over an empty (or fully filtered) input is 0, not no-rows.
@@ -1676,28 +1826,40 @@ StatusOr<Table> ExecutePlan(const SqlPlan& plan, const SqlExecOptions& options,
     result_rows.reserve(merged.ordered.size());
     for (OrderedRow& r : merged.ordered) result_rows.push_back(std::move(r.row));
   } else {
-    result_rows = std::move(merged.rows);
-    if (plan.limit >= 0 && result_rows.size() > static_cast<std::size_t>(plan.limit)) {
-      result_rows.resize(static_cast<std::size_t>(plan.limit));
+    boxed = false;
+    result_cols = std::move(merged.cols);
+    out_rows = merged.col_rows;
+    if (plan.limit >= 0 && out_rows > static_cast<std::size_t>(plan.limit)) {
+      for (auto& col : result_cols) col.Truncate(static_cast<std::size_t>(plan.limit));
+      out_rows = static_cast<std::size_t>(plan.limit);
+    }
+  }
+  if (boxed) {
+    out_rows = result_rows.size();
+    result_cols.resize(plan.out_columns.size());
+    for (auto& col : result_cols) col.Reserve(out_rows);
+    for (auto& row : result_rows) {
+      for (std::size_t c = 0; c < result_cols.size(); ++c) {
+        result_cols[c].Append(std::move(row[c]));
+      }
     }
   }
 
   // Deduce still-untyped column types from the first result row.
   std::vector<Column> columns = plan.out_columns;
   for (std::size_t c = 0; c < columns.size(); ++c) {
-    if (columns[c].type == ValueType::kNull && !result_rows.empty()) {
-      columns[c].type = result_rows[0][c].type();
+    if (columns[c].type == ValueType::kNull && out_rows > 0) {
+      columns[c].type = result_cols[c].ValueAt(0).type();
     }
   }
-  local_stats.rows_output = result_rows.size();
+  local_stats.rows_output = out_rows;
   if (stats != nullptr) {
     stats->rows_scanned += local_stats.rows_scanned;
     stats->batches += local_stats.batches;
     stats->rows_output += local_stats.rows_output;
   }
   Table result{Schema(std::move(columns))};
-  result.Reserve(result_rows.size());
-  TITANT_RETURN_IF_ERROR(result.AppendAll(std::move(result_rows)));
+  TITANT_RETURN_IF_ERROR(result.AdoptColumns(std::move(result_cols)));
   return result;
 }
 

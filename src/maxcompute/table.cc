@@ -6,6 +6,11 @@ namespace titant::maxcompute {
 
 namespace {
 
+// v2 magic ("TTC2" little-endian). Unambiguous against v1 blobs: v1 leads
+// with a u32 column count capped at 1<<16, far below this value.
+constexpr uint32_t kMagicV2 = 0x32435454u;
+constexpr uint32_t kMaxColumns = 1u << 16;
+
 void PutU32(std::string* out, uint32_t v) {
   out->append(reinterpret_cast<const char*>(&v), sizeof(v));
 }
@@ -24,7 +29,7 @@ void PutString(std::string* out, const std::string& s) {
 
 bool GetString(const std::string& data, std::size_t* offset, std::string* out) {
   uint32_t len = 0;
-  if (!GetU32(data, offset, &len) || *offset + len > data.size()) return false;
+  if (!GetU32(data, offset, &len) || len > data.size() - *offset) return false;
   out->assign(data, *offset, len);
   *offset += len;
   return true;
@@ -92,13 +97,403 @@ bool GetValue(const std::string& data, std::size_t* offset, Value* out) {
   return false;
 }
 
+Table::Lane LaneForType(ValueType t) {
+  switch (t) {
+    case ValueType::kInt:
+      return Table::Lane::kI64;
+    case ValueType::kDouble:
+      return Table::Lane::kF64;
+    case ValueType::kBool:
+      return Table::Lane::kBool;
+    case ValueType::kString:
+      return Table::Lane::kStr;
+    case ValueType::kNull:
+      break;
+  }
+  return Table::Lane::kEmpty;
+}
+
+// Reads `count * elem_size` raw bytes, refusing to allocate past the blob.
+bool FitsRemaining(const std::string& data, std::size_t offset, uint64_t count,
+                   uint64_t elem_size) {
+  return count <= (data.size() - offset) / (elem_size == 0 ? 1 : elem_size);
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// ColumnData
+
+void Table::ColumnData::Reserve(std::size_t n) {
+  nulls.reserve(n);
+  switch (lane) {
+    case Lane::kEmpty:
+      break;
+    case Lane::kI64:
+      i64.reserve(n);
+      break;
+    case Lane::kF64:
+      f64.reserve(n);
+      break;
+    case Lane::kBool:
+      b8.reserve(n);
+      break;
+    case Lane::kStr:
+      str.reserve(n);
+      break;
+    case Lane::kMixed:
+      mixed.reserve(n);
+      break;
+  }
+}
+
+void Table::ColumnData::Clear() {
+  lane = Lane::kEmpty;
+  i64.clear();
+  f64.clear();
+  b8.clear();
+  str.clear();
+  mixed.clear();
+  nulls.clear();
+  any_null = false;
+}
+
+void Table::ColumnData::BackfillPayload() {
+  const std::size_t n = nulls.size();
+  switch (lane) {
+    case Lane::kEmpty:
+      break;
+    case Lane::kI64:
+      i64.resize(n);
+      break;
+    case Lane::kF64:
+      f64.resize(n);
+      break;
+    case Lane::kBool:
+      b8.resize(n);
+      break;
+    case Lane::kStr:
+      str.resize(n);
+      break;
+    case Lane::kMixed:
+      mixed.resize(n);
+      break;
+  }
+}
+
+void Table::ColumnData::PromoteToMixed() {
+  if (lane == Lane::kMixed) return;
+  const std::size_t n = nulls.size();
+  std::vector<Value> boxed;
+  boxed.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) boxed.push_back(ValueAt(i));
+  i64.clear();
+  f64.clear();
+  b8.clear();
+  str.clear();
+  mixed = std::move(boxed);
+  lane = Lane::kMixed;
+}
+
+void Table::ColumnData::AppendNull() {
+  nulls.push_back(1);
+  any_null = true;
+  BackfillPayload();
+}
+
+void Table::ColumnData::Append(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
+  const Lane want = LaneForType(v.type());
+  if (lane == Lane::kEmpty) {
+    lane = want;
+    BackfillPayload();
+  } else if (lane != want && lane != Lane::kMixed) {
+    PromoteToMixed();
+  }
+  nulls.push_back(0);
+  switch (lane) {
+    case Lane::kI64:
+      i64.push_back(v.AsInt());
+      break;
+    case Lane::kF64:
+      f64.push_back(v.AsDouble());
+      break;
+    case Lane::kBool:
+      b8.push_back(v.AsBool() ? 1 : 0);
+      break;
+    case Lane::kStr:
+      str.push_back(v.AsString());
+      break;
+    case Lane::kMixed:
+      mixed.push_back(v);
+      break;
+    case Lane::kEmpty:
+      break;
+  }
+}
+
+void Table::ColumnData::Append(Value&& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
+  const Lane want = LaneForType(v.type());
+  if (lane == Lane::kEmpty) {
+    lane = want;
+    BackfillPayload();
+  } else if (lane != want && lane != Lane::kMixed) {
+    PromoteToMixed();
+  }
+  nulls.push_back(0);
+  switch (lane) {
+    case Lane::kStr:
+      if (const std::string* s = v.string_or_null()) {
+        str.push_back(*s);
+        return;
+      }
+      str.push_back(v.AsString());
+      return;
+    case Lane::kMixed:
+      mixed.push_back(std::move(v));
+      return;
+    case Lane::kI64:
+      i64.push_back(v.AsInt());
+      return;
+    case Lane::kF64:
+      f64.push_back(v.AsDouble());
+      return;
+    case Lane::kBool:
+      b8.push_back(v.AsBool() ? 1 : 0);
+      return;
+    case Lane::kEmpty:
+      return;
+  }
+}
+
+void Table::ColumnData::AppendNulls(std::size_t n) {
+  if (n == 0) return;
+  nulls.insert(nulls.end(), n, 1);
+  any_null = true;
+  BackfillPayload();
+}
+
+void Table::ColumnData::AppendI64(const int64_t* v, const uint8_t* null_mask,
+                                  std::size_t n) {
+  if (n == 0) return;
+  if (lane == Lane::kEmpty && nulls.empty()) lane = Lane::kI64;
+  if (lane != Lane::kI64 && lane != Lane::kEmpty) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (null_mask != nullptr && null_mask[k]) {
+        AppendNull();
+      } else {
+        Append(Value(v[k]));
+      }
+    }
+    return;
+  }
+  if (lane == Lane::kEmpty) {
+    // All-null column so far; adopt the lane and backfill.
+    lane = Lane::kI64;
+    BackfillPayload();
+  }
+  i64.insert(i64.end(), v, v + n);
+  if (null_mask == nullptr) {
+    nulls.insert(nulls.end(), n, 0);
+  } else {
+    nulls.insert(nulls.end(), null_mask, null_mask + n);
+    for (std::size_t k = 0; k < n; ++k) any_null = any_null || null_mask[k];
+  }
+}
+
+void Table::ColumnData::AppendF64(const double* v, const uint8_t* null_mask,
+                                  std::size_t n) {
+  if (n == 0) return;
+  if (lane == Lane::kEmpty && nulls.empty()) lane = Lane::kF64;
+  if (lane != Lane::kF64 && lane != Lane::kEmpty) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (null_mask != nullptr && null_mask[k]) {
+        AppendNull();
+      } else {
+        Append(Value(v[k]));
+      }
+    }
+    return;
+  }
+  if (lane == Lane::kEmpty) {
+    lane = Lane::kF64;
+    BackfillPayload();
+  }
+  f64.insert(f64.end(), v, v + n);
+  if (null_mask == nullptr) {
+    nulls.insert(nulls.end(), n, 0);
+  } else {
+    nulls.insert(nulls.end(), null_mask, null_mask + n);
+    for (std::size_t k = 0; k < n; ++k) any_null = any_null || null_mask[k];
+  }
+}
+
+void Table::ColumnData::AppendBool(const uint8_t* v, const uint8_t* null_mask,
+                                   std::size_t n) {
+  if (n == 0) return;
+  if (lane == Lane::kEmpty && nulls.empty()) lane = Lane::kBool;
+  if (lane != Lane::kBool && lane != Lane::kEmpty) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (null_mask != nullptr && null_mask[k]) {
+        AppendNull();
+      } else {
+        Append(Value(v[k] != 0));
+      }
+    }
+    return;
+  }
+  if (lane == Lane::kEmpty) {
+    lane = Lane::kBool;
+    BackfillPayload();
+  }
+  b8.insert(b8.end(), v, v + n);
+  if (null_mask == nullptr) {
+    nulls.insert(nulls.end(), n, 0);
+  } else {
+    nulls.insert(nulls.end(), null_mask, null_mask + n);
+    for (std::size_t k = 0; k < n; ++k) any_null = any_null || null_mask[k];
+  }
+}
+
+void Table::ColumnData::AppendStrings(const std::string* const* v,
+                                      const uint8_t* null_mask, std::size_t n) {
+  if (n == 0) return;
+  if (lane == Lane::kEmpty && nulls.empty()) lane = Lane::kStr;
+  if (lane != Lane::kStr && lane != Lane::kEmpty) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if ((null_mask != nullptr && null_mask[k]) || v[k] == nullptr) {
+        AppendNull();
+      } else {
+        Append(Value(*v[k]));
+      }
+    }
+    return;
+  }
+  if (lane == Lane::kEmpty) {
+    lane = Lane::kStr;
+    BackfillPayload();
+  }
+  str.reserve(str.size() + n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const bool null = (null_mask != nullptr && null_mask[k]) || v[k] == nullptr;
+    str.emplace_back(null ? std::string() : *v[k]);
+    nulls.push_back(null ? 1 : 0);
+    any_null = any_null || null;
+  }
+}
+
+void Table::ColumnData::AppendValues(const Value* v, const uint8_t* null_mask,
+                                     std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k) {
+    if (null_mask != nullptr && null_mask[k]) {
+      AppendNull();
+    } else {
+      Append(v[k]);
+    }
+  }
+}
+
+void Table::ColumnData::AppendRange(const ColumnData& src, std::size_t begin,
+                                    std::size_t end) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const uint8_t* mask = src.any_null ? src.nulls.data() + begin : nullptr;
+  switch (src.lane) {
+    case Lane::kEmpty:
+      AppendNulls(n);
+      return;
+    case Lane::kI64:
+      AppendI64(src.i64.data() + begin, mask, n);
+      return;
+    case Lane::kF64:
+      AppendF64(src.f64.data() + begin, mask, n);
+      return;
+    case Lane::kBool:
+      AppendBool(src.b8.data() + begin, mask, n);
+      return;
+    case Lane::kStr:
+      if (lane == Lane::kEmpty && nulls.empty()) lane = Lane::kStr;
+      if (lane == Lane::kStr || lane == Lane::kEmpty) {
+        if (lane == Lane::kEmpty) {
+          lane = Lane::kStr;
+          BackfillPayload();
+        }
+        str.insert(str.end(), src.str.begin() + static_cast<std::ptrdiff_t>(begin),
+                   src.str.begin() + static_cast<std::ptrdiff_t>(end));
+        nulls.insert(nulls.end(), src.nulls.begin() + static_cast<std::ptrdiff_t>(begin),
+                     src.nulls.begin() + static_cast<std::ptrdiff_t>(end));
+        if (src.any_null) {
+          for (std::size_t k = begin; k < end; ++k) any_null = any_null || src.nulls[k];
+        }
+        return;
+      }
+      break;
+    case Lane::kMixed:
+      AppendValues(src.mixed.data() + begin, mask, n);
+      return;
+  }
+  for (std::size_t k = begin; k < end; ++k) Append(src.ValueAt(k));
+}
+
+void Table::ColumnData::Truncate(std::size_t n) {
+  if (n >= nulls.size()) return;
+  nulls.resize(n);
+  switch (lane) {
+    case Lane::kEmpty:
+      break;
+    case Lane::kI64:
+      i64.resize(n);
+      break;
+    case Lane::kF64:
+      f64.resize(n);
+      break;
+    case Lane::kBool:
+      b8.resize(n);
+      break;
+    case Lane::kStr:
+      str.resize(n);
+      break;
+    case Lane::kMixed:
+      mixed.resize(n);
+      break;
+  }
+}
+
+Value Table::ColumnData::ValueAt(std::size_t i) const {
+  if (nulls[i]) return Value::Null();
+  switch (lane) {
+    case Lane::kEmpty:
+      return Value::Null();
+    case Lane::kI64:
+      return Value(i64[i]);
+    case Lane::kF64:
+      return Value(f64[i]);
+    case Lane::kBool:
+      return Value(b8[i] != 0);
+    case Lane::kStr:
+      return Value(str[i]);
+    case Lane::kMixed:
+      return mixed[i];
+  }
+  return Value::Null();
+}
+
+// ---------------------------------------------------------------------------
+// Table
 
 Status Table::Append(Row row) {
   if (row.size() != schema_.num_columns()) {
     return Status::InvalidArgument("row width does not match schema " + schema_.ToString());
   }
-  rows_.push_back(std::move(row));
+  for (std::size_t c = 0; c < row.size(); ++c) cols_[c].Append(std::move(row[c]));
+  ++num_rows_;
   return Status::OK();
 }
 
@@ -107,48 +502,317 @@ Status Table::AppendAll(std::vector<Row> rows) {
   return Status::OK();
 }
 
+void Table::Reserve(std::size_t n) {
+  for (auto& col : cols_) col.Reserve(n);
+}
+
+Status Table::AdoptColumns(std::vector<ColumnData> cols) {
+  if (cols.size() != schema_.num_columns()) {
+    return Status::InvalidArgument("column count does not match schema " +
+                                   schema_.ToString());
+  }
+  const std::size_t n = cols.empty() ? 0 : cols.front().size();
+  for (const auto& col : cols) {
+    if (col.size() != n) return Status::InvalidArgument("ragged columns");
+  }
+  cols_ = std::move(cols);
+  num_rows_ = n;
+  return Status::OK();
+}
+
+void Table::Truncate(std::size_t n) {
+  if (n >= num_rows_) return;
+  for (auto& col : cols_) col.Truncate(n);
+  num_rows_ = n;
+}
+
+Row Table::MaterializeRow(std::size_t i) const {
+  Row out;
+  MaterializeRowInto(i, &out);
+  return out;
+}
+
+void Table::MaterializeRowInto(std::size_t i, Row* out) const {
+  out->resize(cols_.size());
+  for (std::size_t c = 0; c < cols_.size(); ++c) (*out)[c] = cols_[c].ValueAt(i);
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+//
+// v2 layout (all integers little-endian):
+//   u32 magic "TTC2"
+//   u32 ncols;  per column: u32-prefixed name, u8 declared type
+//   u32 nrows
+//   per column:
+//     u8 lane, u8 has_nulls
+//     if has_nulls: packed null bitmap, (nrows+7)/8 bytes (bit i = row i)
+//     payload: kI64/kF64 raw 8B per row; kBool 1B per row; kStr u32 end
+//       offsets per row then u32 blob size then the blob; kMixed one
+//       v1-style tagged Value per row; kEmpty nothing.
+// v1 layout (legacy, no magic): u32 ncols, schema, u32 nrows, then rows of
+// tagged Values. v1 blobs parse through the fallback below and upgrade to
+// v2 the next time they are written.
+
 std::string Table::Serialize() const {
+  std::string out;
+  PutU32(&out, kMagicV2);
+  PutU32(&out, static_cast<uint32_t>(schema_.num_columns()));
+  for (const auto& col : schema_.columns()) {
+    PutString(&out, col.name);
+    out.push_back(static_cast<char>(col.type));
+  }
+  PutU32(&out, static_cast<uint32_t>(num_rows_));
+  const std::size_t n = num_rows_;
+  for (const auto& col : cols_) {
+    out.push_back(static_cast<char>(col.lane));
+    out.push_back(col.any_null ? 1 : 0);
+    if (col.any_null) {
+      std::string bitmap((n + 7) / 8, '\0');
+      for (std::size_t i = 0; i < n; ++i) {
+        if (col.nulls[i]) bitmap[i / 8] |= static_cast<char>(1u << (i % 8));
+      }
+      out.append(bitmap);
+    }
+    switch (col.lane) {
+      case Lane::kEmpty:
+        break;
+      case Lane::kI64:
+        out.append(reinterpret_cast<const char*>(col.i64.data()), n * sizeof(int64_t));
+        break;
+      case Lane::kF64:
+        out.append(reinterpret_cast<const char*>(col.f64.data()), n * sizeof(double));
+        break;
+      case Lane::kBool:
+        out.append(reinterpret_cast<const char*>(col.b8.data()), n);
+        break;
+      case Lane::kStr: {
+        uint32_t off = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          off += static_cast<uint32_t>(col.str[i].size());
+          PutU32(&out, off);
+        }
+        PutU32(&out, off);
+        for (std::size_t i = 0; i < n; ++i) out.append(col.str[i]);
+        break;
+      }
+      case Lane::kMixed:
+        for (std::size_t i = 0; i < n; ++i) {
+          PutValue(&out, col.nulls[i] ? Value::Null() : col.mixed[i]);
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::string Table::SerializeV1() const {
   std::string out;
   PutU32(&out, static_cast<uint32_t>(schema_.num_columns()));
   for (const auto& col : schema_.columns()) {
     PutString(&out, col.name);
     out.push_back(static_cast<char>(col.type));
   }
-  PutU32(&out, static_cast<uint32_t>(rows_.size()));
-  for (const auto& row : rows_) {
-    for (const auto& value : row) PutValue(&out, value);
+  PutU32(&out, static_cast<uint32_t>(num_rows_));
+  for (std::size_t r = 0; r < num_rows_; ++r) {
+    for (const auto& col : cols_) PutValue(&out, col.ValueAt(r));
   }
   return out;
 }
 
-StatusOr<Table> Table::Deserialize(const std::string& blob) {
-  std::size_t offset = 0;
-  uint32_t num_columns = 0;
-  if (!GetU32(blob, &offset, &num_columns) || num_columns > (1u << 16)) {
-    return Status::Corruption("table blob: bad column count");
-  }
+namespace {
+
+StatusOr<Schema> ParseSchema(const std::string& blob, std::size_t* offset,
+                             uint32_t num_columns) {
   std::vector<Column> columns(num_columns);
   for (auto& col : columns) {
-    if (!GetString(blob, &offset, &col.name) || offset >= blob.size()) {
-      return Status::Corruption("table blob: truncated schema");
+    if (!GetString(blob, offset, &col.name) || *offset >= blob.size()) {
+      return Status::DataLoss("table blob: truncated schema");
     }
-    col.type = static_cast<ValueType>(blob[offset++]);
+    const uint8_t t = static_cast<uint8_t>(blob[(*offset)++]);
+    if (t > static_cast<uint8_t>(ValueType::kBool)) {
+      return Status::DataLoss("table blob: bad column type");
+    }
+    col.type = static_cast<ValueType>(t);
   }
-  Table table{Schema(std::move(columns))};
+  return Schema(std::move(columns));
+}
+
+StatusOr<Table> DeserializeV1(const std::string& blob) {
+  std::size_t offset = 0;
+  uint32_t num_columns = 0;
+  if (!GetU32(blob, &offset, &num_columns) || num_columns > kMaxColumns) {
+    return Status::DataLoss("table blob: bad column count");
+  }
+  auto schema = ParseSchema(blob, &offset, num_columns);
+  TITANT_RETURN_IF_ERROR(schema.status());
+  Table table{std::move(*schema)};
   uint32_t num_rows = 0;
-  if (!GetU32(blob, &offset, &num_rows)) return Status::Corruption("table blob: row count");
-  table.rows_.reserve(num_rows);
+  if (!GetU32(blob, &offset, &num_rows)) return Status::DataLoss("table blob: row count");
+  if (num_columns == 0 && num_rows > 0) {
+    return Status::DataLoss("table blob: rows without columns");
+  }
+  // Every cell costs at least one tag byte; refuse row counts the buffer
+  // cannot possibly hold before reserving anything.
+  if (num_columns > 0 && !FitsRemaining(blob, offset, num_rows, num_columns)) {
+    return Status::DataLoss("table blob: row count past buffer");
+  }
+  table.Reserve(num_rows);
+  Row row;
   for (uint32_t r = 0; r < num_rows; ++r) {
-    Row row(table.schema_.num_columns());
+    row.resize(num_columns);
     for (auto& value : row) {
       if (!GetValue(blob, &offset, &value)) {
-        return Status::Corruption("table blob: truncated row");
+        return Status::DataLoss("table blob: truncated row");
       }
     }
-    table.rows_.push_back(std::move(row));
+    TITANT_RETURN_IF_ERROR(table.Append(std::move(row)));
+    row.clear();
   }
-  if (offset != blob.size()) return Status::Corruption("table blob: trailing bytes");
+  if (offset != blob.size()) return Status::DataLoss("table blob: trailing bytes");
   return table;
+}
+
+StatusOr<Table> DeserializeV2(const std::string& blob) {
+  std::size_t offset = sizeof(uint32_t);  // past the magic
+  uint32_t num_columns = 0;
+  if (!GetU32(blob, &offset, &num_columns) || num_columns > kMaxColumns) {
+    return Status::DataLoss("table blob v2: bad column count");
+  }
+  auto schema = ParseSchema(blob, &offset, num_columns);
+  TITANT_RETURN_IF_ERROR(schema.status());
+  Table table{std::move(*schema)};
+  uint32_t num_rows = 0;
+  if (!GetU32(blob, &offset, &num_rows)) {
+    return Status::DataLoss("table blob v2: row count");
+  }
+  if (num_columns == 0 && num_rows > 0) {
+    return Status::DataLoss("table blob v2: rows without columns");
+  }
+  // A populated column costs at least its null bitmap (the all-null kEmpty
+  // lane carries no payload), so n/8 bytes per column bounds any honest row
+  // count — refuse larger claims before allocating null masks.
+  if (num_columns > 0 && num_rows > 0 &&
+      !FitsRemaining(blob, offset, num_rows / 8, num_columns)) {
+    return Status::DataLoss("table blob v2: row count past buffer");
+  }
+  const std::size_t n = num_rows;
+  std::vector<Table::ColumnData> cols(num_columns);
+  for (auto& col : cols) {
+    if (offset + 2 > blob.size()) return Status::DataLoss("table blob v2: truncated column header");
+    const uint8_t lane_byte = static_cast<uint8_t>(blob[offset++]);
+    const uint8_t has_nulls = static_cast<uint8_t>(blob[offset++]);
+    if (lane_byte > static_cast<uint8_t>(Table::Lane::kMixed) || has_nulls > 1) {
+      return Status::DataLoss("table blob v2: bad column header");
+    }
+    col.lane = static_cast<Table::Lane>(lane_byte);
+    col.nulls.assign(n, col.lane == Table::Lane::kEmpty ? 1 : 0);
+    col.any_null = has_nulls != 0 || (col.lane == Table::Lane::kEmpty && n > 0);
+    if (has_nulls) {
+      const std::size_t bitmap_bytes = (n + 7) / 8;
+      if (bitmap_bytes > blob.size() - offset) {
+        return Status::DataLoss("table blob v2: truncated null bitmap");
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        col.nulls[i] =
+            (static_cast<uint8_t>(blob[offset + i / 8]) >> (i % 8)) & 1u;
+      }
+      offset += bitmap_bytes;
+    }
+    switch (col.lane) {
+      case Table::Lane::kEmpty:
+        break;
+      case Table::Lane::kI64: {
+        if (!FitsRemaining(blob, offset, n, sizeof(int64_t))) {
+          return Status::DataLoss("table blob v2: truncated int64 lane");
+        }
+        col.i64.resize(n);
+        std::memcpy(col.i64.data(), blob.data() + offset, n * sizeof(int64_t));
+        offset += n * sizeof(int64_t);
+        break;
+      }
+      case Table::Lane::kF64: {
+        if (!FitsRemaining(blob, offset, n, sizeof(double))) {
+          return Status::DataLoss("table blob v2: truncated double lane");
+        }
+        col.f64.resize(n);
+        std::memcpy(col.f64.data(), blob.data() + offset, n * sizeof(double));
+        offset += n * sizeof(double);
+        break;
+      }
+      case Table::Lane::kBool: {
+        if (!FitsRemaining(blob, offset, n, 1)) {
+          return Status::DataLoss("table blob v2: truncated bool lane");
+        }
+        col.b8.resize(n);
+        std::memcpy(col.b8.data(), blob.data() + offset, n);
+        offset += n;
+        break;
+      }
+      case Table::Lane::kStr: {
+        if (!FitsRemaining(blob, offset, n + 1, sizeof(uint32_t))) {
+          return Status::DataLoss("table blob v2: truncated string offsets");
+        }
+        std::vector<uint32_t> ends(n);
+        uint32_t prev = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          uint32_t end = 0;
+          (void)GetU32(blob, &offset, &end);
+          if (end < prev) return Status::DataLoss("table blob v2: string offsets not monotonic");
+          ends[i] = end;
+          prev = end;
+        }
+        uint32_t blob_size = 0;
+        (void)GetU32(blob, &offset, &blob_size);
+        if (blob_size != prev || blob_size > blob.size() - offset) {
+          return Status::DataLoss("table blob v2: string payload past buffer");
+        }
+        col.str.resize(n);
+        uint32_t start = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          col.str[i].assign(blob, offset + start, ends[i] - start);
+          start = ends[i];
+        }
+        offset += blob_size;
+        break;
+      }
+      case Table::Lane::kMixed: {
+        if (!FitsRemaining(blob, offset, n, 1)) {
+          return Status::DataLoss("table blob v2: truncated mixed lane");
+        }
+        col.mixed.resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          if (!GetValue(blob, &offset, &col.mixed[i])) {
+            return Status::DataLoss("table blob v2: truncated mixed value");
+          }
+          if (col.mixed[i].is_null() && !col.nulls[i]) {
+            return Status::DataLoss("table blob v2: null cell outside bitmap");
+          }
+        }
+        break;
+      }
+    }
+  }
+  if (offset != blob.size()) return Status::DataLoss("table blob v2: trailing bytes");
+  TITANT_RETURN_IF_ERROR(table.AdoptColumns(std::move(cols)));
+  return table;
+}
+
+}  // namespace
+
+StatusOr<Table> Table::Deserialize(const std::string& blob,
+                                   uint32_t* format_version) {
+  std::size_t probe = 0;
+  uint32_t head = 0;
+  if (!GetU32(blob, &probe, &head)) {
+    return Status::DataLoss("table blob: truncated header");
+  }
+  if (head == kMagicV2) {
+    if (format_version != nullptr) *format_version = 2;
+    return DeserializeV2(blob);
+  }
+  if (format_version != nullptr) *format_version = 1;
+  return DeserializeV1(blob);
 }
 
 }  // namespace titant::maxcompute

@@ -667,6 +667,7 @@ std::string EncodeGatewayStats(const GatewayStats& stats) {
   w.U64(stats.mc_parse_failures);
   w.U64(stats.mc_rows_scanned);
   w.U64(stats.mc_batches_scanned);
+  w.U64(stats.mc_plan_evictions);
   w.U64(stats.kv_cache_hits);
   w.U64(stats.kv_cache_misses);
   w.U64(stats.kv_cache_bytes);
@@ -713,6 +714,7 @@ Status DecodeGatewayStats(std::string_view payload, GatewayStats* stats) {
   TITANT_RETURN_IF_ERROR(r.U64(&stats->mc_parse_failures));
   TITANT_RETURN_IF_ERROR(r.U64(&stats->mc_rows_scanned));
   TITANT_RETURN_IF_ERROR(r.U64(&stats->mc_batches_scanned));
+  TITANT_RETURN_IF_ERROR(r.U64(&stats->mc_plan_evictions));
   TITANT_RETURN_IF_ERROR(r.U64(&stats->kv_cache_hits));
   TITANT_RETURN_IF_ERROR(r.U64(&stats->kv_cache_misses));
   TITANT_RETURN_IF_ERROR(r.U64(&stats->kv_cache_bytes));

@@ -405,6 +405,7 @@ struct GatewayStats {
   uint64_t mc_parse_failures = 0;
   uint64_t mc_rows_scanned = 0;
   uint64_t mc_batches_scanned = 0;
+  uint64_t mc_plan_evictions = 0;  // Cached parses dropped by LRU pressure.
   /// KV store engine (the "kvstore" metrics provider): block-cache
   /// traffic and the background maintenance loop. kv_stall_us is wall
   /// time writers spent in hard-cap inline flushes — the backpressure

@@ -75,31 +75,78 @@ constexpr std::size_t kUploadChunkCells = 1024;
 // chunked PutBatches. Safe to run concurrently for disjoint user ranges:
 // the extractor calls are const reads and the store's per-shard locks
 // serialize the actual commits.
+//
+// The upload is two-phase per chunk: phase 1 extracts the whole chunk
+// into flat column buffers (all snapshots, all aux pairs), phase 2 walks
+// those columns and encodes them into a persistent cell batch. Cells are
+// rewritten in place with assign(), so key and value strings keep their
+// heap capacity from one chunk to the next — the per-cell boxing cost the
+// old per-user push_back/clear cycle paid on every chunk.
 Status UploadUserRange(kvstore::AliHBase* store, const core::FeatureExtractor& extractor,
                        const nrl::EmbeddingMatrix& embeddings, txn::Day as_of,
                        uint64_t version, txn::UserId begin, txn::UserId end) {
+  constexpr std::size_t kSnapFloats = core::FeatureExtractor::kNumBasicFeatures;
+  const std::size_t dim = static_cast<std::size_t>(embeddings.dim());
+  const std::size_t chunk_users = std::max<std::size_t>(1, kUploadChunkCells / 3);
+
+  std::vector<float> snapshots(chunk_users * kSnapFloats);
+  std::vector<float> auxes(chunk_users * 2);
   std::vector<kvstore::Cell> batch;
-  batch.reserve(kUploadChunkCells + 3);
-  float snapshot[core::FeatureExtractor::kNumBasicFeatures];
-  float aux[2];
-  for (txn::UserId user = begin; user < end; ++user) {
-    extractor.ExtractUserSnapshot(user, as_of, snapshot, aux);
-    const std::string row = UserRowKey(user);
-    batch.push_back({kvstore::CellKey{row, kFamilyBasic, kQualSnapshot, version},
-                     EncodeFloats(snapshot, core::FeatureExtractor::kNumBasicFeatures),
-                     false});
-    batch.push_back(
-        {kvstore::CellKey{row, kFamilyBasic, kQualAux, version}, EncodeFloats(aux, 2), false});
-    batch.push_back(
-        {kvstore::CellKey{row, kFamilyEmbedding, kQualVector, version},
-         EncodeFloats(embeddings.Row(user), static_cast<std::size_t>(embeddings.dim())),
-         false});
-    if (batch.size() >= kUploadChunkCells) {
-      TITANT_RETURN_IF_ERROR(store->PutBatch(batch));
-      batch.clear();
+  char row_buf[kUserRowKeyLen];
+
+  for (txn::UserId chunk = begin; chunk < end;
+       chunk += static_cast<txn::UserId>(chunk_users)) {
+    const txn::UserId chunk_end = std::min<txn::UserId>(end, chunk + chunk_users);
+    const std::size_t count = chunk_end - chunk;
+
+    // Phase 1: extraction only — a tight loop over the extractor with no
+    // string or cell work interleaved.
+    for (std::size_t i = 0; i < count; ++i) {
+      extractor.ExtractUserSnapshot(chunk + static_cast<txn::UserId>(i), as_of,
+                                    &snapshots[i * kSnapFloats], &auxes[i * 2]);
     }
+
+    // Phase 2: one pass per column. Within the batch, cells are grouped
+    // by (family, qualifier) lane; the store orders by key on commit, so
+    // the uploaded table is identical to the interleaved layout.
+    batch.resize(count * 3);
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::string_view row =
+          UserRowKeyTo(row_buf, chunk + static_cast<txn::UserId>(i));
+      kvstore::Cell& cell = batch[i];
+      cell.key.row.assign(row.data(), row.size());
+      cell.key.family = kFamilyBasic;
+      cell.key.qualifier = kQualSnapshot;
+      cell.key.version = version;
+      cell.value.assign(reinterpret_cast<const char*>(&snapshots[i * kSnapFloats]),
+                        kSnapFloats * sizeof(float));
+      cell.tombstone = false;
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::string_view row =
+          UserRowKeyTo(row_buf, chunk + static_cast<txn::UserId>(i));
+      kvstore::Cell& cell = batch[count + i];
+      cell.key.row.assign(row.data(), row.size());
+      cell.key.family = kFamilyBasic;
+      cell.key.qualifier = kQualAux;
+      cell.key.version = version;
+      cell.value.assign(reinterpret_cast<const char*>(&auxes[i * 2]), 2 * sizeof(float));
+      cell.tombstone = false;
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      const txn::UserId user = chunk + static_cast<txn::UserId>(i);
+      const std::string_view row = UserRowKeyTo(row_buf, user);
+      kvstore::Cell& cell = batch[2 * count + i];
+      cell.key.row.assign(row.data(), row.size());
+      cell.key.family = kFamilyEmbedding;
+      cell.key.qualifier = kQualVector;
+      cell.key.version = version;
+      cell.value.assign(reinterpret_cast<const char*>(embeddings.Row(user)),
+                        dim * sizeof(float));
+      cell.tombstone = false;
+    }
+    TITANT_RETURN_IF_ERROR(store->PutBatch(batch));
   }
-  if (!batch.empty()) TITANT_RETURN_IF_ERROR(store->PutBatch(batch));
   return Status::OK();
 }
 

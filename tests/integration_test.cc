@@ -79,7 +79,9 @@ TEST(IntegrationTest, FullTitAntLoop) {
 
   // Cross-check one aggregate against the raw log.
   int64_t sql_total = 0;
-  for (const auto& row : (*report)->rows()) sql_total += row[1].AsInt();
+  for (std::size_t r = 0; r < (*report)->num_rows(); ++r) {
+    sql_total += (*report)->row(r)[1].AsInt();
+  }
   int64_t raw_total = 0;
   for (const auto& rec : world->log.records) {
     raw_total += rec.is_fraud && rec.day >= -14 && rec.day < 0;

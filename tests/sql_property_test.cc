@@ -52,7 +52,8 @@ TEST_P(SqlPropertyTest, WhereFilterMatchesReference) {
   ASSERT_TRUE(result.ok()) << result.status().ToString();
 
   std::vector<int64_t> expected;
-  for (const Row& row : table.rows()) {
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    const auto row = table.row(r);
     if (row[2].AsDouble() > cut &&
         (row[1].AsInt() == bucket || row[3].AsString() == "a")) {
       expected.push_back(row[0].AsInt());
@@ -83,7 +84,8 @@ TEST_P(SqlPropertyTest, GroupByAggregatesMatchReference) {
     double lo = 1e18, hi = -1e18;
   };
   std::map<std::pair<int64_t, std::string>, Agg> reference;
-  for (const Row& row : table.rows()) {
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    const auto row = table.row(r);
     Agg& agg = reference[{row[1].AsInt(), row[3].AsString()}];
     ++agg.n;
     agg.sum += row[2].AsDouble();
@@ -93,7 +95,7 @@ TEST_P(SqlPropertyTest, GroupByAggregatesMatchReference) {
   ASSERT_EQ(result->num_rows(), reference.size());
   std::size_t i = 0;
   for (const auto& [key, agg] : reference) {  // std::map order == ORDER BY.
-    const Row& row = result->row(i++);
+    const auto row = result->row(i++);
     EXPECT_EQ(row[0].AsInt(), key.first);
     EXPECT_EQ(row[1].AsString(), key.second);
     EXPECT_EQ(row[2].AsInt(), agg.n);
@@ -115,7 +117,10 @@ TEST_P(SqlPropertyTest, OrderByLimitMatchesReference) {
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->num_rows(), 25u);
   std::vector<std::pair<double, int64_t>> expected;
-  for (const Row& row : table.rows()) expected.emplace_back(row[2].AsDouble(), row[0].AsInt());
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    const auto row = table.row(r);
+    expected.emplace_back(row[2].AsDouble(), row[0].AsInt());
+  }
   std::sort(expected.begin(), expected.end(), [](const auto& a, const auto& b) {
     if (a.first != b.first) return a.first > b.first;
     return a.second < b.second;
@@ -138,7 +143,7 @@ TEST_P(SqlPropertyTest, ArithmeticExpressionsMatchReference) {
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->num_rows(), table.num_rows());
   for (std::size_t i = 0; i < table.num_rows(); ++i) {
-    const Row& in = table.row(i);
+    const auto in = table.row(i);
     const double x = in[2].AsDouble();
     EXPECT_NEAR(result->row(i)[1].AsDouble(),
                 x * 2 - static_cast<double>(in[1].AsInt()) + std::fabs(x), 1e-9);
@@ -184,8 +189,10 @@ std::string TableFingerprint(const Table& table) {
     s += ';';
   }
   s += '\n';
-  for (const Row& row : table.rows()) {
-    for (const Value& v : row) {
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    const auto row = table.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const Value v = row[c];
       s += v.is_null() ? "<null>" : v.AsString();
       s += '|';
       s += std::to_string(static_cast<int>(v.type()));
@@ -265,6 +272,78 @@ TEST_P(SqlPropertyTest, ScalarInterpreterMatchesVectorized) {
     const auto vectorized = ExecuteQuery(*parsed, resolver, {});
     ASSERT_TRUE(vectorized.ok()) << vectorized.status().ToString();
     EXPECT_EQ(TableFingerprint(*vectorized), TableFingerprint(*reference)) << query;
+  }
+}
+
+// Every query shape must produce byte-identical results regardless of how
+// the input table's columns came to be: freshly row-built (typed lanes
+// adopted value by value), round-tripped through the columnar v2 blob
+// format (the zero-copy borrow path reads these), or force-promoted to
+// kMixed lanes (the boxed-Value gather path). Nulls ride along in a
+// fourth variant to sweep the bitmap paths. Scalar and vectorized engines
+// run on each variant; all runs must agree.
+TEST_P(SqlPropertyTest, ColumnarInputParitySweep) {
+  const char* queries[] = {
+      "SELECT id, x * 2 - bucket + ABS(x) AS e FROM t WHERE x > 0 AND bucket != 3",
+      "SELECT bucket, COUNT(*) AS n, SUM(x) AS s, MIN(tag) AS lo FROM t "
+      "GROUP BY bucket ORDER BY n DESC, bucket",
+      "SELECT * FROM t ORDER BY x DESC, id LIMIT 33",
+      "SELECT tag, x FROM t",
+      "SELECT COUNT(*) AS n, SUM(x) AS s FROM t",
+  };
+  Rng rng(GetParam() * 65537 + 3);
+  Table built = RandomTable(rng, 1500);
+  // Null-injected variant: every 7th x and every 11th tag.
+  Table with_nulls{built.schema()};
+  for (std::size_t r = 0; r < built.num_rows(); ++r) {
+    Row row = built.MaterializeRow(r);
+    if (r % 7 == 0) row[2] = Value();
+    if (r % 11 == 0) row[3] = Value();
+    ASSERT_TRUE(with_nulls.Append(std::move(row)).ok());
+  }
+
+  for (const Table* base : {&built, &with_nulls}) {
+    // Variant 1: as built. Variant 2: v2 blob round trip. Variant 3:
+    // every column promoted to the mixed (boxed) lane.
+    auto round_tripped = Table::Deserialize(base->Serialize());
+    ASSERT_TRUE(round_tripped.ok()) << round_tripped.status().ToString();
+    Table mixed{base->schema()};
+    ASSERT_TRUE(mixed.AppendAll([&] {
+      std::vector<Row> rows;
+      for (std::size_t r = 0; r < base->num_rows(); ++r) {
+        rows.push_back(base->MaterializeRow(r));
+      }
+      return rows;
+    }()).ok());
+    for (std::size_t c = 0; c < mixed.num_columns(); ++c) {
+      mixed.mutable_column_data(c).PromoteToMixed();
+    }
+
+    const Table* variants[] = {base, &*round_tripped, &mixed};
+    for (const char* query : queries) {
+      auto parsed = ParseSql(query);
+      ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+      std::string want;
+      for (const Table* variant : variants) {
+        const auto resolver = [&](const std::string& name) -> StatusOr<const Table*> {
+          if (name == "T") return variant;
+          return Status::NotFound(name);
+        };
+        SqlExecOptions interp;
+        interp.scalar = true;
+        const auto reference = ExecuteQuery(*parsed, resolver, interp);
+        ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+        const auto vectorized = ExecuteQuery(*parsed, resolver, {});
+        ASSERT_TRUE(vectorized.ok()) << vectorized.status().ToString();
+        EXPECT_EQ(TableFingerprint(*vectorized), TableFingerprint(*reference)) << query;
+        if (want.empty()) {
+          want = TableFingerprint(*reference);
+        } else {
+          EXPECT_EQ(TableFingerprint(*vectorized), want)
+              << query << " (variant disagreement)";
+        }
+      }
+    }
   }
 }
 

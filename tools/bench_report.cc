@@ -1,0 +1,378 @@
+// bench_report: folds the repo's BENCH_*.json recordings into one
+// trajectory table and splices it into EXPERIMENTS.md.
+//
+//   bench_report [--dir REPO_ROOT] [--out EXPERIMENTS.md] [--stdout]
+//
+// Each BENCH_*.json is a hand-written recording with its own shape, so
+// the report does not assume a schema: it parses the JSON, keeps every
+// numeric field whose key is a recognized headline metric (qps, speedup,
+// *_ms, p50/p99, verdict), and prints one table row per metric with its
+// dotted path. Rows sort by recording date, so the table reads as the
+// performance trajectory across PRs. The generated block is delimited by
+// marker comments and replaced in place on re-runs — the rest of
+// EXPERIMENTS.md is never touched.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON tree (objects, arrays, strings, numbers, bools, null).
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;  // Raw number text for kNumber (keeps "6.93" as written).
+  std::string str;
+  std::vector<std::unique_ptr<JsonValue>> items;
+  std::vector<std::pair<std::string, std::unique_ptr<JsonValue>>> fields;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : fields) {
+      if (k == key) return v.get();
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& input) : in_(input) {}
+
+  std::unique_ptr<JsonValue> Parse(std::string* error) {
+    auto value = ParseValue();
+    SkipSpace();
+    if (!value || pos_ != in_.size()) {
+      *error = "parse error at byte " + std::to_string(pos_);
+      return nullptr;
+    }
+    return value;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < in_.size() && std::isspace(static_cast<unsigned char>(in_[pos_]))) ++pos_;
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < in_.size() && in_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::unique_ptr<JsonValue> ParseValue() {
+    SkipSpace();
+    if (pos_ >= in_.size()) return nullptr;
+    switch (in_[pos_]) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return ParseString();
+      case 't':
+      case 'f':
+        return ParseBool();
+      case 'n':
+        return ParseNull();
+      default:
+        return ParseNumber();
+    }
+  }
+
+  std::unique_ptr<JsonValue> ParseObject() {
+    if (!Consume('{')) return nullptr;
+    auto obj = std::make_unique<JsonValue>();
+    obj->kind = JsonValue::Kind::kObject;
+    SkipSpace();
+    if (Consume('}')) return obj;
+    while (true) {
+      auto key = ParseString();
+      if (!key || !Consume(':')) return nullptr;
+      auto value = ParseValue();
+      if (!value) return nullptr;
+      obj->fields.emplace_back(std::move(key->str), std::move(value));
+      if (Consume(',')) continue;
+      if (Consume('}')) return obj;
+      return nullptr;
+    }
+  }
+
+  std::unique_ptr<JsonValue> ParseArray() {
+    if (!Consume('[')) return nullptr;
+    auto arr = std::make_unique<JsonValue>();
+    arr->kind = JsonValue::Kind::kArray;
+    SkipSpace();
+    if (Consume(']')) return arr;
+    while (true) {
+      auto value = ParseValue();
+      if (!value) return nullptr;
+      arr->items.push_back(std::move(value));
+      if (Consume(',')) continue;
+      if (Consume(']')) return arr;
+      return nullptr;
+    }
+  }
+
+  std::unique_ptr<JsonValue> ParseString() {
+    SkipSpace();
+    if (pos_ >= in_.size() || in_[pos_] != '"') return nullptr;
+    ++pos_;
+    auto value = std::make_unique<JsonValue>();
+    value->kind = JsonValue::Kind::kString;
+    while (pos_ < in_.size() && in_[pos_] != '"') {
+      char c = in_[pos_++];
+      if (c == '\\' && pos_ < in_.size()) {
+        const char esc = in_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'u':  // Keep \uXXXX literal; recordings are plain ASCII.
+            value->str += "\\u";
+            continue;
+          default: c = esc; break;
+        }
+      }
+      value->str += c;
+    }
+    if (pos_ >= in_.size()) return nullptr;
+    ++pos_;  // Closing quote.
+    return value;
+  }
+
+  std::unique_ptr<JsonValue> ParseBool() {
+    SkipSpace();
+    auto value = std::make_unique<JsonValue>();
+    value->kind = JsonValue::Kind::kBool;
+    if (in_.compare(pos_, 4, "true") == 0) {
+      value->boolean = true;
+      pos_ += 4;
+      return value;
+    }
+    if (in_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return value;
+    }
+    return nullptr;
+  }
+
+  std::unique_ptr<JsonValue> ParseNull() {
+    SkipSpace();
+    if (in_.compare(pos_, 4, "null") != 0) return nullptr;
+    pos_ += 4;
+    return std::make_unique<JsonValue>();
+  }
+
+  std::unique_ptr<JsonValue> ParseNumber() {
+    SkipSpace();
+    const std::size_t start = pos_;
+    while (pos_ < in_.size() &&
+           (std::isdigit(static_cast<unsigned char>(in_[pos_])) || in_[pos_] == '-' ||
+            in_[pos_] == '+' || in_[pos_] == '.' || in_[pos_] == 'e' || in_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return nullptr;
+    auto value = std::make_unique<JsonValue>();
+    value->kind = JsonValue::Kind::kNumber;
+    value->text = in_.substr(start, pos_ - start);
+    value->number = std::atof(value->text.c_str());
+    return value;
+  }
+
+  const std::string& in_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Metric extraction
+// ---------------------------------------------------------------------------
+
+struct Metric {
+  std::string path;   // Dotted path, e.g. "feature_rows_gate.speedup".
+  std::string value;  // As written in the recording.
+};
+
+bool IsHeadlineKey(const std::string& key) {
+  static const char* kExact[] = {"qps",     "speedup",  "verdict", "required",
+                                 "p50_us",  "p99_us",   "p999_us", "hit_rate",
+                                 "ratio",   "mrows_per_s"};
+  for (const char* k : kExact) {
+    if (key == k) return true;
+  }
+  // Any *_ms / *_us / *_qps / *_speedup timing or rate field.
+  auto ends_with = [&](const char* suffix) {
+    const std::size_t n = std::strlen(suffix);
+    return key.size() >= n && key.compare(key.size() - n, n, suffix) == 0;
+  };
+  return ends_with("_ms") || ends_with("_us") || ends_with("_qps") ||
+         ends_with("_speedup") || ends_with("_per_s");
+}
+
+void CollectMetrics(const JsonValue& node, const std::string& path,
+                    std::vector<Metric>* out) {
+  if (node.kind == JsonValue::Kind::kObject) {
+    for (const auto& [key, child] : node.fields) {
+      const std::string child_path = path.empty() ? key : path + "." + key;
+      if (child->kind == JsonValue::Kind::kNumber && IsHeadlineKey(key)) {
+        out->push_back({child_path, child->text});
+      } else if (child->kind == JsonValue::Kind::kString && key == "verdict") {
+        out->push_back({child_path, child->str});
+      } else {
+        CollectMetrics(*child, child_path, out);
+      }
+    }
+  } else if (node.kind == JsonValue::Kind::kArray) {
+    for (std::size_t i = 0; i < node.items.size(); ++i) {
+      CollectMetrics(*node.items[i], path + "[" + std::to_string(i) + "]", out);
+    }
+  }
+}
+
+struct Recording {
+  std::string name;  // File stem without the BENCH_ prefix.
+  std::string date;
+  std::string build;
+  std::vector<Metric> metrics;
+};
+
+constexpr char kBeginMarker[] = "<!-- bench_report:begin (generated; do not edit) -->";
+constexpr char kEndMarker[] = "<!-- bench_report:end -->";
+
+std::string RenderTable(const std::vector<Recording>& recordings) {
+  std::ostringstream out;
+  out << kBeginMarker << "\n\n";
+  out << "## Benchmark trajectory\n\n";
+  out << "One row per headline metric across every `BENCH_*.json` recording,\n";
+  out << "sorted by recording date — regenerate with `tools/bench_report`\n";
+  out << "after updating any recording.\n\n";
+  out << "| date | bench | metric | value |\n";
+  out << "|------|-------|--------|-------|\n";
+  for (const Recording& rec : recordings) {
+    for (const Metric& metric : rec.metrics) {
+      out << "| " << rec.date << " | " << rec.name << " | `" << metric.path << "` | "
+          << metric.value << " |\n";
+    }
+  }
+  out << "\n" << kEndMarker << "\n";
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir = ".";
+  std::string out_path;
+  bool to_stdout = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) {
+      dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--stdout") == 0) {
+      to_stdout = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--dir REPO_ROOT] [--out EXPERIMENTS.md] [--stdout]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (out_path.empty()) out_path = (fs::path(dir) / "EXPERIMENTS.md").string();
+
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 && entry.path().extension() == ".json") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::fprintf(stderr, "bench_report: no BENCH_*.json under %s\n", dir.c_str());
+    return 1;
+  }
+
+  std::vector<Recording> recordings;
+  for (const fs::path& file : files) {
+    std::ifstream in(file);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string content = buffer.str();
+    std::string error;
+    const auto root = JsonParser(content).Parse(&error);
+    if (!root || root->kind != JsonValue::Kind::kObject) {
+      std::fprintf(stderr, "bench_report: %s: %s\n", file.string().c_str(), error.c_str());
+      return 1;
+    }
+    Recording rec;
+    rec.name = file.stem().string().substr(std::strlen("BENCH_"));
+    if (const JsonValue* date = root->Find("date");
+        date && date->kind == JsonValue::Kind::kString) {
+      rec.date = date->str;
+    }
+    if (const JsonValue* build = root->Find("build");
+        build && build->kind == JsonValue::Kind::kString) {
+      rec.build = build->str;
+    }
+    CollectMetrics(*root, "", &rec.metrics);
+    recordings.push_back(std::move(rec));
+  }
+  std::stable_sort(recordings.begin(), recordings.end(),
+                   [](const Recording& a, const Recording& b) { return a.date < b.date; });
+
+  const std::string table = RenderTable(recordings);
+  if (to_stdout) {
+    std::fputs(table.c_str(), stdout);
+    return 0;
+  }
+
+  // Splice: replace an existing generated block, else append one.
+  std::string existing;
+  {
+    std::ifstream in(out_path);
+    if (in) {
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      existing = buffer.str();
+    }
+  }
+  std::string updated;
+  const std::size_t begin = existing.find(kBeginMarker);
+  const std::size_t end = existing.find(kEndMarker);
+  if (begin != std::string::npos && end != std::string::npos && end > begin) {
+    updated = existing.substr(0, begin) + table +
+              existing.substr(end + std::strlen(kEndMarker) + 1);
+  } else {
+    updated = existing;
+    if (!updated.empty() && updated.back() != '\n') updated += '\n';
+    updated += "\n" + table;
+  }
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "bench_report: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << updated;
+  std::size_t rows = 0;
+  for (const Recording& rec : recordings) rows += rec.metrics.size();
+  std::printf("bench_report: %zu recordings, %zu metric rows -> %s\n", recordings.size(),
+              rows, out_path.c_str());
+  return 0;
+}
